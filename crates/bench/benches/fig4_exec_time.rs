@@ -1,0 +1,30 @@
+//! Figure 4 — normalized execution time, lazy vs eager vs SC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::run;
+use lrc_sim::Protocol;
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for proto in [Protocol::Sc, Protocol::Erc, Protocol::Lrc] {
+        g.bench_function(format!("exec/{proto}/gauss"), |b| {
+            b.iter(|| {
+                let r = run(proto, WorkloadKind::Gauss, Scale::Tiny, false);
+                black_box(r.stats.total_cycles)
+            })
+        });
+        g.bench_function(format!("exec/{proto}/mp3d"), |b| {
+            b.iter(|| {
+                let r = run(proto, WorkloadKind::Mp3d, Scale::Tiny, false);
+                black_box(r.stats.total_cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 5 — overhead breakdown (cpu/read/write/sync) extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::run;
+use lrc_sim::Protocol;
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for proto in [Protocol::Lrc, Protocol::Erc, Protocol::Sc] {
+        g.bench_function(format!("overheads/{proto}/barnes"), |b| {
+            b.iter(|| {
+                let r = run(proto, WorkloadKind::Barnes, Scale::Tiny, false);
+                let bd = r.stats.aggregate_breakdown();
+                black_box(bd.normalized(bd.total()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 6 — lazy vs lazy-extended execution time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::run;
+use lrc_sim::Protocol;
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for proto in [Protocol::Lrc, Protocol::LrcExt] {
+        for kind in [WorkloadKind::Fft, WorkloadKind::Locusroute] {
+            g.bench_function(format!("exec/{proto}/{kind}"), |b| {
+                b.iter(|| {
+                    let r = run(proto, kind, Scale::Tiny, false);
+                    black_box(r.stats.total_cycles)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 7 — lazy vs lazy-extended overhead breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::run;
+use lrc_sim::Protocol;
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for proto in [Protocol::Lrc, Protocol::LrcExt, Protocol::Sc] {
+        g.bench_function(format!("overheads/{proto}/mp3d"), |b| {
+            b.iter(|| {
+                let r = run(proto, WorkloadKind::Mp3d, Scale::Tiny, false);
+                black_box(r.stats.aggregate_breakdown().sync)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

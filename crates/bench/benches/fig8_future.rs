@@ -1,0 +1,25 @@
+//! Figure 8 — the future machine (40-cycle setup, 4 B/cyc, 256 B lines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::{run_with, BENCH_PROCS};
+use lrc_sim::{MachineConfig, Protocol};
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for proto in [Protocol::Erc, Protocol::Lrc, Protocol::LrcExt] {
+        g.bench_function(format!("future/{proto}/mp3d"), |b| {
+            b.iter(|| {
+                let cfg = MachineConfig::future_machine(BENCH_PROCS);
+                let r = run_with(cfg, proto, WorkloadKind::Mp3d, Scale::Tiny, false);
+                black_box(r.stats.total_cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 9 — future-machine overhead breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::{run_with, BENCH_PROCS};
+use lrc_sim::{MachineConfig, Protocol};
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for proto in [Protocol::Lrc, Protocol::LrcExt, Protocol::Erc, Protocol::Sc] {
+        g.bench_function(format!("future_overheads/{proto}/blu"), |b| {
+            b.iter(|| {
+                let cfg = MachineConfig::future_machine(BENCH_PROCS);
+                let r = run_with(cfg, proto, WorkloadKind::Blu, Scale::Tiny, false);
+                black_box(r.stats.aggregate_breakdown().read)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

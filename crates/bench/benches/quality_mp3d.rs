@@ -1,0 +1,17 @@
+//! Section 4.2 — the mp3d solution-quality functional experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_workloads::quality_experiment;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quality");
+    g.sample_size(10);
+    g.bench_function("mp3d_divergence/4000x5", |b| {
+        b.iter(|| black_box(quality_experiment(4000, 5, 16)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

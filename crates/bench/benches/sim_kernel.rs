@@ -1,0 +1,64 @@
+//! Substrate microbenchmarks: event queue, mesh routing, cache operations,
+//! and raw simulation throughput — the costs every experiment is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::run;
+use lrc_mem::{Cache, LineState};
+use lrc_mesh::Mesh;
+use lrc_sim::{EventQueue, LineAddr, MachineConfig, Protocol};
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("kernel/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(i * 7 % 997, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("kernel/mesh_hops_64x64", |b| {
+        let m = Mesh::new(64);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for a in 0..64 {
+                for bb in 0..64 {
+                    acc += m.hops(a, bb);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("kernel/cache_insert_lookup", |b| {
+        let cfg = MachineConfig::paper_default(4);
+        b.iter(|| {
+            let mut cache = Cache::new(&cfg);
+            for i in 0..4096u64 {
+                cache.insert(LineAddr(i), LineState::ReadOnly);
+                black_box(cache.contains(LineAddr(i / 2)));
+            }
+            black_box(cache.resident())
+        })
+    });
+
+    let mut g = c.benchmark_group("kernel/full_sim");
+    g.sample_size(10);
+    g.bench_function("fft_tiny_lazy_16p", |b| {
+        b.iter(|| {
+            let r = run(Protocol::Lrc, WorkloadKind::Fft, Scale::Tiny, false);
+            black_box(r.stats.total_cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Section 4.3 sweeps — line-size / latency / bandwidth sensitivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::{run_with, BENCH_PROCS};
+use lrc_sim::{MachineConfig, Protocol};
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    for line in [64usize, 128, 256] {
+        g.bench_function(format!("line_size/{line}/lazy/mp3d"), |b| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::paper_default(BENCH_PROCS);
+                cfg.line_size = line;
+                let r = run_with(cfg, Protocol::Lrc, WorkloadKind::Mp3d, Scale::Tiny, false);
+                black_box(r.stats.total_cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

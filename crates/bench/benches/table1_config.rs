@@ -1,0 +1,18 @@
+//! Table 1 — configuration assembly and parameter-table rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_sim::{table1_rows, MachineConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1/build_paper_config", |b| {
+        b.iter(|| black_box(MachineConfig::paper_default(black_box(64))))
+    });
+    c.bench_function("table1/render_rows", |b| {
+        let cfg = MachineConfig::paper_default(64);
+        b.iter(|| black_box(table1_rows(black_box(&cfg))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

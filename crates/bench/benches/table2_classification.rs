@@ -1,0 +1,25 @@
+//! Table 2 — miss classification under eager RC: a classified simulation
+//! run per application representative.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::run;
+use lrc_sim::Protocol;
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for kind in [WorkloadKind::Mp3d, WorkloadKind::Gauss, WorkloadKind::Locusroute] {
+        g.bench_function(format!("classified_erc/{kind}"), |b| {
+            b.iter(|| {
+                let r = run(Protocol::Erc, kind, Scale::Tiny, true);
+                black_box(r.stats.aggregate_misses().total())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 3 — miss rates under the three release-consistent protocols.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrc_bench::run;
+use lrc_sim::Protocol;
+use lrc_workloads::{Scale, WorkloadKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    for proto in [Protocol::Erc, Protocol::Lrc, Protocol::LrcExt] {
+        g.bench_function(format!("missrate/{proto}/mp3d"), |b| {
+            b.iter(|| {
+                let r = run(proto, WorkloadKind::Mp3d, Scale::Tiny, false);
+                black_box(r.stats.miss_rate())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

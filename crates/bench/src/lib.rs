@@ -1,0 +1,36 @@
+//! `lrc-bench` — shared helpers for the criterion benches (one bench target
+//! per paper table/figure lives in `benches/`).
+
+#![warn(missing_docs)]
+
+use lrc_core::{Machine, RunResult};
+use lrc_sim::{MachineConfig, Protocol};
+use lrc_workloads::{Scale, WorkloadKind};
+
+/// Processor count used by the benches: small enough for fast iterations,
+/// large enough to exercise real sharing.
+pub const BENCH_PROCS: usize = 16;
+
+/// Run one (protocol, workload) combination on the Table-1 machine at the
+/// given scale. The returned cycle count is consumed by `black_box` in the
+/// benches so the simulation cannot be optimized away.
+pub fn run(proto: Protocol, kind: WorkloadKind, scale: Scale, classify: bool) -> RunResult {
+    let cfg = MachineConfig::paper_default(BENCH_PROCS);
+    run_with(cfg, proto, kind, scale, classify)
+}
+
+/// Like [`run`], with an explicit machine configuration.
+pub fn run_with(
+    cfg: MachineConfig,
+    proto: Protocol,
+    kind: WorkloadKind,
+    scale: Scale,
+    classify: bool,
+) -> RunResult {
+    let w = kind.build(cfg.num_procs, scale);
+    let mut m = Machine::new(cfg, proto).with_max_cycles(50_000_000_000);
+    if classify {
+        m = m.with_classification();
+    }
+    m.run(w)
+}

@@ -1,0 +1,68 @@
+//! Property tests for the miss classifier.
+
+use lrc_classify::Classifier;
+use lrc_sim::{LineAddr, MissClass};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Write(usize, u64, usize),
+    Evict(usize, u64),
+    Inval(usize, u64),
+    Miss(usize, u64, usize, bool),
+}
+
+fn ev() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0usize..4, 0u64..8, 0usize..8).prop_map(|(p, l, w)| Ev::Write(p, l, w)),
+        (0usize..4, 0u64..8).prop_map(|(p, l)| Ev::Evict(p, l)),
+        (0usize..4, 0u64..8).prop_map(|(p, l)| Ev::Inval(p, l)),
+        (0usize..4, 0u64..8, 0usize..8, any::<bool>()).prop_map(|(p, l, w, u)| Ev::Miss(p, l, w, u)),
+    ]
+}
+
+proptest! {
+    /// Every miss gets exactly one class; the first non-upgrade miss per
+    /// (proc, block) is Cold and Cold never repeats.
+    #[test]
+    fn classification_is_total_and_cold_once(events in prop::collection::vec(ev(), 1..200)) {
+        let mut c = Classifier::new(4, 8);
+        let mut cold_seen: std::collections::HashSet<(usize, u64)> = Default::default();
+        let mut touched: std::collections::HashSet<(usize, u64)> = Default::default();
+        for e in events {
+            match e {
+                Ev::Write(p, l, w) => c.record_write(p, LineAddr(l), w),
+                Ev::Evict(p, l) => c.on_evict(p, LineAddr(l)),
+                Ev::Inval(p, l) => c.on_invalidate(p, LineAddr(l)),
+                Ev::Miss(p, l, w, upgrade) => {
+                    let class = c.classify_miss(p, LineAddr(l), w, upgrade);
+                    if upgrade {
+                        prop_assert_eq!(class, MissClass::Upgrade);
+                    } else if !touched.contains(&(p, l)) {
+                        prop_assert_eq!(class, MissClass::Cold);
+                        prop_assert!(cold_seen.insert((p, l)), "cold repeated");
+                    } else {
+                        prop_assert_ne!(class, MissClass::Cold, "cold after first touch");
+                    }
+                    // Any miss (upgrade included — the block was present
+                    // read-only) marks the block as cached by `p`.
+                    touched.insert((p, l));
+                }
+            }
+        }
+    }
+
+    /// A miss right after an invalidation classifies as sharing (true or
+    /// false), never eviction.
+    #[test]
+    fn invalidation_implies_sharing_class(p in 0usize..4, l in 0u64..8, w in 0usize..8) {
+        let mut c = Classifier::new(4, 8);
+        let _ = c.classify_miss(p, LineAddr(l), w, false); // cold; now cached
+        c.on_invalidate(p, LineAddr(l));
+        let class = c.classify_miss(p, LineAddr(l), w, false);
+        prop_assert!(
+            class == MissClass::TrueShare || class == MissClass::FalseShare,
+            "{class:?}"
+        );
+    }
+}

@@ -1,0 +1,395 @@
+//! The distributed directory: one entry per cache block, held at the block's
+//! home node.
+//!
+//! The paper's Figure 1 gives the global state machine:
+//!
+//! ```text
+//!              read                     write
+//!   Uncached ───────► Shared   Uncached ───────► Dirty
+//!
+//!              write (only sharer)               write (others share)
+//!   Shared ───────► Dirty           Shared ───────► Weak  + send notices
+//!
+//!              read/write by another
+//!   Dirty ───────► Weak  + notice to the writer
+//!
+//!              last writer leaves              last sharer leaves
+//!   Weak ───────► Shared            Shared ───────► Uncached
+//! ```
+//!
+//! State is **derived** from the sharer and writer sets rather than stored,
+//! which makes the "counters match the bitmasks" invariant structural:
+//!
+//! * `Uncached` — no sharers.
+//! * `Shared`   — ≥ 1 sharer, no writers.
+//! * `Dirty`    — exactly one sharer, who is also a writer.
+//! * `Weak`     — ≥ 2 sharers with ≥ 1 writer (lazy protocols only).
+//!
+//! Each entry also carries the per-sharer *notified* bits ("this processor
+//! has been told the block is weak") and the in-flight acknowledgement
+//! collection used when a weak transition fans out write notices (the paper
+//! collects acks at the home and acknowledges all pending writers at once).
+
+use lrc_sim::NodeId;
+
+/// Global (directory) state of a block. Derived from the sharer/writer sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No cached copies.
+    Uncached,
+    /// Cached read-only by one or more processors.
+    Shared,
+    /// Cached by exactly one processor, which is writing it.
+    Dirty,
+    /// Cached by two or more processors, at least one of which is writing.
+    Weak,
+}
+
+/// An in-progress acknowledgement collection (invalidation acks for the
+/// eager protocols, write-notice acks for the lazy ones). The home collects
+/// them and then releases every waiter with a single ack apiece.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AckCollection {
+    /// Acks still outstanding.
+    pub awaiting: u32,
+    /// Requesters to notify when the collection completes.
+    pub waiters: Vec<NodeId>,
+}
+
+/// Directory entry for one block.
+#[derive(Debug, Clone, Default)]
+pub struct DirEntry {
+    sharers: u64,
+    writers: u64,
+    notified: u64,
+    /// Outstanding ack collection, if any.
+    pub pending: Option<AckCollection>,
+    /// A 3-hop forward is in flight (eager protocols): the home must not
+    /// process further requests for this block until the owner's
+    /// `CopyBack` or `ForwardNack` arrives, or ownership could rotate
+    /// among requesters that never received data (a NACK livelock).
+    pub busy: bool,
+    /// Limited-pointer directories: more sharers than pointers — precise
+    /// membership is lost and coherence actions must broadcast. Cleared
+    /// when the block returns to Uncached.
+    pub overflow: bool,
+}
+
+impl DirEntry {
+    /// A fresh entry (Uncached).
+    pub fn new() -> Self {
+        DirEntry::default()
+    }
+
+    /// Current derived state.
+    pub fn state(&self) -> DirState {
+        if self.sharers == 0 {
+            DirState::Uncached
+        } else if self.writers == 0 {
+            DirState::Shared
+        } else if self.sharers.count_ones() == 1 {
+            debug_assert_eq!(self.sharers, self.writers);
+            DirState::Dirty
+        } else {
+            DirState::Weak
+        }
+    }
+
+    /// Bitmask of processors caching the block.
+    pub fn sharers(&self) -> u64 {
+        self.sharers
+    }
+
+    /// Bitmask of processors writing the block (⊆ sharers).
+    pub fn writers(&self) -> u64 {
+        self.writers
+    }
+
+    /// Bitmask of sharers already told the block is weak (⊆ sharers).
+    pub fn notified(&self) -> u64 {
+        self.notified
+    }
+
+    /// Number of processors caching the block.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// Number of processors writing the block.
+    pub fn writer_count(&self) -> u32 {
+        self.writers.count_ones()
+    }
+
+    /// Is `node` a sharer?
+    pub fn is_sharer(&self, node: NodeId) -> bool {
+        self.sharers & (1 << node) != 0
+    }
+
+    /// Is `node` a writer?
+    pub fn is_writer(&self, node: NodeId) -> bool {
+        self.writers & (1 << node) != 0
+    }
+
+    /// Is `node` recorded as notified of the weak state?
+    pub fn is_notified(&self, node: NodeId) -> bool {
+        self.notified & (1 << node) != 0
+    }
+
+    /// The single owner when the block is [`DirState::Dirty`].
+    pub fn dirty_owner(&self) -> Option<NodeId> {
+        if self.state() == DirState::Dirty {
+            Some(self.writers.trailing_zeros() as NodeId)
+        } else {
+            None
+        }
+    }
+
+    /// Add `node` as a reader.
+    pub fn add_sharer(&mut self, node: NodeId) {
+        self.sharers |= 1 << node;
+        self.check();
+    }
+
+    /// Add `node` as a reader under a `k`-pointer limited directory:
+    /// sets the overflow bit when the sharer count exceeds the pointers.
+    pub fn add_sharer_limited(&mut self, node: NodeId, pointers: usize) {
+        self.add_sharer(node);
+        if self.sharer_count() as usize > pointers {
+            self.overflow = true;
+        }
+    }
+
+    /// Add `node` as a writer (implies sharer).
+    pub fn add_writer(&mut self, node: NodeId) {
+        self.sharers |= 1 << node;
+        self.writers |= 1 << node;
+        self.check();
+    }
+
+    /// Record that `node` has been told the block is weak.
+    pub fn mark_notified(&mut self, node: NodeId) {
+        debug_assert!(self.is_sharer(node), "notified must be a sharer");
+        self.notified |= 1 << node;
+        self.check();
+    }
+
+    /// Remove `node` entirely (invalidation at acquire, eviction, or an
+    /// eager-protocol invalidation). Reverts Weak→Shared / →Uncached
+    /// automatically because state is derived; an overflowed
+    /// limited-pointer entry regains precision only at Uncached.
+    pub fn remove(&mut self, node: NodeId) {
+        let m = !(1u64 << node);
+        self.sharers &= m;
+        self.writers &= m;
+        self.notified &= m;
+        if self.sharers == 0 {
+            self.overflow = false;
+        }
+        self.check();
+    }
+
+    /// Demote `node` from writer to plain sharer (eager read-forward).
+    pub fn demote_writer(&mut self, node: NodeId) {
+        self.writers &= !(1u64 << node);
+        self.check();
+    }
+
+    /// Remove every sharer except `keep` (eager write: invalidation of all
+    /// other copies). Returns the bitmask of removed sharers.
+    pub fn remove_all_except(&mut self, keep: NodeId) -> u64 {
+        let keep_mask = 1u64 << keep;
+        let removed = self.sharers & !keep_mask;
+        self.sharers &= keep_mask;
+        self.writers &= keep_mask;
+        self.notified &= keep_mask;
+        if self.sharers == 0 {
+            self.overflow = false;
+        }
+        self.check();
+        removed
+    }
+
+    /// Sharers other than `node` that have *not* yet been notified of the
+    /// weak state: the targets of a new round of write notices.
+    pub fn unnotified_others(&self, node: NodeId) -> u64 {
+        self.sharers & !self.notified & !(1u64 << node)
+    }
+
+    /// Structural invariants (debug builds).
+    #[inline]
+    fn check(&self) {
+        debug_assert_eq!(self.writers & !self.sharers, 0, "writers ⊆ sharers");
+        debug_assert_eq!(self.notified & !self.sharers, 0, "notified ⊆ sharers");
+    }
+}
+
+/// Iterate the node ids set in `mask`, ascending.
+pub fn nodes_in(mask: u64) -> impl Iterator<Item = NodeId> {
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let n = m.trailing_zeros() as NodeId;
+            m &= m - 1;
+            Some(n)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_is_uncached() {
+        let e = DirEntry::new();
+        assert_eq!(e.state(), DirState::Uncached);
+        assert_eq!(e.sharer_count(), 0);
+    }
+
+    #[test]
+    fn figure1_read_from_uncached() {
+        let mut e = DirEntry::new();
+        e.add_sharer(3);
+        assert_eq!(e.state(), DirState::Shared);
+        e.add_sharer(5);
+        assert_eq!(e.state(), DirState::Shared);
+        assert_eq!(e.sharer_count(), 2);
+    }
+
+    #[test]
+    fn figure1_write_from_uncached_goes_dirty() {
+        let mut e = DirEntry::new();
+        e.add_writer(2);
+        assert_eq!(e.state(), DirState::Dirty);
+        assert_eq!(e.dirty_owner(), Some(2));
+    }
+
+    #[test]
+    fn figure1_write_by_only_sharer_goes_dirty() {
+        let mut e = DirEntry::new();
+        e.add_sharer(1);
+        e.add_writer(1);
+        assert_eq!(e.state(), DirState::Dirty);
+    }
+
+    #[test]
+    fn figure1_write_with_other_sharers_goes_weak() {
+        let mut e = DirEntry::new();
+        e.add_sharer(0);
+        e.add_sharer(1);
+        e.add_writer(1);
+        assert_eq!(e.state(), DirState::Weak);
+        assert_eq!(e.unnotified_others(1), 1 << 0);
+    }
+
+    #[test]
+    fn figure1_read_of_dirty_goes_weak() {
+        let mut e = DirEntry::new();
+        e.add_writer(4);
+        e.add_sharer(7);
+        assert_eq!(e.state(), DirState::Weak);
+        // The current writer is the one that must be notified.
+        assert_eq!(e.unnotified_others(7), 1 << 4);
+    }
+
+    #[test]
+    fn weak_reverts_to_shared_then_uncached() {
+        let mut e = DirEntry::new();
+        e.add_sharer(0);
+        e.add_writer(1);
+        e.add_writer(2);
+        assert_eq!(e.state(), DirState::Weak);
+        e.remove(1);
+        assert_eq!(e.state(), DirState::Weak); // still writer 2 + sharer 0
+        e.remove(2);
+        assert_eq!(e.state(), DirState::Shared);
+        e.remove(0);
+        assert_eq!(e.state(), DirState::Uncached);
+    }
+
+    #[test]
+    fn notified_is_cleared_on_removal() {
+        let mut e = DirEntry::new();
+        e.add_sharer(0);
+        e.add_writer(1);
+        e.mark_notified(0);
+        assert!(e.is_notified(0));
+        assert_eq!(e.unnotified_others(1), 0);
+        e.remove(0);
+        assert!(!e.is_notified(0));
+    }
+
+    #[test]
+    fn notices_sent_once_per_sharer() {
+        let mut e = DirEntry::new();
+        e.add_sharer(0);
+        e.add_sharer(1);
+        e.add_writer(2);
+        assert_eq!(e.state(), DirState::Weak);
+        assert_eq!(e.unnotified_others(2), 0b11);
+        e.mark_notified(0);
+        e.mark_notified(1);
+        // Second writer arrives: nobody new to notify except... writer 2,
+        // which has not been notified.
+        e.add_writer(3);
+        assert_eq!(e.unnotified_others(3), 1 << 2);
+    }
+
+    #[test]
+    fn demote_writer_on_read_forward() {
+        let mut e = DirEntry::new();
+        e.add_writer(5);
+        e.add_sharer(6);
+        e.demote_writer(5);
+        assert_eq!(e.state(), DirState::Shared);
+        assert!(e.is_sharer(5) && e.is_sharer(6));
+    }
+
+    #[test]
+    fn remove_all_except_for_eager_write() {
+        let mut e = DirEntry::new();
+        e.add_sharer(0);
+        e.add_sharer(1);
+        e.add_sharer(2);
+        let removed = e.remove_all_except(1);
+        assert_eq!(removed, 0b101);
+        assert_eq!(e.sharers(), 0b010);
+        e.add_writer(1);
+        assert_eq!(e.state(), DirState::Dirty);
+    }
+
+    #[test]
+    fn counters_match_popcounts() {
+        let mut e = DirEntry::new();
+        for n in [0usize, 3, 7, 12, 63] {
+            e.add_sharer(n);
+        }
+        e.add_writer(7);
+        assert_eq!(e.sharer_count(), 5);
+        assert_eq!(e.writer_count(), 1);
+        assert_eq!(e.sharers().count_ones(), e.sharer_count());
+        assert_eq!(e.writers().count_ones(), e.writer_count());
+    }
+
+    #[test]
+    fn nodes_in_iterates_ascending() {
+        let v: Vec<_> = nodes_in(0b1010_0110).collect();
+        assert_eq!(v, vec![1, 2, 5, 7]);
+        assert_eq!(nodes_in(0).count(), 0);
+        assert_eq!(nodes_in(1 << 63).collect::<Vec<_>>(), vec![63]);
+    }
+
+    #[test]
+    fn dirty_owner_only_when_dirty() {
+        let mut e = DirEntry::new();
+        assert_eq!(e.dirty_owner(), None);
+        e.add_sharer(2);
+        assert_eq!(e.dirty_owner(), None);
+        e.add_writer(2);
+        assert_eq!(e.dirty_owner(), Some(2));
+        e.add_sharer(3);
+        assert_eq!(e.dirty_owner(), None); // weak now
+    }
+}

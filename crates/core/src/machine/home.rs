@@ -1,0 +1,517 @@
+//! Directory-side message handling: what the home node's protocol processor
+//! does with requests, flushes, and acknowledgements.
+//!
+//! Costs follow Table 1: a directory access costs `dir_cost(protocol)`
+//! cycles; dispatching each notice/invalidation costs `write_notice_cost`;
+//! acknowledgements are cheap counter updates. Where the paper allows it,
+//! directory processing overlaps the memory access for the same request.
+
+use super::{ForwardEp, Machine};
+use crate::directory::{nodes_in, AckCollection, DirState};
+use crate::msg::{Msg, MsgKind, WriteGrant};
+use lrc_sim::{Cycle, LineAddr, NodeId};
+
+impl Machine {
+    /// Dispatch a message addressed to the directory at `m.dst`.
+    pub(crate) fn handle_at_home(&mut self, t: Cycle, m: Msg) {
+        match m.kind {
+            MsgKind::ReadReq { line } => self.home_read_req(t, m, line),
+            MsgKind::WriteReq { line, had_copy, words } => {
+                self.home_write_req(t, m, line, had_copy, words)
+            }
+            MsgKind::WriteThrough { line, words } => self.home_write_through(t, m, line, words),
+            MsgKind::WriteBack { line, words } => self.home_write_back(t, m, line, words),
+            MsgKind::EvictNotify { line, .. } => self.home_evict_notify(t, m, line),
+            MsgKind::InvAck { line } | MsgKind::NoticeAck { line } => self.home_ack(t, m, line),
+            MsgKind::CopyBack { line, ep, .. } => self.home_copy_back(t, m, line, ep),
+            MsgKind::ForwardNack { line, requester, for_write, ep } => {
+                self.home_forward_nack(t, m, line, requester, for_write, ep)
+            }
+            _ => unreachable!("not a home-side message: {:?}", m.kind),
+        }
+    }
+
+    fn home_read_req(&mut self, t: Cycle, m: Msg, line: LineAddr) {
+        let (h, r) = (m.dst, m.src);
+        let lazy = self.protocol.is_lazy();
+
+        if !lazy && self.dir.get(&line.0).is_some_and(|e| e.pending.is_some() || e.busy) {
+            // An invalidation round or 3-hop forward is in flight: queue
+            // the request (it pays a NAK round trip when released) — unless
+            // the forward targets this very requester and can never be
+            // served, in which case resolve it and fall through.
+            if !self.resolve_dead_forward_if_cyclic(t, m.src, line) {
+                self.park(m, t);
+                return;
+            }
+        }
+
+        let pp_done = self.nodes[h].pp.occupy(t, self.cfg.dir_cost(self.protocol));
+
+        if lazy {
+            // Lazy reads are never forwarded: memory is fresh enough under
+            // write-through, and an unsynchronized read of a dirty block is
+            // by definition not true sharing (paper Section 2).
+            let all = self.all_nodes_mask();
+            let (weak, notice_targets) = {
+                let e = self.dir.entry(line.0).or_default();
+                e.add_sharer(r);
+                if e.state() == DirState::Weak {
+                    let targets = if e.overflow {
+                        // Limited pointers overflowed: broadcast to every
+                        // node we have not (knowingly) notified.
+                        all & !(1u64 << r) & !e.notified()
+                    } else {
+                        e.unnotified_others(r)
+                    };
+                    for n in nodes_in(targets & e.sharers()) {
+                        e.mark_notified(n);
+                    }
+                    e.mark_notified(r);
+                    (true, targets)
+                } else {
+                    (false, 0)
+                }
+            };
+            self.apply_pointer_limit(line);
+            let n_notices = notice_targets.count_ones();
+            if n_notices > 0 {
+                // Read of a dirty block: the current writer(s) must be told
+                // the block is now weak.
+                let mut send_t = pp_done;
+                for n in nodes_in(notice_targets) {
+                    send_t = self.nodes[h].pp.occupy(send_t, self.cfg.write_notice_cost);
+                    self.send(send_t, h, n, MsgKind::WriteNotice { line });
+                }
+                let e = self.dir.get_mut(&line.0).expect("entry exists");
+                match e.pending.as_mut() {
+                    Some(pc) => pc.awaiting += n_notices,
+                    None => {
+                        e.pending =
+                            Some(AckCollection { awaiting: n_notices, waiters: Vec::new() })
+                    }
+                }
+            }
+            let mem_done = self.nodes[h].mem.access(t, self.cfg.line_size as u64);
+            self.send(pp_done.max(mem_done), h, r, MsgKind::ReadReply { line, weak });
+            return;
+        }
+
+        // Eager protocols (SC / ERC).
+        enum Plan {
+            FromMemory,
+            Forward(NodeId),
+        }
+        let plan = {
+            let e = self.dir.entry(line.0).or_default();
+            match e.state() {
+                DirState::Uncached | DirState::Shared => {
+                    e.add_sharer(r);
+                    Plan::FromMemory
+                }
+                DirState::Dirty => {
+                    let o = e.dirty_owner().expect("dirty has owner");
+                    if o == r {
+                        // Stale-dirty race: r's write-back is in flight.
+                        e.demote_writer(r);
+                        Plan::FromMemory
+                    } else if owner_parked(&self.parked, line, o) {
+                        // The "owner" is itself re-requesting this line (its
+                        // request is queued right here): the entry is stale
+                        // and a forward could never be served. Serve from
+                        // memory; the owner's queued request re-registers it.
+                        e.remove(o);
+                        e.add_sharer(r);
+                        Plan::FromMemory
+                    } else {
+                        e.demote_writer(o);
+                        e.add_sharer(r);
+                        e.busy = true;
+                        Plan::Forward(o)
+                    }
+                }
+                DirState::Weak => unreachable!("eager directory cannot be weak"),
+            }
+        };
+        self.apply_pointer_limit(line);
+        match plan {
+            Plan::FromMemory => {
+                let mem_done = self.nodes[h].mem.access(t, self.cfg.line_size as u64);
+                self.send(pp_done.max(mem_done), h, r, MsgKind::ReadReply { line, weak: false });
+                self.maybe_release_parked(pp_done, line);
+            }
+            Plan::Forward(o) => {
+                self.stats.procs[r].three_hop += 1;
+                self.forward_seq += 1;
+                let ep = self.forward_seq;
+                self.busy_info.insert(
+                    line.0,
+                    ForwardEp { id: ep, owner: o, requester: r, for_write: false, served: false },
+                );
+                self.send(pp_done, h, o, MsgKind::Forward { line, requester: r, for_write: false, ep });
+            }
+        }
+    }
+
+    fn home_write_req(&mut self, t: Cycle, m: Msg, line: LineAddr, had_copy: bool, words: u64) {
+        let (h, r) = (m.dst, m.src);
+
+        if self.protocol.is_lazy() {
+            self.lazy_write_req(t, h, r, line, had_copy, words);
+            return;
+        }
+
+        if self.dir.get(&line.0).is_some_and(|e| e.pending.is_some() || e.busy)
+            && !self.resolve_dead_forward_if_cyclic(t, m.src, line)
+        {
+            self.park(m, t);
+            return;
+        }
+        let pp_done = self.nodes[h].pp.occupy(t, self.cfg.dir_cost(self.protocol));
+
+        enum Plan {
+            Grant { with_data: bool, invalidate: u64 },
+            Forward(NodeId),
+        }
+        let plan = {
+            let e = self.dir.entry(line.0).or_default();
+            let r_has_copy = had_copy && e.is_sharer(r);
+            match e.state() {
+                DirState::Uncached => {
+                    e.add_writer(r);
+                    Plan::Grant { with_data: !r_has_copy, invalidate: 0 }
+                }
+                DirState::Shared => {
+                    let overflow = e.overflow;
+                    let others = e.remove_all_except(r);
+                    e.add_writer(r);
+                    Plan::Grant {
+                        with_data: !r_has_copy,
+                        // Overflowed limited pointers: membership is
+                        // imprecise, so invalidate everyone else.
+                        invalidate: if overflow { !(1u64 << r) } else { others },
+                    }
+                }
+                DirState::Dirty => {
+                    let o = e.dirty_owner().expect("dirty has owner");
+                    if o == r {
+                        Plan::Grant { with_data: !r_has_copy, invalidate: 0 }
+                    } else if owner_parked(&self.parked, line, o) {
+                        // Stale owner (see the read path): serve from memory.
+                        e.remove(o);
+                        e.add_writer(r);
+                        Plan::Grant { with_data: true, invalidate: 0 }
+                    } else {
+                        e.remove(o);
+                        e.add_writer(r);
+                        e.busy = true;
+                        Plan::Forward(o)
+                    }
+                }
+                DirState::Weak => unreachable!("eager directory cannot be weak"),
+            }
+        };
+        match plan {
+            Plan::Grant { with_data, invalidate } => {
+                let invalidate = invalidate & self.all_nodes_mask();
+                let n = invalidate.count_ones();
+                let grant = if n > 0 {
+                    let e = self.dir.get_mut(&line.0).expect("entry exists");
+                    e.pending = Some(AckCollection { awaiting: n, waiters: vec![r] });
+                    let mut send_t = pp_done;
+                    for o in nodes_in(invalidate) {
+                        send_t = self.nodes[h].pp.occupy(send_t, self.cfg.write_notice_cost);
+                        self.send(send_t, h, o, MsgKind::Invalidate { line });
+                    }
+                    WriteGrant::Pending
+                } else {
+                    WriteGrant::Immediate
+                };
+                let reply_t = if with_data {
+                    let mem_done = self.nodes[h].mem.access(t, self.cfg.line_size as u64);
+                    pp_done.max(mem_done)
+                } else {
+                    pp_done
+                };
+                self.send(
+                    reply_t,
+                    h,
+                    r,
+                    MsgKind::WriteReply { line, grant, with_data, weak: false },
+                );
+                if grant == WriteGrant::Immediate {
+                    self.maybe_release_parked(reply_t, line);
+                }
+            }
+            Plan::Forward(o) => {
+                self.stats.procs[r].three_hop += 1;
+                self.forward_seq += 1;
+                let ep = self.forward_seq;
+                self.busy_info.insert(
+                    line.0,
+                    ForwardEp { id: ep, owner: o, requester: r, for_write: true, served: false },
+                );
+                self.send(pp_done, h, o, MsgKind::Forward { line, requester: r, for_write: true, ep });
+            }
+        }
+    }
+
+    /// Lazy (LRC / LRC-EXT) write request: record the writer, fan out write
+    /// notices for a weak transition, and join or start an ack collection.
+    fn lazy_write_req(&mut self, t: Cycle, h: NodeId, r: NodeId, line: LineAddr, had_copy: bool, words: u64) {
+        let pp_done = self.nodes[h].pp.occupy(t, self.cfg.dir_cost(self.protocol));
+
+        // Deferred-notice payload (lazy-ext): commit the words to memory.
+        let mut mem_done = t;
+        if words != 0 {
+            let bytes = u64::from(words.count_ones()) * self.cfg.word_size as u64;
+            mem_done = self.nodes[h].mem.access(t, bytes);
+        }
+
+        let all = self.all_nodes_mask();
+        let (weak, with_data, notice_targets, join_pending) = {
+            let e = self.dir.entry(line.0).or_default();
+            let r_has_copy = had_copy && e.is_sharer(r);
+            e.add_writer(r);
+            if e.state() == DirState::Weak {
+                let targets = if e.overflow {
+                    all & !(1u64 << r) & !e.notified()
+                } else {
+                    e.unnotified_others(r)
+                };
+                for n in nodes_in(targets & e.sharers()) {
+                    e.mark_notified(n);
+                }
+                e.mark_notified(r);
+                (true, !r_has_copy, targets, e.pending.is_some())
+            } else {
+                (false, !r_has_copy, 0u64, false)
+            }
+        };
+        self.apply_pointer_limit(line);
+
+        let n_notices = notice_targets.count_ones();
+        let mut send_t = pp_done;
+        for n in nodes_in(notice_targets) {
+            send_t = self.nodes[h].pp.occupy(send_t, self.cfg.write_notice_cost);
+            self.send(send_t, h, n, MsgKind::WriteNotice { line });
+        }
+
+        let grant = if n_notices > 0 {
+            let e = self.dir.get_mut(&line.0).expect("entry exists");
+            match e.pending.as_mut() {
+                Some(pc) => {
+                    pc.awaiting += n_notices;
+                    pc.waiters.push(r);
+                }
+                None => {
+                    e.pending = Some(AckCollection { awaiting: n_notices, waiters: vec![r] });
+                }
+            }
+            WriteGrant::Pending
+        } else if join_pending {
+            // A collection for this block is already in flight (another
+            // writer's round): the paper's home collects acks only once and
+            // acknowledges all pending writers together.
+            let e = self.dir.get_mut(&line.0).expect("entry exists");
+            e.pending.as_mut().expect("pending collection").waiters.push(r);
+            WriteGrant::Pending
+        } else {
+            WriteGrant::Immediate
+        };
+
+        if with_data {
+            mem_done = mem_done.max(self.nodes[h].mem.access(t, self.cfg.line_size as u64));
+        }
+        self.send(
+            pp_done.max(mem_done),
+            h,
+            r,
+            MsgKind::WriteReply { line, grant, with_data, weak },
+        );
+    }
+
+    fn home_write_through(&mut self, t: Cycle, m: Msg, line: LineAddr, words: u64) {
+        let (h, r) = (m.dst, m.src);
+        let pp_done = self.nodes[h].pp.occupy(t, self.cfg.write_notice_cost);
+        let bytes = u64::from(words.count_ones()) * self.cfg.word_size as u64;
+        let mem_done = self.nodes[h].mem.access(t, bytes);
+        self.send(pp_done.max(mem_done), h, r, MsgKind::WriteThroughAck { line });
+    }
+
+    fn home_write_back(&mut self, t: Cycle, m: Msg, line: LineAddr, words: u64) {
+        let (h, r) = (m.dst, m.src);
+        let pp_done = self.nodes[h].pp.occupy(t, self.cfg.dir_cost(self.protocol));
+        let bytes = u64::from(words.count_ones()) * self.cfg.word_size as u64;
+        let mem_done = self.nodes[h].mem.access(t, bytes);
+        // Same ordering guard as `home_evict_notify`: a refetch may have
+        // overtaken this write-back; keep the fresh registration.
+        if !self.nodes[r].cache.contains(line) && !self.nodes[r].outstanding.contains_key(&line.0) {
+            self.dir.entry(line.0).or_default().remove(r);
+        }
+        self.send(pp_done.max(mem_done), h, r, MsgKind::WriteBackAck { line });
+    }
+
+    fn home_evict_notify(&mut self, t: Cycle, m: Msg, line: LineAddr) {
+        // A replacement hint is a cheap sharer-bit clear, not a full
+        // directory transaction.
+        let (h, r) = (m.dst, m.src);
+        let _ = self.nodes[h].pp.occupy(t, self.cfg.write_notice_cost);
+        // Ordering guard: if the sender has already re-fetched the line (its
+        // refetch overtook this hint), the hint is stale and must not erase
+        // the fresh copy's registration. A real implementation orders the
+        // hint and the refetch on the same NI FIFO; our batched stepper can
+        // emit them with reordered timestamps, so we check the authoritative
+        // cache state instead.
+        if self.nodes[r].cache.contains(line) || self.nodes[r].outstanding.contains_key(&line.0) {
+            return;
+        }
+        // The block reverts Weak→Shared→Uncached automatically as sharers
+        // and writers leave (derived state).
+        self.dir.entry(line.0).or_default().remove(r);
+    }
+
+    /// An invalidation or write-notice acknowledgement: advance the
+    /// collection; when it completes, release every waiting writer at once.
+    fn home_ack(&mut self, t: Cycle, m: Msg, line: LineAddr) {
+        let h = m.dst;
+        let pp_done = self.nodes[h].pp.occupy(t, self.cfg.write_notice_cost);
+        let finished = {
+            let e = self.dir.entry(line.0).or_default();
+            let pc = e.pending.as_mut().expect("ack without pending collection");
+            debug_assert!(pc.awaiting > 0);
+            pc.awaiting -= 1;
+            if pc.awaiting == 0 {
+                let waiters = std::mem::take(&mut pc.waiters);
+                e.pending = None;
+                Some(waiters)
+            } else {
+                None
+            }
+        };
+        if let Some(waiters) = finished {
+            for w in waiters {
+                self.send(pp_done, h, w, MsgKind::WriteAck { line });
+            }
+            self.maybe_release_parked(pp_done, line);
+        }
+    }
+
+    /// If the in-flight forward for `line` targets `requester` itself and
+    /// has not been served, it never will be (the owner is blocked waiting
+    /// on this very entry): cancel it, serve its original requester from
+    /// memory, and free the entry. Returns true when resolved.
+    fn resolve_dead_forward_if_cyclic(&mut self, t: Cycle, requester: NodeId, line: LineAddr) -> bool {
+        let Some(ep) = self.busy_info.get(&line.0).copied() else {
+            return false;
+        };
+        if ep.owner != requester || ep.served {
+            return false;
+        }
+        // Cancel: the owner will drop the Forward when the episode is gone;
+        // if it already parked it, un-park it.
+        self.busy_info.remove(&line.0);
+        self.nodes[ep.owner].parked_forwards.remove(&line.0);
+        let h = self.home_of(line);
+        self.dir.entry(line.0).or_default().busy = false;
+        let mem_done = self.nodes[h].mem.access(t, self.cfg.line_size as u64);
+        if ep.for_write {
+            self.send(
+                mem_done,
+                h,
+                ep.requester,
+                MsgKind::WriteReply {
+                    line,
+                    grant: WriteGrant::Immediate,
+                    with_data: true,
+                    weak: false,
+                },
+            );
+        } else {
+            self.send(mem_done, h, ep.requester, MsgKind::ReadReply { line, weak: false });
+        }
+        true
+    }
+
+    fn home_copy_back(&mut self, t: Cycle, m: Msg, line: LineAddr, ep: u64) {
+        // Third leg of an eager 3-hop transaction: the directory was already
+        // updated when the request was forwarded; commit the data to memory
+        // and reopen the entry for new requests. A copy-back from a
+        // cancelled (stale) episode must not free a newer one's entry.
+        let h = m.dst;
+        let _ = self.nodes[h].mem.access(t, self.cfg.line_size as u64);
+        if self.busy_info.get(&line.0).is_some_and(|e| e.id == ep) {
+            self.busy_info.remove(&line.0);
+            self.dir.entry(line.0).or_default().busy = false;
+            self.maybe_release_parked(t, line);
+        }
+    }
+
+    /// The forwarded-to owner no longer had the line — either it raced with
+    /// its own write-back, or it was a "phantom" owner whose own data reply
+    /// was still in flight. Serve the requester directly from memory:
+    /// re-running the request through the state machine can livelock when
+    /// two dataless requesters keep forwarding to each other.
+    fn home_forward_nack(
+        &mut self,
+        t: Cycle,
+        m: Msg,
+        line: LineAddr,
+        requester: NodeId,
+        for_write: bool,
+        ep: u64,
+    ) {
+        if self.busy_info.get(&line.0).is_none_or(|e| e.id != ep) {
+            return; // stale episode
+        }
+        let h = m.dst;
+        let nacking_owner = m.src;
+        self.busy_info.remove(&line.0);
+        {
+            let e = self.dir.entry(line.0).or_default();
+            e.busy = false;
+            // The nacker does not hold the line, whatever the entry thought.
+            e.remove(nacking_owner);
+            // The requester was recorded (writer/sharer) at forward time;
+            // re-assert in case the intervening traffic dropped it.
+            if for_write {
+                e.add_writer(requester);
+            } else {
+                e.add_sharer(requester);
+            }
+        }
+        let pp_done = self.nodes[h].pp.occupy(t, self.cfg.dir_cost(self.protocol));
+        let mem_done = self.nodes[h].mem.access(t, self.cfg.line_size as u64);
+        let reply_t = pp_done.max(mem_done);
+        if for_write {
+            self.send(
+                reply_t,
+                h,
+                requester,
+                MsgKind::WriteReply {
+                    line,
+                    grant: WriteGrant::Immediate,
+                    with_data: true,
+                    weak: false,
+                },
+            );
+        } else {
+            self.send(reply_t, h, requester, MsgKind::ReadReply { line, weak: false });
+        }
+        self.maybe_release_parked(reply_t, line);
+    }
+}
+
+
+/// Does the home's parked queue for `line` contain a request from `node`?
+/// (If so, a forward to `node` could never be served: its own request is
+/// waiting behind the very entry the forward would occupy.)
+fn owner_parked(
+    parked: &std::collections::HashMap<u64, std::collections::VecDeque<(Msg, lrc_sim::Cycle)>>,
+    line: LineAddr,
+    node: NodeId,
+) -> bool {
+    parked
+        .get(&line.0)
+        .is_some_and(|q| q.iter().any(|(m, _)| m.src == node))
+}

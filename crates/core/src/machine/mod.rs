@@ -1,0 +1,562 @@
+//! The simulated machine: nodes, network, directory, protocol engines, and
+//! the event loop.
+//!
+//! One [`Machine`] instance simulates one run of one workload under one
+//! protocol. The implementation is split by concern:
+//!
+//! * [`step`] — the processor front end: batched op issue, the write buffer
+//!   pump, line installation and eviction.
+//! * [`home`] — directory-side message handling (the home node's protocol
+//!   processor).
+//! * [`remote`] — cache-side message handling (invalidations, notices,
+//!   forwards, replies).
+//! * [`sync_ops`] — acquires, releases, barriers, fences, and the lock and
+//!   barrier services.
+
+mod home;
+mod invariants;
+mod remote;
+mod step;
+mod sync_ops;
+
+use crate::directory::DirEntry;
+use crate::msg::{Msg, MsgKind};
+use crate::node::{Node, ProcStatus};
+use lrc_classify::Classifier;
+use lrc_mesh::Network;
+use lrc_sim::{
+    Addr, Cycle, EventQueue, LineAddr, MachineConfig, MachineStats, NodeId, ProcId, Protocol,
+    StallKind, Workload,
+};
+use std::collections::HashMap;
+
+/// Events driving the simulation.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// Give processor `p` a chance to issue operations.
+    ProcStep(ProcId),
+    /// A message has been fully received at its destination.
+    Msg(Msg),
+    /// Background drain timer for a coalescing-buffer entry.
+    CbFlush(ProcId, LineAddr),
+}
+
+/// One recorded protocol message (see [`Machine::with_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Send time in cycles.
+    pub at: Cycle,
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// The message payload.
+    pub kind: MsgKind,
+}
+
+#[derive(Debug)]
+pub(crate) struct Trace {
+    filter: Option<u64>,
+    cap: usize,
+    events: std::collections::VecDeque<TraceEvent>,
+}
+
+/// Outcome of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Protocol simulated.
+    pub protocol: Protocol,
+    /// Workload name.
+    pub workload: String,
+    /// All collected statistics.
+    pub stats: MachineStats,
+}
+
+impl RunResult {
+    /// Wall-clock of the run in cycles (last processor to finish).
+    pub fn total_cycles(&self) -> u64 {
+        self.stats.total_cycles
+    }
+}
+
+/// A configured machine, ready to run one workload.
+pub struct Machine {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) protocol: Protocol,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) dir: HashMap<u64, DirEntry>,
+    /// Requests queued at their home because the directory entry was busy
+    /// (3-hop in flight) or collecting acks. Real DASH NAKs these back for
+    /// retry; we queue them (stable and livelock-free) and charge one NAK
+    /// round trip when releasing, so hot-spot requests still pay the
+    /// contention penalty the paper describes.
+    pub(crate) parked: HashMap<u64, std::collections::VecDeque<(Msg, Cycle)>>,
+    pub(crate) net: Network,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) stats: MachineStats,
+    pub(crate) classifier: Option<Classifier>,
+    pub(crate) workload: Box<dyn Workload>,
+    pub(crate) finished: usize,
+    pub(crate) max_cycles: u64,
+    /// Sweep coherence invariants every N handled events (0 = off).
+    pub(crate) check_every: u64,
+    /// Debug: eprintln every message concerning this line.
+    pub(crate) trace_line: Option<u64>,
+    /// Structured protocol trace (None = off).
+    pub(crate) trace: Option<Trace>,
+    /// First-touch page→home assignments (only under
+    /// `Placement::FirstTouch`).
+    pub(crate) page_home: HashMap<u64, NodeId>,
+    /// For each line with a 3-hop forward in flight, the episode record.
+    /// Used to drop late 3-hop replies and to detect forwards that can
+    /// never be served because the owner is itself blocked requesting the
+    /// same line.
+    pub(crate) busy_info: HashMap<u64, ForwardEp>,
+    /// Monotone forward-episode counter.
+    pub(crate) forward_seq: u64,
+}
+
+/// Bookkeeping for one 3-hop forward episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ForwardEp {
+    pub id: u64,
+    pub owner: NodeId,
+    pub requester: NodeId,
+    pub for_write: bool,
+    /// The owner has already supplied the data (CopyBack in flight).
+    pub served: bool,
+}
+
+impl Machine {
+    /// Build a machine for `cfg` running `protocol`.
+    ///
+    /// # Panics
+    /// If the configuration is invalid or has more than 64 processors (the
+    /// directory uses 64-bit sharer masks, like most directories of the
+    /// paper's era used limited pointers).
+    pub fn new(cfg: MachineConfig, protocol: Protocol) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        assert!(cfg.num_procs <= 64, "directory sharer masks support ≤ 64 processors");
+        let nodes = (0..cfg.num_procs).map(|_| Node::new(&cfg)).collect();
+        let net = Network::new(&cfg);
+        let stats = MachineStats::new(cfg.num_procs);
+        Machine {
+            protocol,
+            nodes,
+            dir: HashMap::new(),
+            parked: HashMap::new(),
+            net,
+            queue: EventQueue::new(),
+            stats,
+            classifier: None,
+            workload: Box::new(NullWorkload),
+            finished: 0,
+            max_cycles: u64::MAX / 4,
+            check_every: 0,
+            trace_line: None,
+            trace: None,
+            page_home: HashMap::new(),
+            busy_info: HashMap::new(),
+            forward_seq: 0,
+            cfg,
+        }
+    }
+
+    /// Enable miss classification (Table-2 instrumentation). Slows the run.
+    pub fn with_classification(mut self) -> Self {
+        self.classifier = Some(Classifier::new(self.cfg.num_procs, self.cfg.words_per_line()));
+        self
+    }
+
+    /// Abort (panic) if simulated time exceeds `cycles` — a watchdog against
+    /// protocol livelock.
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Debug aid: print every protocol message that concerns `line`.
+    pub fn with_trace_line(mut self, line: u64) -> Self {
+        self.trace_line = Some(line);
+        self
+    }
+
+    /// Record a structured protocol trace: every message sent (optionally
+    /// only those concerning `line`), up to `cap` entries (older entries
+    /// are dropped ring-buffer style). Retrieve it from the machine
+    /// returned by [`Machine::run_keep`] via [`Machine::trace`].
+    pub fn with_trace(mut self, line: Option<u64>, cap: usize) -> Self {
+        self.trace = Some(Trace { filter: line, cap: cap.max(1), events: std::collections::VecDeque::new() });
+        self
+    }
+
+    /// The recorded protocol trace (empty if tracing was off).
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.trace
+            .as_ref()
+            .map(|t| t.events.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Sweep the global coherence invariants every `events` handled events,
+    /// panicking with a machine dump on the first violation. Expensive —
+    /// meant for tests and debugging (see `machine::invariants`).
+    pub fn with_invariant_checks(mut self, events: u64) -> Self {
+        self.check_every = events.max(1);
+        self
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Run `workload` to completion and return the collected statistics.
+    ///
+    /// # Panics
+    /// On deadlock (event queue empty with unfinished processors) or when
+    /// the `max_cycles` watchdog fires — both indicate protocol bugs and
+    /// produce a machine-state dump.
+    pub fn run(self, workload: Box<dyn Workload>) -> RunResult {
+        self.run_keep(workload).0
+    }
+
+    /// Like [`Machine::run`], but returns the machine alongside the result
+    /// so callers can inspect the final directory and cache state (used by
+    /// the protocol test suites and handy for debugging workloads).
+    pub fn run_keep(mut self, workload: Box<dyn Workload>) -> (RunResult, Machine) {
+        assert_eq!(
+            workload.num_procs(),
+            self.cfg.num_procs,
+            "workload built for a different processor count"
+        );
+        let name = workload.name().to_string();
+        self.workload = workload;
+
+        for p in 0..self.cfg.num_procs {
+            self.nodes[p].step_scheduled = true;
+            self.queue.push(0, Event::ProcStep(p));
+        }
+
+        let mut handled: u64 = 0;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.max_cycles {
+                panic!(
+                    "watchdog: simulation exceeded {} cycles\n{}",
+                    self.max_cycles,
+                    self.dump()
+                );
+            }
+            match ev {
+                Event::ProcStep(p) => self.proc_step(p, t),
+                Event::Msg(m) => self.handle_msg(t, m),
+                Event::CbFlush(p, line) => self.cb_flush_timer(p, t, line),
+            }
+            handled += 1;
+            if self.check_every != 0 && handled.is_multiple_of(self.check_every) {
+                self.check_invariants(&format!("event {handled} at t={t}"));
+            }
+        }
+        if self.check_every != 0 {
+            self.check_invariants("end of run");
+        }
+
+        if self.finished != self.cfg.num_procs {
+            panic!(
+                "deadlock: {}/{} processors finished\n{}",
+                self.finished,
+                self.cfg.num_procs,
+                self.dump()
+            );
+        }
+
+        for (i, n) in self.nodes.iter().enumerate() {
+            self.stats.procs[i].pp_busy = n.pp.busy_cycles();
+            self.stats.procs[i].mem_busy = n.mem.busy_cycles();
+        }
+        self.stats.total_cycles = self
+            .stats
+            .procs
+            .iter()
+            .map(|p| p.finish_time)
+            .max()
+            .unwrap_or(0);
+        let result =
+            RunResult { protocol: self.protocol, workload: name, stats: self.stats.clone() };
+        (result, self)
+    }
+
+    // ---- shared helpers ----------------------------------------------------
+
+    /// Line containing byte address `a`.
+    #[inline]
+    pub(crate) fn line_of(&self, a: Addr) -> LineAddr {
+        LineAddr::containing(a, self.cfg.line_size)
+    }
+
+    /// Word index of byte address `a` within its line.
+    #[inline]
+    pub(crate) fn word_of(&self, a: Addr) -> usize {
+        self.line_of(a).word_index(a, self.cfg.line_size, self.cfg.word_size)
+    }
+
+    /// Home node of `line` (static policies).
+    #[inline]
+    pub(crate) fn home_of(&self, line: LineAddr) -> NodeId {
+        let addr = line.base(self.cfg.line_size);
+        if self.cfg.placement == lrc_sim::Placement::FirstTouch {
+            let page = addr / self.cfg.page_size as u64;
+            if let Some(&h) = self.page_home.get(&page) {
+                return h;
+            }
+        }
+        self.cfg.home_of(addr)
+    }
+
+    /// Home node of `line`, assigning the page to `toucher` on first touch
+    /// under `Placement::FirstTouch`. Use at reference-issue sites.
+    #[inline]
+    pub(crate) fn home_of_touch(&mut self, line: LineAddr, toucher: NodeId) -> NodeId {
+        if self.cfg.placement == lrc_sim::Placement::FirstTouch {
+            let page = line.base(self.cfg.line_size) / self.cfg.page_size as u64;
+            return *self.page_home.entry(page).or_insert(toucher);
+        }
+        self.home_of(line)
+    }
+
+    /// Send a protocol message, recording traffic and scheduling delivery.
+    pub(crate) fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, kind: MsgKind) {
+        let bytes = kind.bytes(
+            self.cfg.ctrl_msg_bytes,
+            self.cfg.line_size as u64,
+            self.cfg.word_size as u64,
+        );
+        self.stats.procs[src].traffic.record(kind.traffic_class(), bytes);
+        if let (Some(tl), Some(l)) = (self.trace_line, kind.line()) {
+            if l.0 == tl {
+                eprintln!("[t={now}] {src}->{dst} {kind:?}");
+            }
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            let keep = match tr.filter {
+                Some(f) => kind.line().is_some_and(|l| l.0 == f),
+                None => true,
+            };
+            if keep {
+                if tr.events.len() == tr.cap {
+                    tr.events.pop_front();
+                }
+                tr.events.push_back(TraceEvent { at: now, src, dst, kind });
+            }
+        }
+        let arrival = self.net.send(now, src, dst, bytes);
+        self.queue.push(arrival, Event::Msg(Msg { src, dst, kind }));
+    }
+
+    /// Queue `msg` until its line's directory entry frees; the NAK probe
+    /// occupies the home's protocol processor briefly.
+    pub(crate) fn park(&mut self, msg: Msg, t: Cycle) {
+        let _ = self.nodes[msg.dst].pp.occupy(t, self.cfg.write_notice_cost);
+        let line = msg.kind.line().expect("parked messages concern a line");
+        self.parked.entry(line.0).or_default().push_back((msg, t));
+    }
+
+    /// If `line`'s entry is free (no busy 3-hop, no ack collection) and a
+    /// request is queued, re-dispatch the oldest one after one NAK retry
+    /// round trip.
+    pub(crate) fn maybe_release_parked(&mut self, t: Cycle, line: LineAddr) {
+        let free = self
+            .dir
+            .get(&line.0)
+            .is_none_or(|e| !e.busy && e.pending.is_none());
+        if !free {
+            return;
+        }
+        let Some(q) = self.parked.get_mut(&line.0) else {
+            return;
+        };
+        if let Some((msg, parked_at)) = q.pop_front() {
+            if q.is_empty() {
+                self.parked.remove(&line.0);
+            }
+            // A queued request models a DASH requester NAK-retrying: each
+            // retry re-probes the home's protocol processor. Charge the
+            // probes the wait implied (capped), then re-dispatch after one
+            // final retry round trip. This is the hot-spot degradation the
+            // paper attributes to the eager protocol's 3-hop/invalidated
+            // windows; the lazy protocol never parks, so it never pays it.
+            let waited = t.saturating_sub(parked_at);
+            let probes = (waited / self.cfg.nack_retry_delay.max(1)).min(32);
+            if probes > 0 {
+                let _ = self.nodes[msg.dst]
+                    .pp
+                    .occupy(t, probes * self.cfg.write_notice_cost);
+            }
+            self.queue.push(t + self.cfg.nack_retry_delay, Event::Msg(msg));
+        }
+    }
+
+    /// Mark `p` blocked at local time `now` with the given stall bucket.
+    pub(crate) fn block(&mut self, p: ProcId, now: Cycle, kind: StallKind, status: ProcStatus) {
+        let n = &mut self.nodes[p];
+        debug_assert_eq!(n.status, ProcStatus::Running);
+        n.status = status;
+        n.stall_start = now;
+        n.stall_kind = kind;
+    }
+
+    /// Resume `p` at time `t`: attribute the stall and schedule a step.
+    ///
+    /// `t` is clamped to the blocking time: a processor that ran ahead of
+    /// the global clock inside its skew quantum must never resume in its
+    /// own past, or cycles would be attributed twice.
+    pub(crate) fn resume(&mut self, p: ProcId, t: Cycle) {
+        let n = &mut self.nodes[p];
+        debug_assert!(n.status != ProcStatus::Running && n.status != ProcStatus::Finished);
+        let t = t.max(n.stall_start);
+        let stall = t - n.stall_start;
+        let kind = n.stall_kind;
+        n.status = ProcStatus::Running;
+        self.stats.procs[p].breakdown.add(kind, stall);
+        if !n.step_scheduled {
+            n.step_scheduled = true;
+            self.queue.push(t.max(self.queue.now()), Event::ProcStep(p));
+        }
+    }
+
+    /// Schedule a `ProcStep` for `p` at `t` unless one is already queued.
+    pub(crate) fn schedule_step(&mut self, p: ProcId, t: Cycle) {
+        if !self.nodes[p].step_scheduled {
+            self.nodes[p].step_scheduled = true;
+            self.queue.push(t.max(self.queue.now()), Event::ProcStep(p));
+        }
+    }
+
+    /// Route a received message to the right handler.
+    fn handle_msg(&mut self, t: Cycle, m: Msg) {
+        use MsgKind::*;
+        match m.kind {
+            // Directory side (home node).
+            ReadReq { .. } | WriteReq { .. } | WriteThrough { .. } | WriteBack { .. }
+            | EvictNotify { .. } | InvAck { .. } | NoticeAck { .. } | CopyBack { .. }
+            | ForwardNack { .. } => self.handle_at_home(t, m),
+            // Cache side (requester / third party).
+            ReadReply { .. } | WriteReply { .. } | WriteAck { .. } | WriteThroughAck { .. }
+            | WriteBackAck { .. } | Invalidate { .. } | WriteNotice { .. } | Forward { .. }
+            | OwnerData { .. } => self.handle_at_cache(t, m),
+            // Synchronization.
+            LockAcq { .. } | LockGrant { .. } | LockRel { .. } | BarrierArrive { .. }
+            | BarrierRelease { .. } => self.handle_sync_msg(t, m),
+        }
+    }
+
+    /// Human-readable machine dump for panic diagnostics.
+    fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "protocol={} t={}", self.protocol, self.queue.now());
+        for (p, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  P{p}: {:?} wb={} cb={} out={} pend_inv={} delayed={} wt={} wbk={}",
+                n.status,
+                n.wb.len(),
+                n.cb.len(),
+                n.outstanding.len(),
+                n.pending_invals.len(),
+                n.delayed_writes.len(),
+                n.wt_unacked,
+                n.wbk_unacked,
+            );
+            for (l, o) in &n.outstanding {
+                let _ = writeln!(s, "    out line {l}: {o:?}");
+            }
+        }
+        for (l, q) in &self.parked {
+            let e = self.dir.get(l);
+            let _ = writeln!(
+                s,
+                "  parked line {l}: {} msgs {:?}; dir busy={:?} pending={:?} sharers={:b} writers={:b}",
+                q.len(),
+                q.iter().map(|(m, _)| (m.src, m.kind)).collect::<Vec<_>>(),
+                e.map(|e| e.busy),
+                e.map(|e| e.pending.is_some()),
+                e.map_or(0, |e| e.sharers()),
+                e.map_or(0, |e| e.writers()),
+            );
+        }
+        let mut pend: Vec<_> = self.dir.iter().filter(|(_, e)| e.pending.is_some()).collect();
+        pend.sort_by_key(|(l, _)| **l);
+        for (l, e) in pend {
+            let _ = writeln!(
+                s,
+                "  dir line {l}: state={:?} sharers={:b} writers={:b} pending={:?}",
+                e.state(),
+                e.sharers(),
+                e.writers(),
+                e.pending
+            );
+        }
+        s
+    }
+
+    /// Bitmask of every node in the machine.
+    #[inline]
+    pub(crate) fn all_nodes_mask(&self) -> u64 {
+        if self.cfg.num_procs == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.num_procs) - 1
+        }
+    }
+
+    /// Apply the limited-pointer overflow rule to `line`'s entry after a
+    /// sharer/writer was added (no-op for full-map directories).
+    pub(crate) fn apply_pointer_limit(&mut self, line: LineAddr) {
+        if let Some(k) = self.cfg.dir_pointers {
+            if let Some(e) = self.dir.get_mut(&line.0) {
+                if e.sharer_count() as usize > k {
+                    e.overflow = true;
+                }
+            }
+        }
+    }
+
+    /// Immutable view of a directory entry (tests / invariant checks).
+    pub fn dir_entry(&self, line: LineAddr) -> Option<&DirEntry> {
+        self.dir.get(&line.0)
+    }
+
+    /// Local cache permission of `line` at node `p` (tests / debugging).
+    pub fn cache_state(&self, p: ProcId, line: LineAddr) -> lrc_mem::LineState {
+        self.nodes[p].cache.state(line)
+    }
+
+    /// Lines queued for invalidation at `p`'s next acquire (lazy protocols).
+    pub fn pending_invals(&self, p: ProcId) -> Vec<LineAddr> {
+        self.nodes[p].pending_invals.iter().map(|&l| LineAddr(l)).collect()
+    }
+}
+
+/// Placeholder workload used before `run` installs the real one.
+struct NullWorkload;
+
+impl Workload for NullWorkload {
+    fn name(&self) -> &str {
+        "null"
+    }
+    fn num_procs(&self) -> usize {
+        0
+    }
+    fn addr_space(&self) -> u64 {
+        0
+    }
+    fn next_op(&mut self, _proc: ProcId) -> lrc_sim::Op {
+        lrc_sim::Op::Done
+    }
+}

@@ -1,0 +1,180 @@
+//! Synchronization services: message-based queued locks and a counter
+//! barrier, served by the protocol processor at each primitive's home node.
+//!
+//! Locks are acquire points and unlocks are release points in the RC sense;
+//! barriers act as a release (on arrival) plus an acquire (on departure).
+//! The managers here are pure state machines — the machine layer charges
+//! protocol-processor time and sends the messages they prescribe.
+
+use lrc_sim::{BarrierId, LockId, NodeId};
+use std::collections::{HashMap, VecDeque};
+
+/// State of all locks homed at one node (keyed by lock id).
+#[derive(Debug, Default)]
+pub struct LockManager {
+    locks: HashMap<LockId, LockState>,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+/// What the home should do in response to a lock message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockAction {
+    /// Send a grant to this node.
+    Grant(NodeId),
+    /// Nothing to send (requester queued, or lock simply freed).
+    None,
+}
+
+impl LockManager {
+    /// Fresh manager with no locks held.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// A node requests the lock. Returns `Grant(node)` if it is free.
+    pub fn acquire(&mut self, lock: LockId, node: NodeId) -> LockAction {
+        let st = self.locks.entry(lock).or_default();
+        match st.holder {
+            None => {
+                st.holder = Some(node);
+                LockAction::Grant(node)
+            }
+            Some(_) => {
+                st.queue.push_back(node);
+                LockAction::None
+            }
+        }
+    }
+
+    /// The holder releases the lock. Returns a grant for the next waiter,
+    /// if any.
+    pub fn release(&mut self, lock: LockId, node: NodeId) -> LockAction {
+        let st = self.locks.entry(lock).or_default();
+        debug_assert_eq!(st.holder, Some(node), "release by non-holder");
+        match st.queue.pop_front() {
+            Some(next) => {
+                st.holder = Some(next);
+                LockAction::Grant(next)
+            }
+            None => {
+                st.holder = None;
+                LockAction::None
+            }
+        }
+    }
+
+    /// Current holder of `lock` (tests / diagnostics).
+    pub fn holder(&self, lock: LockId) -> Option<NodeId> {
+        self.locks.get(&lock).and_then(|s| s.holder)
+    }
+
+    /// Number of nodes queued on `lock`.
+    pub fn queue_len(&self, lock: LockId) -> usize {
+        self.locks.get(&lock).map_or(0, |s| s.queue.len())
+    }
+}
+
+/// State of all barriers homed at one node.
+#[derive(Debug, Default)]
+pub struct BarrierManager {
+    barriers: HashMap<BarrierId, BarrierState>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: Vec<NodeId>,
+}
+
+impl BarrierManager {
+    /// Fresh manager.
+    pub fn new() -> Self {
+        BarrierManager::default()
+    }
+
+    /// A node arrives at `bar`, which completes when `expected` nodes have
+    /// arrived. Returns the full arrival list (to broadcast the release to)
+    /// when this arrival is the last one.
+    pub fn arrive(&mut self, bar: BarrierId, node: NodeId, expected: usize) -> Option<Vec<NodeId>> {
+        let st = self.barriers.entry(bar).or_default();
+        debug_assert!(!st.arrived.contains(&node), "double arrival at barrier");
+        st.arrived.push(node);
+        if st.arrived.len() == expected {
+            // Reset for reuse: workloads re-enter the same barrier id each
+            // phase.
+            Some(std::mem::take(&mut st.arrived))
+        } else {
+            None
+        }
+    }
+
+    /// How many nodes are currently waiting at `bar`.
+    pub fn waiting(&self, bar: BarrierId) -> usize {
+        self.barriers.get(&bar).map_or(0, |s| s.arrived.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_lock_grants_immediately() {
+        let mut m = LockManager::new();
+        assert_eq!(m.acquire(0, 3), LockAction::Grant(3));
+        assert_eq!(m.holder(0), Some(3));
+    }
+
+    #[test]
+    fn contended_lock_queues_fifo() {
+        let mut m = LockManager::new();
+        m.acquire(0, 1);
+        assert_eq!(m.acquire(0, 2), LockAction::None);
+        assert_eq!(m.acquire(0, 3), LockAction::None);
+        assert_eq!(m.queue_len(0), 2);
+        assert_eq!(m.release(0, 1), LockAction::Grant(2));
+        assert_eq!(m.release(0, 2), LockAction::Grant(3));
+        assert_eq!(m.release(0, 3), LockAction::None);
+        assert_eq!(m.holder(0), None);
+    }
+
+    #[test]
+    fn independent_locks_do_not_interfere() {
+        let mut m = LockManager::new();
+        assert_eq!(m.acquire(0, 1), LockAction::Grant(1));
+        assert_eq!(m.acquire(1, 2), LockAction::Grant(2));
+        assert_eq!(m.holder(0), Some(1));
+        assert_eq!(m.holder(1), Some(2));
+    }
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut b = BarrierManager::new();
+        assert_eq!(b.arrive(0, 0, 3), None);
+        assert_eq!(b.arrive(0, 1, 3), None);
+        assert_eq!(b.waiting(0), 2);
+        let released = b.arrive(0, 2, 3).unwrap();
+        assert_eq!(released.len(), 3);
+        assert!(released.contains(&0) && released.contains(&1) && released.contains(&2));
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let mut b = BarrierManager::new();
+        for round in 0..5 {
+            assert_eq!(b.arrive(7, 0, 2), None, "round {round}");
+            assert!(b.arrive(7, 1, 2).is_some(), "round {round}");
+            assert_eq!(b.waiting(7), 0);
+        }
+    }
+
+    #[test]
+    fn single_proc_barrier_releases_instantly() {
+        let mut b = BarrierManager::new();
+        assert_eq!(b.arrive(0, 0, 1), Some(vec![0]));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the directory state machine (paper Figure 1).
+
+use lrc_core::{DirEntry, DirState};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    AddSharer(usize),
+    AddWriter(usize),
+    Remove(usize),
+    Demote(usize),
+    RemoveAllExcept(usize),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64).prop_map(Op::AddSharer),
+        (0usize..64).prop_map(Op::AddWriter),
+        (0usize..64).prop_map(Op::Remove),
+        (0usize..64).prop_map(Op::Demote),
+        (0usize..64).prop_map(Op::RemoveAllExcept),
+    ]
+}
+
+proptest! {
+    /// Structural invariants hold after any operation sequence: writers and
+    /// notified are subsets of sharers, counters equal popcounts, and the
+    /// derived state matches the paper's definition.
+    #[test]
+    fn directory_invariants(ops in prop::collection::vec(op(), 0..300)) {
+        let mut e = DirEntry::new();
+        for o in ops {
+            match o {
+                Op::AddSharer(n) => e.add_sharer(n),
+                Op::AddWriter(n) => e.add_writer(n),
+                Op::Remove(n) => e.remove(n),
+                Op::Demote(n) => e.demote_writer(n),
+                Op::RemoveAllExcept(n) => {
+                    e.remove_all_except(n);
+                }
+            }
+            prop_assert_eq!(e.writers() & !e.sharers(), 0);
+            prop_assert_eq!(e.notified() & !e.sharers(), 0);
+            prop_assert_eq!(e.sharer_count(), e.sharers().count_ones());
+            prop_assert_eq!(e.writer_count(), e.writers().count_ones());
+            let expected = if e.sharer_count() == 0 {
+                DirState::Uncached
+            } else if e.writer_count() == 0 {
+                DirState::Shared
+            } else if e.sharer_count() == 1 {
+                DirState::Dirty
+            } else {
+                DirState::Weak
+            };
+            prop_assert_eq!(e.state(), expected);
+            // Dirty always has a well-defined owner; other states never do.
+            prop_assert_eq!(e.dirty_owner().is_some(), e.state() == DirState::Dirty);
+        }
+    }
+
+    /// `unnotified_others` never includes the requester or already-notified
+    /// sharers, and marking everyone notified empties it.
+    #[test]
+    fn notice_targets_are_sound(
+        sharers in prop::collection::vec(0usize..64, 1..10),
+        requester in 0usize..64,
+    ) {
+        let mut e = DirEntry::new();
+        for &s in &sharers {
+            e.add_sharer(s);
+        }
+        e.add_writer(requester);
+        let targets = e.unnotified_others(requester);
+        prop_assert_eq!(targets & (1 << requester), 0);
+        prop_assert_eq!(targets & !e.sharers(), 0);
+        for n in lrc_core::nodes_in(targets) {
+            e.mark_notified(n);
+        }
+        prop_assert_eq!(e.unnotified_others(requester), 0);
+    }
+}

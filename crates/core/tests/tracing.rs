@@ -1,0 +1,87 @@
+//! Tests for the structured protocol trace.
+
+use lrc_core::{Machine, MsgKind};
+use lrc_sim::{MachineConfig, Op, Protocol, Script};
+
+fn addr(line: u64, word: u64) -> u64 {
+    line * 128 + word * 4
+}
+
+#[test]
+fn trace_records_the_weak_transition_story() {
+    let w = Script::new(
+        "t",
+        vec![
+            vec![Op::Compute(400), Op::Write(addr(0, 0)), Op::Compute(2000)],
+            vec![Op::Read(addr(0, 4)), Op::Compute(3000)],
+        ],
+    );
+    let m = Machine::new(MachineConfig::paper_default(2), Protocol::Lrc)
+        .with_max_cycles(10_000_000)
+        .with_trace(Some(0), 1024);
+    let (_, m) = m.run_keep(Box::new(w));
+    let trace = m.trace();
+    assert!(!trace.is_empty());
+    // The story must contain, in order: P1's read request, P0's write
+    // request, and a write notice to P1.
+    let kinds: Vec<&MsgKind> = trace.iter().map(|e| &e.kind).collect();
+    let read_pos = kinds.iter().position(|k| matches!(k, MsgKind::ReadReq { .. }));
+    let write_pos = kinds.iter().position(|k| matches!(k, MsgKind::WriteReq { .. }));
+    let notice_pos = kinds.iter().position(|k| matches!(k, MsgKind::WriteNotice { .. }));
+    assert!(read_pos.is_some(), "{kinds:?}");
+    assert!(write_pos.is_some(), "{kinds:?}");
+    let notice = notice_pos.expect("weak transition sends a notice");
+    assert!(notice > write_pos.unwrap(), "notice follows the write request");
+    // The notice goes to the reader.
+    let notice_ev = &trace[notice];
+    assert_eq!(notice_ev.dst, 1);
+    // Timestamps are nondecreasing... per send order they may interleave
+    // across nodes; at minimum the first event is not after the last.
+    assert!(trace.first().unwrap().at <= trace.last().unwrap().at);
+}
+
+#[test]
+fn trace_filter_restricts_to_one_line() {
+    let w = Script::new(
+        "t",
+        vec![
+            vec![
+                Op::Read(addr(0, 0)),
+                Op::Read(addr(1, 0)),
+                Op::Read(addr(2, 0)),
+            ],
+            vec![],
+        ],
+    );
+    let m = Machine::new(MachineConfig::paper_default(2), Protocol::Erc)
+        .with_max_cycles(10_000_000)
+        .with_trace(Some(1), 1024);
+    let (_, m) = m.run_keep(Box::new(w));
+    for ev in m.trace() {
+        assert_eq!(ev.kind.line(), Some(lrc_sim::LineAddr(1)), "{ev:?}");
+    }
+    assert!(!m.trace().is_empty());
+}
+
+#[test]
+fn trace_cap_is_a_ring_buffer() {
+    let ops: Vec<Op> = (0..64).map(|l| Op::Read(addr(l, 0))).collect();
+    let w = Script::new("t", vec![ops, vec![]]);
+    let m = Machine::new(MachineConfig::paper_default(2), Protocol::Erc)
+        .with_max_cycles(10_000_000)
+        .with_trace(None, 8);
+    let (_, m) = m.run_keep(Box::new(w));
+    let trace = m.trace();
+    assert_eq!(trace.len(), 8, "capped at 8");
+    // Kept the most recent events: the last traced line is a late one.
+    assert!(trace.last().unwrap().at >= trace.first().unwrap().at);
+}
+
+#[test]
+fn tracing_off_returns_empty() {
+    let w = Script::new("t", vec![vec![Op::Read(0)]]);
+    let (_, m) = Machine::new(MachineConfig::paper_default(1), Protocol::Sc)
+        .with_max_cycles(10_000_000)
+        .run_keep(Box::new(w));
+    assert!(m.trace().is_empty());
+}

@@ -1,0 +1,226 @@
+//! Ablation studies over the design choices DESIGN.md calls out, plus the
+//! paper's fence-insertion suggestion.
+//!
+//! These go beyond the paper's published artifacts: they vary the machine
+//! parameters the paper fixed (write-buffer depth, coalescing-buffer size
+//! and drain window, protocol-processor costs) and exercise the two
+//! programmatic remedies the paper discusses for racy/false-sharing code —
+//! periodic fences (Section 4.2) and record padding (Section 5).
+
+use crate::report::{ratio, Report, Table};
+use crate::experiments::Params;
+use lrc_core::{Machine, RunResult};
+use lrc_sim::{MachineConfig, Protocol, Workload};
+use lrc_workloads::{mp3d, Fenced, WorkloadKind};
+use serde_json::json;
+
+fn run_custom(cfg: MachineConfig, proto: Protocol, w: Box<dyn Workload>) -> RunResult {
+    Machine::new(cfg, proto)
+        .with_max_cycles(200_000_000_000)
+        .run(w)
+}
+
+/// The `ablate` experiment: one table per design knob.
+pub fn ablate(p: Params) -> Report {
+    let mut text = String::new();
+    let mut sections = Vec::new();
+
+    // 1. Write-buffer depth (eager RC): how much write latency can 1..16
+    //    entries hide?
+    {
+        let mut t = Table::new(vec!["WB entries", "fft cycles", "vs 4-entry"]);
+        let base = {
+            let cfg = MachineConfig::paper_default(p.procs);
+            run_custom(cfg, Protocol::Erc, WorkloadKind::Fft.build(p.procs, p.scale))
+                .stats
+                .total_cycles
+        };
+        let mut rows = Vec::new();
+        for depth in [1usize, 2, 4, 8, 16] {
+            let mut cfg = MachineConfig::paper_default(p.procs);
+            cfg.write_buffer_entries = depth;
+            let c = run_custom(cfg, Protocol::Erc, WorkloadKind::Fft.build(p.procs, p.scale))
+                .stats
+                .total_cycles;
+            t.row(vec![depth.to_string(), c.to_string(), ratio(c as f64 / base as f64)]);
+            rows.push(json!({ "depth": depth, "cycles": c }));
+        }
+        text.push_str("-- write-buffer depth (eager, fft) --\n");
+        text.push_str(&t.render());
+        text.push('\n');
+        sections.push(json!({ "knob": "write_buffer_entries", "rows": rows }));
+    }
+
+    // 2. Coalescing-buffer size (lazy RC): the write-through traffic damper.
+    {
+        let mut t = Table::new(vec!["CB entries", "gauss cycles", "WT msgs"]);
+        let mut rows = Vec::new();
+        for entries in [4usize, 16, 64] {
+            let mut cfg = MachineConfig::paper_default(p.procs);
+            cfg.coalescing_buffer_entries = entries;
+            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Gauss.build(p.procs, p.scale));
+            t.row(vec![
+                entries.to_string(),
+                r.stats.total_cycles.to_string(),
+                r.stats.aggregate_traffic().write_data_msgs.to_string(),
+            ]);
+            rows.push(json!({
+                "entries": entries,
+                "cycles": r.stats.total_cycles,
+                "wt_msgs": r.stats.aggregate_traffic().write_data_msgs,
+            }));
+        }
+        text.push_str("-- coalescing-buffer size (lazy, gauss) --\n");
+        text.push_str(&t.render());
+        text.push('\n');
+        sections.push(json!({ "knob": "coalescing_buffer_entries", "rows": rows }));
+    }
+
+    // 3. Coalescing window (background drain delay).
+    {
+        let mut t = Table::new(vec!["drain delay", "mp3d cycles", "WT msgs"]);
+        let mut rows = Vec::new();
+        for delay in [25u64, 100, 400] {
+            let mut cfg = MachineConfig::paper_default(p.procs);
+            cfg.cb_flush_delay = delay;
+            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Mp3d.build(p.procs, p.scale));
+            t.row(vec![
+                delay.to_string(),
+                r.stats.total_cycles.to_string(),
+                r.stats.aggregate_traffic().write_data_msgs.to_string(),
+            ]);
+            rows.push(json!({
+                "delay": delay,
+                "cycles": r.stats.total_cycles,
+                "wt_msgs": r.stats.aggregate_traffic().write_data_msgs,
+            }));
+        }
+        text.push_str("-- coalescing window (lazy, mp3d) --\n");
+        text.push_str(&t.render());
+        text.push('\n');
+        sections.push(json!({ "knob": "cb_flush_delay", "rows": rows }));
+    }
+
+    // 4. Lazy directory-access cost: Table 1 charges the lazy directory 25
+    //    cycles vs 15 eager; the paper claims it hides behind memory.
+    {
+        let mut t = Table::new(vec!["lazy dir cost", "mp3d cycles"]);
+        let mut rows = Vec::new();
+        for cost in [15u64, 25, 50, 100] {
+            let mut cfg = MachineConfig::paper_default(p.procs);
+            cfg.dir_cost_lazy = cost;
+            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Mp3d.build(p.procs, p.scale));
+            t.row(vec![cost.to_string(), r.stats.total_cycles.to_string()]);
+            rows.push(json!({ "cost": cost, "cycles": r.stats.total_cycles }));
+        }
+        text.push_str("-- lazy directory access cost (mp3d) --\n");
+        text.push_str(&t.render());
+        text.push('\n');
+        sections.push(json!({ "knob": "dir_cost_lazy", "rows": rows }));
+    }
+
+    // 5. Directory organization: full-map vs limited pointers with
+    //    broadcast fallback (the organization trade the era's machines
+    //    debated; Table 1's costs assume a full map at 64 nodes).
+    {
+        let mut t = Table::new(vec!["directory", "mp3d cycles", "control msgs"]);
+        let mut rows = Vec::new();
+        for (label, ptrs) in [("full-map", None), ("8 pointers", Some(8usize)), ("2 pointers", Some(2)), ("1 pointer", Some(1))] {
+            let mut cfg = MachineConfig::paper_default(p.procs);
+            cfg.dir_pointers = ptrs;
+            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Mp3d.build(p.procs, p.scale));
+            t.row(vec![
+                label.to_string(),
+                r.stats.total_cycles.to_string(),
+                r.stats.aggregate_traffic().control_msgs.to_string(),
+            ]);
+            rows.push(json!({
+                "directory": label,
+                "cycles": r.stats.total_cycles,
+                "control_msgs": r.stats.aggregate_traffic().control_msgs,
+            }));
+        }
+        text.push_str("-- directory organization (lazy, mp3d) --\n");
+        text.push_str(&t.render());
+        text.push('\n');
+        sections.push(json!({ "knob": "dir_pointers", "rows": rows }));
+    }
+
+    // 6. Record padding (the Section-5 compiler remedy): padded mp3d kills
+    //    the particle-array false sharing; the lazy advantage should shrink.
+    {
+        let mut t = Table::new(vec!["layout", "eager cycles", "lazy cycles", "lazy/eager"]);
+        let mut rows = Vec::new();
+        for (label, padded) in [("packed (4/line)", false), ("padded (1/line)", true)] {
+            let build = |_: ()| -> Box<dyn Workload> {
+                if padded {
+                    Box::new(mp3d::build_padded(p.procs, p.scale))
+                } else {
+                    Box::new(mp3d::build(p.procs, p.scale))
+                }
+            };
+            let e = run_custom(MachineConfig::paper_default(p.procs), Protocol::Erc, build(()))
+                .stats
+                .total_cycles;
+            let l = run_custom(MachineConfig::paper_default(p.procs), Protocol::Lrc, build(()))
+                .stats
+                .total_cycles;
+            t.row(vec![
+                label.to_string(),
+                e.to_string(),
+                l.to_string(),
+                ratio(l as f64 / e as f64),
+            ]);
+            rows.push(json!({ "layout": label, "eager": e, "lazy": l }));
+        }
+        text.push_str("-- particle-record padding (mp3d) --\n");
+        text.push_str(&t.render());
+        sections.push(json!({ "knob": "padding", "rows": rows }));
+    }
+
+    Report {
+        id: "ablate".into(),
+        title: "Ablations over the machine's design knobs".into(),
+        text,
+        json: json!({ "sections": sections, "scale": p.scale.name(), "procs": p.procs }),
+    }
+}
+
+/// The `fences` experiment: Section 4.2's remedy for data-race programs —
+/// periodic fences force the lazy protocol to apply invalidations at
+/// bounded intervals, trading performance for freshness.
+pub fn fences(p: Params) -> Report {
+    let apps = [WorkloadKind::Mp3d, WorkloadKind::Locusroute];
+    let mut t = Table::new(vec![
+        "app",
+        "eager",
+        "lazy (no fence)",
+        "fence/1000",
+        "fence/200",
+        "fence/50",
+    ]);
+    let mut rows = Vec::new();
+    for kind in apps {
+        let cfg = || MachineConfig::paper_default(p.procs);
+        let eager =
+            run_custom(cfg(), Protocol::Erc, kind.build(p.procs, p.scale)).stats.total_cycles;
+        let lazy =
+            run_custom(cfg(), Protocol::Lrc, kind.build(p.procs, p.scale)).stats.total_cycles;
+        let mut cells = vec![kind.name().to_string(), eager.to_string(), lazy.to_string()];
+        let mut fr = vec![];
+        for interval in [1000u64, 200, 50] {
+            let w = Fenced::new(kind.build(p.procs, p.scale), interval);
+            let c = run_custom(cfg(), Protocol::Lrc, Box::new(w)).stats.total_cycles;
+            cells.push(c.to_string());
+            fr.push(json!({ "interval": interval, "cycles": c }));
+        }
+        t.row(cells);
+        rows.push(json!({ "app": kind.name(), "eager": eager, "lazy": lazy, "fenced": fr }));
+    }
+    Report {
+        id: "fences".into(),
+        title: "Fence insertion for data-race programs (Section 4.2 remedy)".into(),
+        text: t.render(),
+        json: json!({ "rows": rows, "scale": p.scale.name(), "procs": p.procs }),
+    }
+}

@@ -1,0 +1,41 @@
+//! `diag` — one-line-per-protocol diagnostic summary for a single
+//! workload: cycle counts, overhead buckets, miss counters, protocol event
+//! counters, traffic, and peak resource utilization.
+//!
+//! ```sh
+//! cargo run --release -p lrc-exp --bin diag -- <app> [scale] [procs]
+//! ```
+
+use lrc_exp::{execute, RunSpec};
+use lrc_sim::Protocol;
+use lrc_workloads::{Scale, WorkloadKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = WorkloadKind::parse(&args[0]).unwrap();
+    let scale = Scale::parse(args.get(1).map(|s| s.as_str()).unwrap_or("small")).unwrap();
+    let procs: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(64);
+    for proto in [Protocol::Sc, Protocol::Erc, Protocol::Lrc, Protocol::LrcExt] {
+        let r = execute(&RunSpec::new(proto, kind, scale, procs));
+        let s = &r.stats;
+        let rm: u64 = s.procs.iter().map(|p| p.read_misses).sum();
+        let wm: u64 = s.procs.iter().map(|p| p.write_misses).sum();
+        let up: u64 = s.procs.iter().map(|p| p.upgrades).sum();
+        let rd: u64 = s.procs.iter().map(|p| p.breakdown.read).sum();
+        let sy: u64 = s.procs.iter().map(|p| p.breakdown.sync).sum();
+        let wr: u64 = s.procs.iter().map(|p| p.breakdown.write).sum();
+        let cp: u64 = s.procs.iter().map(|p| p.breakdown.cpu).sum();
+        let th: u64 = s.procs.iter().map(|p| p.three_hop).sum();
+        let ai: u64 = s.procs.iter().map(|p| p.acquire_invalidations).sum();
+        let ei: u64 = s.procs.iter().map(|p| p.eager_invalidations).sum();
+        let nt: u64 = s.procs.iter().map(|p| p.notices_received).sum();
+        let tr = s.aggregate_traffic();
+        let ppmax = s.procs.iter().map(|p| p.pp_busy).max().unwrap_or(0);
+        let memmax = s.procs.iter().map(|p| p.mem_busy).max().unwrap_or(0);
+        println!("{:<9} cyc={:<9} cpu={:<9} rd={:<10} wr={:<9} sy={:<10} rm={:<8} wm={:<7} up={:<8} 3hop={:<6} aInv={:<7} eInv={:<7} notices={:<7} rd/miss={:<5.0} msgs={} bytes={} ppmax%={:.0} memmax%={:.0}",
+            proto.name(), s.total_cycles, cp, rd, wr, sy, rm, wm, up, th, ai, ei, nt,
+            rd as f64 / rm.max(1) as f64, tr.total_msgs(), tr.bytes,
+            100.0 * ppmax as f64 / s.total_cycles.max(1) as f64,
+            100.0 * memmax as f64 / s.total_cycles.max(1) as f64);
+    }
+}

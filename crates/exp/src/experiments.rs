@@ -1,0 +1,625 @@
+//! The experiment catalogue: one function per table/figure of the paper.
+//!
+//! Each function assembles the runs it needs (through the memoizing
+//! [`Runner`], so shared combinations are simulated once), renders a
+//! paper-style text table with the published numbers alongside, and
+//! returns a machine-readable [`Report`].
+
+use crate::paper_ref;
+use crate::report::{bar, miss_pct, ratio, Report, Table};
+use crate::runner::{Runner, RunSpec};
+use lrc_core::RunResult;
+use lrc_sim::{table1_rows, MachineConfig, MissClass, Protocol};
+use lrc_workloads::{quality_experiment, Scale, WorkloadKind};
+use serde_json::json;
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Input scale for every workload.
+    pub scale: Scale,
+    /// Processor count (the paper: 64).
+    pub procs: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { scale: Scale::Small, procs: 64 }
+    }
+}
+
+fn spec(p: Params, proto: Protocol, w: WorkloadKind) -> RunSpec {
+    RunSpec::new(proto, w, p.scale, p.procs)
+}
+
+fn future_spec(p: Params, proto: Protocol, w: WorkloadKind) -> RunSpec {
+    let mut s = RunSpec::new(proto, w, p.scale, p.procs);
+    s.config = Some(MachineConfig::future_machine(p.procs));
+    s
+}
+
+/// Table 1: the default system parameters.
+pub fn table1(_r: &Runner, p: Params) -> Report {
+    let cfg = MachineConfig::paper_default(p.procs);
+    let mut t = Table::new(vec!["System Constant Name", "Default Value"]);
+    for (k, v) in table1_rows(&cfg) {
+        t.row(vec![k, v]);
+    }
+    Report {
+        id: "table1".into(),
+        title: "Default values for system parameters".into(),
+        text: t.render(),
+        json: serde_json::to_value(&cfg).expect("config serializes"),
+    }
+}
+
+/// Table 2 (paper Figure 2): classification of misses under eager release
+/// consistency. Paper values in parentheses.
+pub fn table2(r: &Runner, p: Params) -> Report {
+    let specs: Vec<RunSpec> = WorkloadKind::ALL
+        .iter()
+        .map(|&w| {
+            let mut s = spec(p, Protocol::Erc, w);
+            s.classify = true;
+            s
+        })
+        .collect();
+    let results = r.run_all(&specs);
+
+    let mut t = Table::new(vec!["Application", "Cold", "True", "False", "Eviction", "Write"]);
+    let mut rows = Vec::new();
+    for (res, w) in results.iter().zip(WorkloadKind::ALL) {
+        let m = res.stats.aggregate_misses();
+        let paper = paper_ref::table2_row(w.name()).expect("paper row");
+        let classes = [
+            MissClass::Cold,
+            MissClass::TrueShare,
+            MissClass::FalseShare,
+            MissClass::Eviction,
+            MissClass::Upgrade,
+        ];
+        let mut cells = vec![w.paper_name().to_string()];
+        let mut jrow = vec![];
+        for (i, c) in classes.iter().enumerate() {
+            let v = m.percent(*c);
+            cells.push(format!("{:.1}% ({:.1}%)", v, paper[i]));
+            jrow.push(v);
+        }
+        t.row(cells);
+        rows.push(json!({ "app": w.name(), "measured": jrow, "paper": paper }));
+    }
+    Report {
+        id: "table2".into(),
+        title: "Classification of misses under eager release consistency — measured (paper)"
+            .into(),
+        text: t.render(),
+        json: json!({ "rows": rows, "scale": p.scale.name(), "procs": p.procs }),
+    }
+}
+
+/// Table 3 (paper Figure 3): miss rates under the three RC implementations.
+pub fn table3(r: &Runner, p: Params) -> Report {
+    let protos = [Protocol::Erc, Protocol::Lrc, Protocol::LrcExt];
+    let specs: Vec<RunSpec> = WorkloadKind::ALL
+        .iter()
+        .flat_map(|&w| protos.iter().map(move |&proto| spec(p, proto, w)))
+        .collect();
+    let results = r.run_all(&specs);
+
+    let mut t = Table::new(vec!["Application", "Eager", "Lazy", "Lazy-ext"]);
+    let mut rows = Vec::new();
+    for (i, w) in WorkloadKind::ALL.iter().enumerate() {
+        let paper = paper_ref::table3_row(w.name()).expect("paper row");
+        let mut cells = vec![w.paper_name().to_string()];
+        let mut measured = vec![];
+        for j in 0..3 {
+            let res = &results[i * 3 + j];
+            let v = res.stats.miss_rate();
+            cells.push(format!("{} ({:.2}%)", miss_pct(v), paper[j]));
+            measured.push(100.0 * v);
+        }
+        t.row(cells);
+        rows.push(json!({ "app": w.name(), "measured": measured, "paper": paper }));
+    }
+    Report {
+        id: "table3".into(),
+        title: "Miss rates for the implementations of release consistency — measured (paper)"
+            .into(),
+        text: t.render(),
+        json: json!({ "rows": rows, "scale": p.scale.name(), "procs": p.procs }),
+    }
+}
+
+/// Normalized execution times for a set of protocols against the SC run on
+/// the same machine config. Shared by figs 4, 6, and 8.
+fn exec_time_report(
+    r: &Runner,
+    p: Params,
+    id: &str,
+    title: &str,
+    protos: &[Protocol],
+    future: bool,
+    paper_gain: &[(&str, f64)],
+) -> Report {
+    let mk = |proto: Protocol, w: WorkloadKind| {
+        if future {
+            future_spec(p, proto, w)
+        } else {
+            spec(p, proto, w)
+        }
+    };
+    let mut all = vec![];
+    for &w in &WorkloadKind::ALL {
+        all.push(mk(Protocol::Sc, w));
+        for &proto in protos {
+            all.push(mk(proto, w));
+        }
+    }
+    let results = r.run_all(&all);
+
+    let mut headers = vec!["Application".to_string()];
+    headers.extend(protos.iter().map(|pr| format!("{pr} (norm)")));
+    headers.push("lazy vs eager (paper)".into());
+    let mut t = Table::new(headers);
+    let mut rows = Vec::new();
+    let stride = protos.len() + 1;
+    for (i, w) in WorkloadKind::ALL.iter().enumerate() {
+        let sc = &results[i * stride];
+        let sc_cycles = sc.stats.total_cycles.max(1);
+        let mut cells = vec![w.paper_name().to_string()];
+        let mut norms = vec![];
+        for j in 0..protos.len() {
+            let res: &RunResult = &results[i * stride + 1 + j];
+            let norm = res.stats.total_cycles as f64 / sc_cycles as f64;
+            cells.push(ratio(norm));
+            norms.push(norm);
+        }
+        // lazy-vs-eager gain when both present.
+        let gain = match (protos.iter().position(|&x| x == Protocol::Lrc)
+            .or_else(|| protos.iter().position(|&x| x == Protocol::LrcExt)),
+            protos.iter().position(|&x| x == Protocol::Erc))
+        {
+            (Some(l), Some(e)) => {
+                let g = 100.0 * (1.0 - norms[l] / norms[e]);
+                let paper = paper_gain
+                    .iter()
+                    .find(|(n, _)| *n == w.name())
+                    .map(|(_, v)| *v)
+                    .unwrap_or(f64::NAN);
+                format!("{g:+.1}% ({paper:+.1}%)")
+            }
+            _ => "-".to_string(),
+        };
+        cells.push(gain.clone());
+        t.row(cells);
+        rows.push(json!({
+            "app": w.name(),
+            "sc_cycles": sc_cycles,
+            "protocols": protos.iter().map(|pr| pr.name()).collect::<Vec<_>>(),
+            "normalized": norms,
+        }));
+    }
+    // Figure-style bar chart: one bar per (app, protocol), normalized to
+    // the SC baseline marked with '|'.
+    let mut chart = String::new();
+    chart.push_str("\nnormalized execution time (| = sequentially consistent baseline):\n");
+    for row in &rows {
+        let app = row["app"].as_str().unwrap_or("?");
+        let norms = row["normalized"].as_array().cloned().unwrap_or_default();
+        for (j, pr) in protos.iter().enumerate() {
+            let v = norms.get(j).and_then(|x| x.as_f64()).unwrap_or(0.0);
+            chart.push_str(&format!("{:>11} {:>9} {} {:.2}\n", app, pr.name(), bar(v, 40), v));
+        }
+    }
+    Report {
+        id: id.into(),
+        title: title.into(),
+        text: format!("{}{}", t.render(), chart),
+        json: json!({ "rows": rows, "scale": p.scale.name(), "procs": p.procs, "future": future }),
+    }
+}
+
+/// Overhead breakdowns (cpu/read/write/sync as a fraction of the SC run's
+/// aggregate cycles). Shared by figs 5, 7, and 9.
+fn overhead_report(
+    r: &Runner,
+    p: Params,
+    id: &str,
+    title: &str,
+    protos: &[Protocol],
+    future: bool,
+) -> Report {
+    let mk = |proto: Protocol, w: WorkloadKind| {
+        if future {
+            future_spec(p, proto, w)
+        } else {
+            spec(p, proto, w)
+        }
+    };
+    let mut all = vec![];
+    for &w in &WorkloadKind::ALL {
+        all.push(mk(Protocol::Sc, w));
+        for &proto in protos {
+            if proto != Protocol::Sc {
+                all.push(mk(proto, w));
+            }
+        }
+    }
+    let results = r.run_all(&all);
+
+    let mut t = Table::new(vec!["Application", "Protocol", "cpu", "read", "write", "sync", "total"]);
+    let mut rows = Vec::new();
+    let extra: Vec<Protocol> = protos.iter().copied().filter(|&x| x != Protocol::Sc).collect();
+    let stride = extra.len() + 1;
+    for (i, w) in WorkloadKind::ALL.iter().enumerate() {
+        let sc = &results[i * stride];
+        let sc_total = sc.stats.aggregate_breakdown().total().max(1);
+        let mut order: Vec<(&RunResult, Protocol)> = Vec::new();
+        for (j, &proto) in extra.iter().enumerate() {
+            order.push((&results[i * stride + 1 + j], proto));
+        }
+        if protos.contains(&Protocol::Sc) {
+            order.push((sc, Protocol::Sc));
+        }
+        for (res, proto) in order {
+            let b = res.stats.aggregate_breakdown();
+            let n = b.normalized(sc_total);
+            t.row(vec![
+                w.paper_name().to_string(),
+                proto.name().to_string(),
+                format!("{:.3}", n[0]),
+                format!("{:.3}", n[1]),
+                format!("{:.3}", n[2]),
+                format!("{:.3}", n[3]),
+                format!("{:.3}", n.iter().sum::<f64>()),
+            ]);
+            rows.push(json!({
+                "app": w.name(),
+                "protocol": proto.name(),
+                "cpu": n[0], "read": n[1], "write": n[2], "sync": n[3],
+            }));
+        }
+    }
+    Report {
+        id: id.into(),
+        title: title.into(),
+        text: t.render(),
+        json: json!({ "rows": rows, "scale": p.scale.name(), "procs": p.procs, "future": future }),
+    }
+}
+
+/// Figure 4: normalized execution time for lazy and eager RC.
+pub fn fig4(r: &Runner, p: Params) -> Report {
+    exec_time_report(
+        r,
+        p,
+        "fig4",
+        "Normalized execution time for lazy-release and eager-release consistency",
+        &[Protocol::Erc, Protocol::Lrc],
+        false,
+        &paper_ref::FIG4_LAZY_VS_EAGER_PCT,
+    )
+}
+
+/// Figure 5: overhead analysis for lazy, eager, and sequential consistency.
+pub fn fig5(r: &Runner, p: Params) -> Report {
+    overhead_report(
+        r,
+        p,
+        "fig5",
+        "Overhead analysis for lazy-release, eager-release, and sequential consistency",
+        &[Protocol::Lrc, Protocol::Erc, Protocol::Sc],
+        false,
+    )
+}
+
+/// Figure 6: normalized execution time for lazy and lazy-extended.
+pub fn fig6(r: &Runner, p: Params) -> Report {
+    exec_time_report(
+        r,
+        p,
+        "fig6",
+        "Normalized execution time for lazy and lazy-extended consistency",
+        &[Protocol::Lrc, Protocol::LrcExt],
+        false,
+        &[],
+    )
+}
+
+/// Figure 7: overhead analysis for lazy, lazy-extended, and SC.
+pub fn fig7(r: &Runner, p: Params) -> Report {
+    overhead_report(
+        r,
+        p,
+        "fig7",
+        "Overhead analysis for lazy, lazy-extended, and sequential consistency",
+        &[Protocol::Lrc, Protocol::LrcExt, Protocol::Sc],
+        false,
+    )
+}
+
+/// Figure 8: execution-time trends on the future machine.
+pub fn fig8(r: &Runner, p: Params) -> Report {
+    exec_time_report(
+        r,
+        p,
+        "fig8",
+        "Performance trends for lazy, lazier, and eager release consistency (future machine)",
+        &[Protocol::Erc, Protocol::Lrc, Protocol::LrcExt],
+        true,
+        &paper_ref::FIG8_LAZY_VS_EAGER_PCT,
+    )
+}
+
+/// Figure 9: overhead trends on the future machine.
+pub fn fig9(r: &Runner, p: Params) -> Report {
+    overhead_report(
+        r,
+        p,
+        "fig9",
+        "Performance trends overhead analysis (future machine)",
+        &[Protocol::Lrc, Protocol::LrcExt, Protocol::Erc, Protocol::Sc],
+        true,
+    )
+}
+
+/// Section 4.3 sweeps: latency, bandwidth, and line size.
+pub fn sweep(r: &Runner, p: Params) -> Report {
+    let apps = [WorkloadKind::Blu, WorkloadKind::Gauss, WorkloadKind::Mp3d];
+    // (label, mem_setup, bytes/cycle, line size)
+    let points: [(&str, u64, u64, usize); 6] = [
+        ("base (20cyc, 2B/c, 128B)", 20, 2, 128),
+        ("short lines (64B)", 20, 2, 64),
+        ("long lines (256B)", 20, 2, 256),
+        ("high latency (40cyc)", 40, 2, 128),
+        ("high bandwidth (4B/c)", 20, 4, 128),
+        ("future (40cyc, 4B/c, 256B)", 40, 4, 256),
+    ];
+    let mut specs = Vec::new();
+    for &(_, setup, bw, line) in &points {
+        for &w in &apps {
+            for proto in [Protocol::Erc, Protocol::Lrc] {
+                let mut cfg = MachineConfig::paper_default(p.procs);
+                cfg.mem_setup = setup;
+                cfg.mem_bytes_per_cycle = bw;
+                cfg.bus_bytes_per_cycle = bw;
+                cfg.net_bytes_per_cycle = bw;
+                cfg.line_size = line;
+                let mut s = RunSpec::new(proto, w, p.scale, p.procs);
+                s.config = Some(cfg);
+                specs.push(s);
+            }
+        }
+    }
+    let results = r.run_all(&specs);
+
+    let mut headers = vec!["Configuration".to_string()];
+    headers.extend(apps.iter().map(|w| format!("{} lazy/eager", w.name())));
+    let mut t = Table::new(headers);
+    let mut rows = Vec::new();
+    for (pi, &(label, ..)) in points.iter().enumerate() {
+        let mut cells = vec![label.to_string()];
+        let mut jr = vec![];
+        for ai in 0..apps.len() {
+            let base = pi * apps.len() * 2 + ai * 2;
+            let eager = results[base].stats.total_cycles as f64;
+            let lazy = results[base + 1].stats.total_cycles as f64;
+            cells.push(ratio(lazy / eager));
+            jr.push(lazy / eager);
+        }
+        t.row(cells);
+        rows.push(json!({ "config": label, "lazy_over_eager": jr }));
+    }
+    Report {
+        id: "sweep".into(),
+        title: "Sensitivity sweep (Section 4.3): lazy/eager execution-time ratio (< 1 = lazy wins)"
+            .into(),
+        text: t.render(),
+        json: json!({ "rows": rows, "apps": apps.iter().map(|w| w.name()).collect::<Vec<_>>() }),
+    }
+}
+
+/// Extension: per-protocol network traffic breakdown (the paper argues
+/// write-through with a coalescing buffer keeps lazy traffic near
+/// write-back levels — this table quantifies it).
+pub fn traffic(r: &Runner, p: Params) -> Report {
+    let protos = [Protocol::Sc, Protocol::Erc, Protocol::Lrc, Protocol::LrcExt];
+    let specs: Vec<RunSpec> = WorkloadKind::ALL
+        .iter()
+        .flat_map(|&w| protos.iter().map(move |&proto| spec(p, proto, w)))
+        .collect();
+    let results = r.run_all(&specs);
+
+    let mut t = Table::new(vec![
+        "Application",
+        "Protocol",
+        "ctrl msgs",
+        "data msgs",
+        "write msgs",
+        "MB on wire",
+        "vs eager",
+    ]);
+    let mut rows = Vec::new();
+    for (i, w) in WorkloadKind::ALL.iter().enumerate() {
+        let eager_bytes = results[i * 4 + 1].stats.aggregate_traffic().bytes.max(1);
+        for (j, proto) in protos.iter().enumerate() {
+            let tr = results[i * 4 + j].stats.aggregate_traffic();
+            t.row(vec![
+                w.paper_name().to_string(),
+                proto.name().to_string(),
+                tr.control_msgs.to_string(),
+                tr.data_msgs.to_string(),
+                tr.write_data_msgs.to_string(),
+                format!("{:.1}", tr.bytes as f64 / 1e6),
+                ratio(tr.bytes as f64 / eager_bytes as f64),
+            ]);
+            rows.push(json!({
+                "app": w.name(),
+                "protocol": proto.name(),
+                "control": tr.control_msgs,
+                "data": tr.data_msgs,
+                "write_data": tr.write_data_msgs,
+                "bytes": tr.bytes,
+            }));
+        }
+    }
+    Report {
+        id: "traffic".into(),
+        title: "Network traffic by message class (write-through vs write-back data volume)"
+            .into(),
+        text: t.render(),
+        json: json!({ "rows": rows, "scale": p.scale.name(), "procs": p.procs }),
+    }
+}
+
+/// Extension: machine-size scaling — how the protocol gaps evolve from 4
+/// to 64 processors (the paper reports 64 only).
+pub fn scaling(r: &Runner, p: Params) -> Report {
+    let apps = [WorkloadKind::Gauss, WorkloadKind::Mp3d];
+    let sizes = [4usize, 16, 64];
+    let mut specs = Vec::new();
+    for &procs in &sizes {
+        for &w in &apps {
+            for proto in [Protocol::Sc, Protocol::Erc, Protocol::Lrc] {
+                let mut s = RunSpec::new(proto, w, p.scale, procs);
+                s.config = Some(MachineConfig::paper_default(procs));
+                specs.push(s);
+            }
+        }
+    }
+    let results = r.run_all(&specs);
+
+    let mut t = Table::new(vec![
+        "procs", "app", "sc cycles", "eager/sc", "lazy/sc", "lazy vs eager",
+    ]);
+    let mut rows = Vec::new();
+    let mut i = 0;
+    for &procs in &sizes {
+        for &w in &apps {
+            let sc = results[i].stats.total_cycles.max(1);
+            let eager = results[i + 1].stats.total_cycles;
+            let lazy = results[i + 2].stats.total_cycles;
+            i += 3;
+            let gain = 100.0 * (1.0 - lazy as f64 / eager as f64);
+            t.row(vec![
+                procs.to_string(),
+                w.name().to_string(),
+                sc.to_string(),
+                ratio(eager as f64 / sc as f64),
+                ratio(lazy as f64 / sc as f64),
+                format!("{gain:+.1}%"),
+            ]);
+            rows.push(json!({
+                "procs": procs, "app": w.name(),
+                "sc": sc, "eager": eager, "lazy": lazy,
+            }));
+        }
+    }
+    Report {
+        id: "scaling".into(),
+        title: "Protocol gaps vs machine size (4 → 64 processors)".into(),
+        text: t.render(),
+        json: json!({ "rows": rows, "scale": p.scale.name() }),
+    }
+}
+
+/// Section 4.2: the mp3d solution-quality experiment.
+pub fn quality(_r: &Runner, p: Params) -> Report {
+    // The paper's check runs 10 time steps regardless of input size.
+    let (particles, _) = lrc_workloads::mp3d::size(p.scale);
+    let steps = 10;
+    let q = quality_experiment(particles, steps, p.procs);
+    let mut t = Table::new(vec!["Axis", "SC total", "Lazy total", "divergence", "paper"]);
+    for (k, axis) in ["X", "Y", "Z"].iter().enumerate() {
+        t.row(vec![
+            axis.to_string(),
+            format!("{:.3}", q.sc[k]),
+            format!("{:.3}", q.lazy[k]),
+            format!("{:.3}%", q.divergence_pct[k]),
+            format!("{}{}%", if k == 0 { "" } else { "< " }, paper_ref::QUALITY_DIVERGENCE_PCT[k]),
+        ]);
+    }
+    Report {
+        id: "quality".into(),
+        title: "Cumulative velocity divergence, SC vs lazy visibility (mp3d)".into(),
+        text: t.render(),
+        json: serde_json::to_value(json!({
+            "sc": q.sc, "lazy": q.lazy, "divergence_pct": q.divergence_pct,
+            "particles": particles, "steps": steps,
+        }))
+        .expect("serializes"),
+    }
+}
+
+/// All experiment ids, in paper order, followed by the extensions.
+pub const ALL_IDS: [&str; 15] = [
+    "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "sweep",
+    "quality", "traffic", "scaling", "ablate", "fences",
+];
+
+/// Run an experiment by id.
+pub fn run_by_id(id: &str, r: &Runner, p: Params) -> Option<Report> {
+    Some(match id {
+        "table1" => table1(r, p),
+        "table2" => table2(r, p),
+        "table3" => table3(r, p),
+        "fig4" => fig4(r, p),
+        "fig5" => fig5(r, p),
+        "fig6" => fig6(r, p),
+        "fig7" => fig7(r, p),
+        "fig8" => fig8(r, p),
+        "fig9" => fig9(r, p),
+        "sweep" => sweep(r, p),
+        "quality" => quality(r, p),
+        "traffic" => traffic(r, p),
+        "scaling" => scaling(r, p),
+        "ablate" => crate::ablate::ablate(p),
+        "fences" => crate::ablate::fences(p),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Params {
+        Params { scale: Scale::Tiny, procs: 8 }
+    }
+
+    #[test]
+    fn table1_renders() {
+        let r = Runner::new(1, false);
+        let rep = table1(&r, tiny());
+        assert!(rep.text.contains("Cache line size"));
+        assert!(rep.text.contains("128 bytes"));
+    }
+
+    #[test]
+    fn quality_report_has_three_axes() {
+        let r = Runner::new(1, false);
+        let rep = quality(&r, tiny());
+        assert!(rep.text.contains('X') && rep.text.contains('Z'));
+    }
+
+    #[test]
+    fn fig4_normalizes_against_sc() {
+        let r = Runner::new(0, false);
+        let rep = fig4(&r, tiny());
+        let rows = rep.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 7);
+        for row in rows {
+            for v in row["normalized"].as_array().unwrap() {
+                let x = v.as_f64().unwrap();
+                assert!(x > 0.1 && x < 10.0, "suspicious normalization {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_by_id_covers_all() {
+        let r = Runner::new(0, false);
+        assert!(run_by_id("table1", &r, tiny()).is_some());
+        assert!(run_by_id("nope", &r, tiny()).is_none());
+    }
+}

@@ -1,0 +1,14 @@
+//! `lrc-exp` — the experiment harness: regenerates every table and figure
+//! of the paper (see DESIGN.md §4 for the experiment index).
+
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod experiments;
+pub mod paper_ref;
+pub mod report;
+pub mod runner;
+
+pub use experiments::{run_by_id, Params, ALL_IDS};
+pub use report::{Report, Table};
+pub use runner::{execute, RunSpec, Runner};

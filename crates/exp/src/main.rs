@@ -1,0 +1,65 @@
+//! Experiment CLI: `lrc-exp <experiment|all> [--scale paper|medium|small|tiny]
+//! [--procs N] [--threads N] [--json DIR] [--quiet]`.
+
+use lrc_exp::{experiments, Params, Runner};
+use lrc_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut params = Params::default();
+    let mut threads = 0usize;
+    let mut json_dir: Option<String> = None;
+    let mut verbose = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                params.scale = Scale::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{}'", args[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--procs" => {
+                i += 1;
+                params.procs = args[i].parse().expect("--procs N");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("--threads N");
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args[i].clone());
+            }
+            "--quiet" => verbose = false,
+            "all" => ids.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if ids.is_empty() {
+        eprintln!("usage: lrc-exp <experiment ...|all> [--scale paper|medium|small|tiny] [--procs N] [--threads N] [--json DIR] [--quiet]");
+        eprintln!("experiments: {}", experiments::ALL_IDS.join(" "));
+        std::process::exit(2);
+    }
+
+    let runner = Runner::new(threads, verbose);
+    for id in &ids {
+        let Some(report) = experiments::run_by_id(id, &runner, params) else {
+            eprintln!("unknown experiment '{id}' (have: {})", experiments::ALL_IDS.join(" "));
+            std::process::exit(2);
+        };
+        report.print();
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{id}.json");
+            std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap())
+                .expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Report rendering: plain-text tables in the paper's style plus
+//! machine-readable JSON for EXPERIMENTS.md tooling.
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// One regenerated artifact (a table or figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Stable id: `table1` … `fig9`, `sweep`, `quality`.
+    pub id: String,
+    /// Human title echoing the paper's caption.
+    pub title: String,
+    /// Rendered plain-text table(s).
+    pub text: String,
+    /// Machine-readable payload.
+    pub json: Value,
+}
+
+impl Report {
+    /// Print the report to stdout.
+    pub fn print(&self) {
+        println!("== {} — {}\n", self.id, self.title);
+        println!("{}", self.text);
+    }
+}
+
+/// Minimal fixed-width table builder.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (cells are stringified already).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let c = &cells[i];
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>w$}", c, w = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a horizontal bar of `value` against a unit scale (`1.0` = the
+/// sequentially consistent baseline), `width` characters at full scale.
+/// Values above 1.0 extend past the `|` baseline marker.
+pub fn bar(value: f64, width: usize) -> String {
+    let chars = (value.max(0.0) * width as f64).round() as usize;
+    let mut s = String::new();
+    for i in 0..chars.max(1).min(width * 2) {
+        s.push(if i == width { '|' } else { '█' });
+    }
+    if chars <= width {
+        s.push_str(&" ".repeat(width - chars.min(width)));
+        s.push('|');
+    }
+    s
+}
+
+/// Format a fraction as a percent with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Format a ratio with two decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a miss rate as percent with two decimals (Table-3 style).
+pub fn miss_pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["App", "Value"]);
+        t.row(vec!["gauss", "1.00"]);
+        t.row(vec!["mp3d-longer", "0.83"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("App"));
+        assert!(lines[2].starts_with("gauss"));
+        // All rows equal width for the first column.
+        assert!(lines[2].find("1.00").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(ratio(0.834), "0.83");
+        assert_eq!(miss_pct(0.0481), "4.81%");
+    }
+}

@@ -1,0 +1,192 @@
+//! Run management: build-and-run of (protocol × workload) combinations,
+//! with a thread pool for independent runs and a memo so `all` doesn't
+//! repeat shared combinations across experiments.
+
+use lrc_core::{Machine, RunResult};
+use lrc_sim::{MachineConfig, Protocol};
+use lrc_workloads::{Scale, WorkloadKind};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything identifying one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Application.
+    pub workload: WorkloadKind,
+    /// Input size.
+    pub scale: Scale,
+    /// Processor count.
+    pub procs: usize,
+    /// Enable the miss classifier (Table 2 runs).
+    pub classify: bool,
+    /// Machine configuration override (None = Table-1 defaults).
+    pub config: Option<MachineConfig>,
+}
+
+impl RunSpec {
+    /// Table-1 machine, no classification.
+    pub fn new(protocol: Protocol, workload: WorkloadKind, scale: Scale, procs: usize) -> Self {
+        RunSpec { protocol, workload, scale, procs, classify: false, config: None }
+    }
+
+    /// The effective machine configuration.
+    pub fn machine_config(&self) -> MachineConfig {
+        self.config.clone().unwrap_or_else(|| MachineConfig::paper_default(self.procs))
+    }
+
+    fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{:?}",
+            self.protocol,
+            self.workload,
+            self.scale.name(),
+            self.procs,
+            self.classify,
+            self.config
+        )
+    }
+}
+
+/// Execute one run synchronously.
+pub fn execute(spec: &RunSpec) -> RunResult {
+    let w = spec.workload.build(spec.procs, spec.scale);
+    let mut m = Machine::new(spec.machine_config(), spec.protocol)
+        .with_max_cycles(200_000_000_000);
+    if spec.classify {
+        m = m.with_classification();
+    }
+    m.run(w)
+}
+
+/// A memoizing parallel runner.
+pub struct Runner {
+    cache: Arc<Mutex<HashMap<String, Arc<RunResult>>>>,
+    threads: usize,
+    verbose: bool,
+}
+
+impl Runner {
+    /// Runner using up to `threads` worker threads (0 = available
+    /// parallelism).
+    pub fn new(threads: usize, verbose: bool) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            threads
+        };
+        Runner { cache: Arc::new(Mutex::new(HashMap::new())), threads, verbose }
+    }
+
+    /// Run all `specs` (possibly in parallel), returning results in order.
+    /// Previously executed specs are served from the memo.
+    pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Arc<RunResult>> {
+        // Collect the specs that still need running.
+        let todo: Vec<(usize, RunSpec)> = {
+            let cache = self.cache.lock();
+            specs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !cache.contains_key(&s.key()))
+                .map(|(i, s)| (i, s.clone()))
+                .collect()
+        };
+
+        if !todo.is_empty() {
+            let next = Arc::new(Mutex::new(0usize));
+            let todo = Arc::new(todo);
+            std::thread::scope(|scope| {
+                for _ in 0..self.threads.min(todo.len()) {
+                    let next = next.clone();
+                    let todo = todo.clone();
+                    let cache = self.cache.clone();
+                    let verbose = self.verbose;
+                    scope.spawn(move || loop {
+                        let i = {
+                            let mut n = next.lock();
+                            if *n >= todo.len() {
+                                return;
+                            }
+                            let i = *n;
+                            *n += 1;
+                            i
+                        };
+                        let (_, spec) = &todo[i];
+                        if verbose {
+                            eprintln!(
+                                "  running {} / {} ({}, {} procs)...",
+                                spec.workload,
+                                spec.protocol,
+                                spec.scale.name(),
+                                spec.procs
+                            );
+                        }
+                        let started = std::time::Instant::now();
+                        let result = Arc::new(execute(spec));
+                        if verbose {
+                            eprintln!(
+                                "  done    {} / {}: {} cycles in {:.1?}",
+                                spec.workload,
+                                spec.protocol,
+                                result.stats.total_cycles,
+                                started.elapsed()
+                            );
+                        }
+                        cache.lock().insert(spec.key(), result);
+                    });
+                }
+            });
+        }
+
+        let cache = self.cache.lock();
+        specs
+            .iter()
+            .map(|s| cache.get(&s.key()).expect("run completed").clone())
+            .collect()
+    }
+
+    /// Run a single spec (memoized).
+    pub fn run_one(&self, spec: &RunSpec) -> Arc<RunResult> {
+        self.run_all(std::slice::from_ref(spec)).pop().expect("one result")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_returns_identical_results() {
+        let r = Runner::new(2, false);
+        let spec = RunSpec::new(Protocol::Erc, WorkloadKind::Fft, Scale::Tiny, 4);
+        let a = r.run_one(&spec);
+        let b = r.run_one(&spec);
+        assert!(Arc::ptr_eq(&a, &b), "second run must come from the memo");
+    }
+
+    #[test]
+    fn parallel_runs_preserve_order() {
+        let r = Runner::new(4, false);
+        let specs: Vec<RunSpec> = [Protocol::Sc, Protocol::Erc, Protocol::Lrc, Protocol::LrcExt]
+            .iter()
+            .map(|&p| RunSpec::new(p, WorkloadKind::Mp3d, Scale::Tiny, 4))
+            .collect();
+        let results = r.run_all(&specs);
+        assert_eq!(results.len(), 4);
+        for (res, spec) in results.iter().zip(&specs) {
+            assert_eq!(res.protocol, spec.protocol);
+            assert_eq!(res.workload, spec.workload.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let spec = RunSpec::new(Protocol::Lrc, WorkloadKind::Cholesky, Scale::Tiny, 4);
+        let a = Runner::new(1, false).run_one(&spec);
+        let b = Runner::new(3, false).run_one(&spec);
+        assert_eq!(a.stats.total_cycles, b.stats.total_cycles);
+    }
+}

@@ -1,0 +1,64 @@
+//! Smoke tests: every experiment id produces a well-formed report at tiny
+//! scale, and the JSON payloads carry what EXPERIMENTS.md tooling expects.
+
+use lrc_exp::{experiments, Params, Runner};
+use lrc_workloads::Scale;
+
+fn tiny() -> Params {
+    Params { scale: Scale::Tiny, procs: 8 }
+}
+
+#[test]
+fn every_experiment_id_runs_at_tiny_scale() {
+    let runner = Runner::new(0, false);
+    for id in experiments::ALL_IDS {
+        let rep = experiments::run_by_id(id, &runner, tiny())
+            .unwrap_or_else(|| panic!("unknown id {id}"));
+        assert_eq!(rep.id, id);
+        assert!(!rep.text.trim().is_empty(), "{id}: empty text");
+        assert!(!rep.title.is_empty(), "{id}");
+        // JSON must serialize.
+        let s = serde_json::to_string(&rep.json).unwrap();
+        assert!(s.len() > 2, "{id}");
+    }
+}
+
+#[test]
+fn figure_reports_embed_bar_charts() {
+    let runner = Runner::new(0, false);
+    for id in ["fig4", "fig6", "fig8"] {
+        let rep = experiments::run_by_id(id, &runner, tiny()).unwrap();
+        assert!(
+            rep.text.contains('█') && rep.text.contains('|'),
+            "{id}: missing bar chart"
+        );
+    }
+}
+
+#[test]
+fn table_reports_cite_paper_values() {
+    let runner = Runner::new(0, false);
+    for id in ["table2", "table3"] {
+        let rep = experiments::run_by_id(id, &runner, tiny()).unwrap();
+        // Paper values in parentheses next to measured ones.
+        assert!(rep.text.contains('('), "{id}");
+        let rows = rep.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 7, "{id}: one row per application");
+        for row in rows {
+            assert!(row["paper"].is_array(), "{id}");
+            assert!(row["measured"].is_array(), "{id}");
+        }
+    }
+}
+
+#[test]
+fn memoized_runner_reuses_runs_across_experiments() {
+    let runner = Runner::new(0, false);
+    let p = tiny();
+    let a = experiments::run_by_id("fig4", &runner, p).unwrap();
+    let b = experiments::run_by_id("fig5", &runner, p).unwrap();
+    let fig4_rows = a.json["rows"].as_array().unwrap();
+    assert_eq!(fig4_rows.len(), 7);
+    let fig5_rows = b.json["rows"].as_array().unwrap();
+    assert!(!fig5_rows.is_empty());
+}

@@ -1,0 +1,312 @@
+//! Finite-size cache model with per-line local state and per-word dirty
+//! masks.
+//!
+//! The paper distinguishes the *global* state kept by the directory
+//! (Uncached/Shared/Dirty/Weak) from the *local* state of each cached copy,
+//! which only records the access permission: invalid, read-only, or
+//! read-write. This module models the local side. Per-word dirty bits
+//! support the lazy protocols' write-through merging and let write-backs
+//! carry only the modified words.
+
+use lrc_sim::{LineAddr, MachineConfig};
+
+/// Local access permission of a cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Not present (or invalidated).
+    Invalid,
+    /// Present; reads hit, writes need (at least) a protocol action.
+    ReadOnly,
+    /// Present and writable by the local processor.
+    ReadWrite,
+}
+
+/// A resident cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentLine {
+    /// Line address (tag + index combined — we store the full line address).
+    pub line: LineAddr,
+    /// Current permission.
+    pub state: LineState,
+    /// Bit `i` set ⇒ word `i` has been written locally and not yet flushed.
+    pub dirty_words: u64,
+    /// Insertion timestamp used for LRU within a set.
+    stamp: u64,
+}
+
+/// Result of inserting a line into a full set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The victim's line address.
+    pub line: LineAddr,
+    /// The victim's permission at eviction time.
+    pub state: LineState,
+    /// The victim's unflushed dirty words.
+    pub dirty_words: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    line: LineAddr,
+    state: LineState,
+    dirty_words: u64,
+    stamp: u64,
+}
+
+/// A set-associative cache (direct-mapped when `assoc == 1`, as in Table 1).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Slot>>,
+    num_sets: usize,
+    assoc: usize,
+    tick: u64,
+}
+
+impl Cache {
+    /// Cache sized per `cfg` (capacity, line size, associativity).
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let lines = cfg.lines_per_cache();
+        let assoc = cfg.cache_assoc;
+        assert!(lines.is_multiple_of(assoc));
+        let num_sets = lines / assoc;
+        Cache {
+            sets: vec![Vec::with_capacity(assoc); num_sets],
+            num_sets,
+            assoc,
+            tick: 0,
+        }
+    }
+
+    /// Build a cache with an explicit geometry (tests).
+    pub fn with_geometry(num_sets: usize, assoc: usize) -> Self {
+        Cache { sets: vec![Vec::with_capacity(assoc); num_sets], num_sets, assoc, tick: 0 }
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 % self.num_sets as u64) as usize
+    }
+
+    /// Current permission for `line` ([`LineState::Invalid`] if absent).
+    pub fn state(&self, line: LineAddr) -> LineState {
+        let set = &self.sets[self.set_index(line)];
+        set.iter()
+            .find(|s| s.line == line)
+            .map_or(LineState::Invalid, |s| s.state)
+    }
+
+    /// True if the line is present with any permission.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.state(line) != LineState::Invalid
+    }
+
+    /// Touch `line` for LRU purposes (call on every hit).
+    pub fn touch(&mut self, line: LineAddr) {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        if let Some(s) = self.sets[idx].iter_mut().find(|s| s.line == line) {
+            s.stamp = tick;
+        }
+    }
+
+    /// Insert `line` with permission `state`, evicting the LRU victim if the
+    /// set is full. If the line is already present its permission is
+    /// replaced (dirty words preserved).
+    pub fn insert(&mut self, line: LineAddr, state: LineState) -> Option<Eviction> {
+        debug_assert!(state != LineState::Invalid);
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(s) = set.iter_mut().find(|s| s.line == line) {
+            s.state = state;
+            s.stamp = tick;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() == self.assoc {
+            let (victim_pos, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .expect("full set has a victim");
+            let v = set.swap_remove(victim_pos);
+            evicted = Some(Eviction { line: v.line, state: v.state, dirty_words: v.dirty_words });
+        }
+        set.push(Slot { line, state, dirty_words: 0, stamp: tick });
+        evicted
+    }
+
+    /// Raise permission of a present line to read-write (upgrade). Returns
+    /// false if the line is absent.
+    pub fn upgrade(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        if let Some(s) = self.sets[idx].iter_mut().find(|s| s.line == line) {
+            s.state = LineState::ReadWrite;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mark word `word` of a present line dirty. Returns false if absent.
+    pub fn mark_dirty(&mut self, line: LineAddr, word: usize) -> bool {
+        debug_assert!(word < 64);
+        let idx = self.set_index(line);
+        if let Some(s) = self.sets[idx].iter_mut().find(|s| s.line == line) {
+            s.dirty_words |= 1 << word;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `line`; returns its state at removal for write-back decisions.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Eviction> {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|s| s.line == line)?;
+        let v = set.swap_remove(pos);
+        Some(Eviction { line: v.line, state: v.state, dirty_words: v.dirty_words })
+    }
+
+    /// Clear the dirty mask of a present line (after a flush/write-back).
+    pub fn clear_dirty(&mut self, line: LineAddr) {
+        let idx = self.set_index(line);
+        if let Some(s) = self.sets[idx].iter_mut().find(|s| s.line == line) {
+            s.dirty_words = 0;
+        }
+    }
+
+    /// Dirty-word mask of a present line (0 if absent or clean).
+    pub fn dirty_words(&self, line: LineAddr) -> u64 {
+        let set = &self.sets[self.set_index(line)];
+        set.iter().find(|s| s.line == line).map_or(0, |s| s.dirty_words)
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterate over all resident lines (used by release-time flushes and by
+    /// invariant checks in tests).
+    pub fn iter(&self) -> impl Iterator<Item = ResidentLine> + '_ {
+        self.sets.iter().flatten().map(|s| ResidentLine {
+            line: s.line,
+            state: s.state,
+            dirty_words: s.dirty_words,
+            stamp: s.stamp,
+        })
+    }
+
+    /// Geometry accessor: number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Geometry accessor: associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let mut c = Cache::with_geometry(4, 1);
+        assert_eq!(c.state(line(1)), LineState::Invalid);
+        assert!(c.insert(line(1), LineState::ReadOnly).is_none());
+        assert_eq!(c.state(line(1)), LineState::ReadOnly);
+        assert!(c.contains(line(1)));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = Cache::with_geometry(4, 1);
+        c.insert(line(1), LineState::ReadWrite);
+        c.mark_dirty(line(1), 3);
+        // line 5 maps to the same set (5 % 4 == 1).
+        let ev = c.insert(line(5), LineState::ReadOnly).expect("conflict eviction");
+        assert_eq!(ev.line, line(1));
+        assert_eq!(ev.state, LineState::ReadWrite);
+        assert_eq!(ev.dirty_words, 1 << 3);
+        assert_eq!(c.state(line(1)), LineState::Invalid);
+        assert_eq!(c.state(line(5)), LineState::ReadOnly);
+    }
+
+    #[test]
+    fn two_way_lru() {
+        let mut c = Cache::with_geometry(2, 2);
+        c.insert(line(0), LineState::ReadOnly);
+        c.insert(line(2), LineState::ReadOnly); // same set as 0
+        c.touch(line(0)); // 0 is now MRU
+        let ev = c.insert(line(4), LineState::ReadOnly).unwrap();
+        assert_eq!(ev.line, line(2), "LRU line evicted");
+        assert!(c.contains(line(0)));
+        assert!(c.contains(line(4)));
+    }
+
+    #[test]
+    fn upgrade_and_dirty_tracking() {
+        let mut c = Cache::with_geometry(4, 1);
+        c.insert(line(7), LineState::ReadOnly);
+        assert!(c.upgrade(line(7)));
+        assert_eq!(c.state(line(7)), LineState::ReadWrite);
+        assert!(c.mark_dirty(line(7), 0));
+        assert!(c.mark_dirty(line(7), 31));
+        assert_eq!(c.dirty_words(line(7)), (1 << 0) | (1 << 31));
+        c.clear_dirty(line(7));
+        assert_eq!(c.dirty_words(line(7)), 0);
+        assert!(!c.upgrade(line(99)));
+        assert!(!c.mark_dirty(line(99), 0));
+    }
+
+    #[test]
+    fn invalidate_returns_final_state() {
+        let mut c = Cache::with_geometry(4, 1);
+        c.insert(line(9), LineState::ReadWrite);
+        c.mark_dirty(line(9), 1);
+        let ev = c.invalidate(line(9)).unwrap();
+        assert_eq!(ev.dirty_words, 2);
+        assert!(c.invalidate(line(9)).is_none());
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn reinsert_preserves_dirty_words() {
+        let mut c = Cache::with_geometry(4, 1);
+        c.insert(line(3), LineState::ReadWrite);
+        c.mark_dirty(line(3), 2);
+        // Re-insert (e.g. a permission refresh) keeps the dirty mask.
+        assert!(c.insert(line(3), LineState::ReadOnly).is_none());
+        assert_eq!(c.dirty_words(line(3)), 4);
+    }
+
+    #[test]
+    fn table1_geometry() {
+        let cfg = MachineConfig::paper_default(64);
+        let c = Cache::new(&cfg);
+        assert_eq!(c.num_sets(), 1024);
+        assert_eq!(c.assoc(), 1);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut c = Cache::with_geometry(8, 2);
+        for i in 0..100 {
+            c.insert(line(i), LineState::ReadOnly);
+        }
+        assert_eq!(c.resident(), 16);
+        assert_eq!(c.iter().count(), 16);
+    }
+}

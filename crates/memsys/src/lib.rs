@@ -1,0 +1,17 @@
+//! `lrc-mem` — the node-local memory system: finite caches with per-word
+//! dirty masks, the 4-entry coalescing write buffer with read bypass, the
+//! 16-entry coalescing write-through buffer used by the lazy protocols, and
+//! memory-module / bus timing with contention.
+
+#![warn(missing_docs)]
+#![allow(clippy::new_without_default)]
+
+pub mod cache;
+pub mod coalescing;
+pub mod memory;
+pub mod write_buffer;
+
+pub use cache::{Cache, Eviction, LineState, ResidentLine};
+pub use coalescing::{CbEntry, CbPush, CoalescingBuffer};
+pub use memory::{Bus, MemoryModule, TimedResource};
+pub use write_buffer::{WbEntry, WbPush, WriteBuffer};

@@ -1,0 +1,12 @@
+//! `lrc-mesh` — the interconnect substrate: a 2D mesh topology with
+//! dimension-order routing distance and a timing model with endpoint
+//! (NI-port) contention, matching the methodology of Section 3 of the paper.
+
+#![warn(missing_docs)]
+#![allow(clippy::new_without_default)]
+
+pub mod network;
+pub mod topology;
+
+pub use network::Network;
+pub use topology::Mesh;

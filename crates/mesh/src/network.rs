@@ -1,0 +1,181 @@
+//! Timing model for message delivery over the mesh.
+//!
+//! Matching the paper's methodology (Section 3): latency is
+//! distance-dependent — `hops × (switch + wire)` for the head flit plus
+//! `size / bandwidth` serialization — and **contention is modelled at the
+//! sending and receiving nodes only**, not at intermediate switches. Each
+//! node has one outbound and one inbound network-interface port; a port
+//! is occupied for the serialization time of each message that crosses it.
+
+use crate::topology::Mesh;
+use lrc_sim::{Cycle, MachineConfig, NodeId};
+
+/// Stateful network timing model: owns the per-node NI port availability.
+#[derive(Debug, Clone)]
+pub struct Network {
+    mesh: Mesh,
+    switch: u64,
+    wire: u64,
+    bytes_per_cycle: u64,
+    send_free: Vec<Cycle>,
+    recv_free: Vec<Cycle>,
+    /// Messages sent (diagnostics).
+    msgs: u64,
+    /// Bytes sent (diagnostics).
+    bytes_total: u64,
+}
+
+impl Network {
+    /// Build the network for `cfg`.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let n = cfg.num_procs;
+        Network {
+            mesh: Mesh::new(n),
+            switch: cfg.switch_latency,
+            wire: cfg.wire_latency,
+            bytes_per_cycle: cfg.net_bytes_per_cycle,
+            send_free: vec![0; n],
+            recv_free: vec![0; n],
+            msgs: 0,
+            bytes_total: 0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Serialization time of a `bytes`-byte message on one link.
+    pub fn occupancy(&self, bytes: u64) -> u64 {
+        MachineConfig::transfer_cycles(bytes, self.bytes_per_cycle)
+    }
+
+    /// Pure (contention-free) latency from `src` to `dst` for `bytes`.
+    pub fn base_latency(&self, src: NodeId, dst: NodeId, bytes: u64) -> u64 {
+        if src == dst {
+            return 1;
+        }
+        self.mesh.hops(src, dst) * (self.switch + self.wire) + self.occupancy(bytes)
+    }
+
+    /// Send a message at time `now`; returns the cycle at which the message
+    /// has been fully received and accepted at `dst`.
+    ///
+    /// Node-local "messages" (src == dst, e.g. a request to the local
+    /// directory) bypass the network entirely and are delivered the next
+    /// cycle; the caller charges protocol-processor and memory costs.
+    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, bytes: u64) -> Cycle {
+        self.msgs += 1;
+        self.bytes_total += bytes;
+        if src == dst {
+            return now + 1;
+        }
+        let occ = self.occupancy(bytes);
+        // Outbound port: the message starts flowing when the port frees up.
+        let depart = now.max(self.send_free[src]);
+        self.send_free[src] = depart + occ;
+        // Wormhole-style pipelining: head arrives after the per-hop latency,
+        // the tail `occ` cycles later.
+        let head_arrives = depart + self.mesh.hops(src, dst) * (self.switch + self.wire);
+        // Inbound port: reception can't start before the port is free.
+        let start_recv = head_arrives.max(self.recv_free[dst]);
+        let done = start_recv + occ;
+        self.recv_free[dst] = done;
+        done
+    }
+
+    /// Total messages injected so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.msgs
+    }
+
+    /// Total bytes injected so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> MachineConfig {
+        MachineConfig::paper_default(n)
+    }
+
+    #[test]
+    fn paper_worked_example_request_leg() {
+        // Section 3: a control request over 10 hops costs (2+1)*10 = 30
+        // cycles (8-byte header adds 4 cycles of serialization in our model;
+        // the paper's arithmetic ignores header serialization, so check the
+        // hop component separately).
+        let net = Network::new(&cfg(64));
+        let hops10_pair = (0usize, 58usize); // (0,0) -> (2,7): 2+7 = 9... pick explicit pair below
+        let _ = hops10_pair;
+        // (0,0) to (5,5) is 10 hops on the 8x8 mesh: node 5*8+5 = 45.
+        assert_eq!(net.mesh().hops(0, 45), 10);
+        let lat = net.base_latency(0, 45, 0);
+        assert_eq!(lat, 30);
+        // Data reply: 30 + 128/2 = 94 with a full line payload.
+        assert_eq!(net.base_latency(0, 45, 128), 94);
+    }
+
+    #[test]
+    fn local_messages_bypass_network() {
+        let mut net = Network::new(&cfg(4));
+        assert_eq!(net.send(100, 2, 2, 128), 101);
+        // Ports untouched.
+        assert_eq!(net.send_free[2], 0);
+        assert_eq!(net.recv_free[2], 0);
+    }
+
+    #[test]
+    fn sender_port_serializes_back_to_back_sends() {
+        let mut net = Network::new(&cfg(16));
+        let occ = net.occupancy(128); // 64 cycles
+        let t1 = net.send(0, 0, 15, 128);
+        let t2 = net.send(0, 0, 15, 128);
+        // Second message departs only after the first has left the port, and
+        // the receiver port additionally serializes reception.
+        assert!(t2 >= t1 + occ);
+    }
+
+    #[test]
+    fn receiver_port_contention() {
+        let mut net = Network::new(&cfg(16));
+        // Two different senders converge on node 5 at the same time.
+        let t1 = net.send(0, 1, 5, 128);
+        let t2 = net.send(0, 2, 5, 128);
+        let occ = net.occupancy(128);
+        assert!(t2 >= t1.min(t2)); // trivially true; real check below
+        assert!((t2 as i64 - t1 as i64).unsigned_abs() >= occ, "receptions must serialize: {t1} {t2}");
+    }
+
+    #[test]
+    fn farther_is_slower() {
+        let mut a = Network::new(&cfg(64));
+        let mut b = Network::new(&cfg(64));
+        let near = a.send(0, 0, 1, 8);
+        let far = b.send(0, 0, 63, 8);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net = Network::new(&cfg(4));
+        net.send(0, 0, 1, 8);
+        net.send(0, 1, 2, 136);
+        assert_eq!(net.messages_sent(), 2);
+        assert_eq!(net.bytes_sent(), 144);
+    }
+
+    #[test]
+    fn future_machine_is_faster_per_byte() {
+        let slow = Network::new(&MachineConfig::paper_default(64));
+        let fast = Network::new(&MachineConfig::future_machine(64));
+        assert!(fast.occupancy(256) < slow.occupancy(256) * 2);
+        assert_eq!(slow.occupancy(128), 64);
+        assert_eq!(fast.occupancy(256), 64);
+    }
+}

@@ -1,0 +1,136 @@
+//! 2D mesh topology with dimension-order (XY) routing distance.
+
+use lrc_sim::NodeId;
+
+/// A `width × height` mesh of nodes, numbered row-major.
+///
+/// For `n` nodes the mesh is as square as possible: `width = ⌈√n⌉`,
+/// `height = ⌈n / width⌉`; the last row may be partially populated. The
+/// paper simulates a mesh-connected multiprocessor with up to 64 nodes
+/// (an 8×8 mesh).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+    nodes: usize,
+}
+
+impl Mesh {
+    /// Mesh for `nodes` nodes (≥ 1).
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "mesh needs at least one node");
+        let width = (nodes as f64).sqrt().ceil() as usize;
+        let height = nodes.div_ceil(width);
+        Mesh { width, height, nodes }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(x, y)` coordinates of `node`.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        debug_assert!(node < self.nodes);
+        (node % self.width, node / self.width)
+    }
+
+    /// Dimension-order routing distance (Manhattan hops) between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// Network diameter in hops.
+    pub fn diameter(&self) -> u64 {
+        (self.width - 1 + (self.height - 1)) as u64
+    }
+
+    /// Mean hop distance over all ordered pairs of distinct nodes.
+    pub fn mean_hops(&self) -> f64 {
+        if self.nodes < 2 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for a in 0..self.nodes {
+            for b in 0..self.nodes {
+                total += self.hops(a, b);
+            }
+        }
+        total as f64 / (self.nodes * (self.nodes - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_four_nodes_is_8x8() {
+        let m = Mesh::new(64);
+        assert_eq!((m.width(), m.height()), (8, 8));
+        assert_eq!(m.diameter(), 14);
+    }
+
+    #[test]
+    fn coords_row_major() {
+        let m = Mesh::new(16);
+        assert_eq!(m.coords(0), (0, 0));
+        assert_eq!(m.coords(3), (3, 0));
+        assert_eq!(m.coords(4), (0, 1));
+        assert_eq!(m.coords(15), (3, 3));
+    }
+
+    #[test]
+    fn hops_symmetric_and_triangle() {
+        let m = Mesh::new(64);
+        for a in 0..64 {
+            assert_eq!(m.hops(a, a), 0);
+            for b in 0..64 {
+                assert_eq!(m.hops(a, b), m.hops(b, a));
+                for c in 0..64usize {
+                    assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_to_corner() {
+        let m = Mesh::new(64);
+        assert_eq!(m.hops(0, 63), 14);
+        assert_eq!(m.hops(0, 7), 7);
+        assert_eq!(m.hops(0, 56), 7);
+    }
+
+    #[test]
+    fn non_square_counts() {
+        let m = Mesh::new(6);
+        assert_eq!((m.width(), m.height()), (3, 2));
+        assert_eq!(m.nodes(), 6);
+        let m = Mesh::new(1);
+        assert_eq!(m.diameter(), 0);
+        assert_eq!(m.mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn mean_hops_reasonable_for_8x8() {
+        // Mean Manhattan distance on an 8x8 grid over ordered distinct pairs
+        // is 2*(64*... ) ≈ 5.33; the paper's worked example uses 10 hops as a
+        // generous distance.
+        let m = Mesh::new(64);
+        let mean = m.mean_hops();
+        assert!(mean > 5.0 && mean < 6.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Property tests for the mesh interconnect.
+
+use lrc_mesh::{Mesh, Network};
+use lrc_sim::MachineConfig;
+use proptest::prelude::*;
+
+proptest! {
+    /// Hop distance is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn hops_is_a_metric(n in 1usize..64, seed in any::<u64>()) {
+        let m = Mesh::new(n);
+        let a = (seed as usize) % n;
+        let b = (seed as usize / 64) % n;
+        let c = (seed as usize / 4096) % n;
+        prop_assert_eq!(m.hops(a, a), 0);
+        prop_assert_eq!(m.hops(a, b), m.hops(b, a));
+        prop_assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
+        prop_assert!(m.hops(a, b) <= m.diameter());
+    }
+
+    /// Delivery times never decrease for messages sent later on the same
+    /// src→dst pair, and are at least the contention-free latency.
+    #[test]
+    fn network_delivery_is_causal(
+        sends in prop::collection::vec((0usize..16, 0usize..16, 1u64..256), 1..100)
+    ) {
+        let cfg = MachineConfig::paper_default(16);
+        let mut net = Network::new(&cfg);
+        let mut now = 0;
+        let mut last_arrival: std::collections::HashMap<(usize, usize), u64> = Default::default();
+        for (src, dst, bytes) in sends {
+            now += 3;
+            let arrival = net.send(now, src, dst, bytes);
+            let floor = if src == dst { 1 } else { net.base_latency(src, dst, bytes) };
+            prop_assert!(arrival >= now + floor || src == dst);
+            if src != dst {
+                if let Some(&prev) = last_arrival.get(&(src, dst)) {
+                    prop_assert!(arrival >= prev, "FIFO per channel");
+                }
+                last_arrival.insert((src, dst), arrival);
+            }
+        }
+    }
+}

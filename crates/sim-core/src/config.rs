@@ -1,0 +1,346 @@
+//! Machine configuration: every knob from Table 1 of the paper, plus the
+//! structural parameters (write-buffer depth, page size, placement policy)
+//! fixed in the paper's text.
+
+use crate::types::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// Policy for assigning pages of the shared address space to home nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Page `i` lives at node `i mod P`. The default; spreads directory and
+    /// memory load and is what most simulators of the era did.
+    RoundRobinPages,
+    /// Every page lives at node 0. Useful in tests to concentrate contention.
+    AllAtZero,
+    /// A page is homed at the first node that touches it (the machine
+    /// records the assignment at the first reference). Improves locality
+    /// for partitioned data at the cost of imbalance on shared structures.
+    FirstTouch,
+}
+
+/// Full description of the simulated machine.
+///
+/// [`MachineConfig::paper_default`] matches Table 1 of the paper;
+/// [`MachineConfig::future_machine`] matches the "hypothetical future
+/// machine" of Section 4.3 (Figures 8 and 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of processors (= nodes). The paper evaluates 64.
+    pub num_procs: usize,
+    /// Cache line size in bytes (Table 1: 128).
+    pub line_size: usize,
+    /// Per-node cache capacity in bytes (Table 1: 128 KB).
+    pub cache_size: usize,
+    /// Cache associativity (Table 1: direct-mapped = 1).
+    pub cache_assoc: usize,
+    /// Memory setup (startup) time in cycles (Table 1: 20).
+    pub mem_setup: u64,
+    /// Memory bandwidth in bytes per cycle (Table 1: 2).
+    pub mem_bytes_per_cycle: u64,
+    /// Node bus bandwidth in bytes per cycle (Table 1: 2).
+    pub bus_bytes_per_cycle: u64,
+    /// Network link bandwidth in bytes per cycle, bidirectional (Table 1: 2).
+    pub net_bytes_per_cycle: u64,
+    /// Latency of one mesh switch in cycles (Table 1: 2).
+    pub switch_latency: u64,
+    /// Latency of one wire segment in cycles (Table 1: 1).
+    pub wire_latency: u64,
+    /// Protocol-processor cost of handling one write notice (Table 1: 4).
+    pub write_notice_cost: u64,
+    /// Directory access cost for the lazy protocols (Table 1: 25).
+    pub dir_cost_lazy: u64,
+    /// Directory access cost for ERC and SC (Table 1: 15).
+    pub dir_cost_eager: u64,
+    /// Entries in the processor write buffer used by the relaxed protocols
+    /// (paper Section 4.2: 4, with read bypass and coalescing).
+    pub write_buffer_entries: usize,
+    /// Entries in the fully-associative coalescing write-through buffer used
+    /// by the lazy protocols (paper Section 4.2: 16).
+    pub coalescing_buffer_entries: usize,
+    /// Page size for home-node placement.
+    pub page_size: usize,
+    /// Size in bytes of a control (data-less) protocol message header.
+    pub ctrl_msg_bytes: u64,
+    /// Word size in bytes; per-word dirty bits and the miss classifier work
+    /// at this granularity (MIPS II: 4).
+    pub word_size: usize,
+    /// Protocol-processor cost of servicing a lock or barrier message.
+    pub sync_service_cost: u64,
+    /// Maximum cycles a processor may run ahead of the global event clock
+    /// before yielding (bounds inter-processor skew in the batched stepper).
+    pub skew_quantum: u64,
+    /// Residence time of a coalescing-buffer entry before the background
+    /// drain flushes it to the home node (the coalescing window).
+    pub cb_flush_delay: u64,
+    /// NAK-and-retry round trip charged to a request that found the
+    /// directory entry busy (3-hop in flight) or mid-collection, as in
+    /// DASH. The request is queued at the home and re-dispatched this many
+    /// cycles after the entry frees.
+    pub nack_retry_delay: u64,
+    /// Page placement policy.
+    pub placement: Placement,
+    /// Directory organization: `None` = full-map (one presence bit per
+    /// node, the default); `Some(k)` = k limited pointers with broadcast
+    /// fallback — once more than `k` nodes share a block the directory
+    /// loses precision and coherence actions for it must be broadcast.
+    pub dir_pointers: Option<usize>,
+}
+
+impl MachineConfig {
+    /// The default machine of Table 1, with `num_procs` processors.
+    pub fn paper_default(num_procs: usize) -> Self {
+        MachineConfig {
+            num_procs,
+            line_size: 128,
+            cache_size: 128 * 1024,
+            cache_assoc: 1,
+            mem_setup: 20,
+            mem_bytes_per_cycle: 2,
+            bus_bytes_per_cycle: 2,
+            net_bytes_per_cycle: 2,
+            switch_latency: 2,
+            wire_latency: 1,
+            write_notice_cost: 4,
+            dir_cost_lazy: 25,
+            dir_cost_eager: 15,
+            write_buffer_entries: 4,
+            coalescing_buffer_entries: 16,
+            page_size: 4096,
+            ctrl_msg_bytes: 8,
+            word_size: 4,
+            sync_service_cost: 5,
+            skew_quantum: 200,
+            cb_flush_delay: 100,
+            nack_retry_delay: 40,
+            placement: Placement::RoundRobinPages,
+            dir_pointers: None,
+        }
+    }
+
+    /// The "hypothetical future machine" of Section 4.3: high latency
+    /// (40-cycle memory startup), high bandwidth (4 bytes/cycle), long cache
+    /// lines (256 bytes).
+    pub fn future_machine(num_procs: usize) -> Self {
+        MachineConfig {
+            mem_setup: 40,
+            mem_bytes_per_cycle: 4,
+            bus_bytes_per_cycle: 4,
+            net_bytes_per_cycle: 4,
+            line_size: 256,
+            ..Self::paper_default(num_procs)
+        }
+    }
+
+    /// Directory access cost for `protocol` (Table 1 distinguishes lazy from
+    /// eager because the lazy directory entry carries more state).
+    pub fn dir_cost(&self, protocol: Protocol) -> u64 {
+        if protocol.is_lazy() {
+            self.dir_cost_lazy
+        } else {
+            self.dir_cost_eager
+        }
+    }
+
+    /// Number of words in a cache line.
+    pub fn words_per_line(&self) -> usize {
+        self.line_size / self.word_size
+    }
+
+    /// Number of lines in a cache.
+    pub fn lines_per_cache(&self) -> usize {
+        self.cache_size / self.line_size
+    }
+
+    /// Home node of the page containing byte address `addr` under the
+    /// *static* policies. [`Placement::FirstTouch`] is resolved by the
+    /// machine (which knows who touched first); this falls back to
+    /// round-robin for it, so config-level callers stay total.
+    pub fn home_of(&self, addr: u64) -> usize {
+        match self.placement {
+            Placement::RoundRobinPages | Placement::FirstTouch => {
+                (addr as usize / self.page_size) % self.num_procs
+            }
+            Placement::AllAtZero => 0,
+        }
+    }
+
+    /// Home node servicing lock `lock`.
+    pub fn lock_home(&self, lock: u32) -> usize {
+        lock as usize % self.num_procs
+    }
+
+    /// Home node servicing barrier `barrier`.
+    pub fn barrier_home(&self, barrier: u32) -> usize {
+        barrier as usize % self.num_procs
+    }
+
+    /// Cycles to move `bytes` across one bandwidth-limited resource of
+    /// `bytes_per_cycle` throughput (rounded up, minimum one cycle for a
+    /// non-empty transfer).
+    pub fn transfer_cycles(bytes: u64, bytes_per_cycle: u64) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(bytes_per_cycle).max(1)
+        }
+    }
+
+    /// Validates internal consistency; returns a human-readable complaint for
+    /// the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_procs == 0 {
+            return Err("num_procs must be > 0".into());
+        }
+        if !self.line_size.is_power_of_two() {
+            return Err(format!("line_size {} must be a power of two", self.line_size));
+        }
+        if !self.word_size.is_power_of_two() || self.word_size > self.line_size {
+            return Err(format!("word_size {} invalid for line_size {}", self.word_size, self.line_size));
+        }
+        if !self.cache_size.is_multiple_of(self.line_size * self.cache_assoc) {
+            return Err("cache_size must be a multiple of line_size * assoc".into());
+        }
+        if !self.page_size.is_multiple_of(self.line_size) {
+            return Err("page_size must be a multiple of line_size".into());
+        }
+        if self.words_per_line() > 64 {
+            return Err("at most 64 words per line (dirty masks are u64)".into());
+        }
+        if self.mem_bytes_per_cycle == 0 || self.bus_bytes_per_cycle == 0 || self.net_bytes_per_cycle == 0 {
+            return Err("bandwidths must be non-zero".into());
+        }
+        if self.dir_pointers == Some(0) {
+            return Err("dir_pointers must be at least 1 when limited".into());
+        }
+        Ok(())
+    }
+}
+
+/// A `(name, value)` listing of the Table 1 parameters, used by the `table1`
+/// experiment to regenerate the paper's parameter table.
+pub fn table1_rows(cfg: &MachineConfig) -> Vec<(String, String)> {
+    vec![
+        ("Cache line size".into(), format!("{} bytes", cfg.line_size)),
+        (
+            "Cache size".into(),
+            format!(
+                "{} Kbytes {}",
+                cfg.cache_size / 1024,
+                if cfg.cache_assoc == 1 {
+                    "direct-mapped".to_string()
+                } else {
+                    format!("{}-way", cfg.cache_assoc)
+                }
+            ),
+        ),
+        ("Memory setup time".into(), format!("{} cycles", cfg.mem_setup)),
+        ("Memory bandwidth".into(), format!("{} bytes/cycle", cfg.mem_bytes_per_cycle)),
+        ("Bus bandwidth".into(), format!("{} bytes/cycle", cfg.bus_bytes_per_cycle)),
+        (
+            "Network bandwidth".into(),
+            format!("{} bytes/cycle (bidirectional)", cfg.net_bytes_per_cycle),
+        ),
+        ("Switch node latency".into(), format!("{} cycles", cfg.switch_latency)),
+        ("Wire latency".into(), format!("{} cycles", cfg.wire_latency)),
+        ("Write Notice Processing".into(), format!("{} cycles", cfg.write_notice_cost)),
+        ("LRC Directory access cost".into(), format!("{} cycles", cfg.dir_cost_lazy)),
+        ("ERC Directory access cost".into(), format!("{} cycles", cfg.dir_cost_eager)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table1() {
+        let c = MachineConfig::paper_default(64);
+        assert_eq!(c.line_size, 128);
+        assert_eq!(c.cache_size, 128 * 1024);
+        assert_eq!(c.cache_assoc, 1);
+        assert_eq!(c.mem_setup, 20);
+        assert_eq!(c.mem_bytes_per_cycle, 2);
+        assert_eq!(c.bus_bytes_per_cycle, 2);
+        assert_eq!(c.net_bytes_per_cycle, 2);
+        assert_eq!(c.switch_latency, 2);
+        assert_eq!(c.wire_latency, 1);
+        assert_eq!(c.write_notice_cost, 4);
+        assert_eq!(c.dir_cost_lazy, 25);
+        assert_eq!(c.dir_cost_eager, 15);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn future_machine_matches_section_4_3() {
+        let c = MachineConfig::future_machine(64);
+        assert_eq!(c.mem_setup, 40);
+        assert_eq!(c.mem_bytes_per_cycle, 4);
+        assert_eq!(c.line_size, 256);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_cache_fill_example() {
+        // Section 3 works through a 10-hop cache fill: request 30 cycles,
+        // memory 20 + 128/2 = 84, reply 30 + 64 = 94, bus fill 64 => 272.
+        let c = MachineConfig::paper_default(64);
+        let hops = 10u64;
+        let req = hops * (c.switch_latency + c.wire_latency);
+        let mem = c.mem_setup + MachineConfig::transfer_cycles(c.line_size as u64, c.mem_bytes_per_cycle);
+        let reply = hops * (c.switch_latency + c.wire_latency)
+            + MachineConfig::transfer_cycles(c.line_size as u64, c.net_bytes_per_cycle);
+        let bus = MachineConfig::transfer_cycles(c.line_size as u64, c.bus_bytes_per_cycle);
+        assert_eq!(req, 30);
+        assert_eq!(mem, 84);
+        assert_eq!(reply, 94);
+        assert_eq!(bus, 64);
+        assert_eq!(req + mem + reply + bus, 272);
+    }
+
+    #[test]
+    fn dir_cost_by_protocol() {
+        let c = MachineConfig::paper_default(4);
+        assert_eq!(c.dir_cost(Protocol::Lrc), 25);
+        assert_eq!(c.dir_cost(Protocol::LrcExt), 25);
+        assert_eq!(c.dir_cost(Protocol::Erc), 15);
+        assert_eq!(c.dir_cost(Protocol::Sc), 15);
+    }
+
+    #[test]
+    fn home_placement_round_robin() {
+        let c = MachineConfig::paper_default(4);
+        assert_eq!(c.home_of(0), 0);
+        assert_eq!(c.home_of(4096), 1);
+        assert_eq!(c.home_of(4096 * 4), 0);
+        assert_eq!(c.home_of(4096 * 5 + 17), 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = MachineConfig::paper_default(4);
+        c.line_size = 100;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::paper_default(4);
+        c.num_procs = 0;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::paper_default(4);
+        c.word_size = 1; // 128 words/line > 64
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn transfer_cycles_rounds_up() {
+        assert_eq!(MachineConfig::transfer_cycles(128, 2), 64);
+        assert_eq!(MachineConfig::transfer_cycles(129, 2), 65);
+        assert_eq!(MachineConfig::transfer_cycles(1, 2), 1);
+        assert_eq!(MachineConfig::transfer_cycles(0, 2), 0);
+    }
+
+    #[test]
+    fn table1_has_eleven_rows() {
+        let rows = table1_rows(&MachineConfig::paper_default(64));
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows[0].1, "128 bytes");
+    }
+}

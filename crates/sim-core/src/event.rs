@@ -1,0 +1,171 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events fire in nondecreasing time order; events scheduled for the same
+//! cycle fire in insertion order (a monotone sequence number breaks ties),
+//! which makes whole-machine simulations bit-reproducible.
+
+use crate::types::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    time: Cycle,
+    seq: u64,
+}
+
+/// A time-ordered, insertion-stable event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, u64)>>,
+    slab: Vec<Option<E>>,
+    free: Vec<u64>,
+    seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), slab: Vec::new(), free: Vec::new(), seq: 0, now: 0 }
+    }
+
+    /// Current simulated time: the firing time of the most recently popped
+    /// event (0 before any pop).
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedule `event` to fire at absolute time `time`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug builds;
+    /// release builds clamp to `now` so a small modelling slip degrades
+    /// accuracy rather than ordering.
+    pub fn push(&mut self, time: Cycle, event: E) {
+        debug_assert!(time >= self.now, "event scheduled in the past: {} < {}", time, self.now);
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(event);
+                i
+            }
+            None => {
+                self.slab.push(Some(event));
+                (self.slab.len() - 1) as u64
+            }
+        };
+        self.heap.push(Reverse((Key { time, seq }, slot)));
+    }
+
+    /// Schedule `event` to fire `delay` cycles from now.
+    pub fn push_after(&mut self, delay: Cycle, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Remove and return the earliest event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        self.now = key.time;
+        let ev = self.slab[slot as usize].take().expect("slab slot already vacated");
+        self.free.push(slot);
+        Some((key.time, ev))
+    }
+
+    /// Firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((k, _))| k.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(7, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 7);
+        q.push_after(3, ());
+        assert_eq!(q.pop(), Some((10, ())));
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            for i in 0..8 {
+                q.push(round * 100 + i, i);
+            }
+            for _ in 0..8 {
+                q.pop();
+            }
+        }
+        // The slab never needed more than one round's worth of slots.
+        assert!(q.slab.len() <= 8);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.push(42, 1);
+        q.push(41, 2);
+        assert_eq!(q.peek_time(), Some(41));
+        assert_eq!(q.pop(), Some((41, 2)));
+        assert_eq!(q.peek_time(), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push(5, ());
+    }
+}

@@ -1,0 +1,28 @@
+//! `lrc-sim` — the simulation substrate for the lazy-release-consistency
+//! study: fundamental types, the Table-1 machine configuration, the
+//! deterministic discrete-event kernel, statistics plumbing, the workload
+//! (front-end) interface, and a small deterministic PRNG.
+//!
+//! Everything higher in the stack — the interconnect model (`lrc-mesh`),
+//! the memory system (`lrc-mem`), the protocols and machine (`lrc-core`),
+//! and the applications (`lrc-workloads`) — builds on the vocabulary defined
+//! here.
+
+#![warn(missing_docs)]
+#![allow(clippy::new_without_default)]
+
+pub mod config;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod types;
+pub mod workload;
+
+pub use config::{table1_rows, MachineConfig, Placement};
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use stats::{
+    Breakdown, MachineStats, MissClass, MissCounts, ProcStats, StallKind, Traffic, TrafficClass,
+};
+pub use types::{Addr, BarrierId, Cycle, LineAddr, LockId, NodeId, ProcId, Protocol};
+pub use workload::{AddressAllocator, Op, Script, Workload};

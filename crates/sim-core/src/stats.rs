@@ -1,0 +1,411 @@
+//! Statistics plumbing: per-processor cycle attribution (the four overhead
+//! categories of Figures 5/7/9), miss classification counters (Table 2), and
+//! traffic counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Exclusive classification of a cache miss, following the algorithm of
+/// Bianchini & Kontothanassis (paper reference [3]) as used in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissClass {
+    /// First access by this processor to this block, ever.
+    Cold,
+    /// Coherence miss where the missing word was actually written by another
+    /// processor since this processor last held the block.
+    TrueShare,
+    /// Coherence miss caused only by writes to *other* words of the block.
+    FalseShare,
+    /// Block was lost to a capacity/conflict replacement and not modified
+    /// remotely in the interim.
+    Eviction,
+    /// "Write miss" in the paper's terminology: the block is present
+    /// read-only and only write permission is missing. No data transfer.
+    Upgrade,
+}
+
+impl MissClass {
+    /// All five classes in Table-2 column order.
+    pub const ALL: [MissClass; 5] = [
+        MissClass::Cold,
+        MissClass::TrueShare,
+        MissClass::FalseShare,
+        MissClass::Eviction,
+        MissClass::Upgrade,
+    ];
+
+    /// Stable lowercase name used in report columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissClass::Cold => "cold",
+            MissClass::TrueShare => "true",
+            MissClass::FalseShare => "false",
+            MissClass::Eviction => "eviction",
+            MissClass::Upgrade => "write",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            MissClass::Cold => 0,
+            MissClass::TrueShare => 1,
+            MissClass::FalseShare => 2,
+            MissClass::Eviction => 3,
+            MissClass::Upgrade => 4,
+        }
+    }
+}
+
+/// Counter per miss class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissCounts {
+    counts: [u64; 5],
+}
+
+impl MissCounts {
+    /// Count one miss of the given class.
+    pub fn record(&mut self, class: MissClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// Number of misses recorded for `class`.
+    pub fn get(&self, class: MissClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total misses across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Percentage of all misses falling in `class` (0.0 if no misses).
+    pub fn percent(&self, class: MissClass) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * self.get(class) as f64 / t as f64
+        }
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &MissCounts) {
+        for i in 0..5 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+/// Which of the four overhead buckets a stall belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallKind {
+    /// Useful work: compute cycles and cache-hit accesses.
+    Cpu,
+    /// Waiting for a read miss to be satisfied.
+    Read,
+    /// Write-buffer-full stalls (relaxed protocols) or blocking write/upgrade
+    /// stalls (SC).
+    Write,
+    /// Lock acquire waits, release-fence waits, and barrier waits.
+    Sync,
+}
+
+/// The aggregate cycle breakdown used by the overhead-analysis figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Useful work: compute cycles and cache-hit accesses.
+    pub cpu: u64,
+    /// Read-miss stall cycles.
+    pub read: u64,
+    /// Write-buffer and blocking-write stall cycles.
+    pub write: u64,
+    /// Synchronization (acquire/release/barrier) stall cycles.
+    pub sync: u64,
+}
+
+impl Breakdown {
+    /// Attribute `cycles` to the given bucket.
+    pub fn add(&mut self, kind: StallKind, cycles: u64) {
+        match kind {
+            StallKind::Cpu => self.cpu += cycles,
+            StallKind::Read => self.read += cycles,
+            StallKind::Write => self.write += cycles,
+            StallKind::Sync => self.sync += cycles,
+        }
+    }
+
+    /// Sum of all four buckets.
+    pub fn total(&self) -> u64 {
+        self.cpu + self.read + self.write + self.sync
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.cpu += other.cpu;
+        self.read += other.read;
+        self.write += other.write;
+        self.sync += other.sync;
+    }
+
+    /// Each bucket as a fraction of `denom` total cycles (the figures
+    /// normalize against the sequentially consistent run's total).
+    pub fn normalized(&self, denom: u64) -> [f64; 4] {
+        let d = denom.max(1) as f64;
+        [
+            self.cpu as f64 / d,
+            self.read as f64 / d,
+            self.write as f64 / d,
+            self.sync as f64 / d,
+        ]
+    }
+}
+
+/// Coarse message classes for traffic accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Header-only protocol messages (requests, acks, notices, sync).
+    Control,
+    /// Messages carrying a full cache line.
+    Data,
+    /// Write-through / write-back payloads (header + dirty words).
+    WriteData,
+}
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Traffic {
+    /// Header-only messages sent.
+    pub control_msgs: u64,
+    /// Line-carrying messages sent.
+    pub data_msgs: u64,
+    /// Write-through / write-back payload messages sent.
+    pub write_data_msgs: u64,
+    /// Total bytes put on the network.
+    pub bytes: u64,
+}
+
+impl Traffic {
+    /// Count one message of `class` totalling `bytes` on the wire.
+    pub fn record(&mut self, class: TrafficClass, bytes: u64) {
+        match class {
+            TrafficClass::Control => self.control_msgs += 1,
+            TrafficClass::Data => self.data_msgs += 1,
+            TrafficClass::WriteData => self.write_data_msgs += 1,
+        }
+        self.bytes += bytes;
+    }
+
+    /// Total messages of any class.
+    pub fn total_msgs(&self) -> u64 {
+        self.control_msgs + self.data_msgs + self.write_data_msgs
+    }
+
+    /// Accumulate another traffic counter into this one.
+    pub fn merge(&mut self, other: &Traffic) {
+        self.control_msgs += other.control_msgs;
+        self.data_msgs += other.data_msgs;
+        self.write_data_msgs += other.write_data_msgs;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Everything recorded about one simulated processor.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Cycle attribution (sums to this processor's finish time).
+    pub breakdown: Breakdown,
+    /// Total memory references issued (reads + writes).
+    pub refs: u64,
+    /// Read references issued.
+    pub reads: u64,
+    /// Write references issued.
+    pub writes: u64,
+    /// Read misses that required a data transfer.
+    pub read_misses: u64,
+    /// Write misses that required a data transfer (line absent).
+    pub write_misses: u64,
+    /// Write permission faults on a present, read-only line.
+    pub upgrades: u64,
+    /// Classified misses (only populated when classification is enabled).
+    pub miss_classes: MissCounts,
+    /// Write notices received from homes (lazy protocols).
+    pub notices_received: u64,
+    /// Lines invalidated at acquire points (lazy protocols).
+    pub acquire_invalidations: u64,
+    /// Eager invalidations applied on receipt (SC/ERC).
+    pub eager_invalidations: u64,
+    /// Lock acquires completed.
+    pub lock_acquires: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Messages this node's protocol processor sent.
+    pub traffic: Traffic,
+    /// Coherence transactions that required a third hop (forwarding).
+    pub three_hop: u64,
+    /// Cycle at which this processor executed its `Done` op.
+    pub finish_time: u64,
+    /// Cycles this node's protocol processor was busy.
+    pub pp_busy: u64,
+    /// Cycles this node's memory module was busy.
+    pub mem_busy: u64,
+}
+
+impl ProcStats {
+    /// All misses involving the coherence protocol (upgrades included, since
+    /// the paper's Table 2 counts "write misses" as a miss category).
+    pub fn total_misses(&self) -> u64 {
+        self.read_misses + self.write_misses + self.upgrades
+    }
+
+    /// Miss rate over all references, as used by the paper's Table 3.
+    pub fn miss_rate(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.total_misses() as f64 / self.refs as f64
+        }
+    }
+}
+
+/// Machine-level view: per-processor stats plus the run's wall-clock.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Per-processor statistics, indexed by `ProcId`.
+    pub procs: Vec<ProcStats>,
+    /// Cycle at which the last processor finished: the figure-4 metric.
+    pub total_cycles: u64,
+}
+
+impl MachineStats {
+    /// Empty statistics for a `num_procs`-processor machine.
+    pub fn new(num_procs: usize) -> Self {
+        MachineStats { procs: vec![ProcStats::default(); num_procs], total_cycles: 0 }
+    }
+
+    /// Aggregate cycle breakdown over all processors (the figure-5 metric).
+    pub fn aggregate_breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::default();
+        for p in &self.procs {
+            b.merge(&p.breakdown);
+        }
+        b
+    }
+
+    /// Classified-miss totals over all processors (Table 2).
+    pub fn aggregate_misses(&self) -> MissCounts {
+        let mut m = MissCounts::default();
+        for p in &self.procs {
+            m.merge(&p.miss_classes);
+        }
+        m
+    }
+
+    /// Total memory references over all processors.
+    pub fn total_refs(&self) -> u64 {
+        self.procs.iter().map(|p| p.refs).sum()
+    }
+
+    /// Total misses (upgrades included) over all processors.
+    pub fn total_miss_count(&self) -> u64 {
+        self.procs.iter().map(|p| p.total_misses()).sum()
+    }
+
+    /// Whole-machine miss rate (Table 3).
+    pub fn miss_rate(&self) -> f64 {
+        let refs = self.total_refs();
+        if refs == 0 {
+            0.0
+        } else {
+            self.total_miss_count() as f64 / refs as f64
+        }
+    }
+
+    /// Total network traffic over all nodes.
+    pub fn aggregate_traffic(&self) -> Traffic {
+        let mut t = Traffic::default();
+        for p in &self.procs {
+            t.merge(&p.traffic);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_counts_are_exclusive_and_total() {
+        let mut m = MissCounts::default();
+        for c in MissClass::ALL {
+            m.record(c);
+        }
+        assert_eq!(m.total(), 5);
+        for c in MissClass::ALL {
+            assert_eq!(m.get(c), 1);
+            assert!((m.percent(c) - 20.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn breakdown_buckets() {
+        let mut b = Breakdown::default();
+        b.add(StallKind::Cpu, 10);
+        b.add(StallKind::Read, 20);
+        b.add(StallKind::Write, 30);
+        b.add(StallKind::Sync, 40);
+        assert_eq!(b.total(), 100);
+        let n = b.normalized(200);
+        assert!((n[0] - 0.05).abs() < 1e-12);
+        assert!((n[3] - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_aggregation() {
+        let mut s = MachineStats::new(2);
+        s.procs[0].breakdown.add(StallKind::Cpu, 5);
+        s.procs[1].breakdown.add(StallKind::Sync, 7);
+        s.procs[0].refs = 10;
+        s.procs[0].read_misses = 2;
+        s.procs[1].refs = 10;
+        s.procs[1].upgrades = 3;
+        let b = s.aggregate_breakdown();
+        assert_eq!(b.cpu, 5);
+        assert_eq!(b.sync, 7);
+        assert_eq!(s.total_refs(), 20);
+        assert_eq!(s.total_miss_count(), 5);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_counts_upgrades() {
+        let p = ProcStats {
+            refs: 100,
+            read_misses: 1,
+            write_misses: 1,
+            upgrades: 2,
+            ..Default::default()
+        };
+        assert_eq!(p.total_misses(), 4);
+        assert!((p.miss_rate() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_classes() {
+        let mut t = Traffic::default();
+        t.record(TrafficClass::Control, 8);
+        t.record(TrafficClass::Data, 136);
+        t.record(TrafficClass::WriteData, 24);
+        assert_eq!(t.total_msgs(), 3);
+        assert_eq!(t.bytes, 168);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let m = MissCounts::default();
+        assert_eq!(m.percent(MissClass::Cold), 0.0);
+        let p = ProcStats::default();
+        assert_eq!(p.miss_rate(), 0.0);
+        let b = Breakdown::default();
+        assert_eq!(b.normalized(0), [0.0; 4]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests for the simulation kernel.
+
+use lrc_sim::{EventQueue, LineAddr, MachineConfig, Rng};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in nondecreasing time order, FIFO within a timestamp.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..1000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut last_t = 0;
+        let mut seen_at_t: Vec<usize> = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last_t);
+            if t != last_t {
+                seen_at_t.clear();
+                last_t = t;
+            }
+            // FIFO within a timestamp: indices increase.
+            if let Some(&prev) = seen_at_t.last() {
+                prop_assert!(i > prev);
+            }
+            seen_at_t.push(i);
+        }
+    }
+
+    /// Line addressing round-trips for every power-of-two line size.
+    #[test]
+    fn line_addr_roundtrip(addr in 0u64..1_000_000, shift in 5u32..9) {
+        let line_size = 1usize << shift;
+        let line = LineAddr::containing(addr, line_size);
+        prop_assert!(line.base(line_size) <= addr);
+        prop_assert!(addr < line.base(line_size) + line_size as u64);
+        let w = line.word_index(addr, line_size, 4);
+        prop_assert!(w < line_size / 4);
+    }
+
+    /// Round-robin placement spreads pages over all nodes.
+    #[test]
+    fn placement_is_total(addr in 0u64..100_000_000, procs in 1usize..64) {
+        let cfg = MachineConfig::paper_default(procs);
+        prop_assert!(cfg.home_of(addr) < procs);
+    }
+
+    /// The PRNG's bounded draws respect their bounds.
+    #[test]
+    fn rng_below_is_bounded(seed in any::<u64>(), n in 1u64..10_000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Serde round-trips for everything the experiment harness serializes.
+
+use lrc_sim::{Breakdown, MachineConfig, MachineStats, MissClass, MissCounts, ProcStats, Protocol};
+
+#[test]
+fn machine_config_roundtrips() {
+    let cfg = MachineConfig::future_machine(64);
+    let s = serde_json::to_string(&cfg).unwrap();
+    let back: MachineConfig = serde_json::from_str(&s).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn protocol_names_serialize_stably() {
+    for p in Protocol::ALL {
+        let s = serde_json::to_string(&p).unwrap();
+        let back: Protocol = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+}
+
+#[test]
+fn stats_roundtrip_preserves_counts() {
+    let mut stats = MachineStats::new(2);
+    stats.procs[0].refs = 100;
+    stats.procs[0].read_misses = 7;
+    stats.procs[0].miss_classes.record(MissClass::FalseShare);
+    stats.procs[0].breakdown = Breakdown { cpu: 1, read: 2, write: 3, sync: 4 };
+    stats.total_cycles = 1234;
+    let s = serde_json::to_string(&stats).unwrap();
+    let back: MachineStats = serde_json::from_str(&s).unwrap();
+    assert_eq!(back.total_cycles, 1234);
+    assert_eq!(back.procs[0].refs, 100);
+    assert_eq!(back.procs[0].miss_classes.get(MissClass::FalseShare), 1);
+    assert_eq!(back.procs[0].breakdown.total(), 10);
+}
+
+#[test]
+fn proc_stats_defaults_are_zero() {
+    let p = ProcStats::default();
+    assert_eq!(p.total_misses(), 0);
+    assert_eq!(p.miss_rate(), 0.0);
+    let m = MissCounts::default();
+    assert_eq!(m.total(), 0);
+}

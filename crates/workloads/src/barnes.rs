@@ -1,0 +1,189 @@
+//! `barnes` — Barnes-Hut N-body simulation (paper: 4096 bodies, 4 time
+//! steps).
+//!
+//! Structure preserved from the original: a lock-protected tree-build
+//! phase, a read-dominated force-computation phase traversing shared tree
+//! cells (skewed toward the hot upper levels), and an update phase writing
+//! the owner's bodies. Bodies are 64-byte records assigned round-robin, so
+//! two bodies share each 128-byte line and the update phase exhibits the
+//! false sharing the paper measures; the tree traversal's working set
+//! (cells + visited bodies) drives the large eviction-miss component.
+//!
+//! Substitution note: tree topology is synthesized from a fixed-seed PRNG
+//! with a Zipf-like bias toward low-numbered (upper) cells instead of
+//! being computed from body positions. Miss behaviour depends on the
+//! *distribution* of cell touches, which the bias preserves.
+
+use crate::framework::{ChunkFn, Scratch, Streams, ARRAY_ALIGN};
+use crate::scale::Scale;
+use lrc_sim::{AddressAllocator, Op, Rng};
+
+const BODY_BYTES: u64 = 64;
+const CELL_BYTES: u64 = 128;
+/// Cell reads per body per force evaluation (≈ tree depth × node fanout).
+const TRAVERSAL_CELLS: usize = 36;
+/// Distinct remote bodies consulted per force evaluation.
+const TRAVERSAL_BODIES: usize = 12;
+
+/// `(bodies, steps)` for `scale`.
+pub fn size(scale: Scale) -> (usize, usize) {
+    scale.pick((4096, 4), (1024, 4), (256, 2), (64, 2))
+}
+
+/// Build the workload for `p` processors.
+pub fn build(p: usize, scale: Scale) -> Streams {
+    let (nbodies, steps) = size(scale);
+    let ncells = nbodies; // tree cells ≈ bodies for BH octrees
+    let nlocks = 16u32;
+
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let bodies = alloc.alloc_array(nbodies as u64, BODY_BYTES);
+    // The tree is rebuilt from scratch every step; double-buffer the cell
+    // pool (as the real program's fresh allocations do) so force-phase
+    // traversals read the *previous* tree, which nobody is writing.
+    let cells_a = alloc.alloc_array(ncells as u64, CELL_BYTES);
+    let cells_b = alloc.alloc_array(ncells as u64, CELL_BYTES);
+    let mut scratches: Vec<Scratch> = (0..p).map(|_| Scratch::new(&mut alloc, 8192)).collect();
+    let addr_space = alloc.used();
+    let body_at = move |i: usize, field: u64| bodies + i as u64 * BODY_BYTES + field * 8;
+    let cell_at = move |buf: usize, i: usize, field: u64| {
+        let base = if buf.is_multiple_of(2) { cells_a } else { cells_b };
+        base + i as u64 * CELL_BYTES + field * 8
+    };
+
+    // Zipf-ish cell pick: upper levels of the tree are touched by every
+    // traversal.
+    let pick_cell = move |rng: &mut Rng| -> usize {
+        if rng.chance(0.4) {
+            rng.below(64.min(ncells as u64)) as usize
+        } else {
+            rng.below(ncells as u64) as usize
+        }
+    };
+
+    let fills: Vec<ChunkFn> = (0..p)
+        .map(|proc| {
+            let mut scratch = scratches.remove(0);
+            let mut step = 0usize;
+            let mut phase = 0u32;
+            let mut rng = Rng::new(0x00BA_12E5 ^ (proc as u64).wrapping_mul(0x9E37_79B9));
+            let f: ChunkFn = Box::new(move |out| {
+                if step >= steps {
+                    return false;
+                }
+                let my_bodies = (proc..nbodies).step_by(p);
+                match phase {
+                    0 => {
+                        // Tree build: insert each owned body under a hashed
+                        // cell lock.
+                        for i in my_bodies {
+                            // Descend the (hot) upper tree read-only, then
+                            // insert at a leaf: writes land on uniformly
+                            // distributed leaf cells, never the hot top.
+                            let walk1 = pick_cell(&mut rng);
+                            let walk2 = pick_cell(&mut rng);
+                            let leaf = ncells / 4 + rng.below((ncells - ncells / 4) as u64) as usize;
+                            // Walk the previous tree, insert into the new one.
+                            out.push(Op::Read(cell_at(step + 1, walk1, 0)));
+                            out.push(Op::Read(cell_at(step + 1, walk2, 0)));
+                            let lock = (leaf as u32) % nlocks;
+                            out.push(Op::Acquire(lock));
+                            out.push(Op::Read(cell_at(step, leaf, 0)));
+                            out.push(Op::Compute(6));
+                            out.push(Op::Write(cell_at(step, leaf, 1)));
+                            if rng.chance(0.1) {
+                                // Subdivision: the parent (an upper cell of
+                                // the new tree) is updated too — the
+                                // migratory data the paper credits for the
+                                // lazy protocol's barnes gains.
+                                let parent = (leaf / 8).min(ncells - 1);
+                                out.push(Op::Read(cell_at(step, parent, 0)));
+                                out.push(Op::Compute(4));
+                                out.push(Op::Write(cell_at(step, parent, 0)));
+                            }
+                            out.push(Op::Release(lock));
+                            out.push(Op::Read(body_at(i, 0)));
+                            scratch.work(out, 6, 8);
+                        }
+                        out.push(Op::Barrier(0));
+                        phase = 1;
+                    }
+                    1 => {
+                        // Force computation: heavy read traversal, then
+                        // write own body's acceleration.
+                        for i in my_bodies {
+                            for _ in 0..TRAVERSAL_CELLS {
+                                let c = pick_cell(&mut rng);
+                                out.push(Op::Read(cell_at(step, c, rng.below(4))));
+                                // The force kernel: ~50 private refs and a
+                                // few dozen FLOPs per visited node.
+                                scratch.work(out, 48, 64);
+                            }
+                            for _ in 0..TRAVERSAL_BODIES {
+                                let b = rng.below(nbodies as u64) as usize;
+                                out.push(Op::Read(body_at(b, 0)));
+                                scratch.work(out, 40, 56);
+                            }
+                            out.push(Op::Write(body_at(i, 4)));
+                            out.push(Op::Write(body_at(i, 5)));
+                        }
+                        out.push(Op::Barrier(1));
+                        phase = 2;
+                    }
+                    2 => {
+                        // Position/velocity update of owned bodies.
+                        for i in my_bodies {
+                            out.push(Op::Read(body_at(i, 4)));
+                            out.push(Op::Read(body_at(i, 2)));
+                            out.push(Op::Compute(12));
+                            out.push(Op::Write(body_at(i, 0)));
+                            out.push(Op::Write(body_at(i, 2)));
+                        }
+                        out.push(Op::Barrier(2));
+                        phase = 0;
+                        step += 1;
+                    }
+                    _ => unreachable!(),
+                }
+                true
+            });
+            f
+        })
+        .collect();
+
+    Streams::new("barnes", addr_space, nlocks, 3, fills)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn tiny_barnes_is_well_formed() {
+        let mut w = build(4, Scale::Tiny);
+        let s = validate(&mut w).expect("valid streams");
+        let (_, steps) = size(Scale::Tiny);
+        assert_eq!(s.barrier_rounds, 3 * steps as u64);
+        assert!(s.lock_acquires > 0);
+    }
+
+    #[test]
+    fn bodies_share_lines_across_owners() {
+        // Round-robin 64-byte bodies on 128-byte lines: bodies 2i and 2i+1
+        // share a line and belong to different procs whenever p > 1.
+        assert_eq!(BODY_BYTES * 2, 128);
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = build(2, Scale::Tiny);
+        let mut b = build(2, Scale::Tiny);
+        for _ in 0..5000 {
+            assert_eq!(
+                lrc_sim::Workload::next_op(&mut a, 0),
+                lrc_sim::Workload::next_op(&mut b, 0)
+            );
+        }
+    }
+}

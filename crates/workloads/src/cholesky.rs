@@ -1,0 +1,157 @@
+//! `cholesky` — sparse Cholesky factorization (paper input: bcsstk15).
+//!
+//! Column-oriented fan-out factorization: processors draw column tasks,
+//! factor the column, then scatter updates into a few dependent columns
+//! under per-column locks. Dominated by cold and eviction misses plus
+//! write (upgrade) misses on the update targets, with almost no false
+//! sharing — matching the paper's Table 2 profile for cholesky.
+//!
+//! Substitution note: bcsstk15's exact sparsity structure is replaced by a
+//! fixed-seed synthetic structure with matching scale (≈ 4K columns,
+//! supernodal column lengths 8–56 elements, ≈ 8 updates per column, target
+//! columns skewed to be nearby — the profile that drives the miss mix).
+//! Task assignment is static round-robin rather than a dynamic queue, but
+//! the shared queue-head line is still read-modify-written under its lock,
+//! preserving the queue's coherence traffic.
+
+use crate::framework::{ChunkFn, Scratch, Streams, ARRAY_ALIGN};
+use crate::scale::Scale;
+use lrc_sim::{AddressAllocator, Op, Rng};
+
+/// Number of columns for `scale`.
+pub fn size(scale: Scale) -> usize {
+    scale.pick(3948, 1024, 256, 64)
+}
+
+const QUEUE_LOCK: u32 = 0;
+const COL_LOCKS: u32 = 63;
+
+/// Build the workload for `p` processors.
+pub fn build(p: usize, scale: Scale) -> Streams {
+    let ncols = size(scale);
+    // Synthesize the sparse structure once (shared by all generators).
+    let mut rng = Rng::new(0xC0_1E5C);
+    let mut col_len = Vec::with_capacity(ncols);
+    let mut col_base = Vec::with_capacity(ncols);
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let queue = alloc.alloc(64);
+    for _ in 0..ncols {
+        let len = 8 + rng.below(49) as usize; // 8..56 doubles
+        col_len.push(len);
+        col_base.push(alloc.alloc_array(len as u64, 8));
+    }
+    // Update lists: each column updates ~8 later columns, mostly nearby.
+    let mut updates: Vec<Vec<usize>> = Vec::with_capacity(ncols);
+    for j in 0..ncols {
+        let mut u = Vec::new();
+        let n_up = 4 + rng.below(9) as usize; // 4..12
+        for _ in 0..n_up {
+            if j + 1 >= ncols {
+                break;
+            }
+            let span = ((ncols - j - 1) as u64).min(64);
+            let t = j + 1 + rng.below(span.max(1)) as usize;
+            if t < ncols {
+                u.push(t);
+            }
+        }
+        updates.push(u);
+    }
+    let mut scratches: Vec<Scratch> = (0..p).map(|_| Scratch::new(&mut alloc, 4096)).collect();
+    let addr_space = alloc.used();
+
+    let col_len = std::sync::Arc::new(col_len);
+    let col_base = std::sync::Arc::new(col_base);
+    let updates = std::sync::Arc::new(updates);
+
+    let fills: Vec<ChunkFn> = (0..p)
+        .map(|proc| {
+            let col_len = col_len.clone();
+            let col_base = col_base.clone();
+            let updates = updates.clone();
+            let mut scratch = scratches.remove(0);
+            let mut next_col = proc; // static round-robin task assignment
+            let f: ChunkFn = Box::new(move |out| {
+                if next_col >= ncols {
+                    return false;
+                }
+                let j = next_col;
+                next_col += p;
+
+                // Draw the task from the shared queue (migratory line).
+                out.push(Op::Acquire(QUEUE_LOCK));
+                out.push(Op::Read(queue));
+                out.push(Op::Compute(4));
+                out.push(Op::Write(queue));
+                out.push(Op::Release(QUEUE_LOCK));
+
+                // Factor column j: scale by the diagonal.
+                for e in 0..col_len[j] {
+                    out.push(Op::Read(col_base[j] + e as u64 * 8));
+                    out.push(Op::Compute(6));
+                    out.push(Op::Write(col_base[j] + e as u64 * 8));
+                    scratch.work(out, 4, 5);
+                }
+
+                // Scatter updates into dependent columns under their locks.
+                for &t in &updates[j] {
+                    let lock = 1 + (t as u32 % COL_LOCKS);
+                    out.push(Op::Acquire(lock));
+                    let span = col_len[t].min(12);
+                    for e in 0..span {
+                        out.push(Op::Read(col_base[j] + (e % col_len[j]) as u64 * 8));
+                        out.push(Op::Read(col_base[t] + e as u64 * 8));
+                        out.push(Op::Compute(4));
+                        out.push(Op::Write(col_base[t] + e as u64 * 8));
+                        scratch.work(out, 4, 5);
+                    }
+                    out.push(Op::Release(lock));
+                }
+                true
+            });
+            f
+        })
+        .collect();
+
+    Streams::new("cholesky", addr_space, 1 + COL_LOCKS, 0, fills)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn tiny_cholesky_is_well_formed() {
+        let mut w = build(4, Scale::Tiny);
+        let s = validate(&mut w).expect("valid streams");
+        assert!(s.lock_acquires >= size(Scale::Tiny) as u64, "queue draws");
+        assert_eq!(s.barrier_rounds, 0);
+    }
+
+    #[test]
+    fn structure_is_deterministic() {
+        let mut a = build(3, Scale::Tiny);
+        let mut b = build(3, Scale::Tiny);
+        let sa = validate(&mut a).unwrap();
+        let sb = validate(&mut b).unwrap();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn columns_do_not_overlap() {
+        // Column allocations must be disjoint: validated by the allocator's
+        // monotonicity; spot-check the first few bases are increasing.
+        let ncols = size(Scale::Tiny);
+        let mut rng = Rng::new(0xC0_1E5C);
+        let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+        let _q = alloc.alloc(64);
+        let mut last = 0;
+        for _ in 0..ncols {
+            let len = 8 + rng.below(49) as usize;
+            let base = alloc.alloc_array(len as u64, 8);
+            assert!(base >= last);
+            last = base + (len as u64) * 8;
+        }
+    }
+}

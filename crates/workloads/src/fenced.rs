@@ -1,0 +1,128 @@
+//! Fence insertion: the paper's suggestion for data-race programs.
+//!
+//! Section 4.2: *"the lazy protocol can match the performance of the eager
+//! protocol simply by adding fence operations in the code that would force
+//! the protocol processor to process invalidations at regular intervals."*
+//!
+//! [`Fenced`] wraps any workload and inserts an [`Op::Fence`] every
+//! `interval` memory references on each processor, so the effect of fence
+//! frequency on the racy applications (mp3d, locusroute) can be measured —
+//! the `ablate` experiment sweeps it.
+
+use lrc_sim::{Op, ProcId, Workload};
+
+/// A workload with periodic fences injected per processor.
+pub struct Fenced {
+    inner: Box<dyn Workload>,
+    interval: u64,
+    name: String,
+    since_fence: Vec<u64>,
+    pending: Vec<Option<Op>>,
+}
+
+impl Fenced {
+    /// Wrap `inner`, fencing every `interval` memory references (≥ 1).
+    pub fn new(inner: Box<dyn Workload>, interval: u64) -> Self {
+        assert!(interval >= 1);
+        let n = inner.num_procs();
+        let name = format!("{}+fence{}", inner.name(), interval);
+        Fenced { inner, interval, name, since_fence: vec![0; n], pending: vec![None; n] }
+    }
+}
+
+impl Workload for Fenced {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_procs(&self) -> usize {
+        self.inner.num_procs()
+    }
+
+    fn addr_space(&self) -> u64 {
+        self.inner.addr_space()
+    }
+
+    fn num_locks(&self) -> u32 {
+        self.inner.num_locks()
+    }
+
+    fn num_barriers(&self) -> u32 {
+        self.inner.num_barriers()
+    }
+
+    fn next_op(&mut self, proc: ProcId) -> Op {
+        if let Some(op) = self.pending[proc].take() {
+            return op;
+        }
+        let op = self.inner.next_op(proc);
+        if matches!(op, Op::Read(_) | Op::Write(_)) {
+            self.since_fence[proc] += 1;
+            if self.since_fence[proc] >= self.interval {
+                self.since_fence[proc] = 0;
+                self.pending[proc] = Some(op);
+                return Op::Fence;
+            }
+        }
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrc_sim::Script;
+
+    #[test]
+    fn fences_are_injected_at_the_interval() {
+        let inner = Script::new(
+            "t",
+            vec![vec![Op::Read(0), Op::Read(4), Op::Read(8), Op::Read(12)]],
+        );
+        let mut f = Fenced::new(Box::new(inner), 2);
+        let ops: Vec<Op> = std::iter::from_fn(|| {
+            let op = f.next_op(0);
+            (op != Op::Done).then_some(op)
+        })
+        .collect();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Read(0),
+                Op::Fence,
+                Op::Read(4),
+                Op::Read(8),
+                Op::Fence,
+                Op::Read(12),
+            ]
+        );
+    }
+
+    #[test]
+    fn non_memory_ops_do_not_count() {
+        let inner = Script::new(
+            "t",
+            vec![vec![Op::Compute(5), Op::Compute(5), Op::Read(0), Op::Read(4)]],
+        );
+        let mut f = Fenced::new(Box::new(inner), 2);
+        let mut fences = 0;
+        loop {
+            match f.next_op(0) {
+                Op::Done => break,
+                Op::Fence => fences += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fences, 1);
+    }
+
+    #[test]
+    fn metadata_passes_through() {
+        let inner = Script::new("t", vec![vec![Op::Barrier(0), Op::Acquire(1), Op::Release(1)]]);
+        let f = Fenced::new(Box::new(inner), 10);
+        assert_eq!(f.num_procs(), 1);
+        assert_eq!(f.num_barriers(), 1);
+        assert_eq!(f.num_locks(), 2);
+        assert!(f.name().contains("fence10"));
+    }
+}

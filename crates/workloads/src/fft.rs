@@ -1,0 +1,158 @@
+//! `fft` — one-dimensional FFT on `n` complex points (paper: 65536),
+//! organized as the classic transpose-based algorithm: local row FFTs on a
+//! `√n × √n` matrix, a global transpose, then local row FFTs again.
+//!
+//! All communication happens in the transpose, which sits between barriers
+//! — the pattern that makes fft the one program where the paper's *lazier*
+//! protocol wins (write requests arrive together at the barrier and can be
+//! combined by the home).
+
+use crate::framework::{ChunkFn, Scratch, Streams, ARRAY_ALIGN};
+use crate::scale::Scale;
+use lrc_sim::{AddressAllocator, Op};
+
+/// Number of complex points for `scale`.
+pub fn size(scale: Scale) -> usize {
+    scale.pick(65536, 16384, 4096, 1024)
+}
+
+const COMPLEX_BYTES: u64 = 16;
+
+/// Build the workload for `p` processors.
+pub fn build(p: usize, scale: Scale) -> Streams {
+    let n = size(scale);
+    let m = (n as f64).sqrt() as usize; // matrix is m × m
+    assert_eq!(m * m, n, "fft sizes are perfect squares");
+    let log_m = m.trailing_zeros() as usize;
+
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let a = alloc.alloc_array(n as u64, COMPLEX_BYTES);
+    let b = alloc.alloc_array(n as u64, COMPLEX_BYTES);
+    let mut scratches: Vec<Scratch> = (0..p).map(|_| Scratch::new(&mut alloc, 4096)).collect();
+    let addr_space = alloc.used();
+    let at = move |base: u64, i: usize, j: usize| base + ((i * m + j) as u64) * COMPLEX_BYTES;
+
+    // Row i belongs to proc i*p/m (contiguous blocks of rows).
+    let rows_of = move |proc: usize| -> std::ops::Range<usize> {
+        let lo = proc * m / p;
+        let hi = (proc + 1) * m / p;
+        lo..hi
+    };
+
+    let fills: Vec<ChunkFn> = (0..p)
+        .map(|proc| {
+            let mut scratch = scratches.remove(0);
+            let mut phase = 0u32;
+            let rows = rows_of(proc);
+            let f: ChunkFn = Box::new(move |out| {
+                match phase {
+                    0 => {
+                        // Initialize own rows.
+                        for i in rows.clone() {
+                            for j in 0..m {
+                                out.push(Op::Write(at(a, i, j)));
+                                out.push(Op::Compute(2));
+                            }
+                        }
+                        out.push(Op::Barrier(0));
+                    }
+                    1 => {
+                        // Local FFT over own rows of A: log m butterfly
+                        // passes, each touching every element.
+                        for i in rows.clone() {
+                            for _pass in 0..log_m {
+                                for j in 0..m {
+                                    out.push(Op::Read(at(a, i, j)));
+                                    out.push(Op::Compute(6));
+                                    out.push(Op::Write(at(a, i, j)));
+                                    scratch.work(out, 8, 8);
+                                }
+                            }
+                        }
+                        out.push(Op::Barrier(1));
+                    }
+                    2 => {
+                        // Transpose with twiddle multiply: B[i][j] = A[j][i].
+                        // Reads stride across every other processor's rows,
+                        // visited in the standard skewed (rotated) order so
+                        // the all-to-all does not convoy on hot rows.
+                        let start = rows.start;
+                        for i in rows.clone() {
+                            for jj in 0..m {
+                                let j = (jj + start) % m;
+                                out.push(Op::Read(at(a, j, i)));
+                                out.push(Op::Compute(4));
+                                out.push(Op::Write(at(b, i, j)));
+                                scratch.work(out, 4, 4);
+                            }
+                        }
+                        out.push(Op::Barrier(2));
+                    }
+                    3 => {
+                        // Local FFT over own rows of B.
+                        for i in rows.clone() {
+                            for _pass in 0..log_m {
+                                for j in 0..m {
+                                    out.push(Op::Read(at(b, i, j)));
+                                    out.push(Op::Compute(6));
+                                    out.push(Op::Write(at(b, i, j)));
+                                    scratch.work(out, 8, 8);
+                                }
+                            }
+                        }
+                        out.push(Op::Barrier(3));
+                    }
+                    _ => return false,
+                }
+                phase += 1;
+                true
+            });
+            f
+        })
+        .collect();
+
+    Streams::new("fft", addr_space, 0, 4, fills)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn tiny_fft_is_well_formed() {
+        let mut w = build(4, Scale::Tiny);
+        let s = validate(&mut w).expect("valid streams");
+        assert_eq!(s.barrier_rounds, 4);
+        // n=1024, m=32, log m = 5: refs ≈ init 1024w + 2 × (1024×5×2) + transpose 2048.
+        assert!(s.refs > 20_000, "refs = {}", s.refs);
+    }
+
+    #[test]
+    fn row_partition_is_complete() {
+        let n = size(Scale::Tiny);
+        let m = (n as f64).sqrt() as usize;
+        let p = 4;
+        let mut covered = vec![false; m];
+        for proc in 0..p {
+            for (i, c) in covered
+                .iter_mut()
+                .enumerate()
+                .take((proc + 1) * m / p)
+                .skip(proc * m / p)
+            {
+                assert!(!*c, "row {i} covered twice");
+                *c = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn works_with_more_procs_than_rows() {
+        // 64 procs, 32 rows: half the procs idle but still barrier.
+        let mut w = build(64, Scale::Tiny);
+        let s = validate(&mut w).expect("valid streams");
+        assert_eq!(s.barrier_rounds, 4);
+    }
+}

@@ -1,0 +1,163 @@
+//! `lrc-workloads` — the application suite: op-stream reproductions of the
+//! seven SPLASH programs the paper evaluates (Section 3), plus the mp3d
+//! solution-quality functional experiment (Section 4.2).
+//!
+//! Each workload reproduces the original program's loop structure, data
+//! partitioning, record packing (hence false-sharing geometry), and
+//! synchronization (locks / barriers / work queues). Data-dependent
+//! structure (tree shape, routes, sparsity) is synthesized from fixed
+//! seeds — see the substitution notes in each module and DESIGN.md §3.
+
+#![warn(missing_docs)]
+#![allow(clippy::new_without_default)]
+
+pub mod barnes;
+pub mod blu;
+pub mod cholesky;
+pub mod fenced;
+pub mod fft;
+pub mod framework;
+pub mod gauss;
+pub mod locusroute;
+pub mod micro;
+pub mod mp3d;
+pub mod quality;
+pub mod scale;
+pub mod validate;
+
+pub use fenced::Fenced;
+pub use framework::{ChunkFn, Scratch, Streams, ARRAY_ALIGN};
+pub use quality::{quality_experiment, QualityResult};
+pub use scale::Scale;
+pub use validate::{validate, StreamSummary};
+
+use lrc_sim::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The seven applications of the paper's Table 2, in its row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Barnes-Hut N-body (4K bodies, 4 steps).
+    Barnes,
+    /// Blocked right-looking LU (448×448).
+    Blu,
+    /// Sparse Cholesky factorization (bcsstk15-scale).
+    Cholesky,
+    /// 1-D FFT (65536 points).
+    Fft,
+    /// Gaussian elimination without pivoting (448×448).
+    Gauss,
+    /// VLSI standard-cell router (Primary2-scale, 3029 wires).
+    Locusroute,
+    /// Wind-tunnel particle simulation (40000 particles, 10 steps).
+    Mp3d,
+}
+
+impl WorkloadKind {
+    /// All seven, in the paper's table order.
+    pub const ALL: [WorkloadKind; 7] = [
+        WorkloadKind::Barnes,
+        WorkloadKind::Blu,
+        WorkloadKind::Cholesky,
+        WorkloadKind::Fft,
+        WorkloadKind::Gauss,
+        WorkloadKind::Locusroute,
+        WorkloadKind::Mp3d,
+    ];
+
+    /// Stable report/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Barnes => "barnes",
+            WorkloadKind::Blu => "blu",
+            WorkloadKind::Cholesky => "cholesky",
+            WorkloadKind::Fft => "fft",
+            WorkloadKind::Gauss => "gauss",
+            WorkloadKind::Locusroute => "locusroute",
+            WorkloadKind::Mp3d => "mp3d",
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            WorkloadKind::Barnes => "Barnes-Hut",
+            WorkloadKind::Blu => "Blocked-LU",
+            WorkloadKind::Cholesky => "Cholesky",
+            WorkloadKind::Fft => "Fft",
+            WorkloadKind::Gauss => "Gauss",
+            WorkloadKind::Locusroute => "Locusroute",
+            WorkloadKind::Mp3d => "Mp3d",
+        }
+    }
+
+    /// Parse a CLI-style name.
+    pub fn parse(s: &str) -> Option<WorkloadKind> {
+        WorkloadKind::ALL.into_iter().find(|k| k.name() == s.to_ascii_lowercase())
+    }
+
+    /// Build this workload for `num_procs` processors at `scale`.
+    pub fn build(self, num_procs: usize, scale: Scale) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Barnes => Box::new(barnes::build(num_procs, scale)),
+            WorkloadKind::Blu => Box::new(blu::build(num_procs, scale)),
+            WorkloadKind::Cholesky => Box::new(cholesky::build(num_procs, scale)),
+            WorkloadKind::Fft => Box::new(fft::build(num_procs, scale)),
+            WorkloadKind::Gauss => Box::new(gauss::build(num_procs, scale)),
+            WorkloadKind::Locusroute => Box::new(locusroute::build(num_procs, scale)),
+            WorkloadKind::Mp3d => Box::new(mp3d::build(num_procs, scale)),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Build the full seven-application suite at `scale`.
+pub fn paper_suite(num_procs: usize, scale: Scale) -> Vec<Box<dyn Workload>> {
+    WorkloadKind::ALL.iter().map(|k| k.build(num_procs, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_roundtrip() {
+        for k in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(WorkloadKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn suite_has_seven_members() {
+        let suite = paper_suite(4, Scale::Tiny);
+        assert_eq!(suite.len(), 7);
+        let names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec!["barnes", "blu", "cholesky", "fft", "gauss", "locusroute", "mp3d"]
+        );
+    }
+
+    #[test]
+    fn every_workload_validates_at_tiny_scale() {
+        for k in WorkloadKind::ALL {
+            let mut w = k.build(4, Scale::Tiny);
+            let s = validate(w.as_mut()).unwrap_or_else(|e| panic!("{k}: {e}"));
+            assert!(s.refs > 500, "{k}: refs = {}", s.refs);
+        }
+    }
+
+    #[test]
+    fn every_workload_validates_with_64_procs() {
+        for k in WorkloadKind::ALL {
+            let mut w = k.build(64, Scale::Tiny);
+            validate(w.as_mut()).unwrap_or_else(|e| panic!("{k}: {e}"));
+        }
+    }
+}

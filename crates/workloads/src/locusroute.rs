@@ -1,0 +1,144 @@
+//! `locusroute` — VLSI standard-cell router (paper input: Primary2.grin,
+//! 3029 wires).
+//!
+//! Wires are routed through a shared cost grid: each wire evaluates two
+//! candidate L-shaped routes (read-only sweeps over the grid), picks one,
+//! and bumps the occupancy of every cell along it. The cost-grid updates
+//! are deliberately *unsynchronized* — locusroute is one of the two
+//! programs the paper notes does not obey the release-consistency model —
+//! and, with 4-byte cells packed 32 to a line, neighboring wires produce
+//! the heavy false sharing of Table 2 (33%).
+//!
+//! Substitution note: Primary2's geometry is replaced by a fixed-seed
+//! synthetic channel grid of comparable size (768 × 96 cells ≈ 288 KB,
+//! comfortably exceeding the 128 KB cache) and random wire endpoints with
+//! bounded spans. Task distribution is static round-robin with the task
+//! queue's lock/head traffic preserved.
+
+use crate::framework::{ChunkFn, Scratch, Streams, ARRAY_ALIGN};
+use crate::scale::Scale;
+use lrc_sim::{AddressAllocator, Op, Rng};
+
+const GRID_W: usize = 768;
+const GRID_H: usize = 96;
+const CELL_BYTES: u64 = 4;
+const QUEUE_LOCK: u32 = 0;
+
+/// Number of wires for `scale`.
+pub fn size(scale: Scale) -> usize {
+    scale.pick(3029, 1024, 256, 64)
+}
+
+/// Build the workload for `p` processors.
+pub fn build(p: usize, scale: Scale) -> Streams {
+    let nwires = size(scale);
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let queue = alloc.alloc(64);
+    let grid = alloc.alloc_array((GRID_W * GRID_H) as u64, CELL_BYTES);
+    let mut scratches: Vec<Scratch> = (0..p).map(|_| Scratch::new(&mut alloc, 4096)).collect();
+    let addr_space = alloc.used();
+    let cell = move |x: usize, y: usize| grid + ((y * GRID_W + x) as u64) * CELL_BYTES;
+
+    let fills: Vec<ChunkFn> = (0..p)
+        .map(|proc| {
+            let mut scratch = scratches.remove(0);
+            let mut rng = Rng::new(0x10C05 ^ (proc as u64).wrapping_mul(0x517C_C1B7));
+            let mut next_wire = proc;
+            let f: ChunkFn = Box::new(move |out| {
+                if next_wire >= nwires {
+                    return false;
+                }
+                next_wire += p;
+
+                // Draw a wire from the shared work queue.
+                out.push(Op::Acquire(QUEUE_LOCK));
+                out.push(Op::Read(queue));
+                out.push(Op::Compute(4));
+                out.push(Op::Write(queue));
+                out.push(Op::Release(QUEUE_LOCK));
+
+                // Wire endpoints with bounded span.
+                let x0 = rng.below((GRID_W - 64) as u64) as usize;
+                let y0 = rng.below((GRID_H - 24) as u64) as usize;
+                let dx = 8 + rng.below(56) as usize;
+                let dy = 4 + rng.below(20) as usize;
+                let (x1, y1) = (x0 + dx, y0 + dy);
+
+                // Candidate 1: horizontal then vertical. Candidate 2:
+                // vertical then horizontal. Cost evaluation reads only.
+                for x in x0..=x1 {
+                    out.push(Op::Read(cell(x, y0)));
+                    scratch.work(out, 2, 2);
+                }
+                for y in y0..=y1 {
+                    out.push(Op::Read(cell(x1, y)));
+                    scratch.work(out, 2, 2);
+                }
+                out.push(Op::Compute(32));
+                for y in y0..=y1 {
+                    out.push(Op::Read(cell(x0, y)));
+                    scratch.work(out, 2, 2);
+                }
+                for x in x0..=x1 {
+                    out.push(Op::Read(cell(x, y1)));
+                    scratch.work(out, 2, 2);
+                }
+                out.push(Op::Compute(32));
+
+                // Commit the cheaper route: unsynchronized read-modify-write
+                // of every cell along it.
+                if rng.chance(0.5) {
+                    for x in x0..=x1 {
+                        out.push(Op::Read(cell(x, y0)));
+                        out.push(Op::Write(cell(x, y0)));
+                        scratch.work(out, 3, 3);
+                    }
+                    for y in y0..=y1 {
+                        out.push(Op::Read(cell(x1, y)));
+                        out.push(Op::Write(cell(x1, y)));
+                        scratch.work(out, 3, 3);
+                    }
+                } else {
+                    for y in y0..=y1 {
+                        out.push(Op::Read(cell(x0, y)));
+                        out.push(Op::Write(cell(x0, y)));
+                        scratch.work(out, 3, 3);
+                    }
+                    for x in x0..=x1 {
+                        out.push(Op::Read(cell(x, y1)));
+                        out.push(Op::Write(cell(x, y1)));
+                        scratch.work(out, 3, 3);
+                    }
+                }
+                out.push(Op::Compute(40));
+                true
+            });
+            f
+        })
+        .collect();
+
+    Streams::new("locusroute", addr_space, 1, 0, fills)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn tiny_locusroute_is_well_formed() {
+        let mut w = build(4, Scale::Tiny);
+        let s = validate(&mut w).expect("valid streams");
+        assert_eq!(s.lock_acquires, size(Scale::Tiny) as u64);
+    }
+
+    #[test]
+    fn grid_exceeds_cache() {
+        assert!(GRID_W * GRID_H * CELL_BYTES as usize > 128 * 1024);
+    }
+
+    #[test]
+    fn cells_pack_many_per_line() {
+        assert_eq!(128 / CELL_BYTES, 32);
+    }
+}

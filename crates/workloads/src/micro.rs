@@ -1,0 +1,199 @@
+//! Protocol microbenchmarks: tiny, single-mechanism workloads that isolate
+//! each sharing pattern the application suite mixes together. Used by the
+//! test suites, the `false_sharing_lab` example, and anyone exploring how a
+//! coherence protocol responds to a specific access pattern.
+
+use crate::framework::{ChunkFn, Streams, ARRAY_ALIGN};
+use lrc_sim::{AddressAllocator, Op, Rng};
+
+/// Producer/consumer handoff through a lock: the *migratory* pattern.
+/// Each round, one processor updates a record under a lock, and the next
+/// processor reads-then-updates it. Lazy protocols serve the reads 2-hop
+/// from memory; eager ones forward 3-hop from the previous owner.
+pub fn migratory(procs: usize, rounds: u32, record_words: u64) -> Streams {
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let record = alloc.alloc(record_words * 4);
+    let addr_space = alloc.used();
+    let fills: Vec<ChunkFn> = (0..procs)
+        .map(|_| {
+            let mut left = rounds;
+            let f: ChunkFn = Box::new(move |out| {
+                if left == 0 {
+                    return false;
+                }
+                left -= 1;
+                out.push(Op::Acquire(0));
+                for w in 0..record_words {
+                    out.push(Op::Read(record + w * 4));
+                }
+                out.push(Op::Compute(20));
+                for w in 0..record_words {
+                    out.push(Op::Write(record + w * 4));
+                }
+                out.push(Op::Release(0));
+                out.push(Op::Compute(60));
+                true
+            });
+            f
+        })
+        .collect();
+    Streams::new("micro-migratory", addr_space, 1, 0, fills)
+}
+
+/// False sharing: each processor read-modify-writes its *own word* of one
+/// shared line, with no synchronization and no true sharing.
+pub fn false_sharing(procs: usize, iters: u32, gap_cycles: u32) -> Streams {
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let line = alloc.alloc(256);
+    let addr_space = alloc.used();
+    let fills: Vec<ChunkFn> = (0..procs)
+        .map(|p| {
+            let a = line + (p as u64 % 32) * 4;
+            let mut left = iters;
+            let f: ChunkFn = Box::new(move |out| {
+                if left == 0 {
+                    return false;
+                }
+                left -= 1;
+                out.push(Op::Read(a));
+                out.push(Op::Compute(10));
+                out.push(Op::Write(a));
+                out.push(Op::Compute(gap_cycles));
+                true
+            });
+            f
+        })
+        .collect();
+    Streams::new("micro-false-sharing", addr_space, 0, 0, fills)
+}
+
+/// Producer/consumers through a barrier: one processor writes a buffer,
+/// everyone reads it after the barrier — the pivot-row pattern of gauss.
+pub fn broadcast(procs: usize, rounds: u32, buffer_lines: u64) -> Streams {
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let buf = alloc.alloc(buffer_lines * 128);
+    let addr_space = alloc.used();
+    let fills: Vec<ChunkFn> = (0..procs)
+        .map(|p| {
+            let mut round = 0u32;
+            let f: ChunkFn = Box::new(move |out| {
+                if round >= rounds {
+                    return false;
+                }
+                let producer = (round as usize) % procs;
+                if p == producer {
+                    for l in 0..buffer_lines {
+                        for w in 0..4 {
+                            out.push(Op::Write(buf + l * 128 + w * 4));
+                        }
+                        out.push(Op::Compute(16));
+                    }
+                }
+                out.push(Op::Barrier(0));
+                if p != producer {
+                    for l in 0..buffer_lines {
+                        out.push(Op::Read(buf + l * 128));
+                        out.push(Op::Compute(8));
+                    }
+                }
+                out.push(Op::Barrier(1));
+                round += 1;
+                true
+            });
+            f
+        })
+        .collect();
+    Streams::new("micro-broadcast", addr_space, 0, 2, fills)
+}
+
+/// Unsynchronized scatter: everyone read-modify-writes random words of a
+/// shared table (the mp3d/locusroute race pattern).
+pub fn scatter(procs: usize, iters: u32, table_lines: u64, seed: u64) -> Streams {
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let table = alloc.alloc(table_lines * 128);
+    let addr_space = alloc.used();
+    let fills: Vec<ChunkFn> = (0..procs)
+        .map(|p| {
+            let mut rng = Rng::new(seed ^ (p as u64).wrapping_mul(0x9E37_79B9));
+            let mut left = iters;
+            let f: ChunkFn = Box::new(move |out| {
+                if left == 0 {
+                    return false;
+                }
+                left -= 1;
+                let a = table + rng.below(table_lines) * 128 + rng.below(32) * 4;
+                out.push(Op::Read(a));
+                out.push(Op::Compute(12));
+                out.push(Op::Write(a));
+                true
+            });
+            f
+        })
+        .collect();
+    Streams::new("micro-scatter", addr_space, 0, 0, fills)
+}
+
+/// Fully private working sets: the control — protocols must tie (and
+/// first-touch placement should beat round-robin, since every page can be
+/// homed at its only user). Each region spans four pages so the placement
+/// policies actually differ.
+pub fn private_only(procs: usize, iters: u32) -> Streams {
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let bases: Vec<u64> = (0..procs).map(|_| alloc.alloc(4 * 4096)).collect();
+    let addr_space = alloc.used();
+    let fills: Vec<ChunkFn> = (0..procs)
+        .map(|p| {
+            let base = bases[p];
+            let mut left = iters;
+            let mut cursor = 0u64;
+            let f: ChunkFn = Box::new(move |out| {
+                if left == 0 {
+                    return false;
+                }
+                left -= 1;
+                let a = base + (cursor % 4096) * 4;
+                cursor += 1;
+                out.push(Op::Read(a));
+                out.push(Op::Compute(4));
+                out.push(Op::Write(a));
+                true
+            });
+            f
+        })
+        .collect();
+    Streams::new("micro-private", addr_space, 0, 0, fills)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn all_micros_validate() {
+        for (name, mut w) in [
+            ("migratory", migratory(4, 5, 8)),
+            ("false_sharing", false_sharing(4, 10, 50)),
+            ("broadcast", broadcast(4, 3, 4)),
+            ("scatter", scatter(4, 20, 8, 7)),
+            ("private", private_only(4, 20)),
+        ] {
+            let s = validate(&mut w).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(s.refs > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn broadcast_rotates_producers() {
+        let mut w = broadcast(3, 3, 2);
+        let s = validate(&mut w).unwrap();
+        assert_eq!(s.barrier_rounds, 6);
+    }
+
+    #[test]
+    fn private_regions_do_not_overlap() {
+        let w = private_only(4, 1);
+        // 4 KB each, aligned: addr space at least 16 KB.
+        assert!(lrc_sim::Workload::addr_space(&w) >= 4 * 4096);
+    }
+}

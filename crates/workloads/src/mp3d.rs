@@ -1,0 +1,155 @@
+//! `mp3d` — rarefied-fluid wind-tunnel simulation (paper: 40000 particles,
+//! 10 steps).
+//!
+//! Each step moves every particle and accumulates statistics into the
+//! space cell the particle lands in, with *no synchronization* on the cell
+//! array (mp3d is the paper's canonical data-race program). Particles are
+//! 32-byte records assigned round-robin, packing four to a 128-byte line
+//! across four different owners — the source of mp3d's dominant false
+//! sharing and write-miss components and of its top-of-table miss rate.
+
+use crate::framework::{ChunkFn, Scratch, Streams, ARRAY_ALIGN};
+use crate::scale::Scale;
+use lrc_sim::{AddressAllocator, Op, Rng};
+
+const PARTICLE_BYTES: u64 = 32;
+const CELL_BYTES: u64 = 64;
+
+/// `(particles, steps)` for `scale`.
+pub fn size(scale: Scale) -> (usize, usize) {
+    scale.pick((40000, 10), (10000, 5), (4000, 3), (1000, 2))
+}
+
+/// Build the workload for `p` processors.
+pub fn build(p: usize, scale: Scale) -> Streams {
+    build_with(p, scale, PARTICLE_BYTES)
+}
+
+/// Build a *padded* variant: each particle record occupies a full cache
+/// line, eliminating the false sharing between line-mates. This is the
+/// compiler-padding technique of the paper's Section 5 ("False sharing can
+/// be dealt with in software using compiler techniques"), exposed for the
+/// `ablate` experiment: with padding, the lazy protocol's advantage over
+/// eager RC should largely disappear.
+pub fn build_padded(p: usize, scale: Scale) -> Streams {
+    build_with(p, scale, 128)
+}
+
+fn build_with(p: usize, scale: Scale, particle_bytes: u64) -> Streams {
+    let (nparticles, steps) = size(scale);
+    // The wind tunnel's space-cell array is comparable in size to the
+    // particle population (the original uses ~14K cells for 40K particles);
+    // keeping it large also spreads the cell pages across many home nodes.
+    let ncells = (nparticles / 3).max(256);
+
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    let particles = alloc.alloc_array(nparticles as u64, particle_bytes);
+    let cells = alloc.alloc_array(ncells as u64, CELL_BYTES);
+    let mut scratches: Vec<Scratch> = (0..p).map(|_| Scratch::new(&mut alloc, 4096)).collect();
+    let addr_space = alloc.used();
+    let part_at = move |i: usize, f: u64| particles + i as u64 * particle_bytes + f * 8;
+    let cell_at = move |i: usize, f: u64| cells + i as u64 * CELL_BYTES + f * 8;
+
+    let fills: Vec<ChunkFn> = (0..p)
+        .map(|proc| {
+            let mut scratch = scratches.remove(0);
+            let mut step = 0usize;
+            let mut rng = Rng::new(0x3D ^ (proc as u64).wrapping_mul(0xD6E8_FEB8));
+            let f: ChunkFn = Box::new(move |out| {
+                if step >= steps {
+                    return false;
+                }
+                // One time step = three passes over the owned particles
+                // (move, collide, boundary/statistics), with no barriers in
+                // between — each particle line and each collision cell is
+                // touched several times per step, the intra-step reuse that
+                // lets the lazy protocol keep falsely-shared lines cached
+                // where the eager protocol ping-pongs them.
+                let my: Vec<usize> = (proc..nparticles).step_by(p).collect();
+                // Pass 1: move. Read position & velocity, write position.
+                let mut cells_of: Vec<usize> = Vec::with_capacity(my.len());
+                for &i in &my {
+                    out.push(Op::Read(part_at(i, 0)));
+                    out.push(Op::Read(part_at(i, 1)));
+                    out.push(Op::Compute(12));
+                    out.push(Op::Write(part_at(i, 0)));
+                    scratch.work(out, 10, 12);
+                    cells_of.push(rng.below(ncells as u64) as usize);
+                }
+                // Pass 2: collide. Unsynchronized scatter into the particle's
+                // cell; sometimes the velocity changes too.
+                for (k, &i) in my.iter().enumerate() {
+                    let c = cells_of[k];
+                    out.push(Op::Read(cell_at(c, 0)));
+                    out.push(Op::Read(part_at(i, 1)));
+                    // Collision partner: another particle in the same cell,
+                    // usually owned by a different processor. Under the
+                    // eager protocol these reads keep missing as the
+                    // partners' owners update them; under the lazy protocol
+                    // the copy fetched here survives until the barrier.
+                    let partner = rng.below(nparticles as u64) as usize;
+                    out.push(Op::Read(part_at(partner, 0)));
+                    out.push(Op::Read(part_at(partner, 1)));
+                    out.push(Op::Compute(10));
+                    out.push(Op::Write(cell_at(c, 0)));
+                    out.push(Op::Write(cell_at(c, 1)));
+                    if rng.chance(0.4) {
+                        out.push(Op::Compute(8));
+                        out.push(Op::Write(part_at(i, 1)));
+                    }
+                    scratch.work(out, 10, 12);
+                }
+                // Pass 3: boundary handling and per-cell statistics.
+                for (k, &i) in my.iter().enumerate() {
+                    let c = cells_of[k];
+                    out.push(Op::Read(part_at(i, 0)));
+                    out.push(Op::Read(cell_at(c, 2)));
+                    out.push(Op::Compute(8));
+                    out.push(Op::Write(part_at(i, 2)));
+                    out.push(Op::Write(cell_at(c, 2)));
+                    scratch.work(out, 8, 10);
+                }
+                out.push(Op::Barrier(0));
+                step += 1;
+                true
+            });
+            f
+        })
+        .collect();
+
+    let name = if particle_bytes >= 128 { "mp3d-padded" } else { "mp3d" };
+    Streams::new(name, addr_space, 0, 1, fills)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn tiny_mp3d_is_well_formed() {
+        let mut w = build(4, Scale::Tiny);
+        let s = validate(&mut w).expect("valid streams");
+        let (_, steps) = size(Scale::Tiny);
+        assert_eq!(s.barrier_rounds, steps as u64);
+    }
+
+    #[test]
+    fn particles_pack_four_per_line() {
+        assert_eq!(128 / PARTICLE_BYTES, 4);
+    }
+
+    #[test]
+    fn all_particles_processed_each_step() {
+        let (n, _) = size(Scale::Tiny);
+        let p = 3;
+        let mut seen = vec![false; n];
+        for proc in 0..p {
+            for i in (proc..n).step_by(p) {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

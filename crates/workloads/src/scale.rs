@@ -1,0 +1,75 @@
+//! Input-size scaling.
+//!
+//! The paper runs each program on the largest input that simulates in
+//! reasonable time (Section 3). We expose those sizes as [`Scale::Paper`]
+//! and provide smaller scales for tests and quick benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+/// Input-size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// The paper's input sizes (448×448 matrices, 64K-point FFT, 4K bodies,
+    /// 40K particles, ~3K wires/columns).
+    Paper,
+    /// Roughly 1/4 the paper's work: minutes become seconds.
+    Medium,
+    /// Small inputs for fast benchmark iterations.
+    Small,
+    /// Tiny inputs for unit/integration tests.
+    Tiny,
+}
+
+impl Scale {
+    /// Pick among per-scale values.
+    pub fn pick<T: Copy>(self, paper: T, medium: T, small: T, tiny: T) -> T {
+        match self {
+            Scale::Paper => paper,
+            Scale::Medium => medium,
+            Scale::Small => small,
+            Scale::Tiny => tiny,
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Medium => "medium",
+            Scale::Small => "small",
+            Scale::Tiny => "tiny",
+        }
+    }
+
+    /// Parse a CLI-style scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "paper" | "full" => Some(Scale::Paper),
+            "medium" => Some(Scale::Medium),
+            "small" => Some(Scale::Small),
+            "tiny" => Some(Scale::Tiny),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Paper.pick(1, 2, 3, 4), 1);
+        assert_eq!(Scale::Medium.pick(1, 2, 3, 4), 2);
+        assert_eq!(Scale::Small.pick(1, 2, 3, 4), 3);
+        assert_eq!(Scale::Tiny.pick(1, 2, 3, 4), 4);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for s in [Scale::Paper, Scale::Medium, Scale::Small, Scale::Tiny] {
+            assert_eq!(Scale::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scale::parse("nope"), None);
+    }
+}

@@ -1,0 +1,178 @@
+//! Stream validation: drains a workload (without simulating it) and checks
+//! the structural properties the machine depends on — addresses in range,
+//! lock discipline, and barrier matching across processors.
+//!
+//! Useful both for the workload test suites and for users developing their
+//! own workloads.
+
+use lrc_sim::{Op, Workload};
+use std::collections::{BTreeMap, HashSet};
+
+/// Summary of a drained workload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Total ops across all processors (excluding `Done`).
+    pub total_ops: u64,
+    /// Total memory references.
+    pub refs: u64,
+    /// Total compute cycles.
+    pub compute_cycles: u64,
+    /// Number of barrier rounds each processor participates in.
+    pub barrier_rounds: u64,
+    /// Total lock acquires across all processors.
+    pub lock_acquires: u64,
+    /// Per-processor op counts (load-balance check).
+    pub per_proc_ops: Vec<u64>,
+}
+
+/// Drain `w` completely, checking structural invariants. Returns the
+/// summary, or a description of the first violation.
+///
+/// Checks:
+/// * every `Read`/`Write` address is below `addr_space()`;
+/// * every lock id is below `num_locks()`, every barrier id below
+///   `num_barriers()`;
+/// * locks are released only while held and all are released by `Done`;
+/// * every processor executes the *same sequence* of barrier ids (the
+///   machine requires full participation in every round).
+pub fn validate(w: &mut dyn Workload) -> Result<StreamSummary, String> {
+    let p = w.num_procs();
+    let addr_space = w.addr_space();
+    let num_locks = w.num_locks();
+    let num_barriers = w.num_barriers();
+
+    let mut summary = StreamSummary { per_proc_ops: vec![0; p], ..Default::default() };
+    let mut barrier_seqs: Vec<Vec<u32>> = vec![Vec::new(); p];
+
+    #[allow(clippy::needless_range_loop)] // proc drives next_op too
+    for proc in 0..p {
+        let mut held: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let _ = &mut seen;
+        let mut guard: u64 = 0;
+        loop {
+            guard += 1;
+            if guard > 2_000_000_000 {
+                return Err(format!("proc {proc}: stream appears infinite"));
+            }
+            let op = w.next_op(proc);
+            if op != Op::Done {
+                summary.total_ops += 1;
+                summary.per_proc_ops[proc] += 1;
+            }
+            match op {
+                Op::Read(a) | Op::Write(a) => {
+                    if a >= addr_space {
+                        return Err(format!(
+                            "proc {proc}: address {a:#x} outside addr_space {addr_space:#x}"
+                        ));
+                    }
+                    summary.refs += 1;
+                }
+                Op::Compute(c) => summary.compute_cycles += u64::from(c),
+                Op::Acquire(l) => {
+                    if l >= num_locks {
+                        return Err(format!("proc {proc}: lock {l} >= num_locks {num_locks}"));
+                    }
+                    let held_count = held.entry(l).or_insert(0);
+                    if *held_count > 0 {
+                        return Err(format!("proc {proc}: re-acquired held lock {l}"));
+                    }
+                    *held_count += 1;
+                    summary.lock_acquires += 1;
+                }
+                Op::Release(l) => {
+                    match held.get_mut(&l) {
+                        Some(c) if *c > 0 => *c -= 1,
+                        _ => return Err(format!("proc {proc}: released un-held lock {l}")),
+                    }
+                }
+                Op::Barrier(b) => {
+                    if b >= num_barriers {
+                        return Err(format!(
+                            "proc {proc}: barrier {b} >= num_barriers {num_barriers}"
+                        ));
+                    }
+                    if !held.values().all(|&c| c == 0) {
+                        return Err(format!("proc {proc}: entered barrier {b} holding a lock"));
+                    }
+                    barrier_seqs[proc].push(b);
+                }
+                Op::Fence => {}
+                Op::Done => {
+                    if !held.values().all(|&c| c == 0) {
+                        return Err(format!("proc {proc}: finished holding locks {held:?}"));
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    for proc in 1..p {
+        if barrier_seqs[proc] != barrier_seqs[0] {
+            return Err(format!(
+                "barrier sequences differ: proc 0 has {} rounds {:?}..., proc {} has {} rounds {:?}...",
+                barrier_seqs[0].len(),
+                &barrier_seqs[0][..barrier_seqs[0].len().min(8)],
+                proc,
+                barrier_seqs[proc].len(),
+                &barrier_seqs[proc][..barrier_seqs[proc].len().min(8)],
+            ));
+        }
+    }
+    summary.barrier_rounds = barrier_seqs.first().map_or(0, |s| s.len() as u64);
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrc_sim::Script;
+
+    #[test]
+    fn accepts_well_formed_script() {
+        let mut w = Script::new(
+            "ok",
+            vec![
+                vec![Op::Acquire(0), Op::Write(8), Op::Release(0), Op::Barrier(0)],
+                vec![Op::Barrier(0)],
+            ],
+        );
+        let s = validate(&mut w).unwrap();
+        assert_eq!(s.lock_acquires, 1);
+        assert_eq!(s.barrier_rounds, 1);
+        assert_eq!(s.refs, 1);
+    }
+
+    #[test]
+    fn rejects_unmatched_barriers() {
+        let mut w = Script::new(
+            "bad",
+            vec![vec![Op::Barrier(0)], vec![]],
+        );
+        assert!(validate(&mut w).is_err());
+    }
+
+    #[test]
+    fn rejects_release_without_acquire() {
+        let mut w = Script::new("bad", vec![vec![Op::Release(0)]]);
+        assert!(validate(&mut w).is_err());
+    }
+
+    #[test]
+    fn rejects_finishing_with_held_lock() {
+        let mut w = Script::new("bad", vec![vec![Op::Acquire(0)]]);
+        assert!(validate(&mut w).is_err());
+    }
+
+    #[test]
+    fn rejects_barrier_while_holding_lock() {
+        let mut w = Script::new(
+            "bad",
+            vec![vec![Op::Acquire(0), Op::Barrier(0), Op::Release(0)]],
+        );
+        assert!(validate(&mut w).is_err());
+    }
+}

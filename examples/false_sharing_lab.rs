@@ -1,0 +1,80 @@
+//! False-sharing laboratory: a controlled microbenchmark showing *why* the
+//! lazy protocol wins when processors read-modify-write different words of
+//! the same cache line.
+//!
+//! Two processors each own one word of a single 128-byte line and update it
+//! in a loop with no true sharing whatsoever. Under eager release
+//! consistency the line ping-pongs (every write invalidates the other's
+//! copy, every read re-misses); under lazy release consistency both copies
+//! survive until a synchronization acquire — which never touches this line.
+//!
+//! The example sweeps the number of falsely-sharing processors (2, 4, 8 —
+//! up to the 32 words in a line) and prints the ping-pong cost.
+//!
+//! ```sh
+//! cargo run --release --example false_sharing_lab
+//! ```
+
+use lazy_rc::prelude::*;
+
+/// Build the microbenchmark: `sharers` processors RMW their own word of one
+/// line, `iters` times, with a little compute in between; remaining
+/// processors idle.
+fn build(procs: usize, sharers: usize, iters: u32) -> Script {
+    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(procs);
+    for p in 0..procs {
+        if p < sharers {
+            let addr = (p * 4) as u64; // word p of line 0
+            let mut ops = Vec::with_capacity(iters as usize * 3);
+            for _ in 0..iters {
+                ops.push(Op::Read(addr));
+                ops.push(Op::Compute(20));
+                ops.push(Op::Write(addr));
+                // Enough work between updates for the write buffer to
+                // drain, so each round exercises the protocol rather than
+                // the buffer's read forwarding.
+                ops.push(Op::Compute(400));
+            }
+            streams.push(ops);
+        } else {
+            streams.push(vec![]);
+        }
+    }
+    Script::new("false-sharing-lab", streams)
+}
+
+fn main() {
+    let procs = 16;
+    let iters = 300;
+    println!("false-sharing microbenchmark: {iters} read-modify-writes per sharer\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>16} {:>16}",
+        "sharers", "eager (cyc)", "lazy (cyc)", "lazy/eager", "eager misses", "lazy misses"
+    );
+    for sharers in [1, 2, 4, 8] {
+        let mut row = Vec::new();
+        for proto in [Protocol::Erc, Protocol::Lrc] {
+            let cfg = MachineConfig::paper_default(procs);
+            let w = build(procs, sharers, iters);
+            let r = Machine::new(cfg, proto).run(Box::new(w));
+            row.push((r.stats.total_cycles, r.stats.total_miss_count()));
+        }
+        let (ec, em) = row[0];
+        let (lc, lm) = row[1];
+        println!(
+            "{:<8} {:>12} {:>12} {:>10.2} {:>16} {:>16}",
+            sharers,
+            ec,
+            lc,
+            lc as f64 / ec as f64,
+            em,
+            lm
+        );
+    }
+    println!(
+        "\nWith one writer there is nothing to fight over and the protocols\n\
+         tie. As sharers are added, the eager protocol's misses grow with\n\
+         every remote write while the lazy protocol's stay near the cold\n\
+         minimum — the Table 2 false-sharing column turned into wall-clock."
+    );
+}

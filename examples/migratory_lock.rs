@@ -1,0 +1,66 @@
+//! Migratory-data example: a counter protected by a lock, bouncing between
+//! processors — the access pattern behind the paper's barnes-hut and
+//! work-queue observations.
+//!
+//! Each processor repeatedly acquires the lock, read-modify-writes the
+//! shared counter line, and releases. The critical section's length under
+//! each protocol determines how fast the lock can hand off:
+//!
+//! * **eager**: the read inside the critical section is a 3-hop forward
+//!   (the line is dirty at the previous holder) and the release must wait
+//!   for the ownership round to complete;
+//! * **lazy**: the read is a 2-hop fill from home memory (write-through
+//!   keeps it fresh) and the write announcement overlaps the critical
+//!   section.
+//!
+//! ```sh
+//! cargo run --release --example migratory_lock
+//! ```
+
+use lazy_rc::prelude::*;
+
+fn build(procs: usize, rounds: u32) -> Script {
+    let counter = 0u64; // word 0 of line 0; the lock is id 0
+    let streams: Vec<Vec<Op>> = (0..procs)
+        .map(|_| {
+            let mut ops = Vec::new();
+            for _ in 0..rounds {
+                ops.push(Op::Acquire(0));
+                ops.push(Op::Read(counter));
+                ops.push(Op::Compute(10));
+                ops.push(Op::Write(counter));
+                ops.push(Op::Release(0));
+                ops.push(Op::Compute(50)); // think time outside the lock
+            }
+            ops
+        })
+        .collect();
+    Script::new("migratory-lock", streams)
+}
+
+fn main() {
+    println!("lock-protected counter, 20 rounds per processor\n");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}",
+        "procs", "sc (cyc)", "eager (cyc)", "lazy (cyc)", "lazy-ext (cyc)"
+    );
+    for procs in [2usize, 4, 8, 16, 32] {
+        let mut cells = Vec::new();
+        for proto in Protocol::ALL {
+            let cfg = MachineConfig::paper_default(procs);
+            let r = Machine::new(cfg, proto).run(Box::new(build(procs, 20)));
+            cells.push(r.stats.total_cycles);
+        }
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>14}",
+            procs, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!(
+        "\nThe counter line migrates holder-to-holder. Because the lock\n\
+         serializes everyone, any cycle added inside the critical section\n\
+         multiplies by the queue length — exactly where the lazy protocol's\n\
+         2-hop reads and overlapped write announcements pay off, and where\n\
+         the lazy-ext variant's release-time notice burst costs the most."
+    );
+}

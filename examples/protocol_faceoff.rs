@@ -1,0 +1,57 @@
+//! Protocol face-off: run the full seven-application suite under all four
+//! protocols and print the paper's Figure-4/6-style normalized comparison,
+//! plus a traffic summary.
+//!
+//! ```sh
+//! cargo run --release --example protocol_faceoff -- [scale] [procs]
+//! ```
+//! Defaults to the `small` scale on 64 processors (a couple of minutes);
+//! `medium` reproduces the shapes more faithfully.
+
+use lazy_rc::prelude::*;
+use lazy_rc::workloads::{Scale, WorkloadKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .first()
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Small);
+    let procs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    println!("suite face-off: scale={} procs={procs}", scale.name());
+    println!("(execution time normalized to the sequentially consistent run)\n");
+    println!(
+        "{:<12} {:>8} {:>8} {:>10} {:>12} {:>14}",
+        "application", "eager", "lazy", "lazy-ext", "lazy wins?", "lazy MB on wire"
+    );
+
+    for kind in WorkloadKind::ALL {
+        let mut cycles = Vec::new();
+        let mut lazy_bytes = 0u64;
+        for proto in Protocol::ALL {
+            let cfg = MachineConfig::paper_default(procs);
+            let w = kind.build(procs, scale);
+            let r = Machine::new(cfg, proto).run(w);
+            if proto == Protocol::Lrc {
+                lazy_bytes = r.stats.aggregate_traffic().bytes;
+            }
+            cycles.push(r.stats.total_cycles);
+        }
+        let sc = cycles[0].max(1) as f64;
+        let (e, l, x) = (
+            cycles[1] as f64 / sc,
+            cycles[2] as f64 / sc,
+            cycles[3] as f64 / sc,
+        );
+        println!(
+            "{:<12} {:>8.2} {:>8.2} {:>10.2} {:>12} {:>11.1} MB",
+            kind.name(),
+            e,
+            l,
+            x,
+            if l < e { "yes" } else { "no" },
+            lazy_bytes as f64 / 1e6,
+        );
+    }
+}

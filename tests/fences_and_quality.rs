@@ -1,0 +1,86 @@
+//! Integration tests for the §4.2 remedies: fence insertion on racy
+//! programs and the solution-quality functional experiment.
+
+use lazy_rc::prelude::*;
+use lazy_rc::workloads::{quality_experiment, Fenced, Scale, WorkloadKind};
+
+fn run(proto: Protocol, w: Box<dyn lazy_rc::sim::Workload>, procs: usize) -> MachineStats {
+    Machine::new(MachineConfig::paper_default(procs), proto)
+        .with_max_cycles(5_000_000_000)
+        .run(w)
+        .stats
+}
+
+#[test]
+fn fences_move_lazy_toward_eager() {
+    // Tighter fences = more acquire-like invalidation points = behavior
+    // converging on the eager protocol. Execution time must be monotone
+    // (within noise) from unfenced-lazy toward eager as fences tighten.
+    let procs = 8;
+    let unfenced = run(Protocol::Lrc, WorkloadKind::Mp3d.build(procs, Scale::Tiny), procs);
+    let loose = run(
+        Protocol::Lrc,
+        Box::new(Fenced::new(WorkloadKind::Mp3d.build(procs, Scale::Tiny), 500)),
+        procs,
+    );
+    let tight = run(
+        Protocol::Lrc,
+        Box::new(Fenced::new(WorkloadKind::Mp3d.build(procs, Scale::Tiny), 25)),
+        procs,
+    );
+    assert!(
+        tight.total_cycles > unfenced.total_cycles,
+        "tight fences must cost time: {} vs {}",
+        tight.total_cycles,
+        unfenced.total_cycles
+    );
+    assert!(
+        loose.total_cycles <= tight.total_cycles,
+        "loose fences cost less than tight ones: {} vs {}",
+        loose.total_cycles,
+        tight.total_cycles
+    );
+    // Fences bound staleness: misses go up as copies die sooner.
+    assert!(tight.total_miss_count() >= unfenced.total_miss_count());
+}
+
+#[test]
+fn fenced_workload_preserves_reference_stream() {
+    let procs = 4;
+    let plain = run(Protocol::Lrc, WorkloadKind::Gauss.build(procs, Scale::Tiny), procs);
+    let fenced = run(
+        Protocol::Lrc,
+        Box::new(Fenced::new(WorkloadKind::Gauss.build(procs, Scale::Tiny), 100)),
+        procs,
+    );
+    assert_eq!(plain.total_refs(), fenced.total_refs(), "fences add no refs");
+}
+
+#[test]
+fn fences_are_noops_for_eager_protocols() {
+    let procs = 4;
+    let plain = run(Protocol::Erc, WorkloadKind::Mp3d.build(procs, Scale::Tiny), procs);
+    let fenced = run(
+        Protocol::Erc,
+        Box::new(Fenced::new(WorkloadKind::Mp3d.build(procs, Scale::Tiny), 50)),
+        procs,
+    );
+    // Eager protocols have nothing pending at a fence; identical timing.
+    assert_eq!(plain.total_cycles, fenced.total_cycles);
+}
+
+#[test]
+fn quality_pattern_matches_paper() {
+    // Paper: X off by percents, Y/Z under a tenth of a percent.
+    let q = quality_experiment(40000, 10, 64);
+    assert!(
+        q.divergence_pct[0] > 0.5 && q.divergence_pct[0] < 10.0,
+        "streamwise divergence in the paper's band: {:?}",
+        q.divergence_pct
+    );
+    assert!(q.divergence_pct[1] < 0.5);
+    assert!(q.divergence_pct[2] < 0.5);
+    // The delayed-visibility run keeps more drift (fewer observed
+    // collisions), so its X total exceeds SC's.
+    assert!(q.lazy[0] > q.sc[0]);
+}

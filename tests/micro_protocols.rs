@@ -1,0 +1,92 @@
+//! Microbenchmark × protocol matrix: each micro isolates one sharing
+//! pattern, and the protocols must respond the way the paper's analysis
+//! predicts.
+
+use lazy_rc::prelude::*;
+use lazy_rc::workloads::micro;
+
+fn run(proto: Protocol, w: lazy_rc::workloads::Streams, procs: usize) -> MachineStats {
+    let cfg = MachineConfig::paper_default(procs);
+    Machine::new(cfg, proto)
+        .with_max_cycles(2_000_000_000)
+        .with_invariant_checks(128)
+        .run(Box::new(w))
+        .stats
+}
+
+#[test]
+fn private_only_separates_sc_from_relaxed_only() {
+    // The control: with no sharing at all, the three relaxed protocols must
+    // be close (the lazy ones pay a modest write-through tax on cold lines),
+    // and SC — which stalls on every cold write — must be clearly slowest.
+    let cycles: Vec<u64> = Protocol::ALL
+        .iter()
+        .map(|&p| run(p, micro::private_only(8, 300), 8).total_cycles)
+        .collect();
+    let (sc, relaxed) = (cycles[0], &cycles[1..]);
+    let (rmin, rmax) = (
+        *relaxed.iter().min().unwrap(),
+        *relaxed.iter().max().unwrap(),
+    );
+    assert!(
+        (rmax as f64) / (rmin as f64) < 1.25,
+        "relaxed protocols near-tie on private data: {cycles:?}"
+    );
+    assert!(sc > rmax, "SC must be slowest on private writes: {cycles:?}");
+}
+
+#[test]
+fn false_sharing_micro_strongly_favors_lazy() {
+    let eager = run(Protocol::Erc, micro::false_sharing(8, 200, 400), 8);
+    let lazy = run(Protocol::Lrc, micro::false_sharing(8, 200, 400), 8);
+    assert!(
+        lazy.total_cycles * 10 < eager.total_cycles * 9,
+        "lazy {} vs eager {}",
+        lazy.total_cycles,
+        eager.total_cycles
+    );
+    assert!(lazy.total_miss_count() * 4 < eager.total_miss_count());
+}
+
+#[test]
+fn migratory_micro_avoids_three_hops_under_lazy() {
+    let eager = run(Protocol::Erc, micro::migratory(8, 20, 8), 8);
+    let lazy = run(Protocol::Lrc, micro::migratory(8, 20, 8), 8);
+    let eager_3hop: u64 = eager.procs.iter().map(|p| p.three_hop).sum();
+    let lazy_3hop: u64 = lazy.procs.iter().map(|p| p.three_hop).sum();
+    assert!(eager_3hop > 0, "migratory data must forward under eager RC");
+    assert_eq!(lazy_3hop, 0);
+}
+
+#[test]
+fn broadcast_micro_runs_everywhere() {
+    for proto in Protocol::ALL {
+        let s = run(proto, micro::broadcast(8, 4, 8), 8);
+        for ps in &s.procs {
+            assert_eq!(ps.barriers, 8, "{proto}: 2 barriers x 4 rounds");
+            assert_eq!(ps.breakdown.total(), ps.finish_time, "{proto}");
+        }
+    }
+}
+
+#[test]
+fn scatter_micro_reduces_misses_under_lazy() {
+    // Unsynchronized scatter over a small table: the racy mp3d pattern.
+    let eager = run(Protocol::Erc, micro::scatter(8, 400, 6, 11), 8);
+    let lazy = run(Protocol::Lrc, micro::scatter(8, 400, 6, 11), 8);
+    assert!(
+        lazy.total_miss_count() < eager.total_miss_count(),
+        "lazy {} vs eager {}",
+        lazy.total_miss_count(),
+        eager.total_miss_count()
+    );
+}
+
+#[test]
+fn micros_are_deterministic_with_checks_on() {
+    for proto in [Protocol::Erc, Protocol::Lrc] {
+        let a = run(proto, micro::scatter(4, 100, 4, 3), 4);
+        let b = run(proto, micro::scatter(4, 100, 4, 3), 4);
+        assert_eq!(a.total_cycles, b.total_cycles, "{proto}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Page-placement policy tests: round-robin vs first-touch vs all-at-zero.
+
+use lazy_rc::prelude::*;
+use lazy_rc::workloads::micro;
+
+fn run_with_placement(placement: Placement, proto: Protocol) -> MachineStats {
+    let mut cfg = MachineConfig::paper_default(8);
+    cfg.placement = placement;
+    Machine::new(cfg, proto)
+        .with_max_cycles(2_000_000_000)
+        .run(Box::new(micro::private_only(8, 1200)))
+        .stats
+}
+
+#[test]
+fn first_touch_speeds_up_private_data() {
+    // Private working sets: first-touch homes every page locally, so cold
+    // fills skip the network round trip that round-robin placement pays.
+    for proto in [Protocol::Erc, Protocol::Lrc] {
+        let rr = run_with_placement(Placement::RoundRobinPages, proto);
+        let ft = run_with_placement(Placement::FirstTouch, proto);
+        assert!(
+            ft.total_cycles < rr.total_cycles,
+            "{proto}: first-touch {} vs round-robin {}",
+            ft.total_cycles,
+            rr.total_cycles
+        );
+    }
+}
+
+#[test]
+fn all_at_zero_concentrates_and_slows() {
+    let rr = run_with_placement(Placement::RoundRobinPages, Protocol::Erc);
+    let zero = run_with_placement(Placement::AllAtZero, Protocol::Erc);
+    assert!(
+        zero.total_cycles >= rr.total_cycles,
+        "single-home placement cannot be faster: {} vs {}",
+        zero.total_cycles,
+        rr.total_cycles
+    );
+}
+
+#[test]
+fn placement_does_not_change_reference_counts() {
+    for placement in [Placement::RoundRobinPages, Placement::FirstTouch, Placement::AllAtZero] {
+        let s = run_with_placement(placement, Protocol::Lrc);
+        assert_eq!(s.total_refs(), run_with_placement(placement, Protocol::Erc).total_refs());
+    }
+}
+
+#[test]
+fn first_touch_is_deterministic() {
+    let a = run_with_placement(Placement::FirstTouch, Protocol::Lrc);
+    let b = run_with_placement(Placement::FirstTouch, Protocol::Lrc);
+    assert_eq!(a.total_cycles, b.total_cycles);
+}
+
+#[test]
+fn applications_run_under_first_touch() {
+    use lazy_rc::workloads::{Scale, WorkloadKind};
+    let mut cfg = MachineConfig::paper_default(8);
+    cfg.placement = Placement::FirstTouch;
+    for kind in [WorkloadKind::Gauss, WorkloadKind::Mp3d] {
+        let r = Machine::new(cfg.clone(), Protocol::Lrc)
+            .with_max_cycles(5_000_000_000)
+            .with_invariant_checks(256)
+            .run(kind.build(8, Scale::Tiny));
+        assert!(r.stats.total_cycles > 0, "{kind}");
+    }
+}

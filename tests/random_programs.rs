@@ -1,0 +1,145 @@
+//! Property tests: randomly generated (but well-formed) parallel programs
+//! must run to completion under every protocol with coherent accounting —
+//! the machine's liveness and accounting invariants hold for arbitrary
+//! data-race-free and racy access patterns alike.
+
+use lazy_rc::prelude::*;
+use proptest::prelude::*;
+
+/// One randomly chosen program action, expanded into ops per processor.
+#[derive(Debug, Clone)]
+enum Action {
+    Compute(u8),
+    Read(u8),
+    Write(u8),
+    Critical { lock: u8, line: u8, len: u8 },
+    Barrier,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u8..40).prop_map(Action::Compute),
+        any::<u8>().prop_map(Action::Read),
+        any::<u8>().prop_map(Action::Write),
+        (any::<u8>(), any::<u8>(), 1u8..5).prop_map(|(lock, line, len)| Action::Critical {
+            lock: lock % 8,
+            line,
+            len,
+        }),
+        Just(Action::Barrier),
+    ]
+}
+
+/// Expand per-proc action lists into op streams; barriers are made global
+/// (every processor gets one per barrier "round" so the machine never
+/// deadlocks waiting for a missing arrival).
+fn build_script(per_proc: Vec<Vec<Action>>, procs: usize) -> Script {
+    let rounds = per_proc
+        .iter()
+        .map(|acts| acts.iter().filter(|a| matches!(a, Action::Barrier)).count())
+        .max()
+        .unwrap_or(0);
+    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(procs);
+    for p in 0..procs {
+        let mut ops = Vec::new();
+        let mut my_rounds = 0;
+        if let Some(acts) = per_proc.get(p) {
+            for a in acts {
+                match *a {
+                    Action::Compute(c) => ops.push(Op::Compute(u32::from(c))),
+                    Action::Read(l) => ops.push(Op::Read(u64::from(l) * 32)),
+                    Action::Write(l) => ops.push(Op::Write(u64::from(l) * 32)),
+                    Action::Critical { lock, line, len } => {
+                        ops.push(Op::Acquire(u32::from(lock)));
+                        for k in 0..len {
+                            let a = u64::from(line) * 32 + u64::from(k) * 4;
+                            ops.push(Op::Read(a));
+                            ops.push(Op::Write(a));
+                        }
+                        ops.push(Op::Release(u32::from(lock)));
+                    }
+                    Action::Barrier => {
+                        ops.push(Op::Barrier(0));
+                        my_rounds += 1;
+                    }
+                }
+            }
+        }
+        // Top up so everyone participates in every barrier round.
+        for _ in my_rounds..rounds {
+            ops.push(Op::Barrier(0));
+        }
+        streams.push(ops);
+    }
+    Script::new("random-program", streams)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_programs_complete_under_all_protocols(
+        per_proc in prop::collection::vec(
+            prop::collection::vec(action_strategy(), 0..30),
+            4,
+        )
+    ) {
+        for proto in Protocol::ALL {
+            let script = build_script(per_proc.clone(), 4);
+            let cfg = MachineConfig::paper_default(4);
+            let r = Machine::new(cfg, proto)
+                .with_max_cycles(200_000_000)
+                .run(Box::new(script));
+            // Liveness: the run finished (Machine panics otherwise).
+            // Accounting: every cycle of every processor is attributed.
+            for ps in &r.stats.procs {
+                prop_assert_eq!(ps.breakdown.total(), ps.finish_time);
+                prop_assert_eq!(ps.refs, ps.reads + ps.writes);
+                prop_assert!(ps.read_misses <= ps.reads);
+            }
+        }
+    }
+
+    #[test]
+    fn random_programs_are_deterministic(
+        per_proc in prop::collection::vec(
+            prop::collection::vec(action_strategy(), 0..20),
+            3,
+        )
+    ) {
+        for proto in [Protocol::Erc, Protocol::Lrc] {
+            let run = |pp: &Vec<Vec<Action>>| {
+                let cfg = MachineConfig::paper_default(3);
+                Machine::new(cfg, proto)
+                    .with_max_cycles(200_000_000)
+                    .run(Box::new(build_script(pp.clone(), 3)))
+                    .stats
+            };
+            let a = run(&per_proc);
+            let b = run(&per_proc);
+            prop_assert_eq!(a.total_cycles, b.total_cycles);
+            prop_assert_eq!(a.aggregate_traffic(), b.aggregate_traffic());
+        }
+    }
+
+    #[test]
+    fn classified_runs_partition_misses(
+        per_proc in prop::collection::vec(
+            prop::collection::vec(action_strategy(), 0..20),
+            3,
+        )
+    ) {
+        let cfg = MachineConfig::paper_default(3);
+        let r = Machine::new(cfg, Protocol::Erc)
+            .with_classification()
+            .with_max_cycles(200_000_000)
+            .run(Box::new(build_script(per_proc, 3)));
+        prop_assert_eq!(
+            r.stats.aggregate_misses().total(),
+            r.stats.total_miss_count()
+        );
+    }
+}

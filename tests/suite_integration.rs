@@ -1,0 +1,134 @@
+//! Cross-crate integration: every application of the suite runs to
+//! completion under every protocol, with coherent accounting.
+
+use lazy_rc::prelude::*;
+use lazy_rc::workloads::{Scale, WorkloadKind};
+
+const PROCS: usize = 8;
+
+fn run(proto: Protocol, kind: WorkloadKind) -> lazy_rc::core::RunResult {
+    let cfg = MachineConfig::paper_default(PROCS);
+    Machine::new(cfg, proto)
+        .with_max_cycles(5_000_000_000)
+        .run(kind.build(PROCS, Scale::Tiny))
+}
+
+#[test]
+fn every_workload_completes_under_every_protocol() {
+    for kind in WorkloadKind::ALL {
+        for proto in Protocol::ALL {
+            let r = run(proto, kind);
+            assert!(r.stats.total_cycles > 0, "{kind}/{proto}");
+            assert_eq!(r.workload, kind.name());
+            assert_eq!(r.protocol, proto);
+        }
+    }
+}
+
+#[test]
+fn breakdown_accounts_every_cycle_for_every_combination() {
+    for kind in WorkloadKind::ALL {
+        for proto in Protocol::ALL {
+            let r = run(proto, kind);
+            for (i, ps) in r.stats.procs.iter().enumerate() {
+                assert_eq!(
+                    ps.breakdown.total(),
+                    ps.finish_time,
+                    "{kind}/{proto} proc {i}: {:?} vs finish {}",
+                    ps.breakdown,
+                    ps.finish_time
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    for kind in [WorkloadKind::Mp3d, WorkloadKind::Cholesky, WorkloadKind::Barnes] {
+        for proto in Protocol::ALL {
+            let a = run(proto, kind);
+            let b = run(proto, kind);
+            assert_eq!(a.stats.total_cycles, b.stats.total_cycles, "{kind}/{proto}");
+            assert_eq!(a.stats.total_refs(), b.stats.total_refs(), "{kind}/{proto}");
+            assert_eq!(
+                a.stats.aggregate_traffic(),
+                b.stats.aggregate_traffic(),
+                "{kind}/{proto}"
+            );
+        }
+    }
+}
+
+#[test]
+fn refs_are_protocol_independent() {
+    // The front end is trace-driven: every protocol must observe exactly
+    // the same reference stream.
+    for kind in WorkloadKind::ALL {
+        let refs: Vec<u64> = Protocol::ALL
+            .iter()
+            .map(|&p| run(p, kind).stats.total_refs())
+            .collect();
+        assert!(
+            refs.windows(2).all(|w| w[0] == w[1]),
+            "{kind}: refs differ across protocols: {refs:?}"
+        );
+    }
+}
+
+#[test]
+fn classification_partitions_all_misses() {
+    for kind in [WorkloadKind::Mp3d, WorkloadKind::Gauss] {
+        let cfg = MachineConfig::paper_default(PROCS);
+        let r = Machine::new(cfg, Protocol::Erc)
+            .with_classification()
+            .with_max_cycles(5_000_000_000)
+            .run(kind.build(PROCS, Scale::Tiny));
+        let classified = r.stats.aggregate_misses().total();
+        let counted = r.stats.total_miss_count();
+        assert_eq!(classified, counted, "{kind}: every miss classified exactly once");
+    }
+}
+
+#[test]
+fn lazy_never_uses_three_hop_transactions() {
+    for kind in WorkloadKind::ALL {
+        for proto in [Protocol::Lrc, Protocol::LrcExt] {
+            let r = run(proto, kind);
+            let th: u64 = r.stats.procs.iter().map(|p| p.three_hop).sum();
+            assert_eq!(th, 0, "{kind}/{proto}: lazy reads are never forwarded");
+        }
+    }
+}
+
+#[test]
+fn eager_never_receives_write_notices() {
+    for kind in WorkloadKind::ALL {
+        for proto in [Protocol::Sc, Protocol::Erc] {
+            let r = run(proto, kind);
+            let n: u64 = r.stats.procs.iter().map(|p| p.notices_received).sum();
+            let a: u64 = r.stats.procs.iter().map(|p| p.acquire_invalidations).sum();
+            assert_eq!(n + a, 0, "{kind}/{proto}");
+        }
+    }
+}
+
+#[test]
+fn sc_stalls_instead_of_buffering() {
+    // Under SC the write buffer is never used, so eager invalidation plus
+    // blocking-write stalls carry all write cost.
+    let r = run(Protocol::Sc, WorkloadKind::Mp3d);
+    let write_stall: u64 = r.stats.procs.iter().map(|p| p.breakdown.write).sum();
+    assert!(write_stall > 0, "SC must stall on write misses");
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time check that the facade exposes the full stack.
+    let _mesh = lazy_rc::mesh::Mesh::new(16);
+    let cfg = MachineConfig::paper_default(2);
+    let _cache = lazy_rc::mem::Cache::new(&cfg);
+    let mut classifier = lazy_rc::classify::Classifier::new(2, 32);
+    let _ = classifier.classify_miss(0, lazy_rc::sim::LineAddr(1), 0, false);
+    let _entry = lazy_rc::core::DirEntry::new();
+}
