@@ -1,6 +1,7 @@
 //! `lrc-bench` — shared helpers for the criterion benches (one bench target
 //! per paper table/figure lives in `benches/`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use lrc_core::{Machine, RunResult};

@@ -1,0 +1,283 @@
+//! Exhaustive bounded exploration of protocol interleavings.
+//!
+//! The state space is a tree: at each state the pending events of the
+//! machine's queue (`Machine::num_pending`) are the enabled transitions,
+//! and firing the `n`-th (`Machine::step_choice`) yields a child state. A
+//! *schedule* — the sequence of choice indices from the initial state —
+//! identifies a path, and replaying a schedule on a fresh machine is fully
+//! deterministic, which is what makes counterexamples reproducible and
+//! minimizable.
+//!
+//! Exploration is depth-first with visited-state pruning on logical
+//! fingerprints ([`Machine::fingerprint`] excludes times and statistics,
+//! so two interleavings that converge to the same protocol state are
+//! explored once). After every transition the safety oracle
+//! ([`Machine::check_violations`]) runs; at every drained state the
+//! liveness sweep ([`Machine::stuck_states`]) and the DRF ⇒ SC
+//! final-memory comparison against `lrc_sim::refint` run.
+
+use crate::scenario::Scenario;
+use lrc_core::{Fault, Machine, StuckState, Violation};
+use lrc_sim::refint::{self, RefError};
+use lrc_sim::{Protocol, Script};
+use std::collections::HashSet;
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Stop after visiting this many states (0 = unbounded / exhaustive).
+    pub max_states: usize,
+    /// Abandon paths longer than this many choices.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_states: 200_000, max_depth: 4_000 }
+    }
+}
+
+/// What went wrong on one path.
+#[derive(Debug, Clone)]
+pub enum Failure {
+    /// A coherence invariant broke mid-path.
+    Safety(Vec<Violation>),
+    /// The machine drained with work left undone.
+    Liveness(Vec<StuckState>),
+    /// The drained machine's final memory disagrees with the reference
+    /// sequentially consistent execution.
+    ValueMismatch(Vec<String>),
+    /// Two nodes held unflushed writes to the same word at quiescence
+    /// (only possible for racy programs — scenarios are DRF, so this is a
+    /// protocol bug).
+    WriteRace(Vec<(u64, usize)>),
+    /// The reference interpreter could not follow the machine's observed
+    /// synchronization order.
+    Reference(String),
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Safety(vs) => {
+                write!(f, "safety: ")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            Failure::Liveness(ss) => {
+                write!(f, "liveness: ")?;
+                for (i, s) in ss.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+            Failure::ValueMismatch(diffs) => {
+                write!(f, "final memory differs from the reference SC execution: ")?;
+                for (i, d) in diffs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
+            Failure::WriteRace(words) => {
+                write!(f, "conflicting unflushed writes at quiescence: {words:?}")
+            }
+            Failure::Reference(e) => write!(f, "reference interpreter: {e}"),
+        }
+    }
+}
+
+/// A failing path: the schedule that reproduces it plus what it violates.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Choice indices from the initial state (replay with
+    /// [`replay_schedule`]; choices past the end default to 0).
+    pub schedule: Vec<usize>,
+    /// The violated property.
+    pub failure: Failure,
+}
+
+/// Outcome of checking one (scenario, protocol, fault) combination.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// States visited (after pruning).
+    pub states: usize,
+    /// Drained (terminal) states reached.
+    pub terminals: usize,
+    /// Length of the longest explored path.
+    pub max_depth_seen: usize,
+    /// False when a limit stopped exploration before exhausting the space.
+    pub complete: bool,
+    /// The first counterexample found, if any (already minimized by the
+    /// caller if requested).
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Build the machine for one checking run: value tracking on, watchdog off
+/// (the checker bounds work by states, not cycles).
+pub fn build_machine(scenario: &Scenario, protocol: Protocol, fault: Fault) -> Machine {
+    let mut m = Machine::new(scenario.config(), protocol)
+        .with_fault(fault)
+        .with_value_tracking();
+    m.prepare(Box::new(scenario.script()));
+    m
+}
+
+/// Check every property of a drained machine.
+fn terminal_failure(m: &Machine, script: &Script) -> Option<Failure> {
+    let stuck = m.stuck_states();
+    if !stuck.is_empty() {
+        return Some(Failure::Liveness(stuck));
+    }
+    let (mem, conflicts) = m.final_memory().expect("value tracking enabled");
+    if !conflicts.is_empty() {
+        return Some(Failure::WriteRace(conflicts));
+    }
+    let cfg = m.config();
+    match refint::interpret(script, cfg.line_size, cfg.word_size, m.grant_log()) {
+        Ok(ref_mem) => {
+            if mem == ref_mem {
+                None
+            } else {
+                let mut diffs = Vec::new();
+                for (k, v) in &ref_mem {
+                    match mem.get(k) {
+                        Some(got) if got == v => {}
+                        Some(got) => diffs.push(format!(
+                            "line {} word {}: machine has P{}#{}, reference has P{}#{}",
+                            k.0, k.1, got.proc, got.seq, v.proc, v.seq
+                        )),
+                        None => diffs.push(format!(
+                            "line {} word {}: machine lost P{}#{}",
+                            k.0, k.1, v.proc, v.seq
+                        )),
+                    }
+                }
+                for (k, got) in &mem {
+                    if !ref_mem.contains_key(k) {
+                        diffs.push(format!(
+                            "line {} word {}: machine invented P{}#{}",
+                            k.0, k.1, got.proc, got.seq
+                        ));
+                    }
+                }
+                Some(Failure::ValueMismatch(diffs))
+            }
+        }
+        Err(e @ (RefError::GrantOrderMismatch { .. } | RefError::Stuck { .. })) => {
+            Some(Failure::Reference(e.to_string()))
+        }
+    }
+}
+
+/// Exhaustively explore `scenario` under `protocol` (with `fault`
+/// injected), depth-first with fingerprint pruning, stopping at the first
+/// counterexample or when `limits` cut the search off.
+pub fn check(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    limits: Limits,
+) -> CheckReport {
+    let script = scenario.script();
+    let root = build_machine(scenario, protocol, fault);
+    let mut visited: HashSet<u64> = HashSet::new();
+    visited.insert(root.fingerprint());
+    let mut stack: Vec<(Machine, Vec<usize>)> = vec![(root, Vec::new())];
+
+    let mut report = CheckReport {
+        states: 0,
+        terminals: 0,
+        max_depth_seen: 0,
+        complete: true,
+        counterexample: None,
+    };
+
+    while let Some((m, schedule)) = stack.pop() {
+        report.states += 1;
+        report.max_depth_seen = report.max_depth_seen.max(schedule.len());
+        if limits.max_states != 0 && report.states > limits.max_states {
+            report.complete = false;
+            break;
+        }
+
+        let violations = m.check_violations();
+        if !violations.is_empty() {
+            report.counterexample =
+                Some(Counterexample { schedule, failure: Failure::Safety(violations) });
+            return report;
+        }
+
+        let pending = m.num_pending();
+        if pending == 0 {
+            report.terminals += 1;
+            if let Some(failure) = terminal_failure(&m, &script) {
+                report.counterexample = Some(Counterexample { schedule, failure });
+                return report;
+            }
+            continue;
+        }
+
+        if schedule.len() >= limits.max_depth {
+            report.complete = false;
+            continue;
+        }
+
+        // Push children in reverse so choice 0 (the natural event order)
+        // is explored first.
+        for n in (0..pending).rev() {
+            let mut child = m.clone();
+            let fired = child.step_choice(n);
+            debug_assert!(fired);
+            if visited.insert(child.fingerprint()) {
+                let mut s = schedule.clone();
+                s.push(n);
+                stack.push((child, s));
+            }
+        }
+    }
+    report
+}
+
+/// Deterministically replay a schedule from a fresh machine: choice `i`
+/// fires event `schedule[i]` (clamped to the pending count); choices past
+/// the end fire event 0, so a truncated schedule continues with the
+/// natural event order until the machine drains. Returns the failure the
+/// path exhibits, if any, and the machine in its end state.
+pub fn replay_schedule(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    schedule: &[usize],
+    max_steps: usize,
+) -> (Option<Failure>, Machine) {
+    let script = scenario.script();
+    let mut m = build_machine(scenario, protocol, fault);
+    let mut step = 0usize;
+    while m.num_pending() > 0 && step < max_steps {
+        let want = schedule.get(step).copied().unwrap_or(0);
+        let n = want.min(m.num_pending() - 1);
+        m.step_choice(n);
+        step += 1;
+        let violations = m.check_violations();
+        if !violations.is_empty() {
+            return (Some(Failure::Safety(violations)), m);
+        }
+    }
+    if m.num_pending() > 0 {
+        // Ran out of steps — not a verdict; the minimizer treats this as
+        // "does not fail".
+        return (None, m);
+    }
+    (terminal_failure(&m, &script), m)
+}

@@ -1,0 +1,106 @@
+//! `lrc-check` — a bounded, exhaustive model checker for the four
+//! coherence protocols in `lrc-core`.
+//!
+//! The checker treats the simulator itself as the transition relation: a
+//! state is a cloned [`lrc_core::Machine`], the enabled transitions are
+//! the events pending in its queue, and firing the `n`-th pending event
+//! ([`lrc_core::Machine::step_choice`]) yields a successor. Depth-first
+//! search with visited-state pruning on logical fingerprints explores
+//! *every* interleaving of protocol messages, processor steps, and flush
+//! timers for a small scripted scenario (2–4 processors, 1–2 cache
+//! lines).
+//!
+//! Checked properties:
+//!
+//! * **Safety** — after every transition, the global coherence invariants
+//!   (writers ⊆ sharers, notified ⊆ sharers, single writer, directory
+//!   soundness) must hold ([`lrc_core::Machine::check_violations`]).
+//! * **Liveness** — every drained state (empty event queue) must be a
+//!   clean quiescent state: all processors finished, no outstanding
+//!   transactions, no unacked flushes, no busy directory entries, no
+//!   parked requests ([`lrc_core::Machine::stuck_states`]).
+//! * **DRF ⇒ SC** — at every drained state the machine's symbolic final
+//!   memory (last [`lrc_sim::refint::WriteId`] per word) must equal a
+//!   reference sequentially consistent interpretation of the script under
+//!   the lock-grant order the machine actually produced, and no two nodes
+//!   may hold unflushed writes to the same word.
+//!
+//! On a violation the failing schedule is shrunk by delta debugging
+//! ([`minimize::minimize`]) and rendered as a protocol message timeline
+//! ([`report::render`]). Replays are deterministic: the printed schedule
+//! reproduces the exact failing interleaving via `lrc-check --replay`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod minimize;
+pub mod report;
+pub mod scenario;
+
+use explore::{check, CheckReport, Limits};
+use lrc_core::Fault;
+use lrc_sim::Protocol;
+use minimize::FailureClass;
+use scenario::Scenario;
+
+/// Parse a CLI protocol name ("sc", "eager", "lazy", "lazy-ext").
+pub fn parse_protocol(s: &str) -> Result<Protocol, String> {
+    Protocol::ALL
+        .iter()
+        .copied()
+        .find(|p| p.name() == s)
+        .ok_or_else(|| format!("unknown protocol {s:?} (sc, eager, lazy, lazy-ext)"))
+}
+
+/// Parse a CLI fault name ("none", "skip-invalidate", "skip-write-notice").
+pub fn parse_fault(s: &str) -> Result<Fault, String> {
+    match s {
+        "none" => Ok(Fault::None),
+        "skip-invalidate" => Ok(Fault::SkipInvalidate),
+        "skip-write-notice" => Ok(Fault::SkipWriteNotice),
+        _ => Err(format!("unknown fault {s:?} (none, skip-invalidate, skip-write-notice)")),
+    }
+}
+
+/// Outcome of one fully processed (scenario, protocol, fault) run: the
+/// exploration report plus, on failure, the minimized schedule and a
+/// rendered human-readable counterexample.
+pub struct CheckOutcome {
+    /// Raw exploration statistics and the (unminimized) first failure.
+    pub report: CheckReport,
+    /// Minimized schedule, when a counterexample was found.
+    pub minimized: Option<Vec<usize>>,
+    /// Rendered report for the minimized counterexample.
+    pub rendered: Option<String>,
+}
+
+impl CheckOutcome {
+    /// True when no counterexample was found.
+    pub fn passed(&self) -> bool {
+        self.report.counterexample.is_none()
+    }
+}
+
+/// Explore one combination and, if it fails, minimize and render the
+/// counterexample.
+pub fn check_and_minimize(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    limits: Limits,
+) -> CheckOutcome {
+    let report = check(scenario, protocol, fault, limits);
+    let (minimized, rendered) = match &report.counterexample {
+        None => (None, None),
+        Some(cex) => {
+            let class = FailureClass::of(&cex.failure);
+            let (schedule, failure) =
+                minimize::minimize(scenario, protocol, fault, &cex.schedule, class);
+            let min_cex = explore::Counterexample { schedule: schedule.clone(), failure };
+            let rendered = report::render(scenario, protocol, fault, &min_cex);
+            (Some(schedule), Some(rendered))
+        }
+    };
+    CheckOutcome { report, minimized, rendered }
+}

@@ -1,0 +1,180 @@
+//! `lrc-check` CLI: exhaustively model-check the protocols on bounded
+//! scenarios, or replay a printed counterexample schedule.
+
+#![forbid(unsafe_code)]
+
+use lrc_check::explore::Limits;
+use lrc_check::{check_and_minimize, parse_fault, parse_protocol, report, scenario};
+use lrc_core::Fault;
+use lrc_sim::Protocol;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+lrc-check — bounded model checker for the lazy-release-consistency protocols
+
+USAGE:
+    lrc-check [OPTIONS]
+
+OPTIONS:
+    --scenario NAME     scenario to check, or 'all' (default: all; see --list)
+    --protocol NAME     sc | eager | lazy | lazy-ext | all (default: all)
+    --fault NAME        none | skip-invalidate | skip-write-notice (default: none)
+    --max-states N      stop after visiting N states (default: 200000)
+    --max-depth N       abandon paths longer than N choices (default: 4000)
+    --exhaustive        no state limit: explore until the space is exhausted
+    --replay SCHEDULE   replay one comma-separated schedule ('-' = natural
+                        order) instead of exploring; requires a single
+                        --scenario and --protocol
+    --list              list scenarios and exit
+    --help              this text
+
+Exit status: 0 if every checked combination passes, 1 on any counterexample,
+2 on usage errors.";
+
+struct Args {
+    scenario: String,
+    protocol: String,
+    fault: Fault,
+    limits: Limits,
+    replay: Option<Vec<usize>>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "all".to_string(),
+        protocol: "all".to_string(),
+        fault: Fault::None,
+        limits: Limits::default(),
+        replay: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--scenario" => args.scenario = val("--scenario")?,
+            "--protocol" => args.protocol = val("--protocol")?,
+            "--fault" => args.fault = parse_fault(&val("--fault")?)?,
+            "--max-states" => {
+                args.limits.max_states =
+                    val("--max-states")?.parse().map_err(|e| format!("--max-states: {e}"))?
+            }
+            "--max-depth" => {
+                args.limits.max_depth =
+                    val("--max-depth")?.parse().map_err(|e| format!("--max-depth: {e}"))?
+            }
+            "--exhaustive" => args.limits.max_states = 0,
+            "--replay" => args.replay = Some(report::parse_schedule(&val("--replay")?)?),
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn protocols_for(sel: &str) -> Result<Vec<Protocol>, String> {
+    if sel == "all" {
+        Ok(Protocol::ALL.to_vec())
+    } else {
+        Ok(vec![parse_protocol(sel)?])
+    }
+}
+
+fn scenarios_for(sel: &str) -> Result<Vec<scenario::Scenario>, String> {
+    if sel == "all" {
+        Ok(scenario::all())
+    } else {
+        scenario::by_name(sel)
+            .map(|s| vec![s])
+            .ok_or_else(|| format!("unknown scenario {sel:?} (try --list)"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lrc-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        for s in scenario::all() {
+            println!("{:<16} {} procs, {} line(s) — {}", s.name, s.procs, s.lines, s.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (scenarios, protocols) = match (scenarios_for(&args.scenario), protocols_for(&args.protocol))
+    {
+        (Ok(s), Ok(p)) => (s, p),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("lrc-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(schedule) = args.replay {
+        if scenarios.len() != 1 || protocols.len() != 1 {
+            eprintln!("lrc-check: --replay needs a single --scenario and --protocol");
+            return ExitCode::from(2);
+        }
+        let (s, p) = (&scenarios[0], protocols[0]);
+        let (failure, m) =
+            lrc_check::explore::replay_schedule(s, p, args.fault, &schedule, 50_000);
+        match failure {
+            Some(f) => {
+                let cex = lrc_check::explore::Counterexample { schedule, failure: f };
+                print!("{}", report::render(s, p, args.fault, &cex));
+                return ExitCode::FAILURE;
+            }
+            None => {
+                println!(
+                    "replay of {} under {} completed cleanly ({} events pending)",
+                    s.name,
+                    p.name(),
+                    m.num_pending()
+                );
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
+
+    let mut failed = false;
+    for s in &scenarios {
+        for &p in &protocols {
+            let outcome = check_and_minimize(s, p, args.fault, args.limits);
+            let r = &outcome.report;
+            let coverage = if r.complete { "exhaustive" } else { "bounded" };
+            if outcome.passed() {
+                println!(
+                    "PASS {:<16} {:<9} {} states, {} terminal(s), depth {} ({})",
+                    s.name, p.name(), r.states, r.terminals, r.max_depth_seen, coverage
+                );
+            } else {
+                failed = true;
+                println!(
+                    "FAIL {:<16} {:<9} after {} states ({})",
+                    s.name,
+                    p.name(),
+                    r.states,
+                    coverage
+                );
+                if let Some(rendered) = &outcome.rendered {
+                    print!("{rendered}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,115 @@
+//! Human-readable counterexample reports: the minimized schedule is
+//! replayed on a trace-enabled machine and printed as a protocol message
+//! timeline, followed by the violated property and everything needed to
+//! reproduce the run.
+
+use crate::explore::{Counterexample, Failure};
+use crate::scenario::Scenario;
+use lrc_core::{Fault, Machine};
+use lrc_sim::Protocol;
+use std::fmt::Write as _;
+
+/// Trace ring-buffer capacity — large enough to hold every message of a
+/// bounded-configuration run.
+const TRACE_CAP: usize = 10_000;
+
+/// Step budget for the rendering replay (mirrors the minimizer's).
+const REPLAY_STEPS: usize = 50_000;
+
+/// CLI spelling of a fault, for the reproduction line.
+pub fn fault_name(fault: Fault) -> &'static str {
+    match fault {
+        Fault::None => "none",
+        Fault::SkipInvalidate => "skip-invalidate",
+        Fault::SkipWriteNotice => "skip-write-notice",
+    }
+}
+
+/// Replay `schedule` (0-padded past its end) on a trace-enabled machine,
+/// stopping at the first safety violation or at quiescence. Returns the
+/// machine so the caller can read its trace and state.
+fn replay_traced(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    schedule: &[usize],
+) -> Machine {
+    let mut m = Machine::new(scenario.config(), protocol)
+        .with_fault(fault)
+        .with_value_tracking()
+        .with_trace(None, TRACE_CAP);
+    m.prepare(Box::new(scenario.script()));
+    let mut step = 0usize;
+    while m.num_pending() > 0 && step < REPLAY_STEPS {
+        let want = schedule.get(step).copied().unwrap_or(0);
+        let n = want.min(m.num_pending() - 1);
+        m.step_choice(n);
+        step += 1;
+        if !m.check_violations().is_empty() {
+            break;
+        }
+    }
+    m
+}
+
+/// Render a counterexample as a full report: reproduction header, failure
+/// description, and the protocol message timeline leading to it.
+pub fn render(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    cex: &Counterexample,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "counterexample: {} under {}", scenario.name, protocol.name());
+    if fault != Fault::None {
+        let _ = writeln!(out, "  injected fault: {}", fault_name(fault));
+    }
+    let _ = writeln!(out, "  schedule ({} forced choices): {:?}", cex.schedule.len(), cex.schedule);
+    let _ = writeln!(
+        out,
+        "  reproduce: lrc-check --scenario {} --protocol {} --fault {} --replay {}",
+        scenario.name,
+        protocol.name(),
+        fault_name(fault),
+        schedule_arg(&cex.schedule),
+    );
+    let _ = writeln!(out);
+
+    let m = replay_traced(scenario, protocol, fault, &cex.schedule);
+    let trace = m.trace();
+    let _ = writeln!(out, "  message timeline ({} messages):", trace.len());
+    for ev in &trace {
+        let _ = writeln!(out, "    [t={:>6}] P{} -> P{}  {:?}", ev.at, ev.src, ev.dst, ev.kind);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  violated: {}", cex.failure);
+    if matches!(cex.failure, Failure::Liveness(_)) {
+        let _ = writeln!(
+            out,
+            "  (machine drained after {} pending events; nothing left to fire)",
+            m.num_pending()
+        );
+    }
+    out
+}
+
+/// Comma-separated schedule for the `--replay` CLI flag ("-" when empty:
+/// the natural event order already fails).
+pub fn schedule_arg(schedule: &[usize]) -> String {
+    if schedule.is_empty() {
+        "-".to_string()
+    } else {
+        schedule.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
+    }
+}
+
+/// Parse the `--replay` flag back into a schedule.
+pub fn parse_schedule(s: &str) -> Result<Vec<usize>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|e| format!("bad choice {p:?}: {e}")))
+        .collect()
+}

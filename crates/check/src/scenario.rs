@@ -1,0 +1,230 @@
+//! The bounded-configuration scenario library.
+//!
+//! Each scenario is a small scripted program (2–4 processors, 1–2 cache
+//! lines) chosen to exercise one protocol mechanism end to end: lock
+//! hand-off with true sharing, barrier-separated phases, a contended
+//! counter, independent critical sections under two locks, and a
+//! conflict-eviction variant that forces write-backs. All scenarios are
+//! data-race-free, so the checker's DRF ⇒ SC final-memory comparison
+//! applies on every interleaving.
+
+use lrc_sim::{MachineConfig, Op, Script};
+
+/// One named bounded configuration.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Stable CLI name.
+    pub name: &'static str,
+    /// One-line description for `--list`.
+    pub about: &'static str,
+    /// Processor count.
+    pub procs: usize,
+    /// Distinct cache lines touched.
+    pub lines: usize,
+    build: fn() -> Script,
+    /// Shrink the cache to one set so the scenario's lines conflict.
+    tiny_cache: bool,
+}
+
+/// Line size used by every checker configuration (4 words of 4 bytes —
+/// small enough that per-word dirty masks and false sharing are exercised
+/// without blowing up the state space).
+pub const LINE: u64 = 16;
+
+/// Byte address of `word` within line `l`.
+const fn addr(l: u64, word: u64) -> u64 {
+    l * LINE + word * 4
+}
+
+impl Scenario {
+    /// Build the script for one run.
+    pub fn script(&self) -> Script {
+        (self.build)()
+    }
+
+    /// The machine configuration this scenario is checked under: the
+    /// paper's cost model with a tiny cache and a one-op skew quantum, so
+    /// every operation boundary is an interleaving point.
+    pub fn config(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::paper_default(self.procs);
+        cfg.line_size = LINE as usize;
+        cfg.cache_size = if self.tiny_cache { LINE as usize } else { LINE as usize * 4 };
+        cfg.skew_quantum = 1;
+        cfg
+    }
+}
+
+/// Every scenario, in checking order (cheapest first).
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "handoff",
+            about: "lock-protected producer/consumer hand-off of one line",
+            procs: 2,
+            lines: 1,
+            build: || {
+                Script::new(
+                    "handoff",
+                    vec![
+                        vec![
+                            Op::Acquire(0),
+                            Op::Write(addr(0, 0)),
+                            Op::Write(addr(0, 1)),
+                            Op::Release(0),
+                        ],
+                        vec![
+                            Op::Acquire(0),
+                            Op::Read(addr(0, 0)),
+                            Op::Write(addr(0, 2)),
+                            Op::Release(0),
+                        ],
+                    ],
+                )
+            },
+            tiny_cache: false,
+        },
+        Scenario {
+            name: "counter",
+            about: "two rounds of a lock-protected read-modify-write counter",
+            procs: 2,
+            lines: 1,
+            build: || {
+                let round = vec![
+                    Op::Acquire(0),
+                    Op::Read(addr(0, 0)),
+                    Op::Write(addr(0, 0)),
+                    Op::Release(0),
+                ];
+                let mut s = round.clone();
+                s.extend(round.iter().cloned());
+                Script::new("counter", vec![s.clone(), s])
+            },
+            tiny_cache: false,
+        },
+        Scenario {
+            name: "barrier-phases",
+            about: "barrier-separated write phases with cross reads",
+            procs: 2,
+            lines: 1,
+            build: || {
+                Script::new(
+                    "barrier-phases",
+                    vec![
+                        vec![Op::Write(addr(0, 0)), Op::Barrier(0), Op::Read(addr(0, 1))],
+                        vec![Op::Write(addr(0, 1)), Op::Barrier(0), Op::Read(addr(0, 0))],
+                    ],
+                )
+            },
+            tiny_cache: false,
+        },
+        Scenario {
+            name: "two-locks",
+            about: "two lines under two locks, acquired in opposite orders",
+            procs: 2,
+            lines: 2,
+            build: || {
+                Script::new(
+                    "two-locks",
+                    vec![
+                        vec![
+                            Op::Acquire(0),
+                            Op::Write(addr(0, 0)),
+                            Op::Release(0),
+                            Op::Acquire(1),
+                            Op::Write(addr(1, 0)),
+                            Op::Release(1),
+                        ],
+                        vec![
+                            Op::Acquire(1),
+                            Op::Read(addr(1, 0)),
+                            Op::Release(1),
+                            Op::Acquire(0),
+                            Op::Read(addr(0, 0)),
+                            Op::Release(0),
+                        ],
+                    ],
+                )
+            },
+            tiny_cache: false,
+        },
+        Scenario {
+            name: "conflict-evict",
+            about: "two lines mapping to one cache set: evictions mid-critical-section",
+            procs: 2,
+            lines: 2,
+            build: || {
+                Script::new(
+                    "conflict-evict",
+                    vec![
+                        vec![
+                            Op::Acquire(0),
+                            Op::Write(addr(0, 0)),
+                            Op::Write(addr(1, 0)), // evicts line 0 (one-set cache)
+                            Op::Release(0),
+                        ],
+                        vec![
+                            Op::Acquire(0),
+                            Op::Read(addr(0, 0)),
+                            Op::Read(addr(1, 0)),
+                            Op::Release(0),
+                        ],
+                    ],
+                )
+            },
+            tiny_cache: true,
+        },
+        Scenario {
+            name: "three-way",
+            about: "three processors rotating one counter through a lock",
+            procs: 3,
+            lines: 1,
+            build: || {
+                let round = vec![
+                    Op::Acquire(0),
+                    Op::Read(addr(0, 0)),
+                    Op::Write(addr(0, 0)),
+                    Op::Release(0),
+                ];
+                Script::new("three-way", vec![round.clone(), round.clone(), round])
+            },
+            tiny_cache: false,
+        },
+    ]
+}
+
+/// Look up one scenario by CLI name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrc_sim::Workload;
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        for s in all() {
+            let script = s.script();
+            assert_eq!(script.num_procs(), s.procs, "{}", s.name);
+            assert!(s.config().validate().is_ok(), "{}", s.name);
+            let touched: std::collections::BTreeSet<u64> = script
+                .streams()
+                .iter()
+                .flatten()
+                .filter_map(|op| match *op {
+                    Op::Read(a) | Op::Write(a) => Some(a / LINE),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(touched.len(), s.lines, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<_> = all().iter().map(|s| s.name).collect();
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(names.len(), set.len());
+    }
+}

@@ -1,0 +1,156 @@
+//! The checker's own test suite.
+//!
+//! Default tier: exhaustively verify the cheapest 2-processor scenarios
+//! under all four protocols, boundedly verify the rest, and prove the
+//! checker actually *catches* bugs by injecting two protocol mutations and
+//! asserting a minimized counterexample of the right class comes back.
+//! The full exhaustive sweep over every scenario is `#[ignore]`d — run it
+//! with `cargo test -p lrc-check -- --ignored`.
+
+use lrc_check::explore::{check, replay_schedule, Failure, Limits};
+use lrc_check::minimize::FailureClass;
+use lrc_check::{check_and_minimize, scenario};
+use lrc_core::Fault;
+use lrc_sim::Protocol;
+
+const EXHAUSTIVE: Limits = Limits { max_states: 0, max_depth: 4_000 };
+
+fn bounded(max_states: usize) -> Limits {
+    Limits { max_states, max_depth: 4_000 }
+}
+
+/// The cheap scenarios: small enough to exhaust under every protocol in
+/// debug builds.
+const CHEAP: &[&str] = &["handoff", "barrier-phases", "counter", "three-way"];
+
+#[test]
+fn cheap_scenarios_pass_exhaustively_under_all_protocols() {
+    for name in CHEAP {
+        let s = scenario::by_name(name).unwrap();
+        for p in Protocol::ALL {
+            // `counter` under plain lazy is the one cheap case with a six-
+            // figure state space; bound it in the default tier (the ignored
+            // sweep exhausts it).
+            let limits = if *name == "counter" && p == Protocol::Lrc {
+                bounded(30_000)
+            } else {
+                EXHAUSTIVE
+            };
+            let r = check(&s, p, Fault::None, limits);
+            assert!(
+                r.counterexample.is_none(),
+                "{name} under {} failed: {}",
+                p.name(),
+                r.counterexample.unwrap().failure
+            );
+            if limits.max_states == 0 {
+                assert!(r.complete, "{name} under {} did not exhaust", p.name());
+                assert!(r.terminals > 0, "{name} under {} reached no terminal", p.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn remaining_scenarios_pass_bounded_under_all_protocols() {
+    for name in ["two-locks", "conflict-evict"] {
+        let s = scenario::by_name(name).unwrap();
+        for p in Protocol::ALL {
+            let r = check(&s, p, Fault::None, bounded(15_000));
+            assert!(
+                r.counterexample.is_none(),
+                "{name} under {} failed: {}",
+                p.name(),
+                r.counterexample.unwrap().failure
+            );
+            assert!(r.terminals > 0 || !r.complete, "{name} under {} explored nothing", p.name());
+        }
+    }
+}
+
+#[test]
+#[ignore = "full exhaustive sweep (~minutes in debug builds)"]
+fn all_scenarios_pass_exhaustively_under_all_protocols() {
+    for s in scenario::all() {
+        for p in Protocol::ALL {
+            let r = check(&s, p, Fault::None, EXHAUSTIVE);
+            assert!(
+                r.counterexample.is_none(),
+                "{} under {} failed: {}",
+                s.name,
+                p.name(),
+                r.counterexample.unwrap().failure
+            );
+            assert!(r.complete, "{} under {} did not exhaust", s.name, p.name());
+        }
+    }
+}
+
+#[test]
+fn skip_invalidate_fault_yields_minimized_safety_counterexample() {
+    let s = scenario::by_name("counter").unwrap();
+    let outcome = check_and_minimize(&s, Protocol::Erc, Fault::SkipInvalidate, EXHAUSTIVE);
+    assert!(!outcome.passed(), "injected stale-copy bug went undetected");
+    let cex = outcome.report.counterexample.as_ref().unwrap();
+    assert_eq!(FailureClass::of(&cex.failure), FailureClass::Safety, "{}", cex.failure);
+
+    let minimized = outcome.minimized.as_ref().unwrap();
+    assert!(
+        minimized.len() <= cex.schedule.len(),
+        "minimizer grew the schedule: {} -> {}",
+        cex.schedule.len(),
+        minimized.len()
+    );
+    // The minimized schedule must still reproduce a safety violation.
+    let (failure, _) = replay_schedule(&s, Protocol::Erc, Fault::SkipInvalidate, minimized, 50_000);
+    assert!(matches!(failure, Some(Failure::Safety(_))), "{failure:?}");
+
+    let rendered = outcome.rendered.as_ref().unwrap();
+    assert!(rendered.contains("safety:"), "{rendered}");
+    assert!(rendered.contains("message timeline"), "{rendered}");
+    assert!(rendered.contains("reproduce: lrc-check"), "{rendered}");
+}
+
+#[test]
+fn skip_write_notice_fault_yields_minimized_liveness_counterexample() {
+    let s = scenario::by_name("handoff").unwrap();
+    let outcome = check_and_minimize(&s, Protocol::Lrc, Fault::SkipWriteNotice, EXHAUSTIVE);
+    assert!(!outcome.passed(), "injected lost-write-notice bug went undetected");
+    let cex = outcome.report.counterexample.as_ref().unwrap();
+    assert_eq!(FailureClass::of(&cex.failure), FailureClass::Liveness, "{}", cex.failure);
+
+    let minimized = outcome.minimized.as_ref().unwrap();
+    let (failure, m) =
+        replay_schedule(&s, Protocol::Lrc, Fault::SkipWriteNotice, minimized, 50_000);
+    assert!(matches!(failure, Some(Failure::Liveness(_))), "{failure:?}");
+    assert_eq!(m.num_pending(), 0, "liveness counterexample must drain the queue");
+
+    let rendered = outcome.rendered.as_ref().unwrap();
+    assert!(rendered.contains("liveness:"), "{rendered}");
+    assert!(rendered.contains("stuck"), "{rendered}");
+}
+
+#[test]
+fn counterexample_schedules_replay_deterministically() {
+    let s = scenario::by_name("handoff").unwrap();
+    let outcome = check_and_minimize(&s, Protocol::Lrc, Fault::SkipWriteNotice, EXHAUSTIVE);
+    let minimized = outcome.minimized.unwrap();
+    let render = |sched: &[usize]| {
+        let (f, _) = replay_schedule(&s, Protocol::Lrc, Fault::SkipWriteNotice, sched, 50_000);
+        format!("{}", f.unwrap())
+    };
+    assert_eq!(render(&minimized), render(&minimized), "replay is not deterministic");
+}
+
+#[test]
+fn clean_protocols_have_no_failure_on_natural_order() {
+    // The empty schedule (pure 0-padding) is the simulator's own event
+    // order; it must drain cleanly for every scenario and protocol.
+    for s in scenario::all() {
+        for p in Protocol::ALL {
+            let (failure, m) = replay_schedule(&s, p, Fault::None, &[], 50_000);
+            assert!(failure.is_none(), "{} under {}: {}", s.name, p.name(), failure.unwrap());
+            assert_eq!(m.num_pending(), 0, "{} under {} did not drain", s.name, p.name());
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! invalidations, evictions, and misses; the classifier never influences
 //! timing. It is optional (Table-2 runs enable it; performance runs skip it).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::new_without_default)]
 
@@ -55,14 +56,14 @@ struct ProcView {
     lost: Lost,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BlockInfo {
     words: Box<[WordInfo]>,
     procs: Box<[ProcView]>,
 }
 
 /// Online miss classifier. One instance observes one simulation run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Classifier {
     num_procs: usize,
     words_per_line: usize,

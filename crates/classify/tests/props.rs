@@ -1,8 +1,8 @@
-//! Property tests for the miss classifier.
+//! Property tests for the miss classifier, driven by the simulation
+//! kernel's deterministic PRNG.
 
 use lrc_classify::Classifier;
-use lrc_sim::{LineAddr, MissClass};
-use proptest::prelude::*;
+use lrc_sim::{LineAddr, MissClass, Rng};
 
 #[derive(Debug, Clone)]
 enum Ev {
@@ -12,37 +12,42 @@ enum Ev {
     Miss(usize, u64, usize, bool),
 }
 
-fn ev() -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        (0usize..4, 0u64..8, 0usize..8).prop_map(|(p, l, w)| Ev::Write(p, l, w)),
-        (0usize..4, 0u64..8).prop_map(|(p, l)| Ev::Evict(p, l)),
-        (0usize..4, 0u64..8).prop_map(|(p, l)| Ev::Inval(p, l)),
-        (0usize..4, 0u64..8, 0usize..8, any::<bool>()).prop_map(|(p, l, w, u)| Ev::Miss(p, l, w, u)),
-    ]
+fn random_event(rng: &mut Rng) -> Ev {
+    let p = rng.below(4) as usize;
+    let l = rng.below(8);
+    let w = rng.below(8) as usize;
+    match rng.below(4) {
+        0 => Ev::Write(p, l, w),
+        1 => Ev::Evict(p, l),
+        2 => Ev::Inval(p, l),
+        _ => Ev::Miss(p, l, w, rng.chance(0.5)),
+    }
 }
 
-proptest! {
-    /// Every miss gets exactly one class; the first non-upgrade miss per
-    /// (proc, block) is Cold and Cold never repeats.
-    #[test]
-    fn classification_is_total_and_cold_once(events in prop::collection::vec(ev(), 1..200)) {
+/// Every miss gets exactly one class; the first non-upgrade miss per
+/// (proc, block) is Cold and Cold never repeats.
+#[test]
+fn classification_is_total_and_cold_once() {
+    let mut rng = Rng::new(0x5eed_0c01);
+    for _ in 0..40 {
+        let n = 1 + rng.below(200) as usize;
         let mut c = Classifier::new(4, 8);
         let mut cold_seen: std::collections::HashSet<(usize, u64)> = Default::default();
         let mut touched: std::collections::HashSet<(usize, u64)> = Default::default();
-        for e in events {
-            match e {
+        for _ in 0..n {
+            match random_event(&mut rng) {
                 Ev::Write(p, l, w) => c.record_write(p, LineAddr(l), w),
                 Ev::Evict(p, l) => c.on_evict(p, LineAddr(l)),
                 Ev::Inval(p, l) => c.on_invalidate(p, LineAddr(l)),
                 Ev::Miss(p, l, w, upgrade) => {
                     let class = c.classify_miss(p, LineAddr(l), w, upgrade);
                     if upgrade {
-                        prop_assert_eq!(class, MissClass::Upgrade);
+                        assert_eq!(class, MissClass::Upgrade);
                     } else if !touched.contains(&(p, l)) {
-                        prop_assert_eq!(class, MissClass::Cold);
-                        prop_assert!(cold_seen.insert((p, l)), "cold repeated");
+                        assert_eq!(class, MissClass::Cold);
+                        assert!(cold_seen.insert((p, l)), "cold repeated");
                     } else {
-                        prop_assert_ne!(class, MissClass::Cold, "cold after first touch");
+                        assert_ne!(class, MissClass::Cold, "cold after first touch");
                     }
                     // Any miss (upgrade included — the block was present
                     // read-only) marks the block as cached by `p`.
@@ -51,18 +56,225 @@ proptest! {
             }
         }
     }
+}
 
-    /// A miss right after an invalidation classifies as sharing (true or
-    /// false), never eviction.
-    #[test]
-    fn invalidation_implies_sharing_class(p in 0usize..4, l in 0u64..8, w in 0usize..8) {
+/// A miss right after an invalidation classifies as sharing (true or
+/// false), never eviction.
+#[test]
+fn invalidation_implies_sharing_class() {
+    let mut rng = Rng::new(0x5eed_0c02);
+    for _ in 0..100 {
+        let p = rng.below(4) as usize;
+        let l = rng.below(8);
+        let w = rng.below(8) as usize;
         let mut c = Classifier::new(4, 8);
         let _ = c.classify_miss(p, LineAddr(l), w, false); // cold; now cached
         c.on_invalidate(p, LineAddr(l));
         let class = c.classify_miss(p, LineAddr(l), w, false);
-        prop_assert!(
+        assert!(
             class == MissClass::TrueShare || class == MissClass::FalseShare,
             "{class:?}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Agreement with the model checker's reference interpreter (lrc_sim::refint).
+//
+// A random data-race-free micro script (every data access inside a lock-0
+// critical section) is serialized by a random but program-order-respecting
+// grant order. Walking that serialization drives the classifier exactly the
+// way the machine does (miss → classify, write → record + invalidate other
+// copies, random evictions) while an oracle tracks the last WriteId per word
+// — the same symbolic values the checker compares. Two properties follow:
+//
+//  * the reference interpreter, replaying the script under the recorded
+//    grant order, must reproduce the oracle's final memory exactly;
+//  * every sharing verdict of the classifier must coincide with a genuine
+//    WriteId change: TrueShare iff the missed word's last writer changed
+//    while the processor did not hold the line.
+// ---------------------------------------------------------------------------
+
+mod refint_agreement {
+    use lrc_classify::Classifier;
+    use lrc_sim::refint::{self, WriteId};
+    use lrc_sim::{LineAddr, MissClass, Op, Rng, Script};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    const LINE_SIZE: usize = 16;
+    const WORD_SIZE: usize = 4;
+    const WORDS: u64 = 4;
+    const LINES: u64 = 2;
+
+    /// One data access inside a critical section.
+    #[derive(Clone, Copy)]
+    struct Access {
+        write: bool,
+        line: u64,
+        word: u64,
+    }
+
+    fn random_cs(rng: &mut Rng) -> Vec<Access> {
+        let n = 1 + rng.below(3) as usize;
+        (0..n)
+            .map(|_| Access {
+                write: rng.chance(0.5),
+                line: rng.below(LINES),
+                word: rng.below(WORDS),
+            })
+            .collect()
+    }
+
+    /// Per-processor critical sections plus the script they compile to.
+    fn random_program(rng: &mut Rng, procs: usize) -> (Vec<Vec<Vec<Access>>>, Script) {
+        let cs: Vec<Vec<Vec<Access>>> = (0..procs)
+            .map(|_| (0..1 + rng.below(3) as usize).map(|_| random_cs(rng)).collect())
+            .collect();
+        let streams = cs
+            .iter()
+            .map(|sections| {
+                let mut ops = Vec::new();
+                for sec in sections {
+                    ops.push(Op::Acquire(0));
+                    for a in sec {
+                        let addr = a.line * LINE_SIZE as u64 + a.word * WORD_SIZE as u64;
+                        ops.push(if a.write { Op::Write(addr) } else { Op::Read(addr) });
+                    }
+                    ops.push(Op::Release(0));
+                }
+                ops
+            })
+            .collect();
+        (cs, Script::new("micro", streams))
+    }
+
+    /// A random interleaving of whole critical sections that respects each
+    /// processor's program order.
+    fn random_serialization(rng: &mut Rng, cs: &[Vec<Vec<Access>>]) -> Vec<usize> {
+        let mut remaining: Vec<usize> = cs.iter().map(Vec::len).collect();
+        let mut order = Vec::new();
+        while remaining.iter().any(|&r| r > 0) {
+            let live: Vec<usize> =
+                (0..cs.len()).filter(|&p| remaining[p] > 0).collect();
+            let p = live[rng.below(live.len() as u64) as usize];
+            order.push(p);
+            remaining[p] -= 1;
+        }
+        order
+    }
+
+    /// How a processor last lost a line, plus the line's symbolic contents
+    /// at that moment.
+    enum Lost {
+        Invalidated(BTreeMap<u64, WriteId>),
+        Evicted(BTreeMap<u64, WriteId>),
+    }
+
+    #[test]
+    fn classifier_and_reference_interpreter_agree_on_micro_scripts() {
+        let mut rng = Rng::new(0x5eed_0c03);
+        for iter in 0..200 {
+            let procs = 2 + rng.below(2) as usize;
+            let (cs, script) = random_program(&mut rng, procs);
+            let order = random_serialization(&mut rng, &cs);
+            let grant_order: Vec<(u32, usize)> = order.iter().map(|&p| (0u32, p)).collect();
+
+            let mut classifier = Classifier::new(procs, LINE_SIZE / WORD_SIZE);
+            let mut oracle: BTreeMap<(u64, u64), WriteId> = BTreeMap::new();
+            let mut seq = vec![0u64; procs];
+            let mut cached: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); procs];
+            let mut ever_cached: BTreeSet<(usize, u64)> = BTreeSet::new();
+            let mut lost: BTreeMap<(usize, u64), Lost> = BTreeMap::new();
+            let mut next_cs = vec![0usize; procs];
+
+            let line_words = |oracle: &BTreeMap<(u64, u64), WriteId>, l: u64| {
+                oracle
+                    .range((l, 0)..(l, WORDS))
+                    .map(|(&(_, w), &id)| (w, id))
+                    .collect::<BTreeMap<u64, WriteId>>()
+            };
+
+            for &p in &order {
+                let section = &cs[p][next_cs[p]];
+                next_cs[p] += 1;
+                for a in section {
+                    // Random replacement pressure to exercise the eviction
+                    // class.
+                    if rng.chance(0.15) {
+                        if let Some(&victim) = cached[p].iter().next() {
+                            classifier.on_evict(p, LineAddr(victim));
+                            cached[p].remove(&victim);
+                            lost.insert((p, victim), Lost::Evicted(line_words(&oracle, victim)));
+                        }
+                    }
+
+                    if !cached[p].contains(&a.line) {
+                        let got =
+                            classifier.classify_miss(p, LineAddr(a.line), a.word as usize, false);
+                        let expected = match lost.remove(&(p, a.line)) {
+                            _ if !ever_cached.contains(&(p, a.line)) => MissClass::Cold,
+                            Some(Lost::Invalidated(snap)) => {
+                                if snap.get(&a.word) != oracle.get(&(a.line, a.word)) {
+                                    MissClass::TrueShare
+                                } else {
+                                    MissClass::FalseShare
+                                }
+                            }
+                            Some(Lost::Evicted(snap)) => {
+                                if snap.get(&a.word) != oracle.get(&(a.line, a.word)) {
+                                    MissClass::TrueShare
+                                } else {
+                                    MissClass::Eviction
+                                }
+                            }
+                            None => unreachable!("missing line was never lost"),
+                        };
+                        assert_eq!(got, expected, "iter {iter}: P{p} miss on {:?}", (a.line, a.word));
+                        cached[p].insert(a.line);
+                        ever_cached.insert((p, a.line));
+                    }
+
+                    if a.write {
+                        classifier.record_write(p, LineAddr(a.line), a.word as usize);
+                        seq[p] += 1;
+                        oracle.insert((a.line, a.word), WriteId { proc: p, seq: seq[p] });
+                        for (q, qcached) in cached.iter_mut().enumerate() {
+                            if q != p && qcached.remove(&a.line) {
+                                classifier.on_invalidate(q, LineAddr(a.line));
+                                lost.insert((q, a.line), Lost::Invalidated(line_words(&oracle, a.line)));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // The reference interpreter must reproduce the oracle's final
+            // memory when replaying the script under the observed grant
+            // order.
+            let ref_mem = refint::interpret(&script, LINE_SIZE, WORD_SIZE, &grant_order)
+                .unwrap_or_else(|e| panic!("iter {iter}: {e}"));
+            let oracle_mem: BTreeMap<(u64, usize), WriteId> =
+                oracle.iter().map(|(&(l, w), &id)| ((l, w as usize), id)).collect();
+            assert_eq!(ref_mem, oracle_mem, "iter {iter}: reference/oracle divergence");
+        }
+    }
+
+    #[test]
+    fn reference_interpreter_is_grant_order_sensitive() {
+        // Two writers to the same word under one lock: the grant order
+        // decides the final WriteId, and the interpreter must follow it.
+        let script = || {
+            Script::new(
+                "wlock",
+                vec![
+                    vec![Op::Acquire(0), Op::Write(0), Op::Release(0)],
+                    vec![Op::Acquire(0), Op::Write(0), Op::Release(0)],
+                ],
+            )
+        };
+        let a = refint::interpret(&script(), LINE_SIZE, WORD_SIZE, &[(0u32, 0usize), (0, 1)]).unwrap();
+        let b = refint::interpret(&script(), LINE_SIZE, WORD_SIZE, &[(0u32, 1usize), (0, 0)]).unwrap();
+        assert_eq!(a[&(0, 0)], WriteId { proc: 1, seq: 1 });
+        assert_eq!(b[&(0, 0)], WriteId { proc: 0, seq: 1 });
     }
 }

@@ -27,6 +27,7 @@
 //! assert!(result.stats.total_cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::new_without_default)]
 
@@ -37,7 +38,8 @@ pub mod node;
 pub mod sync;
 
 pub use directory::{nodes_in, AckCollection, DirEntry, DirState};
-pub use machine::{Machine, RunResult, TraceEvent};
+pub use machine::checker::StuckState;
+pub use machine::{Fault, Machine, RunResult, SymbolicMemory, TraceEvent, Violation};
 pub use msg::{Msg, MsgKind, WriteGrant};
 pub use node::{Node, Outstanding, PendingSync, ProcStatus};
 pub use sync::{BarrierManager, LockAction, LockManager};

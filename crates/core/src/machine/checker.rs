@@ -1,0 +1,282 @@
+//! The model checker's driving interface: single-event stepping with an
+//! explicit choice of which pending event fires next, logical state
+//! fingerprints for visited-state pruning, and quiescence analysis.
+//!
+//! A normal run ([`Machine::run`]) drains the event queue in (time,
+//! insertion) order. The checker (`lrc-check`) instead clones the machine
+//! at every state and calls [`Machine::step_choice`] with each possible
+//! index `n`, firing the `n`-th pending event first — every reachable
+//! interleaving of in-flight activity is a path in that tree. The event
+//! handlers themselves are byte-identical to the simulator's: the checker
+//! explores the *real* protocol implementation, not a model of it.
+
+use super::values::SymbolicMemory;
+use super::{Event, Machine};
+use crate::node::ProcStatus;
+use lrc_sim::{LockId, NodeId, Workload};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Why a drained (event-queue-empty) machine is not a clean final state.
+/// These are the checker's liveness verdicts: a correct protocol drains to
+/// *no* issues on every interleaving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StuckState {
+    /// A processor never reached `Done` (deadlock: nothing left to fire,
+    /// but the processor is blocked).
+    ProcessorStuck {
+        /// The stuck processor.
+        proc: usize,
+        /// Its status, rendered for the report.
+        status: String,
+    },
+    /// A coherence transaction never completed (RAC entry leaked).
+    TransactionUndrained {
+        /// The node holding the entry.
+        proc: usize,
+        /// The line with an outstanding transaction.
+        line: u64,
+    },
+    /// Write-through or write-back acknowledgements never arrived.
+    UnackedFlushes {
+        /// The waiting node.
+        proc: usize,
+        /// Unacknowledged write-throughs.
+        write_throughs: u32,
+        /// Unacknowledged write-backs.
+        write_backs: u32,
+    },
+    /// A coalescing-buffer entry was never drained (its flush timer died).
+    CoalescingResidue {
+        /// The node holding the entry.
+        proc: usize,
+        /// The undrained line.
+        line: u64,
+    },
+    /// A directory ack collection never completed or a 3-hop forward never
+    /// closed.
+    DirectoryBusy {
+        /// The affected line.
+        line: u64,
+        /// Outstanding acks (0 for a busy 3-hop entry).
+        awaiting: u32,
+    },
+    /// Requests were parked at a home and never released.
+    ParkedForever {
+        /// The line whose queue still holds requests.
+        line: u64,
+        /// Number of requests still parked.
+        requests: usize,
+    },
+}
+
+impl std::fmt::Display for StuckState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StuckState::ProcessorStuck { proc, status } => {
+                write!(f, "P{proc} stuck in {status} with no events pending")
+            }
+            StuckState::TransactionUndrained { proc, line } => {
+                write!(f, "P{proc} still has an outstanding transaction for line {line}")
+            }
+            StuckState::UnackedFlushes { proc, write_throughs, write_backs } => write!(
+                f,
+                "P{proc} still awaits {write_throughs} write-through / {write_backs} write-back ack(s)"
+            ),
+            StuckState::CoalescingResidue { proc, line } => {
+                write!(f, "P{proc}'s coalescing buffer still holds line {line}")
+            }
+            StuckState::DirectoryBusy { line, awaiting } => {
+                write!(f, "directory entry for line {line} busy (awaiting {awaiting} ack(s))")
+            }
+            StuckState::ParkedForever { line, requests } => {
+                write!(f, "{requests} request(s) for line {line} parked forever")
+            }
+        }
+    }
+}
+
+impl Machine {
+    /// Install `workload` and seed the initial `ProcStep` events without
+    /// running anything — the checker takes over from here with
+    /// [`Machine::step_choice`].
+    pub fn prepare(&mut self, workload: Box<dyn Workload>) {
+        assert_eq!(
+            workload.num_procs(),
+            self.cfg.num_procs,
+            "workload built for a different processor count"
+        );
+        self.workload = workload;
+        for p in 0..self.cfg.num_procs {
+            self.nodes[p].step_scheduled = true;
+            self.queue.push(0, Event::ProcStep(p));
+        }
+    }
+
+    /// Number of events currently pending — the branching factor at this
+    /// state. Each `n < num_pending()` is a legal argument to
+    /// [`Machine::step_choice`].
+    pub fn num_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Fire the `n`-th pending event (in (time, insertion) order) and run
+    /// its handler. Returns false if fewer than `n + 1` events are pending
+    /// (nothing fired).
+    pub fn step_choice(&mut self, n: usize) -> bool {
+        let Some((t, ev)) = self.queue.pop_nth(n) else {
+            return false;
+        };
+        match ev {
+            Event::ProcStep(p) => self.proc_step(p, t),
+            Event::Msg(m) => self.handle_msg(t, m),
+            Event::CbFlush(p, line) => self.cb_flush_timer(p, t, line),
+        }
+        true
+    }
+
+    /// True when every processor has executed `Done`.
+    pub fn all_finished(&self) -> bool {
+        self.finished == self.cfg.num_procs
+    }
+
+    /// The lock-grant order observed so far, as `(lock, grantee)` pairs —
+    /// the synchronization order the reference interpreter replays.
+    pub fn grant_log(&self) -> &[(LockId, NodeId)] {
+        &self.grant_log
+    }
+
+    /// The final symbolic memory (home image overlaid with unflushed
+    /// writes) and any write-write overlay conflicts. `None` unless built
+    /// with [`Machine::with_value_tracking`].
+    pub fn final_memory(&self) -> Option<(SymbolicMemory, Vec<(u64, usize)>)> {
+        self.values.as_ref().map(|v| v.final_memory())
+    }
+
+    /// Liveness sweep for a drained machine: everything that should have
+    /// completed but did not. Empty on a clean quiescent state. (A
+    /// non-empty lazy-ext `delayed_writes` table is *legal* residue — a
+    /// program may end without a trailing release — and is not reported.)
+    pub fn stuck_states(&self) -> Vec<StuckState> {
+        let mut out = Vec::new();
+        for (p, node) in self.nodes.iter().enumerate() {
+            if node.status != ProcStatus::Finished {
+                out.push(StuckState::ProcessorStuck {
+                    proc: p,
+                    status: format!("{:?}", node.status),
+                });
+            }
+            for &line in node.outstanding.keys() {
+                out.push(StuckState::TransactionUndrained { proc: p, line });
+            }
+            if node.wt_unacked != 0 || node.wbk_unacked != 0 {
+                out.push(StuckState::UnackedFlushes {
+                    proc: p,
+                    write_throughs: node.wt_unacked,
+                    write_backs: node.wbk_unacked,
+                });
+            }
+            for e in node.cb.iter() {
+                out.push(StuckState::CoalescingResidue { proc: p, line: e.line.0 });
+            }
+        }
+        let mut lines: Vec<u64> = self
+            .dir
+            .iter()
+            .filter(|(_, e)| e.pending.is_some() || e.busy)
+            .map(|(&l, _)| l)
+            .collect();
+        lines.sort_unstable();
+        for l in lines {
+            let e = &self.dir[&l];
+            out.push(StuckState::DirectoryBusy {
+                line: l,
+                awaiting: e.pending.as_ref().map_or(0, |pc| pc.awaiting),
+            });
+        }
+        let mut parked: Vec<(u64, usize)> =
+            self.parked.iter().map(|(&l, q)| (l, q.len())).collect();
+        parked.sort_unstable();
+        for (line, requests) in parked {
+            out.push(StuckState::ParkedForever { line, requests });
+        }
+        out
+    }
+
+    /// A 64-bit fingerprint of the machine's *logical* state: everything
+    /// that determines future protocol behavior, excluding times and
+    /// statistics. Two states with equal fingerprints have the same set of
+    /// reachable violations, so the checker prunes revisits. Unordered
+    /// containers are folded in sorted order to keep the fingerprint
+    /// iteration-order independent.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.protocol.hash(&mut h);
+        self.finished.hash(&mut h);
+        self.workload.state_token().hash(&mut h);
+
+        for node in &self.nodes {
+            node.status.hash(&mut h);
+            node.deferred_op.hash(&mut h);
+            node.step_scheduled.hash(&mut h);
+            let mut lines: Vec<(u64, lrc_mem::LineState, u64)> =
+                node.cache.iter().map(|l| (l.line.0, l.state, l.dirty_words)).collect();
+            lines.sort_unstable_by_key(|&(l, ..)| l);
+            lines.hash(&mut h);
+            for e in node.wb.iter() {
+                (e.line.0, e.words, e.ready, e.issued).hash(&mut h);
+            }
+            let mut cb: Vec<(u64, u64)> = node.cb.iter().map(|e| (e.line.0, e.words)).collect();
+            cb.sort_unstable();
+            cb.hash(&mut h);
+            for (l, o) in &node.outstanding {
+                (l, o).hash(&mut h);
+            }
+            node.pending_invals.hash(&mut h);
+            node.delayed_writes.hash(&mut h);
+            (node.wt_unacked, node.wbk_unacked).hash(&mut h);
+            for (l, m) in &node.parked_forwards {
+                (l, m).hash(&mut h);
+            }
+            node.locks.snapshot().hash(&mut h);
+            node.barriers.snapshot().hash(&mut h);
+        }
+
+        let mut dir: Vec<u64> = self.dir.keys().copied().collect();
+        dir.sort_unstable();
+        for l in dir {
+            let e = &self.dir[&l];
+            (l, e.sharers(), e.writers(), e.notified(), e.busy, e.overflow).hash(&mut h);
+            match &e.pending {
+                Some(pc) => (pc.awaiting, &pc.waiters).hash(&mut h),
+                None => u32::MAX.hash(&mut h),
+            }
+        }
+
+        let mut parked: Vec<u64> = self.parked.keys().copied().collect();
+        parked.sort_unstable();
+        for l in parked {
+            l.hash(&mut h);
+            for (m, _) in &self.parked[&l] {
+                m.hash(&mut h);
+            }
+        }
+
+        let mut busy: Vec<u64> = self.busy_info.keys().copied().collect();
+        busy.sort_unstable();
+        for l in busy {
+            let e = &self.busy_info[&l];
+            (l, e.owner, e.requester, e.for_write, e.served).hash(&mut h);
+        }
+
+        // Pending events, in firing order, without their times.
+        for ev in self.queue.pending_events() {
+            ev.hash(&mut h);
+        }
+
+        if let Some(v) = self.values.as_ref() {
+            v.hash_into(&mut h);
+        }
+        h.finish()
+    }
+}

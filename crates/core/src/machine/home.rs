@@ -213,7 +213,11 @@ impl Machine {
         };
         match plan {
             Plan::Grant { with_data, invalidate } => {
-                let invalidate = invalidate & self.all_nodes_mask();
+                let mut invalidate = invalidate & self.all_nodes_mask();
+                if self.fault == super::Fault::SkipInvalidate {
+                    // Injected bug: pretend nobody else caches the line.
+                    invalidate = 0;
+                }
                 let n = invalidate.count_ones();
                 let grant = if n > 0 {
                     let e = self.dir.get_mut(&line.0).expect("entry exists");
@@ -292,9 +296,11 @@ impl Machine {
 
         let n_notices = notice_targets.count_ones();
         let mut send_t = pp_done;
-        for n in nodes_in(notice_targets) {
-            send_t = self.nodes[h].pp.occupy(send_t, self.cfg.write_notice_cost);
-            self.send(send_t, h, n, MsgKind::WriteNotice { line });
+        if self.fault != super::Fault::SkipWriteNotice {
+            for n in nodes_in(notice_targets) {
+                send_t = self.nodes[h].pp.occupy(send_t, self.cfg.write_notice_cost);
+                self.send(send_t, h, n, MsgKind::WriteNotice { line });
+            }
         }
 
         let grant = if n_notices > 0 {

@@ -1,8 +1,13 @@
-//! Global coherence-invariant checking (test/debug instrumentation).
+//! Global coherence-invariant checking (test/debug instrumentation and the
+//! model checker's safety oracle).
 //!
-//! When enabled with [`Machine::with_invariant_checks`], the machine sweeps
-//! its entire state every N events and panics with a detailed report on the
-//! first violation. The checks encode the correctness conditions of
+//! [`Machine::check_violations`] sweeps the entire machine state and returns
+//! every violated invariant as a structured [`Violation`] value; the model
+//! checker (`lrc-check`) calls it after every explored transition. When
+//! enabled with [`Machine::with_invariant_checks`], the machine additionally
+//! sweeps every N events during a normal run and panics with a detailed
+//! report on the first violation (the historical behavior, preserved for the
+//! protocol test suites). The checks encode the correctness conditions of
 //! DESIGN.md §5:
 //!
 //! * directory bookkeeping: `writers ⊆ sharers`, `notified ⊆ sharers`;
@@ -24,25 +29,104 @@ use crate::node::ProcStatus;
 use lrc_mem::LineState;
 use lrc_sim::LineAddr;
 
+/// One violated coherence invariant, as found by a full machine sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Directory bookkeeping: a line's writer mask is not a subset of its
+    /// sharer mask.
+    WritersNotSharers {
+        /// The offending line.
+        line: u64,
+        /// Writer bitmask.
+        writers: u64,
+        /// Sharer bitmask.
+        sharers: u64,
+    },
+    /// Directory bookkeeping: a line's notified mask is not a subset of its
+    /// sharer mask.
+    NotifiedNotSharers {
+        /// The offending line.
+        line: u64,
+        /// Notified bitmask.
+        notified: u64,
+        /// Sharer bitmask.
+        sharers: u64,
+    },
+    /// A processor caches a line its home directory does not record — under
+    /// a lazy protocol, not even as a pending acquire-time invalidation.
+    UnknownCachedCopy {
+        /// The offending line.
+        line: u64,
+        /// The processor holding the unknown copy.
+        proc: usize,
+        /// Cache permission of the unknown copy.
+        writable: bool,
+    },
+    /// Under an eager protocol (SC/ERC), more than one processor holds the
+    /// line writable at once.
+    MultipleWriters {
+        /// The offending line.
+        line: u64,
+        /// Every processor holding the line writable.
+        holders: Vec<usize>,
+    },
+    /// A processor reported finished while still holding a deferred op.
+    FinishedWithDeferredOp {
+        /// The offending processor.
+        proc: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::WritersNotSharers { line, writers, sharers } => write!(
+                f,
+                "line {line}: writers ⊄ sharers (writers={writers:b}, sharers={sharers:b})"
+            ),
+            Violation::NotifiedNotSharers { line, notified, sharers } => write!(
+                f,
+                "line {line}: notified ⊄ sharers (notified={notified:b}, sharers={sharers:b})"
+            ),
+            Violation::UnknownCachedCopy { line, proc, writable } => write!(
+                f,
+                "P{proc} caches line {line} ({}) unknown to its home",
+                if *writable { "writable" } else { "read-only" }
+            ),
+            Violation::MultipleWriters { line, holders } => {
+                write!(f, "line {line} writable at {holders:?} (eager requires exclusivity)")
+            }
+            Violation::FinishedWithDeferredOp { proc } => {
+                write!(f, "finished P{proc} still holds a deferred op")
+            }
+        }
+    }
+}
+
 impl Machine {
-    /// Sweep all machine state for coherence-invariant violations.
-    ///
-    /// `context` is included in the panic message.
-    pub(crate) fn check_invariants(&self, context: &str) {
+    /// Sweep all machine state and return every violated coherence
+    /// invariant (empty = the machine is coherent). Non-panicking: this is
+    /// the model checker's safety oracle, usable mid-exploration on cloned
+    /// machines.
+    pub fn check_violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+
         // Directory structural invariants.
-        for (l, e) in &self.dir {
-            assert_eq!(
-                e.writers() & !e.sharers(),
-                0,
-                "{context}: line {l}: writers ⊄ sharers\n{}",
-                self.dump()
-            );
-            assert_eq!(
-                e.notified() & !e.sharers(),
-                0,
-                "{context}: line {l}: notified ⊄ sharers\n{}",
-                self.dump()
-            );
+        for (&l, e) in &self.dir {
+            if e.writers() & !e.sharers() != 0 {
+                out.push(Violation::WritersNotSharers {
+                    line: l,
+                    writers: e.writers(),
+                    sharers: e.sharers(),
+                });
+            }
+            if e.notified() & !e.sharers() != 0 {
+                out.push(Violation::NotifiedNotSharers {
+                    line: l,
+                    notified: e.notified(),
+                    sharers: e.sharers(),
+                });
+            }
         }
 
         // Cache-vs-directory soundness. Lines with any transaction in
@@ -50,6 +134,7 @@ impl Machine {
         // collection or 3-hop forward in progress, which implies
         // invalidations may still be in transit) — are legitimately in a
         // transient state and skipped.
+        let mut multi_writer_seen: Vec<u64> = Vec::new();
         for (p, node) in self.nodes.iter().enumerate() {
             for line in node.cache.iter() {
                 if node.outstanding.contains_key(&line.line.0) {
@@ -62,24 +147,21 @@ impl Machine {
                 if !self.protocol.is_lazy() {
                     // Eager protocols: every cached copy is directory-known,
                     // and a writable copy is exclusive.
-                    let known = entry.is_some_and(|e| e.is_sharer(p));
-                    assert!(
-                        known,
-                        "{context}: P{p} caches line {} ({:?}) unknown to its home (entry {:?})\n{}",
-                        line.line.0,
-                        line.state,
-                        entry,
-                        self.dump()
-                    );
-                    if line.state == LineState::ReadWrite {
+                    if !entry.is_some_and(|e| e.is_sharer(p)) {
+                        out.push(Violation::UnknownCachedCopy {
+                            line: line.line.0,
+                            proc: p,
+                            writable: line.state == LineState::ReadWrite,
+                        });
+                    }
+                    if line.state == LineState::ReadWrite
+                        && !multi_writer_seen.contains(&line.line.0)
+                    {
                         let holders = self.writable_holders(line.line);
-                        assert!(
-                            holders.len() <= 1,
-                            "{context}: line {} writable at {holders:?} (eager requires exclusivity; entry {:?})\n{}",
-                            line.line.0,
-                            entry,
-                            self.dump()
-                        );
+                        if holders.len() > 1 {
+                            multi_writer_seen.push(line.line.0);
+                            out.push(Violation::MultipleWriters { line: line.line.0, holders });
+                        }
                     }
                 } else {
                     // Lazy protocols: a cached copy is either known to the
@@ -87,24 +169,40 @@ impl Machine {
                     // raced with our refetch), never silently unknown.
                     let known = entry.is_some_and(|e| e.is_sharer(p))
                         || node.pending_invals.contains(&line.line.0);
-                    assert!(
-                        known,
-                        "{context}: P{p} caches line {} unknown to its home (lazy)\n{}",
-                        line.line.0,
-                        self.dump()
-                    );
+                    if !known {
+                        out.push(Violation::UnknownCachedCopy {
+                            line: line.line.0,
+                            proc: p,
+                            writable: line.state == LineState::ReadWrite,
+                        });
+                    }
                 }
             }
         }
 
         // Accounting sanity: finished processors hold no deferred work.
         for (p, node) in self.nodes.iter().enumerate() {
-            if node.status == ProcStatus::Finished {
-                assert!(
-                    node.deferred_op.is_none(),
-                    "{context}: finished P{p} still holds a deferred op"
-                );
+            if node.status == ProcStatus::Finished && node.deferred_op.is_some() {
+                out.push(Violation::FinishedWithDeferredOp { proc: p });
             }
+        }
+
+        out
+    }
+
+    /// Sweep all machine state for coherence-invariant violations, panicking
+    /// with a detailed report on the first one (the behavior behind
+    /// [`Machine::with_invariant_checks`]).
+    ///
+    /// `context` is included in the panic message.
+    pub(crate) fn check_invariants(&self, context: &str) {
+        let violations = self.check_violations();
+        if let Some(v) = violations.first() {
+            panic!(
+                "{context}: {} invariant violation(s); first: {v}\n{}",
+                violations.len(),
+                self.dump()
+            );
         }
     }
 
@@ -113,13 +211,9 @@ impl Machine {
         self.nodes
             .iter()
             .enumerate()
-            .filter(|(p, n)| {
+            .filter(|(_, n)| {
                 n.cache.state(line) == LineState::ReadWrite
                     && !n.outstanding.contains_key(&line.0)
-                    && {
-                        let _ = p;
-                        true
-                    }
             })
             .map(|(p, _)| p)
             .collect()

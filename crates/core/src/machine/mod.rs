@@ -13,11 +13,16 @@
 //! * [`sync_ops`] — acquires, releases, barriers, fences, and the lock and
 //!   barrier services.
 
+pub(crate) mod checker;
 mod home;
-mod invariants;
+pub(crate) mod invariants;
 mod remote;
 mod step;
 mod sync_ops;
+pub(crate) mod values;
+
+pub use invariants::Violation;
+pub use values::SymbolicMemory;
 
 use crate::directory::DirEntry;
 use crate::msg::{Msg, MsgKind};
@@ -30,8 +35,26 @@ use lrc_sim::{
 };
 use std::collections::HashMap;
 
+/// A deliberately-introduced protocol bug, for validating that the model
+/// checker actually catches violations. Never enabled in normal runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// No fault: the protocol as implemented.
+    #[default]
+    None,
+    /// Eager protocols: on a write to a shared block, grant ownership
+    /// immediately *without* invalidating the other copies (and without
+    /// starting an ack collection). Stale read-only copies survive unknown
+    /// to the directory — a safety violation the checker must find.
+    SkipInvalidate,
+    /// Lazy protocols: on a weak transition, count the write notices in the
+    /// ack collection but never send them. The acks can never arrive, so
+    /// the writer's release fence never clears — a liveness violation.
+    SkipWriteNotice,
+}
+
 /// Events driving the simulation.
-#[derive(Debug)]
+#[derive(Debug, Clone, Hash)]
 pub(crate) enum Event {
     /// Give processor `p` a chance to issue operations.
     ProcStep(ProcId),
@@ -54,7 +77,7 @@ pub struct TraceEvent {
     pub kind: MsgKind,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Trace {
     filter: Option<u64>,
     cap: usize,
@@ -114,6 +137,47 @@ pub struct Machine {
     pub(crate) busy_info: HashMap<u64, ForwardEp>,
     /// Monotone forward-episode counter.
     pub(crate) forward_seq: u64,
+    /// Injected protocol bug (checker validation only).
+    pub(crate) fault: Fault,
+    /// Every lock grant in the order the homes issued them, as
+    /// `(lock, grantee)` — the synchronization order fed to the reference
+    /// interpreter. Only recorded when value tracking is on.
+    pub(crate) grant_log: Vec<(lrc_sim::LockId, NodeId)>,
+    /// Symbolic last-writer tracking for the DRF ⇒ SC-equivalence check
+    /// (None = off).
+    pub(crate) values: Option<values::ValueTracker>,
+}
+
+impl Clone for Machine {
+    /// Snapshot the whole machine (model-checker state exploration).
+    ///
+    /// # Panics
+    /// If the installed workload does not support [`Workload::fork`].
+    fn clone(&self) -> Self {
+        Machine {
+            cfg: self.cfg.clone(),
+            protocol: self.protocol,
+            nodes: self.nodes.clone(),
+            dir: self.dir.clone(),
+            parked: self.parked.clone(),
+            net: self.net.clone(),
+            queue: self.queue.clone(),
+            stats: self.stats.clone(),
+            classifier: self.classifier.clone(),
+            workload: self.workload.fork().expect("workload does not support fork()"),
+            finished: self.finished,
+            max_cycles: self.max_cycles,
+            check_every: self.check_every,
+            trace_line: self.trace_line,
+            trace: self.trace.clone(),
+            page_home: self.page_home.clone(),
+            busy_info: self.busy_info.clone(),
+            forward_seq: self.forward_seq,
+            fault: self.fault,
+            grant_log: self.grant_log.clone(),
+            values: self.values.clone(),
+        }
+    }
 }
 
 /// Bookkeeping for one 3-hop forward episode.
@@ -158,8 +222,26 @@ impl Machine {
             page_home: HashMap::new(),
             busy_info: HashMap::new(),
             forward_seq: 0,
+            fault: Fault::None,
+            grant_log: Vec::new(),
+            values: None,
             cfg,
         }
+    }
+
+    /// Inject a deliberate protocol bug (see [`Fault`]) — used only to
+    /// validate that the model checker catches violations.
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Track symbolic last-writer values and the lock-grant order, enabling
+    /// the checker's final-memory comparison against the reference
+    /// sequential interpreter.
+    pub fn with_value_tracking(mut self) -> Self {
+        self.values = Some(values::ValueTracker::new(self.cfg.num_procs));
+        self
     }
 
     /// Enable miss classification (Table-2 instrumentation). Slows the run.

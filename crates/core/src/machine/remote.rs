@@ -252,6 +252,11 @@ impl Machine {
         if let Some(e) = self.busy_info.get_mut(&line.0) {
             e.served = true;
         }
+        // The copy-back carries the full line: the owner's unflushed dirty
+        // words reach home memory (capture them before the copy is
+        // invalidated or demoted below).
+        let dirty = self.nodes[p].cache.dirty_words(line);
+        self.note_flush(p, line, dirty);
         if for_write {
             self.nodes[p].cache.invalidate(line);
             if let Some(c) = self.classifier.as_mut() {

@@ -128,6 +128,7 @@ impl Machine {
             if let Some(c) = self.classifier.as_mut() {
                 c.record_write(p, line, word);
             }
+            self.note_write(p, line, word);
             let st = self.nodes[p].cache.state(line);
             if st == LineState::ReadWrite {
                 let n = &mut self.nodes[p];
@@ -163,6 +164,7 @@ impl Machine {
         if let Some(c) = self.classifier.as_mut() {
             c.record_write(p, line, word);
         }
+        self.note_write(p, line, word);
         let outcome = self.nodes[p].wb.push(line, word);
         debug_assert!(outcome != WbPush::Full);
         self.pump_write_buffer(p, now);
@@ -334,6 +336,7 @@ impl Machine {
 
     /// Send one write-through flush to the line's home.
     pub(crate) fn send_write_through(&mut self, p: ProcId, now: Cycle, line: LineAddr, words: u64) {
+        self.note_flush(p, line, words);
         self.nodes[p].wt_unacked += 1;
         let home = self.home_of(line);
         self.send(now, p, home, MsgKind::WriteThrough { line, words });
@@ -362,6 +365,7 @@ impl Machine {
         match self.protocol {
             Protocol::Sc | Protocol::Erc => {
                 if was_writer && ev.dirty_words != 0 {
+                    self.note_flush(p, line, ev.dirty_words);
                     self.nodes[p].wbk_unacked += 1;
                     self.send(now, p, home, MsgKind::WriteBack { line, words: ev.dirty_words });
                 } else {
@@ -379,6 +383,7 @@ impl Machine {
                     // Replacement forces the deferred write notice out now
                     // (this is what bounds the delayed-write table by the
                     // cache size, as the paper notes).
+                    self.note_flush(p, line, words);
                     let o = self.nodes[p].outstanding.entry(line.0).or_default();
                     o.waiting_data = true;
                     self.send(now, p, home, MsgKind::WriteReq { line, had_copy: true, words });

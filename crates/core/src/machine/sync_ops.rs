@@ -77,6 +77,7 @@ impl Machine {
             let delayed = std::mem::take(&mut self.nodes[p].delayed_writes);
             for (l0, words) in delayed {
                 let line = LineAddr(l0);
+                self.note_flush(p, line, words);
                 let o = self.nodes[p].outstanding.entry(l0).or_default();
                 o.waiting_data = true;
                 let home = self.home_of(line);
@@ -150,6 +151,7 @@ impl Machine {
             }
             if self.protocol == lrc_sim::Protocol::LrcExt {
                 if let Some(words) = self.nodes[p].delayed_writes.remove(&l0) {
+                    self.note_flush(p, line, words);
                     let o = self.nodes[p].outstanding.entry(l0).or_default();
                     o.waiting_data = true;
                     let home = self.home_of(line);
@@ -175,6 +177,7 @@ impl Machine {
                 let h = m.dst;
                 let done = self.nodes[h].pp.occupy(t, self.cfg.sync_service_cost);
                 if let LockAction::Grant(n) = self.nodes[h].locks.acquire(lock, m.src) {
+                    self.grant_log.push((lock, n));
                     self.send(done, h, n, MsgKind::LockGrant { lock });
                 }
             }
@@ -182,6 +185,7 @@ impl Machine {
                 let h = m.dst;
                 let done = self.nodes[h].pp.occupy(t, self.cfg.sync_service_cost);
                 if let LockAction::Grant(n) = self.nodes[h].locks.release(lock, m.src) {
+                    self.grant_log.push((lock, n));
                     self.send(done, h, n, MsgKind::LockGrant { lock });
                 }
             }

@@ -8,7 +8,7 @@
 use lrc_sim::{BarrierId, LineAddr, LockId, NodeId, TrafficClass};
 
 /// Grant mode returned by the home on a write request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WriteGrant {
     /// No other copies needed notification/invalidation: the write has
     /// globally performed as far as the directory is concerned.
@@ -19,7 +19,7 @@ pub enum WriteGrant {
 }
 
 /// Payload of a protocol message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variant docs describe the fields
 pub enum MsgKind {
     // ---- requester → home -------------------------------------------------
@@ -91,7 +91,7 @@ pub enum MsgKind {
 }
 
 /// A routed message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Msg {
     /// Sending node.
     pub src: NodeId,

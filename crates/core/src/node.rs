@@ -8,7 +8,7 @@ use lrc_sim::{BarrierId, Cycle, LineAddr, LockId, MachineConfig, Op, Protocol, S
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Why a processor is not currently issuing operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProcStatus {
     /// Issuing operations (a `ProcStep` event is or will be scheduled).
     Running,
@@ -31,7 +31,7 @@ pub enum ProcStatus {
 }
 
 /// What to do once the release fence completes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PendingSync {
     /// Send `LockRel` and continue.
     LockRelease(LockId),
@@ -40,7 +40,7 @@ pub enum PendingSync {
 }
 
 /// An outstanding coherence transaction for one line (RAC entry).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Outstanding {
     /// A data reply (read or write fill) is still expected.
     pub waiting_data: bool,
@@ -73,7 +73,7 @@ impl Outstanding {
 }
 
 /// All state co-located at one node of the machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// The processor's execution status.
     pub status: ProcStatus,

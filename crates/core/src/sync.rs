@@ -10,12 +10,12 @@ use lrc_sim::{BarrierId, LockId, NodeId};
 use std::collections::{HashMap, VecDeque};
 
 /// State of all locks homed at one node (keyed by lock id).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LockManager {
     locks: HashMap<LockId, LockState>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct LockState {
     holder: Option<NodeId>,
     queue: VecDeque<NodeId>,
@@ -77,15 +77,30 @@ impl LockManager {
     pub fn queue_len(&self, lock: LockId) -> usize {
         self.locks.get(&lock).map_or(0, |s| s.queue.len())
     }
+
+    /// Deterministic snapshot of every lock's state, sorted by lock id —
+    /// `(lock, holder, waiters)` — for state fingerprinting. Idle locks
+    /// (no holder, empty queue) are omitted so a used-then-freed lock
+    /// fingerprints like a never-used one.
+    pub fn snapshot(&self) -> Vec<(LockId, Option<NodeId>, Vec<NodeId>)> {
+        let mut out: Vec<_> = self
+            .locks
+            .iter()
+            .filter(|(_, s)| s.holder.is_some() || !s.queue.is_empty())
+            .map(|(&l, s)| (l, s.holder, s.queue.iter().copied().collect::<Vec<_>>()))
+            .collect();
+        out.sort_unstable_by_key(|&(l, ..)| l);
+        out
+    }
 }
 
 /// State of all barriers homed at one node.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BarrierManager {
     barriers: HashMap<BarrierId, BarrierState>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct BarrierState {
     arrived: Vec<NodeId>,
 }
@@ -115,6 +130,23 @@ impl BarrierManager {
     /// How many nodes are currently waiting at `bar`.
     pub fn waiting(&self, bar: BarrierId) -> usize {
         self.barriers.get(&bar).map_or(0, |s| s.arrived.len())
+    }
+
+    /// Deterministic snapshot of every barrier's arrival set, sorted by
+    /// barrier id, empty sets omitted — for state fingerprinting.
+    pub fn snapshot(&self) -> Vec<(BarrierId, Vec<NodeId>)> {
+        let mut out: Vec<_> = self
+            .barriers
+            .iter()
+            .filter(|(_, s)| !s.arrived.is_empty())
+            .map(|(&b, s)| {
+                let mut arrived = s.arrived.clone();
+                arrived.sort_unstable();
+                (b, arrived)
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(b, _)| b);
+        out
     }
 }
 

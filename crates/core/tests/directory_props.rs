@@ -1,7 +1,8 @@
-//! Property tests for the directory state machine (paper Figure 1).
+//! Property tests for the directory state machine (paper Figure 1),
+//! driven by the simulation kernel's deterministic PRNG.
 
 use lrc_core::{DirEntry, DirState};
-use proptest::prelude::*;
+use lrc_sim::Rng;
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -12,25 +13,28 @@ enum Op {
     RemoveAllExcept(usize),
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..64).prop_map(Op::AddSharer),
-        (0usize..64).prop_map(Op::AddWriter),
-        (0usize..64).prop_map(Op::Remove),
-        (0usize..64).prop_map(Op::Demote),
-        (0usize..64).prop_map(Op::RemoveAllExcept),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    let n = rng.below(64) as usize;
+    match rng.below(5) {
+        0 => Op::AddSharer(n),
+        1 => Op::AddWriter(n),
+        2 => Op::Remove(n),
+        3 => Op::Demote(n),
+        _ => Op::RemoveAllExcept(n),
+    }
 }
 
-proptest! {
-    /// Structural invariants hold after any operation sequence: writers and
-    /// notified are subsets of sharers, counters equal popcounts, and the
-    /// derived state matches the paper's definition.
-    #[test]
-    fn directory_invariants(ops in prop::collection::vec(op(), 0..300)) {
+/// Structural invariants hold after any operation sequence: writers and
+/// notified are subsets of sharers, counters equal popcounts, and the
+/// derived state matches the paper's definition.
+#[test]
+fn directory_invariants() {
+    let mut rng = Rng::new(0x5eed_0d01);
+    for _ in 0..40 {
+        let len = rng.below(300) as usize;
         let mut e = DirEntry::new();
-        for o in ops {
-            match o {
+        for _ in 0..len {
+            match random_op(&mut rng) {
                 Op::AddSharer(n) => e.add_sharer(n),
                 Op::AddWriter(n) => e.add_writer(n),
                 Op::Remove(n) => e.remove(n),
@@ -39,10 +43,10 @@ proptest! {
                     e.remove_all_except(n);
                 }
             }
-            prop_assert_eq!(e.writers() & !e.sharers(), 0);
-            prop_assert_eq!(e.notified() & !e.sharers(), 0);
-            prop_assert_eq!(e.sharer_count(), e.sharers().count_ones());
-            prop_assert_eq!(e.writer_count(), e.writers().count_ones());
+            assert_eq!(e.writers() & !e.sharers(), 0);
+            assert_eq!(e.notified() & !e.sharers(), 0);
+            assert_eq!(e.sharer_count(), e.sharers().count_ones());
+            assert_eq!(e.writer_count(), e.writers().count_ones());
             let expected = if e.sharer_count() == 0 {
                 DirState::Uncached
             } else if e.writer_count() == 0 {
@@ -52,30 +56,32 @@ proptest! {
             } else {
                 DirState::Weak
             };
-            prop_assert_eq!(e.state(), expected);
+            assert_eq!(e.state(), expected);
             // Dirty always has a well-defined owner; other states never do.
-            prop_assert_eq!(e.dirty_owner().is_some(), e.state() == DirState::Dirty);
+            assert_eq!(e.dirty_owner().is_some(), e.state() == DirState::Dirty);
         }
     }
+}
 
-    /// `unnotified_others` never includes the requester or already-notified
-    /// sharers, and marking everyone notified empties it.
-    #[test]
-    fn notice_targets_are_sound(
-        sharers in prop::collection::vec(0usize..64, 1..10),
-        requester in 0usize..64,
-    ) {
+/// `unnotified_others` never includes the requester or already-notified
+/// sharers, and marking everyone notified empties it.
+#[test]
+fn notice_targets_are_sound() {
+    let mut rng = Rng::new(0x5eed_0d02);
+    for _ in 0..100 {
+        let requester = rng.below(64) as usize;
+        let nsharers = 1 + rng.below(9) as usize;
         let mut e = DirEntry::new();
-        for &s in &sharers {
-            e.add_sharer(s);
+        for _ in 0..nsharers {
+            e.add_sharer(rng.below(64) as usize);
         }
         e.add_writer(requester);
         let targets = e.unnotified_others(requester);
-        prop_assert_eq!(targets & (1 << requester), 0);
-        prop_assert_eq!(targets & !e.sharers(), 0);
+        assert_eq!(targets & (1 << requester), 0);
+        assert_eq!(targets & !e.sharers(), 0);
         for n in lrc_core::nodes_in(targets) {
             e.mark_notified(n);
         }
-        prop_assert_eq!(e.unnotified_others(requester), 0);
+        assert_eq!(e.unnotified_others(requester), 0);
     }
 }

@@ -1,0 +1,176 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds in offline environments with no registry access,
+//! so this crate re-creates the slice of criterion's API that the
+//! `lrc-bench` targets use: `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `sample_size`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Semantics: each benchmark runs a short warm-up plus a fixed number of
+//! timed samples (scaled down by `sample_size`) and prints the median
+//! per-iteration wall time. It is a smoke-timing harness, not a
+//! statistics engine — good enough to keep the paper's table/figure
+//! benches runnable and compiled under `--all-targets`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (the real crate's deprecated
+/// alias for `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Driver with the default sample count.
+    pub fn new() -> Self {
+        Criterion { sample_size: default_samples() }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::new()
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, discarding its output via `black_box`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed warm-up run.
+        black_box(routine());
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn default_samples() -> usize {
+    // Keep runs quick: honor CRITERION_SAMPLES if set, else 3.
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Cap samples: this harness is for smoke timing, not statistics.
+    let samples = samples.min(10);
+    let mut b = Bencher { samples, results: Vec::with_capacity(samples) };
+    f(&mut b);
+    if b.results.is_empty() {
+        println!("{name:<48} (no measurement)");
+        return;
+    }
+    b.results.sort();
+    let median = b.results[b.results.len() / 2];
+    println!("{name:<48} median {median:>12.3?} over {samples} samples");
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::new().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::new();
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut ran = false;
+        g.bench_function(format!("case/{}", 1), |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -12,7 +12,7 @@ use crate::experiments::Params;
 use lrc_core::{Machine, RunResult};
 use lrc_sim::{MachineConfig, Protocol, Workload};
 use lrc_workloads::{mp3d, Fenced, WorkloadKind};
-use serde_json::json;
+use lrc_json::json;
 
 fn run_custom(cfg: MachineConfig, proto: Protocol, w: Box<dyn Workload>) -> RunResult {
     Machine::new(cfg, proto)

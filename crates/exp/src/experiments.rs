@@ -11,7 +11,7 @@ use crate::runner::{Runner, RunSpec};
 use lrc_core::RunResult;
 use lrc_sim::{table1_rows, MachineConfig, MissClass, Protocol};
 use lrc_workloads::{quality_experiment, Scale, WorkloadKind};
-use serde_json::json;
+use lrc_json::{json, ToJson};
 
 /// Shared experiment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +49,7 @@ pub fn table1(_r: &Runner, p: Params) -> Report {
         id: "table1".into(),
         title: "Default values for system parameters".into(),
         text: t.render(),
-        json: serde_json::to_value(&cfg).expect("config serializes"),
+        json: cfg.to_json(),
     }
 }
 
@@ -543,11 +543,10 @@ pub fn quality(_r: &Runner, p: Params) -> Report {
         id: "quality".into(),
         title: "Cumulative velocity divergence, SC vs lazy visibility (mp3d)".into(),
         text: t.render(),
-        json: serde_json::to_value(json!({
+        json: json!({
             "sc": q.sc, "lazy": q.lazy, "divergence_pct": q.divergence_pct,
             "particles": particles, "steps": steps,
-        }))
-        .expect("serializes"),
+        }),
     }
 }
 

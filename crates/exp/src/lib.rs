@@ -1,6 +1,7 @@
 //! `lrc-exp` — the experiment harness: regenerates every table and figure
 //! of the paper (see DESIGN.md §4 for the experiment index).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablate;

@@ -1,6 +1,8 @@
 //! Experiment CLI: `lrc-exp <experiment|all> [--scale paper|medium|small|tiny]
 //! [--procs N] [--threads N] [--json DIR] [--quiet]`.
 
+#![forbid(unsafe_code)]
+
 use lrc_exp::{experiments, Params, Runner};
 use lrc_workloads::Scale;
 
@@ -57,7 +59,7 @@ fn main() {
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
             let path = format!("{dir}/{id}.json");
-            std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap())
+            std::fs::write(&path, report.to_json().pretty())
                 .expect("write json");
             eprintln!("wrote {path}");
         }

@@ -1,11 +1,10 @@
 //! Report rendering: plain-text tables in the paper's style plus
 //! machine-readable JSON for EXPERIMENTS.md tooling.
 
-use serde::Serialize;
-use serde_json::Value;
+use lrc_json::Value;
 
 /// One regenerated artifact (a table or figure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Stable id: `table1` … `fig9`, `sweep`, `quality`.
     pub id: String,
@@ -22,6 +21,16 @@ impl Report {
     pub fn print(&self) {
         println!("== {} — {}\n", self.id, self.title);
         println!("{}", self.text);
+    }
+
+    /// The report as one JSON object (what `--json DIR` writes to disk).
+    pub fn to_json(&self) -> Value {
+        lrc_json::json!({
+            "id": self.id.clone(),
+            "title": self.title.clone(),
+            "text": self.text.clone(),
+            "json": self.json.clone(),
+        })
     }
 }
 

@@ -5,13 +5,12 @@
 use lrc_core::{Machine, RunResult};
 use lrc_sim::{MachineConfig, Protocol};
 use lrc_workloads::{Scale, WorkloadKind};
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Everything identifying one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// Coherence protocol.
     pub protocol: Protocol,
@@ -86,7 +85,7 @@ impl Runner {
     pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Arc<RunResult>> {
         // Collect the specs that still need running.
         let todo: Vec<(usize, RunSpec)> = {
-            let cache = self.cache.lock();
+            let cache = self.cache.lock().unwrap();
             specs
                 .iter()
                 .enumerate()
@@ -106,7 +105,7 @@ impl Runner {
                     let verbose = self.verbose;
                     scope.spawn(move || loop {
                         let i = {
-                            let mut n = next.lock();
+                            let mut n = next.lock().unwrap();
                             if *n >= todo.len() {
                                 return;
                             }
@@ -135,13 +134,13 @@ impl Runner {
                                 started.elapsed()
                             );
                         }
-                        cache.lock().insert(spec.key(), result);
+                        cache.lock().unwrap().insert(spec.key(), result);
                     });
                 }
             });
         }
 
-        let cache = self.cache.lock();
+        let cache = self.cache.lock().unwrap();
         specs
             .iter()
             .map(|s| cache.get(&s.key()).expect("run completed").clone())

@@ -17,9 +17,10 @@ fn every_experiment_id_runs_at_tiny_scale() {
         assert_eq!(rep.id, id);
         assert!(!rep.text.trim().is_empty(), "{id}: empty text");
         assert!(!rep.title.is_empty(), "{id}");
-        // JSON must serialize.
-        let s = serde_json::to_string(&rep.json).unwrap();
+        // JSON must serialize and parse back.
+        let s = rep.json.dump();
         assert!(s.len() > 2, "{id}");
+        lrc_json::parse(&s).unwrap_or_else(|e| panic!("{id}: {e}"));
     }
 }
 

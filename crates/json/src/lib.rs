@@ -1,0 +1,485 @@
+//! `lrc-json` — a small, self-contained JSON layer.
+//!
+//! The experiment harness emits machine-readable reports and the test
+//! suite round-trips configuration/stats structures. The build runs in
+//! fully offline environments, so instead of an external JSON dependency
+//! this crate provides the minimal surface the workspace needs: an ordered
+//! [`Value`] type, a [`json!`] construction macro, compact and pretty
+//! printers, a strict parser, and [`ToJson`]/[`FromJson`] conversion
+//! traits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The `json!` muncher builds containers by init-then-push; expansions in
+// this crate are not "external macro" code, so clippy must be allowed here
+// (downstream crates are exempt automatically).
+#![allow(clippy::vec_init_then_push)]
+
+mod parse;
+mod print;
+
+pub use parse::{parse, ParseError};
+pub use print::{to_string, to_string_pretty};
+
+use std::ops::Index;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like most JS runtimes).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Shared `Null` used when indexing misses (lets `v["absent"]` return a
+/// reference, mirroring the ergonomics of mainstream JSON crates).
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup; `None` if `self` is not an object or lacks `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup; `None` if not an array or out of range.
+    pub fn get_index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an object (ordered key/value pairs).
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view (exact integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view (exact integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Is this an array?
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Is this an object?
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Compact rendering (no whitespace).
+    pub fn dump(&self) -> String {
+        to_string(self)
+    }
+
+    /// Pretty rendering (2-space indent).
+    pub fn pretty(&self) -> String {
+        to_string_pretty(self)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        self.get_index(i).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::Str(s.clone())
+    }
+}
+
+macro_rules! from_num {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Num(n as f64)
+            }
+        })*
+    };
+}
+from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(items: [T; N]) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(items: &[T]) -> Value {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Value {
+        o.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Value {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Types that render themselves as a JSON [`Value`].
+pub trait ToJson {
+    /// Convert to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+/// Types reconstructible from a JSON [`Value`]. Returns `None` on shape or
+/// domain mismatch.
+pub trait FromJson: Sized {
+    /// Parse from a JSON value.
+    fn from_json(v: &Value) -> Option<Self>;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Option<Value> {
+        Some(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Option<bool> {
+        v.as_bool()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Option<String> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+macro_rules! json_uint {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Option<$t> {
+                v.as_u64().and_then(|n| <$t>::try_from(n).ok())
+            }
+        })*
+    };
+}
+json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! json_int {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Option<$t> {
+                v.as_i64().and_then(|n| <$t>::try_from(n).ok())
+            }
+        })*
+    };
+}
+json_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Option<f64> {
+        v.as_f64()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Option<Vec<T>> {
+        v.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToJson::to_json)
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Option<Option<T>> {
+        if v.is_null() {
+            Some(None)
+        } else {
+            T::from_json(v).map(Some)
+        }
+    }
+}
+
+/// Build a [`Value`] with JSON-looking syntax:
+///
+/// ```
+/// use lrc_json::json;
+/// let v = json!({ "name": "lrc", "sizes": [1, 2, 3], "ok": true });
+/// assert_eq!(v["sizes"][2].as_u64(), Some(3));
+/// ```
+///
+/// Keys must be string literals; values are any expression convertible
+/// into a `Value` via `From`, or nested `{...}` / `[...]` forms.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_items!(items $($tt)*);
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut fields: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_fields!(fields $($tt)*);
+        $crate::Value::Object(fields)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal muncher for `json!` array bodies. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($vec:ident) => {};
+    ($vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $( $crate::json_items!($vec $($rest)*); )?
+    };
+    ($vec:ident [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($arr)* ]));
+        $( $crate::json_items!($vec $($rest)*); )?
+    };
+    ($vec:ident { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($obj)* }));
+        $( $crate::json_items!($vec $($rest)*); )?
+    };
+    ($vec:ident $val:expr $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::from($val));
+        $( $crate::json_items!($vec $($rest)*); )?
+    };
+}
+
+/// Internal muncher for `json!` object bodies. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_fields {
+    ($vec:ident) => {};
+    ($vec:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::Value::Null));
+        $( $crate::json_fields!($vec $($rest)*); )?
+    };
+    ($vec:ident $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::json!([ $($arr)* ])));
+        $( $crate::json_fields!($vec $($rest)*); )?
+    };
+    ($vec:ident $key:literal : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::json!({ $($obj)* })));
+        $( $crate::json_fields!($vec $($rest)*); )?
+    };
+    ($vec:ident $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $vec.push(($key.to_string(), $crate::Value::from($val)));
+        $( $crate::json_fields!($vec $($rest)*); )?
+    };
+}
+
+/// Implement [`ToJson`] + [`FromJson`] for a plain struct by listing its
+/// fields. Every field type must itself implement both traits.
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)) ),*
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Option<Self> {
+                Some(Self {
+                    $( $field: $crate::FromJson::from_json(v.get(stringify!($field))?)? ),*
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_values() {
+        let rows = vec![json!({ "a": 1 }), json!({ "a": 2 })];
+        let v = json!({ "rows": rows, "tag": "x", "n": 3u64, "flag": false, "nested": { "k": [1, "two", null] } });
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        assert_eq!(v["rows"][1]["a"].as_u64(), Some(2));
+        assert_eq!(v["tag"].as_str(), Some("x"));
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["flag"].as_bool(), Some(false));
+        assert!(v["nested"]["k"][2].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn integer_views_reject_fractions() {
+        assert_eq!(Value::Num(2.5).as_u64(), None);
+        assert_eq!(Value::Num(-3.0).as_u64(), None);
+        assert_eq!(Value::Num(-3.0).as_i64(), Some(-3));
+    }
+
+    #[test]
+    fn struct_macro_roundtrip() {
+        #[derive(Debug, PartialEq)]
+        struct P {
+            x: u64,
+            y: String,
+            zs: Vec<u32>,
+        }
+        json_struct!(P { x, y, zs });
+        let p = P { x: 7, y: "hi".into(), zs: vec![1, 2] };
+        let v = p.to_json();
+        assert_eq!(P::from_json(&v), Some(p));
+        assert_eq!(P::from_json(&json!({ "x": 7 })), None);
+    }
+}

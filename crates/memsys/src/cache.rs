@@ -11,7 +11,7 @@
 use lrc_sim::{LineAddr, MachineConfig};
 
 /// Local access permission of a cached line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LineState {
     /// Not present (or invalidated).
     Invalid,

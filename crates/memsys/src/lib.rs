@@ -3,6 +3,7 @@
 //! 16-entry coalescing write-through buffer used by the lazy protocols, and
 //! memory-module / bus timing with contention.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::new_without_default)]
 

@@ -1,66 +1,85 @@
-//! Property tests for the memory-system substrates.
+//! Property tests for the memory-system substrates, driven by the
+//! simulation kernel's deterministic PRNG.
 
 use lrc_mem::{Cache, CbPush, CoalescingBuffer, LineState, WriteBuffer};
-use lrc_sim::LineAddr;
-use proptest::prelude::*;
+use lrc_sim::{LineAddr, Rng};
 
-proptest! {
-    /// The cache never holds more lines than its geometry allows, and the
-    /// most recently inserted line is always resident.
-    #[test]
-    fn cache_capacity_and_mru(ops in prop::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+/// The cache never holds more lines than its geometry allows, and the
+/// most recently inserted line is always resident.
+#[test]
+fn cache_capacity_and_mru() {
+    let mut rng = Rng::new(0x5eed_0e01);
+    for _ in 0..40 {
+        let n = 1 + rng.below(200) as usize;
         let mut c = Cache::with_geometry(4, 2);
-        for (line, write) in ops {
-            let state = if write { LineState::ReadWrite } else { LineState::ReadOnly };
+        for _ in 0..n {
+            let line = rng.below(64);
+            let state = if rng.chance(0.5) { LineState::ReadWrite } else { LineState::ReadOnly };
             c.insert(LineAddr(line), state);
-            prop_assert!(c.contains(LineAddr(line)), "MRU line must be resident");
-            prop_assert!(c.resident() <= 8, "capacity exceeded: {}", c.resident());
+            assert!(c.contains(LineAddr(line)), "MRU line must be resident");
+            assert!(c.resident() <= 8, "capacity exceeded: {}", c.resident());
         }
     }
+}
 
-    /// Evictions return exactly the line that disappears.
-    #[test]
-    fn cache_eviction_is_accounted(lines in prop::collection::vec(0u64..32, 1..100)) {
+/// Evictions return exactly the line that disappears.
+#[test]
+fn cache_eviction_is_accounted() {
+    let mut rng = Rng::new(0x5eed_0e02);
+    for _ in 0..40 {
+        let n = 1 + rng.below(100) as usize;
         let mut c = Cache::with_geometry(2, 1);
         let mut resident: std::collections::HashSet<u64> = Default::default();
-        for l in lines {
+        for _ in 0..n {
+            let l = rng.below(32);
             if let Some(ev) = c.insert(LineAddr(l), LineState::ReadOnly) {
-                prop_assert!(resident.remove(&ev.line.0), "evicted line {} was not resident", ev.line.0);
-                prop_assert!(!c.contains(ev.line));
+                assert!(resident.remove(&ev.line.0), "evicted line {} was not resident", ev.line.0);
+                assert!(!c.contains(ev.line));
             }
             resident.insert(l);
             resident.retain(|&x| c.contains(LineAddr(x)));
         }
     }
+}
 
-    /// Dirty masks survive permission changes and are returned at eviction.
-    #[test]
-    fn cache_dirty_words_are_preserved(words in prop::collection::vec(0usize..32, 1..40)) {
+/// Dirty masks survive permission changes and are returned at eviction.
+#[test]
+fn cache_dirty_words_are_preserved() {
+    let mut rng = Rng::new(0x5eed_0e03);
+    for _ in 0..40 {
+        let n = 1 + rng.below(40) as usize;
         let mut c = Cache::with_geometry(4, 1);
         c.insert(LineAddr(7), LineState::ReadWrite);
         let mut expected = 0u64;
-        for w in words {
+        for _ in 0..n {
+            let w = rng.below(32) as usize;
             c.mark_dirty(LineAddr(7), w);
             expected |= 1 << w;
         }
-        prop_assert_eq!(c.dirty_words(LineAddr(7)), expected);
+        assert_eq!(c.dirty_words(LineAddr(7)), expected);
         let ev = c.invalidate(LineAddr(7)).unwrap();
-        prop_assert_eq!(ev.dirty_words, expected);
+        assert_eq!(ev.dirty_words, expected);
     }
+}
 
-    /// The write buffer never exceeds its capacity, coalesces by line, and
-    /// retires strictly in FIFO order.
-    #[test]
-    fn write_buffer_fifo_and_bounded(pushes in prop::collection::vec((0u64..8, 0usize..32), 1..100)) {
+/// The write buffer never exceeds its capacity, coalesces by line, and
+/// retires strictly in FIFO order.
+#[test]
+fn write_buffer_fifo_and_bounded() {
+    let mut rng = Rng::new(0x5eed_0e04);
+    for _ in 0..40 {
+        let n = 1 + rng.below(100) as usize;
         let mut wb = WriteBuffer::new(4);
         let mut order: Vec<u64> = Vec::new();
-        for (line, word) in pushes {
+        for _ in 0..n {
+            let line = rng.below(8);
+            let word = rng.below(32) as usize;
             match wb.push(LineAddr(line), word) {
                 lrc_mem::WbPush::Allocated => order.push(line),
-                lrc_mem::WbPush::Coalesced => prop_assert!(order.contains(&line)),
-                lrc_mem::WbPush::Full => prop_assert_eq!(wb.len(), 4),
+                lrc_mem::WbPush::Coalesced => assert!(order.contains(&line)),
+                lrc_mem::WbPush::Full => assert_eq!(wb.len(), 4),
             }
-            prop_assert!(wb.len() <= 4);
+            assert!(wb.len() <= 4);
         }
         // Retire everything: must come out in allocation order.
         let mut retired = Vec::new();
@@ -69,26 +88,32 @@ proptest! {
             wb.mark_ready(front);
             retired.push(wb.pop_ready().unwrap().line.0);
         }
-        prop_assert_eq!(retired, order);
+        assert_eq!(retired, order);
     }
+}
 
-    /// The coalescing buffer merges per line and bounds its occupancy; every
-    /// displaced victim is the oldest entry.
-    #[test]
-    fn coalescing_buffer_merges_and_bounds(pushes in prop::collection::vec((0u64..24, 0usize..32), 1..120)) {
+/// The coalescing buffer merges per line and bounds its occupancy; every
+/// displaced victim is the oldest entry.
+#[test]
+fn coalescing_buffer_merges_and_bounds() {
+    let mut rng = Rng::new(0x5eed_0e05);
+    for _ in 0..40 {
+        let n = 1 + rng.below(120) as usize;
         let mut cb = CoalescingBuffer::new(8);
         let mut fifo: Vec<u64> = Vec::new();
-        for (line, word) in pushes {
+        for _ in 0..n {
+            let line = rng.below(24);
+            let word = rng.below(32) as usize;
             match cb.push(LineAddr(line), word) {
                 CbPush::Allocated => fifo.push(line),
-                CbPush::Merged => prop_assert!(fifo.contains(&line)),
+                CbPush::Merged => assert!(fifo.contains(&line)),
                 CbPush::Displaced(v) => {
-                    prop_assert_eq!(v.line.0, fifo.remove(0));
+                    assert_eq!(v.line.0, fifo.remove(0));
                     fifo.push(line);
                 }
             }
-            prop_assert!(cb.len() <= 8);
-            prop_assert_eq!(cb.len(), fifo.len());
+            assert!(cb.len() <= 8);
+            assert_eq!(cb.len(), fifo.len());
         }
     }
 }

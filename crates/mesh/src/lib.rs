@@ -2,6 +2,7 @@
 //! dimension-order routing distance and a timing model with endpoint
 //! (NI-port) contention, matching the methodology of Section 3 of the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::new_without_default)]
 

@@ -1,41 +1,48 @@
-//! Property tests for the mesh interconnect.
+//! Property tests for the mesh interconnect, driven by the simulation
+//! kernel's deterministic PRNG.
 
 use lrc_mesh::{Mesh, Network};
-use lrc_sim::MachineConfig;
-use proptest::prelude::*;
+use lrc_sim::{MachineConfig, Rng};
 
-proptest! {
-    /// Hop distance is a metric: identity, symmetry, triangle inequality.
-    #[test]
-    fn hops_is_a_metric(n in 1usize..64, seed in any::<u64>()) {
+/// Hop distance is a metric: identity, symmetry, triangle inequality.
+#[test]
+fn hops_is_a_metric() {
+    let mut rng = Rng::new(0x5eed_0f01);
+    for _ in 0..200 {
+        let n = 1 + rng.below(63) as usize;
         let m = Mesh::new(n);
-        let a = (seed as usize) % n;
-        let b = (seed as usize / 64) % n;
-        let c = (seed as usize / 4096) % n;
-        prop_assert_eq!(m.hops(a, a), 0);
-        prop_assert_eq!(m.hops(a, b), m.hops(b, a));
-        prop_assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
-        prop_assert!(m.hops(a, b) <= m.diameter());
+        let a = rng.below(n as u64) as usize;
+        let b = rng.below(n as u64) as usize;
+        let c = rng.below(n as u64) as usize;
+        assert_eq!(m.hops(a, a), 0);
+        assert_eq!(m.hops(a, b), m.hops(b, a));
+        assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
+        assert!(m.hops(a, b) <= m.diameter());
     }
+}
 
-    /// Delivery times never decrease for messages sent later on the same
-    /// src→dst pair, and are at least the contention-free latency.
-    #[test]
-    fn network_delivery_is_causal(
-        sends in prop::collection::vec((0usize..16, 0usize..16, 1u64..256), 1..100)
-    ) {
+/// Delivery times never decrease for messages sent later on the same
+/// src→dst pair, and are at least the contention-free latency.
+#[test]
+fn network_delivery_is_causal() {
+    let mut rng = Rng::new(0x5eed_0f02);
+    for _ in 0..40 {
+        let sends = 1 + rng.below(100) as usize;
         let cfg = MachineConfig::paper_default(16);
         let mut net = Network::new(&cfg);
         let mut now = 0;
         let mut last_arrival: std::collections::HashMap<(usize, usize), u64> = Default::default();
-        for (src, dst, bytes) in sends {
+        for _ in 0..sends {
+            let src = rng.below(16) as usize;
+            let dst = rng.below(16) as usize;
+            let bytes = 1 + rng.below(255);
             now += 3;
             let arrival = net.send(now, src, dst, bytes);
             let floor = if src == dst { 1 } else { net.base_latency(src, dst, bytes) };
-            prop_assert!(arrival >= now + floor || src == dst);
+            assert!(arrival >= now + floor || src == dst);
             if src != dst {
                 if let Some(&prev) = last_arrival.get(&(src, dst)) {
-                    prop_assert!(arrival >= prev, "FIFO per channel");
+                    assert!(arrival >= prev, "FIFO per channel");
                 }
                 last_arrival.insert((src, dst), arrival);
             }

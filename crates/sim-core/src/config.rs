@@ -3,10 +3,9 @@
 //! fixed in the paper's text.
 
 use crate::types::Protocol;
-use serde::{Deserialize, Serialize};
 
 /// Policy for assigning pages of the shared address space to home nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// Page `i` lives at node `i mod P`. The default; spreads directory and
     /// memory load and is what most simulators of the era did.
@@ -24,7 +23,7 @@ pub enum Placement {
 /// [`MachineConfig::paper_default`] matches Table 1 of the paper;
 /// [`MachineConfig::future_machine`] matches the "hypothetical future
 /// machine" of Section 4.3 (Figures 8 and 9).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of processors (= nodes). The paper evaluates 64.
     pub num_procs: usize,

@@ -15,7 +15,7 @@ struct Key {
 }
 
 /// A time-ordered, insertion-stable event queue.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(Key, u64)>>,
     slab: Vec<Option<E>>,
@@ -72,12 +72,58 @@ impl<E> EventQueue<E> {
     }
 
     /// Remove and return the earliest event, advancing `now`.
+    ///
+    /// `now` never moves backwards: if [`EventQueue::pop_nth`] already
+    /// advanced past this event's scheduled time, the event fires "late" at
+    /// the current time.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let Reverse((key, slot)) = self.heap.pop()?;
-        self.now = key.time;
+        self.pop_nth(0)
+    }
+
+    /// Remove and return the `n`-th pending event in (time, insertion)
+    /// order — the model checker's choice-point hook. `pop_nth(0)` is
+    /// [`EventQueue::pop`]; larger `n` fires a later-scheduled event first,
+    /// exploring an alternative interleaving of in-flight activity.
+    ///
+    /// Advances `now` to the fired event's time if that is later than the
+    /// current time (time is monotone even under out-of-order firing).
+    /// Returns `None` when fewer than `n + 1` events are pending.
+    pub fn pop_nth(&mut self, n: usize) -> Option<(Cycle, E)> {
+        if n >= self.heap.len() {
+            return None;
+        }
+        let mut held = Vec::with_capacity(n);
+        for _ in 0..n {
+            held.push(self.heap.pop().expect("length checked above"));
+        }
+        let Reverse((key, slot)) = self.heap.pop().expect("length checked above");
+        self.heap.extend(held);
+        self.now = self.now.max(key.time);
         let ev = self.slab[slot as usize].take().expect("slab slot already vacated");
         self.free.push(slot);
-        Some((key.time, ev))
+        Some((self.now, ev))
+    }
+
+    /// Scheduled firing times of every pending event, in (time, insertion)
+    /// order — index `i` here is the `n` accepted by
+    /// [`EventQueue::pop_nth`]. Intended for checker-sized queues; cost is
+    /// O(len log len).
+    pub fn pending_times(&self) -> Vec<Cycle> {
+        let mut keys: Vec<Key> = self.heap.iter().map(|&Reverse((k, _))| k).collect();
+        keys.sort();
+        keys.into_iter().map(|k| k.time).collect()
+    }
+
+    /// References to every pending event payload, in (time, insertion)
+    /// order — index `i` here is the `n` accepted by
+    /// [`EventQueue::pop_nth`]. The model checker hashes these into its
+    /// state fingerprint. Cost is O(len log len).
+    pub fn pending_events(&self) -> Vec<&E> {
+        let mut keys: Vec<(Key, u64)> = self.heap.iter().map(|&Reverse(k)| k).collect();
+        keys.sort();
+        keys.into_iter()
+            .map(|(_, slot)| self.slab[slot as usize].as_ref().expect("pending slot occupied"))
+            .collect()
     }
 
     /// Firing time of the earliest pending event, if any.

@@ -1,0 +1,148 @@
+//! JSON conversions for the types the experiment harness and tests
+//! serialize: [`MachineConfig`], [`Protocol`], and the statistics
+//! structures. Built on the workspace's offline `lrc-json` layer.
+
+use crate::config::{MachineConfig, Placement};
+use crate::stats::{Breakdown, MachineStats, MissClass, MissCounts, ProcStats, Traffic};
+use crate::types::Protocol;
+use lrc_json::{json_struct, FromJson, ToJson, Value};
+
+impl ToJson for Protocol {
+    fn to_json(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for Protocol {
+    fn from_json(v: &Value) -> Option<Protocol> {
+        Protocol::parse(v.as_str()?)
+    }
+}
+
+impl Placement {
+    /// Stable lowercase name used in serialized configs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::RoundRobinPages => "round-robin-pages",
+            Placement::AllAtZero => "all-at-zero",
+            Placement::FirstTouch => "first-touch",
+        }
+    }
+}
+
+impl ToJson for Placement {
+    fn to_json(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for Placement {
+    fn from_json(v: &Value) -> Option<Placement> {
+        match v.as_str()? {
+            "round-robin-pages" => Some(Placement::RoundRobinPages),
+            "all-at-zero" => Some(Placement::AllAtZero),
+            "first-touch" => Some(Placement::FirstTouch),
+            _ => None,
+        }
+    }
+}
+
+json_struct!(MachineConfig {
+    num_procs,
+    line_size,
+    cache_size,
+    cache_assoc,
+    mem_setup,
+    mem_bytes_per_cycle,
+    bus_bytes_per_cycle,
+    net_bytes_per_cycle,
+    switch_latency,
+    wire_latency,
+    write_notice_cost,
+    dir_cost_lazy,
+    dir_cost_eager,
+    write_buffer_entries,
+    coalescing_buffer_entries,
+    page_size,
+    ctrl_msg_bytes,
+    word_size,
+    sync_service_cost,
+    skew_quantum,
+    cb_flush_delay,
+    nack_retry_delay,
+    placement,
+    dir_pointers,
+});
+
+impl ToJson for MissCounts {
+    fn to_json(&self) -> Value {
+        Value::Object(
+            MissClass::ALL
+                .iter()
+                .map(|&c| (c.name().to_string(), self.get(c).to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for MissCounts {
+    fn from_json(v: &Value) -> Option<MissCounts> {
+        let mut counts = [0u64; 5];
+        for (i, c) in MissClass::ALL.iter().enumerate() {
+            counts[i] = u64::from_json(v.get(c.name())?)?;
+        }
+        Some(MissCounts::from_array(counts))
+    }
+}
+
+json_struct!(Breakdown { cpu, read, write, sync });
+json_struct!(Traffic { control_msgs, data_msgs, write_data_msgs, bytes });
+json_struct!(ProcStats {
+    breakdown,
+    refs,
+    reads,
+    writes,
+    read_misses,
+    write_misses,
+    upgrades,
+    miss_classes,
+    notices_received,
+    acquire_invalidations,
+    eager_invalidations,
+    lock_acquires,
+    barriers,
+    traffic,
+    three_hop,
+    finish_time,
+    pp_busy,
+    mem_busy,
+});
+json_struct!(MachineStats { procs, total_cycles });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_json_roundtrip() {
+        for p in Protocol::ALL {
+            assert_eq!(Protocol::from_json(&p.to_json()), Some(p));
+        }
+        assert_eq!(Protocol::from_json(&Value::Str("bogus".into())), None);
+    }
+
+    #[test]
+    fn placement_json_roundtrip() {
+        for p in [Placement::RoundRobinPages, Placement::AllAtZero, Placement::FirstTouch] {
+            assert_eq!(Placement::from_json(&p.to_json()), Some(p));
+        }
+    }
+
+    #[test]
+    fn config_json_roundtrip() {
+        let cfg = MachineConfig::future_machine(64);
+        let v = cfg.to_json();
+        assert_eq!(v["line_size"].as_u64(), Some(256));
+        assert_eq!(MachineConfig::from_json(&v), Some(cfg));
+    }
+}

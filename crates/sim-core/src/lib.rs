@@ -8,11 +8,14 @@
 //! and the applications (`lrc-workloads`) — builds on the vocabulary defined
 //! here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::new_without_default)]
 
 pub mod config;
 pub mod event;
+pub mod json;
+pub mod refint;
 pub mod rng;
 pub mod stats;
 pub mod types;

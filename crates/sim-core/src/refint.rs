@@ -1,0 +1,239 @@
+//! Reference sequential interpreter for scripted programs.
+//!
+//! The model checker's ground truth for the paper's central correctness
+//! claim: for a data-race-free program, every protocol execution must be
+//! equivalent to *some* sequentially consistent execution. This module
+//! computes the final memory of one such SC execution — the one whose
+//! synchronization operations happen in the order the simulated machine
+//! actually granted them. For a DRF program every SC execution consistent
+//! with that synchronization order produces the same final memory, so the
+//! machine's final memory must match.
+//!
+//! Writes are tracked symbolically: the value stored by processor `p`'s
+//! `k`-th write is the unique token `WriteId { proc: p, seq: k }`. That
+//! makes "same final memory" checkable without modelling real data.
+
+use crate::types::{LockId, ProcId};
+use crate::workload::{Op, Script};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Symbolic value of one store: the `seq`-th write issued by `proc`
+/// (counting from 1 in program order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteId {
+    /// Issuing processor.
+    pub proc: ProcId,
+    /// 1-based program-order index among that processor's writes.
+    pub seq: u64,
+}
+
+/// Final memory of the reference execution: `(line, word) -> last writer`.
+/// Untouched words are absent.
+pub type RefMemory = BTreeMap<(u64, usize), WriteId>;
+
+/// Why the reference interpretation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefError {
+    /// A processor waits on a lock whose observed grant order never grants
+    /// it (the machine's grant log is inconsistent with the script).
+    GrantOrderMismatch {
+        /// The lock in question.
+        lock: LockId,
+        /// The stuck processor.
+        proc: ProcId,
+    },
+    /// No processor can make progress but not all are done (e.g. a barrier
+    /// some processor never reaches).
+    Stuck {
+        /// Processors not yet done.
+        unfinished: Vec<ProcId>,
+    },
+}
+
+impl std::fmt::Display for RefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefError::GrantOrderMismatch { lock, proc } => write!(
+                f,
+                "reference interpreter: grant order never grants lock {lock} to proc {proc}"
+            ),
+            RefError::Stuck { unfinished } => {
+                write!(f, "reference interpreter stuck; unfinished procs {unfinished:?}")
+            }
+        }
+    }
+}
+
+/// Execute `script` sequentially, with lock acquisitions following
+/// `grant_order` (the `(lock, proc)` sequence in which the simulated
+/// machine granted locks; pass `&[]` for lock-free scripts) and barriers
+/// releasing once all processors arrive. Returns the final symbolic
+/// memory at `line_size`/`word_size` granularity.
+pub fn interpret(
+    script: &Script,
+    line_size: usize,
+    word_size: usize,
+    grant_order: &[(LockId, ProcId)],
+) -> Result<RefMemory, RefError> {
+    let streams = script.streams();
+    let n = streams.len();
+    let mut cursor = vec![0usize; n];
+    let mut done = vec![false; n];
+    let mut write_seq = vec![0u64; n];
+    let mut mem = RefMemory::new();
+
+    // Per-lock grant queues, in observed order.
+    let mut grants: HashMap<LockId, VecDeque<ProcId>> = HashMap::new();
+    for &(l, p) in grant_order {
+        grants.entry(l).or_default().push_back(p);
+    }
+    // Barrier arrival sets (barrier ids are reusable across phases).
+    let mut at_barrier: HashMap<u32, Vec<ProcId>> = HashMap::new();
+
+    loop {
+        if done.iter().all(|&d| d) {
+            return Ok(mem);
+        }
+        let mut progressed = false;
+        for p in 0..n {
+            // Run processor p until it blocks or finishes; any such
+            // schedule is SC, and for DRF programs they all agree.
+            while !done[p] {
+                let Some(&op) = streams[p].get(cursor[p]) else {
+                    done[p] = true;
+                    progressed = true;
+                    break;
+                };
+                match op {
+                    Op::Done => {
+                        done[p] = true;
+                        progressed = true;
+                    }
+                    Op::Acquire(l) => {
+                        match grants.get_mut(&l).and_then(|q| {
+                            if q.front() == Some(&p) {
+                                q.pop_front()
+                            } else {
+                                None
+                            }
+                        }) {
+                            Some(_) => {
+                                cursor[p] += 1;
+                                progressed = true;
+                            }
+                            None => break, // not our turn yet
+                        }
+                    }
+                    Op::Barrier(b) => {
+                        let waiting = at_barrier.entry(b).or_default();
+                        if !waiting.contains(&p) {
+                            waiting.push(p);
+                            progressed = true;
+                        }
+                        if waiting.len() == n {
+                            // Release everyone (each proc advances past the
+                            // barrier op on its next visit).
+                            at_barrier.remove(&b);
+                            // Advance every proc parked here — exactly
+                            // those whose current op is this barrier.
+                            for (q, cq) in cursor.iter_mut().enumerate() {
+                                if streams[q].get(*cq) == Some(&Op::Barrier(b)) {
+                                    *cq += 1;
+                                }
+                            }
+                            continue;
+                        }
+                        break; // parked until the last arrival
+                    }
+                    Op::Write(addr) => {
+                        write_seq[p] += 1;
+                        let line = addr >> line_size.trailing_zeros();
+                        let word = (addr as usize % line_size) / word_size;
+                        mem.insert((line, word), WriteId { proc: p, seq: write_seq[p] });
+                        cursor[p] += 1;
+                        progressed = true;
+                    }
+                    Op::Read(_) | Op::Compute(_) | Op::Release(_) | Op::Fence => {
+                        cursor[p] += 1;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            // Diagnose: a proc stuck on an acquire whose queue will never
+            // reach it is a grant-order mismatch; otherwise a stuck barrier.
+            for p in 0..n {
+                if done[p] {
+                    continue;
+                }
+                if let Some(&Op::Acquire(l)) = streams[p].get(cursor[p]) {
+                    return Err(RefError::GrantOrderMismatch { lock: l, proc: p });
+                }
+            }
+            let unfinished = (0..n).filter(|&p| !done[p]).collect();
+            return Err(RefError::Stuck { unfinished });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid(proc: ProcId, seq: u64) -> WriteId {
+        WriteId { proc, seq }
+    }
+
+    #[test]
+    fn single_proc_last_write_wins() {
+        let s = Script::new("t", vec![vec![Op::Write(0), Op::Write(0), Op::Write(4)]]);
+        let mem = interpret(&s, 32, 4, &[]).unwrap();
+        assert_eq!(mem.get(&(0, 0)), Some(&wid(0, 2)));
+        assert_eq!(mem.get(&(0, 1)), Some(&wid(0, 3)));
+    }
+
+    #[test]
+    fn grant_order_decides_lock_winner() {
+        // Both procs write word 0 under the same lock; the second grantee's
+        // write is final.
+        let crit = |_p: usize| vec![Op::Acquire(0), Op::Write(0), Op::Release(0)];
+        let s = Script::new("t", vec![crit(0), crit(1)]);
+        let mem01 = interpret(&s, 32, 4, &[(0, 0), (0, 1)]).unwrap();
+        assert_eq!(mem01.get(&(0, 0)), Some(&wid(1, 1)));
+        let s = Script::new("t", vec![crit(0), crit(1)]);
+        let mem10 = interpret(&s, 32, 4, &[(0, 1), (0, 0)]).unwrap();
+        assert_eq!(mem10.get(&(0, 0)), Some(&wid(0, 1)));
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // P0 writes before the barrier, P1 after: P1's write is final.
+        let s = Script::new(
+            "t",
+            vec![
+                vec![Op::Write(0), Op::Barrier(0)],
+                vec![Op::Barrier(0), Op::Write(0)],
+            ],
+        );
+        let mem = interpret(&s, 32, 4, &[]).unwrap();
+        assert_eq!(mem.get(&(0, 0)), Some(&wid(1, 1)));
+    }
+
+    #[test]
+    fn bad_grant_order_is_reported() {
+        let s = Script::new(
+            "t",
+            vec![vec![Op::Acquire(0), Op::Release(0)], vec![Op::Compute(1)]],
+        );
+        let err = interpret(&s, 32, 4, &[]).unwrap_err();
+        assert_eq!(err, RefError::GrantOrderMismatch { lock: 0, proc: 0 });
+    }
+
+    #[test]
+    fn missing_barrier_arrival_is_stuck() {
+        let s = Script::new("t", vec![vec![Op::Barrier(0)], vec![Op::Compute(1)]]);
+        let err = interpret(&s, 32, 4, &[]).unwrap_err();
+        assert_eq!(err, RefError::Stuck { unfinished: vec![0] });
+    }
+}

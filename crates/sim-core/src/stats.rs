@@ -2,11 +2,10 @@
 //! categories of Figures 5/7/9), miss classification counters (Table 2), and
 //! traffic counters.
 
-use serde::{Deserialize, Serialize};
 
 /// Exclusive classification of a cache miss, following the algorithm of
 /// Bianchini & Kontothanassis (paper reference [3]) as used in Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MissClass {
     /// First access by this processor to this block, ever.
     Cold,
@@ -56,7 +55,7 @@ impl MissClass {
 }
 
 /// Counter per miss class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MissCounts {
     counts: [u64; 5],
 }
@@ -87,6 +86,16 @@ impl MissCounts {
         }
     }
 
+    /// Raw counters in [`MissClass::ALL`] order (serialization support).
+    pub fn as_array(&self) -> [u64; 5] {
+        self.counts
+    }
+
+    /// Rebuild from raw counters in [`MissClass::ALL`] order.
+    pub fn from_array(counts: [u64; 5]) -> Self {
+        MissCounts { counts }
+    }
+
     /// Accumulate another counter set into this one.
     pub fn merge(&mut self, other: &MissCounts) {
         for i in 0..5 {
@@ -96,7 +105,7 @@ impl MissCounts {
 }
 
 /// Which of the four overhead buckets a stall belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StallKind {
     /// Useful work: compute cycles and cache-hit accesses.
     Cpu,
@@ -110,7 +119,7 @@ pub enum StallKind {
 }
 
 /// The aggregate cycle breakdown used by the overhead-analysis figures.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Breakdown {
     /// Useful work: compute cycles and cache-hit accesses.
     pub cpu: u64,
@@ -160,7 +169,7 @@ impl Breakdown {
 }
 
 /// Coarse message classes for traffic accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrafficClass {
     /// Header-only protocol messages (requests, acks, notices, sync).
     Control,
@@ -171,7 +180,7 @@ pub enum TrafficClass {
 }
 
 /// Per-node traffic counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Traffic {
     /// Header-only messages sent.
     pub control_msgs: u64,
@@ -209,7 +218,7 @@ impl Traffic {
 }
 
 /// Everything recorded about one simulated processor.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProcStats {
     /// Cycle attribution (sums to this processor's finish time).
     pub breakdown: Breakdown,
@@ -267,7 +276,7 @@ impl ProcStats {
 }
 
 /// Machine-level view: per-processor stats plus the run's wall-clock.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MachineStats {
     /// Per-processor statistics, indexed by `ProcId`.
     pub procs: Vec<ProcStats>,

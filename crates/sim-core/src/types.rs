@@ -5,7 +5,6 @@
 //! address space; [`LineAddr`] is the cache-line-granular view of the same
 //! space (the byte address divided by the configured line size).
 
-use serde::{Deserialize, Serialize};
 
 /// A point in simulated time, measured in processor cycles since reset.
 pub type Cycle = u64;
@@ -31,7 +30,7 @@ pub type BarrierId = u32;
 /// Kept as a newtype so that byte addresses and line addresses cannot be
 /// accidentally mixed; converting between the two always goes through a
 /// line-size-aware call site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {
@@ -60,7 +59,7 @@ impl LineAddr {
 }
 
 /// The four protocols evaluated by the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Sequentially consistent directory protocol: the baseline (unit line in
     /// the paper's figures). Processors stall on every miss.

@@ -11,10 +11,9 @@
 //! simulation of a data-race-free program.
 
 use crate::types::{Addr, BarrierId, LockId, ProcId};
-use serde::{Deserialize, Serialize};
 
 /// One abstract operation issued by a simulated processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// Execute `cycles` of purely local computation.
     Compute(u32),
@@ -64,6 +63,21 @@ pub trait Workload {
     /// [`Op::Done`] for a processor, every subsequent call for that
     /// processor must also return [`Op::Done`].
     fn next_op(&mut self, proc: ProcId) -> Op;
+
+    /// Clone this workload mid-run, for machine snapshotting during state
+    /// exploration. Workloads that cannot be forked return `None` (the
+    /// default); [`Script`] supports forking.
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        None
+    }
+
+    /// A value summarizing front-end progress (e.g. cursor positions),
+    /// folded into state fingerprints by the model checker. Two forked
+    /// copies in the same logical state must return equal tokens. The
+    /// default (always 0) is sound but prevents no revisits.
+    fn state_token(&self) -> u64 {
+        0
+    }
 }
 
 /// A scripted workload: explicit per-processor op vectors.
@@ -111,6 +125,11 @@ impl Script {
             cursor,
         }
     }
+
+    /// The per-processor op vectors (reference-interpreter input).
+    pub fn streams(&self) -> &[Vec<Op>] {
+        &self.streams
+    }
 }
 
 impl Workload for Script {
@@ -145,6 +164,20 @@ impl Workload for Script {
             self.cursor[proc] = i + 1;
         }
         op
+    }
+
+    fn fork(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn state_token(&self) -> u64 {
+        // FNV-1a over the cursor positions.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &c in &self.cursor {
+            h ^= c as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
     }
 }
 

@@ -1,56 +1,97 @@
-//! Property tests for the simulation kernel.
+//! Randomized property tests for the simulation kernel, driven by the
+//! crate's own deterministic PRNG (the workspace builds offline, so no
+//! external property-testing framework is used).
 
 use lrc_sim::{EventQueue, LineAddr, MachineConfig, Rng};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events pop in nondecreasing time order, FIFO within a timestamp.
-    #[test]
-    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..1000, 1..300)) {
+#[test]
+fn event_queue_is_time_ordered() {
+    let mut rng = Rng::new(0x5eed_0001);
+    for _ in 0..50 {
+        let n = 1 + rng.below(300) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(t, i);
+        for i in 0..n {
+            q.push(rng.below(1000), i);
         }
         let mut last_t = 0;
         let mut seen_at_t: Vec<usize> = Vec::new();
         while let Some((t, i)) = q.pop() {
-            prop_assert!(t >= last_t);
+            assert!(t >= last_t);
             if t != last_t {
                 seen_at_t.clear();
                 last_t = t;
             }
             // FIFO within a timestamp: indices increase.
             if let Some(&prev) = seen_at_t.last() {
-                prop_assert!(i > prev);
+                assert!(i > prev);
             }
             seen_at_t.push(i);
         }
     }
+}
 
-    /// Line addressing round-trips for every power-of-two line size.
-    #[test]
-    fn line_addr_roundtrip(addr in 0u64..1_000_000, shift in 5u32..9) {
+#[test]
+fn pop_nth_fires_any_pending_event_and_keeps_time_monotone() {
+    let mut rng = Rng::new(0x5eed_0002);
+    for _ in 0..50 {
+        let n = 1 + rng.below(40) as usize;
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(rng.below(100), i);
+        }
+        let mut remaining = n;
+        let mut last_now = 0;
+        while remaining > 0 {
+            let pending = q.pending_times();
+            assert_eq!(pending.len(), remaining);
+            let pick = rng.below(remaining as u64) as usize;
+            let (t, _) = q.pop_nth(pick).expect("index in range");
+            // Effective firing time is monotone even when events fire out
+            // of schedule order, and never before the event's schedule.
+            assert!(t >= last_now);
+            assert!(t >= pending[pick]);
+            assert_eq!(q.now(), t);
+            last_now = t;
+            remaining -= 1;
+        }
+        assert!(q.pop_nth(0).is_none());
+    }
+}
+
+#[test]
+fn line_addr_roundtrip() {
+    let mut rng = Rng::new(0x5eed_0003);
+    for _ in 0..500 {
+        let addr = rng.below(1_000_000);
+        let shift = 5 + rng.below(4) as u32;
         let line_size = 1usize << shift;
         let line = LineAddr::containing(addr, line_size);
-        prop_assert!(line.base(line_size) <= addr);
-        prop_assert!(addr < line.base(line_size) + line_size as u64);
+        assert!(line.base(line_size) <= addr);
+        assert!(addr < line.base(line_size) + line_size as u64);
         let w = line.word_index(addr, line_size, 4);
-        prop_assert!(w < line_size / 4);
+        assert!(w < line_size / 4);
     }
+}
 
-    /// Round-robin placement spreads pages over all nodes.
-    #[test]
-    fn placement_is_total(addr in 0u64..100_000_000, procs in 1usize..64) {
+#[test]
+fn placement_is_total() {
+    let mut rng = Rng::new(0x5eed_0004);
+    for _ in 0..500 {
+        let addr = rng.below(100_000_000);
+        let procs = 1 + rng.below(64) as usize;
         let cfg = MachineConfig::paper_default(procs);
-        prop_assert!(cfg.home_of(addr) < procs);
+        assert!(cfg.home_of(addr) < procs);
     }
+}
 
-    /// The PRNG's bounded draws respect their bounds.
-    #[test]
-    fn rng_below_is_bounded(seed in any::<u64>(), n in 1u64..10_000) {
-        let mut r = Rng::new(seed);
+#[test]
+fn rng_below_is_bounded() {
+    let mut seeds = Rng::new(0x5eed_0005);
+    for _ in 0..100 {
+        let mut r = Rng::new(seeds.next_u64());
+        let n = 1 + seeds.below(10_000);
         for _ in 0..50 {
-            prop_assert!(r.below(n) < n);
+            assert!(r.below(n) < n);
         }
     }
 }

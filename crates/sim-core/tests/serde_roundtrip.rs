@@ -1,21 +1,27 @@
-//! Serde round-trips for everything the experiment harness serializes.
+//! JSON round-trips for everything the experiment harness serializes,
+//! through the workspace's offline `lrc-json` layer (text out, parse back,
+//! reconstruct).
 
+use lrc_json::{FromJson, ToJson};
 use lrc_sim::{Breakdown, MachineConfig, MachineStats, MissClass, MissCounts, ProcStats, Protocol};
+
+fn roundtrip<T: ToJson + FromJson>(x: &T) -> T {
+    let text = x.to_json().pretty();
+    let v = lrc_json::parse(&text).expect("rendered JSON parses back");
+    T::from_json(&v).expect("value reconstructs")
+}
 
 #[test]
 fn machine_config_roundtrips() {
     let cfg = MachineConfig::future_machine(64);
-    let s = serde_json::to_string(&cfg).unwrap();
-    let back: MachineConfig = serde_json::from_str(&s).unwrap();
-    assert_eq!(cfg, back);
+    assert_eq!(roundtrip(&cfg), cfg);
 }
 
 #[test]
 fn protocol_names_serialize_stably() {
     for p in Protocol::ALL {
-        let s = serde_json::to_string(&p).unwrap();
-        let back: Protocol = serde_json::from_str(&s).unwrap();
-        assert_eq!(p, back);
+        assert_eq!(roundtrip(&p), p);
+        assert_eq!(p.to_json().as_str(), Some(p.name()));
     }
 }
 
@@ -27,8 +33,7 @@ fn stats_roundtrip_preserves_counts() {
     stats.procs[0].miss_classes.record(MissClass::FalseShare);
     stats.procs[0].breakdown = Breakdown { cpu: 1, read: 2, write: 3, sync: 4 };
     stats.total_cycles = 1234;
-    let s = serde_json::to_string(&stats).unwrap();
-    let back: MachineStats = serde_json::from_str(&s).unwrap();
+    let back = roundtrip(&stats);
     assert_eq!(back.total_cycles, 1234);
     assert_eq!(back.procs[0].refs, 100);
     assert_eq!(back.procs[0].miss_classes.get(MissClass::FalseShare), 1);

@@ -8,6 +8,7 @@
 //! structure (tree shape, routes, sparsity) is synthesized from fixed
 //! seeds — see the substitution notes in each module and DESIGN.md §3.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::new_without_default)]
 
@@ -32,10 +33,9 @@ pub use scale::Scale;
 pub use validate::{validate, StreamSummary};
 
 use lrc_sim::Workload;
-use serde::{Deserialize, Serialize};
 
 /// The seven applications of the paper's Table 2, in its row order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Barnes-Hut N-body (4K bodies, 4 steps).
     Barnes,

@@ -4,10 +4,9 @@
 //! reasonable time (Section 3). We expose those sizes as [`Scale::Paper`]
 //! and provide smaller scales for tests and quick benchmarks.
 
-use serde::{Deserialize, Serialize};
 
 /// Input-size preset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// The paper's input sizes (448×448 matrices, 64K-point FFT, 4K bodies,
     /// 40K particles, ~3K wires/columns).

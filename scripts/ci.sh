@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The repo's CI gate, runnable locally and in any runner. Fully offline:
+# every dependency is an in-workspace path crate.
+#
+#   tier 1  — release build + root-package tests (the seed gate)
+#   lint    — clippy with warnings denied, across every target
+#   unsafe  — every crate root must carry #![forbid(unsafe_code)]
+#   tier 2  — full workspace test suites, including the model checker's
+#             bounded configs (`cargo test -p lrc-check`); the checker's
+#             exhaustive sweep stays opt-in via
+#             `cargo test -p lrc-check --release -- --ignored`
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: release build + root tests"
+cargo build --release
+cargo test -q
+
+echo "==> lint: clippy -D warnings (workspace, all targets)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> unsafe: crate roots must forbid unsafe_code"
+missing=0
+for root in src/lib.rs crates/*/src/lib.rs crates/*/src/main.rs; do
+  [ -f "$root" ] || continue
+  if ! grep -q 'forbid(unsafe_code)' "$root"; then
+    echo "missing #![forbid(unsafe_code)]: $root" >&2
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ]
+
+echo "==> tier 2: workspace tests"
+cargo test --workspace -q
+
+echo "CI green."

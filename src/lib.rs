@@ -39,6 +39,8 @@
 //! assert!(result.stats.total_cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lrc_classify as classify;
 pub use lrc_core as core;
 pub use lrc_mem as mem;

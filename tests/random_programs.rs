@@ -1,10 +1,12 @@
 //! Property tests: randomly generated (but well-formed) parallel programs
 //! must run to completion under every protocol with coherent accounting —
 //! the machine's liveness and accounting invariants hold for arbitrary
-//! data-race-free and racy access patterns alike.
+//! data-race-free and racy access patterns alike. Random programs are
+//! generated with the crate's own deterministic PRNG (the workspace
+//! builds offline, so no external property-testing framework is used).
 
 use lazy_rc::prelude::*;
-use proptest::prelude::*;
+use lrc_sim::Rng;
 
 /// One randomly chosen program action, expanded into ops per processor.
 #[derive(Debug, Clone)]
@@ -16,18 +18,27 @@ enum Action {
     Barrier,
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (1u8..40).prop_map(Action::Compute),
-        any::<u8>().prop_map(Action::Read),
-        any::<u8>().prop_map(Action::Write),
-        (any::<u8>(), any::<u8>(), 1u8..5).prop_map(|(lock, line, len)| Action::Critical {
-            lock: lock % 8,
-            line,
-            len,
-        }),
-        Just(Action::Barrier),
-    ]
+fn random_action(rng: &mut Rng) -> Action {
+    match rng.below(5) {
+        0 => Action::Compute(1 + rng.below(39) as u8),
+        1 => Action::Read(rng.below(256) as u8),
+        2 => Action::Write(rng.below(256) as u8),
+        3 => Action::Critical {
+            lock: rng.below(8) as u8,
+            line: rng.below(256) as u8,
+            len: 1 + rng.below(4) as u8,
+        },
+        _ => Action::Barrier,
+    }
+}
+
+fn random_program(rng: &mut Rng, procs: usize, max_len: u64) -> Vec<Vec<Action>> {
+    (0..procs)
+        .map(|_| {
+            let n = rng.below(max_len) as usize;
+            (0..n).map(|_| random_action(rng)).collect()
+        })
+        .collect()
 }
 
 /// Expand per-proc action lists into op streams; barriers are made global
@@ -74,19 +85,11 @@ fn build_script(per_proc: Vec<Vec<Action>>, procs: usize) -> Script {
     Script::new("random-program", streams)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_programs_complete_under_all_protocols(
-        per_proc in prop::collection::vec(
-            prop::collection::vec(action_strategy(), 0..30),
-            4,
-        )
-    ) {
+#[test]
+fn random_programs_complete_under_all_protocols() {
+    let mut rng = Rng::new(0x5eed_000a);
+    for _ in 0..24 {
+        let per_proc = random_program(&mut rng, 4, 30);
         for proto in Protocol::ALL {
             let script = build_script(per_proc.clone(), 4);
             let cfg = MachineConfig::paper_default(4);
@@ -96,20 +99,19 @@ proptest! {
             // Liveness: the run finished (Machine panics otherwise).
             // Accounting: every cycle of every processor is attributed.
             for ps in &r.stats.procs {
-                prop_assert_eq!(ps.breakdown.total(), ps.finish_time);
-                prop_assert_eq!(ps.refs, ps.reads + ps.writes);
-                prop_assert!(ps.read_misses <= ps.reads);
+                assert_eq!(ps.breakdown.total(), ps.finish_time);
+                assert_eq!(ps.refs, ps.reads + ps.writes);
+                assert!(ps.read_misses <= ps.reads);
             }
         }
     }
+}
 
-    #[test]
-    fn random_programs_are_deterministic(
-        per_proc in prop::collection::vec(
-            prop::collection::vec(action_strategy(), 0..20),
-            3,
-        )
-    ) {
+#[test]
+fn random_programs_are_deterministic() {
+    let mut rng = Rng::new(0x5eed_000b);
+    for _ in 0..8 {
+        let per_proc = random_program(&mut rng, 3, 20);
         for proto in [Protocol::Erc, Protocol::Lrc] {
             let run = |pp: &Vec<Vec<Action>>| {
                 let cfg = MachineConfig::paper_default(3);
@@ -120,26 +122,22 @@ proptest! {
             };
             let a = run(&per_proc);
             let b = run(&per_proc);
-            prop_assert_eq!(a.total_cycles, b.total_cycles);
-            prop_assert_eq!(a.aggregate_traffic(), b.aggregate_traffic());
+            assert_eq!(a.total_cycles, b.total_cycles);
+            assert_eq!(a.aggregate_traffic(), b.aggregate_traffic());
         }
     }
+}
 
-    #[test]
-    fn classified_runs_partition_misses(
-        per_proc in prop::collection::vec(
-            prop::collection::vec(action_strategy(), 0..20),
-            3,
-        )
-    ) {
+#[test]
+fn classified_runs_partition_misses() {
+    let mut rng = Rng::new(0x5eed_000c);
+    for _ in 0..12 {
+        let per_proc = random_program(&mut rng, 3, 20);
         let cfg = MachineConfig::paper_default(3);
         let r = Machine::new(cfg, Protocol::Erc)
             .with_classification()
             .with_max_cycles(200_000_000)
             .run(Box::new(build_script(per_proc, 3)));
-        prop_assert_eq!(
-            r.stats.aggregate_misses().total(),
-            r.stats.total_miss_count()
-        );
+        assert_eq!(r.stats.aggregate_misses().total(), r.stats.total_miss_count());
     }
 }
