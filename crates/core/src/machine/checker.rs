@@ -166,7 +166,9 @@ impl Machine {
                     status: format!("{:?}", node.status),
                 });
             }
-            for &line in node.outstanding.keys() {
+            let mut out_lines: Vec<u64> = node.outstanding.keys().copied().collect();
+            out_lines.sort_unstable();
+            for line in out_lines {
                 out.push(StuckState::TransactionUndrained { proc: p, line });
             }
             if node.wt_unacked != 0 || node.wbk_unacked != 0 {
@@ -180,25 +182,15 @@ impl Machine {
                 out.push(StuckState::CoalescingResidue { proc: p, line: e.line.0 });
             }
         }
-        let mut lines: Vec<u64> = self
-            .dir
-            .iter()
-            .filter(|(_, e)| e.pending.is_some() || e.busy)
-            .map(|(&l, _)| l)
-            .collect();
-        lines.sort_unstable();
-        for l in lines {
-            let e = &self.dir[&l];
+        // LineMap iteration is already in ascending line order.
+        for (line, e) in self.dir.iter().filter(|(_, e)| e.pending.is_some() || e.busy) {
             out.push(StuckState::DirectoryBusy {
-                line: l,
+                line,
                 awaiting: e.pending.as_ref().map_or(0, |pc| pc.awaiting),
             });
         }
-        let mut parked: Vec<(u64, usize)> =
-            self.parked.iter().map(|(&l, q)| (l, q.len())).collect();
-        parked.sort_unstable();
-        for (line, requests) in parked {
-            out.push(StuckState::ParkedForever { line, requests });
+        for (line, q) in self.parked.iter() {
+            out.push(StuckState::ParkedForever { line, requests: q.len() });
         }
         out
     }
@@ -229,23 +221,31 @@ impl Machine {
             let mut cb: Vec<(u64, u64)> = node.cb.iter().map(|e| (e.line.0, e.words)).collect();
             cb.sort_unstable();
             cb.hash(&mut h);
-            for (l, o) in &node.outstanding {
-                (l, o).hash(&mut h);
-            }
-            node.pending_invals.hash(&mut h);
-            node.delayed_writes.hash(&mut h);
+            let mut outs: Vec<(u64, crate::node::Outstanding)> =
+                node.outstanding.iter().map(|(&l, &o)| (l, o)).collect();
+            outs.sort_unstable_by_key(|&(l, _)| l);
+            outs.hash(&mut h);
+            let mut pend: Vec<u64> = node.pending_invals.iter().copied().collect();
+            pend.sort_unstable();
+            pend.hash(&mut h);
+            let mut delayed: Vec<(u64, u64)> =
+                node.delayed_writes.iter().map(|(&l, &w)| (l, w)).collect();
+            delayed.sort_unstable();
+            delayed.hash(&mut h);
             (node.wt_unacked, node.wbk_unacked).hash(&mut h);
-            for (l, m) in &node.parked_forwards {
+            let mut forwards: Vec<(u64, &crate::msg::Msg)> =
+                node.parked_forwards.iter().map(|(&l, m)| (l, m)).collect();
+            forwards.sort_unstable_by_key(|&(l, _)| l);
+            for (l, m) in forwards {
                 (l, m).hash(&mut h);
             }
             node.locks.snapshot().hash(&mut h);
             node.barriers.snapshot().hash(&mut h);
         }
 
-        let mut dir: Vec<u64> = self.dir.keys().copied().collect();
-        dir.sort_unstable();
-        for l in dir {
-            let e = &self.dir[&l];
+        // LineMap iteration is already in ascending line order, so these
+        // folds are iteration-order independent by construction.
+        for (l, e) in self.dir.iter() {
             (l, e.sharers(), e.writers(), e.notified(), e.busy, e.overflow).hash(&mut h);
             match &e.pending {
                 Some(pc) => (pc.awaiting, &pc.waiters).hash(&mut h),
@@ -253,19 +253,14 @@ impl Machine {
             }
         }
 
-        let mut parked: Vec<u64> = self.parked.keys().copied().collect();
-        parked.sort_unstable();
-        for l in parked {
+        for (l, q) in self.parked.iter() {
             l.hash(&mut h);
-            for (m, _) in &self.parked[&l] {
+            for (m, _) in q {
                 m.hash(&mut h);
             }
         }
 
-        let mut busy: Vec<u64> = self.busy_info.keys().copied().collect();
-        busy.sort_unstable();
-        for l in busy {
-            let e = &self.busy_info[&l];
+        for (l, e) in self.busy_info.iter() {
             (l, e.owner, e.requester, e.for_write, e.served).hash(&mut h);
         }
 

@@ -35,7 +35,7 @@ impl Machine {
         let (h, r) = (m.dst, m.src);
         let lazy = self.protocol.is_lazy();
 
-        if !lazy && self.dir.get(&line.0).is_some_and(|e| e.pending.is_some() || e.busy) {
+        if !lazy && self.dir.get(line.0).is_some_and(|e| e.pending.is_some() || e.busy) {
             // An invalidation round or 3-hop forward is in flight: queue
             // the request (it pays a NAK round trip when released) — unless
             // the forward targets this very requester and can never be
@@ -54,7 +54,7 @@ impl Machine {
             // by definition not true sharing (paper Section 2).
             let all = self.all_nodes_mask();
             let (weak, notice_targets) = {
-                let e = self.dir.entry(line.0).or_default();
+                let e = self.dir.entry_or_default(line.0);
                 e.add_sharer(r);
                 if e.state() == DirState::Weak {
                     let targets = if e.overflow {
@@ -83,7 +83,7 @@ impl Machine {
                     send_t = self.nodes[h].pp.occupy(send_t, self.cfg.write_notice_cost);
                     self.send(send_t, h, n, MsgKind::WriteNotice { line });
                 }
-                let e = self.dir.get_mut(&line.0).expect("entry exists");
+                let e = self.dir.get_mut(line.0).expect("entry exists");
                 match e.pending.as_mut() {
                     Some(pc) => pc.awaiting += n_notices,
                     None => {
@@ -103,7 +103,7 @@ impl Machine {
             Forward(NodeId),
         }
         let plan = {
-            let e = self.dir.entry(line.0).or_default();
+            let e = self.dir.entry_or_default(line.0);
             match e.state() {
                 DirState::Uncached | DirState::Shared => {
                     e.add_sharer(r);
@@ -161,7 +161,7 @@ impl Machine {
             return;
         }
 
-        if self.dir.get(&line.0).is_some_and(|e| e.pending.is_some() || e.busy)
+        if self.dir.get(line.0).is_some_and(|e| e.pending.is_some() || e.busy)
             && !self.resolve_dead_forward_if_cyclic(t, m.src, line)
         {
             self.park(m, t);
@@ -174,7 +174,7 @@ impl Machine {
             Forward(NodeId),
         }
         let plan = {
-            let e = self.dir.entry(line.0).or_default();
+            let e = self.dir.entry_or_default(line.0);
             let r_has_copy = had_copy && e.is_sharer(r);
             match e.state() {
                 DirState::Uncached => {
@@ -220,8 +220,10 @@ impl Machine {
                 }
                 let n = invalidate.count_ones();
                 let grant = if n > 0 {
-                    let e = self.dir.get_mut(&line.0).expect("entry exists");
-                    e.pending = Some(AckCollection { awaiting: n, waiters: vec![r] });
+                    let mut waiters = self.take_waiters();
+                    waiters.push(r);
+                    let e = self.dir.get_mut(line.0).expect("entry exists");
+                    e.pending = Some(AckCollection { awaiting: n, waiters });
                     let mut send_t = pp_done;
                     for o in nodes_in(invalidate) {
                         send_t = self.nodes[h].pp.occupy(send_t, self.cfg.write_notice_cost);
@@ -274,7 +276,7 @@ impl Machine {
 
         let all = self.all_nodes_mask();
         let (weak, with_data, notice_targets, join_pending) = {
-            let e = self.dir.entry(line.0).or_default();
+            let e = self.dir.entry_or_default(line.0);
             let r_has_copy = had_copy && e.is_sharer(r);
             e.add_writer(r);
             if e.state() == DirState::Weak {
@@ -304,22 +306,23 @@ impl Machine {
         }
 
         let grant = if n_notices > 0 {
-            let e = self.dir.get_mut(&line.0).expect("entry exists");
-            match e.pending.as_mut() {
-                Some(pc) => {
-                    pc.awaiting += n_notices;
-                    pc.waiters.push(r);
-                }
-                None => {
-                    e.pending = Some(AckCollection { awaiting: n_notices, waiters: vec![r] });
-                }
+            if join_pending {
+                let e = self.dir.get_mut(line.0).expect("entry exists");
+                let pc = e.pending.as_mut().expect("pending collection");
+                pc.awaiting += n_notices;
+                pc.waiters.push(r);
+            } else {
+                let mut waiters = self.take_waiters();
+                waiters.push(r);
+                let e = self.dir.get_mut(line.0).expect("entry exists");
+                e.pending = Some(AckCollection { awaiting: n_notices, waiters });
             }
             WriteGrant::Pending
         } else if join_pending {
             // A collection for this block is already in flight (another
             // writer's round): the paper's home collects acks only once and
             // acknowledges all pending writers together.
-            let e = self.dir.get_mut(&line.0).expect("entry exists");
+            let e = self.dir.get_mut(line.0).expect("entry exists");
             e.pending.as_mut().expect("pending collection").waiters.push(r);
             WriteGrant::Pending
         } else {
@@ -353,7 +356,7 @@ impl Machine {
         // Same ordering guard as `home_evict_notify`: a refetch may have
         // overtaken this write-back; keep the fresh registration.
         if !self.nodes[r].cache.contains(line) && !self.nodes[r].outstanding.contains_key(&line.0) {
-            self.dir.entry(line.0).or_default().remove(r);
+            self.dir.entry_or_default(line.0).remove(r);
         }
         self.send(pp_done.max(mem_done), h, r, MsgKind::WriteBackAck { line });
     }
@@ -374,7 +377,7 @@ impl Machine {
         }
         // The block reverts Weak→Shared→Uncached automatically as sharers
         // and writers leave (derived state).
-        self.dir.entry(line.0).or_default().remove(r);
+        self.dir.entry_or_default(line.0).remove(r);
     }
 
     /// An invalidation or write-notice acknowledgement: advance the
@@ -383,7 +386,7 @@ impl Machine {
         let h = m.dst;
         let pp_done = self.nodes[h].pp.occupy(t, self.cfg.write_notice_cost);
         let finished = {
-            let e = self.dir.entry(line.0).or_default();
+            let e = self.dir.entry_or_default(line.0);
             let pc = e.pending.as_mut().expect("ack without pending collection");
             debug_assert!(pc.awaiting > 0);
             pc.awaiting -= 1;
@@ -396,9 +399,10 @@ impl Machine {
             }
         };
         if let Some(waiters) = finished {
-            for w in waiters {
+            for &w in &waiters {
                 self.send(pp_done, h, w, MsgKind::WriteAck { line });
             }
+            self.recycle_waiters(waiters);
             self.maybe_release_parked(pp_done, line);
         }
     }
@@ -408,7 +412,7 @@ impl Machine {
     /// on this very entry): cancel it, serve its original requester from
     /// memory, and free the entry. Returns true when resolved.
     fn resolve_dead_forward_if_cyclic(&mut self, t: Cycle, requester: NodeId, line: LineAddr) -> bool {
-        let Some(ep) = self.busy_info.get(&line.0).copied() else {
+        let Some(ep) = self.busy_info.get(line.0).copied() else {
             return false;
         };
         if ep.owner != requester || ep.served {
@@ -416,10 +420,10 @@ impl Machine {
         }
         // Cancel: the owner will drop the Forward when the episode is gone;
         // if it already parked it, un-park it.
-        self.busy_info.remove(&line.0);
+        self.busy_info.remove(line.0);
         self.nodes[ep.owner].parked_forwards.remove(&line.0);
         let h = self.home_of(line);
-        self.dir.entry(line.0).or_default().busy = false;
+        self.dir.entry_or_default(line.0).busy = false;
         let mem_done = self.nodes[h].mem.access(t, self.cfg.line_size as u64);
         if ep.for_write {
             self.send(
@@ -446,9 +450,9 @@ impl Machine {
         // cancelled (stale) episode must not free a newer one's entry.
         let h = m.dst;
         let _ = self.nodes[h].mem.access(t, self.cfg.line_size as u64);
-        if self.busy_info.get(&line.0).is_some_and(|e| e.id == ep) {
-            self.busy_info.remove(&line.0);
-            self.dir.entry(line.0).or_default().busy = false;
+        if self.busy_info.get(line.0).is_some_and(|e| e.id == ep) {
+            self.busy_info.remove(line.0);
+            self.dir.entry_or_default(line.0).busy = false;
             self.maybe_release_parked(t, line);
         }
     }
@@ -467,14 +471,14 @@ impl Machine {
         for_write: bool,
         ep: u64,
     ) {
-        if self.busy_info.get(&line.0).is_none_or(|e| e.id != ep) {
+        if self.busy_info.get(line.0).is_none_or(|e| e.id != ep) {
             return; // stale episode
         }
         let h = m.dst;
         let nacking_owner = m.src;
-        self.busy_info.remove(&line.0);
+        self.busy_info.remove(line.0);
         {
-            let e = self.dir.entry(line.0).or_default();
+            let e = self.dir.entry_or_default(line.0);
             e.busy = false;
             // The nacker does not hold the line, whatever the entry thought.
             e.remove(nacking_owner);
@@ -513,11 +517,11 @@ impl Machine {
 /// (If so, a forward to `node` could never be served: its own request is
 /// waiting behind the very entry the forward would occupy.)
 fn owner_parked(
-    parked: &std::collections::HashMap<u64, std::collections::VecDeque<(Msg, lrc_sim::Cycle)>>,
+    parked: &lrc_sim::LineMap<std::collections::VecDeque<(Msg, lrc_sim::Cycle)>>,
     line: LineAddr,
     node: NodeId,
 ) -> bool {
     parked
-        .get(&line.0)
+        .get(line.0)
         .is_some_and(|q| q.iter().any(|(m, _)| m.src == node))
 }

@@ -112,7 +112,7 @@ impl Machine {
         let mut out = Vec::new();
 
         // Directory structural invariants.
-        for (&l, e) in &self.dir {
+        for (l, e) in self.dir.iter() {
             if e.writers() & !e.sharers() != 0 {
                 out.push(Violation::WritersNotSharers {
                     line: l,
@@ -140,7 +140,7 @@ impl Machine {
                 if node.outstanding.contains_key(&line.line.0) {
                     continue;
                 }
-                let entry = self.dir.get(&line.line.0);
+                let entry = self.dir.get(line.line.0);
                 if entry.is_some_and(|e| e.pending.is_some() || e.busy) {
                     continue;
                 }

@@ -30,10 +30,9 @@ use crate::node::{Node, ProcStatus};
 use lrc_classify::Classifier;
 use lrc_mesh::Network;
 use lrc_sim::{
-    Addr, Cycle, EventQueue, LineAddr, MachineConfig, MachineStats, NodeId, ProcId, Protocol,
-    StallKind, Workload,
+    Addr, Cycle, EventQueue, LineAddr, LineMap, MachineConfig, MachineStats, NodeId, ProcId,
+    Protocol, StallKind, Workload,
 };
-use std::collections::HashMap;
 
 /// A deliberately-introduced protocol bug, for validating that the model
 /// checker actually catches violations. Never enabled in normal runs.
@@ -93,6 +92,14 @@ pub struct RunResult {
     pub workload: String,
     /// All collected statistics.
     pub stats: MachineStats,
+    /// Discrete events the kernel handled during the run (simulator
+    /// throughput = `events` / wall-clock).
+    pub events: u64,
+    /// High-water mark of the event queue (simulator working-set gauge).
+    pub peak_queue_depth: usize,
+    /// Wall-clock seconds spent inside the event loop itself — excludes
+    /// workload construction, so it isolates kernel throughput.
+    pub sim_wall_secs: f64,
 }
 
 impl RunResult {
@@ -107,13 +114,15 @@ pub struct Machine {
     pub(crate) cfg: MachineConfig,
     pub(crate) protocol: Protocol,
     pub(crate) nodes: Vec<Node>,
-    pub(crate) dir: HashMap<u64, DirEntry>,
+    /// Directory entries, `Vec`-indexed by line address (dense by
+    /// construction: workload allocators hand out compact address spaces).
+    pub(crate) dir: LineMap<DirEntry>,
     /// Requests queued at their home because the directory entry was busy
     /// (3-hop in flight) or collecting acks. Real DASH NAKs these back for
     /// retry; we queue them (stable and livelock-free) and charge one NAK
     /// round trip when releasing, so hot-spot requests still pay the
     /// contention penalty the paper describes.
-    pub(crate) parked: HashMap<u64, std::collections::VecDeque<(Msg, Cycle)>>,
+    pub(crate) parked: LineMap<std::collections::VecDeque<(Msg, Cycle)>>,
     pub(crate) net: Network,
     pub(crate) queue: EventQueue<Event>,
     pub(crate) stats: MachineStats,
@@ -128,13 +137,13 @@ pub struct Machine {
     /// Structured protocol trace (None = off).
     pub(crate) trace: Option<Trace>,
     /// First-touch page→home assignments (only under
-    /// `Placement::FirstTouch`).
-    pub(crate) page_home: HashMap<u64, NodeId>,
+    /// `Placement::FirstTouch`), `Vec`-indexed by page number.
+    pub(crate) page_home: LineMap<NodeId>,
     /// For each line with a 3-hop forward in flight, the episode record.
     /// Used to drop late 3-hop replies and to detect forwards that can
     /// never be served because the owner is itself blocked requesting the
     /// same line.
-    pub(crate) busy_info: HashMap<u64, ForwardEp>,
+    pub(crate) busy_info: LineMap<ForwardEp>,
     /// Monotone forward-episode counter.
     pub(crate) forward_seq: u64,
     /// Injected protocol bug (checker validation only).
@@ -146,6 +155,13 @@ pub struct Machine {
     /// Symbolic last-writer tracking for the DRF ⇒ SC-equivalence check
     /// (None = off).
     pub(crate) values: Option<values::ValueTracker>,
+    /// Recycled `AckCollection::waiters` vectors: completed collections
+    /// return their (cleared) allocation here and new collections reuse it,
+    /// so the steady-state ack path allocates nothing.
+    pub(crate) waiter_pool: Vec<Vec<NodeId>>,
+    /// Scratch buffer reused by `process_pending_invals` (drained and
+    /// returned empty each call).
+    pub(crate) inval_scratch: Vec<u64>,
 }
 
 impl Clone for Machine {
@@ -176,6 +192,10 @@ impl Clone for Machine {
             fault: self.fault,
             grant_log: self.grant_log.clone(),
             values: self.values.clone(),
+            // Pools hold only spare capacity, never state: fresh ones are
+            // equivalent and keep snapshots lean.
+            waiter_pool: Vec::new(),
+            inval_scratch: Vec::new(),
         }
     }
 }
@@ -207,8 +227,8 @@ impl Machine {
         Machine {
             protocol,
             nodes,
-            dir: HashMap::new(),
-            parked: HashMap::new(),
+            dir: LineMap::new(),
+            parked: LineMap::new(),
             net,
             queue: EventQueue::new(),
             stats,
@@ -219,12 +239,14 @@ impl Machine {
             check_every: 0,
             trace_line: None,
             trace: None,
-            page_home: HashMap::new(),
-            busy_info: HashMap::new(),
+            page_home: LineMap::new(),
+            busy_info: LineMap::new(),
             forward_seq: 0,
             fault: Fault::None,
             grant_log: Vec::new(),
             values: None,
+            waiter_pool: Vec::new(),
+            inval_scratch: Vec::new(),
             cfg,
         }
     }
@@ -325,6 +347,7 @@ impl Machine {
             self.queue.push(0, Event::ProcStep(p));
         }
 
+        let run_started = std::time::Instant::now();
         let mut handled: u64 = 0;
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.max_cycles {
@@ -368,9 +391,28 @@ impl Machine {
             .map(|p| p.finish_time)
             .max()
             .unwrap_or(0);
-        let result =
-            RunResult { protocol: self.protocol, workload: name, stats: self.stats.clone() };
+        let result = RunResult {
+            protocol: self.protocol,
+            workload: name,
+            stats: self.stats.clone(),
+            events: handled,
+            peak_queue_depth: self.queue.peak_len(),
+            sim_wall_secs: run_started.elapsed().as_secs_f64(),
+        };
         (result, self)
+    }
+
+    /// Take a recycled waiters vector from the pool (or a fresh one).
+    pub(crate) fn take_waiters(&mut self) -> Vec<NodeId> {
+        self.waiter_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a drained waiters vector to the pool for reuse.
+    pub(crate) fn recycle_waiters(&mut self, mut v: Vec<NodeId>) {
+        v.clear();
+        if self.waiter_pool.len() < 64 {
+            self.waiter_pool.push(v);
+        }
     }
 
     // ---- shared helpers ----------------------------------------------------
@@ -387,13 +429,24 @@ impl Machine {
         self.line_of(a).word_index(a, self.cfg.line_size, self.cfg.word_size)
     }
 
+    /// Page number of byte address `a` (pow2 page sizes shift — this sits
+    /// on the home-lookup path of every miss).
+    #[inline]
+    fn page_of(&self, a: Addr) -> u64 {
+        let ps = self.cfg.page_size as u64;
+        if ps.is_power_of_two() {
+            a >> ps.trailing_zeros()
+        } else {
+            a / ps
+        }
+    }
+
     /// Home node of `line` (static policies).
     #[inline]
     pub(crate) fn home_of(&self, line: LineAddr) -> NodeId {
         let addr = line.base(self.cfg.line_size);
         if self.cfg.placement == lrc_sim::Placement::FirstTouch {
-            let page = addr / self.cfg.page_size as u64;
-            if let Some(&h) = self.page_home.get(&page) {
+            if let Some(&h) = self.page_home.get(self.page_of(addr)) {
                 return h;
             }
         }
@@ -405,8 +458,8 @@ impl Machine {
     #[inline]
     pub(crate) fn home_of_touch(&mut self, line: LineAddr, toucher: NodeId) -> NodeId {
         if self.cfg.placement == lrc_sim::Placement::FirstTouch {
-            let page = line.base(self.cfg.line_size) / self.cfg.page_size as u64;
-            return *self.page_home.entry(page).or_insert(toucher);
+            let page = self.page_of(line.base(self.cfg.line_size));
+            return *self.page_home.entry_or_insert_with(page, || toucher);
         }
         self.home_of(line)
     }
@@ -445,7 +498,7 @@ impl Machine {
     pub(crate) fn park(&mut self, msg: Msg, t: Cycle) {
         let _ = self.nodes[msg.dst].pp.occupy(t, self.cfg.write_notice_cost);
         let line = msg.kind.line().expect("parked messages concern a line");
-        self.parked.entry(line.0).or_default().push_back((msg, t));
+        self.parked.entry_or_default(line.0).push_back((msg, t));
     }
 
     /// If `line`'s entry is free (no busy 3-hop, no ack collection) and a
@@ -454,17 +507,17 @@ impl Machine {
     pub(crate) fn maybe_release_parked(&mut self, t: Cycle, line: LineAddr) {
         let free = self
             .dir
-            .get(&line.0)
+            .get(line.0)
             .is_none_or(|e| !e.busy && e.pending.is_none());
         if !free {
             return;
         }
-        let Some(q) = self.parked.get_mut(&line.0) else {
+        let Some(q) = self.parked.get_mut(line.0) else {
             return;
         };
         if let Some((msg, parked_at)) = q.pop_front() {
             if q.is_empty() {
-                self.parked.remove(&line.0);
+                self.parked.remove(line.0);
             }
             // A queued request models a DASH requester NAK-retrying: each
             // retry re-probes the home's protocol processor. Charge the
@@ -555,11 +608,13 @@ impl Machine {
                 n.wt_unacked,
                 n.wbk_unacked,
             );
-            for (l, o) in &n.outstanding {
+            let mut out: Vec<_> = n.outstanding.iter().collect();
+            out.sort_unstable_by_key(|&(&l, _)| l);
+            for (l, o) in out {
                 let _ = writeln!(s, "    out line {l}: {o:?}");
             }
         }
-        for (l, q) in &self.parked {
+        for (l, q) in self.parked.iter() {
             let e = self.dir.get(l);
             let _ = writeln!(
                 s,
@@ -572,9 +627,8 @@ impl Machine {
                 e.map_or(0, |e| e.writers()),
             );
         }
-        let mut pend: Vec<_> = self.dir.iter().filter(|(_, e)| e.pending.is_some()).collect();
-        pend.sort_by_key(|(l, _)| **l);
-        for (l, e) in pend {
+        // LineMap iteration is already in ascending line order.
+        for (l, e) in self.dir.iter().filter(|(_, e)| e.pending.is_some()) {
             let _ = writeln!(
                 s,
                 "  dir line {l}: state={:?} sharers={:b} writers={:b} pending={:?}",
@@ -601,7 +655,7 @@ impl Machine {
     /// sharer/writer was added (no-op for full-map directories).
     pub(crate) fn apply_pointer_limit(&mut self, line: LineAddr) {
         if let Some(k) = self.cfg.dir_pointers {
-            if let Some(e) = self.dir.get_mut(&line.0) {
+            if let Some(e) = self.dir.get_mut(line.0) {
                 if e.sharer_count() as usize > k {
                     e.overflow = true;
                 }
@@ -611,7 +665,7 @@ impl Machine {
 
     /// Immutable view of a directory entry (tests / invariant checks).
     pub fn dir_entry(&self, line: LineAddr) -> Option<&DirEntry> {
-        self.dir.get(&line.0)
+        self.dir.get(line.0)
     }
 
     /// Local cache permission of `line` at node `p` (tests / debugging).
@@ -621,7 +675,10 @@ impl Machine {
 
     /// Lines queued for invalidation at `p`'s next acquire (lazy protocols).
     pub fn pending_invals(&self, p: ProcId) -> Vec<LineAddr> {
-        self.nodes[p].pending_invals.iter().map(|&l| LineAddr(l)).collect()
+        let mut lines: Vec<LineAddr> =
+            self.nodes[p].pending_invals.iter().map(|&l| LineAddr(l)).collect();
+        lines.sort_unstable_by_key(|l| l.0);
+        lines
     }
 }
 

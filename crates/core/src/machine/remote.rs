@@ -230,7 +230,7 @@ impl Machine {
         let home = m.src;
         // A forward whose episode is gone was cancelled (resolved from
         // memory because we ourselves were blocked on the entry): drop it.
-        if self.busy_info.get(&line.0).is_none_or(|e| e.id != ep) {
+        if self.busy_info.get(line.0).is_none_or(|e| e.id != ep) {
             return;
         }
         let done = self.nodes[p].pp.occupy(t, self.cfg.dir_cost(self.protocol));
@@ -249,7 +249,7 @@ impl Machine {
         }
         // We are supplying the data: mark the episode served so the home
         // knows a copy-back is coming and must simply be awaited.
-        if let Some(e) = self.busy_info.get_mut(&line.0) {
+        if let Some(e) = self.busy_info.get_mut(line.0) {
             e.served = true;
         }
         // The copy-back carries the full line: the owner's unflushed dirty

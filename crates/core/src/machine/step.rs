@@ -92,14 +92,9 @@ impl Machine {
         let line = self.line_of(a);
         let hit = {
             let n = &mut self.nodes[p];
-            if n.cache.contains(line) {
-                n.cache.touch(line);
-                true
-            } else {
-                // Read bypass with forwarding from the write buffer (and,
-                // under the lazy protocols, from the coalescing buffer).
-                n.wb.matches(line) || n.cb.contains(line)
-            }
+            // Read bypass on a cache miss: forwarding from the write buffer
+            // (and, under the lazy protocols, the coalescing buffer).
+            n.cache.touch_hit(line) || n.wb.matches(line) || n.cb.contains(line)
         };
         if hit {
             return true;
@@ -129,11 +124,10 @@ impl Machine {
                 c.record_write(p, line, word);
             }
             self.note_write(p, line, word);
-            let st = self.nodes[p].cache.state(line);
+            // Single-probe hit check: a read-write hit is touched and
+            // dirtied in place; any other state starts a transaction.
+            let st = self.nodes[p].cache.write_probe(line, word);
             if st == LineState::ReadWrite {
-                let n = &mut self.nodes[p];
-                n.cache.touch(line);
-                n.cache.mark_dirty(line, word);
                 return WriteIssue::Issued;
             }
             // Blocking write transaction.
@@ -175,11 +169,12 @@ impl Machine {
     /// then retire whatever is ready.
     pub(crate) fn pump_write_buffer(&mut self, p: ProcId, now: Cycle) {
         loop {
-            let (line, words) = {
-                match self.nodes[p].wb.next_unissued() {
-                    Some(e) => {
+            let (idx, line, words) = {
+                match self.nodes[p].wb.next_unissued_idx() {
+                    Some(i) => {
+                        let e = self.nodes[p].wb.entry_mut(i);
                         e.issued = true;
-                        (e.line, e.words)
+                        (i, e.line, e.words)
                     }
                     None => break,
                 }
@@ -190,7 +185,7 @@ impl Machine {
             match (self.protocol, st) {
                 // Write hit on a writable line: nothing to do.
                 (_, LineState::ReadWrite) => {
-                    self.nodes[p].wb.mark_ready(line);
+                    self.nodes[p].wb.entry_mut(idx).ready = true;
                 }
                 (Protocol::Sc, _) => unreachable!("SC does not use the write buffer"),
 
@@ -223,7 +218,7 @@ impl Machine {
                     self.nodes[p].cache.upgrade(line);
                     let o = self.nodes[p].outstanding.entry(line.0).or_default();
                     o.waiting_data = true; // the WriteReply itself
-                    self.nodes[p].wb.mark_ready(line);
+                    self.nodes[p].wb.entry_mut(idx).ready = true;
                     self.send(now, p, home, MsgKind::WriteReq { line, had_copy: true, words: 0 });
                 }
                 (Protocol::Lrc, LineState::Invalid) => {
@@ -241,7 +236,7 @@ impl Machine {
                     self.stats.procs[p].upgrades += 1;
                     self.classify(p, line, word, true);
                     self.nodes[p].cache.upgrade(line);
-                    self.nodes[p].wb.mark_ready(line);
+                    self.nodes[p].wb.entry_mut(idx).ready = true;
                 }
                 (Protocol::LrcExt, LineState::Invalid) => {
                     self.stats.procs[p].write_misses += 1;
@@ -288,35 +283,24 @@ impl Machine {
     /// Commit a retired write into the cache (and the write-through path
     /// under the lazy protocols).
     pub(crate) fn install_written_line(&mut self, p: ProcId, now: Cycle, line: LineAddr, words: u64) {
-        if self.nodes[p].cache.contains(line) {
-            self.nodes[p].cache.upgrade(line);
-            self.nodes[p].cache.touch(line);
-        } else {
+        // One probe upgrades + touches + dirties a present line; only a
+        // miss pays the full install path.
+        if !self.nodes[p].cache.promote_written(line, words) {
             self.install_line(p, now, line, LineState::ReadWrite);
-        }
-        let mut w = words;
-        while w != 0 {
-            let word = w.trailing_zeros() as usize;
-            w &= w - 1;
-            self.nodes[p].cache.mark_dirty(line, word);
+            self.nodes[p].cache.mark_dirty_words(line, words);
         }
         match self.protocol {
             Protocol::Lrc => {
-                let mut w = words;
-                while w != 0 {
-                    let word = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    match self.nodes[p].cb.push(line, word) {
-                        CbPush::Merged => {}
-                        CbPush::Allocated => {
-                            self.queue
-                                .push(now + self.cfg.cb_flush_delay, Event::CbFlush(p, line));
-                        }
-                        CbPush::Displaced(v) => {
-                            self.send_write_through(p, now, v.line, v.words);
-                            self.queue
-                                .push(now + self.cfg.cb_flush_delay, Event::CbFlush(p, line));
-                        }
+                match self.nodes[p].cb.push_words(line, words) {
+                    CbPush::Merged => {}
+                    CbPush::Allocated => {
+                        self.queue
+                            .push(now + self.cfg.cb_flush_delay, Event::CbFlush(p, line));
+                    }
+                    CbPush::Displaced(v) => {
+                        self.send_write_through(p, now, v.line, v.words);
+                        self.queue
+                            .push(now + self.cfg.cb_flush_delay, Event::CbFlush(p, line));
                     }
                 }
             }

@@ -74,7 +74,10 @@ impl Machine {
     /// that retires *after* the release began still lands in these buffers.
     fn flush_release_buffers(&mut self, p: ProcId, now: Cycle) {
         if self.protocol == lrc_sim::Protocol::LrcExt {
-            let delayed = std::mem::take(&mut self.nodes[p].delayed_writes);
+            // Ascending line order: the flush sends messages, and message
+            // order is part of the simulator's deterministic behavior.
+            let mut delayed: Vec<(u64, u64)> = self.nodes[p].delayed_writes.drain().collect();
+            delayed.sort_unstable_by_key(|&(l, _)| l);
             for (l0, words) in delayed {
                 let line = LineAddr(l0);
                 self.note_flush(p, line, words);
@@ -135,14 +138,18 @@ impl Machine {
     ///
     /// Returns the protocol-processor completion time.
     pub(crate) fn process_pending_invals(&mut self, p: ProcId, t: Cycle) -> Cycle {
-        let lines: Vec<u64> = self.nodes[p].pending_invals.iter().copied().collect();
-        if lines.is_empty() {
+        if self.nodes[p].pending_invals.is_empty() {
             return t;
         }
-        self.nodes[p].pending_invals.clear();
+        // Drain into a pooled scratch vector and process in ascending line
+        // order: the batch sends messages, so its order is part of the
+        // simulator's deterministic behavior.
+        let mut lines = std::mem::take(&mut self.inval_scratch);
+        lines.extend(self.nodes[p].pending_invals.drain());
+        lines.sort_unstable();
         let cost = lines.len() as u64 * self.cfg.write_notice_cost;
         let done = self.nodes[p].pp.occupy(t, cost);
-        for l0 in lines {
+        for &l0 in &lines {
             let line = LineAddr(l0);
             self.stats.procs[p].acquire_invalidations += 1;
             // Our own unflushed writes to the line must reach memory first.
@@ -167,6 +174,8 @@ impl Machine {
                 self.send(done, p, home, MsgKind::EvictNotify { line, was_writer });
             }
         }
+        lines.clear();
+        self.inval_scratch = lines;
         done
     }
 

@@ -4,8 +4,10 @@
 
 use crate::sync::{BarrierManager, LockManager};
 use lrc_mem::{Bus, Cache, CoalescingBuffer, MemoryModule, TimedResource, WriteBuffer};
-use lrc_sim::{BarrierId, Cycle, LineAddr, LockId, MachineConfig, Op, Protocol, StallKind};
-use std::collections::{BTreeMap, BTreeSet};
+use lrc_sim::{
+    BarrierId, Cycle, FxHashMap, FxHashSet, LineAddr, LockId, MachineConfig, Op, Protocol,
+    StallKind,
+};
 
 /// Why a processor is not currently issuing operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,14 +101,17 @@ pub struct Node {
     /// Protocol processor occupancy.
     pub pp: TimedResource,
 
-    /// Outstanding transactions by line.
-    pub outstanding: BTreeMap<u64, Outstanding>,
+    /// Outstanding transactions by line. Fx-hashed (iteration order is
+    /// arbitrary; every order-sensitive consumer sorts).
+    pub outstanding: FxHashMap<u64, Outstanding>,
     /// Lines to invalidate at the next acquire (lazy protocols): received
-    /// write notices and weak-flagged fills.
-    pub pending_invals: BTreeSet<u64>,
+    /// write notices and weak-flagged fills. Processed in ascending line
+    /// order (`process_pending_invals` sorts its batch).
+    pub pending_invals: FxHashSet<u64>,
     /// Lazy-ext: writes whose notices are deferred to the next release,
-    /// keyed by line, value = accumulated dirty-word mask.
-    pub delayed_writes: BTreeMap<u64, u64>,
+    /// keyed by line, value = accumulated dirty-word mask. Flushed in
+    /// ascending line order (`flush_release_buffers` sorts).
+    pub delayed_writes: FxHashMap<u64, u64>,
     /// Write-throughs sent but not yet acknowledged.
     pub wt_unacked: u32,
     /// Write-backs sent but not yet acknowledged.
@@ -116,7 +121,7 @@ pub struct Node {
     /// Forwards (eager 3-hop) that arrived while this node's own data for
     /// the line was still in flight: served as soon as the fill lands,
     /// instead of NACKing a copy that is about to exist ("phantom owner").
-    pub parked_forwards: BTreeMap<u64, crate::msg::Msg>,
+    pub parked_forwards: FxHashMap<u64, crate::msg::Msg>,
 
     /// Lock service for locks homed here.
     pub locks: LockManager,
@@ -139,13 +144,13 @@ impl Node {
             mem: MemoryModule::new(cfg),
             bus: Bus::new(cfg),
             pp: TimedResource::new(),
-            outstanding: BTreeMap::new(),
-            pending_invals: BTreeSet::new(),
-            delayed_writes: BTreeMap::new(),
+            outstanding: FxHashMap::default(),
+            pending_invals: FxHashSet::default(),
+            delayed_writes: FxHashMap::default(),
             wt_unacked: 0,
             wbk_unacked: 0,
             inval_done_at: 0,
-            parked_forwards: BTreeMap::new(),
+            parked_forwards: FxHashMap::default(),
             locks: LockManager::new(),
             barriers: BarrierManager::new(),
         }

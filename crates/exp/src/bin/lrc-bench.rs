@@ -1,0 +1,296 @@
+//! `lrc-bench` — the simulator's benchmark trajectory harness.
+//!
+//! Runs the fixed (protocol × workload) grid and records how fast the
+//! simulation *kernel* executes it (simulated cycles per wall-clock second
+//! spent inside the event loop, excluding workload construction), so kernel
+//! changes can be compared against a committed baseline:
+//!
+//! ```text
+//! lrc-bench run     [--scale small] [--procs 16] [--reps 3] [--out BENCH_sim.json]
+//! lrc-bench compare [--scale small] [--procs 16] [--reps 3] [--out FILE]
+//!                   [--baseline BENCH_sim.json] [--tolerance 0.10]
+//! ```
+//!
+//! `run` measures the grid and writes `BENCH_sim.json` (schema below).
+//! `compare` measures the grid the same way, then gates against a committed
+//! baseline: it exits non-zero if geomean throughput regressed by more than
+//! `--tolerance` (default 10%). The gate only engages when the baseline
+//! exists *and* was recorded at the same scale/procs — a tiny-scale CI smoke
+//! run against the small-scale committed baseline reports but does not gate.
+//!
+//! Schema (`"schema": "lrc-bench-v1"`): `commit`, `date`, `scale`, `procs`,
+//! `reps`, `combos` (per-combination `total_cycles`, `median_wall_ms`,
+//! `cycles_per_sec`), `geomean_cycles_per_sec`. Throughput per combination
+//! is simulated cycles divided by the *median* wall time of `--reps`
+//! repetitions (median, not mean, to shrug off scheduler noise).
+
+#![forbid(unsafe_code)]
+
+use lrc_exp::{execute, RunSpec};
+use lrc_json::{json, Value};
+use lrc_sim::Protocol;
+use lrc_workloads::{Scale, WorkloadKind};
+
+struct ComboResult {
+    protocol: Protocol,
+    workload: WorkloadKind,
+    total_cycles: u64,
+    median_wall_ms: f64,
+    cycles_per_sec: f64,
+}
+
+fn measure_grid(scale: Scale, procs: usize, reps: usize, verbose: bool) -> Vec<ComboResult> {
+    let mut out = Vec::new();
+    for &protocol in &Protocol::ALL {
+        for workload in WorkloadKind::ALL {
+            let spec = RunSpec::new(protocol, workload, scale, procs);
+            let mut walls: Vec<f64> = Vec::with_capacity(reps);
+            let mut total_cycles = 0u64;
+            for rep in 0..reps {
+                // The machine times its own event loop: this excludes
+                // workload construction, which is not the kernel under test.
+                let r = execute(&spec);
+                walls.push(r.sim_wall_secs);
+                if rep == 0 {
+                    total_cycles = r.stats.total_cycles;
+                } else {
+                    assert_eq!(
+                        total_cycles, r.stats.total_cycles,
+                        "nondeterministic run: {workload}/{protocol}"
+                    );
+                }
+            }
+            walls.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+            let median = walls[walls.len() / 2];
+            let cps = total_cycles as f64 / median.max(1e-9);
+            if verbose {
+                eprintln!(
+                    "  {workload:>10} / {protocol:<7} {total_cycles:>12} cycles  \
+                     {:>8.1} ms  {:>6.1} Mcyc/s",
+                    median * 1e3,
+                    cps / 1e6
+                );
+            }
+            out.push(ComboResult {
+                protocol,
+                workload,
+                total_cycles,
+                median_wall_ms: median * 1e3,
+                cycles_per_sec: cps,
+            });
+        }
+    }
+    out
+}
+
+fn geomean(combos: &[ComboResult]) -> f64 {
+    let log_sum: f64 = combos.iter().map(|c| c.cycles_per_sec.max(1.0).ln()).sum();
+    (log_sum / combos.len().max(1) as f64).exp()
+}
+
+/// Best-effort `git rev-parse --short HEAD`; "unknown" outside a checkout.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Civil date (UTC) from the system clock, via days-from-epoch arithmetic
+/// (Howard Hinnant's algorithm) — the workspace has no date dependency.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn report_json(scale: Scale, procs: usize, reps: usize, combos: &[ComboResult]) -> Value {
+    let rows: Vec<Value> = combos
+        .iter()
+        .map(|c| {
+            json!({
+                "protocol": c.protocol.name(),
+                "workload": c.workload.name(),
+                "total_cycles": c.total_cycles,
+                "median_wall_ms": c.median_wall_ms,
+                "cycles_per_sec": c.cycles_per_sec,
+            })
+        })
+        .collect();
+    json!({
+        "schema": "lrc-bench-v1",
+        "commit": git_commit(),
+        "date": today_utc(),
+        "scale": scale.name(),
+        "procs": procs,
+        "reps": reps,
+        "combos": rows,
+        "geomean_cycles_per_sec": geomean(combos),
+    })
+}
+
+/// Outcome of gating a fresh measurement against a baseline file.
+enum Gate {
+    /// Baseline missing/unreadable, or recorded under different settings.
+    Skipped(String),
+    /// Gate ran: (baseline geomean, current geomean, regression fraction).
+    Ran(f64, f64, f64),
+}
+
+fn gate_against_baseline(path: &str, scale: Scale, procs: usize, current: f64) -> Gate {
+    let contents = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => return Gate::Skipped(format!("no baseline at {path} ({e})")),
+    };
+    let base = match lrc_json::parse(&contents) {
+        Ok(v) => v,
+        Err(e) => return Gate::Skipped(format!("baseline {path} is not valid JSON ({e})")),
+    };
+    if base["schema"].as_str() != Some("lrc-bench-v1") {
+        return Gate::Skipped(format!("baseline {path} has unknown schema"));
+    }
+    let (bscale, bprocs) = (base["scale"].as_str().unwrap_or(""), base["procs"].as_u64());
+    if bscale != scale.name() || bprocs != Some(procs as u64) {
+        return Gate::Skipped(format!(
+            "baseline was recorded at scale={bscale} procs={} — current run is scale={} procs={procs}, gate not applicable",
+            bprocs.map_or_else(|| "?".into(), |p| p.to_string()),
+            scale.name()
+        ));
+    }
+    let Some(bgeo) = base["geomean_cycles_per_sec"].as_f64() else {
+        return Gate::Skipped(format!("baseline {path} lacks geomean_cycles_per_sec"));
+    };
+    Gate::Ran(bgeo, current, 1.0 - current / bgeo)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<&str> = None;
+    let mut scale = Scale::Small;
+    let mut procs = 16usize;
+    let mut reps = 3usize;
+    let mut out: Option<String> = None;
+    let mut baseline = "BENCH_sim.json".to_string();
+    let mut tolerance = 0.10f64;
+    let mut verbose = true;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "run" => mode = Some("run"),
+            "compare" => mode = Some("compare"),
+            "--scale" => {
+                i += 1;
+                scale = Scale::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{}'", args[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--procs" => {
+                i += 1;
+                procs = args[i].parse().expect("--procs N");
+            }
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps N");
+                assert!(reps > 0, "--reps must be positive");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = args[i].clone();
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args[i].parse().expect("--tolerance FRACTION");
+            }
+            "--quiet" => verbose = false,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let Some(mode) = mode else {
+        eprintln!(
+            "usage: lrc-bench <run|compare> [--scale paper|medium|small|tiny] [--procs N] \
+             [--reps N] [--out FILE] [--baseline FILE] [--tolerance FRACTION] [--quiet]"
+        );
+        std::process::exit(2);
+    };
+
+    if verbose {
+        eprintln!(
+            "lrc-bench {mode}: {}×{} grid @ scale={} procs={procs} reps={reps}",
+            Protocol::ALL.len(),
+            WorkloadKind::ALL.len(),
+            scale.name()
+        );
+    }
+    let combos = measure_grid(scale, procs, reps, verbose);
+    let geo = geomean(&combos);
+    let report = report_json(scale, procs, reps, &combos);
+    if verbose {
+        eprintln!("  geomean {:.1} Mcyc/s over {} combinations", geo / 1e6, combos.len());
+    }
+
+    match mode {
+        "run" => {
+            let path = out.unwrap_or_else(|| "BENCH_sim.json".to_string());
+            std::fs::write(&path, report.pretty()).expect("write bench report");
+            eprintln!("wrote {path}");
+        }
+        "compare" => {
+            if let Some(path) = &out {
+                std::fs::write(path, report.pretty()).expect("write bench report");
+                eprintln!("wrote {path}");
+            } else {
+                println!("{}", report.pretty());
+            }
+            match gate_against_baseline(&baseline, scale, procs, geo) {
+                Gate::Skipped(why) => {
+                    eprintln!("gate skipped: {why}");
+                }
+                Gate::Ran(base, cur, regression) => {
+                    eprintln!(
+                        "baseline geomean {:.1} Mcyc/s, current {:.1} Mcyc/s ({:+.1}%)",
+                        base / 1e6,
+                        cur / 1e6,
+                        -regression * 100.0
+                    );
+                    if regression > tolerance {
+                        eprintln!(
+                            "FAIL: throughput regressed {:.1}% (> {:.0}% tolerance) vs {baseline}",
+                            regression * 100.0,
+                            tolerance * 100.0
+                        );
+                        std::process::exit(1);
+                    }
+                    eprintln!("gate passed (tolerance {:.0}%)", tolerance * 100.0);
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+}

@@ -127,11 +127,16 @@ impl Runner {
                         let result = Arc::new(execute(spec));
                         if verbose {
                             eprintln!(
-                                "  done    {} / {}: {} cycles in {:.1?}",
+                                "  done    {} / {}: {} cycles in {:.1?} \
+                                 ({:.2} Mevents/s, peak queue depth {})",
                                 spec.workload,
                                 spec.protocol,
                                 result.stats.total_cycles,
-                                started.elapsed()
+                                started.elapsed(),
+                                result.events as f64
+                                    / result.sim_wall_secs.max(1e-9)
+                                    / 1e6,
+                                result.peak_queue_depth
                             );
                         }
                         cache.lock().unwrap().insert(spec.key(), result);

@@ -53,12 +53,27 @@ struct Slot {
     stamp: u64,
 }
 
+/// Vacant-slot sentinel: `state` is the authority ([`LineState::Invalid`] =
+/// empty); the address is set to an impossible value so tag compares can
+/// skip the state check.
+const VACANT: Slot =
+    Slot { line: LineAddr(u64::MAX), state: LineState::Invalid, dirty_words: 0, stamp: 0 };
+
 /// A set-associative cache (direct-mapped when `assoc == 1`, as in Table 1).
+///
+/// Storage is one flat slot array (`num_sets * assoc`, set `i` owning slots
+/// `[i * assoc, (i + 1) * assoc)`): a lookup is a single indexed probe over
+/// contiguous memory rather than a pointer chase through per-set vectors —
+/// this sits on the simulator's hottest path (every load/store hit).
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<Slot>>,
+    slots: Vec<Slot>,
     num_sets: usize,
     assoc: usize,
+    /// `num_sets - 1` when `num_sets` is a power of two (the set index is
+    /// then a mask instead of a modulo — this indexes every cache probe,
+    /// the simulator's single hottest operation); `u64::MAX` otherwise.
+    set_mask: u64,
     tick: u64,
 }
 
@@ -68,45 +83,114 @@ impl Cache {
         let lines = cfg.lines_per_cache();
         let assoc = cfg.cache_assoc;
         assert!(lines.is_multiple_of(assoc));
-        let num_sets = lines / assoc;
-        Cache {
-            sets: vec![Vec::with_capacity(assoc); num_sets],
-            num_sets,
-            assoc,
-            tick: 0,
-        }
+        Self::with_geometry(lines / assoc, assoc)
     }
 
     /// Build a cache with an explicit geometry (tests).
     pub fn with_geometry(num_sets: usize, assoc: usize) -> Self {
-        Cache { sets: vec![Vec::with_capacity(assoc); num_sets], num_sets, assoc, tick: 0 }
+        let set_mask =
+            if num_sets.is_power_of_two() { num_sets as u64 - 1 } else { u64::MAX };
+        Cache { slots: vec![VACANT; num_sets * assoc], num_sets, assoc, set_mask, tick: 0 }
     }
 
     #[inline]
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.0 % self.num_sets as u64) as usize
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = if self.set_mask != u64::MAX {
+            (line.0 & self.set_mask) as usize
+        } else {
+            (line.0 % self.num_sets as u64) as usize
+        };
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<&Slot> {
+        self.slots[self.set_range(line)].iter().find(|s| s.line == line)
+    }
+
+    #[inline]
+    fn find_mut(&mut self, line: LineAddr) -> Option<&mut Slot> {
+        let range = self.set_range(line);
+        self.slots[range].iter_mut().find(|s| s.line == line)
     }
 
     /// Current permission for `line` ([`LineState::Invalid`] if absent).
+    #[inline]
     pub fn state(&self, line: LineAddr) -> LineState {
-        let set = &self.sets[self.set_index(line)];
-        set.iter()
-            .find(|s| s.line == line)
-            .map_or(LineState::Invalid, |s| s.state)
+        self.find(line).map_or(LineState::Invalid, |s| s.state)
     }
 
     /// True if the line is present with any permission.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.state(line) != LineState::Invalid
+        self.find(line).is_some()
     }
 
     /// Touch `line` for LRU purposes (call on every hit).
+    #[inline]
     pub fn touch(&mut self, line: LineAddr) {
         self.tick += 1;
         let tick = self.tick;
-        let idx = self.set_index(line);
-        if let Some(s) = self.sets[idx].iter_mut().find(|s| s.line == line) {
+        if let Some(s) = self.find_mut(line) {
             s.stamp = tick;
+        }
+    }
+
+    /// Commit a retired write in one probe: if `line` is present, raise it
+    /// to read-write, touch it, and OR `words` into its dirty mask —
+    /// replacing `contains` + `upgrade` + `touch` + `mark_dirty_words`.
+    /// Returns false (cache untouched) if the line is absent.
+    #[inline]
+    pub fn promote_written(&mut self, line: LineAddr, words: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.find_mut(line) {
+            Some(s) => {
+                s.state = LineState::ReadWrite;
+                s.stamp = tick;
+                s.dirty_words |= words;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Single-probe write-hit check: when `line` is present *read-write*,
+    /// touch it and mark `word` dirty; always returns the line's state so
+    /// the caller can start the right coherence action otherwise. (A
+    /// read-only line is deliberately left untouched — raising it needs a
+    /// protocol transaction.)
+    #[inline]
+    pub fn write_probe(&mut self, line: LineAddr, word: usize) -> LineState {
+        debug_assert!(word < 64);
+        self.tick += 1;
+        let tick = self.tick;
+        match self.find_mut(line) {
+            Some(s) => {
+                if s.state == LineState::ReadWrite {
+                    s.stamp = tick;
+                    s.dirty_words |= 1 << word;
+                }
+                s.state
+            }
+            None => LineState::Invalid,
+        }
+    }
+
+    /// Touch `line` if present and report whether it was — the read-hit
+    /// fast path, probing the set once instead of `contains` + `touch`.
+    /// (The LRU tick advances even on a miss; only the *relative* order of
+    /// resident stamps matters, so this is observationally neutral.)
+    #[inline]
+    pub fn touch_hit(&mut self, line: LineAddr) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.find_mut(line) {
+            Some(s) => {
+                s.stamp = tick;
+                true
+            }
+            None => false,
         }
     }
 
@@ -117,83 +201,98 @@ impl Cache {
         debug_assert!(state != LineState::Invalid);
         self.tick += 1;
         let tick = self.tick;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
+        let range = self.set_range(line);
+        let set = &mut self.slots[range];
         if let Some(s) = set.iter_mut().find(|s| s.line == line) {
             s.state = state;
             s.stamp = tick;
             return None;
         }
+        // Prefer a vacant slot; otherwise evict the LRU victim (stamps are
+        // globally unique, so the minimum is unambiguous).
         let mut evicted = None;
-        if set.len() == self.assoc {
-            let (victim_pos, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.stamp)
-                .expect("full set has a victim");
-            let v = set.swap_remove(victim_pos);
-            evicted = Some(Eviction { line: v.line, state: v.state, dirty_words: v.dirty_words });
-        }
-        set.push(Slot { line, state, dirty_words: 0, stamp: tick });
+        let slot = match set.iter_mut().find(|s| s.state == LineState::Invalid) {
+            Some(s) => s,
+            None => {
+                let v = set.iter_mut().min_by_key(|s| s.stamp).expect("full set has a victim");
+                evicted =
+                    Some(Eviction { line: v.line, state: v.state, dirty_words: v.dirty_words });
+                v
+            }
+        };
+        *slot = Slot { line, state, dirty_words: 0, stamp: tick };
         evicted
     }
 
     /// Raise permission of a present line to read-write (upgrade). Returns
     /// false if the line is absent.
+    #[inline]
     pub fn upgrade(&mut self, line: LineAddr) -> bool {
-        let idx = self.set_index(line);
-        if let Some(s) = self.sets[idx].iter_mut().find(|s| s.line == line) {
-            s.state = LineState::ReadWrite;
-            true
-        } else {
-            false
+        match self.find_mut(line) {
+            Some(s) => {
+                s.state = LineState::ReadWrite;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// OR a whole dirty-word mask into a present line in one probe —
+    /// equivalent to [`Cache::mark_dirty`] once per set bit. Returns false
+    /// if the line is absent.
+    #[inline]
+    pub fn mark_dirty_words(&mut self, line: LineAddr, words: u64) -> bool {
+        match self.find_mut(line) {
+            Some(s) => {
+                s.dirty_words |= words;
+                true
+            }
+            None => false,
         }
     }
 
     /// Mark word `word` of a present line dirty. Returns false if absent.
+    #[inline]
     pub fn mark_dirty(&mut self, line: LineAddr, word: usize) -> bool {
         debug_assert!(word < 64);
-        let idx = self.set_index(line);
-        if let Some(s) = self.sets[idx].iter_mut().find(|s| s.line == line) {
-            s.dirty_words |= 1 << word;
-            true
-        } else {
-            false
+        match self.find_mut(line) {
+            Some(s) => {
+                s.dirty_words |= 1 << word;
+                true
+            }
+            None => false,
         }
     }
 
     /// Remove `line`; returns its state at removal for write-back decisions.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Eviction> {
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        let pos = set.iter().position(|s| s.line == line)?;
-        let v = set.swap_remove(pos);
-        Some(Eviction { line: v.line, state: v.state, dirty_words: v.dirty_words })
+        let s = self.find_mut(line)?;
+        let ev = Eviction { line: s.line, state: s.state, dirty_words: s.dirty_words };
+        *s = VACANT;
+        Some(ev)
     }
 
     /// Clear the dirty mask of a present line (after a flush/write-back).
     pub fn clear_dirty(&mut self, line: LineAddr) {
-        let idx = self.set_index(line);
-        if let Some(s) = self.sets[idx].iter_mut().find(|s| s.line == line) {
+        if let Some(s) = self.find_mut(line) {
             s.dirty_words = 0;
         }
     }
 
     /// Dirty-word mask of a present line (0 if absent or clean).
     pub fn dirty_words(&self, line: LineAddr) -> u64 {
-        let set = &self.sets[self.set_index(line)];
-        set.iter().find(|s| s.line == line).map_or(0, |s| s.dirty_words)
+        self.find(line).map_or(0, |s| s.dirty_words)
     }
 
     /// Number of resident lines.
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.slots.iter().filter(|s| s.state != LineState::Invalid).count()
     }
 
-    /// Iterate over all resident lines (used by release-time flushes and by
-    /// invariant checks in tests).
+    /// Iterate over all resident lines (used by invariant checks and the
+    /// model checker's fingerprint, which sorts — slot order is incidental).
     pub fn iter(&self) -> impl Iterator<Item = ResidentLine> + '_ {
-        self.sets.iter().flatten().map(|s| ResidentLine {
+        self.slots.iter().filter(|s| s.state != LineState::Invalid).map(|s| ResidentLine {
             line: s.line,
             state: s.state,
             dirty_words: s.dirty_words,

@@ -66,6 +66,27 @@ impl CoalescingBuffer {
         }
     }
 
+    /// Offer a whole dirty-word mask for `line` in one buffer search —
+    /// equivalent to [`CoalescingBuffer::push`] once per set bit (the first
+    /// allocates or displaces, the rest merge), but probing the buffer once.
+    pub fn push_words(&mut self, line: LineAddr, words: u64) -> CbPush {
+        debug_assert!(words != 0);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.words |= words;
+            return CbPush::Merged;
+        }
+        let displaced = if self.entries.len() == self.capacity {
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back(CbEntry { line, words });
+        match displaced {
+            Some(v) => CbPush::Displaced(v),
+            None => CbPush::Allocated,
+        }
+    }
+
     /// Remove and return the entry for `line`, if present (flush on demand —
     /// e.g. when the line is invalidated or evicted while still buffered).
     pub fn take(&mut self, line: LineAddr) -> Option<CbEntry> {

@@ -107,6 +107,18 @@ impl WriteBuffer {
         self.entries.iter_mut().find(|e| !e.issued)
     }
 
+    /// Index of the oldest un-issued entry, if any. Pairing this with
+    /// [`WriteBuffer::entry_mut`] lets the write-buffer pump revisit the
+    /// same entry by position instead of re-searching by line.
+    pub fn next_unissued_idx(&self) -> Option<usize> {
+        self.entries.iter().position(|e| !e.issued)
+    }
+
+    /// Mutable access to the entry at `idx` (FIFO position).
+    pub fn entry_mut(&mut self, idx: usize) -> &mut WbEntry {
+        &mut self.entries[idx]
+    }
+
     /// Number of occupied entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -40,9 +40,18 @@ impl Mesh {
     }
 
     /// `(x, y)` coordinates of `node`.
+    #[inline]
     pub fn coords(&self, node: NodeId) -> (usize, usize) {
         debug_assert!(node < self.nodes);
-        (node % self.width, node / self.width)
+        // Routing distance is computed per message; square power-of-two
+        // meshes (4×4, 8×8 — every paper configuration) shift instead of
+        // dividing.
+        if self.width.is_power_of_two() {
+            let shift = self.width.trailing_zeros();
+            (node & (self.width - 1), node >> shift)
+        } else {
+            (node % self.width, node / self.width)
+        }
     }
 
     /// Dimension-order routing distance (Manhattan hops) between two nodes.

@@ -158,7 +158,19 @@ impl MachineConfig {
     pub fn home_of(&self, addr: u64) -> usize {
         match self.placement {
             Placement::RoundRobinPages | Placement::FirstTouch => {
-                (addr as usize / self.page_size) % self.num_procs
+                // Hot path: both divisors are powers of two for every real
+                // configuration, so use shift/mask there (an integer divide
+                // is ~20× a shift and this runs on every reference).
+                let page = if self.page_size.is_power_of_two() {
+                    addr as usize >> self.page_size.trailing_zeros()
+                } else {
+                    addr as usize / self.page_size
+                };
+                if self.num_procs.is_power_of_two() {
+                    page & (self.num_procs - 1)
+                } else {
+                    page % self.num_procs
+                }
             }
             Placement::AllAtZero => 0,
         }
@@ -166,20 +178,33 @@ impl MachineConfig {
 
     /// Home node servicing lock `lock`.
     pub fn lock_home(&self, lock: u32) -> usize {
-        lock as usize % self.num_procs
+        if self.num_procs.is_power_of_two() {
+            lock as usize & (self.num_procs - 1)
+        } else {
+            lock as usize % self.num_procs
+        }
     }
 
     /// Home node servicing barrier `barrier`.
     pub fn barrier_home(&self, barrier: u32) -> usize {
-        barrier as usize % self.num_procs
+        if self.num_procs.is_power_of_two() {
+            barrier as usize & (self.num_procs - 1)
+        } else {
+            barrier as usize % self.num_procs
+        }
     }
 
     /// Cycles to move `bytes` across one bandwidth-limited resource of
     /// `bytes_per_cycle` throughput (rounded up, minimum one cycle for a
     /// non-empty transfer).
+    #[inline]
     pub fn transfer_cycles(bytes: u64, bytes_per_cycle: u64) -> u64 {
         if bytes == 0 {
             0
+        } else if bytes_per_cycle.is_power_of_two() {
+            // All real configurations move a power-of-two bytes per cycle;
+            // shift instead of dividing (this runs once per message).
+            ((bytes + bytes_per_cycle - 1) >> bytes_per_cycle.trailing_zeros()).max(1)
         } else {
             bytes.div_ceil(bytes_per_cycle).max(1)
         }

@@ -1,26 +1,237 @@
 //! Deterministic discrete-event queue.
 //!
 //! Events fire in nondecreasing time order; events scheduled for the same
-//! cycle fire in insertion order (a monotone sequence number breaks ties),
-//! which makes whole-machine simulations bit-reproducible.
+//! cycle fire in insertion order, which makes whole-machine simulations
+//! bit-reproducible.
+//!
+//! # Two-tier calendar-queue implementation
+//!
+//! Simulation events are near-monotone: almost everything is scheduled
+//! within a couple of hundred cycles of `now` (Table-1 latencies — memory,
+//! network hops, the coalescing-buffer flush delay, the clock-skew quantum —
+//! are all well under [`HORIZON`]). Large queues exploit that with a
+//! calendar of [`HORIZON`] one-cycle-wide buckets covering the window
+//! `[window_lo, window_lo + HORIZON)`; an event at time `t` in the window
+//! lives in bucket `t % HORIZON`. Because the bucket width is one cycle,
+//! every bucket holds events of exactly one time value, so a plain
+//! `push_back` preserves same-cycle insertion order with no sequence
+//! numbers. An occupancy bitmap (one bit per bucket) finds the next
+//! non-empty bucket in a handful of word scans, and `pop` slides the window
+//! up to each fired time so the full horizon always extends ahead of `now`.
+//!
+//! The rare far-future event (beyond the window) goes to a sorted overflow
+//! rung — a `BTreeMap` keyed by time, holding a FIFO per time value. Window
+//! invariants: every bucketed event's time is in
+//! `[window_lo, window_lo + HORIZON)` and every overflow time is
+//! `>= window_lo + HORIZON`, so all bucketed events fire before all
+//! overflow events; sliding the window migrates newly-in-window overflow
+//! entries into their (necessarily empty) buckets, at most once per event.
+//!
+//! Queues that never grow past [`TINY_MAX`] pending events — the model
+//! checker's scenario machines, unit-test scripts — instead stay on a flat
+//! bottom tier: one time-sorted, insertion-stable `Vec`. That keeps
+//! `Machine::clone` (which the checker performs at every explored state)
+//! a single small memcpy instead of a 512-bucket traversal. The first push
+//! that would exceed [`TINY_MAX`] promotes the queue to the calendar for
+//! the rest of its life.
 
 use crate::types::Cycle;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
-    time: Cycle,
-    seq: u64,
+/// Width of the calendar window in cycles (and number of buckets). A power
+/// of two so `time % HORIZON` is a mask. Must comfortably exceed the
+/// machine's largest routine scheduling delay (~200 cycles: the clock-skew
+/// quantum) so the overflow rung stays cold.
+const HORIZON: usize = 512;
+const MASK: u64 = HORIZON as u64 - 1;
+const WORDS: usize = HORIZON / 64;
+
+/// Queues at or below this many pending events use the flat bottom tier.
+const TINY_MAX: usize = 64;
+
+/// Calendar tier: the bucketed window plus the far-future overflow rung.
+#[derive(Debug, Clone)]
+struct Calendar<E> {
+    /// `buckets[t % HORIZON]` holds the FIFO of events at window time `t`.
+    buckets: Vec<VecDeque<E>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Low edge of the calendar window; never decreases.
+    window_lo: Cycle,
+    /// Far-future rung: time -> FIFO of events at that time.
+    overflow: BTreeMap<Cycle, VecDeque<E>>,
+}
+
+impl<E> Calendar<E> {
+    fn new(window_lo: Cycle) -> Self {
+        Calendar {
+            buckets: (0..HORIZON).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WORDS],
+            window_lo,
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    #[inline]
+    fn unmark(&mut self, idx: usize) {
+        self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// The unique window time stored in bucket `idx`.
+    #[inline]
+    fn bucket_time(&self, idx: usize) -> Cycle {
+        self.window_lo + ((idx as u64).wrapping_sub(self.window_lo) & MASK)
+    }
+
+    /// Index of the earliest non-empty bucket (circular bitmap scan starting
+    /// at the window's low edge), or `None` if all buckets are empty.
+    fn first_bucket(&self) -> Option<usize> {
+        let start = (self.window_lo & MASK) as usize;
+        let (sw, sb) = (start / 64, start % 64);
+        let head = self.occupied[sw] & (!0u64 << sb);
+        if head != 0 {
+            return Some(sw * 64 + head.trailing_zeros() as usize);
+        }
+        for k in 1..WORDS {
+            let wi = (sw + k) % WORDS;
+            if self.occupied[wi] != 0 {
+                return Some(wi * 64 + self.occupied[wi].trailing_zeros() as usize);
+            }
+        }
+        let tail = self.occupied[sw] & !(!0u64 << sb);
+        if tail != 0 {
+            return Some(sw * 64 + tail.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// Indices of all non-empty buckets in increasing-time order.
+    fn occupied_buckets(&self) -> Vec<usize> {
+        fn bits_of(out: &mut Vec<usize>, wi: usize, mut word: u64) {
+            while word != 0 {
+                out.push(wi * 64 + word.trailing_zeros() as usize);
+                word &= word - 1;
+            }
+        }
+        let start = (self.window_lo & MASK) as usize;
+        let (sw, sb) = (start / 64, start % 64);
+        let mut out = Vec::new();
+        bits_of(&mut out, sw, self.occupied[sw] & (!0u64 << sb));
+        for k in 1..WORDS {
+            let wi = (sw + k) % WORDS;
+            bits_of(&mut out, wi, self.occupied[wi]);
+        }
+        bits_of(&mut out, sw, self.occupied[sw] & !(!0u64 << sb));
+        out
+    }
+
+    /// Earliest pending time, or `None` when the calendar is empty.
+    fn min_time(&self) -> Option<Cycle> {
+        match self.first_bucket() {
+            Some(idx) => Some(self.bucket_time(idx)),
+            None => self.overflow.first_key_value().map(|(&t, _)| t),
+        }
+    }
+
+    /// Slide the window's low edge up to `t` (the caller guarantees every
+    /// pending event's time is `>= t`) and migrate overflow entries that the
+    /// move brings inside the horizon. Each event migrates at most once.
+    fn advance_window(&mut self, t: Cycle) {
+        debug_assert!(t >= self.window_lo);
+        if t == self.window_lo {
+            return;
+        }
+        self.window_lo = t;
+        let horizon_end = t + HORIZON as Cycle;
+        while let Some(entry) = self.overflow.first_entry() {
+            if *entry.key() >= horizon_end {
+                break;
+            }
+            let (time, mut fifo) = entry.remove_entry();
+            let idx = (time & MASK) as usize;
+            debug_assert!(self.buckets[idx].is_empty(), "bucket collision at t={time}");
+            self.buckets[idx].append(&mut fifo);
+            self.mark(idx);
+        }
+    }
+
+    /// Append `event` at `time` (`time >= window_lo` — the queue clamps to
+    /// `now` first, and `now` never trails the window).
+    fn insert(&mut self, time: Cycle, event: E) {
+        if time < self.window_lo + HORIZON as Cycle {
+            let idx = (time & MASK) as usize;
+            self.buckets[idx].push_back(event);
+            self.mark(idx);
+        } else {
+            self.overflow.entry(time).or_default().push_back(event);
+        }
+    }
+
+    /// Remove the earliest event, sliding the window to its time.
+    fn pop_earliest(&mut self) -> Option<(Cycle, E)> {
+        let t = self.min_time()?;
+        self.advance_window(t);
+        let idx = (t & MASK) as usize;
+        let ev = self.buckets[idx].pop_front().expect("earliest bucket non-empty");
+        if self.buckets[idx].is_empty() {
+            self.unmark(idx);
+        }
+        Some((t, ev))
+    }
+
+    /// Remove the `n`-th event in (time, insertion) order (`n` in range).
+    fn remove_nth(&mut self, mut n: usize) -> (Cycle, E) {
+        for idx in self.occupied_buckets() {
+            if n < self.buckets[idx].len() {
+                let t = self.bucket_time(idx);
+                let ev = self.buckets[idx].remove(n).expect("index checked");
+                if self.buckets[idx].is_empty() {
+                    self.unmark(idx);
+                }
+                return (t, ev);
+            }
+            n -= self.buckets[idx].len();
+        }
+        let mut hit: Option<Cycle> = None;
+        for (&t, fifo) in &self.overflow {
+            if n < fifo.len() {
+                hit = Some(t);
+                break;
+            }
+            n -= fifo.len();
+        }
+        let t = hit.expect("pop_nth index within overflow");
+        let fifo = self.overflow.get_mut(&t).expect("overflow rung exists");
+        let ev = fifo.remove(n).expect("index checked");
+        if fifo.is_empty() {
+            self.overflow.remove(&t);
+        }
+        (t, ev)
+    }
+}
+
+/// Storage tier: flat sorted vec for small queues, calendar for large ones.
+#[derive(Debug, Clone)]
+enum Tier<E> {
+    /// Time-sorted, insertion-stable flat storage (same-time runs keep
+    /// push order). A deque so the hot `pop` is O(1) at the front while
+    /// pushes (almost always near the back, times being near-monotone)
+    /// shift only the short side.
+    Tiny(VecDeque<(Cycle, E)>),
+    Calendar(Calendar<E>),
 }
 
 /// A time-ordered, insertion-stable event queue.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Key, u64)>>,
-    slab: Vec<Option<E>>,
-    free: Vec<u64>,
-    seq: u64,
+    tier: Tier<E>,
+    len: usize,
+    peak_len: usize,
     now: Cycle,
 }
 
@@ -33,7 +244,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), slab: Vec::new(), free: Vec::new(), seq: 0, now: 0 }
+        EventQueue { tier: Tier::Tiny(VecDeque::new()), len: 0, peak_len: 0, now: 0 }
     }
 
     /// Current simulated time: the firing time of the most recently popped
@@ -41,6 +252,23 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// Move a queue that outgrew the bottom tier onto the calendar,
+    /// preserving (time, insertion) order: the tiny vec is already sorted
+    /// stably, so appending front-to-back lands each same-time run in its
+    /// bucket in FIFO order.
+    fn promote(&mut self) {
+        let Tier::Tiny(flat) = &mut self.tier else { return };
+        let flat = std::mem::take(flat);
+        // Pending events may sit before `now` (fired "late" after an
+        // out-of-order pop_nth); the window must start at the earliest.
+        let window_lo = flat.front().map_or(self.now, |&(t, _)| t.min(self.now));
+        let mut cal = Calendar::new(window_lo);
+        for (t, ev) in flat {
+            cal.insert(t, ev);
+        }
+        self.tier = Tier::Calendar(cal);
     }
 
     /// Schedule `event` to fire at absolute time `time`.
@@ -51,19 +279,27 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: Cycle, event: E) {
         debug_assert!(time >= self.now, "event scheduled in the past: {} < {}", time, self.now);
         let time = time.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        let slot = match self.free.pop() {
-            Some(i) => {
-                self.slab[i as usize] = Some(event);
-                i
+        if matches!(&self.tier, Tier::Tiny(_)) && self.len >= TINY_MAX {
+            self.promote();
+        }
+        match &mut self.tier {
+            Tier::Tiny(flat) => {
+                // Times are near-monotone, so the insertion point is almost
+                // always at (or a step from) the back — a backward linear
+                // scan beats binary search here. Strict `>` keeps same-time
+                // FIFO order.
+                let mut at = flat.len();
+                while at > 0 && flat[at - 1].0 > time {
+                    at -= 1;
+                }
+                flat.insert(at, (time, event));
             }
-            None => {
-                self.slab.push(Some(event));
-                (self.slab.len() - 1) as u64
-            }
-        };
-        self.heap.push(Reverse((Key { time, seq }, slot)));
+            Tier::Calendar(cal) => cal.insert(time, event),
+        }
+        self.len += 1;
+        if self.len > self.peak_len {
+            self.peak_len = self.len;
+        }
     }
 
     /// Schedule `event` to fire `delay` cycles from now.
@@ -77,7 +313,15 @@ impl<E> EventQueue<E> {
     /// advanced past this event's scheduled time, the event fires "late" at
     /// the current time.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        self.pop_nth(0)
+        let (t, ev) = match &mut self.tier {
+            Tier::Tiny(flat) => {
+                flat.pop_front()?
+            }
+            Tier::Calendar(cal) => cal.pop_earliest()?,
+        };
+        self.len -= 1;
+        self.now = self.now.max(t);
+        Some((self.now, ev))
     }
 
     /// Remove and return the `n`-th pending event in (time, insertion)
@@ -88,57 +332,98 @@ impl<E> EventQueue<E> {
     /// Advances `now` to the fired event's time if that is later than the
     /// current time (time is monotone even under out-of-order firing).
     /// Returns `None` when fewer than `n + 1` events are pending.
+    ///
+    /// Cost: O(n) on the flat tier; on the calendar, O(HORIZON/64) to scan
+    /// the occupancy bitmap plus O(k) to splice the event out of its rung
+    /// FIFO (k = its position there). The old binary-heap implementation's
+    /// O(n log n) drain-and-reinsert churn is gone — events beyond the
+    /// chosen one are never touched.
     pub fn pop_nth(&mut self, n: usize) -> Option<(Cycle, E)> {
-        if n >= self.heap.len() {
+        if n >= self.len {
             return None;
         }
-        let mut held = Vec::with_capacity(n);
-        for _ in 0..n {
-            held.push(self.heap.pop().expect("length checked above"));
+        if n == 0 {
+            return self.pop();
         }
-        let Reverse((key, slot)) = self.heap.pop().expect("length checked above");
-        self.heap.extend(held);
-        self.now = self.now.max(key.time);
-        let ev = self.slab[slot as usize].take().expect("slab slot already vacated");
-        self.free.push(slot);
+        let (t, ev) = match &mut self.tier {
+            Tier::Tiny(flat) => flat.remove(n).expect("index checked"),
+            Tier::Calendar(cal) => {
+                // Keep the window hugging the earliest pending event so
+                // overflow migration stays amortized even when firing
+                // out of order.
+                let t_min = cal.min_time().expect("len > 0");
+                cal.advance_window(t_min);
+                cal.remove_nth(n)
+            }
+        };
+        self.len -= 1;
+        self.now = self.now.max(t);
         Some((self.now, ev))
     }
 
     /// Scheduled firing times of every pending event, in (time, insertion)
     /// order — index `i` here is the `n` accepted by
-    /// [`EventQueue::pop_nth`]. Intended for checker-sized queues; cost is
-    /// O(len log len).
+    /// [`EventQueue::pop_nth`]. Cost is O(len) (plus an O(HORIZON/64)
+    /// bitmap scan on the calendar tier).
     pub fn pending_times(&self) -> Vec<Cycle> {
-        let mut keys: Vec<Key> = self.heap.iter().map(|&Reverse((k, _))| k).collect();
-        keys.sort();
-        keys.into_iter().map(|k| k.time).collect()
+        match &self.tier {
+            Tier::Tiny(flat) => flat.iter().map(|&(t, _)| t).collect(),
+            Tier::Calendar(cal) => {
+                let mut out = Vec::with_capacity(self.len);
+                for idx in cal.occupied_buckets() {
+                    let t = cal.bucket_time(idx);
+                    out.extend(std::iter::repeat_n(t, cal.buckets[idx].len()));
+                }
+                for (&t, fifo) in &cal.overflow {
+                    out.extend(std::iter::repeat_n(t, fifo.len()));
+                }
+                out
+            }
+        }
     }
 
     /// References to every pending event payload, in (time, insertion)
     /// order — index `i` here is the `n` accepted by
     /// [`EventQueue::pop_nth`]. The model checker hashes these into its
-    /// state fingerprint. Cost is O(len log len).
+    /// state fingerprint. Cost matches [`EventQueue::pending_times`].
     pub fn pending_events(&self) -> Vec<&E> {
-        let mut keys: Vec<(Key, u64)> = self.heap.iter().map(|&Reverse(k)| k).collect();
-        keys.sort();
-        keys.into_iter()
-            .map(|(_, slot)| self.slab[slot as usize].as_ref().expect("pending slot occupied"))
-            .collect()
+        match &self.tier {
+            Tier::Tiny(flat) => flat.iter().map(|(_, ev)| ev).collect(),
+            Tier::Calendar(cal) => {
+                let mut out = Vec::with_capacity(self.len);
+                for idx in cal.occupied_buckets() {
+                    out.extend(cal.buckets[idx].iter());
+                }
+                for fifo in cal.overflow.values() {
+                    out.extend(fifo.iter());
+                }
+                out
+            }
+        }
     }
 
     /// Firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse((k, _))| k.time)
+        match &self.tier {
+            Tier::Tiny(flat) => flat.front().map(|&(t, _)| t),
+            Tier::Calendar(cal) => cal.min_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// High-water mark of [`EventQueue::len`] over the queue's lifetime —
+    /// cheap in-situ observability for performance work.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -146,24 +431,36 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Force a queue onto the calendar tier regardless of its size, so the
+    /// small-queue tests below can exercise both representations.
+    fn promoted<E>(mut q: EventQueue<E>) -> EventQueue<E> {
+        q.promote();
+        q
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
         q.push(30, "c");
         q.push(10, "a");
         q.push(20, "b");
-        assert_eq!(q.pop(), Some((10, "a")));
-        assert_eq!(q.pop(), Some((20, "b")));
-        assert_eq!(q.pop(), Some((30, "c")));
-        assert_eq!(q.pop(), None);
+        for q in [&mut promoted(q.clone()), &mut q] {
+            assert_eq!(q.pop(), Some((10, "a")));
+            assert_eq!(q.pop(), Some((20, "b")));
+            assert_eq!(q.pop(), Some((30, "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn same_time_fifo() {
+        // 100 same-cycle events also crosses TINY_MAX, so this covers the
+        // mid-stream promotion path splitting one FIFO run across tiers.
         let mut q = EventQueue::new();
         for i in 0..100 {
             q.push(5, i);
         }
+        assert!(matches!(q.tier, Tier::Calendar(_)));
         for i in 0..100 {
             assert_eq!(q.pop(), Some((5, i)));
         }
@@ -181,9 +478,64 @@ mod tests {
     }
 
     #[test]
-    fn slab_slots_are_recycled() {
+    fn far_future_events_take_the_overflow_rung() {
+        let mut q = promoted(EventQueue::new());
+        // Straddle the horizon in both directions, including exact-boundary
+        // times and same-cycle FIFO within the overflow rung.
+        q.push(HORIZON as Cycle * 10, "far-b");
+        q.push(3, "near");
+        q.push(HORIZON as Cycle * 10, "far-c");
+        q.push(HORIZON as Cycle - 1, "edge-in");
+        q.push(HORIZON as Cycle, "edge-out");
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop(), Some((3, "near")));
+        assert_eq!(q.pop(), Some((HORIZON as Cycle - 1, "edge-in")));
+        assert_eq!(q.pop(), Some((HORIZON as Cycle, "edge-out")));
+        assert_eq!(q.pop(), Some((HORIZON as Cycle * 10, "far-b")));
+        assert_eq!(q.pop(), Some((HORIZON as Cycle * 10, "far-c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn window_wraps_across_many_horizons() {
+        // A self-rescheduling timer marches the window through dozens of
+        // wraps; interleave short and long hops to stress migration.
+        let mut q = promoted(EventQueue::new());
+        let mut t = 0;
+        q.push(0, 0u64);
+        for i in 1..200u64 {
+            let (fired, _) = q.pop().expect("timer pending");
+            assert_eq!(fired, t);
+            let hop = if i % 3 == 0 { HORIZON as Cycle + 37 } else { 17 };
+            t = fired + hop;
+            q.push(t, i);
+        }
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_nth_orders_and_is_monotone() {
         let mut q = EventQueue::new();
-        for round in 0..10 {
+        q.push(10, "a");
+        q.push(10, "b");
+        q.push(2000, "z"); // overflow rung once promoted
+        q.push(20, "c");
+        for q in [&mut promoted(q.clone()), &mut q] {
+            // Pending order: a(10), b(10), c(20), z(2000).
+            assert_eq!(q.pending_times(), vec![10, 10, 20, 2000]);
+            assert_eq!(q.pop_nth(3), Some((2000, "z")));
+            // Remaining events fire "late" at the advanced time.
+            assert_eq!(q.pop_nth(1), Some((2000, "b")));
+            assert_eq!(q.pop(), Some((2000, "a")));
+            assert_eq!(q.pop(), Some((2000, "c")));
+            assert_eq!(q.pop_nth(0), None);
+        }
+    }
+
+    #[test]
+    fn small_queues_stay_on_the_flat_tier() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
             for i in 0..8 {
                 q.push(round * 100 + i, i);
             }
@@ -191,8 +543,29 @@ mod tests {
                 q.pop();
             }
         }
-        // The slab never needed more than one round's worth of slots.
-        assert!(q.slab.len() <= 8);
+        // Never exceeded TINY_MAX pending events, so no calendar was built
+        // (keeps clone-heavy users like the model checker cheap).
+        assert!(matches!(q.tier, Tier::Tiny(_)));
+        assert!(q.is_empty());
+        assert_eq!(q.peak_len(), 8);
+    }
+
+    #[test]
+    fn promotion_preserves_order_and_recycles_buckets() {
+        let mut q = EventQueue::new();
+        for i in 0..(TINY_MAX as u64 + 40) {
+            q.push(i / 3, i); // runs of 3 same-time events
+        }
+        assert!(matches!(q.tier, Tier::Calendar(_)));
+        let mut expect = 0;
+        while let Some((t, v)) = q.pop() {
+            assert_eq!((t, v), (expect / 3, expect));
+            expect += 1;
+        }
+        assert_eq!(expect, TINY_MAX as u64 + 40);
+        let Tier::Calendar(cal) = &q.tier else { panic!("still calendar") };
+        assert_eq!(cal.buckets.len(), HORIZON);
+        assert!(cal.overflow.is_empty());
     }
 
     #[test]
@@ -200,9 +573,28 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(42, 1);
         q.push(41, 2);
-        assert_eq!(q.peek_time(), Some(41));
-        assert_eq!(q.pop(), Some((41, 2)));
-        assert_eq!(q.peek_time(), Some(42));
+        for q in [&mut promoted(q.clone()), &mut q] {
+            assert_eq!(q.peek_time(), Some(41));
+            assert_eq!(q.pop(), Some((41, 2)));
+            assert_eq!(q.peek_time(), Some(42));
+        }
+    }
+
+    #[test]
+    fn pending_listings_agree_with_pop_order() {
+        let mut q = EventQueue::new();
+        for (t, v) in [(600, 0), (5, 1), (5, 2), (90, 3), (600, 4), (1300, 5)] {
+            q.push(t, v);
+        }
+        for q in [&mut promoted(q.clone()), &mut q] {
+            assert_eq!(q.pending_times(), vec![5, 5, 90, 600, 600, 1300]);
+            assert_eq!(q.pending_events(), vec![&1, &2, &3, &0, &4, &5]);
+            let mut popped = Vec::new();
+            while let Some((_, v)) = q.pop() {
+                popped.push(v);
+            }
+            assert_eq!(popped, vec![1, 2, 3, 0, 4, 5]);
+        }
     }
 
     #[test]

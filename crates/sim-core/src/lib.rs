@@ -18,6 +18,7 @@ pub mod json;
 pub mod refint;
 pub mod rng;
 pub mod stats;
+pub mod table;
 pub mod types;
 pub mod workload;
 
@@ -27,5 +28,6 @@ pub use rng::Rng;
 pub use stats::{
     Breakdown, MachineStats, MissClass, MissCounts, ProcStats, StallKind, Traffic, TrafficClass,
 };
+pub use table::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, LineMap};
 pub use types::{Addr, BarrierId, Cycle, LineAddr, LockId, NodeId, ProcId, Protocol};
 pub use workload::{AddressAllocator, Op, Script, Workload};

@@ -1,0 +1,268 @@
+//! Dense and hash-based lookup tables for line-addressed kernel state.
+//!
+//! The simulator keys almost all protocol metadata by line address, and line
+//! addresses are dense small integers (workload allocators hand out compact
+//! address spaces starting at zero, and `LineAddr` is the byte address
+//! shifted down by the line-size bits). Two structures exploit that:
+//!
+//! * [`LineMap`] — a `Vec`-indexed slab for tables where most lines
+//!   eventually get an entry (the directory). O(1) access with no hashing
+//!   at all, and iteration is in ascending key order for free, which the
+//!   deterministic fingerprint/diagnostic paths rely on.
+//! * [`FxHashMap`] / [`FxHashSet`] — `std` maps with the Fx polynomial
+//!   hash (the rustc hasher) instead of SipHash, for per-node tables that
+//!   stay sparse (outstanding transactions, pending invalidations).
+//!   Iteration order is arbitrary; every order-sensitive consumer sorts.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx string/word hash used by rustc: a rotate-xor-multiply over
+/// 64-bit words. Far cheaper than SipHash for small integer keys; not
+/// DoS-resistant, which is irrelevant for simulator-internal tables.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// `HashMap` with the Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` with the Fx hash.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// A map from dense `u64` keys (line or page indices) to `V`, stored as a
+/// `Vec<Option<V>>` slab that grows to the largest key touched.
+///
+/// All point operations are O(1) with no hashing; [`LineMap::iter`] and
+/// [`LineMap::keys`] walk the slab and therefore yield entries in ascending
+/// key order — deterministic by construction.
+#[derive(Debug, Clone)]
+pub struct LineMap<V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+}
+
+impl<V> Default for LineMap<V> {
+    fn default() -> Self {
+        LineMap::new()
+    }
+}
+
+impl<V> LineMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        LineMap { slots: Vec::new(), len: 0 }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No occupied entries?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, key: u64) -> &mut Option<V> {
+        let idx = usize::try_from(key).expect("LineMap key fits in usize");
+        if idx >= self.slots.len() {
+            // Grow geometrically so a rising address sweep costs amortized
+            // O(1) per new line rather than O(n) per insert.
+            let cap = (idx + 1).max(self.slots.len() * 2).max(16);
+            self.slots.resize_with(cap, || None);
+        }
+        &mut self.slots[idx]
+    }
+
+    /// The value at `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.slots.get(key as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable value at `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.slots.get_mut(key as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Is there an entry at `key`?
+    #[inline]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        let slot = self.slot_mut(key);
+        let old = slot.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove and return the entry at `key`.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let old = self.slots.get_mut(key as usize).and_then(|s| s.take());
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// The entry at `key`, inserting `V::default()` first if vacant.
+    #[inline]
+    pub fn entry_or_default(&mut self, key: u64) -> &mut V
+    where
+        V: Default,
+    {
+        self.entry_or_insert_with(key, V::default)
+    }
+
+    /// The entry at `key`, inserting `make()` first if vacant.
+    #[inline]
+    pub fn entry_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> V) -> &mut V {
+        if !self.contains_key(key) {
+            self.insert(key, make());
+        }
+        self.get_mut(key).expect("slot just filled")
+    }
+
+    /// Iterate `(key, &value)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u64, v)))
+    }
+
+    /// Iterate occupied keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_map_point_operations() {
+        let mut m: LineMap<u32> = LineMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(7), None);
+        assert_eq!(m.insert(7, 70), None);
+        assert_eq!(m.insert(7, 71), Some(70));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(7), Some(&71));
+        *m.get_mut(7).unwrap() += 1;
+        assert_eq!(m.remove(7), Some(72));
+        assert_eq!(m.remove(7), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn line_map_grows_to_key() {
+        let mut m: LineMap<u8> = LineMap::new();
+        m.insert(10_000, 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(10_000), Some(&1));
+        assert_eq!(m.get(9_999), None);
+    }
+
+    #[test]
+    fn line_map_entry_or_default() {
+        let mut m: LineMap<u64> = LineMap::new();
+        *m.entry_or_default(3) |= 0b10;
+        *m.entry_or_default(3) |= 0b01;
+        assert_eq!(m.get(3), Some(&0b11));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn line_map_iterates_in_ascending_key_order() {
+        let mut m: LineMap<&str> = LineMap::new();
+        for k in [9, 2, 40, 0, 17] {
+            m.insert(k, "x");
+        }
+        let keys: Vec<u64> = m.keys().collect();
+        assert_eq!(keys, vec![0, 2, 9, 17, 40]);
+        assert_eq!(m.iter().count(), 5);
+    }
+
+    #[test]
+    fn fx_maps_work_with_u64_keys() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for k in 0..100u64 {
+            m.insert(k, k * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&40), Some(&80));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(5);
+        assert!(s.contains(&5) && !s.contains(&6));
+    }
+
+    #[test]
+    fn fx_hash_differs_across_keys() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let hash = |k: u64| b.hash_one(k);
+        assert_ne!(hash(1), hash(2));
+        assert_eq!(hash(42), hash(42));
+    }
+}

@@ -54,7 +54,11 @@ impl LineAddr {
     pub fn word_index(self, addr: Addr, line_size: usize, word_size: usize) -> usize {
         let off = addr - self.base(line_size);
         debug_assert!((off as usize) < line_size);
-        off as usize / word_size
+        if word_size.is_power_of_two() {
+            off as usize >> word_size.trailing_zeros()
+        } else {
+            off as usize / word_size
+        }
     }
 }
 

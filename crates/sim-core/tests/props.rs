@@ -95,3 +95,115 @@ fn rng_below_is_bounded() {
         }
     }
 }
+
+/// Reference event queue: a plain binary heap over `(time, seq)` with a
+/// global insertion counter for same-cycle FIFO, plus the same `now`
+/// clamp/advance rules as the real queue. Obviously correct, O(log n)
+/// everywhere — the oracle the calendar implementation must match.
+struct RefQueue {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u32)>>,
+    seq: u64,
+    now: u64,
+}
+
+impl RefQueue {
+    fn new() -> Self {
+        RefQueue { heap: std::collections::BinaryHeap::new(), seq: 0, now: 0 }
+    }
+
+    fn push(&mut self, time: u64, payload: u32) {
+        let time = time.max(self.now);
+        self.heap.push(std::cmp::Reverse((time, self.seq, payload)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let std::cmp::Reverse((t, _, v)) = self.heap.pop()?;
+        self.now = self.now.max(t);
+        Some((self.now, v))
+    }
+
+    /// The `n`-th event in (time, insertion) order: pop `n + 1`, reinsert
+    /// the first `n`.
+    fn pop_nth(&mut self, n: usize) -> Option<(u64, u32)> {
+        if n >= self.heap.len() {
+            return None;
+        }
+        let mut skipped = Vec::with_capacity(n);
+        for _ in 0..n {
+            skipped.push(self.heap.pop().expect("length checked"));
+        }
+        let std::cmp::Reverse((t, _, v)) = self.heap.pop().expect("length checked");
+        for e in skipped {
+            self.heap.push(e);
+        }
+        self.now = self.now.max(t);
+        Some((self.now, v))
+    }
+
+    fn pending_times(&self) -> Vec<u64> {
+        let mut all: Vec<(u64, u64)> =
+            self.heap.iter().map(|&std::cmp::Reverse((t, s, _))| (t, s)).collect();
+        all.sort_unstable();
+        all.into_iter().map(|(t, _)| t).collect()
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|&std::cmp::Reverse((t, ..))| t)
+    }
+}
+
+/// The two-tier calendar queue is observationally equivalent to the
+/// reference binary heap under random interleavings of push / pop /
+/// pop_nth, including same-cycle FIFO ties, the far-future overflow rung,
+/// and the tiny-to-calendar promotion boundary.
+#[test]
+fn event_queue_matches_binary_heap_reference() {
+    let mut rng = Rng::new(0x5eed_0006);
+    for case in 0..60 {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut r = RefQueue::new();
+        // Small cases stay on the flat tier; large ones promote mid-stream.
+        let ops = if case % 2 == 0 { 80 } else { 600 };
+        let mut next_payload = 0u32;
+        for _ in 0..ops {
+            match rng.below(100) {
+                // Push: mostly near-future (the simulator's regime), with
+                // occasional same-cycle ties and far-future outliers that
+                // must take the calendar's overflow rung.
+                0..=59 => {
+                    let t = match rng.below(10) {
+                        0 => q.now(),                    // same-cycle tie
+                        1 => q.now() + 2_000 + rng.below(3_000), // overflow
+                        _ => q.now() + rng.below(400),
+                    };
+                    q.push(t, next_payload);
+                    r.push(t, next_payload);
+                    next_payload += 1;
+                }
+                60..=84 => {
+                    assert_eq!(q.pop(), r.pop());
+                    assert_eq!(q.now(), r.now);
+                }
+                85..=94 => {
+                    let n = rng.below(1 + q.len() as u64 + 2) as usize;
+                    assert_eq!(q.pop_nth(n), r.pop_nth(n));
+                    assert_eq!(q.now(), r.now);
+                }
+                _ => {
+                    assert_eq!(q.len(), r.heap.len());
+                    assert_eq!(q.peek_time(), r.peek_time());
+                    assert_eq!(q.pending_times(), r.pending_times());
+                }
+            }
+        }
+        // Drain both to empty, comparing every remaining event.
+        loop {
+            let (a, b) = (q.pop(), r.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -34,4 +34,17 @@ done
 echo "==> tier 2: workspace tests"
 cargo test --workspace -q
 
+echo "==> bench smoke: lrc-bench compare at tiny scale"
+# Exercises the whole measure/compare path in seconds. The committed
+# baseline is scale=small, so the gate auto-skips the threshold check at
+# tiny scale — this stage verifies the harness runs end to end and emits
+# valid JSON, not throughput (wall-clock on shared runners is too noisy
+# for a hard gate in CI; re-baseline locally with `lrc-bench run`).
+cargo build --release -q -p lrc-exp
+smoke=$(mktemp /tmp/bench_smoke.XXXXXX.json)
+./target/release/lrc-bench compare --baseline BENCH_sim.json \
+  --scale tiny --procs 16 --reps 1 --quiet --out "$smoke"
+grep -q '"schema": "lrc-bench-v1"' "$smoke"
+rm -f "$smoke"
+
 echo "CI green."

@@ -1,0 +1,229 @@
+//! Determinism guard: a golden-fingerprint test pinning the simulator's
+//! observable results for one medium-sized (protocol, workload) grid slice.
+//!
+//! The simulation kernel is bit-deterministic: the same (protocol, workload,
+//! scale, procs) always yields the same cycle counts, message totals, and
+//! miss-class histogram. Kernel refactors (event-queue replacement, state
+//! layout changes, allocation pooling) must preserve those results exactly —
+//! this test catches any silent divergence immediately by comparing against
+//! fingerprints committed in `tests/golden/determinism_medium.json`.
+//!
+//! Regenerate (only when a result change is *intended* and understood):
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test determinism_golden -- --nocapture
+//! ```
+
+use lazy_rc::prelude::*;
+use lazy_rc::workloads::Scale;
+
+const PROCS: usize = 16;
+const WORKLOAD: WorkloadKind = WorkloadKind::Mp3d;
+const SCALE: Scale = Scale::Medium;
+const GOLDEN_PATH: &str = "tests/golden/determinism_medium.json";
+
+/// Everything the fingerprint folds in, kept readable so a mismatch shows
+/// *what* diverged rather than just an opaque hash.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    total_cycles: u64,
+    finish_sum: u64,
+    refs: u64,
+    read_misses: u64,
+    write_misses: u64,
+    upgrades: u64,
+    control_msgs: u64,
+    data_msgs: u64,
+    write_data_msgs: u64,
+    bytes: u64,
+    miss_histogram: [u64; 5],
+    hash: u64,
+}
+
+/// FNV-1a over the result fields, spelled out here so the fingerprint does
+/// not depend on any hasher implementation elsewhere in the workspace.
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn fingerprint(r: &RunResult) -> Fingerprint {
+    let s = &r.stats;
+    let traffic = s.aggregate_traffic();
+    let misses = s.aggregate_misses().as_array();
+    let finish_sum: u64 = s.procs.iter().map(|p| p.finish_time).sum();
+    let refs = s.total_refs();
+    let read_misses: u64 = s.procs.iter().map(|p| p.read_misses).sum();
+    let write_misses: u64 = s.procs.iter().map(|p| p.write_misses).sum();
+    let upgrades: u64 = s.procs.iter().map(|p| p.upgrades).sum();
+    let mut words = vec![
+        s.total_cycles,
+        finish_sum,
+        refs,
+        read_misses,
+        write_misses,
+        upgrades,
+        traffic.control_msgs,
+        traffic.data_msgs,
+        traffic.write_data_msgs,
+        traffic.bytes,
+    ];
+    words.extend_from_slice(&misses);
+    // Per-processor finish times and sync counters: divergence anywhere in
+    // the machine perturbs these even when the totals happen to collide.
+    for p in &s.procs {
+        words.push(p.finish_time);
+        words.push(p.lock_acquires);
+        words.push(p.barriers);
+        words.push(p.breakdown.total());
+    }
+    Fingerprint {
+        total_cycles: s.total_cycles,
+        finish_sum,
+        refs,
+        read_misses,
+        write_misses,
+        upgrades,
+        control_msgs: traffic.control_msgs,
+        data_msgs: traffic.data_msgs,
+        write_data_msgs: traffic.write_data_msgs,
+        bytes: traffic.bytes,
+        miss_histogram: misses,
+        hash: fnv1a(&words),
+    }
+}
+
+fn run(proto: Protocol, scale: Scale) -> Fingerprint {
+    let cfg = MachineConfig::paper_default(PROCS);
+    let r = Machine::new(cfg, proto)
+        .with_max_cycles(50_000_000_000)
+        .with_classification()
+        .run(WORKLOAD.build(PROCS, scale));
+    fingerprint(&r)
+}
+
+fn to_json_line(proto: Protocol, f: &Fingerprint) -> String {
+    format!(
+        "  \"{}\": {{\"total_cycles\": {}, \"finish_sum\": {}, \"refs\": {}, \
+         \"read_misses\": {}, \"write_misses\": {}, \"upgrades\": {}, \
+         \"control_msgs\": {}, \"data_msgs\": {}, \"write_data_msgs\": {}, \
+         \"bytes\": {}, \"miss_histogram\": [{}, {}, {}, {}, {}], \"hash\": {}}}",
+        proto.name(),
+        f.total_cycles,
+        f.finish_sum,
+        f.refs,
+        f.read_misses,
+        f.write_misses,
+        f.upgrades,
+        f.control_msgs,
+        f.data_msgs,
+        f.write_data_msgs,
+        f.bytes,
+        f.miss_histogram[0],
+        f.miss_histogram[1],
+        f.miss_histogram[2],
+        f.miss_histogram[3],
+        f.miss_histogram[4],
+        f.hash,
+    )
+}
+
+/// Minimal field extractor for the golden file: finds `"key": <u64>` within
+/// one protocol's object. The file is machine-written with a fixed shape, so
+/// a purpose-built scan keeps this test dependency-free.
+fn field(obj: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat).unwrap_or_else(|| panic!("golden missing field {key}")) + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("golden field parses")
+}
+
+fn array_field(obj: &str, key: &str) -> [u64; 5] {
+    let pat = format!("\"{key}\": [");
+    let start = obj.find(&pat).unwrap_or_else(|| panic!("golden missing field {key}")) + pat.len();
+    let rest = &obj[start..];
+    let end = rest.find(']').expect("golden array closes");
+    let mut out = [0u64; 5];
+    for (i, part) in rest[..end].split(',').enumerate() {
+        out[i] = part.trim().parse().expect("golden array element parses");
+    }
+    out
+}
+
+fn parse_golden(contents: &str, proto: Protocol) -> Fingerprint {
+    let pat = format!("\"{}\": {{", proto.name());
+    let start = contents
+        .find(&pat)
+        .unwrap_or_else(|| panic!("golden file has no entry for {proto}"));
+    let obj_start = start + pat.len();
+    let end = contents[obj_start..].find('}').expect("golden object closes");
+    let obj = &contents[obj_start..obj_start + end];
+    Fingerprint {
+        total_cycles: field(obj, "total_cycles"),
+        finish_sum: field(obj, "finish_sum"),
+        refs: field(obj, "refs"),
+        read_misses: field(obj, "read_misses"),
+        write_misses: field(obj, "write_misses"),
+        upgrades: field(obj, "upgrades"),
+        control_msgs: field(obj, "control_msgs"),
+        data_msgs: field(obj, "data_msgs"),
+        write_data_msgs: field(obj, "write_data_msgs"),
+        bytes: field(obj, "bytes"),
+        miss_histogram: array_field(obj, "miss_histogram"),
+        hash: field(obj, "hash"),
+    }
+}
+
+#[test]
+fn golden_fingerprints_across_all_protocols() {
+    let results: Vec<(Protocol, Fingerprint)> =
+        Protocol::ALL.iter().map(|&p| (p, run(p, SCALE))).collect();
+
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let mut out = String::from("{\n");
+        for (i, (p, f)) in results.iter().enumerate() {
+            out.push_str(&to_json_line(*p, f));
+            out.push_str(if i + 1 == results.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("}\n");
+        std::fs::create_dir_all("tests/golden").expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &out).expect("write golden file");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+
+    let contents = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN_PATH} ({e}); run with GOLDEN_REGEN=1 to create")
+    });
+    for (p, got) in &results {
+        let want = parse_golden(&contents, *p);
+        assert_eq!(
+            *got, want,
+            "{p}/{WORKLOAD} @ {}×{PROCS}p: simulation results diverged from golden \
+             fingerprint — a kernel change altered observable behavior. If (and only \
+             if) the change is intended, regenerate with GOLDEN_REGEN=1.",
+            SCALE.name(),
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    // Two fresh machines, same inputs: every counter must match. Guards the
+    // kernel against nondeterminism (e.g. randomized hash iteration leaking
+    // into message order) independently of the committed golden file. Small
+    // scale keeps the debug-mode test suite quick; the golden test above
+    // covers medium.
+    let a = run(Protocol::Lrc, Scale::Small);
+    let b = run(Protocol::Lrc, Scale::Small);
+    assert_eq!(a, b, "same-process reruns must be bit-identical");
+}
