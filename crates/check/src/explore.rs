@@ -17,7 +17,7 @@
 //! final-memory comparison against `lrc_sim::refint` run.
 
 use crate::scenario::Scenario;
-use lrc_core::{Fault, Machine, StuckState, Violation};
+use lrc_core::{Fault, FaultPlan, Machine, StuckState, Violation};
 use lrc_sim::refint::{self, RefError};
 use lrc_sim::{Protocol, Script};
 use std::collections::HashSet;
@@ -133,8 +133,31 @@ pub fn build_machine(scenario: &Scenario, protocol: Protocol, fault: Fault) -> M
     m
 }
 
-/// Check every property of a drained machine.
-fn terminal_failure(m: &Machine, script: &Script) -> Option<Failure> {
+/// Like [`build_machine`], but with a fault-injection `plan` installed on
+/// the interconnect, so the checker drives the protocol *and* the
+/// link-layer recovery machinery together. Deterministic plans
+/// ([`FaultPlan::drop_nth`]) are the natural fit: exactly one chosen
+/// message is lost, and stepping proves the retry layer recovers it — or
+/// yields the schedule on which it does not.
+pub fn build_machine_with_plan(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    plan: FaultPlan,
+) -> Machine {
+    let mut m = Machine::new(scenario.config(), protocol)
+        .with_fault(fault)
+        .with_fault_plan(plan)
+        .with_value_tracking();
+    m.prepare(Box::new(scenario.script()));
+    m
+}
+
+/// Check every property of a drained machine: liveness residue, write
+/// races, and final memory against the reference SC interpreter. Public so
+/// fault-recovery tests and harnesses can apply the same oracle to
+/// machines they stepped themselves.
+pub fn terminal_failure(m: &Machine, script: &Script) -> Option<Failure> {
     let stuck = m.stuck_states();
     if !stuck.is_empty() {
         return Some(Failure::Liveness(stuck));

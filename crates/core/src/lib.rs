@@ -41,5 +41,8 @@ pub use directory::{nodes_in, AckCollection, DirEntry, DirState};
 pub use machine::checker::StuckState;
 pub use machine::{Fault, Machine, RunResult, SymbolicMemory, TraceEvent, Violation};
 pub use msg::{Msg, MsgKind, WriteGrant};
+// Fault-injection vocabulary, re-exported so harnesses need only lrc-core.
+pub use lrc_mesh::{FaultCounters, FaultPlan, FaultRates, MsgClass};
+pub use lrc_sim::{StallDiagnosis, StallReason, StalledProc};
 pub use node::{Node, Outstanding, PendingSync, ProcStatus};
 pub use sync::{BarrierManager, LockAction, LockManager};

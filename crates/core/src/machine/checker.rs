@@ -68,6 +68,13 @@ pub enum StuckState {
         /// Number of requests still parked.
         requests: usize,
     },
+    /// The link layer exhausted its retransmissions for a message and gave
+    /// it up for lost: whatever the protocol was waiting on will never
+    /// arrive (fault-injection runs only).
+    DeliveryAbandoned {
+        /// The abandoned message, rendered.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for StuckState {
@@ -91,6 +98,9 @@ impl std::fmt::Display for StuckState {
             }
             StuckState::ParkedForever { line, requests } => {
                 write!(f, "{requests} request(s) for line {line} parked forever")
+            }
+            StuckState::DeliveryAbandoned { msg } => {
+                write!(f, "link layer abandoned delivery of {msg} (retries exhausted)")
             }
         }
     }
@@ -127,11 +137,7 @@ impl Machine {
         let Some((t, ev)) = self.queue.pop_nth(n) else {
             return false;
         };
-        match ev {
-            Event::ProcStep(p) => self.proc_step(p, t),
-            Event::Msg(m) => self.handle_msg(t, m),
-            Event::CbFlush(p, line) => self.cb_flush_timer(p, t, line),
-        }
+        self.dispatch(t, ev);
         true
     }
 
@@ -191,6 +197,11 @@ impl Machine {
         }
         for (line, q) in self.parked.iter() {
             out.push(StuckState::ParkedForever { line, requests: q.len() });
+        }
+        if let Some(xm) = self.xmit.as_deref() {
+            for m in &xm.gave_up {
+                out.push(StuckState::DeliveryAbandoned { msg: super::xmit::XmitState::render_msg(m) });
+            }
         }
         out
     }
@@ -267,6 +278,20 @@ impl Machine {
         // Pending events, in firing order, without their times.
         for ev in self.queue.pending_events() {
             ev.hash(&mut h);
+        }
+
+        // Link-layer state (fault-injection runs only). HashMap/HashSet
+        // folds are sorted for iteration-order independence.
+        if let Some(xm) = self.xmit.as_deref() {
+            xm.next_seq.hash(&mut h);
+            let mut inflight: Vec<(u64, crate::msg::Msg, u32)> =
+                xm.in_flight.iter().map(|(&s, i)| (s, i.msg, i.attempts)).collect();
+            inflight.sort_unstable_by_key(|&(s, ..)| s);
+            inflight.hash(&mut h);
+            let mut seen: Vec<u64> = xm.seen.iter().copied().collect();
+            seen.sort_unstable();
+            seen.hash(&mut h);
+            xm.gave_up.hash(&mut h);
         }
 
         if let Some(v) = self.values.as_ref() {

@@ -20,6 +20,7 @@ mod remote;
 mod step;
 mod sync_ops;
 pub(crate) mod values;
+pub(crate) mod xmit;
 
 pub use invariants::Violation;
 pub use values::SymbolicMemory;
@@ -28,11 +29,12 @@ use crate::directory::DirEntry;
 use crate::msg::{Msg, MsgKind};
 use crate::node::{Node, ProcStatus};
 use lrc_classify::Classifier;
-use lrc_mesh::Network;
+use lrc_mesh::{FaultPlan, Network};
 use lrc_sim::{
     Addr, Cycle, EventQueue, LineAddr, LineMap, MachineConfig, MachineStats, NodeId, ProcId,
-    Protocol, StallKind, Workload,
+    Protocol, StallDiagnosis, StallKind, StallReason, StalledProc, Workload,
 };
+use xmit::{InFlight, XmitState};
 
 /// A deliberately-introduced protocol bug, for validating that the model
 /// checker actually catches violations. Never enabled in normal runs.
@@ -61,6 +63,30 @@ pub(crate) enum Event {
     Msg(Msg),
     /// Background drain timer for a coalescing-buffer entry.
     CbFlush(ProcId, LineAddr),
+    /// Link layer (fault plans only): a framed copy of `msg` with sequence
+    /// number `seq` arrived at `msg.dst`, possibly failing its checksum.
+    XMsg {
+        /// The framed protocol message.
+        msg: Msg,
+        /// Link-layer sequence number (dedupe / ack key).
+        seq: u64,
+        /// The receiving NI's checksum check failed for this copy.
+        corrupt: bool,
+    },
+    /// Link layer: a delivery acknowledgement (`ack`) or checksum NACK for
+    /// sequence `seq`, arriving back at the original sender.
+    LinkCtl {
+        /// Sequence number being acknowledged or NACKed.
+        seq: u64,
+        /// True for an ACK, false for a checksum NACK.
+        ack: bool,
+    },
+    /// Link layer: retransmit timer for in-flight sequence `seq`. Stale
+    /// (superseded) and already-acknowledged timers fire as no-ops.
+    RetryTimer {
+        /// The sequence number the timer guards.
+        seq: u64,
+    },
 }
 
 /// One recorded protocol message (see [`Machine::with_trace`]).
@@ -148,6 +174,13 @@ pub struct Machine {
     pub(crate) forward_seq: u64,
     /// Injected protocol bug (checker validation only).
     pub(crate) fault: Fault,
+    /// Link-layer reliable-delivery state. `Some` exactly when the network
+    /// carries an active fault plan; `None` costs the send path one branch.
+    pub(crate) xmit: Option<Box<XmitState>>,
+    /// Per-processor stall horizon: abort with a [`StallDiagnosis`] when any
+    /// processor stays continuously stalled this long while the machine
+    /// keeps processing events (livelock detector). `None` = off.
+    pub(crate) watchdog: Option<Cycle>,
     /// Every lock grant in the order the homes issued them, as
     /// `(lock, grantee)` — the synchronization order fed to the reference
     /// interpreter. Only recorded when value tracking is on.
@@ -190,6 +223,8 @@ impl Clone for Machine {
             busy_info: self.busy_info.clone(),
             forward_seq: self.forward_seq,
             fault: self.fault,
+            xmit: self.xmit.clone(),
+            watchdog: self.watchdog,
             grant_log: self.grant_log.clone(),
             values: self.values.clone(),
             // Pools hold only spare capacity, never state: fresh ones are
@@ -243,6 +278,8 @@ impl Machine {
             busy_info: LineMap::new(),
             forward_seq: 0,
             fault: Fault::None,
+            xmit: None,
+            watchdog: None,
             grant_log: Vec::new(),
             values: None,
             waiter_pool: Vec::new(),
@@ -255,6 +292,35 @@ impl Machine {
     /// validate that the model checker catches violations.
     pub fn with_fault(mut self, fault: Fault) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Install a fault-injection plan on the interconnect and activate the
+    /// link-layer reliable-delivery machinery (sequence numbers, ACK/NACK,
+    /// retransmit timers with exponential backoff) that recovers from it.
+    ///
+    /// An inactive plan (all rates zero, no `drop_nth`) installs nothing:
+    /// the run stays bit-identical to a machine built without a plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.net = self.net.with_faults(plan);
+        self.xmit = self.net.faults_active().then(|| Box::new(XmitState::default()));
+        self
+    }
+
+    /// The fault plan installed on the interconnect, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.net.fault_plan()
+    }
+
+    /// Enable the progress watchdog: abort with a structured
+    /// [`StallDiagnosis`] when any processor stays continuously stalled for
+    /// `horizon` cycles while the machine is still processing events.
+    /// Catches livelocks that `max_cycles` alone would only report long
+    /// after the fact. Choose a horizon comfortably above the longest
+    /// legitimate wait (barrier skew, a deep lock queue, link-layer
+    /// backoff).
+    pub fn with_watchdog(mut self, horizon: Cycle) -> Self {
+        self.watchdog = Some(horizon.max(1));
         self
     }
 
@@ -324,8 +390,10 @@ impl Machine {
     ///
     /// # Panics
     /// On deadlock (event queue empty with unfinished processors) or when
-    /// the `max_cycles` watchdog fires — both indicate protocol bugs and
-    /// produce a machine-state dump.
+    /// a watchdog fires — both indicate protocol bugs (or unrecoverable
+    /// injected faults) and panic with the full [`StallDiagnosis`]. Use
+    /// [`Machine::try_run`] to receive the diagnosis as an error value
+    /// instead.
     pub fn run(self, workload: Box<dyn Workload>) -> RunResult {
         self.run_keep(workload).0
     }
@@ -333,7 +401,28 @@ impl Machine {
     /// Like [`Machine::run`], but returns the machine alongside the result
     /// so callers can inspect the final directory and cache state (used by
     /// the protocol test suites and handy for debugging workloads).
-    pub fn run_keep(mut self, workload: Box<dyn Workload>) -> (RunResult, Machine) {
+    pub fn run_keep(self, workload: Box<dyn Workload>) -> (RunResult, Machine) {
+        match self.try_run_keep(workload) {
+            Ok(out) => out,
+            Err(diag) => panic!("{diag}"),
+        }
+    }
+
+    /// Run `workload` to completion, reporting no-progress as a structured
+    /// [`StallDiagnosis`] instead of panicking. This is the entry point for
+    /// harnesses that expect wedging (the chaos soak): an unrecoverable
+    /// injected fault surfaces here as a diagnosis naming the stalled
+    /// processors, pending fences, and abandoned deliveries.
+    pub fn try_run(self, workload: Box<dyn Workload>) -> Result<RunResult, Box<StallDiagnosis>> {
+        self.try_run_keep(workload).map(|(r, _)| r)
+    }
+
+    /// Like [`Machine::try_run`], but returns the machine alongside the
+    /// result on success.
+    pub fn try_run_keep(
+        mut self,
+        workload: Box<dyn Workload>,
+    ) -> Result<(RunResult, Machine), Box<StallDiagnosis>> {
         assert_eq!(
             workload.num_procs(),
             self.cfg.num_procs,
@@ -347,22 +436,26 @@ impl Machine {
             self.queue.push(0, Event::ProcStep(p));
         }
 
+        // How often (in handled events) the stall watchdog rescans the
+        // processors: rare enough to stay off the hot path, frequent enough
+        // that a livelock is caught within a sliver of its horizon.
+        const WATCHDOG_SCAN_EVERY: u64 = 4096;
+
         let run_started = std::time::Instant::now();
         let mut handled: u64 = 0;
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.max_cycles {
-                panic!(
-                    "watchdog: simulation exceeded {} cycles\n{}",
-                    self.max_cycles,
-                    self.dump()
-                );
+                return Err(Box::new(
+                    self.diagnose(StallReason::CycleHorizon(self.max_cycles), t),
+                ));
             }
-            match ev {
-                Event::ProcStep(p) => self.proc_step(p, t),
-                Event::Msg(m) => self.handle_msg(t, m),
-                Event::CbFlush(p, line) => self.cb_flush_timer(p, t, line),
-            }
+            self.dispatch(t, ev);
             handled += 1;
+            if self.watchdog.is_some() && handled.is_multiple_of(WATCHDOG_SCAN_EVERY) {
+                if let Some(diag) = self.scan_stalls(t) {
+                    return Err(Box::new(diag));
+                }
+            }
             if self.check_every != 0 && handled.is_multiple_of(self.check_every) {
                 self.check_invariants(&format!("event {handled} at t={t}"));
             }
@@ -372,14 +465,11 @@ impl Machine {
         }
 
         if self.finished != self.cfg.num_procs {
-            panic!(
-                "deadlock: {}/{} processors finished\n{}",
-                self.finished,
-                self.cfg.num_procs,
-                self.dump()
-            );
+            let at = self.queue.now();
+            return Err(Box::new(self.diagnose(StallReason::Deadlock, at)));
         }
 
+        self.collect_fault_stats();
         for (i, n) in self.nodes.iter().enumerate() {
             self.stats.procs[i].pp_busy = n.pp.busy_cycles();
             self.stats.procs[i].mem_busy = n.mem.busy_cycles();
@@ -399,7 +489,90 @@ impl Machine {
             peak_queue_depth: self.queue.peak_len(),
             sim_wall_secs: run_started.elapsed().as_secs_f64(),
         };
-        (result, self)
+        Ok((result, self))
+    }
+
+    /// Route one popped event to its handler (shared by the normal run
+    /// loop and the checker's [`Machine::step_choice`]).
+    pub(crate) fn dispatch(&mut self, t: Cycle, ev: Event) {
+        match ev {
+            Event::ProcStep(p) => self.proc_step(p, t),
+            Event::Msg(m) => self.handle_msg(t, m),
+            Event::CbFlush(p, line) => self.cb_flush_timer(p, t, line),
+            Event::XMsg { msg, seq, corrupt } => self.handle_xmsg(t, msg, seq, corrupt),
+            Event::LinkCtl { seq, ack } => self.handle_link_ctl(t, seq, ack),
+            Event::RetryTimer { seq } => self.handle_retry_timer(t, seq),
+        }
+    }
+
+    /// Fold the interconnect's and link layer's fault counters into the
+    /// machine statistics (end of run).
+    fn collect_fault_stats(&mut self) {
+        let fc = self.net.fault_counters();
+        let f = &mut self.stats.faults;
+        f.dropped = fc.dropped;
+        f.duplicated = fc.duplicated;
+        f.delayed = fc.delayed;
+        f.corrupted = fc.corrupted;
+        if let Some(xm) = self.xmit.as_deref() {
+            f.link_nacks = xm.counters.link_nacks;
+            f.retries = xm.counters.retries;
+            f.timeouts = xm.counters.timeouts;
+            f.retries_exhausted = xm.counters.retries_exhausted;
+            f.dup_suppressed = xm.counters.dup_suppressed;
+            f.link_msgs = xm.counters.link_msgs;
+        }
+    }
+
+    /// Watchdog scan: is any processor continuously stalled beyond the
+    /// horizon at time `t`?
+    fn scan_stalls(&self, t: Cycle) -> Option<StallDiagnosis> {
+        let horizon = self.watchdog?;
+        let tripped = self.nodes.iter().any(|n| {
+            n.status != ProcStatus::Running
+                && n.status != ProcStatus::Finished
+                && t.saturating_sub(n.stall_start) > horizon
+        });
+        tripped.then(|| self.diagnose(StallReason::ProcStallHorizon(horizon), t))
+    }
+
+    /// Build the structured no-progress report.
+    fn diagnose(&self, reason: StallReason, at: Cycle) -> StallDiagnosis {
+        let stalled: Vec<StalledProc> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.status != ProcStatus::Running && n.status != ProcStatus::Finished)
+            .map(|(p, n)| StalledProc {
+                proc: p,
+                status: format!("{:?}", n.status),
+                since: n.stall_start,
+            })
+            .collect();
+        let pending_fences = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.status, ProcStatus::Releasing(_)))
+            .count();
+        let (in_flight_msgs, abandoned_msgs) = match self.xmit.as_deref() {
+            Some(xm) => (
+                xm.in_flight.len(),
+                xm.gave_up.iter().map(XmitState::render_msg).collect(),
+            ),
+            None => (0, Vec::new()),
+        };
+        StallDiagnosis {
+            reason,
+            at,
+            finished: self.finished,
+            procs: self.cfg.num_procs,
+            stalled,
+            pending_fences,
+            in_flight_msgs,
+            abandoned_msgs,
+            pending_events: self.queue.len(),
+            machine_dump: self.dump(),
+        }
     }
 
     /// Take a recycled waiters vector from the pool (or a fresh one).
@@ -489,8 +662,150 @@ impl Machine {
                 tr.events.push_back(TraceEvent { at: now, src, dst, kind });
             }
         }
-        let arrival = self.net.send(now, src, dst, bytes);
+        if self.xmit.is_some() && src != dst {
+            self.xmit_send(now, Msg { src, dst, kind });
+            return;
+        }
+        let arrival = self
+            .net
+            .send(now, src, dst, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
         self.queue.push(arrival, Event::Msg(Msg { src, dst, kind }));
+    }
+
+    // ---- link-layer reliable delivery (active fault plans only) ------------
+
+    /// Frame `msg` with a fresh sequence number, buffer it for
+    /// retransmission, and put the first copy on the (faulty) wire.
+    fn xmit_send(&mut self, now: Cycle, msg: Msg) {
+        let xm = self.xmit.as_deref_mut().expect("xmit_send requires a fault plan");
+        let seq = xm.next_seq;
+        xm.next_seq += 1;
+        xm.in_flight.insert(seq, InFlight { msg, attempts: 0, next_deadline: 0 });
+        self.transmit(now, seq);
+    }
+
+    /// Put one copy of in-flight sequence `seq` on the wire and (re)arm its
+    /// retry timer with exponential backoff.
+    fn transmit(&mut self, now: Cycle, seq: u64) {
+        let Some(inf) = self.xmit.as_deref().and_then(|xm| xm.in_flight.get(&seq)) else {
+            return;
+        };
+        let (msg, attempts) = (inf.msg, inf.attempts);
+        let bytes = msg.kind.bytes(
+            self.cfg.ctrl_msg_bytes,
+            self.cfg.line_size as u64,
+            self.cfg.word_size as u64,
+        );
+        let delivery = self
+            .net
+            .send_classed(now, msg.src, msg.dst, bytes, msg.kind.msg_class())
+            .unwrap_or_else(|e| panic!("{e}"));
+        for a in [delivery.first, delivery.dup].into_iter().flatten() {
+            self.queue.push(a.at, Event::XMsg { msg, seq, corrupt: a.corrupt });
+        }
+        let deadline = now
+            + self
+                .net
+                .fault_plan()
+                .expect("transmit requires a fault plan")
+                .backoff(attempts);
+        if let Some(inf) = self.xmit.as_deref_mut().and_then(|xm| xm.in_flight.get_mut(&seq)) {
+            inf.next_deadline = deadline;
+        }
+        self.queue.push(deadline, Event::RetryTimer { seq });
+    }
+
+    /// One framed copy arrived at its destination NI: checksum, ACK/NACK,
+    /// dedupe, and hand clean first deliveries to the protocol.
+    fn handle_xmsg(&mut self, t: Cycle, msg: Msg, seq: u64, corrupt: bool) {
+        if corrupt {
+            if let Some(xm) = self.xmit.as_deref_mut() {
+                xm.counters.link_nacks += 1;
+            }
+            self.send_link_ctl(t, msg.dst, msg.src, seq, false);
+            return;
+        }
+        self.send_link_ctl(t, msg.dst, msg.src, seq, true);
+        let xm = self.xmit.as_deref_mut().expect("XMsg events require a fault plan");
+        if !xm.seen.insert(seq) {
+            xm.counters.dup_suppressed += 1;
+            return;
+        }
+        self.handle_msg(t, msg);
+    }
+
+    /// Send a link-layer ACK or checksum NACK for `seq` back to the sender.
+    /// Control copies that the fabric corrupts are discarded on arrival
+    /// (the sender's retry timer covers the loss).
+    fn send_link_ctl(&mut self, now: Cycle, src: NodeId, dst: NodeId, seq: u64, ack: bool) {
+        if let Some(xm) = self.xmit.as_deref_mut() {
+            xm.counters.link_msgs += 1;
+        }
+        let delivery = self
+            .net
+            .send_classed(now, src, dst, self.cfg.ctrl_msg_bytes, lrc_mesh::MsgClass::Link)
+            .unwrap_or_else(|e| panic!("{e}"));
+        for a in [delivery.first, delivery.dup].into_iter().flatten() {
+            if !a.corrupt {
+                self.queue.push(a.at, Event::LinkCtl { seq, ack });
+            }
+        }
+    }
+
+    /// A link ACK retires the in-flight entry; a checksum NACK triggers an
+    /// immediate retransmission (or gives the message up once retries are
+    /// exhausted).
+    fn handle_link_ctl(&mut self, t: Cycle, seq: u64, ack: bool) {
+        let xm = self.xmit.as_deref_mut().expect("LinkCtl events require a fault plan");
+        if ack {
+            xm.in_flight.remove(&seq);
+            return;
+        }
+        if self.bump_attempts(seq) {
+            self.transmit(t, seq);
+        }
+    }
+
+    /// The retry timer for `seq` expired: retransmit unless the entry was
+    /// acknowledged meanwhile or this timer was superseded by a NACK-driven
+    /// retransmission's later deadline.
+    fn handle_retry_timer(&mut self, t: Cycle, seq: u64) {
+        let xm = self.xmit.as_deref_mut().expect("RetryTimer events require a fault plan");
+        let Some(inf) = xm.in_flight.get(&seq) else {
+            return;
+        };
+        if t < inf.next_deadline {
+            return;
+        }
+        xm.counters.timeouts += 1;
+        if self.bump_attempts(seq) {
+            self.transmit(t, seq);
+        }
+    }
+
+    /// Count one more delivery attempt for `seq`. Returns true when a
+    /// retransmission should happen; false when the entry is gone or the
+    /// link layer just gave the message up (retries exhausted).
+    fn bump_attempts(&mut self, seq: u64) -> bool {
+        let max_retries = self
+            .net
+            .fault_plan()
+            .expect("link layer requires a fault plan")
+            .max_retries;
+        let xm = self.xmit.as_deref_mut().expect("link layer requires a fault plan");
+        let Some(inf) = xm.in_flight.get_mut(&seq) else {
+            return false;
+        };
+        inf.attempts += 1;
+        if inf.attempts > max_retries {
+            let inf = xm.in_flight.remove(&seq).expect("checked above");
+            xm.counters.retries_exhausted += 1;
+            xm.gave_up.push(inf.msg);
+            return false;
+        }
+        xm.counters.retries += 1;
+        true
     }
 
     /// Queue `msg` until its line's directory entry frees; the NAK probe
@@ -595,6 +910,27 @@ impl Machine {
         use std::fmt::Write;
         let mut s = String::new();
         let _ = writeln!(s, "protocol={} t={}", self.protocol, self.queue.now());
+        if let Some(xm) = self.xmit.as_deref() {
+            let _ = writeln!(
+                s,
+                "  link layer: next_seq={} in_flight={} gave_up={} {:?}",
+                xm.next_seq,
+                xm.in_flight.len(),
+                xm.gave_up.len(),
+                xm.counters,
+            );
+            let mut inflight: Vec<_> = xm.in_flight.iter().collect();
+            inflight.sort_unstable_by_key(|&(&s, _)| s);
+            for (seq, inf) in inflight.into_iter().take(16) {
+                let _ = writeln!(
+                    s,
+                    "    seq {seq}: {} attempts={} due={}",
+                    XmitState::render_msg(&inf.msg),
+                    inf.attempts,
+                    inf.next_deadline,
+                );
+            }
+        }
         for (p, n) in self.nodes.iter().enumerate() {
             let _ = writeln!(
                 s,

@@ -179,6 +179,28 @@ fn gate_against_baseline(path: &str, scale: Scale, procs: usize, current: f64) -
     Gate::Ran(bgeo, current, 1.0 - current / bgeo)
 }
 
+/// Print a CLI usage error and exit 2 (the usage-error convention).
+fn die(msg: &str) -> ! {
+    eprintln!("lrc-bench: {msg}");
+    std::process::exit(2)
+}
+
+/// The value following a flag, or a usage error naming the flag.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v,
+        None => die(&format!("{flag} requires a value")),
+    }
+}
+
+/// Parse a flag's value, or a usage error naming the flag and the input.
+fn parse_flag<T: std::str::FromStr>(value: &str, flag: &str, expects: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: invalid value '{value}' (expected {expects})")))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<&str> = None;
@@ -196,38 +218,36 @@ fn main() {
             "run" => mode = Some("run"),
             "compare" => mode = Some("compare"),
             "--scale" => {
-                i += 1;
-                scale = Scale::parse(&args[i]).unwrap_or_else(|| {
-                    eprintln!("unknown scale '{}'", args[i]);
-                    std::process::exit(2);
+                let v = flag_value(&args, &mut i, "--scale");
+                scale = Scale::parse(v).unwrap_or_else(|| {
+                    die(&format!("--scale: unknown scale '{v}' (expected paper|medium|small|tiny)"))
                 });
             }
             "--procs" => {
-                i += 1;
-                procs = args[i].parse().expect("--procs N");
+                let v = flag_value(&args, &mut i, "--procs");
+                procs = parse_flag(v, "--procs", "a processor count");
+                if procs == 0 {
+                    die("--procs must be positive");
+                }
             }
             "--reps" => {
-                i += 1;
-                reps = args[i].parse().expect("--reps N");
-                assert!(reps > 0, "--reps must be positive");
+                let v = flag_value(&args, &mut i, "--reps");
+                reps = parse_flag(v, "--reps", "a repetition count");
+                if reps == 0 {
+                    die("--reps must be positive");
+                }
             }
-            "--out" => {
-                i += 1;
-                out = Some(args[i].clone());
-            }
-            "--baseline" => {
-                i += 1;
-                baseline = args[i].clone();
-            }
+            "--out" => out = Some(flag_value(&args, &mut i, "--out").to_string()),
+            "--baseline" => baseline = flag_value(&args, &mut i, "--baseline").to_string(),
             "--tolerance" => {
-                i += 1;
-                tolerance = args[i].parse().expect("--tolerance FRACTION");
+                let v = flag_value(&args, &mut i, "--tolerance");
+                tolerance = parse_flag(v, "--tolerance", "a fraction like 0.10");
+                if !(0.0..1.0).contains(&tolerance) {
+                    die("--tolerance must be in [0, 1)");
+                }
             }
             "--quiet" => verbose = false,
-            other => {
-                eprintln!("unknown argument '{other}'");
-                std::process::exit(2);
-            }
+            other => die(&format!("unknown argument '{other}'")),
         }
         i += 1;
     }
@@ -258,12 +278,14 @@ fn main() {
     match mode {
         "run" => {
             let path = out.unwrap_or_else(|| "BENCH_sim.json".to_string());
-            std::fs::write(&path, report.pretty()).expect("write bench report");
+            std::fs::write(&path, report.pretty())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             eprintln!("wrote {path}");
         }
         "compare" => {
             if let Some(path) = &out {
-                std::fs::write(path, report.pretty()).expect("write bench report");
+                std::fs::write(path, report.pretty())
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
                 eprintln!("wrote {path}");
             } else {
                 println!("{}", report.pretty());

@@ -1,0 +1,337 @@
+//! `lrc-soak` — the chaos soak harness: fault-injection sweeps with value
+//! verification.
+//!
+//! Sweeps a grid of fault rates × protocols × seeds over randomly generated
+//! (seeded, reproducible) data-race-free programs, with the link layer's
+//! NACK/retry/timeout machinery recovering every injected fault. Each cell:
+//!
+//! 1. runs under a [`FaultPlan`] with uniform per-class fault rates and the
+//!    progress watchdog armed — a wedge surfaces as a structured
+//!    [`StallDiagnosis`], never a hang;
+//! 2. verifies values: the machine's final memory must equal the reference
+//!    sequentially consistent execution replayed over the observed lock
+//!    grant order (DRF ⇒ SC, faults or not);
+//! 3. runs again and requires bit-identical statistics — the fault pattern,
+//!    and hence the whole simulation, is a pure function of `(seed, plan)`.
+//!
+//! After the sweep, an *unrecoverable* stage drops messages with retries
+//! disabled and demonstrates that the failure mode is a structured
+//! diagnosis naming the abandoned deliveries, not silent corruption.
+//!
+//! ```text
+//! lrc-soak [--smoke] [--procs N] [--seeds N] [--phases N]
+//!          [--rates R1,R2,...] [--watchdog CYCLES] [--quiet]
+//! ```
+//!
+//! `--smoke` is the CI profile: tiny programs, rates {0, 1e-3}, one seed,
+//! all four protocols. The default profile sweeps rates {0, 1e-4, 1e-3}
+//! across three seeds. Exit status is non-zero on any verification failure
+//! or on a wedge at a recoverable rate.
+
+#![forbid(unsafe_code)]
+
+use lrc_core::{FaultPlan, FaultRates, Machine, MsgClass, StallDiagnosis};
+use lrc_sim::refint;
+use lrc_sim::{MachineConfig, MachineStats, Op, Protocol, Rng, Script};
+
+/// Locks protecting the shared region; shared line `l` belongs to lock
+/// `l % N_LOCKS`, and is only touched inside that lock's critical sections,
+/// which keeps every generated program data-race-free by construction.
+const N_LOCKS: u64 = 4;
+/// Shared lines per lock.
+const LINES_PER_LOCK: u64 = 4;
+/// First private line; processor `p` owns `[PRIVATE_BASE + 8p, +8)`.
+const PRIVATE_BASE: u64 = 512;
+
+/// Generate a seeded, reproducible DRF program: barrier-separated phases of
+/// lock-protected shared-line critical sections interleaved with private
+/// accesses and computes.
+fn soak_script(seed: u64, procs: usize, phases: usize, csecs: usize, cfg: &MachineConfig) -> Script {
+    let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(0x50a4));
+    let line = |l: u64, word: u64| l * cfg.line_size as u64 + word * cfg.word_size as u64;
+    let words = (cfg.line_size / cfg.word_size) as u64;
+    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(procs);
+    for p in 0..procs {
+        let mut ops = Vec::new();
+        for _ in 0..phases {
+            for _ in 0..csecs {
+                // Private work between critical sections.
+                match rng.below(3) {
+                    0 => ops.push(Op::Compute(1 + rng.below(20) as u32)),
+                    1 => ops.push(Op::Read(line(PRIVATE_BASE + 8 * p as u64 + rng.below(8), 0))),
+                    _ => ops.push(Op::Write(line(PRIVATE_BASE + 8 * p as u64 + rng.below(8), 0))),
+                }
+                let lock = rng.below(N_LOCKS);
+                ops.push(Op::Acquire(lock as u32));
+                for _ in 0..1 + rng.below(3) {
+                    let l = lock + N_LOCKS * rng.below(LINES_PER_LOCK);
+                    let addr = line(l, rng.below(words));
+                    if rng.below(2) == 0 {
+                        ops.push(Op::Read(addr));
+                    }
+                    ops.push(Op::Write(addr));
+                }
+                ops.push(Op::Release(lock as u32));
+            }
+            ops.push(Op::Barrier(0));
+        }
+        streams.push(ops);
+    }
+    Script::new("soak", streams)
+}
+
+/// Check a completed machine's values against the reference SC execution:
+/// no liveness residue, no write races, final memory equal to the
+/// reference interpreter replaying the observed grant order.
+fn verify_values(m: &Machine, script: &Script) -> Result<(), String> {
+    let stuck = m.stuck_states();
+    if !stuck.is_empty() {
+        let rendered: Vec<String> = stuck.iter().map(|s| s.to_string()).collect();
+        return Err(format!("liveness residue: {}", rendered.join("; ")));
+    }
+    let (mem, conflicts) = m.final_memory().ok_or("value tracking was not enabled")?;
+    if !conflicts.is_empty() {
+        return Err(format!("conflicting unflushed writes at quiescence: {conflicts:?}"));
+    }
+    let cfg = m.config();
+    let ref_mem = refint::interpret(script, cfg.line_size, cfg.word_size, m.grant_log())
+        .map_err(|e| e.to_string())?;
+    if mem != ref_mem {
+        let diffs = ref_mem
+            .iter()
+            .filter(|(k, v)| mem.get(k) != Some(v))
+            .count()
+            + mem.keys().filter(|k| !ref_mem.contains_key(k)).count();
+        return Err(format!("final memory differs from the reference SC execution ({diffs} words)"));
+    }
+    Ok(())
+}
+
+/// One sweep cell's machine, built fresh per repetition.
+fn build(cfg: &MachineConfig, proto: Protocol, plan: FaultPlan, watchdog: u64) -> Machine {
+    Machine::new(cfg.clone(), proto)
+        .with_fault_plan(plan)
+        .with_value_tracking()
+        .with_watchdog(watchdog)
+        .with_max_cycles(50_000_000_000)
+}
+
+enum CellOutcome {
+    /// Completed and verified; carries the stats of the (reproduced) run.
+    Ok(Box<MachineStats>),
+    /// Completed but failed value verification or reproduction.
+    Failed(String),
+    /// Wedged with a structured diagnosis (a failure at recoverable rates).
+    Wedged(Box<StallDiagnosis>),
+}
+
+fn run_cell(
+    cfg: &MachineConfig,
+    proto: Protocol,
+    rate: f64,
+    seed: u64,
+    phases: usize,
+    csecs: usize,
+    watchdog: u64,
+) -> CellOutcome {
+    let script = soak_script(seed, cfg.num_procs, phases, csecs, cfg);
+    let plan = FaultPlan::uniform(rate, seed);
+    let (first, m) =
+        match build(cfg, proto, plan.clone(), watchdog).try_run_keep(Box::new(script.clone())) {
+            Ok(pair) => pair,
+            Err(diag) => return CellOutcome::Wedged(diag),
+        };
+    if let Err(e) = verify_values(&m, &script) {
+        return CellOutcome::Failed(e);
+    }
+    // Reproduce: same (seed, plan) must yield bit-identical statistics.
+    match build(cfg, proto, plan, watchdog).try_run(Box::new(script)) {
+        Ok(second) if second.stats == first.stats => CellOutcome::Ok(Box::new(first.stats)),
+        Ok(_) => CellOutcome::Failed("rerun with the same (seed, plan) diverged".into()),
+        Err(diag) => CellOutcome::Failed(format!("rerun wedged where the first run completed: {diag}")),
+    }
+}
+
+/// The unrecoverable stage: drop messages with retries disabled, and
+/// require the failure mode to be a structured diagnosis that names the
+/// abandoned deliveries — never a hang, never silent completion with wrong
+/// values. Returns an error description if no seed produced a wedge or a
+/// wedge was malformed.
+fn unrecoverable_stage(cfg: &MachineConfig, phases: usize, csecs: usize, quiet: bool) -> Result<(), String> {
+    let mut lossy = FaultPlan::off(0);
+    lossy.rates = [FaultRates { drop: 0.25, ..FaultRates::default() }; MsgClass::COUNT];
+    lossy.max_retries = 0;
+    for seed in 1..=5u64 {
+        let script = soak_script(seed, cfg.num_procs, phases, csecs, cfg);
+        let plan = FaultPlan { seed, ..lossy.clone() };
+        match build(cfg, Protocol::Lrc, plan, 2_000_000).try_run(Box::new(script)) {
+            Ok(_) => continue, // this seed got lucky; try the next
+            Err(diag) => {
+                if diag.abandoned_msgs.is_empty() {
+                    return Err(format!(
+                        "wedge without abandoned deliveries in the diagnosis: {diag}"
+                    ));
+                }
+                if !quiet {
+                    eprintln!(
+                        "  unrecoverable stage (seed {seed}): {} — {} abandoned deliveries, \
+                         e.g. {}",
+                        match diag.reason {
+                            lrc_core::StallReason::Deadlock => "deadlock".to_string(),
+                            ref r => format!("{r:?}"),
+                        },
+                        diag.abandoned_msgs.len(),
+                        diag.abandoned_msgs[0]
+                    );
+                }
+                return Ok(());
+            }
+        }
+    }
+    Err("25% loss with retries disabled never wedged in 5 seeds".into())
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("lrc-soak: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut quiet = false;
+    let mut procs: Option<usize> = None;
+    let mut seeds: Option<u64> = None;
+    let mut phases: Option<usize> = None;
+    let mut rates: Option<Vec<f64>> = None;
+    let mut watchdog = 10_000_000u64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| die(&format!("{flag} requires a value")))
+        };
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--quiet" => quiet = true,
+            "--procs" => {
+                let v = value(&mut i, "--procs");
+                procs = Some(v.parse().unwrap_or_else(|_| die(&format!("--procs: invalid count '{v}'"))));
+            }
+            "--seeds" => {
+                let v = value(&mut i, "--seeds");
+                seeds = Some(v.parse().unwrap_or_else(|_| die(&format!("--seeds: invalid count '{v}'"))));
+            }
+            "--phases" => {
+                let v = value(&mut i, "--phases");
+                phases = Some(v.parse().unwrap_or_else(|_| die(&format!("--phases: invalid count '{v}'"))));
+            }
+            "--rates" => {
+                let v = value(&mut i, "--rates");
+                rates = Some(
+                    v.split(',')
+                        .map(|r| {
+                            r.parse()
+                                .unwrap_or_else(|_| die(&format!("--rates: invalid rate '{r}'")))
+                        })
+                        .collect(),
+                );
+            }
+            "--watchdog" => {
+                let v = value(&mut i, "--watchdog");
+                watchdog =
+                    v.parse().unwrap_or_else(|_| die(&format!("--watchdog: invalid cycles '{v}'")));
+            }
+            other => die(&format!(
+                "unknown argument '{other}' \
+                 (usage: lrc-soak [--smoke] [--procs N] [--seeds N] [--phases N] \
+                 [--rates R1,R2,...] [--watchdog CYCLES] [--quiet])"
+            )),
+        }
+        i += 1;
+    }
+
+    let procs = procs.unwrap_or(if smoke { 4 } else { 8 });
+    let seeds = seeds.unwrap_or(if smoke { 1 } else { 3 });
+    let phases = phases.unwrap_or(if smoke { 3 } else { 6 });
+    let csecs = if smoke { 4 } else { 8 };
+    let rates = rates.unwrap_or(if smoke { vec![0.0, 1e-3] } else { vec![0.0, 1e-4, 1e-3] });
+    let cfg = MachineConfig::paper_default(procs);
+
+    if !quiet {
+        eprintln!(
+            "lrc-soak{}: {} procs, {} seed(s), rates {:?}, {} protocols",
+            if smoke { " --smoke" } else { "" },
+            procs,
+            seeds,
+            rates,
+            Protocol::ALL.len()
+        );
+    }
+
+    let mut cells = 0usize;
+    let mut failures = 0usize;
+    let mut total_injected = 0u64;
+    let mut total_retries = 0u64;
+    for &rate in &rates {
+        for &proto in &Protocol::ALL {
+            for seed in 1..=seeds {
+                cells += 1;
+                match run_cell(&cfg, proto, rate, seed, phases, csecs, watchdog) {
+                    CellOutcome::Ok(stats) => {
+                        if rate == 0.0 && !stats.faults.is_zero() {
+                            failures += 1;
+                            eprintln!(
+                                "FAIL {proto:<8} rate={rate:<7} seed={seed}: \
+                                 faults injected at rate 0: {:?}",
+                                stats.faults
+                            );
+                            continue;
+                        }
+                        total_injected += stats.faults.injected();
+                        total_retries += stats.faults.retries;
+                        if !quiet {
+                            eprintln!(
+                                "  ok {proto:<8} rate={rate:<7} seed={seed}  \
+                                 {:>10} cycles  {:>7} refs  {:>4} faults  {:>4} retries",
+                                stats.total_cycles,
+                                stats.total_refs(),
+                                stats.faults.injected(),
+                                stats.faults.retries,
+                            );
+                        }
+                    }
+                    CellOutcome::Failed(e) => {
+                        failures += 1;
+                        eprintln!("FAIL {proto:<8} rate={rate:<7} seed={seed}: {e}");
+                    }
+                    CellOutcome::Wedged(diag) => {
+                        failures += 1;
+                        eprintln!(
+                            "FAIL {proto:<8} rate={rate:<7} seed={seed}: wedged at a \
+                             recoverable rate: {diag}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    match unrecoverable_stage(&cfg, phases, csecs, quiet) {
+        Ok(()) => {}
+        Err(e) => {
+            failures += 1;
+            eprintln!("FAIL unrecoverable stage: {e}");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("lrc-soak: {failures}/{cells} cells FAILED");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "lrc-soak: all {cells} cells verified ({total_injected} faults injected, \
+         {total_retries} retries, every run value-correct and reproducible)"
+    );
+}

@@ -5,9 +5,8 @@
 use lrc_core::{Machine, RunResult};
 use lrc_sim::{MachineConfig, Protocol};
 use lrc_workloads::{Scale, WorkloadKind};
-use std::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Everything identifying one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,12 +79,19 @@ impl Runner {
         Runner { cache: Arc::new(Mutex::new(HashMap::new())), threads, verbose }
     }
 
+    /// Lock the memo, recovering from poisoning: a cache entry is only
+    /// inserted complete, so even a lock poisoned by a panicking worker
+    /// holds nothing half-written and stays usable.
+    fn lock_cache(cache: &Mutex<HashMap<String, Arc<RunResult>>>) -> MutexGuard<'_, HashMap<String, Arc<RunResult>>> {
+        cache.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Run all `specs` (possibly in parallel), returning results in order.
     /// Previously executed specs are served from the memo.
     pub fn run_all(&self, specs: &[RunSpec]) -> Vec<Arc<RunResult>> {
         // Collect the specs that still need running.
         let todo: Vec<(usize, RunSpec)> = {
-            let cache = self.cache.lock().unwrap();
+            let cache = Self::lock_cache(&self.cache);
             specs
                 .iter()
                 .enumerate()
@@ -139,22 +145,32 @@ impl Runner {
                                 result.peak_queue_depth
                             );
                         }
-                        cache.lock().unwrap().insert(spec.key(), result);
+                        Self::lock_cache(&cache).insert(spec.key(), result);
                     });
                 }
             });
         }
 
-        let cache = self.cache.lock().unwrap();
-        specs
-            .iter()
-            .map(|s| cache.get(&s.key()).expect("run completed").clone())
-            .collect()
+        // Serve results in request order. A spec can be absent only if a
+        // worker died before memoizing it; rather than panicking on the
+        // whole batch, fall back to running the stragglers synchronously.
+        let mut out = Vec::with_capacity(specs.len());
+        for s in specs {
+            let cached = Self::lock_cache(&self.cache).get(&s.key()).cloned();
+            out.push(cached.unwrap_or_else(|| {
+                let r = Arc::new(execute(s));
+                Self::lock_cache(&self.cache).insert(s.key(), r.clone());
+                r
+            }));
+        }
+        out
     }
 
     /// Run a single spec (memoized).
     pub fn run_one(&self, spec: &RunSpec) -> Arc<RunResult> {
-        self.run_all(std::slice::from_ref(spec)).pop().expect("one result")
+        self.run_all(std::slice::from_ref(spec))
+            .pop()
+            .unwrap_or_else(|| Arc::new(execute(spec)))
     }
 }
 

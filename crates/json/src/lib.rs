@@ -226,6 +226,46 @@ impl<T: Into<Value>> FromIterator<T> for Value {
     }
 }
 
+/// Why a struct field failed to reconstruct from JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldReason {
+    /// The key is absent from the object.
+    Missing,
+    /// The key is present but its value has the wrong shape or domain.
+    Invalid,
+}
+
+/// A struct could not be reconstructed from JSON: names the offending
+/// type and field instead of collapsing every failure into `None`.
+/// Produced by the `from_json_detailed` constructor that [`json_struct!`]
+/// generates alongside the [`FromJson`] impl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldError {
+    /// Name of the struct being reconstructed.
+    pub type_name: &'static str,
+    /// The field that failed.
+    pub field: &'static str,
+    /// How it failed.
+    pub reason: FieldReason,
+}
+
+impl std::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            FieldReason::Missing => {
+                write!(f, "{}: missing field `{}`", self.type_name, self.field)
+            }
+            FieldReason::Invalid => write!(
+                f,
+                "{}: field `{}` has the wrong shape or an out-of-domain value",
+                self.type_name, self.field
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
 /// Types that render themselves as a JSON [`Value`].
 pub trait ToJson {
     /// Convert to a JSON value.
@@ -423,7 +463,9 @@ macro_rules! json_fields {
 }
 
 /// Implement [`ToJson`] + [`FromJson`] for a plain struct by listing its
-/// fields. Every field type must itself implement both traits.
+/// fields. Every field type must itself implement both traits. Also
+/// generates an inherent `from_json_detailed` constructor whose error
+/// names the first offending field (see [`FieldError`]).
 #[macro_export]
 macro_rules! json_struct {
     ($ty:ty { $($field:ident),* $(,)? }) => {
@@ -438,6 +480,34 @@ macro_rules! json_struct {
             fn from_json(v: &$crate::Value) -> Option<Self> {
                 Some(Self {
                     $( $field: $crate::FromJson::from_json(v.get(stringify!($field))?)? ),*
+                })
+            }
+        }
+        impl $ty {
+            /// Reconstruct from JSON; the error names the first field that
+            /// is missing or has the wrong shape.
+            #[allow(dead_code)]
+            pub fn from_json_detailed(v: &$crate::Value) -> Result<Self, $crate::FieldError> {
+                Ok(Self {
+                    $( $field: match v.get(stringify!($field)) {
+                        None => {
+                            return Err($crate::FieldError {
+                                type_name: stringify!($ty),
+                                field: stringify!($field),
+                                reason: $crate::FieldReason::Missing,
+                            })
+                        }
+                        Some(fv) => match $crate::FromJson::from_json(fv) {
+                            Some(x) => x,
+                            None => {
+                                return Err($crate::FieldError {
+                                    type_name: stringify!($ty),
+                                    field: stringify!($field),
+                                    reason: $crate::FieldReason::Invalid,
+                                })
+                            }
+                        },
+                    } ),*
                 })
             }
         }
@@ -481,5 +551,23 @@ mod tests {
         let v = p.to_json();
         assert_eq!(P::from_json(&v), Some(p));
         assert_eq!(P::from_json(&json!({ "x": 7 })), None);
+    }
+
+    #[test]
+    fn detailed_errors_name_the_offending_field() {
+        #[derive(Debug, PartialEq)]
+        struct Q {
+            a: u64,
+            b: String,
+        }
+        json_struct!(Q { a, b });
+        let ok = Q::from_json_detailed(&json!({ "a": 1, "b": "x" }));
+        assert_eq!(ok, Ok(Q { a: 1, b: "x".into() }));
+        let missing = Q::from_json_detailed(&json!({ "a": 1 })).unwrap_err();
+        assert_eq!((missing.type_name, missing.field, missing.reason), ("Q", "b", FieldReason::Missing));
+        assert_eq!(missing.to_string(), "Q: missing field `b`");
+        let invalid = Q::from_json_detailed(&json!({ "a": -2, "b": "x" })).unwrap_err();
+        assert_eq!((invalid.field, invalid.reason), ("a", FieldReason::Invalid));
+        assert!(invalid.to_string().contains("field `a`"));
     }
 }

@@ -6,8 +6,10 @@
 #![warn(missing_docs)]
 #![allow(clippy::new_without_default)]
 
+pub mod fault;
 pub mod network;
 pub mod topology;
 
-pub use network::Network;
+pub use fault::{Arrival, Delivery, FaultCounters, FaultPlan, FaultRates, MsgClass};
+pub use network::{NetError, Network};
 pub use topology::Mesh;

@@ -6,9 +6,44 @@
 //! sending and receiving nodes only**, not at intermediate switches. Each
 //! node has one outbound and one inbound network-interface port; a port
 //! is occupied for the serialization time of each message that crosses it.
+//!
+//! The network optionally carries a [`FaultPlan`]: when one is installed
+//! and active, [`Network::send_classed`] consults the deterministic
+//! injector and may drop, duplicate, delay, or corrupt a message. With no
+//! plan (or an all-zero one) the timing arithmetic is bit-identical to the
+//! plain path.
 
+use crate::fault::{Delivery, FaultCounters, FaultPlan, Injector, MsgClass};
 use crate::topology::Mesh;
 use lrc_sim::{Cycle, MachineConfig, NodeId};
+
+/// A message was addressed outside this machine: the source or destination
+/// `NodeId` does not exist in a `nodes`-node network. This is how a
+/// config/workload mismatch (e.g. a message built for a larger machine)
+/// surfaces — as a typed error, not an index panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetError {
+    /// Sending node as addressed.
+    pub src: NodeId,
+    /// Destination node as addressed.
+    pub dst: NodeId,
+    /// Nodes this network actually has.
+    pub nodes: usize,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let bad = if self.src >= self.nodes { ("src", self.src) } else { ("dst", self.dst) };
+        write!(
+            f,
+            "message {} -> {} addresses a node outside this machine: {} node {} >= {} nodes \
+             (config/workload mismatch?)",
+            self.src, self.dst, bad.0, bad.1, self.nodes
+        )
+    }
+}
+
+impl std::error::Error for NetError {}
 
 /// Stateful network timing model: owns the per-node NI port availability.
 #[derive(Debug, Clone)]
@@ -23,6 +58,9 @@ pub struct Network {
     msgs: u64,
     /// Bytes sent (diagnostics).
     bytes_total: u64,
+    /// Fault injector; `None` when no active plan is installed, which is
+    /// the only thing the fault-free hot path ever branches on.
+    injector: Option<Box<Injector>>,
 }
 
 impl Network {
@@ -38,7 +76,30 @@ impl Network {
             recv_free: vec![0; n],
             msgs: 0,
             bytes_total: 0,
+            injector: None,
         }
+    }
+
+    /// Install `plan`. An inactive plan (all rates zero, no `drop_nth`)
+    /// installs nothing, keeping the fault-free path bit-identical.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.injector = plan.is_active().then(|| Box::new(Injector::new(plan)));
+        self
+    }
+
+    /// True when an active fault plan is installed.
+    pub fn faults_active(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(|i| i.plan())
+    }
+
+    /// Counts of faults injected so far (zero when no plan is active).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.injector.as_ref().map(|i| i.counters()).unwrap_or_default()
     }
 
     /// The underlying topology.
@@ -59,30 +120,108 @@ impl Network {
         self.mesh.hops(src, dst) * (self.switch + self.wire) + self.occupancy(bytes)
     }
 
-    /// Send a message at time `now`; returns the cycle at which the message
-    /// has been fully received and accepted at `dst`.
-    ///
-    /// Node-local "messages" (src == dst, e.g. a request to the local
-    /// directory) bypass the network entirely and are delivered the next
-    /// cycle; the caller charges protocol-processor and memory costs.
-    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, bytes: u64) -> Cycle {
-        self.msgs += 1;
-        self.bytes_total += bytes;
-        if src == dst {
-            return now + 1;
+    /// Validate that both endpoints exist in this machine.
+    #[inline]
+    fn check_nodes(&self, src: NodeId, dst: NodeId) -> Result<(), NetError> {
+        let nodes = self.send_free.len();
+        if src >= nodes || dst >= nodes {
+            return Err(NetError { src, dst, nodes });
         }
+        Ok(())
+    }
+
+    /// Charge the outbound port at `src`: the message starts flowing when
+    /// the port frees up.
+    #[inline]
+    fn depart_at(&mut self, now: Cycle, src: NodeId, bytes: u64) -> Cycle {
         let occ = self.occupancy(bytes);
-        // Outbound port: the message starts flowing when the port frees up.
         let depart = now.max(self.send_free[src]);
         self.send_free[src] = depart + occ;
-        // Wormhole-style pipelining: head arrives after the per-hop latency,
-        // the tail `occ` cycles later.
-        let head_arrives = depart + self.mesh.hops(src, dst) * (self.switch + self.wire);
+        depart
+    }
+
+    /// Fabric traversal plus inbound-port serialization for one copy that
+    /// left `src` at `depart`, with `extra` cycles of injected fabric
+    /// delay. Wormhole-style pipelining: the head arrives after the
+    /// per-hop latency, the tail `occ` cycles later.
+    #[inline]
+    fn receive_at(&mut self, depart: Cycle, src: NodeId, dst: NodeId, bytes: u64, extra: Cycle) -> Cycle {
+        let occ = self.occupancy(bytes);
+        let head_arrives = depart + self.mesh.hops(src, dst) * (self.switch + self.wire) + extra;
         // Inbound port: reception can't start before the port is free.
         let start_recv = head_arrives.max(self.recv_free[dst]);
         let done = start_recv + occ;
         self.recv_free[dst] = done;
         done
+    }
+
+    /// Send a message at time `now`; returns the cycle at which the message
+    /// has been fully received and accepted at `dst`, or a [`NetError`]
+    /// when either endpoint lies outside the machine.
+    ///
+    /// Node-local "messages" (src == dst, e.g. a request to the local
+    /// directory) bypass the network entirely and are delivered the next
+    /// cycle; the caller charges protocol-processor and memory costs.
+    ///
+    /// This path never consults the fault injector — it is the reliable
+    /// fabric the fault-free simulator runs on.
+    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, bytes: u64) -> Result<Cycle, NetError> {
+        self.check_nodes(src, dst)?;
+        self.msgs += 1;
+        self.bytes_total += bytes;
+        if src == dst {
+            return Ok(now + 1);
+        }
+        let depart = self.depart_at(now, src, bytes);
+        Ok(self.receive_at(depart, src, dst, bytes, 0))
+    }
+
+    /// Send a message of `class` through the (possibly faulty) fabric.
+    /// With no active plan this is exactly [`Network::send`] wrapped in a
+    /// clean single-arrival [`Delivery`]. With one, the injector decides:
+    ///
+    /// * **drop** — the NI still transmits (outbound port charged) but no
+    ///   copy arrives;
+    /// * **duplicate** — a second copy arrives, serialized after the first
+    ///   at the receiving port;
+    /// * **delay** — the copy spends [`FaultPlan::delay_cycles`] extra in
+    ///   the fabric;
+    /// * **corrupt** — the copy arrives but its checksum fails at the
+    ///   receiving NI (flagged on the [`Delivery`]).
+    ///
+    /// Node-local messages bypass the network and are never faulted.
+    pub fn send_classed(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        class: MsgClass,
+    ) -> Result<Delivery, NetError> {
+        if self.injector.is_none() || src == dst {
+            return self.send(now, src, dst, bytes).map(Delivery::clean);
+        }
+        self.check_nodes(src, dst)?;
+        self.msgs += 1;
+        self.bytes_total += bytes;
+        let v = self.injector.as_mut().expect("checked above").decide(class);
+        let depart = self.depart_at(now, src, bytes);
+        if v.drop {
+            return Ok(Delivery::default());
+        }
+        let first = crate::fault::Arrival {
+            at: self.receive_at(depart, src, dst, bytes, v.delay),
+            corrupt: v.corrupt,
+        };
+        let dup = v.duplicate.then(|| {
+            self.msgs += 1;
+            self.bytes_total += bytes;
+            crate::fault::Arrival {
+                at: self.receive_at(depart, src, dst, bytes, v.delay),
+                corrupt: false,
+            }
+        });
+        Ok(Delivery { first: Some(first), dup })
     }
 
     /// Total messages injected so far.
@@ -111,8 +250,6 @@ mod tests {
         // the paper's arithmetic ignores header serialization, so check the
         // hop component separately).
         let net = Network::new(&cfg(64));
-        let hops10_pair = (0usize, 58usize); // (0,0) -> (2,7): 2+7 = 9... pick explicit pair below
-        let _ = hops10_pair;
         // (0,0) to (5,5) is 10 hops on the 8x8 mesh: node 5*8+5 = 45.
         assert_eq!(net.mesh().hops(0, 45), 10);
         let lat = net.base_latency(0, 45, 0);
@@ -124,7 +261,7 @@ mod tests {
     #[test]
     fn local_messages_bypass_network() {
         let mut net = Network::new(&cfg(4));
-        assert_eq!(net.send(100, 2, 2, 128), 101);
+        assert_eq!(net.send(100, 2, 2, 128), Ok(101));
         // Ports untouched.
         assert_eq!(net.send_free[2], 0);
         assert_eq!(net.recv_free[2], 0);
@@ -134,8 +271,8 @@ mod tests {
     fn sender_port_serializes_back_to_back_sends() {
         let mut net = Network::new(&cfg(16));
         let occ = net.occupancy(128); // 64 cycles
-        let t1 = net.send(0, 0, 15, 128);
-        let t2 = net.send(0, 0, 15, 128);
+        let t1 = net.send(0, 0, 15, 128).unwrap();
+        let t2 = net.send(0, 0, 15, 128).unwrap();
         // Second message departs only after the first has left the port, and
         // the receiver port additionally serializes reception.
         assert!(t2 >= t1 + occ);
@@ -145,10 +282,9 @@ mod tests {
     fn receiver_port_contention() {
         let mut net = Network::new(&cfg(16));
         // Two different senders converge on node 5 at the same time.
-        let t1 = net.send(0, 1, 5, 128);
-        let t2 = net.send(0, 2, 5, 128);
+        let t1 = net.send(0, 1, 5, 128).unwrap();
+        let t2 = net.send(0, 2, 5, 128).unwrap();
         let occ = net.occupancy(128);
-        assert!(t2 >= t1.min(t2)); // trivially true; real check below
         assert!((t2 as i64 - t1 as i64).unsigned_abs() >= occ, "receptions must serialize: {t1} {t2}");
     }
 
@@ -156,16 +292,16 @@ mod tests {
     fn farther_is_slower() {
         let mut a = Network::new(&cfg(64));
         let mut b = Network::new(&cfg(64));
-        let near = a.send(0, 0, 1, 8);
-        let far = b.send(0, 0, 63, 8);
+        let near = a.send(0, 0, 1, 8).unwrap();
+        let far = b.send(0, 0, 63, 8).unwrap();
         assert!(far > near);
     }
 
     #[test]
     fn stats_accumulate() {
         let mut net = Network::new(&cfg(4));
-        net.send(0, 0, 1, 8);
-        net.send(0, 1, 2, 136);
+        net.send(0, 0, 1, 8).unwrap();
+        net.send(0, 1, 2, 136).unwrap();
         assert_eq!(net.messages_sent(), 2);
         assert_eq!(net.bytes_sent(), 144);
     }
@@ -177,5 +313,100 @@ mod tests {
         assert!(fast.occupancy(256) < slow.occupancy(256) * 2);
         assert_eq!(slow.occupancy(128), 64);
         assert_eq!(fast.occupancy(256), 64);
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_a_typed_error() {
+        let mut net = Network::new(&cfg(4));
+        let err = net.send(0, 0, 7, 8).unwrap_err();
+        assert_eq!(err, NetError { src: 0, dst: 7, nodes: 4 });
+        assert!(err.to_string().contains("dst node 7 >= 4 nodes"));
+        let err = net.send(0, 9, 1, 8).unwrap_err();
+        assert!(err.to_string().contains("src node 9 >= 4 nodes"));
+        // Classed path checks too, with and without a plan installed.
+        assert!(net.send_classed(0, 4, 0, 8, MsgClass::Request).is_err());
+        let mut faulty = Network::new(&cfg(4)).with_faults(FaultPlan::uniform(0.5, 1));
+        assert!(faulty.send_classed(0, 4, 0, 8, MsgClass::Request).is_err());
+        // Port state untouched by rejected sends.
+        assert!(net.send_free.iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    fn classed_send_without_plan_matches_plain_send() {
+        let mut a = Network::new(&cfg(16));
+        let mut b = Network::new(&cfg(16));
+        for i in 0..20u64 {
+            let (src, dst) = ((i % 16) as usize, ((i * 7 + 3) % 16) as usize);
+            let t1 = a.send(i * 3, src, dst, 8 + i).unwrap();
+            let d = b.send_classed(i * 3, src, dst, 8 + i, MsgClass::Request).unwrap();
+            assert_eq!(d, Delivery::clean(t1));
+        }
+        assert_eq!(a.send_free, b.send_free);
+        assert_eq!(a.recv_free, b.recv_free);
+    }
+
+    #[test]
+    fn inactive_plan_installs_nothing() {
+        let net = Network::new(&cfg(4)).with_faults(FaultPlan::off(99));
+        assert!(!net.faults_active());
+        assert_eq!(net.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn dropped_messages_still_charge_the_sender_port() {
+        let mut net =
+            Network::new(&cfg(4)).with_faults(FaultPlan::drop_nth(MsgClass::Request, 0));
+        let d = net.send_classed(0, 0, 1, 128, MsgClass::Request).unwrap();
+        assert_eq!(d, Delivery::default());
+        assert_eq!(net.fault_counters().dropped, 1);
+        assert_eq!(net.send_free[0], net.occupancy(128));
+        assert_eq!(net.recv_free[1], 0, "a dropped message never reaches the receiver");
+        // The next request of that class flows normally.
+        let d = net.send_classed(0, 0, 1, 128, MsgClass::Request).unwrap();
+        assert!(d.first.is_some() && d.dup.is_none());
+    }
+
+    #[test]
+    fn duplicates_serialize_at_the_receiver() {
+        let mut plan = FaultPlan::off(5);
+        plan.rates[MsgClass::Response.index()].duplicate = 1.0;
+        let mut net = Network::new(&cfg(16)).with_faults(plan);
+        let d = net.send_classed(0, 1, 2, 128, MsgClass::Response).unwrap();
+        let (a, b) = (d.first.unwrap(), d.dup.unwrap());
+        assert!(b.at >= a.at + net.occupancy(128));
+        assert_eq!(net.fault_counters().duplicated, 1);
+    }
+
+    #[test]
+    fn delay_and_corrupt_faults_mark_the_arrival() {
+        let mut plan = FaultPlan::off(5);
+        plan.rates[MsgClass::Sync.index()].delay = 1.0;
+        plan.rates[MsgClass::Sync.index()].corrupt = 1.0;
+        let delay = plan.delay_cycles;
+        let mut clean = Network::new(&cfg(16));
+        let mut faulty = Network::new(&cfg(16)).with_faults(plan);
+        let t = clean.send(0, 3, 9, 8).unwrap();
+        let d = faulty.send_classed(0, 3, 9, 8, MsgClass::Sync).unwrap();
+        let a = d.first.unwrap();
+        assert!(a.corrupt);
+        assert_eq!(a.at, t + delay);
+        let c = faulty.fault_counters();
+        assert_eq!((c.delayed, c.corrupted), (1, 1));
+    }
+
+    #[test]
+    fn faulty_delivery_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = Network::new(&cfg(16)).with_faults(FaultPlan::uniform(0.2, seed));
+            let mut log = Vec::new();
+            for i in 0..300u64 {
+                let (src, dst) = ((i % 16) as usize, ((i * 5 + 1) % 16) as usize);
+                let class = MsgClass::ALL[(i % 5) as usize];
+                log.push(net.send_classed(i * 2, src, dst, 8, class).unwrap());
+            }
+            (log, net.fault_counters())
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77).1, run(78).1);
     }
 }

@@ -1,7 +1,7 @@
 //! Property tests for the mesh interconnect, driven by the simulation
 //! kernel's deterministic PRNG.
 
-use lrc_mesh::{Mesh, Network};
+use lrc_mesh::{FaultPlan, Mesh, MsgClass, Network};
 use lrc_sim::{MachineConfig, Rng};
 
 /// Hop distance is a metric: identity, symmetry, triangle inequality.
@@ -37,7 +37,7 @@ fn network_delivery_is_causal() {
             let dst = rng.below(16) as usize;
             let bytes = 1 + rng.below(255);
             now += 3;
-            let arrival = net.send(now, src, dst, bytes);
+            let arrival = net.send(now, src, dst, bytes).expect("in-range nodes");
             let floor = if src == dst { 1 } else { net.base_latency(src, dst, bytes) };
             assert!(arrival >= now + floor || src == dst);
             if src != dst {
@@ -47,5 +47,39 @@ fn network_delivery_is_causal() {
                 last_arrival.insert((src, dst), arrival);
             }
         }
+    }
+}
+
+/// Under any fault plan, every delivered copy still obeys the timing
+/// model's floor (never earlier than the contention-free latency plus any
+/// injected delay is *at least* the base latency), and injected-fault
+/// counters never exceed transmissions.
+#[test]
+fn faulty_delivery_respects_timing_floor() {
+    let mut rng = Rng::new(0x5eed_0f03);
+    for round in 0..20 {
+        let cfg = MachineConfig::paper_default(16);
+        let plan = FaultPlan::uniform(0.1 + 0.02 * round as f64, 0xFA_0000 + round);
+        let mut net = Network::new(&cfg).with_faults(plan);
+        let mut sends = 0u64;
+        let mut now = 0;
+        for _ in 0..200 {
+            let src = rng.below(16) as usize;
+            let dst = rng.below(16) as usize;
+            let bytes = 1 + rng.below(255);
+            let class = MsgClass::ALL[rng.below(5) as usize];
+            now += 3;
+            let floor = net.base_latency(src, dst, bytes);
+            let d = net.send_classed(now, src, dst, bytes, class).expect("in range");
+            if src != dst {
+                sends += 1;
+            }
+            for a in [d.first, d.dup].into_iter().flatten() {
+                assert!(a.at >= now + floor || src == dst);
+            }
+        }
+        let c = net.fault_counters();
+        assert!(c.dropped + c.duplicated <= sends);
+        assert!(c.delayed <= sends && c.corrupted <= sends);
     }
 }

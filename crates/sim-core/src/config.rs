@@ -4,6 +4,30 @@
 
 use crate::types::Protocol;
 
+/// A machine configuration rejected by [`MachineConfig::validate`]: names
+/// the offending field so config errors are actionable instead of opaque.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The `MachineConfig` field (or field combination) at fault.
+    pub field: &'static str,
+    /// What is wrong with it.
+    pub why: String,
+}
+
+impl ConfigError {
+    fn new(field: &'static str, why: impl Into<String>) -> Self {
+        ConfigError { field, why: why.into() }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "machine config field `{}`: {}", self.field, self.why)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Policy for assigning pages of the shared address space to home nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -210,32 +234,59 @@ impl MachineConfig {
         }
     }
 
-    /// Validates internal consistency; returns a human-readable complaint for
-    /// the first problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates internal consistency; the error names the offending field
+    /// for the first problem found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_procs == 0 {
-            return Err("num_procs must be > 0".into());
+            return Err(ConfigError::new("num_procs", "must be > 0"));
         }
         if !self.line_size.is_power_of_two() {
-            return Err(format!("line_size {} must be a power of two", self.line_size));
+            return Err(ConfigError::new(
+                "line_size",
+                format!("{} must be a power of two", self.line_size),
+            ));
         }
         if !self.word_size.is_power_of_two() || self.word_size > self.line_size {
-            return Err(format!("word_size {} invalid for line_size {}", self.word_size, self.line_size));
+            return Err(ConfigError::new(
+                "word_size",
+                format!("{} invalid for line_size {}", self.word_size, self.line_size),
+            ));
         }
         if !self.cache_size.is_multiple_of(self.line_size * self.cache_assoc) {
-            return Err("cache_size must be a multiple of line_size * assoc".into());
+            return Err(ConfigError::new(
+                "cache_size",
+                format!(
+                    "{} must be a multiple of line_size * assoc ({} * {})",
+                    self.cache_size, self.line_size, self.cache_assoc
+                ),
+            ));
         }
         if !self.page_size.is_multiple_of(self.line_size) {
-            return Err("page_size must be a multiple of line_size".into());
+            return Err(ConfigError::new(
+                "page_size",
+                format!("{} must be a multiple of line_size {}", self.page_size, self.line_size),
+            ));
         }
         if self.words_per_line() > 64 {
-            return Err("at most 64 words per line (dirty masks are u64)".into());
+            return Err(ConfigError::new(
+                "word_size",
+                format!(
+                    "lines carry {} words but dirty masks are u64 (max 64)",
+                    self.words_per_line()
+                ),
+            ));
         }
-        if self.mem_bytes_per_cycle == 0 || self.bus_bytes_per_cycle == 0 || self.net_bytes_per_cycle == 0 {
-            return Err("bandwidths must be non-zero".into());
+        if self.mem_bytes_per_cycle == 0 {
+            return Err(ConfigError::new("mem_bytes_per_cycle", "bandwidth must be non-zero"));
+        }
+        if self.bus_bytes_per_cycle == 0 {
+            return Err(ConfigError::new("bus_bytes_per_cycle", "bandwidth must be non-zero"));
+        }
+        if self.net_bytes_per_cycle == 0 {
+            return Err(ConfigError::new("net_bytes_per_cycle", "bandwidth must be non-zero"));
         }
         if self.dir_pointers == Some(0) {
-            return Err("dir_pointers must be at least 1 when limited".into());
+            return Err(ConfigError::new("dir_pointers", "must be at least 1 when limited"));
         }
         Ok(())
     }
@@ -351,6 +402,21 @@ mod tests {
         let mut c = MachineConfig::paper_default(4);
         c.word_size = 1; // 128 words/line > 64
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_name_the_offending_field() {
+        let mut c = MachineConfig::paper_default(4);
+        c.line_size = 100;
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.field, "line_size");
+        assert!(e.to_string().contains("`line_size`"), "{e}");
+        let mut c = MachineConfig::paper_default(4);
+        c.net_bytes_per_cycle = 0;
+        assert_eq!(c.validate().unwrap_err().field, "net_bytes_per_cycle");
+        let mut c = MachineConfig::paper_default(4);
+        c.dir_pointers = Some(0);
+        assert_eq!(c.validate().unwrap_err().field, "dir_pointers");
     }
 
     #[test]

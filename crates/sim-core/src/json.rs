@@ -3,7 +3,7 @@
 //! structures. Built on the workspace's offline `lrc-json` layer.
 
 use crate::config::{MachineConfig, Placement};
-use crate::stats::{Breakdown, MachineStats, MissClass, MissCounts, ProcStats, Traffic};
+use crate::stats::{Breakdown, FaultStats, MachineStats, MissClass, MissCounts, ProcStats, Traffic};
 use crate::types::Protocol;
 use lrc_json::{json_struct, FromJson, ToJson, Value};
 
@@ -117,7 +117,19 @@ json_struct!(ProcStats {
     pp_busy,
     mem_busy,
 });
-json_struct!(MachineStats { procs, total_cycles });
+json_struct!(FaultStats {
+    dropped,
+    duplicated,
+    delayed,
+    corrupted,
+    link_nacks,
+    retries,
+    timeouts,
+    retries_exhausted,
+    dup_suppressed,
+    link_msgs,
+});
+json_struct!(MachineStats { procs, total_cycles, faults });
 
 #[cfg(test)]
 mod tests {

@@ -20,14 +20,17 @@ pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod types;
+pub mod watchdog;
 pub mod workload;
 
-pub use config::{table1_rows, MachineConfig, Placement};
+pub use config::{table1_rows, ConfigError, MachineConfig, Placement};
 pub use event::EventQueue;
 pub use rng::Rng;
 pub use stats::{
-    Breakdown, MachineStats, MissClass, MissCounts, ProcStats, StallKind, Traffic, TrafficClass,
+    Breakdown, FaultStats, MachineStats, MissClass, MissCounts, ProcStats, StallKind, Traffic,
+    TrafficClass,
 };
+pub use watchdog::{StallDiagnosis, StallReason, StalledProc};
 pub use table::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, LineMap};
 pub use types::{Addr, BarrierId, Cycle, LineAddr, LockId, NodeId, ProcId, Protocol};
 pub use workload::{AddressAllocator, Op, Script, Workload};

@@ -217,8 +217,64 @@ impl Traffic {
     }
 }
 
+/// Machine-level fault-injection and recovery counters: what the fabric
+/// did to messages and what the link layer did about it. All zero on a
+/// fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages the fabric dropped.
+    pub dropped: u64,
+    /// Messages the fabric delivered twice.
+    pub duplicated: u64,
+    /// Messages the fabric delivered late.
+    pub delayed: u64,
+    /// Messages that arrived with a failing checksum.
+    pub corrupted: u64,
+    /// Checksum-failure NACKs the receiving NIs sent back.
+    pub link_nacks: u64,
+    /// Retransmissions (timeout- or NACK-triggered).
+    pub retries: u64,
+    /// Retransmit timers that fired and found their message unacked.
+    pub timeouts: u64,
+    /// Messages abandoned after exhausting the retry budget.
+    pub retries_exhausted: u64,
+    /// Duplicate deliveries suppressed by receiver-side dedupe.
+    pub dup_suppressed: u64,
+    /// Link-layer control messages (delivery acks/nacks) sent.
+    pub link_msgs: u64,
+}
+
+impl FaultStats {
+    /// True when nothing was injected and nothing recovered — the
+    /// fault-free signature.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Faults the fabric injected (drop + duplicate + delay + corrupt).
+    pub fn injected(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.corrupted
+    }
+
+    /// Counters as words, in field order (fingerprinting support).
+    pub fn as_words(&self) -> [u64; 10] {
+        [
+            self.dropped,
+            self.duplicated,
+            self.delayed,
+            self.corrupted,
+            self.link_nacks,
+            self.retries,
+            self.timeouts,
+            self.retries_exhausted,
+            self.dup_suppressed,
+            self.link_msgs,
+        ]
+    }
+}
+
 /// Everything recorded about one simulated processor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProcStats {
     /// Cycle attribution (sums to this processor's finish time).
     pub breakdown: Breakdown,
@@ -276,18 +332,25 @@ impl ProcStats {
 }
 
 /// Machine-level view: per-processor stats plus the run's wall-clock.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MachineStats {
     /// Per-processor statistics, indexed by `ProcId`.
     pub procs: Vec<ProcStats>,
     /// Cycle at which the last processor finished: the figure-4 metric.
     pub total_cycles: u64,
+    /// Fault-injection and link-layer recovery counters (all zero on a
+    /// fault-free run).
+    pub faults: FaultStats,
 }
 
 impl MachineStats {
     /// Empty statistics for a `num_procs`-processor machine.
     pub fn new(num_procs: usize) -> Self {
-        MachineStats { procs: vec![ProcStats::default(); num_procs], total_cycles: 0 }
+        MachineStats {
+            procs: vec![ProcStats::default(); num_procs],
+            total_cycles: 0,
+            faults: FaultStats::default(),
+        }
     }
 
     /// Aggregate cycle breakdown over all processors (the figure-5 metric).

@@ -47,4 +47,11 @@ smoke=$(mktemp /tmp/bench_smoke.XXXXXX.json)
 grep -q '"schema": "lrc-bench-v1"' "$smoke"
 rm -f "$smoke"
 
+echo "==> soak smoke: lrc-soak --smoke (fault injection + value verification)"
+# Tiny seeded chaos sweep: rates {0, 1e-3} x all four protocols, every run
+# checked against the reference SC execution and reproduced bit-identically,
+# plus the unrecoverable stage proving wedges die with a structured
+# diagnosis. Exits non-zero on any verification failure.
+./target/release/lrc-soak --smoke --quiet
+
 echo "CI green."

@@ -50,10 +50,12 @@ pub use lrc_workloads as workloads;
 
 /// Everything you need to configure and run a simulation.
 pub mod prelude {
-    pub use lrc_core::{Machine, RunResult};
+    pub use lrc_core::{
+        Fault, FaultPlan, FaultRates, Machine, MsgClass, RunResult, StallDiagnosis, StallReason,
+    };
     pub use lrc_sim::{
-        Breakdown, MachineConfig, MachineStats, MissClass, Op, Placement, ProcStats, Protocol,
-        Script, Workload,
+        Breakdown, FaultStats, MachineConfig, MachineStats, MissClass, Op, Placement, ProcStats,
+        Protocol, Script, Workload,
     };
     pub use lrc_workloads::{paper_suite, WorkloadKind};
 }
