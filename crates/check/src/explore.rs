@@ -153,6 +153,27 @@ pub fn build_machine_with_plan(
     m
 }
 
+/// Like [`build_machine`], but with the deterministic BUSY-NACK choice
+/// point armed: the `nth` busy-directory encounter answers with a
+/// retriable NACK instead of parking (see
+/// [`lrc_core::Machine::with_nack_nth`]), and exploration then covers
+/// every interleaving of the NACK reply and its backoff retry against the
+/// rest of the protocol. Only the eager protocols park at a busy home, so
+/// under the lazy protocols this is equivalent to [`build_machine`].
+pub fn build_machine_nacked(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    nth: u64,
+) -> Machine {
+    let mut m = Machine::new(scenario.config(), protocol)
+        .with_fault(fault)
+        .with_nack_nth(nth)
+        .with_value_tracking();
+    m.prepare(Box::new(scenario.script()));
+    m
+}
+
 /// Check every property of a drained machine: liveness residue, write
 /// races, and final memory against the reference SC interpreter. Public so
 /// fault-recovery tests and harnesses can apply the same oracle to
@@ -212,8 +233,24 @@ pub fn check(
     fault: Fault,
     limits: Limits,
 ) -> CheckReport {
+    check_root(build_machine(scenario, protocol, fault), scenario, limits)
+}
+
+/// [`check`] with the `nth` BUSY-NACK choice point armed (see
+/// [`build_machine_nacked`]): explores the NACK/backoff-retry machinery
+/// against every interleaving of the rest of the protocol.
+pub fn check_nacked(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    nth: u64,
+    limits: Limits,
+) -> CheckReport {
+    check_root(build_machine_nacked(scenario, protocol, fault, nth), scenario, limits)
+}
+
+fn check_root(root: Machine, scenario: &Scenario, limits: Limits) -> CheckReport {
     let script = scenario.script();
-    let root = build_machine(scenario, protocol, fault);
     let mut visited: HashSet<u64> = HashSet::new();
     visited.insert(root.fingerprint());
     let mut stack: Vec<(Machine, Vec<usize>)> = vec![(root, Vec::new())];

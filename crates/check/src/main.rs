@@ -19,6 +19,9 @@ OPTIONS:
     --scenario NAME     scenario to check, or 'all' (default: all; see --list)
     --protocol NAME     sc | eager | lazy | lazy-ext | all (default: all)
     --fault NAME        none | skip-invalidate | skip-write-notice (default: none)
+    --nack-nth N        answer the N-th busy-directory encounter with a
+                        BUSY-NACK instead of parking, and explore the retry
+                        interleavings (eager protocols; no-op under lazy)
     --max-states N      stop after visiting N states (default: 200000)
     --max-depth N       abandon paths longer than N choices (default: 4000)
     --exhaustive        no state limit: explore until the space is exhausted
@@ -35,6 +38,7 @@ struct Args {
     scenario: String,
     protocol: String,
     fault: Fault,
+    nack_nth: Option<u64>,
     limits: Limits,
     replay: Option<Vec<usize>>,
     list: bool,
@@ -45,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         scenario: "all".to_string(),
         protocol: "all".to_string(),
         fault: Fault::None,
+        nack_nth: None,
         limits: Limits::default(),
         replay: None,
         list: false,
@@ -56,6 +61,10 @@ fn parse_args() -> Result<Args, String> {
             "--scenario" => args.scenario = val("--scenario")?,
             "--protocol" => args.protocol = val("--protocol")?,
             "--fault" => args.fault = parse_fault(&val("--fault")?)?,
+            "--nack-nth" => {
+                args.nack_nth =
+                    Some(val("--nack-nth")?.parse().map_err(|e| format!("--nack-nth: {e}"))?)
+            }
             "--max-states" => {
                 args.limits.max_states =
                     val("--max-states")?.parse().map_err(|e| format!("--max-states: {e}"))?
@@ -149,10 +158,23 @@ fn main() -> ExitCode {
     let mut failed = false;
     for s in &scenarios {
         for &p in &protocols {
-            let outcome = check_and_minimize(s, p, args.fault, args.limits);
-            let r = &outcome.report;
+            // NACK runs skip schedule minimization (the minimizer replays
+            // without the choice point armed); the raw failure is printed.
+            let (report, rendered) = match args.nack_nth {
+                Some(nth) => {
+                    let r = lrc_check::explore::check_nacked(s, p, args.fault, nth, args.limits);
+                    let rendered =
+                        r.counterexample.as_ref().map(|cex| format!("  {}\n", cex.failure));
+                    (r, rendered)
+                }
+                None => {
+                    let outcome = check_and_minimize(s, p, args.fault, args.limits);
+                    (outcome.report, outcome.rendered)
+                }
+            };
+            let r = &report;
             let coverage = if r.complete { "exhaustive" } else { "bounded" };
-            if outcome.passed() {
+            if r.counterexample.is_none() {
                 println!(
                     "PASS {:<16} {:<9} {} states, {} terminal(s), depth {} ({})",
                     s.name, p.name(), r.states, r.terminals, r.max_depth_seen, coverage
@@ -166,7 +188,7 @@ fn main() -> ExitCode {
                     r.states,
                     coverage
                 );
-                if let Some(rendered) = &outcome.rendered {
+                if let Some(rendered) = &rendered {
                     print!("{rendered}");
                 }
             }

@@ -156,6 +156,64 @@ fn clean_protocols_have_no_failure_on_natural_order() {
 }
 
 #[test]
+fn nack_choice_point_passes_on_every_scenario() {
+    // Arm the deterministic BUSY-NACK choice point: the nth busy-directory
+    // encounter is answered with a retriable NACK instead of parking. The
+    // NACK round-trip and backoff retry must stay safe and live against
+    // every explored interleaving. Only the eager protocols park at a busy
+    // home, so they get several trigger points; the lazy protocols (where
+    // the point can never fire) get one run each proving the machinery is
+    // inert for them.
+    use lrc_check::explore::check_nacked;
+    for s in scenario::all() {
+        for p in Protocol::ALL {
+            let nths: &[u64] = if p.is_lazy() { &[0] } else { &[0, 1, 2] };
+            for &nth in nths {
+                let r = check_nacked(&s, p, Fault::None, nth, bounded(12_000));
+                assert!(
+                    r.counterexample.is_none(),
+                    "{} under {} with nack_nth={nth} failed: {}",
+                    s.name,
+                    p.name(),
+                    r.counterexample.unwrap().failure
+                );
+                assert!(
+                    r.terminals > 0 || !r.complete,
+                    "{} under {} with nack_nth={nth} explored nothing",
+                    s.name,
+                    p.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nacked_exploration_reaches_clean_terminals_on_natural_order() {
+    // The natural event order with the very first busy encounter NACKed:
+    // the run must drain clean and the final memory must still match the
+    // reference SC execution (the NACK changes timing, never values).
+    use lrc_check::explore::{build_machine_nacked, terminal_failure};
+    let mut nacks_fired = 0u64;
+    for s in scenario::all() {
+        for p in [Protocol::Sc, Protocol::Erc] {
+            let script = s.script();
+            let mut m = build_machine_nacked(&s, p, Fault::None, 0);
+            let mut steps = 0usize;
+            while m.num_pending() > 0 && steps < 100_000 {
+                m.step_choice(0);
+                steps += 1;
+            }
+            assert_eq!(m.num_pending(), 0, "{} under {} did not drain", s.name, p.name());
+            let f = terminal_failure(&m, &script);
+            assert!(f.is_none(), "{} under {}: {}", s.name, p.name(), f.unwrap());
+            nacks_fired += m.resource_stats().busy_nacks;
+        }
+    }
+    assert!(nacks_fired > 0, "no scenario's natural order ever reached the choice point");
+}
+
+#[test]
 fn dropped_messages_recover_under_every_protocol() {
     // Deterministic fault injection: kill exactly the n-th message of one
     // class and step the natural event order. The link layer's ACK/retry

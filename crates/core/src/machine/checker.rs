@@ -239,6 +239,7 @@ impl Machine {
             let mut pend: Vec<u64> = node.pending_invals.iter().copied().collect();
             pend.sort_unstable();
             pend.hash(&mut h);
+            node.inval_all.hash(&mut h);
             let mut delayed: Vec<(u64, u64)> =
                 node.delayed_writes.iter().map(|(&l, &w)| (l, w)).collect();
             delayed.sort_unstable();
@@ -273,6 +274,18 @@ impl Machine {
 
         for (l, e) in self.busy_info.iter() {
             (l, e.owner, e.requester, e.for_write, e.served).hash(&mut h);
+        }
+
+        // NACK budgets spent per line (finite directory request slots). An
+        // empty map folds nothing, so unbounded runs are unaffected.
+        for (l, &n) in self.nacks_given.iter() {
+            (l, n).hash(&mut h);
+        }
+        // The deterministic NACK choice point: until the `nack_nth`-th busy
+        // encounter has happened, states differ by how close they are to the
+        // trigger; afterwards every count is equivalent (clamp merges them).
+        if let Some(n) = self.nack_nth {
+            self.park_seq.min(n + 1).hash(&mut h);
         }
 
         // Pending events, in firing order, without their times.

@@ -41,7 +41,10 @@ impl Machine {
             // the forward targets this very requester and can never be
             // served, in which case resolve it and fall through.
             if !self.resolve_dead_forward_if_cyclic(t, m.src, line) {
-                self.park(m, t);
+                match self.busy_action(line) {
+                    Some(attempt) => self.send_busy_nack(t, m, line, attempt),
+                    None => self.park(m, t),
+                }
                 return;
             }
         }
@@ -164,7 +167,10 @@ impl Machine {
         if self.dir.get(line.0).is_some_and(|e| e.pending.is_some() || e.busy)
             && !self.resolve_dead_forward_if_cyclic(t, m.src, line)
         {
-            self.park(m, t);
+            match self.busy_action(line) {
+                Some(attempt) => self.send_busy_nack(t, m, line, attempt),
+                None => self.park(m, t),
+            }
             return;
         }
         let pp_done = self.nodes[h].pp.occupy(t, self.cfg.dir_cost(self.protocol));

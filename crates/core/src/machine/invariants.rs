@@ -75,6 +75,25 @@ pub enum Violation {
         /// The offending processor.
         proc: usize,
     },
+    /// A node's `inval_all` overflow bit is set but its pending-inval set is
+    /// non-empty — the collapse must clear the set (the acquire hot path
+    /// relies on `inval_all ⇒ pending_invals empty`).
+    OverflowResidue {
+        /// The offending processor.
+        proc: usize,
+        /// Entries still in the supposedly-collapsed set.
+        pending: usize,
+    },
+    /// A node's pending-inval set exceeds the configured write-notice
+    /// buffer capacity (the bound was not enforced).
+    WriteNoticeOverCap {
+        /// The offending processor.
+        proc: usize,
+        /// Entries in the set.
+        pending: usize,
+        /// The configured capacity.
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -98,6 +117,13 @@ impl std::fmt::Display for Violation {
             }
             Violation::FinishedWithDeferredOp { proc } => {
                 write!(f, "finished P{proc} still holds a deferred op")
+            }
+            Violation::OverflowResidue { proc, pending } => write!(
+                f,
+                "P{proc}: inval_all set with {pending} pending inval(s) left uncollapsed"
+            ),
+            Violation::WriteNoticeOverCap { proc, pending, cap } => {
+                write!(f, "P{proc}: {pending} pending inval(s) exceed the {cap}-entry buffer")
             }
         }
     }
@@ -168,7 +194,8 @@ impl Machine {
                     // home or queued for acquire-time invalidation (a notice
                     // raced with our refetch), never silently unknown.
                     let known = entry.is_some_and(|e| e.is_sharer(p))
-                        || node.pending_invals.contains(&line.line.0);
+                        || node.pending_invals.contains(&line.line.0)
+                        || node.inval_all;
                     if !known {
                         out.push(Violation::UnknownCachedCopy {
                             line: line.line.0,
@@ -184,6 +211,23 @@ impl Machine {
         for (p, node) in self.nodes.iter().enumerate() {
             if node.status == ProcStatus::Finished && node.deferred_op.is_some() {
                 out.push(Violation::FinishedWithDeferredOp { proc: p });
+            }
+        }
+
+        // Finite write-notice buffers: the overflow collapse must leave the
+        // precise set empty, and an enforced cap is never exceeded.
+        for (p, node) in self.nodes.iter().enumerate() {
+            if node.inval_all && !node.pending_invals.is_empty() {
+                out.push(Violation::OverflowResidue { proc: p, pending: node.pending_invals.len() });
+            }
+            if let Some(cap) = self.cfg.resources.write_notice_buffer {
+                if node.pending_invals.len() > cap {
+                    out.push(Violation::WriteNoticeOverCap {
+                        proc: p,
+                        pending: node.pending_invals.len(),
+                        cap,
+                    });
+                }
             }
         }
 

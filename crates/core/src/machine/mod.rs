@@ -87,6 +87,23 @@ pub(crate) enum Event {
         /// The sequence number the timer guards.
         seq: u64,
     },
+    // New variants go *after* the existing ones: the derived `Hash` folds
+    // the variant index, and the golden fingerprints depend on existing
+    // indices staying put.
+    /// Finite NI queues: re-attempt a send that a full queue rejected,
+    /// after its backoff.
+    NiRetry {
+        /// The rejected message.
+        msg: Msg,
+        /// Attempts so far (drives the next backoff if rejected again).
+        attempts: u32,
+    },
+    /// Finite directory request slots: re-send a request the home
+    /// BUSY-NACKed, after its backoff.
+    NackRetry {
+        /// The reconstructed request.
+        msg: Msg,
+    },
 }
 
 /// One recorded protocol message (see [`Machine::with_trace`]).
@@ -126,6 +143,11 @@ pub struct RunResult {
     /// Wall-clock seconds spent inside the event loop itself — excludes
     /// workload construction, so it isolates kernel throughput.
     pub sim_wall_secs: f64,
+    /// Peak NI ingress-queue occupancy over all nodes (0 when NI limits
+    /// are not installed — occupancy is only tracked under finite queues).
+    pub ni_peak_ingress: usize,
+    /// Peak NI egress-queue occupancy over all nodes (0 when unbounded).
+    pub ni_peak_egress: usize,
 }
 
 impl RunResult {
@@ -195,6 +217,22 @@ pub struct Machine {
     /// Scratch buffer reused by `process_pending_invals` (drained and
     /// returned empty each call).
     pub(crate) inval_scratch: Vec<u64>,
+    /// BUSY-NACKs sent per line during its current busy episode (finite
+    /// directory request slots only; cleared when the episode resolves).
+    pub(crate) nacks_given: LineMap<u32>,
+    /// Checker choice point: force a BUSY-NACK on the `n`-th park-eligible
+    /// request of the run regardless of capacity (`None` in normal runs).
+    pub(crate) nack_nth: Option<u64>,
+    /// Count of park-eligible requests seen so far (indexes `nack_nth`).
+    pub(crate) park_seq: u64,
+    /// Cached `cfg.resources` NI-limits flag: the send hot path branches on
+    /// this bool instead of re-deriving it per message.
+    pub(crate) ni_limited: bool,
+    /// NI-rejected sends currently waiting out their backoff.
+    pub(crate) pending_ni_retries: u32,
+    /// Most recent NI rejection, as `(node, occupancy, cap)` — names the
+    /// congested queue in a watchdog diagnosis.
+    pub(crate) last_ni_reject: Option<(NodeId, usize, usize)>,
 }
 
 impl Clone for Machine {
@@ -231,6 +269,12 @@ impl Clone for Machine {
             // equivalent and keep snapshots lean.
             waiter_pool: Vec::new(),
             inval_scratch: Vec::new(),
+            nacks_given: self.nacks_given.clone(),
+            nack_nth: self.nack_nth,
+            park_seq: self.park_seq,
+            ni_limited: self.ni_limited,
+            pending_ni_retries: self.pending_ni_retries,
+            last_ni_reject: self.last_ni_reject,
         }
     }
 }
@@ -284,8 +328,25 @@ impl Machine {
             values: None,
             waiter_pool: Vec::new(),
             inval_scratch: Vec::new(),
+            nacks_given: LineMap::new(),
+            nack_nth: None,
+            park_seq: 0,
+            ni_limited: cfg.resources.ni_ingress.is_some() || cfg.resources.ni_egress.is_some(),
+            pending_ni_retries: 0,
+            last_ni_reject: None,
             cfg,
         }
+    }
+
+    /// Checker choice point: BUSY-NACK the `n`-th (0-based, across the
+    /// whole run) request that would otherwise be parked against a busy
+    /// directory entry, regardless of configured capacity. This makes the
+    /// NACK/retry path a deterministic branch the model checker can place
+    /// anywhere in an interleaving — the bounded-resource analogue of
+    /// `FaultPlan::drop_nth`.
+    pub fn with_nack_nth(mut self, n: u64) -> Self {
+        self.nack_nth = Some(n);
+        self
     }
 
     /// Inject a deliberate protocol bug (see [`Fault`]) — used only to
@@ -386,6 +447,13 @@ impl Machine {
         self.protocol
     }
 
+    /// Finite-resource counters accumulated so far (NACKs, NI rejections,
+    /// write-notice overflows). Live during checker-stepped runs, where no
+    /// [`RunResult`] is produced.
+    pub fn resource_stats(&self) -> &lrc_sim::ResourceStats {
+        &self.stats.resources
+    }
+
     /// Run `workload` to completion and return the collected statistics.
     ///
     /// # Panics
@@ -481,6 +549,7 @@ impl Machine {
             .map(|p| p.finish_time)
             .max()
             .unwrap_or(0);
+        let (ni_peak_ingress, ni_peak_egress) = self.net.ni_peaks();
         let result = RunResult {
             protocol: self.protocol,
             workload: name,
@@ -488,6 +557,8 @@ impl Machine {
             events: handled,
             peak_queue_depth: self.queue.peak_len(),
             sim_wall_secs: run_started.elapsed().as_secs_f64(),
+            ni_peak_ingress,
+            ni_peak_egress,
         };
         Ok((result, self))
     }
@@ -502,6 +573,15 @@ impl Machine {
             Event::XMsg { msg, seq, corrupt } => self.handle_xmsg(t, msg, seq, corrupt),
             Event::LinkCtl { seq, ack } => self.handle_link_ctl(t, seq, ack),
             Event::RetryTimer { seq } => self.handle_retry_timer(t, seq),
+            Event::NiRetry { msg, attempts } => {
+                self.pending_ni_retries -= 1;
+                self.stats.resources.ni_retries += 1;
+                self.submit_bounded_attempt(t, msg, attempts);
+            }
+            Event::NackRetry { msg } => {
+                self.stats.resources.nack_retries += 1;
+                self.send(t, msg.src, msg.dst, msg.kind);
+            }
         }
     }
 
@@ -536,8 +616,44 @@ impl Machine {
         tripped.then(|| self.diagnose(StallReason::ProcStallHorizon(horizon), t))
     }
 
+    /// When a generic horizon trip coincides with visible finite-resource
+    /// pressure, name the resource: a spent NACK budget on a still-busy
+    /// line is a NACK storm, senders waiting out NI backoff point at a
+    /// full queue. `None` when neither pattern is present.
+    fn classify_resource_pressure(&self) -> Option<StallReason> {
+        if self.cfg.resources.dir_request_slots.is_some() {
+            let budget = self.cfg.resources.nack_retry_budget;
+            if let Some((line, &nacks)) =
+                self.nacks_given.iter().max_by_key(|&(_, &n)| n)
+            {
+                if nacks > 0 && nacks >= budget {
+                    return Some(StallReason::NackStorm { line, nacks });
+                }
+            }
+        }
+        if self.pending_ni_retries > 0 {
+            if let Some((node, occupancy, cap)) = self.last_ni_reject {
+                return Some(StallReason::NiQueueFull { node, occupancy, cap });
+            }
+        }
+        None
+    }
+
     /// Build the structured no-progress report.
     fn diagnose(&self, reason: StallReason, at: Cycle) -> StallDiagnosis {
+        // Horizon trips and deadlocks are symptoms; if finite-resource
+        // pressure is the visible cause, report that instead of the generic
+        // reason. (A requester that spent its whole NACK budget falls back
+        // to parking, so a never-resolving NACK storm ends as a drained
+        // queue — a Deadlock by mechanism, a storm by cause.)
+        let reason = match reason {
+            StallReason::Deadlock
+            | StallReason::CycleHorizon(_)
+            | StallReason::ProcStallHorizon(_) => {
+                self.classify_resource_pressure().unwrap_or(reason)
+            }
+            r => r,
+        };
         let stalled: Vec<StalledProc> = self
             .nodes
             .iter()
@@ -666,11 +782,49 @@ impl Machine {
             self.xmit_send(now, Msg { src, dst, kind });
             return;
         }
+        if self.ni_limited {
+            self.submit_bounded(now, Msg { src, dst, kind });
+            return;
+        }
         let arrival = self
             .net
             .send(now, src, dst, bytes)
             .unwrap_or_else(|e| panic!("{e}"));
         self.queue.push(arrival, Event::Msg(Msg { src, dst, kind }));
+    }
+
+    /// Hand `msg` to the finite-queue NI: accepted sends schedule delivery
+    /// as usual; a full queue rejects the send and schedules a retry after
+    /// capped exponential backoff, charging nothing to the wire. Retries
+    /// re-enter here with a growing `attempts`, so a persistently full
+    /// queue backs its senders off harder and harder (never livelocking —
+    /// the queue drains with time, and backoff always advances time).
+    fn submit_bounded(&mut self, now: Cycle, msg: Msg) {
+        self.submit_bounded_attempt(now, msg, 0);
+    }
+
+    fn submit_bounded_attempt(&mut self, now: Cycle, msg: Msg, attempts: u32) {
+        let bytes = msg.kind.bytes(
+            self.cfg.ctrl_msg_bytes,
+            self.cfg.line_size as u64,
+            self.cfg.word_size as u64,
+        );
+        let outcome = self
+            .net
+            .try_send(now, msg.src, msg.dst, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
+        match outcome {
+            Ok(arrival) => self.queue.push(arrival, Event::Msg(msg)),
+            Err(busy) => {
+                let delay = self.cfg.resources.backoff(attempts);
+                let r = &mut self.stats.resources;
+                r.ni_rejects += 1;
+                r.backpressure_stall_cycles += delay;
+                self.last_ni_reject = Some((busy.node, busy.occupancy, busy.cap));
+                self.pending_ni_retries += 1;
+                self.queue.push(now + delay, Event::NiRetry { msg, attempts: attempts + 1 });
+            }
+        }
     }
 
     // ---- link-layer reliable delivery (active fault plans only) ------------
@@ -697,12 +851,26 @@ impl Machine {
             self.cfg.line_size as u64,
             self.cfg.word_size as u64,
         );
-        let delivery = self
-            .net
-            .send_classed(now, msg.src, msg.dst, bytes, msg.kind.msg_class())
-            .unwrap_or_else(|e| panic!("{e}"));
-        for a in [delivery.first, delivery.dup].into_iter().flatten() {
-            self.queue.push(a.at, Event::XMsg { msg, seq, corrupt: a.corrupt });
+        // Finite NI queues: a full queue rejects this transmission attempt
+        // outright (nothing reaches the wire); the retry timer armed below
+        // re-attempts after backoff, so the PR 3 retransmit machinery
+        // doubles as the backpressure loop under fault plans.
+        let ni_rejected = match self.net.ni_busy(now, msg.src, msg.dst) {
+            Some(busy) => {
+                self.stats.resources.ni_rejects += 1;
+                self.last_ni_reject = Some((busy.node, busy.occupancy, busy.cap));
+                true
+            }
+            None => false,
+        };
+        if !ni_rejected {
+            let delivery = self
+                .net
+                .send_classed(now, msg.src, msg.dst, bytes, msg.kind.msg_class())
+                .unwrap_or_else(|e| panic!("{e}"));
+            for a in [delivery.first, delivery.dup].into_iter().flatten() {
+                self.queue.push(a.at, Event::XMsg { msg, seq, corrupt: a.corrupt });
+            }
         }
         let deadline = now
             + self
@@ -813,7 +981,80 @@ impl Machine {
     pub(crate) fn park(&mut self, msg: Msg, t: Cycle) {
         let _ = self.nodes[msg.dst].pp.occupy(t, self.cfg.write_notice_cost);
         let line = msg.kind.line().expect("parked messages concern a line");
-        self.parked.entry_or_default(line.0).push_back((msg, t));
+        let q = self.parked.entry_or_default(line.0);
+        q.push_back((msg, t));
+        let depth = q.len() as u64;
+        if depth > self.stats.resources.peak_parked {
+            self.stats.resources.peak_parked = depth;
+        }
+    }
+
+    /// Decide how the home treats a request that found `line`'s entry busy
+    /// (after the dead-forward escape declined to handle it):
+    /// `Some(attempt)` = send a BUSY-NACK back to the requester,
+    /// `None` = park it in the home's queue.
+    ///
+    /// With unbounded request slots (the default) this always parks,
+    /// preserving the assume-quiescent behavior bit-for-bit. With
+    /// `dir_request_slots = Some(k)`, the first `k` racers still park and
+    /// later ones are NACKed — but only `nack_retry_budget` times per busy
+    /// episode; once the budget is spent, requests park regardless, so
+    /// forward progress never depends on a retry winning a race (and the
+    /// checker's state space stays finite). `nack_nth` (checker mode)
+    /// forces a NACK at an exact request ordinal instead.
+    pub(crate) fn busy_action(&mut self, line: LineAddr) -> Option<u32> {
+        let forced = self.nack_nth == Some(self.park_seq);
+        self.park_seq += 1;
+        if forced {
+            return Some(0);
+        }
+        let cap = self.cfg.resources.dir_request_slots?;
+        if self.parked.get(line.0).map_or(0, |q| q.len()) < cap {
+            return None;
+        }
+        let budget = self.cfg.resources.nack_retry_budget;
+        let n = self.nacks_given.entry_or_default(line.0);
+        if *n < budget {
+            *n += 1;
+            Some(*n - 1)
+        } else {
+            self.stats.resources.nack_park_fallbacks += 1;
+            None
+        }
+    }
+
+    /// BUSY-NACK `m` back to its sender: the home's protocol processor
+    /// handles the rejection like a NAK probe, and the requester re-sends
+    /// the request after `attempt`-scaled backoff. The NACK echoes enough
+    /// of the request to reconstruct it verbatim at the requester.
+    pub(crate) fn send_busy_nack(&mut self, t: Cycle, m: Msg, line: LineAddr, attempt: u32) {
+        self.stats.resources.busy_nacks += 1;
+        let done = self.nodes[m.dst].pp.occupy(t, self.cfg.write_notice_cost);
+        let (for_write, had_copy, words) = match m.kind {
+            MsgKind::WriteReq { had_copy, words, .. } => (true, had_copy, words),
+            _ => (false, false, 0),
+        };
+        self.send(done, m.dst, m.src, MsgKind::BusyNack { line, for_write, had_copy, words, attempt });
+    }
+
+    /// Requester side of a BUSY-NACK: wait out the capped exponential
+    /// backoff, then re-send the original request. The outstanding
+    /// transaction entry is untouched — a NACKed retry is observationally a
+    /// parked request re-dispatched later, just with the wait spent at the
+    /// requester instead of in the home's queue.
+    pub(crate) fn on_busy_nack(&mut self, t: Cycle, m: Msg) {
+        let MsgKind::BusyNack { line, for_write, had_copy, words, attempt } = m.kind else {
+            unreachable!("on_busy_nack dispatched on a non-BusyNack message");
+        };
+        let done = self.nodes[m.dst].pp.occupy(t, self.cfg.write_notice_cost);
+        let delay = self.cfg.resources.backoff(attempt);
+        self.stats.resources.backpressure_stall_cycles += delay;
+        let kind = if for_write {
+            MsgKind::WriteReq { line, had_copy, words }
+        } else {
+            MsgKind::ReadReq { line }
+        };
+        self.queue.push(done + delay, Event::NackRetry { msg: Msg { src: m.dst, dst: m.src, kind } });
     }
 
     /// If `line`'s entry is free (no busy 3-hop, no ack collection) and a
@@ -826,6 +1067,12 @@ impl Machine {
             .is_none_or(|e| !e.busy && e.pending.is_none());
         if !free {
             return;
+        }
+        // The busy episode is over: the next one gets a fresh NACK budget.
+        // (Guarded — `nacks_given` stays untouched, hence empty, at the
+        // default unbounded configuration.)
+        if self.cfg.resources.dir_request_slots.is_some() {
+            self.nacks_given.remove(line.0);
         }
         let Some(q) = self.parked.get_mut(line.0) else {
             return;
@@ -898,7 +1145,7 @@ impl Machine {
             // Cache side (requester / third party).
             ReadReply { .. } | WriteReply { .. } | WriteAck { .. } | WriteThroughAck { .. }
             | WriteBackAck { .. } | Invalidate { .. } | WriteNotice { .. } | Forward { .. }
-            | OwnerData { .. } => self.handle_at_cache(t, m),
+            | OwnerData { .. } | BusyNack { .. } => self.handle_at_cache(t, m),
             // Synchronization.
             LockAcq { .. } | LockGrant { .. } | LockRel { .. } | BarrierArrive { .. }
             | BarrierRelease { .. } => self.handle_sync_msg(t, m),
@@ -910,6 +1157,19 @@ impl Machine {
         use std::fmt::Write;
         let mut s = String::new();
         let _ = writeln!(s, "protocol={} t={}", self.protocol, self.queue.now());
+        if !self.stats.resources.is_zero() {
+            let _ = writeln!(s, "  resources: {:?}", self.stats.resources);
+            let _ = writeln!(
+                s,
+                "  ni: pending_retries={} last_reject={:?} peaks(in,out)={:?}",
+                self.pending_ni_retries,
+                self.last_ni_reject,
+                self.net.ni_peaks(),
+            );
+            for (l, &n) in self.nacks_given.iter() {
+                let _ = writeln!(s, "  nacks line {l}: {n} this episode");
+            }
+        }
         if let Some(xm) = self.xmit.as_deref() {
             let _ = writeln!(
                 s,

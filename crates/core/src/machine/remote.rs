@@ -30,6 +30,7 @@ impl Machine {
                 self.on_forward(t, m, line, requester, for_write, ep)
             }
             MsgKind::OwnerData { line, for_write } => self.on_owner_data(t, m, line, for_write),
+            MsgKind::BusyNack { .. } => self.on_busy_nack(t, m),
             _ => unreachable!("not a cache-side message: {:?}", m.kind),
         }
     }
@@ -44,7 +45,7 @@ impl Machine {
             self.install_line(p, fill_done, line, LineState::ReadOnly);
         }
         if weak && self.protocol.is_lazy() {
-            self.nodes[p].pending_invals.insert(line.0);
+            self.queue_pending_inval(p, line);
         }
         self.complete_data_leg(p, fill_done, line);
     }
@@ -68,7 +69,7 @@ impl Machine {
             t
         };
         if weak && self.protocol.is_lazy() && self.nodes[p].cache.contains(line) {
-            self.nodes[p].pending_invals.insert(line.0);
+            self.queue_pending_inval(p, line);
         }
         if grant == WriteGrant::Pending {
             if let Some(o) = self.nodes[p].outstanding.get_mut(&line.0) {
@@ -118,7 +119,7 @@ impl Machine {
             // the spot; lazy ones queue the acquire-time invalidation the
             // overtaken notice asked for.
             if self.protocol.is_lazy() {
-                self.nodes[p].pending_invals.insert(line.0);
+                self.queue_pending_inval(p, line);
             } else if self.nodes[p].cache.invalidate(line).is_some() {
                 self.stats.procs[p].eager_invalidations += 1;
                 if let Some(c) = self.classifier.as_mut() {
@@ -216,7 +217,7 @@ impl Machine {
         let done = self.nodes[p].pp.occupy(t, self.cfg.write_notice_cost);
         self.stats.procs[p].notices_received += 1;
         if self.nodes[p].cache.contains(line) {
-            self.nodes[p].pending_invals.insert(line.0);
+            self.queue_pending_inval(p, line);
         } else if let Some(o) = self.nodes[p].outstanding.get_mut(&line.0) {
             // The notice overtook our own fill: flag it when it lands.
             o.stale_on_fill = true;

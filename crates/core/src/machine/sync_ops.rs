@@ -132,6 +132,31 @@ impl Machine {
         done
     }
 
+    /// Queue `line` for invalidation at `p`'s next acquire, honoring the
+    /// finite write-notice buffer: when the set would exceed its cap, the
+    /// precise list collapses into the conservative [`crate::node::Node::inval_all`]
+    /// bit (invalidate everything at the next acquire). Correct by
+    /// construction — a superset of the precise invalidation set.
+    pub(crate) fn queue_pending_inval(&mut self, p: ProcId, line: LineAddr) {
+        let node = &mut self.nodes[p];
+        if node.inval_all {
+            return; // already collapsed: the next acquire sweeps everything
+        }
+        if let Some(cap) = self.cfg.resources.write_notice_buffer {
+            if node.pending_invals.len() >= cap && !node.pending_invals.contains(&line.0) {
+                node.pending_invals.clear();
+                node.inval_all = true;
+                self.stats.resources.wn_overflows += 1;
+                return;
+            }
+        }
+        node.pending_invals.insert(line.0);
+        let len = node.pending_invals.len() as u64;
+        if len > self.stats.resources.peak_pending_invals {
+            self.stats.resources.peak_pending_invals = len;
+        }
+    }
+
     /// Apply every buffered write notice: invalidate the named lines, flush
     /// any of our own pending data for them, and tell the homes we no
     /// longer cache them (which lets blocks revert from Weak).
@@ -139,6 +164,12 @@ impl Machine {
     /// Returns the protocol-processor completion time.
     pub(crate) fn process_pending_invals(&mut self, p: ProcId, t: Cycle) -> Cycle {
         if self.nodes[p].pending_invals.is_empty() {
+            // `inval_all` implies the set is empty (it collapsed into the
+            // bit), so the overflow fallback costs one branch on a path the
+            // unbounded configuration already takes.
+            if self.nodes[p].inval_all {
+                return self.process_inval_all(p, t);
+            }
             return t;
         }
         // Drain into a pooled scratch vector and process in ascending line
@@ -150,33 +181,67 @@ impl Machine {
         let cost = lines.len() as u64 * self.cfg.write_notice_cost;
         let done = self.nodes[p].pp.occupy(t, cost);
         for &l0 in &lines {
-            let line = LineAddr(l0);
-            self.stats.procs[p].acquire_invalidations += 1;
-            // Our own unflushed writes to the line must reach memory first.
-            if let Some(e) = self.nodes[p].cb.take(line) {
-                self.send_write_through(p, done, e.line, e.words);
-            }
-            if self.protocol == lrc_sim::Protocol::LrcExt {
-                if let Some(words) = self.nodes[p].delayed_writes.remove(&l0) {
-                    self.note_flush(p, line, words);
-                    let o = self.nodes[p].outstanding.entry(l0).or_default();
-                    o.waiting_data = true;
-                    let home = self.home_of(line);
-                    self.send(done, p, home, MsgKind::WriteReq { line, had_copy: true, words });
-                }
-            }
-            if let Some(ev) = self.nodes[p].cache.invalidate(line) {
-                if let Some(c) = self.classifier.as_mut() {
-                    c.on_invalidate(p, line);
-                }
-                let home = self.home_of(line);
-                let was_writer = ev.state == lrc_mem::LineState::ReadWrite;
-                self.send(done, p, home, MsgKind::EvictNotify { line, was_writer });
-            }
+            self.apply_acquire_inval(p, done, l0);
         }
         lines.clear();
         self.inval_scratch = lines;
         done
+    }
+
+    /// The write-notice buffer overflowed: conservatively invalidate every
+    /// line this node holds in any structure — cache, coalescing buffer,
+    /// and (lazy-ext) delayed-notice table — instead of a precise list.
+    /// Each swept line pays the same per-line protocol-processor cost as a
+    /// precise acquire invalidation.
+    fn process_inval_all(&mut self, p: ProcId, t: Cycle) -> Cycle {
+        self.nodes[p].inval_all = false;
+        self.stats.resources.overflow_fallbacks += 1;
+        let mut lines = std::mem::take(&mut self.inval_scratch);
+        lines.extend(self.nodes[p].cache.iter().map(|r| r.line.0));
+        lines.extend(self.nodes[p].cb.iter().map(|e| e.line.0));
+        if self.protocol == lrc_sim::Protocol::LrcExt {
+            lines.extend(self.nodes[p].delayed_writes.keys().copied());
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        self.stats.resources.overflow_invalidations += lines.len() as u64;
+        let cost = lines.len() as u64 * self.cfg.write_notice_cost;
+        let done = self.nodes[p].pp.occupy(t, cost);
+        for &l0 in &lines {
+            self.apply_acquire_inval(p, done, l0);
+        }
+        lines.clear();
+        self.inval_scratch = lines;
+        done
+    }
+
+    /// One acquire-time invalidation: flush our own pending data for the
+    /// line, drop the copy, and notify the home. Shared between the precise
+    /// batch and the overflow sweep.
+    fn apply_acquire_inval(&mut self, p: ProcId, done: Cycle, l0: u64) {
+        let line = LineAddr(l0);
+        self.stats.procs[p].acquire_invalidations += 1;
+        // Our own unflushed writes to the line must reach memory first.
+        if let Some(e) = self.nodes[p].cb.take(line) {
+            self.send_write_through(p, done, e.line, e.words);
+        }
+        if self.protocol == lrc_sim::Protocol::LrcExt {
+            if let Some(words) = self.nodes[p].delayed_writes.remove(&l0) {
+                self.note_flush(p, line, words);
+                let o = self.nodes[p].outstanding.entry(l0).or_default();
+                o.waiting_data = true;
+                let home = self.home_of(line);
+                self.send(done, p, home, MsgKind::WriteReq { line, had_copy: true, words });
+            }
+        }
+        if let Some(ev) = self.nodes[p].cache.invalidate(line) {
+            if let Some(c) = self.classifier.as_mut() {
+                c.on_invalidate(p, line);
+            }
+            let home = self.home_of(line);
+            let was_writer = ev.state == lrc_mem::LineState::ReadWrite;
+            self.send(done, p, home, MsgKind::EvictNotify { line, was_writer });
+        }
     }
 
     /// Lock and barrier protocol messages.

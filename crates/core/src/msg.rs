@@ -88,6 +88,16 @@ pub enum MsgKind {
     BarrierArrive { bar: BarrierId },
     /// All processors arrived: proceed.
     BarrierRelease { bar: BarrierId },
+
+    // ---- finite resources ---------------------------------------------------
+    // (Appended last: the derived `Hash` folds the variant index, and the
+    // golden fingerprints depend on the indices above staying put.)
+    /// Home → requester: the directory entry is busy with an in-flight
+    /// transaction and no request slot is free — retry after backoff. The
+    /// remaining fields echo the rejected request so the requester can
+    /// reconstruct it verbatim (`for_write` picks `WriteReq` vs `ReadReq`;
+    /// `attempt` scales the retry backoff).
+    BusyNack { line: LineAddr, for_write: bool, had_copy: bool, words: u64, attempt: u32 },
 }
 
 /// A routed message.
@@ -150,7 +160,8 @@ impl MsgKind {
             | MsgKind::NoticeAck { line }
             | MsgKind::OwnerData { line, .. }
             | MsgKind::CopyBack { line, .. }
-            | MsgKind::ForwardNack { line, .. } => Some(line),
+            | MsgKind::ForwardNack { line, .. }
+            | MsgKind::BusyNack { line, .. } => Some(line),
             _ => None,
         }
     }
@@ -238,5 +249,10 @@ mod tests {
         assert_eq!(MsgKind::ReadReq { line: l(9) }.line(), Some(l(9)));
         assert_eq!(MsgKind::LockAcq { lock: 3 }.line(), None);
         assert_eq!(MsgKind::BarrierArrive { bar: 0 }.line(), None);
+        let nack =
+            MsgKind::BusyNack { line: l(9), for_write: true, had_copy: false, words: 0, attempt: 1 };
+        assert_eq!(nack.line(), Some(l(9)));
+        assert_eq!(nack.bytes(H, L, W), 8, "a NACK is a bare header");
+        assert_eq!(nack.traffic_class(), TrafficClass::Control);
     }
 }

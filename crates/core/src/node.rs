@@ -108,6 +108,11 @@ pub struct Node {
     /// write notices and weak-flagged fills. Processed in ascending line
     /// order (`process_pending_invals` sorts its batch).
     pub pending_invals: FxHashSet<u64>,
+    /// Conservative overflow fallback (finite write-notice buffers only):
+    /// the pending-inval set hit its cap, so the next acquire invalidates
+    /// *every* cached shared line instead of a precise list. Set ⇒
+    /// `pending_invals` is empty (the set collapsed into this bit).
+    pub inval_all: bool,
     /// Lazy-ext: writes whose notices are deferred to the next release,
     /// keyed by line, value = accumulated dirty-word mask. Flushed in
     /// ascending line order (`flush_release_buffers` sorts).
@@ -146,6 +151,7 @@ impl Node {
             pp: TimedResource::new(),
             outstanding: FxHashMap::default(),
             pending_invals: FxHashSet::default(),
+            inval_all: false,
             delayed_writes: FxHashMap::default(),
             wt_unacked: 0,
             wbk_unacked: 0,

@@ -19,7 +19,7 @@
 //! diagnosis naming the abandoned deliveries, not silent corruption.
 //!
 //! ```text
-//! lrc-soak [--smoke] [--procs N] [--seeds N] [--phases N]
+//! lrc-soak [--smoke] [--capacity-sweep] [--procs N] [--seeds N] [--phases N]
 //!          [--rates R1,R2,...] [--watchdog CYCLES] [--quiet]
 //! ```
 //!
@@ -27,12 +27,19 @@
 //! all four protocols. The default profile sweeps rates {0, 1e-4, 1e-3}
 //! across three seeds. Exit status is non-zero on any verification failure
 //! or on a wedge at a recoverable rate.
+//!
+//! `--capacity-sweep` replaces the fault grid with a *finite-resource* grid:
+//! NI queue depth × write-notice budget × protocol, fault-free. Every cell
+//! must complete (backpressure and the overflow fallback degrade timing,
+//! never progress), verify against the reference SC execution, and rerun
+//! bit-identically; the sweep as a whole must exercise real pressure
+//! (nonzero NACK / reject / overflow counters in at least one cell).
 
 #![forbid(unsafe_code)]
 
 use lrc_core::{FaultPlan, FaultRates, Machine, MsgClass, StallDiagnosis};
 use lrc_sim::refint;
-use lrc_sim::{MachineConfig, MachineStats, Op, Protocol, Rng, Script};
+use lrc_sim::{MachineConfig, MachineStats, Op, Protocol, ResourceLimits, Rng, Script};
 
 /// Locks protecting the shared region; shared line `l` belongs to lock
 /// `l % N_LOCKS`, and is only touched inside that lock's critical sections,
@@ -152,6 +159,120 @@ fn run_cell(
     }
 }
 
+/// One capacity-sweep cell: fault-free, finite resources from `cfg`.
+/// Completes (or wedges — a failure), verifies values against the reference
+/// SC execution, and reruns for bit-identical statistics.
+fn capacity_cell(
+    cfg: &MachineConfig,
+    proto: Protocol,
+    seed: u64,
+    phases: usize,
+    csecs: usize,
+    watchdog: u64,
+) -> CellOutcome {
+    let script = soak_script(seed, cfg.num_procs, phases, csecs, cfg);
+    let build = || {
+        Machine::new(cfg.clone(), proto)
+            .with_value_tracking()
+            .with_watchdog(watchdog)
+            .with_max_cycles(50_000_000_000)
+    };
+    let (first, m) = match build().try_run_keep(Box::new(script.clone())) {
+        Ok(pair) => pair,
+        Err(diag) => return CellOutcome::Wedged(diag),
+    };
+    if let Err(e) = verify_values(&m, &script) {
+        return CellOutcome::Failed(e);
+    }
+    match build().try_run(Box::new(script)) {
+        Ok(second) if second.stats == first.stats => CellOutcome::Ok(Box::new(first.stats)),
+        Ok(_) => CellOutcome::Failed("rerun with the same capacities diverged".into()),
+        Err(diag) => {
+            CellOutcome::Failed(format!("rerun wedged where the first run completed: {diag}"))
+        }
+    }
+}
+
+/// The finite-resource sweep: NI queue depth (which also bounds directory
+/// request slots) × write-notice budget × protocol × seed. Returns the
+/// number of failed cells.
+fn capacity_sweep(
+    base: &MachineConfig,
+    smoke: bool,
+    seeds: u64,
+    phases: usize,
+    csecs: usize,
+    watchdog: u64,
+    quiet: bool,
+) -> usize {
+    let depths: &[Option<usize>] = if smoke { &[None, Some(2)] } else { &[None, Some(8), Some(2)] };
+    let budgets: &[Option<usize>] = if smoke { &[None, Some(1)] } else { &[None, Some(16), Some(1)] };
+    let fmt = |c: Option<usize>| c.map_or("inf".to_string(), |v| v.to_string());
+
+    let mut cells = 0usize;
+    let mut failures = 0usize;
+    let mut pressure = 0u64;
+    for &depth in depths {
+        for &budget in budgets {
+            let mut cfg = base.clone();
+            cfg.resources = ResourceLimits {
+                ni_ingress: depth,
+                ni_egress: depth,
+                dir_request_slots: depth,
+                write_notice_buffer: budget,
+                ..ResourceLimits::unbounded()
+            };
+            for &proto in &Protocol::ALL {
+                for seed in 1..=seeds {
+                    cells += 1;
+                    let tag = format!(
+                        "{:<8} depth={:<3} wn={:<3} seed={seed}",
+                        proto.name(),
+                        fmt(depth),
+                        fmt(budget)
+                    );
+                    match capacity_cell(&cfg, proto, seed, phases, csecs, watchdog) {
+                        CellOutcome::Ok(stats) => {
+                            let r = &stats.resources;
+                            pressure += r.busy_nacks + r.ni_rejects + r.wn_overflows;
+                            if !quiet {
+                                eprintln!(
+                                    "  ok {tag}  {:>10} cycles  {:>7} refs  \
+                                     {:>4} nacks  {:>4} rejects  {:>3} overflows",
+                                    stats.total_cycles,
+                                    stats.total_refs(),
+                                    r.busy_nacks,
+                                    r.ni_rejects,
+                                    r.wn_overflows,
+                                );
+                            }
+                        }
+                        CellOutcome::Failed(e) => {
+                            failures += 1;
+                            eprintln!("FAIL {tag}: {e}");
+                        }
+                        CellOutcome::Wedged(diag) => {
+                            failures += 1;
+                            eprintln!("FAIL {tag}: wedged under finite capacities: {diag}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if pressure == 0 {
+        failures += 1;
+        eprintln!("FAIL capacity sweep: no cell ever NACKed, rejected, or overflowed");
+    }
+    if failures == 0 {
+        eprintln!(
+            "lrc-soak --capacity-sweep: all {cells} cells verified \
+             ({pressure} pressure events, every run value-correct and reproducible)"
+        );
+    }
+    failures
+}
+
 /// The unrecoverable stage: drop messages with retries disabled, and
 /// require the failure mode to be a structured diagnosis that names the
 /// abandoned deliveries — never a hang, never silent completion with wrong
@@ -199,6 +320,7 @@ fn die(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
+    let mut capacity = false;
     let mut quiet = false;
     let mut procs: Option<usize> = None;
     let mut seeds: Option<u64> = None;
@@ -214,6 +336,7 @@ fn main() {
         };
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--capacity-sweep" => capacity = true,
             "--quiet" => quiet = true,
             "--procs" => {
                 let v = value(&mut i, "--procs");
@@ -245,8 +368,8 @@ fn main() {
             }
             other => die(&format!(
                 "unknown argument '{other}' \
-                 (usage: lrc-soak [--smoke] [--procs N] [--seeds N] [--phases N] \
-                 [--rates R1,R2,...] [--watchdog CYCLES] [--quiet])"
+                 (usage: lrc-soak [--smoke] [--capacity-sweep] [--procs N] [--seeds N] \
+                 [--phases N] [--rates R1,R2,...] [--watchdog CYCLES] [--quiet])"
             )),
         }
         i += 1;
@@ -258,6 +381,20 @@ fn main() {
     let csecs = if smoke { 4 } else { 8 };
     let rates = rates.unwrap_or(if smoke { vec![0.0, 1e-3] } else { vec![0.0, 1e-4, 1e-3] });
     let cfg = MachineConfig::paper_default(procs);
+
+    if capacity {
+        if !quiet {
+            eprintln!(
+                "lrc-soak --capacity-sweep{}: {} procs, {} seed(s), {} protocols",
+                if smoke { " --smoke" } else { "" },
+                procs,
+                seeds,
+                Protocol::ALL.len()
+            );
+        }
+        let failures = capacity_sweep(&cfg, smoke, seeds, phases, csecs, watchdog, quiet);
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
 
     if !quiet {
         eprintln!(

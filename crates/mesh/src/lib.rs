@@ -11,5 +11,5 @@ pub mod network;
 pub mod topology;
 
 pub use fault::{Arrival, Delivery, FaultCounters, FaultPlan, FaultRates, MsgClass};
-pub use network::{NetError, Network};
+pub use network::{NetError, Network, NiBusy};
 pub use topology::Mesh;

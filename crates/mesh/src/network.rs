@@ -16,6 +16,7 @@
 use crate::fault::{Delivery, FaultCounters, FaultPlan, Injector, MsgClass};
 use crate::topology::Mesh;
 use lrc_sim::{Cycle, MachineConfig, NodeId};
+use std::collections::VecDeque;
 
 /// A message was addressed outside this machine: the source or destination
 /// `NodeId` does not exist in a `nodes`-node network. This is how a
@@ -45,6 +46,89 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// A send rejected by a full NI queue: the backpressure signal. The caller
+/// (the machine) turns this into a retry with capped exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NiBusy {
+    /// The node whose queue is full.
+    pub node: NodeId,
+    /// True when the *ingress* (receive) queue at the destination is full;
+    /// false when the *egress* (send) queue at the source is.
+    pub ingress: bool,
+    /// Occupancy at the moment of rejection (= `cap`).
+    pub occupancy: usize,
+    /// The configured capacity.
+    pub cap: usize,
+}
+
+/// Finite NI queue occupancy. Each accepted message holds one egress slot
+/// at its source until its tail leaves the outbound port, and one ingress
+/// slot at its destination until reception completes. Both per-node
+/// sequences of completion times are monotone nondecreasing (ports are
+/// FIFO: `depart = max(now, send_free)` and `done = max(head, recv_free) +
+/// occ` never run backwards), so a slot expires exactly when the front
+/// entry's time passes — no scanning, amortized O(1) per message.
+///
+/// Lives behind an `Option<Box<_>>` on [`Network`] so the unbounded
+/// (default) hot path pays exactly one pointer test.
+#[derive(Debug, Clone)]
+struct NiState {
+    ingress_cap: usize,
+    egress_cap: usize,
+    /// Per-source completion times of accepted, not-yet-departed messages.
+    egress: Vec<VecDeque<Cycle>>,
+    /// Per-destination completion times of accepted, not-yet-received
+    /// messages.
+    ingress: Vec<VecDeque<Cycle>>,
+    peak_ingress: usize,
+    peak_egress: usize,
+}
+
+impl NiState {
+    fn new(nodes: usize, ingress_cap: Option<usize>, egress_cap: Option<usize>) -> Self {
+        NiState {
+            ingress_cap: ingress_cap.unwrap_or(usize::MAX),
+            egress_cap: egress_cap.unwrap_or(usize::MAX),
+            egress: vec![VecDeque::new(); nodes],
+            ingress: vec![VecDeque::new(); nodes],
+            peak_ingress: 0,
+            peak_egress: 0,
+        }
+    }
+
+    /// Drop every slot whose occupant has fully crossed its port.
+    fn expire(q: &mut VecDeque<Cycle>, now: Cycle) {
+        while q.front().is_some_and(|&t| t <= now) {
+            q.pop_front();
+        }
+    }
+
+    /// Full-queue check for a `src -> dst` send at `now`, egress first.
+    fn busy(&mut self, now: Cycle, src: NodeId, dst: NodeId) -> Option<NiBusy> {
+        Self::expire(&mut self.egress[src], now);
+        let occ = self.egress[src].len();
+        if occ >= self.egress_cap {
+            return Some(NiBusy { node: src, ingress: false, occupancy: occ, cap: self.egress_cap });
+        }
+        Self::expire(&mut self.ingress[dst], now);
+        let occ = self.ingress[dst].len();
+        if occ >= self.ingress_cap {
+            return Some(NiBusy { node: dst, ingress: true, occupancy: occ, cap: self.ingress_cap });
+        }
+        None
+    }
+
+    fn hold_egress(&mut self, src: NodeId, until: Cycle) {
+        self.egress[src].push_back(until);
+        self.peak_egress = self.peak_egress.max(self.egress[src].len());
+    }
+
+    fn hold_ingress(&mut self, dst: NodeId, until: Cycle) {
+        self.ingress[dst].push_back(until);
+        self.peak_ingress = self.peak_ingress.max(self.ingress[dst].len());
+    }
+}
+
 /// Stateful network timing model: owns the per-node NI port availability.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -61,6 +145,9 @@ pub struct Network {
     /// Fault injector; `None` when no active plan is installed, which is
     /// the only thing the fault-free hot path ever branches on.
     injector: Option<Box<Injector>>,
+    /// Finite NI queues; `None` when both directions are unbounded (the
+    /// default), which is the only thing the hot path ever branches on.
+    ni: Option<Box<NiState>>,
 }
 
 impl Network {
@@ -77,6 +164,8 @@ impl Network {
             msgs: 0,
             bytes_total: 0,
             injector: None,
+            ni: (cfg.resources.ni_ingress.is_some() || cfg.resources.ni_egress.is_some())
+                .then(|| Box::new(NiState::new(n, cfg.resources.ni_ingress, cfg.resources.ni_egress))),
         }
     }
 
@@ -176,6 +265,58 @@ impl Network {
         Ok(self.receive_at(depart, src, dst, bytes, 0))
     }
 
+    /// True when finite NI queues are installed. Callers that care about
+    /// backpressure route sends through [`Network::try_send`] when this
+    /// holds.
+    pub fn ni_limited(&self) -> bool {
+        self.ni.is_some()
+    }
+
+    /// Would a `src -> dst` send at `now` be rejected by a full NI queue?
+    /// `None` when unbounded, node-local, or both queues have room.
+    pub fn ni_busy(&mut self, now: Cycle, src: NodeId, dst: NodeId) -> Option<NiBusy> {
+        let ni = self.ni.as_deref_mut()?;
+        if src == dst || src >= self.send_free.len() || dst >= self.send_free.len() {
+            return None;
+        }
+        ni.busy(now, src, dst)
+    }
+
+    /// [`Network::send`] with NI backpressure: `Ok(Ok(done))` when the
+    /// message was accepted (delivery completes at `done`), `Ok(Err(busy))`
+    /// when a full NI queue rejected it — nothing is charged and the caller
+    /// retries after a backoff — and `Err` for out-of-machine endpoints.
+    /// With no limits installed this is exactly [`Network::send`].
+    pub fn try_send(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+    ) -> Result<Result<Cycle, NiBusy>, NetError> {
+        if let Some(busy) = self.ni_busy(now, src, dst) {
+            self.check_nodes(src, dst)?;
+            return Ok(Err(busy));
+        }
+        let done = self.send(now, src, dst, bytes)?;
+        if src != dst {
+            if let Some(ni) = self.ni.as_deref_mut() {
+                // The egress slot frees when the tail leaves the outbound
+                // port (= the port's new free time), the ingress slot when
+                // reception completes.
+                ni.hold_egress(src, self.send_free[src]);
+                ni.hold_ingress(dst, done);
+            }
+        }
+        Ok(Ok(done))
+    }
+
+    /// Peak NI queue occupancies seen so far, `(ingress, egress)`. Both
+    /// zero when no limits are installed.
+    pub fn ni_peaks(&self) -> (usize, usize) {
+        self.ni.as_deref().map_or((0, 0), |ni| (ni.peak_ingress, ni.peak_egress))
+    }
+
     /// Send a message of `class` through the (possibly faulty) fabric.
     /// With no active plan this is exactly [`Network::send`] wrapped in a
     /// clean single-arrival [`Delivery`]. With one, the injector decides:
@@ -206,7 +347,17 @@ impl Network {
         self.bytes_total += bytes;
         let v = self.injector.as_mut().expect("checked above").decide(class);
         let depart = self.depart_at(now, src, bytes);
+        // Finite NI queues track this path too, except link-layer control
+        // (acks/nacks ride dedicated credits — exempting them keeps the
+        // retry machinery itself immune to the backpressure it resolves).
+        let track_ni = self.ni.is_some() && class != MsgClass::Link;
+        if track_ni {
+            let until = self.send_free[src];
+            self.ni.as_deref_mut().expect("checked above").hold_egress(src, until);
+        }
         if v.drop {
+            // Dropped in the fabric: the egress slot was consumed, no
+            // ingress slot ever is.
             return Ok(Delivery::default());
         }
         let first = crate::fault::Arrival {
@@ -221,6 +372,13 @@ impl Network {
                 corrupt: false,
             }
         });
+        if track_ni {
+            let ni = self.ni.as_deref_mut().expect("checked above");
+            ni.hold_ingress(dst, first.at);
+            if let Some(d) = dup {
+                ni.hold_ingress(dst, d.at);
+            }
+        }
         Ok(Delivery { first: Some(first), dup })
     }
 
@@ -392,6 +550,107 @@ mod tests {
         assert_eq!(a.at, t + delay);
         let c = faulty.fault_counters();
         assert_eq!((c.delayed, c.corrupted), (1, 1));
+    }
+
+    fn bounded_cfg(n: usize, ingress: Option<usize>, egress: Option<usize>) -> MachineConfig {
+        let mut c = cfg(n);
+        c.resources.ni_ingress = ingress;
+        c.resources.ni_egress = egress;
+        c
+    }
+
+    #[test]
+    fn unbounded_network_installs_no_ni_state() {
+        let mut net = Network::new(&cfg(4));
+        assert!(!net.ni_limited());
+        assert!(net.ni_busy(0, 0, 1).is_none());
+        assert_eq!(net.ni_peaks(), (0, 0));
+        // try_send degenerates to send.
+        let mut plain = Network::new(&cfg(4));
+        let a = plain.send(7, 0, 3, 128).unwrap();
+        let b = net.try_send(7, 0, 3, 128).unwrap().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roomy_ni_queues_change_no_timing() {
+        let mut plain = Network::new(&cfg(16));
+        let mut bounded = Network::new(&bounded_cfg(16, Some(64), Some(64)));
+        for i in 0..50u64 {
+            let (src, dst) = ((i % 16) as usize, ((i * 7 + 3) % 16) as usize);
+            if src == dst {
+                continue;
+            }
+            let a = plain.send(i * 2, src, dst, 8 + i).unwrap();
+            let b = bounded.try_send(i * 2, src, dst, 8 + i).unwrap().unwrap();
+            assert_eq!(a, b);
+        }
+        let (pi, pe) = bounded.ni_peaks();
+        assert!(pi >= 1 && pe >= 1);
+    }
+
+    #[test]
+    fn full_egress_queue_rejects_without_charging() {
+        let mut net = Network::new(&bounded_cfg(16, None, Some(1)));
+        let done = net.try_send(0, 0, 15, 128).unwrap().unwrap();
+        // The port is busy serializing the first message: slot still held.
+        let busy = net.try_send(1, 0, 9, 8).unwrap().unwrap_err();
+        assert_eq!(busy, NiBusy { node: 0, ingress: false, occupancy: 1, cap: 1 });
+        let free_after = net.send_free[0];
+        // Rejection charged nothing.
+        assert_eq!(net.send_free[0], free_after);
+        assert_eq!(net.messages_sent(), 1);
+        // Once the tail has left the port the slot frees and sends flow.
+        assert!(net.try_send(free_after, 0, 9, 8).unwrap().is_ok());
+        assert!(done > 0);
+    }
+
+    #[test]
+    fn full_ingress_queue_rejects_the_sender() {
+        let mut net = Network::new(&bounded_cfg(16, Some(1), None));
+        let done = net.try_send(0, 1, 5, 128).unwrap().unwrap();
+        let busy = net.try_send(0, 2, 5, 8).unwrap().unwrap_err();
+        assert_eq!(busy, NiBusy { node: 5, ingress: true, occupancy: 1, cap: 1 });
+        // After reception completes the slot frees.
+        assert!(net.try_send(done, 2, 5, 8).unwrap().is_ok());
+        assert_eq!(net.ni_peaks().0, 1);
+    }
+
+    #[test]
+    fn local_sends_bypass_ni_queues() {
+        let mut net = Network::new(&bounded_cfg(4, Some(1), Some(1)));
+        for t in 0..10 {
+            assert!(net.try_send(t, 2, 2, 128).unwrap().is_ok());
+        }
+        assert_eq!(net.ni_peaks(), (0, 0));
+    }
+
+    #[test]
+    fn try_send_still_rejects_bad_nodes() {
+        let mut net = Network::new(&bounded_cfg(4, Some(1), Some(1)));
+        assert!(net.try_send(0, 0, 7, 8).is_err());
+    }
+
+    #[test]
+    fn classed_sends_occupy_ni_slots_except_link_class() {
+        // An active plan that will never actually fire, to route sends
+        // through the injector path.
+        let mut net = Network::new(&bounded_cfg(16, Some(4), Some(4)))
+            .with_faults(FaultPlan::drop_nth(MsgClass::Sync, u64::MAX));
+        net.send_classed(0, 0, 1, 8, MsgClass::Link).unwrap();
+        assert_eq!(net.ni_peaks(), (0, 0), "link-layer control rides dedicated credits");
+        net.send_classed(0, 0, 1, 8, MsgClass::Request).unwrap();
+        let (pi, pe) = net.ni_peaks();
+        assert_eq!((pi, pe), (1, 1));
+    }
+
+    #[test]
+    fn dropped_classed_sends_occupy_egress_only() {
+        let mut net = Network::new(&bounded_cfg(16, Some(4), Some(4)))
+            .with_faults(FaultPlan::drop_nth(MsgClass::Request, 0));
+        let d = net.send_classed(0, 0, 1, 128, MsgClass::Request).unwrap();
+        assert_eq!(d, Delivery::default());
+        assert_eq!(net.ni_peaks(), (0, 1));
     }
 
     #[test]

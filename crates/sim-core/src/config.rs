@@ -42,6 +42,85 @@ pub enum Placement {
     FirstTouch,
 }
 
+/// Finite protocol-resource limits. The paper's protocols run on
+/// programmable protocol processors with *finite* hardware — bounded
+/// network-interface queues, a directory with limited request storage, and
+/// a write-notice buffer of fixed size. Each limit here is optional:
+/// `None` models the idealized unbounded structure (the default, which
+/// preserves the golden fingerprints), `Some(k)` bounds it at `k` and
+/// routes overflow through the graceful-degradation paths (BUSY-NACK +
+/// retry backpressure, or the conservative invalidate-all fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Per-node NI ingress (receive) queue depth: at most this many
+    /// messages may be in flight *into* one node at once. `None` =
+    /// unbounded.
+    pub ni_ingress: Option<usize>,
+    /// Per-node NI egress (send) queue depth: at most this many messages
+    /// may be queued *out of* one node at once. `None` = unbounded.
+    pub ni_egress: Option<usize>,
+    /// Directory request slots per line: how many requests a home may park
+    /// against a busy/transient entry before it starts BUSY-NACKing
+    /// newcomers back to the requester. `Some(0)` = NACK every request
+    /// that races an in-flight transaction (pure DASH-style backoff);
+    /// `None` = park everything (the idealized unbounded queue).
+    pub dir_request_slots: Option<usize>,
+    /// Per-node write-notice buffer capacity (lazy protocols): how many
+    /// distinct lines may be queued for invalidation-at-next-acquire.
+    /// Overflow sets the conservative "invalidate everything at the next
+    /// acquire" bit instead of losing a notice. `None` = unbounded.
+    pub write_notice_buffer: Option<usize>,
+    /// Base delay in cycles for the capped exponential backoff applied to
+    /// NACKed and NI-rejected messages (doubles per attempt, capped).
+    pub nack_backoff_base: u64,
+    /// BUSY-NACKs a home will send per busy episode of one line before it
+    /// parks the request anyway, guaranteeing forward progress without
+    /// unbounded retry storms.
+    pub nack_retry_budget: u32,
+}
+
+/// Attempts beyond this shift count stop growing the backoff (2^6 = 64×
+/// base), mirroring the link layer's `BACKOFF_CAP`.
+const NACK_BACKOFF_CAP: u32 = 6;
+
+impl ResourceLimits {
+    /// The idealized machine: every queue and table unbounded. This is the
+    /// default and leaves simulation results bit-identical to a build
+    /// without resource modeling.
+    pub fn unbounded() -> Self {
+        ResourceLimits {
+            ni_ingress: None,
+            ni_egress: None,
+            dir_request_slots: None,
+            write_notice_buffer: None,
+            nack_backoff_base: 40,
+            nack_retry_budget: 8,
+        }
+    }
+
+    /// Capped exponential backoff before retrying a rejected message:
+    /// `base << min(attempt, 6)`, never zero so retries always make time
+    /// progress.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        (self.nack_backoff_base << attempt.min(NACK_BACKOFF_CAP)).max(1)
+    }
+
+    /// True when no limit is set — the hot paths skip all occupancy
+    /// tracking in this case.
+    pub fn is_unbounded(&self) -> bool {
+        self.ni_ingress.is_none()
+            && self.ni_egress.is_none()
+            && self.dir_request_slots.is_none()
+            && self.write_notice_buffer.is_none()
+    }
+}
+
+impl Default for ResourceLimits {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
 /// Full description of the simulated machine.
 ///
 /// [`MachineConfig::paper_default`] matches Table 1 of the paper;
@@ -108,6 +187,9 @@ pub struct MachineConfig {
     /// fallback — once more than `k` nodes share a block the directory
     /// loses precision and coherence actions for it must be broadcast.
     pub dir_pointers: Option<usize>,
+    /// Finite protocol-resource limits (NI queues, directory request
+    /// slots, write-notice buffers). Default = unbounded.
+    pub resources: ResourceLimits,
 }
 
 impl MachineConfig {
@@ -138,6 +220,7 @@ impl MachineConfig {
             nack_retry_delay: 40,
             placement: Placement::RoundRobinPages,
             dir_pointers: None,
+            resources: ResourceLimits::unbounded(),
         }
     }
 
@@ -288,6 +371,24 @@ impl MachineConfig {
         if self.dir_pointers == Some(0) {
             return Err(ConfigError::new("dir_pointers", "must be at least 1 when limited"));
         }
+        if self.resources.ni_ingress == Some(0) {
+            return Err(ConfigError::new(
+                "resources.ni_ingress",
+                "a zero-slot NI queue can never accept a message; use at least 1",
+            ));
+        }
+        if self.resources.ni_egress == Some(0) {
+            return Err(ConfigError::new(
+                "resources.ni_egress",
+                "a zero-slot NI queue can never accept a message; use at least 1",
+            ));
+        }
+        if self.resources.nack_backoff_base == 0 {
+            return Err(ConfigError::new(
+                "resources.nack_backoff_base",
+                "retry backoff must advance time; use at least 1 cycle",
+            ));
+        }
         Ok(())
     }
 }
@@ -417,6 +518,45 @@ mod tests {
         let mut c = MachineConfig::paper_default(4);
         c.dir_pointers = Some(0);
         assert_eq!(c.validate().unwrap_err().field, "dir_pointers");
+    }
+
+    #[test]
+    fn resource_limits_default_unbounded() {
+        let c = MachineConfig::paper_default(4);
+        assert!(c.resources.is_unbounded());
+        assert_eq!(c.resources, ResourceLimits::default());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn resource_limit_validation() {
+        let mut c = MachineConfig::paper_default(4);
+        c.resources.ni_ingress = Some(0);
+        assert_eq!(c.validate().unwrap_err().field, "resources.ni_ingress");
+        let mut c = MachineConfig::paper_default(4);
+        c.resources.ni_egress = Some(0);
+        assert_eq!(c.validate().unwrap_err().field, "resources.ni_egress");
+        let mut c = MachineConfig::paper_default(4);
+        c.resources.nack_backoff_base = 0;
+        assert_eq!(c.validate().unwrap_err().field, "resources.nack_backoff_base");
+        // Zero directory slots and zero write-notice budget are legal: they
+        // mean "always NACK" and "always fall back", both of which make
+        // progress.
+        let mut c = MachineConfig::paper_default(4);
+        c.resources.dir_request_slots = Some(0);
+        c.resources.write_notice_buffer = Some(0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let r = ResourceLimits { nack_backoff_base: 40, ..ResourceLimits::unbounded() };
+        assert_eq!(r.backoff(0), 40);
+        assert_eq!(r.backoff(1), 80);
+        assert_eq!(r.backoff(6), 40 << 6);
+        assert_eq!(r.backoff(60), 40 << 6); // capped
+        let tiny = ResourceLimits { nack_backoff_base: 1, ..ResourceLimits::unbounded() };
+        assert!(tiny.backoff(0) >= 1);
     }
 
     #[test]

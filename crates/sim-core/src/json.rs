@@ -2,8 +2,10 @@
 //! serialize: [`MachineConfig`], [`Protocol`], and the statistics
 //! structures. Built on the workspace's offline `lrc-json` layer.
 
-use crate::config::{MachineConfig, Placement};
-use crate::stats::{Breakdown, FaultStats, MachineStats, MissClass, MissCounts, ProcStats, Traffic};
+use crate::config::{MachineConfig, Placement, ResourceLimits};
+use crate::stats::{
+    Breakdown, FaultStats, MachineStats, MissClass, MissCounts, ProcStats, ResourceStats, Traffic,
+};
 use crate::types::Protocol;
 use lrc_json::{json_struct, FromJson, ToJson, Value};
 
@@ -72,6 +74,16 @@ json_struct!(MachineConfig {
     nack_retry_delay,
     placement,
     dir_pointers,
+    resources,
+});
+
+json_struct!(ResourceLimits {
+    ni_ingress,
+    ni_egress,
+    dir_request_slots,
+    write_notice_buffer,
+    nack_backoff_base,
+    nack_retry_budget,
 });
 
 impl ToJson for MissCounts {
@@ -129,7 +141,20 @@ json_struct!(FaultStats {
     dup_suppressed,
     link_msgs,
 });
-json_struct!(MachineStats { procs, total_cycles, faults });
+json_struct!(ResourceStats {
+    busy_nacks,
+    nack_retries,
+    nack_park_fallbacks,
+    ni_rejects,
+    ni_retries,
+    backpressure_stall_cycles,
+    wn_overflows,
+    overflow_fallbacks,
+    overflow_invalidations,
+    peak_pending_invals,
+    peak_parked,
+});
+json_struct!(MachineStats { procs, total_cycles, faults, resources });
 
 #[cfg(test)]
 mod tests {
@@ -155,6 +180,17 @@ mod tests {
         let cfg = MachineConfig::future_machine(64);
         let v = cfg.to_json();
         assert_eq!(v["line_size"].as_u64(), Some(256));
+        assert_eq!(MachineConfig::from_json(&v), Some(cfg));
+    }
+
+    #[test]
+    fn bounded_config_json_roundtrip() {
+        let mut cfg = MachineConfig::paper_default(16);
+        cfg.resources.ni_ingress = Some(4);
+        cfg.resources.dir_request_slots = Some(0);
+        cfg.resources.write_notice_buffer = Some(8);
+        cfg.resources.nack_retry_budget = 3;
+        let v = cfg.to_json();
         assert_eq!(MachineConfig::from_json(&v), Some(cfg));
     }
 }

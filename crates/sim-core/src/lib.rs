@@ -23,12 +23,12 @@ pub mod types;
 pub mod watchdog;
 pub mod workload;
 
-pub use config::{table1_rows, ConfigError, MachineConfig, Placement};
+pub use config::{table1_rows, ConfigError, MachineConfig, Placement, ResourceLimits};
 pub use event::EventQueue;
 pub use rng::Rng;
 pub use stats::{
-    Breakdown, FaultStats, MachineStats, MissClass, MissCounts, ProcStats, StallKind, Traffic,
-    TrafficClass,
+    Breakdown, FaultStats, MachineStats, MissClass, MissCounts, ProcStats, ResourceStats,
+    StallKind, Traffic, TrafficClass,
 };
 pub use watchdog::{StallDiagnosis, StallReason, StalledProc};
 pub use table::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, LineMap};

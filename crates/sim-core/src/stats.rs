@@ -273,6 +273,74 @@ impl FaultStats {
     }
 }
 
+/// Machine-level finite-resource pressure counters: what the bounded
+/// queues, directory request slots, and write-notice buffers rejected,
+/// retried, or degraded. All zero when every limit is unbounded (the
+/// default), so a default run's stats are bit-identical to a build without
+/// resource modeling. The two `peak_*` gauges are tracked unconditionally
+/// (they cost one compare on already-cold paths) so a bounded-but-roomy
+/// run can be proven identical to an unbounded one stats-and-all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceStats {
+    /// BUSY-NACKs homes sent to requests that raced an in-flight
+    /// transaction with no request slot free.
+    pub busy_nacks: u64,
+    /// NACKed requests re-sent after their backoff expired.
+    pub nack_retries: u64,
+    /// Requests parked after exhausting the per-episode NACK budget — the
+    /// forward-progress fallback.
+    pub nack_park_fallbacks: u64,
+    /// Sends rejected by a full NI ingress or egress queue.
+    pub ni_rejects: u64,
+    /// NI-rejected sends retried after their backoff expired.
+    pub ni_retries: u64,
+    /// Cycles of retry backoff charged to NACKed and NI-rejected messages
+    /// (an upper bound on the latency the backpressure added).
+    pub backpressure_stall_cycles: u64,
+    /// Write-notice buffer overflows: the moments a node's pending-inval
+    /// set hit its cap and collapsed to the invalidate-all bit.
+    pub wn_overflows: u64,
+    /// Acquires served by the conservative invalidate-all fallback instead
+    /// of the precise pending-invalidation list.
+    pub overflow_fallbacks: u64,
+    /// Lines invalidated by those fallback acquires (the degradation cost;
+    /// compare against `acquire_invalidations` for the precise path).
+    pub overflow_invalidations: u64,
+    /// Largest pending-invalidation set any node ever held.
+    pub peak_pending_invals: u64,
+    /// Deepest any home's parked-request queue for one line ever got.
+    pub peak_parked: u64,
+}
+
+impl ResourceStats {
+    /// True when no limit was ever hit (always true at default config).
+    /// The peaks are observations, not pressure, so they are excluded.
+    pub fn is_zero(&self) -> bool {
+        let ResourceStats {
+            busy_nacks,
+            nack_retries,
+            nack_park_fallbacks,
+            ni_rejects,
+            ni_retries,
+            backpressure_stall_cycles,
+            wn_overflows,
+            overflow_fallbacks,
+            overflow_invalidations,
+            peak_pending_invals: _,
+            peak_parked: _,
+        } = *self;
+        busy_nacks == 0
+            && nack_retries == 0
+            && nack_park_fallbacks == 0
+            && ni_rejects == 0
+            && ni_retries == 0
+            && backpressure_stall_cycles == 0
+            && wn_overflows == 0
+            && overflow_fallbacks == 0
+            && overflow_invalidations == 0
+    }
+}
+
 /// Everything recorded about one simulated processor.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProcStats {
@@ -341,6 +409,9 @@ pub struct MachineStats {
     /// Fault-injection and link-layer recovery counters (all zero on a
     /// fault-free run).
     pub faults: FaultStats,
+    /// Finite-resource pressure counters (all zero at the default,
+    /// unbounded configuration).
+    pub resources: ResourceStats,
 }
 
 impl MachineStats {
@@ -350,6 +421,7 @@ impl MachineStats {
             procs: vec![ProcStats::default(); num_procs],
             total_cycles: 0,
             faults: FaultStats::default(),
+            resources: ResourceStats::default(),
         }
     }
 
@@ -469,6 +541,17 @@ mod tests {
         t.record(TrafficClass::WriteData, 24);
         assert_eq!(t.total_msgs(), 3);
         assert_eq!(t.bytes, 168);
+    }
+
+    #[test]
+    fn resource_stats_zero_ignores_peaks() {
+        let mut r = ResourceStats::default();
+        assert!(r.is_zero());
+        r.peak_pending_invals = 12;
+        r.peak_parked = 3;
+        assert!(r.is_zero(), "peaks are observations, not pressure");
+        r.busy_nacks = 1;
+        assert!(!r.is_zero());
     }
 
     #[test]

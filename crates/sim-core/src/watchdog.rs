@@ -26,6 +26,24 @@ pub enum StallReason {
     /// than the configured horizon while the machine was still processing
     /// events (livelock or an unserviceable wait).
     ProcStallHorizon(Cycle),
+    /// A bounded NI queue stayed full while senders kept backing off and
+    /// retrying: queue-full livelock rather than a protocol deadlock.
+    NiQueueFull {
+        /// The node whose NI queue rejected the most recent send.
+        node: ProcId,
+        /// Its occupancy at the rejection.
+        occupancy: usize,
+        /// Its configured capacity.
+        cap: usize,
+    },
+    /// A home spent a line's entire BUSY-NACK retry budget during one busy
+    /// episode that never resolved: a NACK storm, not a generic deadlock.
+    NackStorm {
+        /// The contended line.
+        line: u64,
+        /// BUSY-NACKs sent during the episode.
+        nacks: u32,
+    },
 }
 
 impl std::fmt::Display for StallReason {
@@ -36,6 +54,14 @@ impl std::fmt::Display for StallReason {
             StallReason::ProcStallHorizon(c) => {
                 write!(f, "watchdog: processor stalled beyond the {c}-cycle horizon")
             }
+            StallReason::NiQueueFull { node, occupancy, cap } => write!(
+                f,
+                "watchdog: NI queue full at node {node} ({occupancy}/{cap} slots) with senders backing off — queue-full livelock"
+            ),
+            StallReason::NackStorm { line, nacks } => write!(
+                f,
+                "watchdog: BUSY-NACK storm on line {line} ({nacks} NACK(s), retry budget spent) — busy episode never resolved"
+            ),
         }
     }
 }
@@ -138,5 +164,17 @@ mod tests {
     fn reasons_render_their_horizons() {
         assert!(StallReason::CycleHorizon(500).to_string().contains("exceeded 500 cycles"));
         assert!(StallReason::ProcStallHorizon(9000).to_string().contains("9000-cycle horizon"));
+    }
+
+    #[test]
+    fn resource_reasons_name_the_resource() {
+        let q = StallReason::NiQueueFull { node: 3, occupancy: 2, cap: 2 };
+        let text = q.to_string();
+        assert!(text.contains("node 3"), "{text}");
+        assert!(text.contains("2/2"), "{text}");
+        let s = StallReason::NackStorm { line: 17, nacks: 8 };
+        let text = s.to_string();
+        assert!(text.contains("line 17"), "{text}");
+        assert!(text.contains("8 NACK"), "{text}");
     }
 }

@@ -54,4 +54,17 @@ echo "==> soak smoke: lrc-soak --smoke (fault injection + value verification)"
 # diagnosis. Exits non-zero on any verification failure.
 ./target/release/lrc-soak --smoke --quiet
 
+echo "==> capacity smoke: lrc-soak --capacity-sweep --smoke (finite resources)"
+# NI queue depth x write-notice budget x protocol, fault-free: every cell
+# must complete under backpressure, verify against the reference SC
+# execution, rerun bit-identically, and the grid must exercise real
+# pressure (nonzero reject/NACK/overflow counters somewhere).
+./target/release/lrc-soak --capacity-sweep --smoke --quiet
+
+echo "==> finite resources are opt-in: default-config fingerprints unchanged"
+# The golden determinism fingerprints pin the default (unbounded) behavior;
+# re-running them here asserts the bounded-resource machinery costs nothing
+# until a capacity is configured.
+cargo test -q --test determinism_golden
+
 echo "CI green."

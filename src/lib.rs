@@ -55,7 +55,7 @@ pub mod prelude {
     };
     pub use lrc_sim::{
         Breakdown, FaultStats, MachineConfig, MachineStats, MissClass, Op, Placement, ProcStats,
-        Protocol, Script, Workload,
+        Protocol, ResourceLimits, ResourceStats, Script, Workload,
     };
     pub use lrc_workloads::{paper_suite, WorkloadKind};
 }
