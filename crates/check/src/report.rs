@@ -5,13 +5,16 @@
 
 use crate::explore::{Counterexample, Failure};
 use crate::scenario::Scenario;
-use lrc_core::{Fault, Machine};
+use lrc_core::{Fault, Machine, TraceFilter};
 use lrc_sim::Protocol;
 use std::fmt::Write as _;
 
 /// Trace ring-buffer capacity — large enough to hold every message of a
 /// bounded-configuration run.
 const TRACE_CAP: usize = 10_000;
+
+/// Flight-recorder depth per node for the last-events tail of a report.
+const FLIGHT_CAP: usize = 16;
 
 /// Step budget for the rendering replay (mirrors the minimizer's).
 const REPLAY_STEPS: usize = 50_000;
@@ -37,7 +40,8 @@ fn replay_traced(
     let mut m = Machine::new(scenario.config(), protocol)
         .with_fault(fault)
         .with_value_tracking()
-        .with_trace(None, TRACE_CAP);
+        .with_trace_filter(TraceFilter::all().sends_only(), TRACE_CAP)
+        .with_flight_recorder(FLIGHT_CAP);
     m.prepare(Box::new(scenario.script()));
     let mut step = 0usize;
     while m.num_pending() > 0 && step < REPLAY_STEPS {
@@ -77,10 +81,17 @@ pub fn render(
     let _ = writeln!(out);
 
     let m = replay_traced(scenario, protocol, fault, &cex.schedule);
-    let trace = m.trace();
+    let trace = m.trace_records();
     let _ = writeln!(out, "  message timeline ({} messages):", trace.len());
-    for ev in &trace {
-        let _ = writeln!(out, "    [t={:>6}] P{} -> P{}  {:?}", ev.at, ev.src, ev.dst, ev.kind);
+    for rec in &trace {
+        let _ = writeln!(out, "    {rec}");
+    }
+    let tail = m.flight_tail();
+    if !tail.is_empty() {
+        let _ = writeln!(out, "  last {} events before the failure:", tail.len());
+        for rec in &tail {
+            let _ = writeln!(out, "    {rec}");
+        }
     }
     let _ = writeln!(out);
     let _ = writeln!(out, "  violated: {}", cex.failure);

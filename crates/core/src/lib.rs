@@ -39,10 +39,15 @@ pub mod sync;
 
 pub use directory::{nodes_in, AckCollection, DirEntry, DirState};
 pub use machine::checker::StuckState;
-pub use machine::{Fault, Machine, RunResult, SymbolicMemory, TraceEvent, Violation};
+pub use machine::{Fault, Machine, RunResult, SymbolicMemory, Violation};
 pub use msg::{Msg, MsgKind, WriteGrant};
 // Fault-injection vocabulary, re-exported so harnesses need only lrc-core.
 pub use lrc_mesh::{FaultCounters, FaultPlan, FaultRates, MsgClass};
+// Observability vocabulary, likewise.
+pub use lrc_trace::{
+    FlightRecorder, MsgMeta, RecData, ResourceEv, RingSink, StateChange, SyncOp, TimeSeries,
+    TraceFilter, TraceRecord, TraceSink, VecSink,
+};
 pub use lrc_sim::{StallDiagnosis, StallReason, StalledProc};
 pub use node::{Node, Outstanding, PendingSync, ProcStatus};
 pub use sync::{BarrierManager, LockAction, LockManager};

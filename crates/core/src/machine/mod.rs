@@ -16,6 +16,7 @@
 pub(crate) mod checker;
 mod home;
 pub(crate) mod invariants;
+pub(crate) mod obs;
 mod remote;
 mod step;
 mod sync_ops;
@@ -31,8 +32,11 @@ use crate::node::{Node, ProcStatus};
 use lrc_classify::Classifier;
 use lrc_mesh::{FaultPlan, Network};
 use lrc_sim::{
-    Addr, Cycle, EventQueue, LineAddr, LineMap, MachineConfig, MachineStats, NodeId, ProcId,
-    Protocol, StallDiagnosis, StallKind, StallReason, StalledProc, Workload,
+    Addr, Cycle, EventQueue, LatencyStats, LineAddr, LineMap, MachineConfig, MachineStats, NodeId,
+    ProcId, Protocol, StallDiagnosis, StallKind, StallReason, StalledProc, Workload,
+};
+use lrc_trace::{
+    FlightRecorder, ResourceEv, RingSink, TimeSeries, TraceFilter, TraceRecord, TraceSink,
 };
 use xmit::{InFlight, XmitState};
 
@@ -104,26 +108,9 @@ pub(crate) enum Event {
         /// The reconstructed request.
         msg: Msg,
     },
-}
-
-/// One recorded protocol message (see [`Machine::with_trace`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// Send time in cycles.
-    pub at: Cycle,
-    /// Sending node.
-    pub src: NodeId,
-    /// Destination node.
-    pub dst: NodeId,
-    /// The message payload.
-    pub kind: MsgKind,
-}
-
-#[derive(Debug, Clone)]
-pub(crate) struct Trace {
-    filter: Option<u64>,
-    cap: usize,
-    events: std::collections::VecDeque<TraceEvent>,
+    /// Metrics sampler tick: snapshot machine gauges into the time series
+    /// and re-arm one interval later (only while the run is live).
+    Sample,
 }
 
 /// Outcome of a completed simulation.
@@ -182,8 +169,10 @@ pub struct Machine {
     pub(crate) check_every: u64,
     /// Debug: eprintln every message concerning this line.
     pub(crate) trace_line: Option<u64>,
-    /// Structured protocol trace (None = off).
-    pub(crate) trace: Option<Trace>,
+    /// Observability: structured trace sink, latency probes, metrics
+    /// sampler, and flight recorder. `None` (the default) keeps every
+    /// hook to one never-taken branch — the zero-cost-when-off guarantee.
+    pub(crate) obs: Option<Box<obs::Obs>>,
     /// First-touch page→home assignments (only under
     /// `Placement::FirstTouch`), `Vec`-indexed by page number.
     pub(crate) page_home: LineMap<NodeId>,
@@ -256,7 +245,7 @@ impl Clone for Machine {
             max_cycles: self.max_cycles,
             check_every: self.check_every,
             trace_line: self.trace_line,
-            trace: self.trace.clone(),
+            obs: self.obs.clone(),
             page_home: self.page_home.clone(),
             busy_info: self.busy_info.clone(),
             forward_seq: self.forward_seq,
@@ -317,7 +306,7 @@ impl Machine {
             max_cycles: u64::MAX / 4,
             check_every: 0,
             trace_line: None,
-            trace: None,
+            obs: None,
             page_home: LineMap::new(),
             busy_info: LineMap::new(),
             forward_seq: 0,
@@ -412,21 +401,103 @@ impl Machine {
         self
     }
 
-    /// Record a structured protocol trace: every message sent (optionally
-    /// only those concerning `line`), up to `cap` entries (older entries
-    /// are dropped ring-buffer style). Retrieve it from the machine
-    /// returned by [`Machine::run_keep`] via [`Machine::trace`].
-    pub fn with_trace(mut self, line: Option<u64>, cap: usize) -> Self {
-        self.trace = Some(Trace { filter: line, cap: cap.max(1), events: std::collections::VecDeque::new() });
+    /// Record a structured trace: every record passing `filter` lands in a
+    /// bounded ring keeping the most recent `cap` entries. Retrieve it from
+    /// the machine returned by [`Machine::run_keep`] via
+    /// [`Machine::trace_records`], or export it with `lrc_trace::export`.
+    pub fn with_trace_filter(mut self, filter: TraceFilter, cap: usize) -> Self {
+        let o = self.obs_mut();
+        o.filter = filter;
+        o.sink = Some(Box::new(RingSink::new(cap)));
         self
     }
 
-    /// The recorded protocol trace (empty if tracing was off).
-    pub fn trace(&self) -> Vec<TraceEvent> {
-        self.trace
+    /// Like [`Machine::with_trace_filter`], but records into a
+    /// caller-supplied sink (unbounded capture, streaming, custom
+    /// aggregation).
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>, filter: TraceFilter) -> Self {
+        let o = self.obs_mut();
+        o.filter = filter;
+        o.sink = Some(sink);
+        self
+    }
+
+    /// Enable latency histograms: request→reply round-trips per message
+    /// class, lock hold/wait times, barrier arrival skew, and NACK retry
+    /// counts, folded into [`MachineStats::latencies`] at end of run.
+    pub fn with_latency_histograms(mut self) -> Self {
+        let n = self.cfg.num_procs;
+        self.obs_mut().probe = Some(obs::Probe::new(n));
+        self
+    }
+
+    /// Enable the interval metrics sampler: every `interval` cycles,
+    /// snapshot per-node NI occupancy, directory busy entries, in-flight
+    /// messages, write-notice buffer fill, and per-proc cycle-attribution
+    /// deltas into a deterministic [`TimeSeries`] (see
+    /// [`Machine::time_series`]).
+    pub fn with_sampler(mut self, interval: Cycle) -> Self {
+        let n = self.cfg.num_procs;
+        self.obs_mut().sampler = Some(obs::Sampler::new(interval, n));
+        self
+    }
+
+    /// Arm the flight recorder explicitly: a bounded ring of the most
+    /// recent `cap` records per node, dumped into any [`StallDiagnosis`].
+    /// Runs with a watchdog, fault plan, or finite resources arm a
+    /// default-depth recorder automatically.
+    pub fn with_flight_recorder(mut self, cap: usize) -> Self {
+        let n = self.cfg.num_procs;
+        self.obs_mut().recorder = Some(FlightRecorder::new(n, cap));
+        self
+    }
+
+    /// Legacy trace entry point: record message *sends*, optionally only
+    /// those concerning `line`, into a `cap`-deep ring.
+    #[deprecated(note = "use with_trace_filter(TraceFilter::..., cap) instead")]
+    pub fn with_trace(self, line: Option<u64>, cap: usize) -> Self {
+        let filter = match line {
+            Some(l) => TraceFilter::line(l),
+            None => TraceFilter::all(),
+        }
+        .sends_only();
+        self.with_trace_filter(filter, cap)
+    }
+
+    /// The recorded trace (empty if tracing was off), sorted by
+    /// `(at, seq)` into one deterministic timeline. Protocol processors
+    /// run ahead of the event clock inside their occupancy windows, so
+    /// raw emission order is not time-monotone; this accessor's order is.
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        let mut v = self
+            .obs
             .as_ref()
-            .map(|t| t.events.iter().cloned().collect())
+            .and_then(|o| o.sink.as_ref())
+            .map(|s| s.snapshot())
+            .unwrap_or_default();
+        v.sort_unstable_by_key(|r| (r.at, r.seq));
+        v
+    }
+
+    /// The sampler's time series so far (`None` when sampling is off).
+    pub fn time_series(&self) -> Option<&TimeSeries> {
+        self.obs.as_ref().and_then(|o| o.sampler.as_ref()).map(|s| &s.series)
+    }
+
+    /// The flight recorder's merged tail (empty when no recorder is armed).
+    pub fn flight_tail(&self) -> Vec<TraceRecord> {
+        self.obs
+            .as_ref()
+            .and_then(|o| o.recorder.as_ref())
+            .map(|r| r.tail())
             .unwrap_or_default()
+    }
+
+    /// Live latency histograms accumulated so far (`None` when probes are
+    /// off). After a completed run they are folded into
+    /// [`MachineStats::latencies`] and this view is empty again.
+    pub fn latency_stats(&self) -> Option<&LatencyStats> {
+        self.obs.as_ref().and_then(|o| o.probe.as_ref()).map(|p| &p.hist)
     }
 
     /// Sweep the global coherence invariants every `events` handled events,
@@ -504,6 +575,25 @@ impl Machine {
             self.queue.push(0, Event::ProcStep(p));
         }
 
+        // At-risk runs (watchdog, fault plan, finite resources) arm a
+        // default-depth flight recorder so any StallDiagnosis carries the
+        // events leading up to the stall. The recorder only observes —
+        // statistics and event order are untouched.
+        if self.watchdog.is_some() || self.xmit.is_some() || !self.cfg.resources.is_unbounded() {
+            let n = self.cfg.num_procs;
+            let o = self.obs_mut();
+            if o.recorder.is_none() {
+                o.recorder = Some(FlightRecorder::new(n, obs::DEFAULT_FLIGHT_CAP));
+            }
+        }
+        // Seed the sampler's first tick only when one is configured, so an
+        // unsampled run's event stream is bit-identical to builds without
+        // the sampler.
+        if let Some(iv) = self.obs.as_ref().and_then(|o| o.sampler.as_ref()).map(|s| s.interval)
+        {
+            self.queue.push(iv, Event::Sample);
+        }
+
         // How often (in handled events) the stall watchdog rescans the
         // processors: rare enough to stay off the hot path, frequent enough
         // that a livelock is caught within a sliver of its horizon.
@@ -538,6 +628,10 @@ impl Machine {
         }
 
         self.collect_fault_stats();
+        if let Some(probe) = self.obs.as_deref_mut().and_then(|o| o.probe.as_mut()) {
+            let folded = std::mem::take(&mut probe.hist);
+            self.stats.latencies.merge(&folded);
+        }
         for (i, n) in self.nodes.iter().enumerate() {
             self.stats.procs[i].pp_busy = n.pp.busy_cycles();
             self.stats.procs[i].mem_busy = n.mem.busy_cycles();
@@ -576,11 +670,21 @@ impl Machine {
             Event::NiRetry { msg, attempts } => {
                 self.pending_ni_retries -= 1;
                 self.stats.resources.ni_retries += 1;
+                if self.obs.is_some() {
+                    self.obs_resource(t, msg.src, ResourceEv::NiRetry);
+                }
                 self.submit_bounded_attempt(t, msg, attempts);
             }
             Event::NackRetry { msg } => {
                 self.stats.resources.nack_retries += 1;
+                if self.obs.is_some() {
+                    self.obs_resource(t, msg.src, ResourceEv::NackRetry);
+                }
                 self.send(t, msg.src, msg.dst, msg.kind);
+            }
+            Event::Sample => {
+                self.take_sample(t);
+                self.rearm_sampler(t);
             }
         }
     }
@@ -687,6 +791,12 @@ impl Machine {
             in_flight_msgs,
             abandoned_msgs,
             pending_events: self.queue.len(),
+            recent_events: self
+                .obs
+                .as_ref()
+                .and_then(|o| o.recorder.as_ref())
+                .map(|r| r.render_tail())
+                .unwrap_or_default(),
             machine_dump: self.dump(),
         }
     }
@@ -766,17 +876,8 @@ impl Machine {
                 eprintln!("[t={now}] {src}->{dst} {kind:?}");
             }
         }
-        if let Some(tr) = self.trace.as_mut() {
-            let keep = match tr.filter {
-                Some(f) => kind.line().is_some_and(|l| l.0 == f),
-                None => true,
-            };
-            if keep {
-                if tr.events.len() == tr.cap {
-                    tr.events.pop_front();
-                }
-                tr.events.push_back(TraceEvent { at: now, src, dst, kind });
-            }
+        if self.obs.is_some() {
+            self.obs_msg_send(now, src, dst, kind);
         }
         if self.xmit.is_some() && src != dst {
             self.xmit_send(now, Msg { src, dst, kind });
@@ -822,6 +923,16 @@ impl Machine {
                 r.backpressure_stall_cycles += delay;
                 self.last_ni_reject = Some((busy.node, busy.occupancy, busy.cap));
                 self.pending_ni_retries += 1;
+                if self.obs.is_some() {
+                    self.obs_resource(
+                        now,
+                        busy.node,
+                        ResourceEv::NiReject {
+                            occupancy: busy.occupancy.min(u32::MAX as usize) as u32,
+                            cap: busy.cap.min(u32::MAX as usize) as u32,
+                        },
+                    );
+                }
                 self.queue.push(now + delay, Event::NiRetry { msg, attempts: attempts + 1 });
             }
         }
@@ -859,6 +970,16 @@ impl Machine {
             Some(busy) => {
                 self.stats.resources.ni_rejects += 1;
                 self.last_ni_reject = Some((busy.node, busy.occupancy, busy.cap));
+                if self.obs.is_some() {
+                    self.obs_resource(
+                        now,
+                        busy.node,
+                        ResourceEv::NiReject {
+                            occupancy: busy.occupancy.min(u32::MAX as usize) as u32,
+                            cap: busy.cap.min(u32::MAX as usize) as u32,
+                        },
+                    );
+                }
                 true
             }
             None => false,
@@ -1049,6 +1170,9 @@ impl Machine {
         let done = self.nodes[m.dst].pp.occupy(t, self.cfg.write_notice_cost);
         let delay = self.cfg.resources.backoff(attempt);
         self.stats.resources.backpressure_stall_cycles += delay;
+        if self.obs.is_some() {
+            self.obs_resource(t, m.dst, ResourceEv::BusyNack { attempt: attempt + 1 });
+        }
         let kind = if for_write {
             MsgKind::WriteReq { line, had_copy, words }
         } else {
@@ -1137,6 +1261,9 @@ impl Machine {
     /// Route a received message to the right handler.
     fn handle_msg(&mut self, t: Cycle, m: Msg) {
         use MsgKind::*;
+        if self.obs.is_some() {
+            self.obs_msg_recv(t, m);
+        }
         match m.kind {
             // Directory side (home node).
             ReadReq { .. } | WriteReq { .. } | WriteThrough { .. } | WriteBack { .. }

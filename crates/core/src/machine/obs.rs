@@ -1,0 +1,299 @@
+//! The machine's observability wiring: structured trace emission, latency
+//! probes, the interval metrics sampler, and the flight recorder.
+//!
+//! Everything hangs off `Machine::obs`, a single `Option<Box<Obs>>`: a
+//! machine built without observability carries a `None` and every hot-path
+//! hook is one never-taken branch — the tracing-off run is bit-identical
+//! to a build without this module (the golden-fingerprint CI stage holds
+//! that line). The cold emission paths live out-of-line here.
+
+use super::{Event, Machine};
+use crate::msg::{Msg, MsgKind};
+use lrc_sim::{Breakdown, Cycle, FxHashMap, LatencyStats, NodeId};
+use lrc_trace::{
+    FlightRecorder, MsgMeta, RecData, ResourceEv, StateChange, SyncOp, TimeSeries, TraceFilter,
+    TraceRecord, TraceSink,
+};
+
+/// Flight-recorder depth per node when the machine arms it automatically
+/// for at-risk runs (watchdog, fault plan, or finite resources).
+pub(crate) const DEFAULT_FLIGHT_CAP: usize = 64;
+
+/// All observability state, boxed behind one `Option` on the machine.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Obs {
+    /// Where filtered records go (`None` = no structured trace).
+    pub(crate) sink: Option<Box<dyn TraceSink>>,
+    /// Which records reach the sink (the recorder sees everything).
+    pub(crate) filter: TraceFilter,
+    /// Global emission counter; `(at, seq)` totally orders records.
+    pub(crate) seq: u64,
+    /// Bounded per-node rings of recent records for stall diagnoses.
+    pub(crate) recorder: Option<FlightRecorder>,
+    /// Latency probes (round-trips, lock hold/wait, barrier skew).
+    pub(crate) probe: Option<Probe>,
+    /// Interval metrics sampler.
+    pub(crate) sampler: Option<Sampler>,
+    /// Protocol messages sent (sampler gauge: `sends - recvs` = in flight).
+    pub(crate) sends: u64,
+    /// Protocol messages received.
+    pub(crate) recvs: u64,
+}
+
+const TAG_READ: u8 = 0;
+const TAG_WRITE: u8 = 1;
+const TAG_LOCK: u8 = 2;
+const TAG_BAR: u8 = 3;
+
+/// Latency probes: watches the message stream and matches request/reply
+/// pairs into histograms. A retried request re-opens its entry, so a
+/// NACKed round-trip measures from the last retry (the backoff cost shows
+/// up separately in `nack.attempts` and the backpressure counters).
+#[derive(Debug, Clone)]
+pub(crate) struct Probe {
+    procs: usize,
+    /// Open request departure times, keyed by `(tag, requester, id)`.
+    open: FxHashMap<(u8, u64, u64), Cycle>,
+    /// Lock grant times, keyed by `(holder, lock)` — closed by the release.
+    lock_held: FxHashMap<(u64, u64), Cycle>,
+    /// Per-barrier arrival window: `(earliest, latest, arrivals)`.
+    bars: FxHashMap<u64, (Cycle, Cycle, usize)>,
+    /// The histograms, folded into `MachineStats::latencies` at end of run.
+    pub(crate) hist: LatencyStats,
+}
+
+impl Probe {
+    pub(crate) fn new(procs: usize) -> Self {
+        Probe {
+            procs,
+            open: FxHashMap::default(),
+            lock_held: FxHashMap::default(),
+            bars: FxHashMap::default(),
+            hist: LatencyStats::new(),
+        }
+    }
+
+    fn close(&mut self, tag: u8, node: u64, id: u64, now: Cycle, name: &str) {
+        if let Some(t0) = self.open.remove(&(tag, node, id)) {
+            self.hist.record(name, now.saturating_sub(t0));
+        }
+    }
+
+    fn on_send(&mut self, now: Cycle, src: NodeId, kind: MsgKind) {
+        let src = src as u64;
+        match kind {
+            MsgKind::ReadReq { line } => {
+                self.open.insert((TAG_READ, src, line.0), now);
+            }
+            MsgKind::WriteReq { line, .. } => {
+                self.open.insert((TAG_WRITE, src, line.0), now);
+            }
+            MsgKind::LockAcq { lock } => {
+                self.open.insert((TAG_LOCK, src, lock as u64), now);
+            }
+            MsgKind::LockRel { lock } => {
+                if let Some(t0) = self.lock_held.remove(&(src, lock as u64)) {
+                    self.hist.record("lock.hold", now.saturating_sub(t0));
+                }
+            }
+            MsgKind::BarrierArrive { bar } => {
+                self.open.insert((TAG_BAR, src, bar as u64), now);
+                let e = self.bars.entry(bar as u64).or_insert((now, now, 0));
+                e.0 = e.0.min(now);
+                e.1 = e.1.max(now);
+                e.2 += 1;
+                let full = e.2 == self.procs;
+                if full {
+                    if let Some((lo, hi, _)) = self.bars.remove(&(bar as u64)) {
+                        self.hist.record("barrier.skew", hi - lo);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recv(&mut self, now: Cycle, dst: NodeId, kind: MsgKind) {
+        let dst = dst as u64;
+        match kind {
+            MsgKind::ReadReply { line, .. } => self.close(TAG_READ, dst, line.0, now, "rt.read"),
+            MsgKind::WriteReply { line, .. } | MsgKind::WriteAck { line } => {
+                self.close(TAG_WRITE, dst, line.0, now, "rt.write")
+            }
+            MsgKind::LockGrant { lock } => {
+                self.close(TAG_LOCK, dst, lock as u64, now, "lock.wait");
+                self.lock_held.insert((dst, lock as u64), now);
+            }
+            MsgKind::BarrierRelease { bar } => {
+                self.close(TAG_BAR, dst, bar as u64, now, "barrier.wait")
+            }
+            MsgKind::BusyNack { attempt, .. } => {
+                self.hist.record("nack.attempts", u64::from(attempt) + 1)
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Interval metrics sampler: a self-rearming [`Event::Sample`] snapshots
+/// machine gauges every `interval` cycles into a [`TimeSeries`]. Sampling
+/// is an ordinary event, so it is part of the deterministic event order —
+/// the same seed and config produce a bit-identical series — but it never
+/// fires on an otherwise-empty queue, so deadlock detection (queue drained
+/// with unfinished processors) is unaffected.
+#[derive(Debug, Clone)]
+pub(crate) struct Sampler {
+    pub(crate) interval: Cycle,
+    pub(crate) series: TimeSeries,
+    /// Previous tick's per-proc breakdowns, for delta columns.
+    last_breakdown: Vec<Breakdown>,
+}
+
+impl Sampler {
+    pub(crate) fn new(interval: Cycle, procs: usize) -> Self {
+        let interval = interval.max(1);
+        let mut cols: Vec<String> =
+            vec!["cycle".into(), "inflight".into(), "dir_busy".into(), "queue_len".into()];
+        for p in 0..procs {
+            for g in ["ni_in", "ni_out", "wn_fill", "d_cpu", "d_read", "d_write", "d_sync"] {
+                cols.push(format!("p{p}.{g}"));
+            }
+        }
+        Sampler {
+            interval,
+            series: TimeSeries::new(interval, cols),
+            last_breakdown: vec![Breakdown::default(); procs],
+        }
+    }
+}
+
+impl Machine {
+    /// The observability block, created on first use.
+    pub(crate) fn obs_mut(&mut self) -> &mut Obs {
+        self.obs.get_or_insert_with(Box::default)
+    }
+
+    /// Record into the flight recorder (always) and the sink (filtered).
+    fn emit(obs: &mut Obs, rec: TraceRecord) {
+        if let Some(r) = obs.recorder.as_mut() {
+            r.push(&rec);
+        }
+        if let Some(s) = obs.sink.as_mut() {
+            if obs.filter.accepts(&rec) {
+                s.record(&rec);
+            }
+        }
+    }
+
+    fn msg_meta(&self, kind: MsgKind) -> MsgMeta {
+        MsgMeta {
+            name: kind.name(),
+            class: kind.msg_class(),
+            line: kind.line().map(|l| l.0),
+            bytes: kind.bytes(
+                self.cfg.ctrl_msg_bytes,
+                self.cfg.line_size as u64,
+                self.cfg.word_size as u64,
+            ),
+        }
+    }
+
+    /// A protocol message left `src` (callers guard on `obs.is_some()`).
+    pub(crate) fn obs_msg_send(&mut self, now: Cycle, src: NodeId, dst: NodeId, kind: MsgKind) {
+        let meta = self.msg_meta(kind);
+        let Some(obs) = self.obs.as_deref_mut() else { return };
+        obs.sends += 1;
+        let seq = obs.seq;
+        obs.seq += 1;
+        let rec =
+            TraceRecord { at: now, seq, node: src, data: RecData::Send { src, dst, msg: meta } };
+        Self::emit(obs, rec);
+        if let Some(p) = obs.probe.as_mut() {
+            p.on_send(now, src, kind);
+        }
+    }
+
+    /// A protocol message arrived at its destination.
+    pub(crate) fn obs_msg_recv(&mut self, now: Cycle, m: Msg) {
+        let meta = self.msg_meta(m.kind);
+        let Some(obs) = self.obs.as_deref_mut() else { return };
+        obs.recvs += 1;
+        let seq = obs.seq;
+        obs.seq += 1;
+        let rec = TraceRecord {
+            at: now,
+            seq,
+            node: m.dst,
+            data: RecData::Recv { src: m.src, dst: m.dst, msg: meta },
+        };
+        Self::emit(obs, rec);
+        if let Some(p) = obs.probe.as_mut() {
+            p.on_recv(now, m.dst, m.kind);
+        }
+    }
+
+    /// A synchronization operation happened at `node`.
+    pub(crate) fn obs_sync(&mut self, now: Cycle, node: NodeId, op: SyncOp, id: u64) {
+        let Some(obs) = self.obs.as_deref_mut() else { return };
+        let seq = obs.seq;
+        obs.seq += 1;
+        Self::emit(obs, TraceRecord { at: now, seq, node, data: RecData::Sync { op, id } });
+    }
+
+    /// A cache-line state transition happened at `node`.
+    pub(crate) fn obs_state(&mut self, now: Cycle, node: NodeId, line: u64, change: StateChange) {
+        let Some(obs) = self.obs.as_deref_mut() else { return };
+        let seq = obs.seq;
+        obs.seq += 1;
+        Self::emit(obs, TraceRecord { at: now, seq, node, data: RecData::State { line, change } });
+    }
+
+    /// A finite-resource event happened at `node`.
+    pub(crate) fn obs_resource(&mut self, now: Cycle, node: NodeId, ev: ResourceEv) {
+        let Some(obs) = self.obs.as_deref_mut() else { return };
+        let seq = obs.seq;
+        obs.seq += 1;
+        Self::emit(obs, TraceRecord { at: now, seq, node, data: RecData::Resource { ev } });
+    }
+
+    /// Snapshot the sampler's gauges at `t` (the [`Event::Sample`] handler).
+    pub(crate) fn take_sample(&mut self, t: Cycle) {
+        // Swap the block out so gauge reads can borrow the machine freely.
+        let Some(mut obs) = self.obs.take() else { return };
+        if let Some(s) = obs.sampler.as_mut() {
+            let mut row = Vec::with_capacity(s.series.columns().len());
+            row.push(t);
+            row.push(obs.sends.saturating_sub(obs.recvs));
+            row.push(self.dir.iter().filter(|(_, e)| e.busy || e.pending.is_some()).count()
+                as u64);
+            row.push(self.queue.len() as u64);
+            for p in 0..self.cfg.num_procs {
+                let (ni_in, ni_out) = self.net.ni_occupancy(t, p);
+                row.push(ni_in as u64);
+                row.push(ni_out as u64);
+                row.push(self.nodes[p].pending_invals.len() as u64);
+                let b = self.stats.procs[p].breakdown;
+                let last = &mut s.last_breakdown[p];
+                row.push(b.cpu - last.cpu);
+                row.push(b.read - last.read);
+                row.push(b.write - last.write);
+                row.push(b.sync - last.sync);
+                *last = b;
+            }
+            s.series.push_row(row);
+        }
+        self.obs = Some(obs);
+    }
+
+    /// Re-arm the sampler after a tick — only while the run is live, so a
+    /// drained queue still means deadlock and a finished run still ends.
+    pub(crate) fn rearm_sampler(&mut self, t: Cycle) {
+        if self.finished >= self.cfg.num_procs || self.queue.is_empty() {
+            return;
+        }
+        if let Some(iv) = self.obs.as_ref().and_then(|o| o.sampler.as_ref()).map(|s| s.interval)
+        {
+            self.queue.push(t + iv, Event::Sample);
+        }
+    }
+}

@@ -6,6 +6,7 @@ use super::Machine;
 use crate::msg::{Msg, MsgKind, WriteGrant};
 use lrc_mem::LineState;
 use lrc_sim::{Cycle, LineAddr};
+use lrc_trace::StateChange;
 
 impl Machine {
     /// Dispatch a message addressed to a cache/protocol processor.
@@ -125,6 +126,9 @@ impl Machine {
                 if let Some(c) = self.classifier.as_mut() {
                     c.on_invalidate(p, line);
                 }
+                if self.obs.is_some() {
+                    self.obs_state(t, p, line.0, StateChange::Invalidate { eager: true });
+                }
                 let home = self.home_of(line);
                 self.send(t, p, home, MsgKind::EvictNotify { line, was_writer: false });
             }
@@ -201,6 +205,9 @@ impl Machine {
             if let Some(c) = self.classifier.as_mut() {
                 c.on_invalidate(p, line);
             }
+            if self.obs.is_some() {
+                self.obs_state(done, p, line.0, StateChange::Invalidate { eager: true });
+            }
         } else if let Some(o) = self.nodes[p].outstanding.get_mut(&line.0) {
             // RAC race: the invalidation overtook our own read fill. The
             // fill may satisfy the one waiting load and must then drop.
@@ -264,6 +271,9 @@ impl Machine {
                 c.on_invalidate(p, line);
             }
             self.stats.procs[p].eager_invalidations += 1;
+            if self.obs.is_some() {
+                self.obs_state(done, p, line.0, StateChange::Invalidate { eager: true });
+            }
         } else {
             // Demote to read-only; data is being copied back to memory.
             self.nodes[p].cache.insert(line, LineState::ReadOnly);

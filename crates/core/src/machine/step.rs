@@ -329,6 +329,14 @@ impl Machine {
     /// Bring `line` into `p`'s cache with the given permission, processing
     /// any eviction this causes.
     pub(crate) fn install_line(&mut self, p: ProcId, now: Cycle, line: LineAddr, state: LineState) {
+        if self.obs.is_some() {
+            let name = match state {
+                LineState::ReadOnly => "read-only",
+                LineState::ReadWrite => "read-write",
+                LineState::Invalid => "invalid",
+            };
+            self.obs_state(now, p, line.0, lrc_trace::StateChange::Install { state: name });
+        }
         if let Some(ev) = self.nodes[p].cache.insert(line, state) {
             self.handle_eviction(p, now, ev);
         }

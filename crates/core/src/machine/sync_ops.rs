@@ -20,6 +20,7 @@ use crate::msg::{Msg, MsgKind};
 use crate::node::{PendingSync, ProcStatus};
 use crate::sync::LockAction;
 use lrc_sim::{Cycle, LineAddr, LockId, ProcId, StallKind};
+use lrc_trace::{StateChange, SyncOp};
 
 impl Machine {
     /// Begin a lock acquire: send the request and (lazy) start processing
@@ -27,6 +28,9 @@ impl Machine {
     pub(crate) fn begin_acquire(&mut self, p: ProcId, now: Cycle, lock: LockId) {
         let home = self.cfg.lock_home(lock);
         self.send(now, p, home, MsgKind::LockAcq { lock });
+        if self.obs.is_some() {
+            self.obs_sync(now, p, SyncOp::AcquireStart, lock as u64);
+        }
         self.block(p, now, StallKind::Sync, ProcStatus::WaitingLock(lock));
         if self.protocol.is_lazy() {
             let done = self.process_pending_invals(p, now);
@@ -52,12 +56,18 @@ impl Machine {
                 PendingSync::LockRelease(lock) => {
                     let home = self.cfg.lock_home(lock);
                     self.send(now, p, home, MsgKind::LockRel { lock });
+                    if self.obs.is_some() {
+                        self.obs_sync(now, p, SyncOp::Release, lock as u64);
+                    }
                     self.stats.procs[p].breakdown.add(StallKind::Cpu, 1);
                     Some(now + 1)
                 }
                 PendingSync::Barrier(bar) => {
                     let home = self.cfg.barrier_home(bar);
                     self.send(now, p, home, MsgKind::BarrierArrive { bar });
+                    if self.obs.is_some() {
+                        self.obs_sync(now, p, SyncOp::BarrierArrive, bar as u64);
+                    }
                     self.block(p, now, StallKind::Sync, ProcStatus::InBarrier(bar));
                     None
                 }
@@ -109,11 +119,17 @@ impl Machine {
             PendingSync::LockRelease(lock) => {
                 let home = self.cfg.lock_home(lock);
                 self.send(t, p, home, MsgKind::LockRel { lock });
+                if self.obs.is_some() {
+                    self.obs_sync(t, p, SyncOp::Release, lock as u64);
+                }
                 self.resume(p, t);
             }
             PendingSync::Barrier(bar) => {
                 let home = self.cfg.barrier_home(bar);
                 self.send(t, p, home, MsgKind::BarrierArrive { bar });
+                if self.obs.is_some() {
+                    self.obs_sync(t, p, SyncOp::BarrierArrive, bar as u64);
+                }
                 // The sync stall continues until the barrier releases.
                 self.nodes[p].status = ProcStatus::InBarrier(bar);
             }
@@ -147,6 +163,14 @@ impl Machine {
                 node.pending_invals.clear();
                 node.inval_all = true;
                 self.stats.resources.wn_overflows += 1;
+                if self.obs.is_some() {
+                    let at = self.queue.now();
+                    self.obs_resource(
+                        at,
+                        p,
+                        lrc_trace::ResourceEv::WnOverflow { cap: cap.min(u32::MAX as usize) as u32 },
+                    );
+                }
                 return;
             }
         }
@@ -238,6 +262,9 @@ impl Machine {
             if let Some(c) = self.classifier.as_mut() {
                 c.on_invalidate(p, line);
             }
+            if self.obs.is_some() {
+                self.obs_state(done, p, l0, StateChange::Invalidate { eager: false });
+            }
             let home = self.home_of(line);
             let was_writer = ev.state == lrc_mem::LineState::ReadWrite;
             self.send(done, p, home, MsgKind::EvictNotify { line, was_writer });
@@ -268,6 +295,9 @@ impl Machine {
                 debug_assert_eq!(self.nodes[p].status, ProcStatus::WaitingLock(lock));
                 self.stats.procs[p].lock_acquires += 1;
                 let resume_at = self.finish_acquire(p, t);
+                if self.obs.is_some() {
+                    self.obs_sync(resume_at, p, SyncOp::AcquireDone, lock as u64);
+                }
                 self.resume(p, resume_at);
             }
             MsgKind::BarrierArrive { bar } => {
@@ -287,6 +317,9 @@ impl Machine {
                 debug_assert_eq!(self.nodes[p].status, ProcStatus::InBarrier(bar));
                 self.stats.procs[p].barriers += 1;
                 let resume_at = self.finish_acquire(p, t);
+                if self.obs.is_some() {
+                    self.obs_sync(resume_at, p, SyncOp::BarrierDone, bar as u64);
+                }
                 self.resume(p, resume_at);
             }
             _ => unreachable!("not a sync message: {:?}", m.kind),

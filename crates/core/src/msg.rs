@@ -165,6 +165,36 @@ impl MsgKind {
             _ => None,
         }
     }
+
+    /// Stable variant name for trace records and exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MsgKind::ReadReq { .. } => "ReadReq",
+            MsgKind::WriteReq { .. } => "WriteReq",
+            MsgKind::WriteThrough { .. } => "WriteThrough",
+            MsgKind::WriteBack { .. } => "WriteBack",
+            MsgKind::EvictNotify { .. } => "EvictNotify",
+            MsgKind::ReadReply { .. } => "ReadReply",
+            MsgKind::WriteReply { .. } => "WriteReply",
+            MsgKind::WriteAck { .. } => "WriteAck",
+            MsgKind::WriteThroughAck { .. } => "WriteThroughAck",
+            MsgKind::WriteBackAck { .. } => "WriteBackAck",
+            MsgKind::Invalidate { .. } => "Invalidate",
+            MsgKind::WriteNotice { .. } => "WriteNotice",
+            MsgKind::Forward { .. } => "Forward",
+            MsgKind::InvAck { .. } => "InvAck",
+            MsgKind::NoticeAck { .. } => "NoticeAck",
+            MsgKind::OwnerData { .. } => "OwnerData",
+            MsgKind::CopyBack { .. } => "CopyBack",
+            MsgKind::ForwardNack { .. } => "ForwardNack",
+            MsgKind::LockAcq { .. } => "LockAcq",
+            MsgKind::LockGrant { .. } => "LockGrant",
+            MsgKind::LockRel { .. } => "LockRel",
+            MsgKind::BarrierArrive { .. } => "BarrierArrive",
+            MsgKind::BarrierRelease { .. } => "BarrierRelease",
+            MsgKind::BusyNack { .. } => "BusyNack",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,16 @@
-//! Tests for the structured protocol trace.
+//! Tests for the structured trace layer: record content, filters, ring
+//! capacity, ordering guarantees, and the deprecated legacy entry point.
 
-use lrc_core::{Machine, MsgKind};
+use lrc_core::{Machine, RecData, TraceFilter, TraceRecord};
 use lrc_sim::{MachineConfig, Op, Protocol, Script};
 
 fn addr(line: u64, word: u64) -> u64 {
     line * 128 + word * 4
+}
+
+/// Send records only, in trace order.
+fn sends(trace: &[TraceRecord]) -> Vec<&TraceRecord> {
+    trace.iter().filter(|r| matches!(r.data, RecData::Send { .. })).collect()
 }
 
 #[test]
@@ -18,26 +24,65 @@ fn trace_records_the_weak_transition_story() {
     );
     let m = Machine::new(MachineConfig::paper_default(2), Protocol::Lrc)
         .with_max_cycles(10_000_000)
-        .with_trace(Some(0), 1024);
+        .with_trace_filter(TraceFilter::line(0).sends_only(), 1024);
     let (_, m) = m.run_keep(Box::new(w));
-    let trace = m.trace();
+    let trace = m.trace_records();
     assert!(!trace.is_empty());
     // The story must contain, in order: P1's read request, P0's write
     // request, and a write notice to P1.
-    let kinds: Vec<&MsgKind> = trace.iter().map(|e| &e.kind).collect();
-    let read_pos = kinds.iter().position(|k| matches!(k, MsgKind::ReadReq { .. }));
-    let write_pos = kinds.iter().position(|k| matches!(k, MsgKind::WriteReq { .. }));
-    let notice_pos = kinds.iter().position(|k| matches!(k, MsgKind::WriteNotice { .. }));
-    assert!(read_pos.is_some(), "{kinds:?}");
-    assert!(write_pos.is_some(), "{kinds:?}");
+    let names: Vec<&str> = trace.iter().map(|r| r.name()).collect();
+    let read_pos = names.iter().position(|&n| n == "ReadReq");
+    let write_pos = names.iter().position(|&n| n == "WriteReq");
+    let notice_pos = names.iter().position(|&n| n == "WriteNotice");
+    assert!(read_pos.is_some(), "{names:?}");
+    assert!(write_pos.is_some(), "{names:?}");
     let notice = notice_pos.expect("weak transition sends a notice");
     assert!(notice > write_pos.unwrap(), "notice follows the write request");
     // The notice goes to the reader.
-    let notice_ev = &trace[notice];
-    assert_eq!(notice_ev.dst, 1);
-    // Timestamps are nondecreasing... per send order they may interleave
-    // across nodes; at minimum the first event is not after the last.
-    assert!(trace.first().unwrap().at <= trace.last().unwrap().at);
+    let RecData::Send { dst, .. } = trace[notice].data else {
+        panic!("sends_only filter kept a non-send: {:?}", trace[notice]);
+    };
+    assert_eq!(dst, 1);
+}
+
+#[test]
+fn trace_is_monotone_per_source_node() {
+    // The strong ordering guarantee the old test only gestured at: within
+    // one emitting node, record timestamps never go backwards, and the
+    // global (at, seq) order returned by trace_records() is strictly
+    // increasing.
+    let w = Script::new(
+        "t",
+        vec![
+            vec![Op::Acquire(0), Op::Write(addr(0, 0)), Op::Release(0), Op::Barrier(0)],
+            vec![Op::Acquire(0), Op::Read(addr(0, 0)), Op::Release(0), Op::Barrier(0)],
+            vec![Op::Read(addr(1, 0)), Op::Write(addr(2, 0)), Op::Barrier(0)],
+        ],
+    );
+    let m = Machine::new(MachineConfig::paper_default(3), Protocol::Lrc)
+        .with_max_cycles(10_000_000)
+        .with_trace_filter(TraceFilter::all(), 1 << 16);
+    let (_, m) = m.run_keep(Box::new(w));
+    let trace = m.trace_records();
+    assert!(trace.len() > 20, "expected a substantial trace, got {}", trace.len());
+    let mut last_at_per_node = [0u64; 3];
+    let mut last_key = (0u64, 0u64);
+    for (i, r) in trace.iter().enumerate() {
+        assert!(r.node < 3, "{r:?}");
+        assert!(
+            r.at >= last_at_per_node[r.node],
+            "node {} went backwards at index {i}: {} < {} ({r})",
+            r.node,
+            r.at,
+            last_at_per_node[r.node],
+        );
+        last_at_per_node[r.node] = r.at;
+        let key = (r.at, r.seq);
+        if i > 0 {
+            assert!(key > last_key, "global order not strictly increasing at {i}");
+        }
+        last_key = key;
+    }
 }
 
 #[test]
@@ -55,12 +100,40 @@ fn trace_filter_restricts_to_one_line() {
     );
     let m = Machine::new(MachineConfig::paper_default(2), Protocol::Erc)
         .with_max_cycles(10_000_000)
-        .with_trace(Some(1), 1024);
+        .with_trace_filter(TraceFilter::line(1), 1024);
     let (_, m) = m.run_keep(Box::new(w));
-    for ev in m.trace() {
-        assert_eq!(ev.kind.line(), Some(lrc_sim::LineAddr(1)), "{ev:?}");
+    let trace = m.trace_records();
+    for rec in &trace {
+        assert_eq!(rec.line(), Some(1), "{rec:?}");
     }
-    assert!(!m.trace().is_empty());
+    assert!(!trace.is_empty());
+}
+
+#[test]
+fn trace_filter_restricts_to_nodes() {
+    let w = Script::new(
+        "t",
+        vec![
+            vec![Op::Read(addr(0, 0))],
+            vec![Op::Read(addr(1, 0))],
+            vec![Op::Read(addr(2, 0))],
+        ],
+    );
+    let m = Machine::new(MachineConfig::paper_default(3), Protocol::Erc)
+        .with_max_cycles(10_000_000)
+        .with_trace_filter(TraceFilter::all().with_nodes([2]), 1024);
+    let (_, m) = m.run_keep(Box::new(w));
+    let trace = m.trace_records();
+    assert!(!trace.is_empty());
+    for rec in &trace {
+        let touches_p2 = match rec.data {
+            RecData::Send { src, dst, .. } | RecData::Recv { src, dst, .. } => {
+                src == 2 || dst == 2
+            }
+            _ => rec.node == 2,
+        };
+        assert!(touches_p2, "{rec:?}");
+    }
 }
 
 #[test]
@@ -69,11 +142,11 @@ fn trace_cap_is_a_ring_buffer() {
     let w = Script::new("t", vec![ops, vec![]]);
     let m = Machine::new(MachineConfig::paper_default(2), Protocol::Erc)
         .with_max_cycles(10_000_000)
-        .with_trace(None, 8);
+        .with_trace_filter(TraceFilter::all().sends_only(), 8);
     let (_, m) = m.run_keep(Box::new(w));
-    let trace = m.trace();
+    let trace = m.trace_records();
     assert_eq!(trace.len(), 8, "capped at 8");
-    // Kept the most recent events: the last traced line is a late one.
+    // Kept the most recent events: the last traced record is a late one.
     assert!(trace.last().unwrap().at >= trace.first().unwrap().at);
 }
 
@@ -83,5 +156,50 @@ fn tracing_off_returns_empty() {
     let (_, m) = Machine::new(MachineConfig::paper_default(1), Protocol::Sc)
         .with_max_cycles(10_000_000)
         .run_keep(Box::new(w));
-    assert!(m.trace().is_empty());
+    assert!(m.trace_records().is_empty());
+    assert!(m.time_series().is_none());
+    assert!(m.flight_tail().is_empty());
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_with_trace_still_works() {
+    // The deprecated shim must behave like the old API: sends only,
+    // optionally restricted to one line.
+    let w = Script::new(
+        "t",
+        vec![vec![Op::Read(addr(0, 0)), Op::Read(addr(1, 0))], vec![]],
+    );
+    let m = Machine::new(MachineConfig::paper_default(2), Protocol::Erc)
+        .with_max_cycles(10_000_000)
+        .with_trace(Some(1), 1024);
+    let (_, m) = m.run_keep(Box::new(w));
+    let trace = m.trace_records();
+    assert!(!trace.is_empty());
+    for rec in &trace {
+        assert!(matches!(rec.data, RecData::Send { .. }), "{rec:?}");
+        assert_eq!(rec.line(), Some(1), "{rec:?}");
+    }
+    assert_eq!(sends(&trace).len(), trace.len());
+}
+
+#[test]
+fn full_trace_contains_sync_and_state_records() {
+    let w = Script::new(
+        "t",
+        vec![
+            vec![Op::Acquire(0), Op::Write(addr(0, 0)), Op::Release(0)],
+            vec![Op::Acquire(0), Op::Read(addr(0, 0)), Op::Release(0)],
+        ],
+    );
+    let m = Machine::new(MachineConfig::paper_default(2), Protocol::Lrc)
+        .with_max_cycles(10_000_000)
+        .with_trace_filter(TraceFilter::all(), 1 << 16);
+    let (_, m) = m.run_keep(Box::new(w));
+    let trace = m.trace_records();
+    let has = |cat: &str| trace.iter().any(|r| r.category() == cat);
+    assert!(has("send"), "no send records");
+    assert!(has("recv"), "no recv records");
+    assert!(has("sync"), "no sync records");
+    assert!(has("state"), "no state records");
 }

@@ -8,8 +8,9 @@
 use crate::paper_ref;
 use crate::report::{bar, miss_pct, ratio, Report, Table};
 use crate::runner::{Runner, RunSpec};
-use lrc_core::RunResult;
+use lrc_core::{Machine, RunResult, TraceFilter};
 use lrc_sim::{table1_rows, MachineConfig, MissClass, Protocol};
+use lrc_trace::export;
 use lrc_workloads::{quality_experiment, Scale, WorkloadKind};
 use lrc_json::{json, ToJson};
 
@@ -550,10 +551,96 @@ pub fn quality(_r: &Runner, p: Params) -> Report {
     }
 }
 
+/// Observability demo: one fully instrumented paper workload (mp3d under
+/// lazy RC) — structured trace exported as a Perfetto-loadable Chrome trace
+/// and JSONL, latency histograms, and the interval metrics time series.
+/// The trace and series artifacts ride in the report JSON; the CLI's
+/// `--trace-dir` flag splits them into standalone files.
+pub fn observe(_r: &Runner, p: Params) -> Report {
+    let workload = WorkloadKind::Mp3d;
+    let proto = Protocol::Lrc;
+    // Bounded capture: recent-most 64K records. Sampling cadence scales
+    // with the input so tiny CI runs still produce a multi-row series.
+    let trace_cap = 1 << 16;
+    let interval = if p.scale == Scale::Tiny { 2_000 } else { 10_000 };
+    let w = workload.build(p.procs, p.scale);
+    let m = Machine::new(MachineConfig::paper_default(p.procs), proto)
+        .with_max_cycles(200_000_000_000)
+        .with_trace_filter(TraceFilter::all(), trace_cap)
+        .with_latency_histograms()
+        .with_sampler(interval)
+        .with_flight_recorder(64);
+    let (result, m) = m.run_keep(w);
+
+    let records = m.trace_records();
+    let chrome = export::chrome_trace(&records);
+    export::validate_chrome_trace(&chrome).expect("exported chrome trace is well-formed");
+    // Serialization round-trip: what we write is what a consumer parses.
+    let reparsed = lrc_json::parse(&chrome.dump()).expect("chrome trace reparses");
+    export::validate_chrome_trace(&reparsed).expect("chrome trace survives a round-trip");
+    let jsonl = export::jsonl(&records);
+    let series = m.time_series().expect("sampler was configured");
+
+    let mut t = Table::new(vec!["latency", "count", "mean", "p50", "p95", "max"]);
+    let mut lat_rows = Vec::new();
+    for (name, h) in result.stats.latencies.iter() {
+        t.row(vec![
+            name.to_string(),
+            h.count.to_string(),
+            format!("{:.1}", h.mean()),
+            h.percentile(50.0).to_string(),
+            h.percentile(95.0).to_string(),
+            h.max.to_string(),
+        ]);
+        lat_rows.push(json!({
+            "name": name,
+            "count": h.count,
+            "mean": h.mean(),
+            "p50": h.percentile(50.0),
+            "p95": h.percentile(95.0),
+            "max": h.max,
+        }));
+    }
+    let text = format!(
+        "{}\ntrace: {} records captured (cap {}), {} perfetto events\n\
+         series: {} samples every {} cycles, {} columns\n\
+         run: {} total cycles ({} / {})\n",
+        t.render(),
+        records.len(),
+        trace_cap,
+        chrome["traceEvents"].as_array().map(|a| a.len()).unwrap_or(0),
+        series.len(),
+        interval,
+        series.columns().len(),
+        result.stats.total_cycles,
+        workload.name(),
+        proto.name(),
+    );
+    Report {
+        id: "observe".into(),
+        title: "Full-observability run: Perfetto trace, latency histograms, metrics time series"
+            .into(),
+        text,
+        json: json!({
+            "workload": workload.name(),
+            "protocol": proto.name(),
+            "scale": p.scale.name(),
+            "procs": p.procs,
+            "total_cycles": result.stats.total_cycles,
+            "records": records.len(),
+            "latency": lat_rows,
+            "perfetto": chrome,
+            "jsonl": jsonl,
+            "timeseries": series.to_json(),
+            "timeseries_csv": series.to_csv(),
+        }),
+    }
+}
+
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "sweep",
-    "quality", "traffic", "scaling", "ablate", "fences",
+    "quality", "traffic", "scaling", "ablate", "fences", "observe",
 ];
 
 /// Run an experiment by id.
@@ -574,6 +661,7 @@ pub fn run_by_id(id: &str, r: &Runner, p: Params) -> Option<Report> {
         "scaling" => scaling(r, p),
         "ablate" => crate::ablate::ablate(p),
         "fences" => crate::ablate::fences(p),
+        "observe" => observe(r, p),
         _ => return None,
     })
 }

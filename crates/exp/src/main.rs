@@ -1,5 +1,10 @@
 //! Experiment CLI: `lrc-exp <experiment|all> [--scale paper|medium|small|tiny]
-//! [--procs N] [--threads N] [--json DIR] [--quiet]`.
+//! [--procs N] [--threads N] [--json DIR] [--trace-dir DIR] [--quiet]`.
+//!
+//! `--trace-dir DIR` splits the `observe` experiment's artifacts into
+//! standalone files: `observe.perfetto.json` (load in Perfetto / Chrome
+//! `about:tracing`), `observe.jsonl`, `observe.timeseries.csv`, and
+//! `observe.latency.json`.
 
 #![forbid(unsafe_code)]
 
@@ -12,6 +17,7 @@ fn main() {
     let mut params = Params::default();
     let mut threads = 0usize;
     let mut json_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut verbose = true;
 
     let mut i = 0;
@@ -36,6 +42,10 @@ fn main() {
                 i += 1;
                 json_dir = Some(args[i].clone());
             }
+            "--trace-dir" => {
+                i += 1;
+                trace_dir = Some(args[i].clone());
+            }
             "--quiet" => verbose = false,
             "all" => ids.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
@@ -44,7 +54,7 @@ fn main() {
     }
 
     if ids.is_empty() {
-        eprintln!("usage: lrc-exp <experiment ...|all> [--scale paper|medium|small|tiny] [--procs N] [--threads N] [--json DIR] [--quiet]");
+        eprintln!("usage: lrc-exp <experiment ...|all> [--scale paper|medium|small|tiny] [--procs N] [--threads N] [--json DIR] [--trace-dir DIR] [--quiet]");
         eprintln!("experiments: {}", experiments::ALL_IDS.join(" "));
         std::process::exit(2);
     }
@@ -62,6 +72,26 @@ fn main() {
             std::fs::write(&path, report.to_json().pretty())
                 .expect("write json");
             eprintln!("wrote {path}");
+        }
+        if id == "observe" {
+            if let Some(dir) = &trace_dir {
+                std::fs::create_dir_all(dir).expect("create trace dir");
+                let j = &report.json;
+                let files = [
+                    ("observe.perfetto.json", j["perfetto"].dump()),
+                    ("observe.jsonl", j["jsonl"].as_str().unwrap_or_default().to_string()),
+                    (
+                        "observe.timeseries.csv",
+                        j["timeseries_csv"].as_str().unwrap_or_default().to_string(),
+                    ),
+                    ("observe.latency.json", j["latency"].dump()),
+                ];
+                for (name, contents) in files {
+                    let path = format!("{dir}/{name}");
+                    std::fs::write(&path, contents).expect("write trace artifact");
+                    eprintln!("wrote {path}");
+                }
+            }
         }
     }
 }

@@ -317,6 +317,21 @@ impl Network {
         self.ni.as_deref().map_or((0, 0), |ni| (ni.peak_ingress, ni.peak_egress))
     }
 
+    /// Current NI queue occupancy at `node` as of `now`, `(ingress,
+    /// egress)`. Expires completed slots first, so a metrics sampler sees
+    /// the same occupancy a send at `now` would. Both zero when no limits
+    /// are installed.
+    pub fn ni_occupancy(&mut self, now: Cycle, node: NodeId) -> (usize, usize) {
+        match self.ni.as_deref_mut() {
+            None => (0, 0),
+            Some(ni) => {
+                NiState::expire(&mut ni.ingress[node], now);
+                NiState::expire(&mut ni.egress[node], now);
+                (ni.ingress[node].len(), ni.egress[node].len())
+            }
+        }
+    }
+
     /// Send a message of `class` through the (possibly faulty) fabric.
     /// With no active plan this is exactly [`Network::send`] wrapped in a
     /// clean single-arrival [`Delivery`]. With one, the injector decides:

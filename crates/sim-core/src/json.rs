@@ -4,7 +4,8 @@
 
 use crate::config::{MachineConfig, Placement, ResourceLimits};
 use crate::stats::{
-    Breakdown, FaultStats, MachineStats, MissClass, MissCounts, ProcStats, ResourceStats, Traffic,
+    Breakdown, FaultStats, Histogram, LatencyStats, MachineStats, MissClass, MissCounts,
+    ProcStats, ResourceStats, Traffic, HIST_BUCKETS,
 };
 use crate::types::Protocol;
 use lrc_json::{json_struct, FromJson, ToJson, Value};
@@ -154,7 +155,62 @@ json_struct!(ResourceStats {
     peak_pending_invals,
     peak_parked,
 });
-json_struct!(MachineStats { procs, total_cycles, faults, resources });
+// Histograms serialize sparsely: only non-empty buckets, as [index, count]
+// pairs, so an all-zero histogram is `{"count":0,"sum":0,"max":0,"buckets":[]}`.
+impl ToJson for Histogram {
+    fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| Value::Array(vec![(i as u64).to_json(), n.to_json()]))
+            .collect();
+        Value::Object(vec![
+            ("count".into(), self.count.to_json()),
+            ("sum".into(), self.sum.to_json()),
+            ("max".into(), self.max.to_json()),
+            ("buckets".into(), Value::Array(buckets)),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(v: &Value) -> Option<Histogram> {
+        let mut h = Histogram {
+            count: u64::from_json(v.get("count")?)?,
+            sum: u64::from_json(v.get("sum")?)?,
+            max: u64::from_json(v.get("max")?)?,
+            buckets: [0; HIST_BUCKETS],
+        };
+        for pair in v.get("buckets")?.as_array()? {
+            let i = usize::from_json(pair.get_index(0)?)?;
+            if i >= HIST_BUCKETS {
+                return None;
+            }
+            h.buckets[i] = u64::from_json(pair.get_index(1)?)?;
+        }
+        Some(h)
+    }
+}
+
+impl ToJson for LatencyStats {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(n, h)| (n.to_string(), h.to_json())).collect())
+    }
+}
+
+impl FromJson for LatencyStats {
+    fn from_json(v: &Value) -> Option<LatencyStats> {
+        let mut out = LatencyStats::new();
+        for (name, hv) in v.as_object()? {
+            out.hist_mut(name).merge(&Histogram::from_json(hv)?);
+        }
+        Some(out)
+    }
+}
+
+json_struct!(MachineStats { procs, total_cycles, faults, resources, latencies });
 
 #[cfg(test)]
 mod tests {
@@ -181,6 +237,33 @@ mod tests {
         let v = cfg.to_json();
         assert_eq!(v["line_size"].as_u64(), Some(256));
         assert_eq!(MachineConfig::from_json(&v), Some(cfg));
+    }
+
+    #[test]
+    fn histogram_json_roundtrip_is_sparse() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 1 << 30] {
+            h.record(v);
+        }
+        let v = h.to_json();
+        assert_eq!(v["buckets"].as_array().unwrap().len(), 4, "only non-empty buckets");
+        assert_eq!(Histogram::from_json(&v), Some(h));
+        assert_eq!(Histogram::from_json(&Value::Null), None);
+
+        let mut l = LatencyStats::new();
+        l.record("rt.read", 42);
+        l.record("lock.wait", 9);
+        let v = l.to_json();
+        assert_eq!(LatencyStats::from_json(&v), Some(l));
+    }
+
+    #[test]
+    fn machine_stats_json_carries_latencies() {
+        let mut s = MachineStats::new(1);
+        s.latencies.record("rt.read", 100);
+        let v = s.to_json();
+        assert_eq!(v["latencies"]["rt.read"]["count"].as_u64(), Some(1));
+        assert_eq!(MachineStats::from_json(&v), Some(s));
     }
 
     #[test]

@@ -399,6 +399,181 @@ impl ProcStats {
     }
 }
 
+/// Number of log₂ buckets a [`Histogram`] keeps: bucket 0 holds the value
+/// 0, bucket `b` (1..=64) holds values in `[2^(b-1), 2^b - 1]`, so the full
+/// `u64` range is covered with no saturation.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in cycles,
+/// retry counts). Fixed-size and allocation-free so recording is a few
+/// arithmetic ops; merging is element-wise addition and therefore
+/// associative and commutative — folding per-probe histograms into the
+/// machine total is order-independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, saturating (for the mean).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Bucket counters; see [`HIST_BUCKETS`] for the bucket bounds.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, max: 0, buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index holding `v`.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive `[lo, hi]` value range of bucket `b`.
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 0)
+        } else {
+            (1 << (b - 1), if b == 64 { u64::MAX } else { (1 << b) - 1 })
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) as an upper bound: the top of
+    /// the bucket containing the target rank, clamped to the observed max
+    /// (so `percentile(100) == max` exactly). Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_bounds(b).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Accumulate another histogram into this one (element-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Named latency histograms, sorted by name. Entries appear on first
+/// record, so a run with latency probes off contributes an empty (and
+/// default-equal) value — the stats fingerprint of an untraced run is
+/// unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    entries: Vec<(String, Histogram)>,
+}
+
+impl LatencyStats {
+    /// Empty set.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// True when no histogram holds any sample.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|(_, h)| h.is_empty())
+    }
+
+    /// The histogram named `name`, created empty if absent.
+    pub fn hist_mut(&mut self, name: &str) -> &mut Histogram {
+        let idx = match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (name.to_string(), Histogram::new()));
+                i
+            }
+        };
+        &mut self.entries[idx].1
+    }
+
+    /// Record one sample into the histogram named `name`.
+    pub fn record(&mut self, name: &str, v: u64) {
+        self.hist_mut(name).record(v);
+    }
+
+    /// Look up a histogram by name.
+    pub fn get(&self, name: &str) -> Option<&Histogram> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// All histograms in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.entries.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Accumulate another set into this one, merging same-named histograms.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        for (name, h) in &other.entries {
+            self.hist_mut(name).merge(h);
+        }
+    }
+
+    /// Entries as `(name, histogram)` pairs (serialization support).
+    pub fn entries(&self) -> &[(String, Histogram)] {
+        &self.entries
+    }
+
+    /// Rebuild from pairs (sorted and deduplicated by merge).
+    pub fn from_entries(pairs: Vec<(String, Histogram)>) -> Self {
+        let mut out = LatencyStats::new();
+        for (name, h) in pairs {
+            out.hist_mut(&name).merge(&h);
+        }
+        out
+    }
+}
+
 /// Machine-level view: per-processor stats plus the run's wall-clock.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MachineStats {
@@ -412,6 +587,9 @@ pub struct MachineStats {
     /// Finite-resource pressure counters (all zero at the default,
     /// unbounded configuration).
     pub resources: ResourceStats,
+    /// Latency histograms (round-trips, lock hold/wait, barrier skew, NACK
+    /// retries). Empty unless the machine ran with latency probes enabled.
+    pub latencies: LatencyStats,
 }
 
 impl MachineStats {
@@ -422,6 +600,7 @@ impl MachineStats {
             total_cycles: 0,
             faults: FaultStats::default(),
             resources: ResourceStats::default(),
+            latencies: LatencyStats::default(),
         }
     }
 
@@ -552,6 +731,87 @@ mod tests {
         assert!(r.is_zero(), "peaks are observations, not pressure");
         r.busy_nacks = 1;
         assert!(!r.is_zero());
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 holds only 0; bucket b holds [2^(b-1), 2^b - 1].
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for b in 0..HIST_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert_eq!(Histogram::bucket_of(lo), b, "lower bound of bucket {b}");
+            assert_eq!(Histogram::bucket_of(hi), b, "upper bound of bucket {b}");
+            if b > 0 {
+                assert_eq!(Histogram::bucket_bounds(b - 1).1 + 1, lo, "buckets are contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_clamp_to_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.percentile(100.0), 1000, "p100 is exactly the max");
+        assert!(h.percentile(50.0) <= h.percentile(95.0));
+        assert!(h.percentile(50.0) >= 3, "p50 bucket upper bound covers the median sample");
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile(50.0), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[1, 5, 9]), mk(&[0, 1 << 20]), mk(&[7, 7, 7, u64::MAX]));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "(a+b)+c == a+(b+c)");
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "a+b == b+a");
+        // Merging equals recording the concatenated sample stream.
+        assert_eq!(ab_c, mk(&[1, 5, 9, 0, 1 << 20, 7, 7, 7, u64::MAX]));
+    }
+
+    #[test]
+    fn latency_stats_sorted_named_merge() {
+        let mut a = LatencyStats::new();
+        a.record("rt.read", 10);
+        a.record("lock.wait", 5);
+        let mut b = LatencyStats::new();
+        b.record("rt.read", 20);
+        b.record("barrier.skew", 2);
+        a.merge(&b);
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["barrier.skew", "lock.wait", "rt.read"], "name-sorted");
+        assert_eq!(a.get("rt.read").unwrap().count, 2);
+        assert_eq!(a.get("rt.read").unwrap().max, 20);
+        assert!(a.get("absent").is_none());
+        let rebuilt = LatencyStats::from_entries(a.entries().to_vec());
+        assert_eq!(rebuilt, a);
     }
 
     #[test]

@@ -102,6 +102,11 @@ pub struct StallDiagnosis {
     pub abandoned_msgs: Vec<String>,
     /// Events still pending in the queue when the watchdog fired.
     pub pending_events: usize,
+    /// The flight recorder's tail: the last few trace records per node,
+    /// merged into one rendered timeline. Empty when the machine ran
+    /// without a recorder (`lrc-sim` carries strings because the record
+    /// type lives upstream in `lrc-trace`).
+    pub recent_events: Vec<String>,
     /// Full machine-state dump (directory, buffers, parked requests).
     pub machine_dump: String,
 }
@@ -122,6 +127,12 @@ impl std::fmt::Display for StallDiagnosis {
         }
         for m in &self.abandoned_msgs {
             writeln!(f, "  abandoned: {m}")?;
+        }
+        if !self.recent_events.is_empty() {
+            writeln!(f, "  last {} events before the stall:", self.recent_events.len())?;
+            for e in &self.recent_events {
+                writeln!(f, "    {e}")?;
+            }
         }
         write!(f, "{}", self.machine_dump)
     }
@@ -144,6 +155,7 @@ mod tests {
             in_flight_msgs: 2,
             abandoned_msgs: vec!["P0 -> P1 WriteNotice line 7".into()],
             pending_events: 0,
+            recent_events: vec!["[t=  1200] P0 -> P1 LockRel".into()],
             machine_dump: "protocol=lazy t=1234\n".into(),
         }
     }
@@ -157,6 +169,8 @@ mod tests {
         assert!(text.contains("pending fences: 1"));
         assert!(text.contains("P0 Releasing(LockRelease(3)) since t=1000 (234 cycles)"));
         assert!(text.contains("abandoned: P0 -> P1 WriteNotice line 7"));
+        assert!(text.contains("last 1 events before the stall:"));
+        assert!(text.contains("[t=  1200] P0 -> P1 LockRel"));
         assert!(text.contains("protocol=lazy"));
     }
 

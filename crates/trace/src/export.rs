@@ -1,0 +1,292 @@
+//! Trace exporters: Chrome trace-event ("Perfetto") JSON and compact JSONL.
+//!
+//! The Chrome format is the small JSON dialect both `chrome://tracing` and
+//! [ui.perfetto.dev](https://ui.perfetto.dev) load directly: a top-level
+//! `{"traceEvents": [...]}` object whose entries carry a phase tag `ph`.
+//! We emit one track (`tid`) per node inside a single process (`pid` 0),
+//! `"X"` duration slices for message sends/receives, `"s"`/`"f"` flow
+//! pairs drawing the message-flight arrow between them, and `"i"`
+//! instants for sync, state, and resource records.
+
+use crate::record::{RecData, TraceRecord};
+use lrc_json::Value;
+use lrc_sim::table::FxHashMap;
+use std::collections::VecDeque;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn num(n: u64) -> Value {
+    Value::Num(n as f64)
+}
+
+/// Common args payload for one record.
+fn record_args(rec: &TraceRecord) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![("seq".into(), num(rec.seq))];
+    match rec.data {
+        RecData::Send { src, dst, msg } | RecData::Recv { src, dst, msg } => {
+            fields.push(("src".into(), num(src as u64)));
+            fields.push(("dst".into(), num(dst as u64)));
+            fields.push(("class".into(), Value::Str(msg.class.name().into())));
+            fields.push(("bytes".into(), num(msg.bytes)));
+            if let Some(l) = msg.line {
+                fields.push(("line".into(), num(l)));
+            }
+        }
+        RecData::Sync { id, .. } => fields.push(("id".into(), num(id))),
+        RecData::State { line, .. } => fields.push(("line".into(), num(line))),
+        RecData::Resource { .. } => {}
+    }
+    Value::Object(fields)
+}
+
+/// Render the records as a Chrome trace-event document. Records may be in
+/// any order; flow arrows are matched FIFO per `(src, dst, message name)`,
+/// which is exact because the simulated network delivers each such stream
+/// in order. Receives with no matching send (the send fell off a bounded
+/// ring) get a slice but no arrow.
+pub fn chrome_trace(records: &[TraceRecord]) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(records.len() * 2 + 8);
+
+    let mut nodes: Vec<usize> = records.iter().map(|r| r.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for &n in &nodes {
+        events.push(obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", num(0)),
+            ("tid", num(n as u64)),
+            ("args", obj(vec![("name", Value::Str(format!("P{n}")))])),
+        ]));
+    }
+
+    let mut sorted: Vec<&TraceRecord> = records.iter().collect();
+    sorted.sort_unstable_by_key(|r| (r.at, r.seq));
+
+    // FIFO queues of unmatched send seqs per (src, dst, name) stream.
+    let mut flights: FxHashMap<(usize, usize, &'static str), VecDeque<u64>> =
+        FxHashMap::default();
+
+    for rec in sorted {
+        let name = Value::Str(rec.name().into());
+        let cat = Value::Str(rec.category().into());
+        let common = |ph: &str| {
+            vec![
+                ("name", name.clone()),
+                ("cat", cat.clone()),
+                ("ph", Value::Str(ph.into())),
+                ("ts", num(rec.at)),
+                ("pid", num(0)),
+                ("tid", num(rec.node as u64)),
+            ]
+        };
+        match rec.data {
+            RecData::Send { src, dst, msg } => {
+                let mut slice = common("X");
+                slice.push(("dur", num(1)));
+                slice.push(("args", record_args(rec)));
+                events.push(obj(slice));
+                flights.entry((src, dst, msg.name)).or_default().push_back(rec.seq);
+                let mut flow = common("s");
+                flow.push(("id", num(rec.seq)));
+                events.push(obj(flow));
+            }
+            RecData::Recv { src, dst, msg } => {
+                let mut slice = common("X");
+                slice.push(("dur", num(1)));
+                slice.push(("args", record_args(rec)));
+                events.push(obj(slice));
+                if let Some(send_seq) =
+                    flights.get_mut(&(src, dst, msg.name)).and_then(VecDeque::pop_front)
+                {
+                    let mut flow = common("f");
+                    flow.push(("bp", Value::Str("e".into())));
+                    flow.push(("id", num(send_seq)));
+                    events.push(obj(flow));
+                }
+            }
+            RecData::Sync { .. } | RecData::State { .. } | RecData::Resource { .. } => {
+                let mut inst = common("i");
+                inst.push(("s", Value::Str("t".into())));
+                inst.push(("args", record_args(rec)));
+                events.push(obj(inst));
+            }
+        }
+    }
+
+    obj(vec![("traceEvents", Value::Array(events))])
+}
+
+/// One record as a flat JSON object (the JSONL row shape).
+pub fn record_to_json(rec: &TraceRecord) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("at".into(), num(rec.at)),
+        ("seq".into(), num(rec.seq)),
+        ("node".into(), num(rec.node as u64)),
+        ("cat".into(), Value::Str(rec.category().into())),
+        ("name".into(), Value::Str(rec.name().into())),
+    ];
+    if let Value::Object(extra) = record_args(rec) {
+        fields.extend(extra.into_iter().filter(|(k, _)| k != "seq"));
+    }
+    Value::Object(fields)
+}
+
+/// Render records as compact JSONL: one JSON object per line.
+pub fn jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&record_to_json(rec).dump());
+        out.push('\n');
+    }
+    out
+}
+
+/// Structural validation of a Chrome trace-event document: the shape the
+/// Perfetto importer requires. Returns the first problem found.
+pub fn validate_chrome_trace(v: &Value) -> Result<(), String> {
+    let events = v
+        .get("traceEvents")
+        .ok_or("missing top-level \"traceEvents\" key")?
+        .as_array()
+        .ok_or("\"traceEvents\" is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |what: &str| Err(format!("event {i}: {what}"));
+        if !ev.is_object() {
+            return fail("not an object");
+        }
+        let ph = match ev["ph"].as_str() {
+            Some(p) => p,
+            None => return fail("missing \"ph\""),
+        };
+        if !matches!(ph, "X" | "i" | "s" | "f" | "M") {
+            return fail(&format!("unknown phase {ph:?}"));
+        }
+        if ev["name"].as_str().is_none() {
+            return fail("missing \"name\"");
+        }
+        if ev["pid"].as_u64().is_none() || ev["tid"].as_u64().is_none() {
+            return fail("missing \"pid\"/\"tid\"");
+        }
+        match ph {
+            "M" => {
+                if ev["args"]["name"].as_str().is_none() {
+                    return fail("metadata event lacks args.name");
+                }
+            }
+            _ => {
+                if ev["ts"].as_u64().is_none() {
+                    return fail("missing \"ts\"");
+                }
+            }
+        }
+        if matches!(ph, "s" | "f") && ev["id"].as_u64().is_none() {
+            return fail("flow event lacks \"id\"");
+        }
+        if ph == "X" && ev["dur"].as_u64().is_none() {
+            return fail("duration slice lacks \"dur\"");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MsgMeta, SyncOp};
+    use lrc_mesh::MsgClass;
+
+    fn msg(name: &'static str, line: u64) -> MsgMeta {
+        MsgMeta { name, class: MsgClass::Request, line: Some(line), bytes: 8 }
+    }
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                at: 10,
+                seq: 0,
+                node: 0,
+                data: RecData::Send { src: 0, dst: 1, msg: msg("ReadReq", 7) },
+            },
+            TraceRecord {
+                at: 25,
+                seq: 1,
+                node: 1,
+                data: RecData::Recv { src: 0, dst: 1, msg: msg("ReadReq", 7) },
+            },
+            TraceRecord {
+                at: 30,
+                seq: 2,
+                node: 1,
+                data: RecData::Sync { op: SyncOp::Release, id: 3 },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_links_flows() {
+        let doc = chrome_trace(&sample_records());
+        validate_chrome_trace(&doc).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        let starts: Vec<&Value> =
+            events.iter().filter(|e| e["ph"].as_str() == Some("s")).collect();
+        let ends: Vec<&Value> = events.iter().filter(|e| e["ph"].as_str() == Some("f")).collect();
+        assert_eq!(starts.len(), 1);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(starts[0]["id"], ends[0]["id"], "arrow endpoints share the flow id");
+        assert_eq!(ends[0]["bp"].as_str(), Some("e"));
+        let metas: Vec<&Value> = events.iter().filter(|e| e["ph"].as_str() == Some("M")).collect();
+        assert_eq!(metas.len(), 2, "one thread_name per node");
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_parser() {
+        let doc = chrome_trace(&sample_records());
+        let reparsed = lrc_json::parse(&doc.dump()).unwrap();
+        assert_eq!(reparsed, doc);
+        validate_chrome_trace(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn unmatched_recv_gets_no_arrow() {
+        let recs = vec![TraceRecord {
+            at: 5,
+            seq: 0,
+            node: 1,
+            data: RecData::Recv { src: 0, dst: 1, msg: msg("ReadReply", 7) },
+        }];
+        let doc = chrome_trace(&recs);
+        validate_chrome_trace(&doc).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert!(events.iter().all(|e| e["ph"].as_str() != Some("f")));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace(&lrc_json::json!({ "events": [] })).is_err());
+        assert!(validate_chrome_trace(
+            &lrc_json::json!({ "traceEvents": [{ "ph": "Z", "name": "x", "pid": 0, "tid": 0 }] })
+        )
+        .is_err());
+        assert!(validate_chrome_trace(
+            &lrc_json::json!({ "traceEvents": [{ "name": "x", "pid": 0, "tid": 0 }] })
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn jsonl_emits_one_object_per_line() {
+        let text = jsonl(&sample_records());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let first = lrc_json::parse(lines[0]).unwrap();
+        assert_eq!(first["cat"].as_str(), Some("send"));
+        assert_eq!(first["name"].as_str(), Some("ReadReq"));
+        assert_eq!(first["line"].as_u64(), Some(7));
+        let last = lrc_json::parse(lines[2]).unwrap();
+        assert_eq!(last["cat"].as_str(), Some("sync"));
+        assert_eq!(last["id"].as_u64(), Some(3));
+    }
+}

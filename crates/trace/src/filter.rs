@@ -1,0 +1,197 @@
+//! The trace filter: which records a sink gets to see.
+
+use crate::record::{RecData, TraceRecord};
+use lrc_mesh::MsgClass;
+use lrc_sim::NodeId;
+
+/// A conjunctive record filter. Each facet is optional; an unset facet
+/// accepts everything, so [`TraceFilter::all`] (the default) passes every
+/// record. Facets that only apply to some record shapes are *strict*: a
+/// line filter rejects records with no line (sync ops, resource events),
+/// and a class filter rejects non-message records — "show me line 7"
+/// means line 7, not line 7 plus everything unlineable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceFilter {
+    /// Accept only records concerning one of these lines (sorted).
+    lines: Option<Vec<u64>>,
+    /// Accept only records touching a node in this bitmask (either
+    /// endpoint for messages; the recording node otherwise).
+    nodes: Option<u64>,
+    /// Accept only message records of a class in this bitmask.
+    classes: Option<u8>,
+    /// Accept only records whose category bit
+    /// ([`TraceRecord::category_index`]) is set here.
+    categories: Option<u8>,
+}
+
+impl TraceFilter {
+    /// Accept every record.
+    pub fn all() -> Self {
+        TraceFilter::default()
+    }
+
+    /// Accept only records concerning `line` (the common debugging case).
+    pub fn line(line: u64) -> Self {
+        TraceFilter::default().with_lines([line])
+    }
+
+    /// Restrict to records concerning one of `lines`.
+    pub fn with_lines<I: IntoIterator<Item = u64>>(mut self, lines: I) -> Self {
+        let mut v: Vec<u64> = lines.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        self.lines = Some(v);
+        self
+    }
+
+    /// Restrict to records touching one of `nodes` (node ids must be < 64,
+    /// matching the machine's directory sharer masks).
+    pub fn with_nodes<I: IntoIterator<Item = NodeId>>(mut self, nodes: I) -> Self {
+        let mut mask = 0u64;
+        for n in nodes {
+            assert!(n < 64, "node filters support node ids < 64");
+            mask |= 1 << n;
+        }
+        self.nodes = Some(mask);
+        self
+    }
+
+    /// Restrict to message records of one of `classes`.
+    pub fn with_classes(mut self, classes: &[MsgClass]) -> Self {
+        let mut mask = 0u8;
+        for c in classes {
+            mask |= 1 << c.index();
+        }
+        self.classes = Some(mask);
+        self
+    }
+
+    /// Restrict to message records only (sends and receives).
+    pub fn messages_only(mut self) -> Self {
+        self.categories = Some(0b00011);
+        self
+    }
+
+    /// Restrict to message *sends* only — the view the pre-observability
+    /// trace ring recorded, kept for timeline-style reports where each
+    /// message should appear once.
+    pub fn sends_only(mut self) -> Self {
+        self.categories = Some(0b00001);
+        self
+    }
+
+    /// Does `rec` pass every configured facet?
+    pub fn accepts(&self, rec: &TraceRecord) -> bool {
+        if let Some(cats) = self.categories {
+            if cats & (1 << rec.category_index()) == 0 {
+                return false;
+            }
+        }
+        if let Some(mask) = self.nodes {
+            let hit = |n: NodeId| n < 64 && mask & (1 << n) != 0;
+            let ok = match rec.data {
+                RecData::Send { src, dst, .. } | RecData::Recv { src, dst, .. } => {
+                    hit(src) || hit(dst)
+                }
+                _ => hit(rec.node),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        if let Some(classes) = self.classes {
+            match rec.class() {
+                Some(c) if classes & (1 << c.index()) != 0 => {}
+                _ => return false,
+            }
+        }
+        if let Some(lines) = &self.lines {
+            match rec.line() {
+                Some(l) if lines.binary_search(&l).is_ok() => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MsgMeta, SyncOp};
+
+    fn send(src: NodeId, dst: NodeId, line: u64, class: MsgClass) -> TraceRecord {
+        TraceRecord {
+            at: 0,
+            seq: 0,
+            node: src,
+            data: RecData::Send {
+                src,
+                dst,
+                msg: MsgMeta { name: "x", class, line: Some(line), bytes: 8 },
+            },
+        }
+    }
+
+    fn sync(node: NodeId) -> TraceRecord {
+        TraceRecord { at: 0, seq: 0, node, data: RecData::Sync { op: SyncOp::Release, id: 0 } }
+    }
+
+    #[test]
+    fn all_accepts_everything() {
+        let f = TraceFilter::all();
+        assert!(f.accepts(&send(0, 1, 5, MsgClass::Request)));
+        assert!(f.accepts(&sync(3)));
+    }
+
+    #[test]
+    fn line_filter_is_strict() {
+        let f = TraceFilter::line(5);
+        assert!(f.accepts(&send(0, 1, 5, MsgClass::Request)));
+        assert!(!f.accepts(&send(0, 1, 6, MsgClass::Request)));
+        assert!(!f.accepts(&sync(0)), "no line means no match under a line filter");
+    }
+
+    #[test]
+    fn node_filter_matches_either_endpoint() {
+        let f = TraceFilter::all().with_nodes([2]);
+        assert!(f.accepts(&send(2, 9, 0, MsgClass::Request)));
+        assert!(f.accepts(&send(9, 2, 0, MsgClass::Request)));
+        assert!(!f.accepts(&send(0, 1, 0, MsgClass::Request)));
+        assert!(f.accepts(&sync(2)));
+        assert!(!f.accepts(&sync(3)));
+    }
+
+    #[test]
+    fn class_filter_is_strict() {
+        let f = TraceFilter::all().with_classes(&[MsgClass::Notice, MsgClass::Sync]);
+        assert!(f.accepts(&send(0, 1, 0, MsgClass::Notice)));
+        assert!(!f.accepts(&send(0, 1, 0, MsgClass::Request)));
+        assert!(!f.accepts(&sync(0)), "non-message records fail a class filter");
+    }
+
+    #[test]
+    fn category_facets() {
+        assert!(!TraceFilter::all().messages_only().accepts(&sync(0)));
+        assert!(TraceFilter::all().messages_only().accepts(&send(0, 1, 0, MsgClass::Link)));
+        let sends = TraceFilter::all().sends_only();
+        assert!(sends.accepts(&send(0, 1, 0, MsgClass::Request)));
+        let recv = TraceRecord {
+            data: RecData::Recv {
+                src: 0,
+                dst: 1,
+                msg: MsgMeta { name: "x", class: MsgClass::Request, line: None, bytes: 8 },
+            },
+            ..send(0, 1, 0, MsgClass::Request)
+        };
+        assert!(!sends.accepts(&recv));
+    }
+
+    #[test]
+    fn facets_compose_conjunctively() {
+        let f = TraceFilter::line(5).with_nodes([0]).with_classes(&[MsgClass::Request]);
+        assert!(f.accepts(&send(0, 1, 5, MsgClass::Request)));
+        assert!(!f.accepts(&send(0, 1, 5, MsgClass::Response)));
+        assert!(!f.accepts(&send(2, 1, 5, MsgClass::Request)));
+    }
+}

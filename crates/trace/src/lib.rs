@@ -1,0 +1,44 @@
+//! `lrc-trace` — the simulator's observability layer.
+//!
+//! Everything here is *vocabulary and plumbing*: the machine (`lrc-core`)
+//! decides when to emit, this crate decides what a record looks like, who
+//! keeps it, and how it leaves the process. Four pieces:
+//!
+//! * [`record`] — the structured [`TraceRecord`]: message sends/receives,
+//!   synchronization operations, cache-state transitions, and
+//!   finite-resource events, each stamped with a cycle time and a global
+//!   emission sequence number.
+//! * [`filter`] + [`sink`] — a [`TraceFilter`] (line set, node set,
+//!   message class, record category) in front of a pluggable
+//!   [`TraceSink`] (bounded ring, unbounded vector, or anything a caller
+//!   implements).
+//! * [`export`] — Chrome trace-event / Perfetto JSON (one track per node,
+//!   flow arrows for message flight) and a compact JSONL form, plus a
+//!   schema validator the CI gate round-trips exports through.
+//! * [`recorder`] + [`series`] — the always-on-when-armed flight recorder
+//!   (a bounded ring of recent events per node, dumped into stall
+//!   diagnoses) and the interval metrics sampler's time-series container
+//!   (CSV/JSON).
+//!
+//! The crate is deliberately passive — no globals, no I/O, no clocks — so
+//! the zero-cost-when-off guarantee lives entirely in the machine's single
+//! `Option` test around each emission site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::new_without_default)]
+
+pub mod export;
+pub mod filter;
+pub mod record;
+pub mod recorder;
+pub mod ring;
+pub mod series;
+pub mod sink;
+
+pub use filter::TraceFilter;
+pub use record::{MsgMeta, RecData, ResourceEv, StateChange, SyncOp, TraceRecord};
+pub use recorder::FlightRecorder;
+pub use ring::Ring;
+pub use series::TimeSeries;
+pub use sink::{RingSink, TraceSink, VecSink};

@@ -1,0 +1,296 @@
+//! The structured trace record: one observable thing the machine did.
+
+use lrc_mesh::MsgClass;
+use lrc_sim::{Cycle, NodeId};
+
+/// Protocol-agnostic description of one message, as the trace sees it.
+/// The machine maps its `MsgKind` onto this — the trace layer must not
+/// depend on the protocol crate (the dependency points the other way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgMeta {
+    /// Stable variant name (`"ReadReq"`, `"WriteNotice"`, …).
+    pub name: &'static str,
+    /// Coarse message class (request / response / notice / sync / link).
+    pub class: MsgClass,
+    /// The line the message concerns (sync messages have none).
+    pub line: Option<u64>,
+    /// Wire size in bytes under the machine's cost model.
+    pub bytes: u64,
+}
+
+/// A synchronization operation, as seen at the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOp {
+    /// A lock acquire was issued (the request left the processor).
+    AcquireStart,
+    /// The lock grant arrived and acquire-time invalidations finished.
+    AcquireDone,
+    /// A lock release was issued (its fence, if any, had cleared).
+    Release,
+    /// The processor arrived at a barrier.
+    BarrierArrive,
+    /// The barrier released this processor.
+    BarrierDone,
+}
+
+impl SyncOp {
+    /// Stable lowercase name for rendering and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncOp::AcquireStart => "acquire-start",
+            SyncOp::AcquireDone => "acquire-done",
+            SyncOp::Release => "release",
+            SyncOp::BarrierArrive => "barrier-arrive",
+            SyncOp::BarrierDone => "barrier-done",
+        }
+    }
+}
+
+/// A cache-line protocol state transition at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateChange {
+    /// The line was installed (or upgraded) in the local cache.
+    Install {
+        /// Resulting permission, rendered (`"ro"` / `"rw"`).
+        state: &'static str,
+    },
+    /// The local copy was dropped. `eager` distinguishes an
+    /// invalidation-on-receipt (SC/ERC) from an acquire-time
+    /// self-invalidation (lazy protocols).
+    Invalidate {
+        /// True for an eager (message-driven) invalidation.
+        eager: bool,
+    },
+}
+
+/// A finite-resource event: the bounded structures pushing back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceEv {
+    /// A full NI queue rejected a send.
+    NiReject {
+        /// Queue occupancy at the rejection.
+        occupancy: u32,
+        /// Configured capacity.
+        cap: u32,
+    },
+    /// An NI-rejected send re-attempted after its backoff.
+    NiRetry,
+    /// The home BUSY-NACKed a request racing a busy directory entry.
+    BusyNack {
+        /// NACKs this requester has now received for the request.
+        attempt: u32,
+    },
+    /// A NACKed request was re-sent after its backoff.
+    NackRetry,
+    /// A write-notice buffer overflowed into the invalidate-all fallback.
+    WnOverflow {
+        /// The buffer capacity that was exceeded.
+        cap: u32,
+    },
+}
+
+/// What one record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecData {
+    /// A protocol message left `src` for `dst` (recorded at `src`).
+    Send {
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// The message.
+        msg: MsgMeta,
+    },
+    /// A protocol message was received at `dst` (recorded at `dst`).
+    Recv {
+        /// Sending node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// The message.
+        msg: MsgMeta,
+    },
+    /// A synchronization operation at the recording node.
+    Sync {
+        /// The operation.
+        op: SyncOp,
+        /// Lock or barrier id.
+        id: u64,
+    },
+    /// A cache-state transition at the recording node.
+    State {
+        /// The line.
+        line: u64,
+        /// The transition.
+        change: StateChange,
+    },
+    /// A finite-resource event at the recording node.
+    Resource {
+        /// The event.
+        ev: ResourceEv,
+    },
+}
+
+/// One trace record. `seq` is a global emission counter: sorting by
+/// `(at, seq)` yields a total, deterministic time order even when the
+/// machine emits several records in the same cycle (or emits a
+/// future-stamped send before an earlier-stamped one — protocol
+/// processors run ahead of the event clock inside their occupancy
+/// windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle the record describes.
+    pub at: Cycle,
+    /// Global emission sequence number (unique per machine).
+    pub seq: u64,
+    /// The node the record is attributed to (its track in exports).
+    pub node: NodeId,
+    /// What happened.
+    pub data: RecData,
+}
+
+impl TraceRecord {
+    /// The line this record concerns, if any.
+    pub fn line(&self) -> Option<u64> {
+        match self.data {
+            RecData::Send { msg, .. } | RecData::Recv { msg, .. } => msg.line,
+            RecData::State { line, .. } => Some(line),
+            _ => None,
+        }
+    }
+
+    /// The message class, for message records.
+    pub fn class(&self) -> Option<MsgClass> {
+        match self.data {
+            RecData::Send { msg, .. } | RecData::Recv { msg, .. } => Some(msg.class),
+            _ => None,
+        }
+    }
+
+    /// Dense category index (send/recv/sync/state/resource), the
+    /// [`crate::TraceFilter`] category bit for this record.
+    pub fn category_index(&self) -> usize {
+        match self.data {
+            RecData::Send { .. } => 0,
+            RecData::Recv { .. } => 1,
+            RecData::Sync { .. } => 2,
+            RecData::State { .. } => 3,
+            RecData::Resource { .. } => 4,
+        }
+    }
+
+    /// Stable category name in `category_index` order.
+    pub fn category(&self) -> &'static str {
+        ["send", "recv", "sync", "state", "resource"][self.category_index()]
+    }
+
+    /// Short event name: the message variant, sync op, or resource event.
+    pub fn name(&self) -> &'static str {
+        match self.data {
+            RecData::Send { msg, .. } | RecData::Recv { msg, .. } => msg.name,
+            RecData::Sync { op, .. } => op.name(),
+            RecData::State { change: StateChange::Install { .. }, .. } => "install",
+            RecData::State { change: StateChange::Invalidate { .. }, .. } => "invalidate",
+            RecData::Resource { ev } => match ev {
+                ResourceEv::NiReject { .. } => "ni-reject",
+                ResourceEv::NiRetry => "ni-retry",
+                ResourceEv::BusyNack { .. } => "busy-nack",
+                ResourceEv::NackRetry => "nack-retry",
+                ResourceEv::WnOverflow { .. } => "wn-overflow",
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[t={:>6}] ", self.at)?;
+        match self.data {
+            RecData::Send { src, dst, msg } => {
+                write!(f, "P{src} -> P{dst} {} ({}, {}B", msg.name, msg.class.name(), msg.bytes)?;
+                if let Some(l) = msg.line {
+                    write!(f, ", line {l}")?;
+                }
+                write!(f, ")")
+            }
+            RecData::Recv { src, dst, msg } => {
+                write!(f, "P{dst} <- P{src} {}", msg.name)?;
+                if let Some(l) = msg.line {
+                    write!(f, " (line {l})")?;
+                }
+                Ok(())
+            }
+            RecData::Sync { op, id } => write!(f, "P{} {} id={id}", self.node, op.name()),
+            RecData::State { line, change } => match change {
+                StateChange::Install { state } => {
+                    write!(f, "P{} line {line} -> {state}", self.node)
+                }
+                StateChange::Invalidate { eager } => write!(
+                    f,
+                    "P{} line {line} invalidated ({})",
+                    self.node,
+                    if eager { "eager" } else { "acquire" }
+                ),
+            },
+            RecData::Resource { ev } => match ev {
+                ResourceEv::NiReject { occupancy, cap } => {
+                    write!(f, "P{} NI reject ({occupancy}/{cap} slots)", self.node)
+                }
+                ResourceEv::NiRetry => write!(f, "P{} NI retry", self.node),
+                ResourceEv::BusyNack { attempt } => {
+                    write!(f, "P{} BUSY-NACKed (attempt {attempt})", self.node)
+                }
+                ResourceEv::NackRetry => write!(f, "P{} NACK retry", self.node),
+                ResourceEv::WnOverflow { cap } => {
+                    write!(f, "P{} write-notice buffer overflow (cap {cap})", self.node)
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(data: RecData) -> TraceRecord {
+        TraceRecord { at: 10, seq: 1, node: 2, data }
+    }
+
+    #[test]
+    fn lines_classes_and_categories() {
+        let meta = MsgMeta { name: "ReadReq", class: MsgClass::Request, line: Some(7), bytes: 8 };
+        let s = rec(RecData::Send { src: 2, dst: 3, msg: meta });
+        assert_eq!(s.line(), Some(7));
+        assert_eq!(s.class(), Some(MsgClass::Request));
+        assert_eq!(s.category(), "send");
+        assert_eq!(s.name(), "ReadReq");
+
+        let y = rec(RecData::Sync { op: SyncOp::Release, id: 4 });
+        assert_eq!(y.line(), None);
+        assert_eq!(y.class(), None);
+        assert_eq!(y.category(), "sync");
+        assert_eq!(y.name(), "release");
+
+        let st = rec(RecData::State { line: 9, change: StateChange::Install { state: "ro" } });
+        assert_eq!(st.line(), Some(9));
+        assert_eq!(st.category(), "state");
+
+        let r = rec(RecData::Resource { ev: ResourceEv::WnOverflow { cap: 4 } });
+        assert_eq!(r.category(), "resource");
+        assert_eq!(r.name(), "wn-overflow");
+    }
+
+    #[test]
+    fn display_renders_every_shape() {
+        let meta = MsgMeta { name: "ReadReq", class: MsgClass::Request, line: Some(7), bytes: 8 };
+        let text = rec(RecData::Send { src: 2, dst: 3, msg: meta }).to_string();
+        assert!(text.contains("P2 -> P3 ReadReq"), "{text}");
+        assert!(text.contains("line 7"), "{text}");
+        let text = rec(RecData::Recv { src: 2, dst: 3, msg: meta }).to_string();
+        assert!(text.contains("P3 <- P2"), "{text}");
+        let text = rec(RecData::Resource { ev: ResourceEv::NiReject { occupancy: 1, cap: 1 } })
+            .to_string();
+        assert!(text.contains("NI reject (1/1"), "{text}");
+    }
+}

@@ -1,0 +1,93 @@
+//! The flight recorder: a bounded ring of recent records per node, kept
+//! cheaply during at-risk runs (watchdogs, fault plans, finite resources)
+//! so a stall diagnosis can tell the last-K-events story instead of only
+//! showing end-state counters.
+
+use crate::record::TraceRecord;
+use crate::ring::Ring;
+use lrc_sim::NodeId;
+
+/// Per-node rings of the most recent trace records.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    rings: Vec<Ring<TraceRecord>>,
+}
+
+impl FlightRecorder {
+    /// Recorder for `nodes` nodes keeping `cap_per_node` records each.
+    pub fn new(nodes: usize, cap_per_node: usize) -> Self {
+        FlightRecorder { rings: (0..nodes).map(|_| Ring::new(cap_per_node)).collect() }
+    }
+
+    /// Record one event on its node's ring (out-of-range nodes are
+    /// impossible by construction; debug builds assert).
+    pub fn push(&mut self, rec: &TraceRecord) {
+        debug_assert!(rec.node < self.rings.len());
+        if let Some(ring) = self.rings.get_mut(rec.node) {
+            ring.push(*rec);
+        }
+    }
+
+    /// True when nothing has been recorded on any node.
+    pub fn is_empty(&self) -> bool {
+        self.rings.iter().all(Ring::is_empty)
+    }
+
+    /// One node's recent records, oldest first.
+    pub fn node_tail(&self, node: NodeId) -> Vec<TraceRecord> {
+        self.rings.get(node).map(Ring::snapshot).unwrap_or_default()
+    }
+
+    /// All nodes' recent records merged into one deterministic timeline,
+    /// sorted by `(at, seq)`.
+    pub fn tail(&self) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> =
+            self.rings.iter().flat_map(|r| r.iter().copied()).collect();
+        all.sort_unstable_by_key(|r| (r.at, r.seq));
+        all
+    }
+
+    /// The merged tail rendered line-by-line (what a [`StallDiagnosis`]
+    /// embeds — `lrc-sim` cannot depend on this crate, so the diagnosis
+    /// carries strings).
+    ///
+    /// [`StallDiagnosis`]: lrc_sim::StallDiagnosis
+    pub fn render_tail(&self) -> Vec<String> {
+        self.tail().iter().map(|r| r.to_string()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecData, SyncOp};
+
+    fn rec(at: u64, seq: u64, node: usize) -> TraceRecord {
+        TraceRecord { at, seq, node, data: RecData::Sync { op: SyncOp::Release, id: 0 } }
+    }
+
+    #[test]
+    fn merges_nodes_in_time_order() {
+        let mut fr = FlightRecorder::new(2, 4);
+        assert!(fr.is_empty());
+        fr.push(&rec(5, 1, 0));
+        fr.push(&rec(3, 0, 1));
+        fr.push(&rec(5, 2, 1));
+        let tail = fr.tail();
+        assert_eq!(tail.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(fr.node_tail(1).len(), 2);
+        assert_eq!(fr.render_tail().len(), 3);
+        assert!(!fr.is_empty());
+    }
+
+    #[test]
+    fn per_node_rings_bound_independently() {
+        let mut fr = FlightRecorder::new(2, 2);
+        for i in 0..10 {
+            fr.push(&rec(i, i, 0));
+        }
+        fr.push(&rec(0, 100, 1));
+        assert_eq!(fr.node_tail(0).len(), 2, "node 0 capped");
+        assert_eq!(fr.node_tail(1).len(), 1, "node 1 untouched by node 0 pressure");
+    }
+}

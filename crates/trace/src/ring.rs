@@ -1,0 +1,78 @@
+//! A fixed-capacity ring buffer that drops its oldest entries.
+
+use std::collections::VecDeque;
+
+/// Bounded FIFO keeping the most recent `cap` pushed values.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    cap: usize,
+    buf: VecDeque<T>,
+}
+
+impl<T> Ring<T> {
+    /// Ring keeping at most `cap` entries (at least 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Ring { cap, buf: VecDeque::with_capacity(cap.min(1024)) }
+    }
+
+    /// Append, evicting the oldest entry when full.
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(v);
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been pushed (or everything was evicted into
+    /// the void — impossible, eviction only happens on push).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+impl<T: Clone> Ring<T> {
+    /// Copy out the current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_oldest_at_capacity() {
+        let mut r = Ring::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.snapshot(), vec![7, 8, 9]);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = Ring::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.snapshot(), vec![2]);
+    }
+}

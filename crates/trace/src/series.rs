@@ -1,0 +1,121 @@
+//! The interval metrics sampler's time-series container.
+
+use lrc_json::Value;
+use lrc_sim::Cycle;
+
+/// A fixed-schema table of unsigned samples: one row per sampling tick,
+/// one column per gauge. The machine's sampler fills it deterministically
+/// (sampling is event-driven, so the same run produces the same rows
+/// bit-for-bit); harnesses dump it as CSV or JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    interval: Cycle,
+    columns: Vec<String>,
+    rows: Vec<Vec<u64>>,
+}
+
+impl TimeSeries {
+    /// Empty series sampled every `interval` cycles with the given columns.
+    pub fn new<S: Into<String>>(interval: Cycle, columns: Vec<S>) -> Self {
+        TimeSeries {
+            interval,
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The configured sampling interval in cycles.
+    pub fn interval(&self) -> Cycle {
+        self.interval
+    }
+
+    /// Column names, in row order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// All rows sampled so far.
+    pub fn rows(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// Number of sampling ticks recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no tick has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append one tick's samples.
+    ///
+    /// # Panics
+    /// If the row width does not match the column count.
+    pub fn push_row(&mut self, row: Vec<u64>) {
+        assert_eq!(row.len(), self.columns.len(), "sample row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as CSV (header row + one line per tick).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as JSON: `{"interval": N, "columns": [...], "rows": [[...]]}`.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("interval".into(), Value::Num(self.interval as f64)),
+            (
+                "columns".into(),
+                Value::Array(self.columns.iter().map(|c| Value::Str(c.clone())).collect()),
+            ),
+            (
+                "rows".into(),
+                Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Value::Array(r.iter().map(|&v| Value::Num(v as f64)).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_and_json_round_the_same_rows() {
+        let mut ts = TimeSeries::new(100, vec!["cycle", "inflight"]);
+        ts.push_row(vec![100, 3]);
+        ts.push_row(vec![200, 0]);
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.interval(), 100);
+        let csv = ts.to_csv();
+        assert_eq!(csv, "cycle,inflight\n100,3\n200,0\n");
+        let j = ts.to_json();
+        assert_eq!(j["interval"].as_u64(), Some(100));
+        assert_eq!(j["rows"].get_index(1).unwrap().get_index(0).unwrap().as_u64(), Some(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_is_enforced() {
+        let mut ts = TimeSeries::new(1, vec!["a", "b"]);
+        ts.push_row(vec![1]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Pluggable trace sinks: where filtered records go.
+
+use crate::record::TraceRecord;
+use crate::ring::Ring;
+
+/// Consumer of trace records. The machine calls [`TraceSink::record`]
+/// once per record that passes the configured [`crate::TraceFilter`];
+/// harnesses read the result back with [`TraceSink::snapshot`].
+///
+/// `box_clone` exists because the machine is `Clone` (the model checker
+/// snapshots it wholesale), so its sink must be too.
+pub trait TraceSink: std::fmt::Debug {
+    /// Consume one record.
+    fn record(&mut self, rec: &TraceRecord);
+    /// Current contents in insertion order (may be truncated for bounded
+    /// sinks — oldest entries drop first).
+    fn snapshot(&self) -> Vec<TraceRecord>;
+    /// Records currently held.
+    fn len(&self) -> usize;
+    /// True when no records are held.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Clone into a fresh box (support for `Clone` machines).
+    fn box_clone(&self) -> Box<dyn TraceSink>;
+}
+
+impl Clone for Box<dyn TraceSink> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Bounded sink keeping the most recent `cap` records (the default).
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    ring: Ring<TraceRecord>,
+}
+
+impl RingSink {
+    /// Sink keeping at most `cap` records.
+    pub fn new(cap: usize) -> Self {
+        RingSink { ring: Ring::new(cap) }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.ring.push(*rec);
+    }
+    fn snapshot(&self) -> Vec<TraceRecord> {
+        self.ring.snapshot()
+    }
+    fn len(&self) -> usize {
+        self.ring.len()
+    }
+    fn box_clone(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
+}
+
+/// Unbounded sink keeping everything (tests and short runs only — a
+/// traced paper-scale run emits hundreds of millions of records).
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    events: Vec<TraceRecord>,
+}
+
+impl VecSink {
+    /// Empty unbounded sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.events.push(*rec);
+    }
+    fn snapshot(&self) -> Vec<TraceRecord> {
+        self.events.clone()
+    }
+    fn len(&self) -> usize {
+        self.events.len()
+    }
+    fn box_clone(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecData, SyncOp};
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord { at: seq, seq, node: 0, data: RecData::Sync { op: SyncOp::Release, id: 0 } }
+    }
+
+    #[test]
+    fn ring_sink_bounds_vec_sink_keeps_all() {
+        let mut ring = RingSink::new(4);
+        let mut vec = VecSink::new();
+        for i in 0..10 {
+            ring.record(&rec(i));
+            vec.record(&rec(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.snapshot().first().unwrap().seq, 6);
+        assert_eq!(vec.len(), 10);
+        assert!(!vec.is_empty());
+    }
+
+    #[test]
+    fn boxed_sinks_clone() {
+        let mut s: Box<dyn TraceSink> = Box::new(RingSink::new(8));
+        s.record(&rec(1));
+        let c = s.clone();
+        assert_eq!(c.snapshot(), s.snapshot());
+    }
+}

@@ -39,10 +39,10 @@ fn scenario() -> Script {
 fn show(proto: Protocol) {
     println!("--- {} ---", proto.name());
     let machine = Machine::new(MachineConfig::paper_default(2), proto)
-        .with_trace(Some(0), 256);
+        .with_trace_filter(lazy_rc::trace::TraceFilter::line(0).sends_only(), 256);
     let (result, machine) = machine.run_keep(Box::new(scenario()));
-    for ev in machine.trace() {
-        println!("  [t={:>5}] P{} → P{}  {:?}", ev.at, ev.src, ev.dst, ev.kind);
+    for rec in machine.trace_records() {
+        println!("  {rec}");
     }
     let entry = machine.dir_entry(LineAddr(0));
     println!(

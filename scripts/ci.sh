@@ -61,10 +61,29 @@ echo "==> capacity smoke: lrc-soak --capacity-sweep --smoke (finite resources)"
 # pressure (nonzero reject/NACK/overflow counters somewhere).
 ./target/release/lrc-soak --capacity-sweep --smoke --quiet
 
-echo "==> finite resources are opt-in: default-config fingerprints unchanged"
-# The golden determinism fingerprints pin the default (unbounded) behavior;
-# re-running them here asserts the bounded-resource machinery costs nothing
-# until a capacity is configured.
+echo "==> observability smoke: traced observe run + artifact validation"
+# A tiny fully instrumented run: structured trace -> Perfetto JSON (checked
+# by the experiment itself via a serialize/parse round-trip), latency
+# histograms, and the metrics time series. Here we additionally check the
+# emitted artifacts: the Perfetto file has named tracks and flow events,
+# the time series is a non-trivial CSV, and the latency table is non-empty.
+obsdir=$(mktemp -d /tmp/observe_smoke.XXXXXX)
+./target/release/lrc-exp observe --scale tiny --procs 8 --quiet \
+  --trace-dir "$obsdir" > /dev/null
+grep -q '"traceEvents"' "$obsdir/observe.perfetto.json"
+grep -q '"ph":"M"' "$obsdir/observe.perfetto.json"
+grep -q '"ph":"s"' "$obsdir/observe.perfetto.json"
+head -1 "$obsdir/observe.timeseries.csv" | grep -q '^cycle,inflight,dir_busy'
+[ "$(wc -l < "$obsdir/observe.timeseries.csv")" -gt 2 ]
+grep -q '"name":"rt.read"' "$obsdir/observe.latency.json"
+[ -s "$obsdir/observe.jsonl" ]
+rm -rf "$obsdir"
+
+echo "==> opt-in machinery costs nothing when off: golden fingerprints unchanged"
+# The golden determinism fingerprints pin the default behavior; re-running
+# them here asserts that the bounded-resource machinery AND the tracing/
+# sampling/histogram layer (both off by default) leave the simulation
+# bit-identical until explicitly configured.
 cargo test -q --test determinism_golden
 
 echo "CI green."

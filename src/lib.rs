@@ -12,6 +12,9 @@
 //! * [`classify`] — cold/true/false/eviction/write miss classification.
 //! * [`core`] — the directory, the four coherence protocols (SC, eager RC,
 //!   lazy RC, lazy-ext RC), synchronization services, and the machine.
+//! * [`trace`] — the observability layer: structured trace records,
+//!   filters, Perfetto/Chrome trace export, latency histograms, the metrics
+//!   sampler, and the flight recorder.
 //! * [`workloads`] — the seven SPLASH-like applications plus the mp3d
 //!   solution-quality experiment.
 //!
@@ -46,12 +49,14 @@ pub use lrc_core as core;
 pub use lrc_mem as mem;
 pub use lrc_mesh as mesh;
 pub use lrc_sim as sim;
+pub use lrc_trace as trace;
 pub use lrc_workloads as workloads;
 
 /// Everything you need to configure and run a simulation.
 pub mod prelude {
     pub use lrc_core::{
         Fault, FaultPlan, FaultRates, Machine, MsgClass, RunResult, StallDiagnosis, StallReason,
+        TraceFilter, TraceRecord,
     };
     pub use lrc_sim::{
         Breakdown, FaultStats, MachineConfig, MachineStats, MissClass, Op, Placement, ProcStats,

@@ -156,6 +156,10 @@ fn nack_storm_yields_a_structured_diagnosis() {
     let text = diag.to_string();
     assert!(text.contains("BUSY-NACK storm"), "{text}");
     assert!(text.contains("line 0"), "{text}");
+    // Finite resources auto-arm the flight recorder: the diagnosis carries
+    // the events leading up to the stall.
+    assert!(!diag.recent_events.is_empty(), "{diag}");
+    assert!(text.contains("events before the stall"), "{text}");
 }
 
 #[test]
@@ -186,4 +190,5 @@ fn ni_queue_full_yields_a_structured_diagnosis() {
     let text = diag.to_string();
     assert!(text.contains("NI queue full"), "{text}");
     assert!(text.contains("queue-full livelock"), "{text}");
+    assert!(!diag.recent_events.is_empty(), "{diag}");
 }
