@@ -19,7 +19,7 @@
 use crate::scenario::Scenario;
 use lrc_core::{Fault, FaultPlan, Machine, StuckState, Violation};
 use lrc_sim::refint::{self, RefError};
-use lrc_sim::{Protocol, Script};
+use lrc_sim::{Protocol, RaceReport, Script};
 use std::collections::HashSet;
 
 /// Exploration bounds.
@@ -51,6 +51,11 @@ pub enum Failure {
     /// (only possible for racy programs — scenarios are DRF, so this is a
     /// protocol bug).
     WriteRace(Vec<(u64, usize)>),
+    /// The happens-before race detector found unsynchronized conflicting
+    /// accesses (race-enabled machines only). This is a property of the
+    /// *program*, not the protocol: it voids the DRF ⇒ SC obligation, so
+    /// the value checks are skipped on paths carrying this failure.
+    HbRace(Vec<RaceReport>),
     /// The reference interpreter could not follow the machine's observed
     /// synchronization order.
     Reference(String),
@@ -92,6 +97,16 @@ impl std::fmt::Display for Failure {
             Failure::WriteRace(words) => {
                 write!(f, "conflicting unflushed writes at quiescence: {words:?}")
             }
+            Failure::HbRace(reports) => {
+                write!(f, "data race: ")?;
+                for (i, r) in reports.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}", r.render())?;
+                }
+                Ok(())
+            }
             Failure::Reference(e) => write!(f, "reference interpreter: {e}"),
         }
     }
@@ -129,6 +144,20 @@ pub fn build_machine(scenario: &Scenario, protocol: Protocol, fault: Fault) -> M
     let mut m = Machine::new(scenario.config(), protocol)
         .with_fault(fault)
         .with_value_tracking();
+    m.prepare(Box::new(scenario.script()));
+    m
+}
+
+/// Like [`build_machine`], with the happens-before race detector armed.
+/// Detector state is part of [`Machine::fingerprint`], so exploration
+/// never prunes a racy path into a clean one — at the cost of a larger
+/// state space (vector clocks depend on lock-grant order, so converging
+/// protocol states may carry diverging clocks).
+pub fn build_machine_raced(scenario: &Scenario, protocol: Protocol, fault: Fault) -> Machine {
+    let mut m = Machine::new(scenario.config(), protocol)
+        .with_fault(fault)
+        .with_value_tracking()
+        .with_race_detection();
     m.prepare(Box::new(scenario.script()));
     m
 }
@@ -183,6 +212,16 @@ pub fn terminal_failure(m: &Machine, script: &Script) -> Option<Failure> {
     if !stuck.is_empty() {
         return Some(Failure::Liveness(stuck));
     }
+    // The detector's verdict gates everything downstream: DRF ⇒ SC is an
+    // implication, and a racy program voids its premise — write-overlay
+    // conflicts and reference-memory divergence are then properties of the
+    // program, not protocol bugs. Detector-off machines keep the historical
+    // behavior of trusting the scenario library's DRF promise.
+    if let Some(rs) = m.race_stats() {
+        if !rs.race_free() {
+            return Some(Failure::HbRace(rs.reports.clone()));
+        }
+    }
     let (mem, conflicts) = m.final_memory().expect("value tracking enabled");
     if !conflicts.is_empty() {
         return Some(Failure::WriteRace(conflicts));
@@ -234,6 +273,19 @@ pub fn check(
     limits: Limits,
 ) -> CheckReport {
     check_root(build_machine(scenario, protocol, fault), scenario, limits)
+}
+
+/// [`check`] with the happens-before race detector armed: a detected race
+/// is a first-class counterexample ([`Failure::HbRace`]), and the DRF ⇒ SC
+/// value comparison only applies to paths the detector certifies
+/// race-free.
+pub fn check_raced(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    limits: Limits,
+) -> CheckReport {
+    check_root(build_machine_raced(scenario, protocol, fault), scenario, limits)
 }
 
 /// [`check`] with the `nth` BUSY-NACK choice point armed (see
@@ -321,8 +373,28 @@ pub fn replay_schedule(
     schedule: &[usize],
     max_steps: usize,
 ) -> (Option<Failure>, Machine) {
+    replay_on(build_machine(scenario, protocol, fault), scenario, schedule, max_steps)
+}
+
+/// [`replay_schedule`] on a race-detecting machine — required to reproduce
+/// and minimize [`Failure::HbRace`] counterexamples.
+pub fn replay_schedule_raced(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    schedule: &[usize],
+    max_steps: usize,
+) -> (Option<Failure>, Machine) {
+    replay_on(build_machine_raced(scenario, protocol, fault), scenario, schedule, max_steps)
+}
+
+fn replay_on(
+    mut m: Machine,
+    scenario: &Scenario,
+    schedule: &[usize],
+    max_steps: usize,
+) -> (Option<Failure>, Machine) {
     let script = scenario.script();
-    let mut m = build_machine(scenario, protocol, fault);
     let mut step = 0usize;
     while m.num_pending() > 0 && step < max_steps {
         let want = schedule.get(step).copied().unwrap_or(0);

@@ -90,15 +90,43 @@ pub fn check_and_minimize(
     fault: Fault,
     limits: Limits,
 ) -> CheckOutcome {
-    let report = check(scenario, protocol, fault, limits);
+    process(scenario, protocol, fault, limits, false)
+}
+
+/// [`check_and_minimize`] with the happens-before race detector armed on
+/// every machine (exploration, minimization replays, and the rendering
+/// replay): a detected race is a first-class counterexample with a
+/// ddmin-minimized, replayable witness, and the DRF ⇒ SC value comparison
+/// only applies to paths the detector certifies race-free.
+pub fn check_and_minimize_raced(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    limits: Limits,
+) -> CheckOutcome {
+    process(scenario, protocol, fault, limits, true)
+}
+
+fn process(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    limits: Limits,
+    races: bool,
+) -> CheckOutcome {
+    let report = if races {
+        explore::check_raced(scenario, protocol, fault, limits)
+    } else {
+        check(scenario, protocol, fault, limits)
+    };
     let (minimized, rendered) = match &report.counterexample {
         None => (None, None),
         Some(cex) => {
             let class = FailureClass::of(&cex.failure);
             let (schedule, failure) =
-                minimize::minimize(scenario, protocol, fault, &cex.schedule, class);
+                minimize::minimize_with(scenario, protocol, fault, &cex.schedule, class, races);
             let min_cex = explore::Counterexample { schedule: schedule.clone(), failure };
-            let rendered = report::render(scenario, protocol, fault, &min_cex);
+            let rendered = report::render_with(scenario, protocol, fault, &min_cex, races);
             (Some(schedule), Some(rendered))
         }
     };

@@ -22,6 +22,11 @@ OPTIONS:
     --nack-nth N        answer the N-th busy-directory encounter with a
                         BUSY-NACK instead of parking, and explore the retry
                         interleavings (eager protocols; no-op under lazy)
+    --races             arm the happens-before race detector: a detected
+                        data race is a first-class counterexample with a
+                        minimized replayable witness, and the DRF => SC
+                        value checks apply only to race-free paths (see
+                        the deliberately racy 'racy' scenario)
     --max-states N      stop after visiting N states (default: 200000)
     --max-depth N       abandon paths longer than N choices (default: 4000)
     --exhaustive        no state limit: explore until the space is exhausted
@@ -39,6 +44,7 @@ struct Args {
     protocol: String,
     fault: Fault,
     nack_nth: Option<u64>,
+    races: bool,
     limits: Limits,
     replay: Option<Vec<usize>>,
     list: bool,
@@ -50,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         protocol: "all".to_string(),
         fault: Fault::None,
         nack_nth: None,
+        races: false,
         limits: Limits::default(),
         replay: None,
         list: false,
@@ -73,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
                 args.limits.max_depth =
                     val("--max-depth")?.parse().map_err(|e| format!("--max-depth: {e}"))?
             }
+            "--races" => args.races = true,
             "--exhaustive" => args.limits.max_states = 0,
             "--replay" => args.replay = Some(report::parse_schedule(&val("--replay")?)?),
             "--list" => args.list = true,
@@ -135,12 +143,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         let (s, p) = (&scenarios[0], protocols[0]);
-        let (failure, m) =
-            lrc_check::explore::replay_schedule(s, p, args.fault, &schedule, 50_000);
+        let replay = if args.races {
+            lrc_check::explore::replay_schedule_raced
+        } else {
+            lrc_check::explore::replay_schedule
+        };
+        let (failure, m) = replay(s, p, args.fault, &schedule, 50_000);
         match failure {
             Some(f) => {
                 let cex = lrc_check::explore::Counterexample { schedule, failure: f };
-                print!("{}", report::render(s, p, args.fault, &cex));
+                print!("{}", report::render_with(s, p, args.fault, &cex, args.races));
                 return ExitCode::FAILURE;
             }
             None => {
@@ -166,6 +178,11 @@ fn main() -> ExitCode {
                     let rendered =
                         r.counterexample.as_ref().map(|cex| format!("  {}\n", cex.failure));
                     (r, rendered)
+                }
+                None if args.races => {
+                    let outcome =
+                        lrc_check::check_and_minimize_raced(s, p, args.fault, args.limits);
+                    (outcome.report, outcome.rendered)
                 }
                 None => {
                     let outcome = check_and_minimize(s, p, args.fault, args.limits);

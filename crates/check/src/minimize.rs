@@ -9,7 +9,7 @@
 //! the *same class* of failure. The result is the short suffix-free core
 //! of scheduling decisions that actually provoke the bug.
 
-use crate::explore::{replay_schedule, Failure};
+use crate::explore::{replay_schedule, replay_schedule_raced, Failure};
 use crate::scenario::Scenario;
 use lrc_core::Fault;
 use lrc_sim::Protocol;
@@ -31,6 +31,8 @@ pub enum FailureClass {
     Value,
     /// Conflicting unflushed writes at quiescence.
     Race,
+    /// The happens-before detector reported a data race.
+    HbRace,
     /// The reference interpreter rejected the observed sync order.
     Reference,
 }
@@ -43,6 +45,7 @@ impl FailureClass {
             Failure::Liveness(_) => FailureClass::Liveness,
             Failure::ValueMismatch(_) => FailureClass::Value,
             Failure::WriteRace(_) => FailureClass::Race,
+            Failure::HbRace(_) => FailureClass::HbRace,
             Failure::Reference(_) => FailureClass::Reference,
         }
     }
@@ -58,8 +61,23 @@ pub fn minimize(
     schedule: &[usize],
     class: FailureClass,
 ) -> (Vec<usize>, Failure) {
+    minimize_with(scenario, protocol, fault, schedule, class, false)
+}
+
+/// [`minimize`] with control over race detection in the replay machines.
+/// [`FailureClass::HbRace`] counterexamples only reproduce with `races`
+/// set — the detector must be armed for the failure to exist at all.
+pub fn minimize_with(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    schedule: &[usize],
+    class: FailureClass,
+    races: bool,
+) -> (Vec<usize>, Failure) {
+    let replay = if races { replay_schedule_raced } else { replay_schedule };
     let still_fails = |s: &[usize]| -> Option<Failure> {
-        let (f, _) = replay_schedule(scenario, protocol, fault, s, REPLAY_STEPS);
+        let (f, _) = replay(scenario, protocol, fault, s, REPLAY_STEPS);
         f.filter(|f| FailureClass::of(f) == class)
     };
 

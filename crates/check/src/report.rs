@@ -36,12 +36,16 @@ fn replay_traced(
     protocol: Protocol,
     fault: Fault,
     schedule: &[usize],
+    races: bool,
 ) -> Machine {
     let mut m = Machine::new(scenario.config(), protocol)
         .with_fault(fault)
         .with_value_tracking()
         .with_trace_filter(TraceFilter::all().sends_only(), TRACE_CAP)
         .with_flight_recorder(FLIGHT_CAP);
+    if races {
+        m = m.with_race_detection();
+    }
     m.prepare(Box::new(scenario.script()));
     let mut step = 0usize;
     while m.num_pending() > 0 && step < REPLAY_STEPS {
@@ -64,6 +68,19 @@ pub fn render(
     fault: Fault,
     cex: &Counterexample,
 ) -> String {
+    render_with(scenario, protocol, fault, cex, false)
+}
+
+/// [`render`] with control over race detection in the replay machine
+/// ([`Failure::HbRace`] counterexamples need the detector armed to show
+/// the race in the replayed state).
+pub fn render_with(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    cex: &Counterexample,
+    races: bool,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "counterexample: {} under {}", scenario.name, protocol.name());
     if fault != Fault::None {
@@ -72,15 +89,16 @@ pub fn render(
     let _ = writeln!(out, "  schedule ({} forced choices): {:?}", cex.schedule.len(), cex.schedule);
     let _ = writeln!(
         out,
-        "  reproduce: lrc-check --scenario {} --protocol {} --fault {} --replay {}",
+        "  reproduce: lrc-check --scenario {} --protocol {} --fault {}{} --replay {}",
         scenario.name,
         protocol.name(),
         fault_name(fault),
+        if races { " --races" } else { "" },
         schedule_arg(&cex.schedule),
     );
     let _ = writeln!(out);
 
-    let m = replay_traced(scenario, protocol, fault, &cex.schedule);
+    let m = replay_traced(scenario, protocol, fault, &cex.schedule, races);
     let trace = m.trace_records();
     let _ = writeln!(out, "  message timeline ({} messages):", trace.len());
     for rec in &trace {

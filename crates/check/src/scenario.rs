@@ -192,9 +192,48 @@ pub fn all() -> Vec<Scenario> {
     ]
 }
 
-/// Look up one scenario by CLI name.
+/// The deliberately racy positive-control scenario — kept OUT of [`all`],
+/// because it breaks the DRF promise the default property set relies on:
+/// word 0 of line 0 is written by both processors (and read back) with no
+/// synchronization, while word 1 is correctly protected by lock 0. With
+/// `--races` the checker must flag it ([`crate::explore::Failure::HbRace`])
+/// with a minimized witness; without race detection its value checks are
+/// meaningless (and may fail with either write-overlay conflicts or
+/// reference divergence — honestly reflecting that racy programs have no
+/// SC reference execution).
+pub fn racy() -> Scenario {
+    Scenario {
+        name: "racy",
+        about: "positive control: unsynchronized write/write and write/read on word 0",
+        procs: 2,
+        lines: 1,
+        build: || {
+            Script::new(
+                "racy",
+                vec![
+                    vec![
+                        Op::Write(addr(0, 0)),
+                        Op::Acquire(0),
+                        Op::Write(addr(0, 1)),
+                        Op::Release(0),
+                    ],
+                    vec![
+                        Op::Write(addr(0, 0)),
+                        Op::Acquire(0),
+                        Op::Read(addr(0, 1)),
+                        Op::Release(0),
+                        Op::Read(addr(0, 0)),
+                    ],
+                ],
+            )
+        },
+        tiny_cache: false,
+    }
+}
+
+/// Look up one scenario by CLI name ([`racy`] included).
 pub fn by_name(name: &str) -> Option<Scenario> {
-    all().into_iter().find(|s| s.name == name)
+    all().into_iter().chain(std::iter::once(racy())).find(|s| s.name == name)
 }
 
 #[cfg(test)]
@@ -219,6 +258,14 @@ mod tests {
                 .collect();
             assert_eq!(touched.len(), s.lines, "{}", s.name);
         }
+    }
+
+    #[test]
+    fn racy_is_resolvable_but_not_in_the_default_set() {
+        assert!(all().iter().all(|s| s.name != "racy"), "racy must stay out of all()");
+        let s = by_name("racy").expect("racy resolvable by name");
+        assert_eq!(s.script().num_procs(), s.procs);
+        assert!(s.config().validate().is_ok());
     }
 
     #[test]

@@ -156,6 +156,85 @@ fn clean_protocols_have_no_failure_on_natural_order() {
 }
 
 #[test]
+fn raced_checking_keeps_drf_scenarios_clean() {
+    // With the detector armed, the DRF scenarios must still verify: no
+    // HbRace counterexamples, and the value checks (now gated on the
+    // detector's race-freedom verdict) still run and pass. Detector state
+    // widens the state space, so the bigger scenarios get bounds.
+    use lrc_check::explore::check_raced;
+    for name in ["handoff", "barrier-phases"] {
+        let s = scenario::by_name(name).unwrap();
+        for p in Protocol::ALL {
+            let r = check_raced(&s, p, Fault::None, bounded(20_000));
+            assert!(
+                r.counterexample.is_none(),
+                "{name} under {} failed with races armed: {}",
+                p.name(),
+                r.counterexample.unwrap().failure
+            );
+            assert!(r.terminals > 0 || !r.complete, "{name} under {} explored nothing", p.name());
+        }
+    }
+}
+
+#[test]
+fn racy_scenario_yields_minimized_race_counterexample() {
+    // The positive control: the deliberately racy scenario must be flagged
+    // as a first-class violation with a ddmin-minimized witness whose
+    // replay reproduces a failure of the same class.
+    use lrc_check::check_and_minimize_raced;
+    use lrc_check::explore::replay_schedule_raced;
+    let s = scenario::racy();
+    for p in [Protocol::Sc, Protocol::Lrc] {
+        let outcome = check_and_minimize_raced(&s, p, Fault::None, bounded(20_000));
+        assert!(!outcome.passed(), "racy scenario passed under {}", p.name());
+        let cex = outcome.report.counterexample.as_ref().unwrap();
+        assert_eq!(
+            FailureClass::of(&cex.failure),
+            FailureClass::HbRace,
+            "wrong class under {}: {}",
+            p.name(),
+            cex.failure
+        );
+
+        let minimized = outcome.minimized.as_ref().unwrap();
+        let (failure, m) = replay_schedule_raced(&s, p, Fault::None, minimized, 50_000);
+        assert!(
+            matches!(failure, Some(Failure::HbRace(_))),
+            "minimized witness does not replay under {}: {failure:?}",
+            p.name()
+        );
+        let rs = m.race_stats().expect("detector armed");
+        assert!(rs.races_found > 0);
+        // The race is on word 0 of line 0, planted by the scenario.
+        assert!(rs.reports.iter().any(|r| r.addr == 0), "wrong word: {:?}", rs.reports);
+
+        let rendered = outcome.rendered.as_ref().unwrap();
+        assert!(rendered.contains("data race"), "{rendered}");
+        assert!(rendered.contains("--races"), "reproduce line must arm the detector: {rendered}");
+    }
+}
+
+#[test]
+fn race_verdict_gates_value_checks_on_the_racy_scenario() {
+    // Natural-order replay of the racy scenario with the detector armed:
+    // the failure must be the race itself, never a ValueMismatch or
+    // WriteRace — racy programs have no SC reference execution, so the
+    // DRF => SC comparison is skipped once the premise is void.
+    use lrc_check::explore::replay_schedule_raced;
+    let s = scenario::racy();
+    for p in Protocol::ALL {
+        let (failure, _) = replay_schedule_raced(&s, p, Fault::None, &[], 50_000);
+        match failure {
+            Some(Failure::HbRace(reports)) => {
+                assert!(!reports.is_empty(), "{}: race flagged without a report", p.name())
+            }
+            other => panic!("{}: expected HbRace, got {other:?}", p.name()),
+        }
+    }
+}
+
+#[test]
 fn nack_choice_point_passes_on_every_scenario() {
     // Arm the deterministic BUSY-NACK choice point: the nth busy-directory
     // encounter is answered with a retriable NACK instead of parking. The

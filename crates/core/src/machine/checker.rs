@@ -310,6 +310,12 @@ impl Machine {
         if let Some(v) = self.values.as_ref() {
             v.hash_into(&mut h);
         }
+        // Detector state must distinguish otherwise-equal machine states:
+        // pruning a state whose vector clocks or word metadata differ could
+        // silently merge a racy path into a clean one.
+        if let Some(r) = self.race.as_ref() {
+            r.hash_into(&mut h);
+        }
         h.finish()
     }
 }

@@ -17,6 +17,7 @@ pub(crate) mod checker;
 mod home;
 pub(crate) mod invariants;
 pub(crate) mod obs;
+pub(crate) mod race;
 mod remote;
 mod step;
 mod sync_ops;
@@ -199,6 +200,10 @@ pub struct Machine {
     /// Symbolic last-writer tracking for the DRF ⇒ SC-equivalence check
     /// (None = off).
     pub(crate) values: Option<values::ValueTracker>,
+    /// Online happens-before race detector (`None` = off, the default).
+    /// Like `obs` and `values`, every hook is one never-taken branch when
+    /// off — the zero-cost-when-off guarantee the golden fingerprints pin.
+    pub(crate) race: Option<Box<lrc_race::RaceDetector>>,
     /// Recycled `AckCollection::waiters` vectors: completed collections
     /// return their (cleared) allocation here and new collections reuse it,
     /// so the steady-state ack path allocates nothing.
@@ -254,6 +259,7 @@ impl Clone for Machine {
             watchdog: self.watchdog,
             grant_log: self.grant_log.clone(),
             values: self.values.clone(),
+            race: self.race.clone(),
             // Pools hold only spare capacity, never state: fresh ones are
             // equivalent and keep snapshots lean.
             waiter_pool: Vec::new(),
@@ -315,6 +321,7 @@ impl Machine {
             watchdog: None,
             grant_log: Vec::new(),
             values: None,
+            race: None,
             waiter_pool: Vec::new(),
             inval_scratch: Vec::new(),
             nacks_given: LineMap::new(),
@@ -380,6 +387,33 @@ impl Machine {
     pub fn with_value_tracking(mut self) -> Self {
         self.values = Some(values::ValueTracker::new(self.cfg.num_procs));
         self
+    }
+
+    /// Enable the online happens-before race detector: per-processor vector
+    /// clocks joined along the sync edges the machine executes (lock
+    /// release→acquire, barrier arrive→depart), with FastTrack-style
+    /// per-word epoch metadata. Results land in [`MachineStats::races`] at
+    /// end of run; see [`Machine::race_stats`] for the live view.
+    pub fn with_race_detection(mut self) -> Self {
+        self.race = Some(Box::new(lrc_race::RaceDetector::new(
+            self.cfg.num_procs,
+            self.cfg.word_size as u64,
+        )));
+        self
+    }
+
+    /// Live race-detection counters and reports (`None` when detection is
+    /// off). After a completed run they are also folded into
+    /// [`MachineStats::races`].
+    pub fn race_stats(&self) -> Option<&lrc_sim::RaceStats> {
+        self.race.as_ref().map(|r| r.stats())
+    }
+
+    /// True when race detection is enabled and has found no race so far.
+    /// `None` when detection is off (no verdict — the DRF⇒SC value checks
+    /// then rest on the workload's unchecked promise).
+    pub fn race_free(&self) -> Option<bool> {
+        self.race.as_ref().map(|r| r.race_free())
     }
 
     /// Enable miss classification (Table-2 instrumentation). Slows the run.
@@ -631,6 +665,9 @@ impl Machine {
         if let Some(probe) = self.obs.as_deref_mut().and_then(|o| o.probe.as_mut()) {
             let folded = std::mem::take(&mut probe.hist);
             self.stats.latencies.merge(&folded);
+        }
+        if let Some(r) = self.race.as_ref() {
+            self.stats.races = r.stats().clone();
         }
         for (i, n) in self.nodes.iter().enumerate() {
             self.stats.procs[i].pp_busy = n.pp.busy_cycles();

@@ -1,0 +1,86 @@
+//! Machine-side wiring for the online happens-before race detector.
+//!
+//! Mirrors `values.rs`: the machine owns an `Option<Box<RaceDetector>>`
+//! and every hook below is `#[inline]` with one `is_some` branch, so a
+//! detection-off run (the default) is bit-identical to a build without
+//! the detector — the same zero-cost-when-off contract the tracing layer
+//! (`obs.rs`) and value tracking already honor.
+//!
+//! Hook placement maps the detector's happens-before model onto the
+//! machine's own event order:
+//!
+//! * **reads/writes** — at op issue in `step.rs`, exactly once per
+//!   program-order reference (the write-buffer-full retry path defers the
+//!   op *before* the hook).
+//! * **release** — at the `LockRel` send (both the immediate path in
+//!   `begin_release` and the fence-delayed path in
+//!   `try_complete_release`). The event kernel processes that send before
+//!   the grant it causes, so the lock clock is always published before
+//!   any acquirer joins it.
+//! * **acquire join** — at `LockGrant` receipt, before the processor
+//!   resumes: everything past releasers did is ordered before every op
+//!   the acquirer issues next.
+//! * **barrier arrive/depart** — at the `BarrierArrive` send and the
+//!   `BarrierRelease` receipt. The machine blocks arrivals until the
+//!   episode completes, so at most one episode per barrier gathers at a
+//!   time and the completed clock is fixed before any departure joins it.
+//! * **fence** — no hook: `Op::Fence` forces local invalidations but
+//!   synchronizes with nobody, so it contributes no happens-before edge
+//!   (it is the paper's escape hatch *for* racy programs, and must not
+//!   silence the detector).
+
+use super::Machine;
+use lrc_sim::{BarrierId, LockId, ProcId};
+
+impl Machine {
+    /// Processor `p` issues a read of address `a`.
+    #[inline]
+    pub(crate) fn note_race_read(&mut self, p: ProcId, a: u64) {
+        if let Some(r) = self.race.as_mut() {
+            r.on_read(p, a);
+        }
+    }
+
+    /// Processor `p` issues a write to address `a`.
+    #[inline]
+    pub(crate) fn note_race_write(&mut self, p: ProcId, a: u64) {
+        if let Some(r) = self.race.as_mut() {
+            r.on_write(p, a);
+        }
+    }
+
+    /// Processor `p` releases `lock` (the `LockRel` send).
+    #[inline]
+    pub(crate) fn note_race_release(&mut self, p: ProcId, lock: LockId) {
+        if let Some(r) = self.race.as_mut() {
+            r.on_release(p, lock);
+        }
+    }
+
+    /// Processor `p`'s acquire of `lock` was granted.
+    #[inline]
+    pub(crate) fn note_race_acquire(&mut self, p: ProcId, lock: LockId) {
+        if let Some(r) = self.race.as_mut() {
+            r.on_acquire(p, lock);
+        }
+    }
+
+    /// Processor `p` arrives at `bar` (the `BarrierArrive` send).
+    #[inline]
+    pub(crate) fn note_race_barrier_arrive(&mut self, p: ProcId, bar: BarrierId) {
+        if self.race.is_some() {
+            let expected = self.cfg.num_procs;
+            if let Some(r) = self.race.as_mut() {
+                r.on_barrier_arrive(p, bar, expected);
+            }
+        }
+    }
+
+    /// Processor `p` departs `bar` (the `BarrierRelease` receipt).
+    #[inline]
+    pub(crate) fn note_race_barrier_depart(&mut self, p: ProcId, bar: BarrierId) {
+        if let Some(r) = self.race.as_mut() {
+            r.on_barrier_depart(p, bar);
+        }
+    }
+}

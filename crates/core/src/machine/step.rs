@@ -89,6 +89,7 @@ impl Machine {
     fn issue_read(&mut self, p: ProcId, now: Cycle, a: u64) -> bool {
         self.stats.procs[p].reads += 1;
         self.stats.procs[p].refs += 1;
+        self.note_race_read(p, a);
         let line = self.line_of(a);
         let hit = {
             let n = &mut self.nodes[p];
@@ -124,6 +125,7 @@ impl Machine {
                 c.record_write(p, line, word);
             }
             self.note_write(p, line, word);
+            self.note_race_write(p, a);
             // Single-probe hit check: a read-write hit is touched and
             // dirtied in place; any other state starts a transaction.
             let st = self.nodes[p].cache.write_probe(line, word);
@@ -159,6 +161,7 @@ impl Machine {
             c.record_write(p, line, word);
         }
         self.note_write(p, line, word);
+        self.note_race_write(p, a);
         let outcome = self.nodes[p].wb.push(line, word);
         debug_assert!(outcome != WbPush::Full);
         self.pump_write_buffer(p, now);

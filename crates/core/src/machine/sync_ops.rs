@@ -56,6 +56,7 @@ impl Machine {
                 PendingSync::LockRelease(lock) => {
                     let home = self.cfg.lock_home(lock);
                     self.send(now, p, home, MsgKind::LockRel { lock });
+                    self.note_race_release(p, lock);
                     if self.obs.is_some() {
                         self.obs_sync(now, p, SyncOp::Release, lock as u64);
                     }
@@ -65,6 +66,7 @@ impl Machine {
                 PendingSync::Barrier(bar) => {
                     let home = self.cfg.barrier_home(bar);
                     self.send(now, p, home, MsgKind::BarrierArrive { bar });
+                    self.note_race_barrier_arrive(p, bar);
                     if self.obs.is_some() {
                         self.obs_sync(now, p, SyncOp::BarrierArrive, bar as u64);
                     }
@@ -119,6 +121,7 @@ impl Machine {
             PendingSync::LockRelease(lock) => {
                 let home = self.cfg.lock_home(lock);
                 self.send(t, p, home, MsgKind::LockRel { lock });
+                self.note_race_release(p, lock);
                 if self.obs.is_some() {
                     self.obs_sync(t, p, SyncOp::Release, lock as u64);
                 }
@@ -127,6 +130,7 @@ impl Machine {
             PendingSync::Barrier(bar) => {
                 let home = self.cfg.barrier_home(bar);
                 self.send(t, p, home, MsgKind::BarrierArrive { bar });
+                self.note_race_barrier_arrive(p, bar);
                 if self.obs.is_some() {
                     self.obs_sync(t, p, SyncOp::BarrierArrive, bar as u64);
                 }
@@ -294,6 +298,7 @@ impl Machine {
                 let p = m.dst;
                 debug_assert_eq!(self.nodes[p].status, ProcStatus::WaitingLock(lock));
                 self.stats.procs[p].lock_acquires += 1;
+                self.note_race_acquire(p, lock);
                 let resume_at = self.finish_acquire(p, t);
                 if self.obs.is_some() {
                     self.obs_sync(resume_at, p, SyncOp::AcquireDone, lock as u64);
@@ -316,6 +321,7 @@ impl Machine {
                 let p = m.dst;
                 debug_assert_eq!(self.nodes[p].status, ProcStatus::InBarrier(bar));
                 self.stats.procs[p].barriers += 1;
+                self.note_race_barrier_depart(p, bar);
                 let resume_at = self.finish_acquire(p, t);
                 if self.obs.is_some() {
                     self.obs_sync(resume_at, p, SyncOp::BarrierDone, bar as u64);

@@ -10,17 +10,21 @@
 //!    [`StallDiagnosis`], never a hang;
 //! 2. verifies values: the machine's final memory must equal the reference
 //!    sequentially consistent execution replayed over the observed lock
-//!    grant order (DRF ⇒ SC, faults or not);
+//!    grant order (DRF ⇒ SC, faults or not). The premise of that
+//!    implication is *checked*, not assumed: every cell runs with the
+//!    happens-before race detector armed, and the value comparison only
+//!    applies once the detector certifies the run race-free;
 //! 3. runs again and requires bit-identical statistics — the fault pattern,
-//!    and hence the whole simulation, is a pure function of `(seed, plan)`.
+//!    and hence the whole simulation (race reports included), is a pure
+//!    function of `(seed, plan)`.
 //!
 //! After the sweep, an *unrecoverable* stage drops messages with retries
 //! disabled and demonstrates that the failure mode is a structured
 //! diagnosis naming the abandoned deliveries, not silent corruption.
 //!
 //! ```text
-//! lrc-soak [--smoke] [--capacity-sweep] [--procs N] [--seeds N] [--phases N]
-//!          [--rates R1,R2,...] [--watchdog CYCLES] [--quiet]
+//! lrc-soak [--smoke] [--capacity-sweep] [--races] [--procs N] [--seeds N]
+//!          [--phases N] [--rates R1,R2,...] [--watchdog CYCLES] [--quiet]
 //! ```
 //!
 //! `--smoke` is the CI profile: tiny programs, rates {0, 1e-3}, one seed,
@@ -34,6 +38,14 @@
 //! never progress), verify against the reference SC execution, and rerun
 //! bit-identically; the sweep as a whole must exercise real pressure
 //! (nonzero NACK / reject / overflow counters in at least one cell).
+//!
+//! `--races` replaces the fault grid with a race-detection sweep over the
+//! application suite: the five data-race-free SPLASH-style generators
+//! (barnes, blu, cholesky, fft, gauss) must come back clean under every
+//! protocol, the deliberately racy programs (mp3d and locusroute — the two
+//! the paper singles out as violating the release-consistency model — plus
+//! the planted `racy` micro workload) must be flagged, and every cell must
+//! rerun with bit-identical statistics, race reports included.
 
 #![forbid(unsafe_code)]
 
@@ -96,6 +108,19 @@ fn verify_values(m: &Machine, script: &Script) -> Result<(), String> {
         let rendered: Vec<String> = stuck.iter().map(|s| s.to_string()).collect();
         return Err(format!("liveness residue: {}", rendered.join("; ")));
     }
+    // DRF ⇒ SC is an implication; establish the premise before comparing
+    // values. The soak generator is DRF by construction, so a reported race
+    // here is itself a failure — of the generator or the detector — and the
+    // value comparison below would be meaningless noise on top of it.
+    if let Some(rs) = m.race_stats() {
+        if !rs.race_free() {
+            let first = rs.reports.first().map_or(String::new(), |r| format!(" — {}", r.render()));
+            return Err(format!(
+                "race detector found {} race(s) in a supposedly DRF program{first}",
+                rs.races_found
+            ));
+        }
+    }
     let (mem, conflicts) = m.final_memory().ok_or("value tracking was not enabled")?;
     if !conflicts.is_empty() {
         return Err(format!("conflicting unflushed writes at quiescence: {conflicts:?}"));
@@ -114,11 +139,14 @@ fn verify_values(m: &Machine, script: &Script) -> Result<(), String> {
     Ok(())
 }
 
-/// One sweep cell's machine, built fresh per repetition.
+/// One sweep cell's machine, built fresh per repetition. The race detector
+/// rides along in every cell so [`verify_values`]'s DRF ⇒ SC comparison
+/// rests on a checked verdict instead of the generator's promise.
 fn build(cfg: &MachineConfig, proto: Protocol, plan: FaultPlan, watchdog: u64) -> Machine {
     Machine::new(cfg.clone(), proto)
         .with_fault_plan(plan)
         .with_value_tracking()
+        .with_race_detection()
         .with_watchdog(watchdog)
         .with_max_cycles(50_000_000_000)
 }
@@ -174,6 +202,7 @@ fn capacity_cell(
     let build = || {
         Machine::new(cfg.clone(), proto)
             .with_value_tracking()
+            .with_race_detection()
             .with_watchdog(watchdog)
             .with_max_cycles(50_000_000_000)
     };
@@ -273,6 +302,104 @@ fn capacity_sweep(
     failures
 }
 
+/// The `--races` sweep: run the application suite (plus the planted
+/// positive control) under every protocol with the detector armed. The
+/// five DRF generators must come back clean; mp3d, locusroute, and the
+/// `racy` micro workload must be flagged; and every cell must reproduce
+/// bit-identically — race reports included, since they live in
+/// [`MachineStats`]. Returns the number of failed cells.
+fn races_sweep(base: &MachineConfig, smoke: bool, watchdog: u64, quiet: bool) -> usize {
+    use lrc_workloads::{racy, Scale, WorkloadKind};
+
+    let scale = if smoke { Scale::Tiny } else { Scale::Small };
+    // (name, builder, expected racy?). mp3d and locusroute are racy *by
+    // construction* — the paper names them as the two programs that do not
+    // obey the release-consistency model — so they double as organic
+    // positive controls alongside the planted one.
+    type Builder = Box<dyn Fn() -> Box<dyn lrc_sim::Workload>>;
+    let mut cells_spec: Vec<(String, Builder, bool)> = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let expected_racy = matches!(kind, WorkloadKind::Mp3d | WorkloadKind::Locusroute);
+        let procs = base.num_procs;
+        cells_spec.push((
+            kind.name().to_string(),
+            Box::new(move || kind.build(procs, scale)),
+            expected_racy,
+        ));
+    }
+    let procs = base.num_procs;
+    cells_spec.push(("racy".to_string(), Box::new(move || Box::new(racy::build(procs, 3))), true));
+
+    let mut failures = 0usize;
+    let mut cells = 0usize;
+    for (name, build_w, expected_racy) in &cells_spec {
+        for &proto in &Protocol::ALL {
+            cells += 1;
+            let tag = format!("{:<10} {:<8}", name, proto.name());
+            let run = || {
+                Machine::new(base.clone(), proto)
+                    .with_race_detection()
+                    .with_watchdog(watchdog)
+                    .with_max_cycles(50_000_000_000)
+                    .try_run(build_w())
+            };
+            let first = match run() {
+                Ok(r) => r,
+                Err(diag) => {
+                    failures += 1;
+                    eprintln!("FAIL {tag}: wedged: {diag}");
+                    continue;
+                }
+            };
+            let races = &first.stats.races;
+            if *expected_racy && races.race_free() {
+                failures += 1;
+                eprintln!("FAIL {tag}: known-racy program came back clean");
+                continue;
+            }
+            if !*expected_racy && !races.race_free() {
+                failures += 1;
+                let first_report =
+                    races.reports.first().map_or(String::new(), |r| format!(" — {}", r.render()));
+                eprintln!(
+                    "FAIL {tag}: {} race(s) in a DRF generator{first_report}",
+                    races.races_found
+                );
+                continue;
+            }
+            match run() {
+                Ok(second) if second.stats == first.stats => {
+                    if !quiet {
+                        eprintln!(
+                            "  ok {tag}  {:>10} cycles  {:>9} words monitored  \
+                             {:>3} race(s){}",
+                            first.stats.total_cycles,
+                            races.words_monitored,
+                            races.races_found,
+                            if *expected_racy { "  (expected racy)" } else { "" },
+                        );
+                    }
+                }
+                Ok(_) => {
+                    failures += 1;
+                    eprintln!("FAIL {tag}: rerun diverged (race reports must be bit-identical)");
+                }
+                Err(diag) => {
+                    failures += 1;
+                    eprintln!("FAIL {tag}: rerun wedged where the first run completed: {diag}");
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        eprintln!(
+            "lrc-soak --races: all {cells} cells verified (5 DRF generators clean, \
+             mp3d/locusroute/racy flagged, every report reproducible)"
+        );
+    }
+    failures
+}
+
 /// The unrecoverable stage: drop messages with retries disabled, and
 /// require the failure mode to be a structured diagnosis that names the
 /// abandoned deliveries — never a hang, never silent completion with wrong
@@ -321,6 +448,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut capacity = false;
+    let mut races = false;
     let mut quiet = false;
     let mut procs: Option<usize> = None;
     let mut seeds: Option<u64> = None;
@@ -337,6 +465,7 @@ fn main() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
             "--capacity-sweep" => capacity = true,
+            "--races" => races = true,
             "--quiet" => quiet = true,
             "--procs" => {
                 let v = value(&mut i, "--procs");
@@ -368,8 +497,8 @@ fn main() {
             }
             other => die(&format!(
                 "unknown argument '{other}' \
-                 (usage: lrc-soak [--smoke] [--capacity-sweep] [--procs N] [--seeds N] \
-                 [--phases N] [--rates R1,R2,...] [--watchdog CYCLES] [--quiet])"
+                 (usage: lrc-soak [--smoke] [--capacity-sweep] [--races] [--procs N] \
+                 [--seeds N] [--phases N] [--rates R1,R2,...] [--watchdog CYCLES] [--quiet])"
             )),
         }
         i += 1;
@@ -381,6 +510,19 @@ fn main() {
     let csecs = if smoke { 4 } else { 8 };
     let rates = rates.unwrap_or(if smoke { vec![0.0, 1e-3] } else { vec![0.0, 1e-4, 1e-3] });
     let cfg = MachineConfig::paper_default(procs);
+
+    if races {
+        if !quiet {
+            eprintln!(
+                "lrc-soak --races{}: {} procs, {} protocols, application suite + positive control",
+                if smoke { " --smoke" } else { "" },
+                procs,
+                Protocol::ALL.len()
+            );
+        }
+        let failures = races_sweep(&cfg, smoke, watchdog, quiet);
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
 
     if capacity {
         if !quiet {

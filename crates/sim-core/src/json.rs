@@ -5,7 +5,7 @@
 use crate::config::{MachineConfig, Placement, ResourceLimits};
 use crate::stats::{
     Breakdown, FaultStats, Histogram, LatencyStats, MachineStats, MissClass, MissCounts,
-    ProcStats, ResourceStats, Traffic, HIST_BUCKETS,
+    ProcStats, RaceReport, RaceSite, RaceStats, ResourceStats, Traffic, HIST_BUCKETS,
 };
 use crate::types::Protocol;
 use lrc_json::{json_struct, FromJson, ToJson, Value};
@@ -210,7 +210,16 @@ impl FromJson for LatencyStats {
     }
 }
 
-json_struct!(MachineStats { procs, total_cycles, faults, resources, latencies });
+json_struct!(RaceSite { proc, ref_index, write });
+json_struct!(RaceReport { addr, prior, current, clocks });
+json_struct!(RaceStats {
+    words_monitored,
+    epoch_fast_hits,
+    vector_promotions,
+    races_found,
+    reports,
+});
+json_struct!(MachineStats { procs, total_cycles, faults, resources, latencies, races });
 
 #[cfg(test)]
 mod tests {
@@ -264,6 +273,30 @@ mod tests {
         let v = s.to_json();
         assert_eq!(v["latencies"]["rt.read"]["count"].as_u64(), Some(1));
         assert_eq!(MachineStats::from_json(&v), Some(s));
+    }
+
+    #[test]
+    fn machine_stats_json_carries_races() {
+        let mut s = MachineStats::new(2);
+        s.races.words_monitored = 9;
+        s.races.epoch_fast_hits = 100;
+        s.races.vector_promotions = 2;
+        s.races.races_found = 1;
+        s.races.reports.push(RaceReport {
+            addr: 0x80,
+            prior: RaceSite { proc: 1, ref_index: 4, write: true },
+            current: RaceSite { proc: 0, ref_index: 7, write: true },
+            clocks: vec![3, 0],
+        });
+        let v = s.to_json();
+        assert_eq!(v["races"]["races_found"].as_u64(), Some(1));
+        assert_eq!(v["races"]["reports"][0]["addr"].as_u64(), Some(0x80));
+        assert_eq!(v["races"]["reports"][0]["prior"]["write"].as_bool(), Some(true));
+        assert_eq!(MachineStats::from_json(&v), Some(s));
+
+        // Detection-off stats keep round-tripping (the default is all-zero).
+        let off = MachineStats::new(1);
+        assert_eq!(MachineStats::from_json(&off.to_json()), Some(off));
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use event::EventQueue;
 pub use rng::Rng;
 pub use stats::{
     Breakdown, FaultStats, Histogram, LatencyStats, MachineStats, MissClass, MissCounts,
-    ProcStats, ResourceStats, StallKind, Traffic, TrafficClass,
+    ProcStats, RaceReport, RaceSite, RaceStats, ResourceStats, StallKind, Traffic, TrafficClass,
 };
 pub use watchdog::{StallDiagnosis, StallReason, StalledProc};
 pub use table::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, LineMap};

@@ -574,6 +574,110 @@ impl LatencyStats {
     }
 }
 
+/// One access site in a [`RaceReport`]: which processor touched the word,
+/// the program-order ordinal of that reference on its processor (the N-th
+/// read-or-write the processor issued, counting from 1), and the access
+/// kind. The ordinal is replay-stable: rerunning the same workload puts
+/// the same reference at the same ordinal regardless of timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RaceSite {
+    /// Processor that issued the access.
+    pub proc: u64,
+    /// Program-order reference ordinal on that processor (1-based).
+    pub ref_index: u64,
+    /// True for a write, false for a read.
+    pub write: bool,
+}
+
+impl RaceSite {
+    /// Short `w@p2#17` / `r@p0#3` rendering used by reports.
+    pub fn render(&self) -> String {
+        format!("{}@p{}#{}", if self.write { "w" } else { "r" }, self.proc, self.ref_index)
+    }
+}
+
+/// One detected happens-before race: two accesses to the same word, at
+/// least one a write, with neither ordered before the other by program
+/// order or the sync edges (lock release→acquire, barrier arrive→depart).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Byte address of the racy word.
+    pub addr: u64,
+    /// The earlier access (by detection order): the stored metadata the
+    /// conflicting access raced against.
+    pub prior: RaceSite,
+    /// The access whose arrival exposed the race.
+    pub current: RaceSite,
+    /// The current accessor's vector clock at the moment of detection,
+    /// indexed by processor — the evidence that `prior` is not in its
+    /// happens-before past.
+    pub clocks: Vec<u64>,
+}
+
+impl RaceReport {
+    /// One-line rendering: kind, address, both sites.
+    pub fn render(&self) -> String {
+        let kind = match (self.prior.write, self.current.write) {
+            (true, true) => "write/write",
+            (true, false) => "write/read",
+            (false, true) => "read/write",
+            (false, false) => "read/read",
+        };
+        format!(
+            "{} race on word {:#x}: {} vs {}",
+            kind,
+            self.addr,
+            self.prior.render(),
+            self.current.render()
+        )
+    }
+
+    /// Fields as words, in a stable order (fingerprinting support).
+    pub fn as_words(&self, out: &mut Vec<u64>) {
+        out.push(self.addr);
+        for s in [&self.prior, &self.current] {
+            out.push(s.proc);
+            out.push(s.ref_index);
+            out.push(u64::from(s.write));
+        }
+        out.extend_from_slice(&self.clocks);
+    }
+}
+
+/// Happens-before race-detection counters and the first few reports.
+/// All zero/empty when detection is off (the default), so a default run's
+/// stats are bit-identical to a build without the detector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RaceStats {
+    /// Distinct shared words that acquired read/write metadata.
+    pub words_monitored: u64,
+    /// Accesses resolved on the O(1) same-epoch fast path.
+    pub epoch_fast_hits: u64,
+    /// Words whose read metadata was promoted from an epoch to a full
+    /// vector clock (concurrent readers).
+    pub vector_promotions: u64,
+    /// Races detected (first race per word; later conflicts on an
+    /// already-racy word are not recounted).
+    pub races_found: u64,
+    /// The first [`RaceStats::REPORT_CAP`] reports, in detection order.
+    pub reports: Vec<RaceReport>,
+}
+
+impl RaceStats {
+    /// Cap on stored reports; `races_found` keeps counting past it.
+    pub const REPORT_CAP: usize = 64;
+
+    /// True when detection never ran (the detection-off signature).
+    pub fn is_zero(&self) -> bool {
+        *self == RaceStats::default()
+    }
+
+    /// True when detection ran and found no race.
+    pub fn race_free(&self) -> bool {
+        self.races_found == 0
+    }
+}
+
 /// Machine-level view: per-processor stats plus the run's wall-clock.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MachineStats {
@@ -590,6 +694,9 @@ pub struct MachineStats {
     /// Latency histograms (round-trips, lock hold/wait, barrier skew, NACK
     /// retries). Empty unless the machine ran with latency probes enabled.
     pub latencies: LatencyStats,
+    /// Happens-before race-detection results. Zero/empty unless the machine
+    /// ran with race detection enabled.
+    pub races: RaceStats,
 }
 
 impl MachineStats {
@@ -601,6 +708,7 @@ impl MachineStats {
             faults: FaultStats::default(),
             resources: ResourceStats::default(),
             latencies: LatencyStats::default(),
+            races: RaceStats::default(),
         }
     }
 
@@ -812,6 +920,26 @@ mod tests {
         assert!(a.get("absent").is_none());
         let rebuilt = LatencyStats::from_entries(a.entries().to_vec());
         assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn race_stats_zero_and_render() {
+        let r = RaceStats::default();
+        assert!(r.is_zero());
+        assert!(r.race_free());
+        let report = RaceReport {
+            addr: 0x40,
+            prior: RaceSite { proc: 2, ref_index: 17, write: true },
+            current: RaceSite { proc: 0, ref_index: 3, write: false },
+            clocks: vec![5, 0, 1, 0],
+        };
+        assert_eq!(report.render(), "write/read race on word 0x40: w@p2#17 vs r@p0#3");
+        let stats = RaceStats { races_found: 1, reports: vec![report.clone()], ..Default::default() };
+        assert!(!stats.is_zero());
+        assert!(!stats.race_free());
+        let mut words = Vec::new();
+        report.as_words(&mut words);
+        assert_eq!(words, vec![0x40, 2, 17, 1, 0, 3, 0, 5, 0, 1, 0]);
     }
 
     #[test]

@@ -91,17 +91,25 @@ pub fn build(p: usize, scale: Scale) -> Streams {
                             out.push(Op::Read(cell_at(step, leaf, 0)));
                             out.push(Op::Compute(6));
                             out.push(Op::Write(cell_at(step, leaf, 1)));
+                            out.push(Op::Release(lock));
                             if rng.chance(0.1) {
                                 // Subdivision: the parent (an upper cell of
                                 // the new tree) is updated too — the
                                 // migratory data the paper credits for the
-                                // lazy protocol's barnes gains.
+                                // lazy protocol's barnes gains. The parent is
+                                // shared between all leaves beneath it, so it
+                                // gets its *own* critical section under its
+                                // own hashed lock; riding under the leaf's
+                                // lock (hashed by a different index) left
+                                // concurrent subdivisions unordered.
                                 let parent = (leaf / 8).min(ncells - 1);
+                                let plock = (parent as u32) % nlocks;
+                                out.push(Op::Acquire(plock));
                                 out.push(Op::Read(cell_at(step, parent, 0)));
                                 out.push(Op::Compute(4));
                                 out.push(Op::Write(cell_at(step, parent, 0)));
+                                out.push(Op::Release(plock));
                             }
-                            out.push(Op::Release(lock));
                             out.push(Op::Read(body_at(i, 0)));
                             scratch.work(out, 6, 8);
                         }

@@ -85,25 +85,35 @@ pub fn build(p: usize, scale: Scale) -> Streams {
                 out.push(Op::Write(queue));
                 out.push(Op::Release(QUEUE_LOCK));
 
-                // Factor column j: scale by the diagonal.
+                // Factor column j: scale by the diagonal. The column's own
+                // lock orders factoring against updates scattered into j by
+                // other processors — static assignment has no dependency
+                // counts, so the lock is what stands in for the real
+                // fan-out algorithm's "all updates received" ordering.
+                let jlock = 1 + (j as u32 % COL_LOCKS);
+                out.push(Op::Acquire(jlock));
                 for e in 0..col_len[j] {
                     out.push(Op::Read(col_base[j] + e as u64 * 8));
                     out.push(Op::Compute(6));
                     out.push(Op::Write(col_base[j] + e as u64 * 8));
                     scratch.work(out, 4, 5);
                 }
+                out.push(Op::Release(jlock));
 
                 // Scatter updates into dependent columns under their locks.
+                // The source operands come from the processor's private copy
+                // of the column it just factored (as the real program's
+                // local accumulation buffer does), so the only shared data
+                // touched here is the target column — under its lock.
                 for &t in &updates[j] {
                     let lock = 1 + (t as u32 % COL_LOCKS);
                     out.push(Op::Acquire(lock));
                     let span = col_len[t].min(12);
                     for e in 0..span {
-                        out.push(Op::Read(col_base[j] + (e % col_len[j]) as u64 * 8));
                         out.push(Op::Read(col_base[t] + e as u64 * 8));
                         out.push(Op::Compute(4));
                         out.push(Op::Write(col_base[t] + e as u64 * 8));
-                        scratch.work(out, 4, 5);
+                        scratch.work(out, 5, 5);
                     }
                     out.push(Op::Release(lock));
                 }

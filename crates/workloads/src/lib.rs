@@ -23,6 +23,7 @@ pub mod locusroute;
 pub mod micro;
 pub mod mp3d;
 pub mod quality;
+pub mod racy;
 pub mod scale;
 pub mod validate;
 

@@ -1,0 +1,110 @@
+//! `racy` — a deliberately data-racy micro workload: the race detector's
+//! positive-control fixture.
+//!
+//! The program mixes correctly synchronized traffic (a lock-protected
+//! counter and a barrier-separated phase) with two *known* races at fixed
+//! addresses:
+//!
+//! * a **write/write** race on [`WW_ADDR`]: every processor writes the
+//!   word with no synchronization at all;
+//! * a **write/read** race on [`WR_ADDR`]: processor 0 writes the word
+//!   and every other processor reads it, again with no ordering edge.
+//!
+//! The synchronized portion proves the detector does not cry wolf (those
+//! words must stay clean); the fixed racy addresses let tests assert the
+//! detector pinpoints the right words and access kinds. The generator is
+//! DRF *except* for the two planted words, so a correct detector reports
+//! exactly two racy words here.
+
+use crate::framework::{ChunkFn, Scratch, Streams, ARRAY_ALIGN};
+use lrc_sim::{AddressAllocator, Op};
+
+/// Byte address of the planted write/write race.
+pub const WW_ADDR: u64 = 0;
+/// Byte address of the planted write/read race.
+pub const WR_ADDR: u64 = 4;
+/// Lock protecting the clean shared counter.
+pub const COUNTER_LOCK: u32 = 0;
+
+/// Build the positive-control workload for `p` processors (`p >= 2`;
+/// `rounds` controls the length).
+pub fn build(p: usize, rounds: u32) -> Streams {
+    assert!(p >= 2, "the planted races need at least two processors");
+    let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
+    // The racy line comes first so WW_ADDR/WR_ADDR are stable constants.
+    let racy_line = alloc.alloc(128);
+    assert_eq!(racy_line, WW_ADDR);
+    let counter = alloc.alloc(64);
+    let phase_buf = alloc.alloc(128);
+    let mut scratches: Vec<Scratch> = (0..p).map(|_| Scratch::new(&mut alloc, 1024)).collect();
+    let addr_space = alloc.used();
+
+    let fills: Vec<ChunkFn> = (0..p)
+        .map(|proc| {
+            let mut scratch = scratches.remove(0);
+            let mut round = 0u32;
+            let f: ChunkFn = Box::new(move |out| {
+                if round >= rounds {
+                    return false;
+                }
+                // Clean part 1: lock-protected counter update.
+                out.push(Op::Acquire(COUNTER_LOCK));
+                out.push(Op::Read(counter));
+                out.push(Op::Compute(4));
+                out.push(Op::Write(counter));
+                out.push(Op::Release(COUNTER_LOCK));
+                scratch.work(out, 8, 8);
+
+                // Planted race 1: unsynchronized write/write.
+                out.push(Op::Write(WW_ADDR));
+
+                // Planted race 2: P0 writes, everyone else reads — with no
+                // edge between the write and the reads.
+                if proc == 0 {
+                    out.push(Op::Write(WR_ADDR));
+                } else {
+                    out.push(Op::Read(WR_ADDR));
+                }
+                scratch.work(out, 8, 8);
+
+                // Clean part 2: barrier-separated broadcast (P0 produces,
+                // everyone consumes after the barrier).
+                if proc == 0 {
+                    out.push(Op::Write(phase_buf));
+                    out.push(Op::Write(phase_buf + 4));
+                }
+                out.push(Op::Barrier(0));
+                out.push(Op::Read(phase_buf));
+                out.push(Op::Read(phase_buf + 4));
+                out.push(Op::Barrier(1));
+                round += 1;
+                true
+            });
+            f
+        })
+        .collect();
+
+    Streams::new("racy", addr_space, 1, 2, fills)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn racy_is_well_formed() {
+        let mut w = build(4, 3);
+        let s = validate(&mut w).expect("valid streams");
+        assert_eq!(s.lock_acquires, 12);
+        assert_eq!(s.barrier_rounds, 6);
+        assert!(s.refs > 0);
+    }
+
+    #[test]
+    fn planted_addresses_are_distinct_words() {
+        assert_ne!(WW_ADDR / 4, WR_ADDR / 4);
+        // Both in the first line, so even tiny-cache runs touch them.
+        assert_eq!(WW_ADDR / 128, WR_ADDR / 128);
+    }
+}

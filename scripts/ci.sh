@@ -61,6 +61,27 @@ echo "==> capacity smoke: lrc-soak --capacity-sweep --smoke (finite resources)"
 # pressure (nonzero reject/NACK/overflow counters somewhere).
 ./target/release/lrc-soak --capacity-sweep --smoke --quiet
 
+echo "==> race smoke: lrc-soak --races --smoke + lrc-check --races"
+# Happens-before race detection end to end: the five DRF generators must
+# come back clean under all four protocols, the deliberately racy programs
+# (mp3d, locusroute, and the planted racy micro workload) must be flagged,
+# and every report must reproduce bit-identically.
+./target/release/lrc-soak --races --smoke --quiet
+# The checker's positive control: the racy scenario must FAIL (exit 1) with
+# a race counterexample, and a clean scenario must still PASS with the
+# detector armed.
+cargo build --release -q -p lrc-check
+if ./target/release/lrc-check --races --scenario racy --protocol lazy \
+    --max-states 20000 > /tmp/race_check.out 2>&1; then
+  echo "lrc-check --races failed to flag the racy positive control" >&2
+  cat /tmp/race_check.out >&2
+  exit 1
+fi
+grep -q 'data race' /tmp/race_check.out
+./target/release/lrc-check --races --scenario handoff --protocol lazy \
+  --max-states 20000 > /dev/null
+rm -f /tmp/race_check.out
+
 echo "==> observability smoke: traced observe run + artifact validation"
 # A tiny fully instrumented run: structured trace -> Perfetto JSON (checked
 # by the experiment itself via a serialize/parse round-trip), latency

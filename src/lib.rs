@@ -60,7 +60,7 @@ pub mod prelude {
     };
     pub use lrc_sim::{
         Breakdown, FaultStats, MachineConfig, MachineStats, MissClass, Op, Placement, ProcStats,
-        Protocol, ResourceLimits, ResourceStats, Script, Workload,
+        Protocol, RaceReport, RaceSite, RaceStats, ResourceLimits, ResourceStats, Script, Workload,
     };
     pub use lrc_workloads::{paper_suite, WorkloadKind};
 }
