@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut q = EventQueue::new();
             for i in 0..1000u64 {
-                q.push(i * 7 % 997, i);
+                q.push(i * 7 % 997, i, i);
             }
             let mut acc = 0u64;
             while let Some((_, v)) = q.pop() {

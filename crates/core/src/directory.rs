@@ -32,6 +32,166 @@
 
 use lrc_sim::NodeId;
 
+/// A set of node ids, wide enough for the largest supported machine
+/// (256 nodes — a 16×16 mesh). Semantically a plain bitmask; it replaces
+/// the former single-`u64` sharer masks so directories scale past 64
+/// processors without changing any set algebra at the call sites.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct NodeSet([u64; 4]);
+
+impl NodeSet {
+    /// Maximum node id + 1 a set can represent.
+    pub const CAPACITY: usize = 256;
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet([0; 4]);
+
+    /// The singleton set `{node}`.
+    #[inline]
+    pub fn one(node: NodeId) -> Self {
+        let mut s = NodeSet::EMPTY;
+        s.insert(node);
+        s
+    }
+
+    /// The set `{0, 1, …, n-1}` — every node of an `n`-processor machine.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY, "NodeSet holds at most {} nodes", Self::CAPACITY);
+        let mut s = NodeSet::EMPTY;
+        for (i, limb) in s.0.iter_mut().enumerate() {
+            let lo = i * 64;
+            *limb = if n >= lo + 64 {
+                u64::MAX
+            } else if n > lo {
+                (1u64 << (n - lo)) - 1
+            } else {
+                0
+            };
+        }
+        s
+    }
+
+    /// Is `node` in the set?
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.0[node / 64] & (1u64 << (node % 64)) != 0
+    }
+
+    /// Add `node`.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) {
+        self.0[node / 64] |= 1u64 << (node % 64);
+    }
+
+    /// Remove `node`.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) {
+        self.0[node / 64] &= !(1u64 << (node % 64));
+    }
+
+    /// True when no node is in the set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0u64; 4]
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.0.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Smallest node id in the set, if any.
+    #[inline]
+    pub fn first(&self) -> Option<NodeId> {
+        for (i, limb) in self.0.iter().enumerate() {
+            if *limb != 0 {
+                return Some(i * 64 + limb.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+impl std::ops::BitAnd for NodeSet {
+    type Output = NodeSet;
+    #[inline]
+    fn bitand(self, rhs: NodeSet) -> NodeSet {
+        NodeSet([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl std::ops::BitOr for NodeSet {
+    type Output = NodeSet;
+    #[inline]
+    fn bitor(self, rhs: NodeSet) -> NodeSet {
+        NodeSet([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl std::ops::Not for NodeSet {
+    type Output = NodeSet;
+    /// Complement over the full 256-bit capacity; intersect with a machine's
+    /// node set (e.g. `Machine::all_nodes_mask`) before iterating.
+    #[inline]
+    fn not(self) -> NodeSet {
+        NodeSet([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl std::ops::BitAndAssign for NodeSet {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: NodeSet) {
+        *self = *self & rhs;
+    }
+}
+
+impl std::ops::BitOrAssign for NodeSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: NodeSet) {
+        *self = *self | rhs;
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut s = NodeSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl std::fmt::Binary for NodeSet {
+    /// Renders like the binary of the old `u64` masks (no leading zeros),
+    /// so directory dumps and violation reports keep their shape.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut started = false;
+        for limb in self.0.iter().rev() {
+            if started {
+                write!(f, "{limb:064b}")?;
+            } else if *limb != 0 {
+                write!(f, "{limb:b}")?;
+                started = true;
+            }
+        }
+        if !started {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
 /// Global (directory) state of a block. Derived from the sharer/writer sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirState {
@@ -59,9 +219,9 @@ pub struct AckCollection {
 /// Directory entry for one block.
 #[derive(Debug, Clone, Default)]
 pub struct DirEntry {
-    sharers: u64,
-    writers: u64,
-    notified: u64,
+    sharers: NodeSet,
+    writers: NodeSet,
+    notified: NodeSet,
     /// Outstanding ack collection, if any.
     pub pending: Option<AckCollection>,
     /// A 3-hop forward is in flight (eager protocols): the home must not
@@ -83,9 +243,9 @@ impl DirEntry {
 
     /// Current derived state.
     pub fn state(&self) -> DirState {
-        if self.sharers == 0 {
+        if self.sharers.is_empty() {
             DirState::Uncached
-        } else if self.writers == 0 {
+        } else if self.writers.is_empty() {
             DirState::Shared
         } else if self.sharers.count_ones() == 1 {
             debug_assert_eq!(self.sharers, self.writers);
@@ -95,18 +255,18 @@ impl DirEntry {
         }
     }
 
-    /// Bitmask of processors caching the block.
-    pub fn sharers(&self) -> u64 {
+    /// Set of processors caching the block.
+    pub fn sharers(&self) -> NodeSet {
         self.sharers
     }
 
-    /// Bitmask of processors writing the block (⊆ sharers).
-    pub fn writers(&self) -> u64 {
+    /// Set of processors writing the block (⊆ sharers).
+    pub fn writers(&self) -> NodeSet {
         self.writers
     }
 
-    /// Bitmask of sharers already told the block is weak (⊆ sharers).
-    pub fn notified(&self) -> u64 {
+    /// Sharers already told the block is weak (⊆ sharers).
+    pub fn notified(&self) -> NodeSet {
         self.notified
     }
 
@@ -122,23 +282,23 @@ impl DirEntry {
 
     /// Is `node` a sharer?
     pub fn is_sharer(&self, node: NodeId) -> bool {
-        self.sharers & (1 << node) != 0
+        self.sharers.contains(node)
     }
 
     /// Is `node` a writer?
     pub fn is_writer(&self, node: NodeId) -> bool {
-        self.writers & (1 << node) != 0
+        self.writers.contains(node)
     }
 
     /// Is `node` recorded as notified of the weak state?
     pub fn is_notified(&self, node: NodeId) -> bool {
-        self.notified & (1 << node) != 0
+        self.notified.contains(node)
     }
 
     /// The single owner when the block is [`DirState::Dirty`].
     pub fn dirty_owner(&self) -> Option<NodeId> {
         if self.state() == DirState::Dirty {
-            Some(self.writers.trailing_zeros() as NodeId)
+            self.writers.first()
         } else {
             None
         }
@@ -146,7 +306,7 @@ impl DirEntry {
 
     /// Add `node` as a reader.
     pub fn add_sharer(&mut self, node: NodeId) {
-        self.sharers |= 1 << node;
+        self.sharers.insert(node);
         self.check();
     }
 
@@ -161,15 +321,15 @@ impl DirEntry {
 
     /// Add `node` as a writer (implies sharer).
     pub fn add_writer(&mut self, node: NodeId) {
-        self.sharers |= 1 << node;
-        self.writers |= 1 << node;
+        self.sharers.insert(node);
+        self.writers.insert(node);
         self.check();
     }
 
     /// Record that `node` has been told the block is weak.
     pub fn mark_notified(&mut self, node: NodeId) {
         debug_assert!(self.is_sharer(node), "notified must be a sharer");
-        self.notified |= 1 << node;
+        self.notified.insert(node);
         self.check();
     }
 
@@ -178,11 +338,10 @@ impl DirEntry {
     /// automatically because state is derived; an overflowed
     /// limited-pointer entry regains precision only at Uncached.
     pub fn remove(&mut self, node: NodeId) {
-        let m = !(1u64 << node);
-        self.sharers &= m;
-        self.writers &= m;
-        self.notified &= m;
-        if self.sharers == 0 {
+        self.sharers.remove(node);
+        self.writers.remove(node);
+        self.notified.remove(node);
+        if self.sharers.is_empty() {
             self.overflow = false;
         }
         self.check();
@@ -190,19 +349,19 @@ impl DirEntry {
 
     /// Demote `node` from writer to plain sharer (eager read-forward).
     pub fn demote_writer(&mut self, node: NodeId) {
-        self.writers &= !(1u64 << node);
+        self.writers.remove(node);
         self.check();
     }
 
     /// Remove every sharer except `keep` (eager write: invalidation of all
-    /// other copies). Returns the bitmask of removed sharers.
-    pub fn remove_all_except(&mut self, keep: NodeId) -> u64 {
-        let keep_mask = 1u64 << keep;
+    /// other copies). Returns the set of removed sharers.
+    pub fn remove_all_except(&mut self, keep: NodeId) -> NodeSet {
+        let keep_mask = NodeSet::one(keep);
         let removed = self.sharers & !keep_mask;
         self.sharers &= keep_mask;
         self.writers &= keep_mask;
         self.notified &= keep_mask;
-        if self.sharers == 0 {
+        if self.sharers.is_empty() {
             self.overflow = false;
         }
         self.check();
@@ -211,31 +370,58 @@ impl DirEntry {
 
     /// Sharers other than `node` that have *not* yet been notified of the
     /// weak state: the targets of a new round of write notices.
-    pub fn unnotified_others(&self, node: NodeId) -> u64 {
-        self.sharers & !self.notified & !(1u64 << node)
+    pub fn unnotified_others(&self, node: NodeId) -> NodeSet {
+        self.sharers & !self.notified & !NodeSet::one(node)
     }
 
     /// Structural invariants (debug builds).
     #[inline]
     fn check(&self) {
-        debug_assert_eq!(self.writers & !self.sharers, 0, "writers ⊆ sharers");
-        debug_assert_eq!(self.notified & !self.sharers, 0, "notified ⊆ sharers");
+        debug_assert!((self.writers & !self.sharers).is_empty(), "writers ⊆ sharers");
+        debug_assert!((self.notified & !self.sharers).is_empty(), "notified ⊆ sharers");
     }
 }
 
-/// Iterate the node ids set in `mask`, ascending.
-pub fn nodes_in(mask: u64) -> impl Iterator<Item = NodeId> {
-    let mut m = mask;
-    std::iter::from_fn(move || {
-        if m == 0 {
-            None
-        } else {
-            let n = m.trailing_zeros() as NodeId;
-            m &= m - 1;
-            Some(n)
-        }
-    })
+/// Iterate the node ids set in `mask`, ascending. A hand-rolled word loop
+/// (rather than a `flat_map` chain) because write-notice and invalidation
+/// fan-out sits on the simulator's hottest path: `next` clears one bit and
+/// only advances limbs when the current one drains.
+pub fn nodes_in(mask: NodeSet) -> NodesIn {
+    NodesIn { limbs: mask.0, i: 0 }
 }
+
+/// Ascending iterator over a [`NodeSet`] (see [`nodes_in`]).
+#[derive(Debug, Clone)]
+pub struct NodesIn {
+    limbs: [u64; 4],
+    i: usize,
+}
+
+impl Iterator for NodesIn {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.i < self.limbs.len() {
+            let limb = self.limbs[self.i];
+            if limb != 0 {
+                let n = self.i * 64 + limb.trailing_zeros() as usize;
+                self.limbs[self.i] = limb & (limb - 1);
+                return Some(n);
+            }
+            self.i += 1;
+        }
+        None
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.limbs[self.i..].iter().map(|l| l.count_ones() as usize).sum();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodesIn {}
 
 #[cfg(test)]
 mod tests {
@@ -281,7 +467,7 @@ mod tests {
         e.add_sharer(1);
         e.add_writer(1);
         assert_eq!(e.state(), DirState::Weak);
-        assert_eq!(e.unnotified_others(1), 1 << 0);
+        assert_eq!(e.unnotified_others(1), NodeSet::one(0));
     }
 
     #[test]
@@ -291,7 +477,7 @@ mod tests {
         e.add_sharer(7);
         assert_eq!(e.state(), DirState::Weak);
         // The current writer is the one that must be notified.
-        assert_eq!(e.unnotified_others(7), 1 << 4);
+        assert_eq!(e.unnotified_others(7), NodeSet::one(4));
     }
 
     #[test]
@@ -316,7 +502,7 @@ mod tests {
         e.add_writer(1);
         e.mark_notified(0);
         assert!(e.is_notified(0));
-        assert_eq!(e.unnotified_others(1), 0);
+        assert_eq!(e.unnotified_others(1), NodeSet::EMPTY);
         e.remove(0);
         assert!(!e.is_notified(0));
     }
@@ -328,13 +514,13 @@ mod tests {
         e.add_sharer(1);
         e.add_writer(2);
         assert_eq!(e.state(), DirState::Weak);
-        assert_eq!(e.unnotified_others(2), 0b11);
+        assert_eq!(e.unnotified_others(2), NodeSet::from_iter([0, 1]));
         e.mark_notified(0);
         e.mark_notified(1);
         // Second writer arrives: nobody new to notify except... writer 2,
         // which has not been notified.
         e.add_writer(3);
-        assert_eq!(e.unnotified_others(3), 1 << 2);
+        assert_eq!(e.unnotified_others(3), NodeSet::one(2));
     }
 
     #[test]
@@ -354,8 +540,8 @@ mod tests {
         e.add_sharer(1);
         e.add_sharer(2);
         let removed = e.remove_all_except(1);
-        assert_eq!(removed, 0b101);
-        assert_eq!(e.sharers(), 0b010);
+        assert_eq!(removed, NodeSet::from_iter([0, 2]));
+        assert_eq!(e.sharers(), NodeSet::one(1));
         e.add_writer(1);
         assert_eq!(e.state(), DirState::Dirty);
     }
@@ -375,10 +561,11 @@ mod tests {
 
     #[test]
     fn nodes_in_iterates_ascending() {
-        let v: Vec<_> = nodes_in(0b1010_0110).collect();
+        let v: Vec<_> = nodes_in(NodeSet::from_iter([1, 2, 5, 7])).collect();
         assert_eq!(v, vec![1, 2, 5, 7]);
-        assert_eq!(nodes_in(0).count(), 0);
-        assert_eq!(nodes_in(1 << 63).collect::<Vec<_>>(), vec![63]);
+        assert_eq!(nodes_in(NodeSet::EMPTY).count(), 0);
+        assert_eq!(nodes_in(NodeSet::one(63)).collect::<Vec<_>>(), vec![63]);
+        assert_eq!(nodes_in(NodeSet::one(255)).collect::<Vec<_>>(), vec![255]);
     }
 
     #[test]

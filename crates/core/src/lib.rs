@@ -37,9 +37,12 @@ pub mod msg;
 pub mod node;
 pub mod sync;
 
-pub use directory::{nodes_in, AckCollection, DirEntry, DirState};
+pub use directory::{nodes_in, AckCollection, DirEntry, DirState, NodeSet};
 pub use machine::checker::StuckState;
-pub use machine::{Fault, Machine, RunResult, SymbolicMemory, Violation};
+pub use machine::{
+    try_run_sharded, Fault, Machine, ParallelOptions, Partition, RunResult, SymbolicMemory,
+    Violation,
+};
 pub use msg::{Msg, MsgKind, WriteGrant};
 // Fault-injection vocabulary, re-exported so harnesses need only lrc-core.
 pub use lrc_mesh::{FaultCounters, FaultPlan, FaultRates, MsgClass};

@@ -119,7 +119,7 @@ impl Machine {
         self.workload = workload;
         for p in 0..self.cfg.num_procs {
             self.nodes[p].step_scheduled = true;
-            self.queue.push(0, Event::ProcStep(p));
+            self.push_ev(0, p, Event::ProcStep(p));
         }
     }
 
@@ -134,6 +134,7 @@ impl Machine {
     /// its handler. Returns false if fewer than `n + 1` events are pending
     /// (nothing fired).
     pub fn step_choice(&mut self, n: usize) -> bool {
+        self.choice_driven = true;
         let Some((t, ev)) = self.queue.pop_nth(n) else {
             return false;
         };

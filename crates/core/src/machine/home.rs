@@ -7,7 +7,7 @@
 //! directory processing overlaps the memory access for the same request.
 
 use super::{ForwardEp, Machine};
-use crate::directory::{nodes_in, AckCollection, DirState};
+use crate::directory::{nodes_in, AckCollection, DirState, NodeSet};
 use crate::msg::{Msg, MsgKind, WriteGrant};
 use lrc_sim::{Cycle, LineAddr, NodeId};
 
@@ -63,7 +63,7 @@ impl Machine {
                     let targets = if e.overflow {
                         // Limited pointers overflowed: broadcast to every
                         // node we have not (knowingly) notified.
-                        all & !(1u64 << r) & !e.notified()
+                        all & !NodeSet::one(r) & !e.notified()
                     } else {
                         e.unnotified_others(r)
                     };
@@ -73,7 +73,7 @@ impl Machine {
                     e.mark_notified(r);
                     (true, targets)
                 } else {
-                    (false, 0)
+                    (false, NodeSet::EMPTY)
                 }
             };
             self.apply_pointer_limit(line);
@@ -176,7 +176,7 @@ impl Machine {
         let pp_done = self.nodes[h].pp.occupy(t, self.cfg.dir_cost(self.protocol));
 
         enum Plan {
-            Grant { with_data: bool, invalidate: u64 },
+            Grant { with_data: bool, invalidate: NodeSet },
             Forward(NodeId),
         }
         let plan = {
@@ -185,7 +185,7 @@ impl Machine {
             match e.state() {
                 DirState::Uncached => {
                     e.add_writer(r);
-                    Plan::Grant { with_data: !r_has_copy, invalidate: 0 }
+                    Plan::Grant { with_data: !r_has_copy, invalidate: NodeSet::EMPTY }
                 }
                 DirState::Shared => {
                     let overflow = e.overflow;
@@ -195,18 +195,18 @@ impl Machine {
                         with_data: !r_has_copy,
                         // Overflowed limited pointers: membership is
                         // imprecise, so invalidate everyone else.
-                        invalidate: if overflow { !(1u64 << r) } else { others },
+                        invalidate: if overflow { !NodeSet::one(r) } else { others },
                     }
                 }
                 DirState::Dirty => {
                     let o = e.dirty_owner().expect("dirty has owner");
                     if o == r {
-                        Plan::Grant { with_data: !r_has_copy, invalidate: 0 }
+                        Plan::Grant { with_data: !r_has_copy, invalidate: NodeSet::EMPTY }
                     } else if owner_parked(&self.parked, line, o) {
                         // Stale owner (see the read path): serve from memory.
                         e.remove(o);
                         e.add_writer(r);
-                        Plan::Grant { with_data: true, invalidate: 0 }
+                        Plan::Grant { with_data: true, invalidate: NodeSet::EMPTY }
                     } else {
                         e.remove(o);
                         e.add_writer(r);
@@ -222,7 +222,7 @@ impl Machine {
                 let mut invalidate = invalidate & self.all_nodes_mask();
                 if self.fault == super::Fault::SkipInvalidate {
                     // Injected bug: pretend nobody else caches the line.
-                    invalidate = 0;
+                    invalidate = NodeSet::EMPTY;
                 }
                 let n = invalidate.count_ones();
                 let grant = if n > 0 {
@@ -287,7 +287,7 @@ impl Machine {
             e.add_writer(r);
             if e.state() == DirState::Weak {
                 let targets = if e.overflow {
-                    all & !(1u64 << r) & !e.notified()
+                    all & !NodeSet::one(r) & !e.notified()
                 } else {
                     e.unnotified_others(r)
                 };
@@ -297,7 +297,7 @@ impl Machine {
                 e.mark_notified(r);
                 (true, !r_has_copy, targets, e.pending.is_some())
             } else {
-                (false, !r_has_copy, 0u64, false)
+                (false, !r_has_copy, NodeSet::EMPTY, false)
             }
         };
         self.apply_pointer_limit(line);
@@ -359,9 +359,14 @@ impl Machine {
         let pp_done = self.nodes[h].pp.occupy(t, self.cfg.dir_cost(self.protocol));
         let bytes = u64::from(words.count_ones()) * self.cfg.word_size as u64;
         let mem_done = self.nodes[h].mem.access(t, bytes);
-        // Same ordering guard as `home_evict_notify`: a refetch may have
-        // overtaken this write-back; keep the fresh registration.
-        if !self.nodes[r].cache.contains(line) && !self.nodes[r].outstanding.contains_key(&line.0) {
+        // Same ordering guard as `home_evict_notify`: only a delivery-
+        // reordering mode (fault plan, checker exploration — see there) can
+        // move a refetch ahead of this write-back, so the cross-node peek is
+        // gated to keep production shards independent.
+        if !(self.delivery_reordering_possible()
+            && (self.nodes[r].cache.contains(line)
+                || self.nodes[r].outstanding.contains_key(&line.0)))
+        {
             self.dir.entry_or_default(line.0).remove(r);
         }
         self.send(pp_done.max(mem_done), h, r, MsgKind::WriteBackAck { line });
@@ -374,11 +379,18 @@ impl Machine {
         let _ = self.nodes[h].pp.occupy(t, self.cfg.write_notice_cost);
         // Ordering guard: if the sender has already re-fetched the line (its
         // refetch overtook this hint), the hint is stale and must not erase
-        // the fresh copy's registration. A real implementation orders the
-        // hint and the refetch on the same NI FIFO; our batched stepper can
-        // emit them with reordered timestamps, so we check the authoritative
-        // cache state instead.
-        if self.nodes[r].cache.contains(line) || self.nodes[r].outstanding.contains_key(&line.0) {
+        // the fresh copy's registration. In a production run this cannot
+        // happen — deliveries on a given src→dst channel complete in send
+        // order, and any refetch `ReadReq` departs after this hint, so its
+        // install (which needs the home's reply, processed after the hint)
+        // always postdates this point. Fault-plan retransmission or the
+        // checker's interleaving exploration can reorder the two, so only
+        // then do we consult the sender's authoritative cache state (a
+        // cross-node peek the sharded engine must never make).
+        if self.delivery_reordering_possible()
+            && (self.nodes[r].cache.contains(line)
+                || self.nodes[r].outstanding.contains_key(&line.0))
+        {
             return;
         }
         // The block reverts Weak→Shared→Uncached automatically as sharers
@@ -424,11 +436,15 @@ impl Machine {
         if ep.owner != requester || ep.served {
             return false;
         }
-        // Cancel: the owner will drop the Forward when the episode is gone;
-        // if it already parked it, un-park it.
+        // Cancel: tell the owner to drop the (parked or still in-flight)
+        // Forward. Channel FIFO guarantees the Forward reaches the owner
+        // before this cancel, and the cancel before the reply that unblocks
+        // the owner — so the owner parks the stale Forward on arrival (its
+        // own transaction is outstanding) and this message removes it before
+        // anything could re-serve it.
         self.busy_info.remove(line.0);
-        self.nodes[ep.owner].parked_forwards.remove(&line.0);
         let h = self.home_of(line);
+        self.send(t, h, ep.owner, MsgKind::ForwardCancel { line, ep: ep.id });
         self.dir.entry_or_default(line.0).busy = false;
         let mem_done = self.nodes[h].mem.access(t, self.cfg.line_size as u64);
         if ep.for_write {

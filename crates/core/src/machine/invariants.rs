@@ -25,6 +25,7 @@
 //! checks on.
 
 use super::Machine;
+use crate::directory::NodeSet;
 use crate::node::ProcStatus;
 use lrc_mem::LineState;
 use lrc_sim::LineAddr;
@@ -37,20 +38,20 @@ pub enum Violation {
     WritersNotSharers {
         /// The offending line.
         line: u64,
-        /// Writer bitmask.
-        writers: u64,
-        /// Sharer bitmask.
-        sharers: u64,
+        /// Writer set.
+        writers: NodeSet,
+        /// Sharer set.
+        sharers: NodeSet,
     },
     /// Directory bookkeeping: a line's notified mask is not a subset of its
     /// sharer mask.
     NotifiedNotSharers {
         /// The offending line.
         line: u64,
-        /// Notified bitmask.
-        notified: u64,
-        /// Sharer bitmask.
-        sharers: u64,
+        /// Notified set.
+        notified: NodeSet,
+        /// Sharer set.
+        sharers: NodeSet,
     },
     /// A processor caches a line its home directory does not record — under
     /// a lazy protocol, not even as a pending acquire-time invalidation.
@@ -139,14 +140,14 @@ impl Machine {
 
         // Directory structural invariants.
         for (l, e) in self.dir.iter() {
-            if e.writers() & !e.sharers() != 0 {
+            if !(e.writers() & !e.sharers()).is_empty() {
                 out.push(Violation::WritersNotSharers {
                     line: l,
                     writers: e.writers(),
                     sharers: e.sharers(),
                 });
             }
-            if e.notified() & !e.sharers() != 0 {
+            if !(e.notified() & !e.sharers()).is_empty() {
                 out.push(Violation::NotifiedNotSharers {
                     line: l,
                     notified: e.notified(),

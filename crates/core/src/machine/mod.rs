@@ -17,6 +17,7 @@ pub(crate) mod checker;
 mod home;
 pub(crate) mod invariants;
 pub(crate) mod obs;
+pub(crate) mod parallel;
 pub(crate) mod race;
 mod remote;
 mod step;
@@ -25,6 +26,7 @@ pub(crate) mod values;
 pub(crate) mod xmit;
 
 pub use invariants::Violation;
+pub use parallel::{try_run_sharded, ParallelOptions, Partition};
 pub use values::SymbolicMemory;
 
 use crate::directory::DirEntry;
@@ -127,7 +129,11 @@ pub struct RunResult {
     /// throughput = `events` / wall-clock).
     pub events: u64,
     /// High-water mark of the event queue (simulator working-set gauge).
+    /// For sharded runs, the max over shards.
     pub peak_queue_depth: usize,
+    /// Per-shard event-queue high-water marks: one entry per worker shard
+    /// (a single entry, equal to `peak_queue_depth`, for sequential runs).
+    pub peak_queue_depths: Vec<usize>,
     /// Wall-clock seconds spent inside the event loop itself — excludes
     /// workload construction, so it isolates kernel throughput.
     pub sim_wall_secs: f64,
@@ -227,6 +233,22 @@ pub struct Machine {
     /// Most recent NI rejection, as `(node, occupancy, cap)` — names the
     /// congested queue in a watchdog diagnosis.
     pub(crate) last_ni_reject: Option<(NodeId, usize, usize)>,
+    /// Per-node monotone counters backing the deterministic event tie-break
+    /// keys (see [`Machine::ev_key`]). One counter per node keeps the key
+    /// sequence a function of that node's protocol history alone — the
+    /// property that makes sequential and sharded runs assign identical
+    /// keys to identical events.
+    pub(crate) ev_seq: Vec<u64>,
+    /// Sharded-run context: which shard this replica is, the node→shard
+    /// map, and the outbox collecting cross-shard sends for the window
+    /// exchange. `None` in sequential runs (the only branch on the send
+    /// path costs one never-taken test).
+    pub(crate) shard: Option<Box<parallel::ShardCtx>>,
+    /// Set as soon as the model checker drives this machine through
+    /// [`Machine::step_choice`]: exploration fires pending events in
+    /// arbitrary order, so channel-FIFO delivery assumptions no longer hold
+    /// (see [`Machine::delivery_reordering_possible`]).
+    pub(crate) choice_driven: bool,
 }
 
 impl Clone for Machine {
@@ -270,6 +292,10 @@ impl Clone for Machine {
             ni_limited: self.ni_limited,
             pending_ni_retries: self.pending_ni_retries,
             last_ni_reject: self.last_ni_reject,
+            ev_seq: self.ev_seq.clone(),
+            // Snapshots are checker state — always sequential.
+            shard: None,
+            choice_driven: self.choice_driven,
         }
     }
 }
@@ -294,7 +320,11 @@ impl Machine {
     /// paper's era used limited pointers).
     pub fn new(cfg: MachineConfig, protocol: Protocol) -> Self {
         cfg.validate().expect("invalid machine configuration");
-        assert!(cfg.num_procs <= 64, "directory sharer masks support ≤ 64 processors");
+        assert!(
+            cfg.num_procs <= crate::directory::NodeSet::CAPACITY,
+            "directory sharer sets support ≤ {} processors",
+            crate::directory::NodeSet::CAPACITY
+        );
         let nodes = (0..cfg.num_procs).map(|_| Node::new(&cfg)).collect();
         let net = Network::new(&cfg);
         let stats = MachineStats::new(cfg.num_procs);
@@ -330,6 +360,9 @@ impl Machine {
             ni_limited: cfg.resources.ni_ingress.is_some() || cfg.resources.ni_egress.is_some(),
             pending_ni_retries: 0,
             last_ni_reject: None,
+            ev_seq: vec![0; cfg.num_procs],
+            shard: None,
+            choice_driven: false,
             cfg,
         }
     }
@@ -606,7 +639,7 @@ impl Machine {
 
         for p in 0..self.cfg.num_procs {
             self.nodes[p].step_scheduled = true;
-            self.queue.push(0, Event::ProcStep(p));
+            self.push_ev(0, p, Event::ProcStep(p));
         }
 
         // At-risk runs (watchdog, fault plan, finite resources) arm a
@@ -625,7 +658,7 @@ impl Machine {
         // the sampler.
         if let Some(iv) = self.obs.as_ref().and_then(|o| o.sampler.as_ref()).map(|s| s.interval)
         {
-            self.queue.push(iv, Event::Sample);
+            self.push_ev(iv, 0, Event::Sample);
         }
 
         // How often (in handled events) the stall watchdog rescans the
@@ -687,6 +720,7 @@ impl Machine {
             stats: self.stats.clone(),
             events: handled,
             peak_queue_depth: self.queue.peak_len(),
+            peak_queue_depths: vec![self.queue.peak_len()],
             sim_wall_secs: run_started.elapsed().as_secs_f64(),
             ni_peak_ingress,
             ni_peak_egress,
@@ -835,6 +869,7 @@ impl Machine {
                 .map(|r| r.render_tail())
                 .unwrap_or_default(),
             machine_dump: self.dump(),
+            shard_clocks: Vec::new(),
         }
     }
 
@@ -852,6 +887,41 @@ impl Machine {
     }
 
     // ---- shared helpers ----------------------------------------------------
+
+    /// Next deterministic tie-break key for an event scheduled by `owner`
+    /// (the node whose handler is doing the scheduling): the node id in the
+    /// high bits, that node's private monotone counter in the low 48.
+    /// Same-cycle events pop in key order, so the total event order is a
+    /// pure function of the simulated machine's history — independent of
+    /// queue insertion order, which is what lets the sharded engine ingest
+    /// cross-shard messages at window edges and still replay the sequential
+    /// kernel's order bit-for-bit.
+    #[inline]
+    pub(crate) fn ev_key(&mut self, owner: NodeId) -> u64 {
+        let s = self.ev_seq[owner];
+        self.ev_seq[owner] = s + 1;
+        ((owner as u64) << 48) | s
+    }
+
+    /// Schedule `ev` at `t` under a key owned by `owner`.
+    #[inline]
+    pub(crate) fn push_ev(&mut self, t: Cycle, owner: NodeId, ev: Event) {
+        let key = self.ev_key(owner);
+        self.queue.push(t, key, ev);
+    }
+
+    /// Can messages on one src→dst channel be observed out of send order?
+    /// Only two mechanisms reorder deliveries: link-layer retransmission
+    /// under an active fault plan, and the model checker's interleaving
+    /// exploration (`pop_nth` choice points, NACK injection). The protocol's
+    /// defensive cross-node peeks — stale evict hints, cancelled forwards —
+    /// are gated on this, so fault-free production runs stay free of
+    /// cross-node reads and remain shard-partitionable (`parallel_eligible`
+    /// excludes every reordering mode).
+    #[inline]
+    pub(crate) fn delivery_reordering_possible(&self) -> bool {
+        self.xmit.is_some() || self.choice_driven || self.nack_nth.is_some()
+    }
 
     /// Line containing byte address `a`.
     #[inline]
@@ -928,7 +998,18 @@ impl Machine {
             .net
             .send(now, src, dst, bytes)
             .unwrap_or_else(|e| panic!("{e}"));
-        self.queue.push(arrival, Event::Msg(Msg { src, dst, kind }));
+        // The arrival time and tie key are both computed from sender-local
+        // state, so a cross-shard delivery carries everything the receiving
+        // shard needs to slot the message exactly where the sequential
+        // kernel would have.
+        let key = self.ev_key(src);
+        let msg = Msg { src, dst, kind };
+        match self.shard.as_deref_mut() {
+            Some(sh) if sh.of_node[dst] != sh.id => {
+                sh.outbox.push(parallel::OutMsg { at: arrival, key, msg });
+            }
+            _ => self.queue.push(arrival, key, Event::Msg(msg)),
+        }
     }
 
     /// Hand `msg` to the finite-queue NI: accepted sends schedule delivery
@@ -952,7 +1033,7 @@ impl Machine {
             .try_send(now, msg.src, msg.dst, bytes)
             .unwrap_or_else(|e| panic!("{e}"));
         match outcome {
-            Ok(arrival) => self.queue.push(arrival, Event::Msg(msg)),
+            Ok(arrival) => self.push_ev(arrival, msg.src, Event::Msg(msg)),
             Err(busy) => {
                 let delay = self.cfg.resources.backoff(attempts);
                 let r = &mut self.stats.resources;
@@ -970,7 +1051,7 @@ impl Machine {
                         },
                     );
                 }
-                self.queue.push(now + delay, Event::NiRetry { msg, attempts: attempts + 1 });
+                self.push_ev(now + delay, msg.src, Event::NiRetry { msg, attempts: attempts + 1 });
             }
         }
     }
@@ -1027,7 +1108,7 @@ impl Machine {
                 .send_classed(now, msg.src, msg.dst, bytes, msg.kind.msg_class())
                 .unwrap_or_else(|e| panic!("{e}"));
             for a in [delivery.first, delivery.dup].into_iter().flatten() {
-                self.queue.push(a.at, Event::XMsg { msg, seq, corrupt: a.corrupt });
+                self.push_ev(a.at, msg.src, Event::XMsg { msg, seq, corrupt: a.corrupt });
             }
         }
         let deadline = now
@@ -1039,7 +1120,7 @@ impl Machine {
         if let Some(inf) = self.xmit.as_deref_mut().and_then(|xm| xm.in_flight.get_mut(&seq)) {
             inf.next_deadline = deadline;
         }
-        self.queue.push(deadline, Event::RetryTimer { seq });
+        self.push_ev(deadline, msg.src, Event::RetryTimer { seq });
     }
 
     /// One framed copy arrived at its destination NI: checksum, ACK/NACK,
@@ -1074,7 +1155,7 @@ impl Machine {
             .unwrap_or_else(|e| panic!("{e}"));
         for a in [delivery.first, delivery.dup].into_iter().flatten() {
             if !a.corrupt {
-                self.queue.push(a.at, Event::LinkCtl { seq, ack });
+                self.push_ev(a.at, src, Event::LinkCtl { seq, ack });
             }
         }
     }
@@ -1215,7 +1296,7 @@ impl Machine {
         } else {
             MsgKind::ReadReq { line }
         };
-        self.queue.push(done + delay, Event::NackRetry { msg: Msg { src: m.dst, dst: m.src, kind } });
+        self.push_ev(done + delay, m.dst, Event::NackRetry { msg: Msg { src: m.dst, dst: m.src, kind } });
     }
 
     /// If `line`'s entry is free (no busy 3-hop, no ack collection) and a
@@ -1255,7 +1336,8 @@ impl Machine {
                     .pp
                     .occupy(t, probes * self.cfg.write_notice_cost);
             }
-            self.queue.push(t + self.cfg.nack_retry_delay, Event::Msg(msg));
+            let owner = msg.dst;
+            self.push_ev(t + self.cfg.nack_retry_delay, owner, Event::Msg(msg));
         }
     }
 
@@ -1283,7 +1365,8 @@ impl Machine {
         self.stats.procs[p].breakdown.add(kind, stall);
         if !n.step_scheduled {
             n.step_scheduled = true;
-            self.queue.push(t.max(self.queue.now()), Event::ProcStep(p));
+            let at = t.max(self.queue.now());
+            self.push_ev(at, p, Event::ProcStep(p));
         }
     }
 
@@ -1291,7 +1374,8 @@ impl Machine {
     pub(crate) fn schedule_step(&mut self, p: ProcId, t: Cycle) {
         if !self.nodes[p].step_scheduled {
             self.nodes[p].step_scheduled = true;
-            self.queue.push(t.max(self.queue.now()), Event::ProcStep(p));
+            let at = t.max(self.queue.now());
+            self.push_ev(at, p, Event::ProcStep(p));
         }
     }
 
@@ -1309,7 +1393,7 @@ impl Machine {
             // Cache side (requester / third party).
             ReadReply { .. } | WriteReply { .. } | WriteAck { .. } | WriteThroughAck { .. }
             | WriteBackAck { .. } | Invalidate { .. } | WriteNotice { .. } | Forward { .. }
-            | OwnerData { .. } | BusyNack { .. } => self.handle_at_cache(t, m),
+            | OwnerData { .. } | BusyNack { .. } | ForwardCancel { .. } => self.handle_at_cache(t, m),
             // Synchronization.
             LockAcq { .. } | LockGrant { .. } | LockRel { .. } | BarrierArrive { .. }
             | BarrierRelease { .. } => self.handle_sync_msg(t, m),
@@ -1383,8 +1467,8 @@ impl Machine {
                 q.iter().map(|(m, _)| (m.src, m.kind)).collect::<Vec<_>>(),
                 e.map(|e| e.busy),
                 e.map(|e| e.pending.is_some()),
-                e.map_or(0, |e| e.sharers()),
-                e.map_or(0, |e| e.writers()),
+                e.map_or(crate::directory::NodeSet::EMPTY, |e| e.sharers()),
+                e.map_or(crate::directory::NodeSet::EMPTY, |e| e.writers()),
             );
         }
         // LineMap iteration is already in ascending line order.
@@ -1401,14 +1485,10 @@ impl Machine {
         s
     }
 
-    /// Bitmask of every node in the machine.
+    /// The set of every node in the machine.
     #[inline]
-    pub(crate) fn all_nodes_mask(&self) -> u64 {
-        if self.cfg.num_procs == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.cfg.num_procs) - 1
-        }
+    pub(crate) fn all_nodes_mask(&self) -> crate::directory::NodeSet {
+        crate::directory::NodeSet::first_n(self.cfg.num_procs)
     }
 
     /// Apply the limited-pointer overflow rule to `line`'s entry after a

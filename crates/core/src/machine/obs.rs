@@ -293,7 +293,7 @@ impl Machine {
         }
         if let Some(iv) = self.obs.as_ref().and_then(|o| o.sampler.as_ref()).map(|s| s.interval)
         {
-            self.queue.push(t + iv, Event::Sample);
+            self.push_ev(t + iv, 0, Event::Sample);
         }
     }
 }

@@ -1,0 +1,423 @@
+//! Sharded parallel execution of the simulation (conservative PDES).
+//!
+//! Nodes are partitioned across worker shards; each shard owns a complete
+//! [`Machine`] replica but pops only events belonging to its own nodes.
+//! Shards advance in lockstep windows of `W = min_cross_shard_latency`
+//! cycles: within a window every event a shard can affect another shard
+//! with arrives at least `W` cycles in the future, so shards run without
+//! synchronization and exchange timestamped messages at window edges.
+//!
+//! Determinism is total, not statistical: the event queue orders same-cycle
+//! events by a key derived from the scheduling node's private counter
+//! ([`Machine::ev_key`]), which makes the event order a pure function of
+//! the simulated history — independent of which engine (sequential or
+//! sharded, at any thread count) executes it. The golden-fingerprint suite
+//! pins this bit-for-bit.
+
+use super::{Event, Machine, RunResult};
+use crate::msg::Msg;
+use lrc_sim::{Cycle, StallDiagnosis, StallReason, Workload};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How nodes map onto shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// Contiguous blocks of node ids per shard — neighbors share a shard,
+    /// the layout that minimizes cross-shard traffic on the mesh.
+    #[default]
+    Contiguous,
+    /// Round-robin striping — adjacent node ids land on *different* shards,
+    /// so essentially all sharing crosses shard boundaries. The adversarial
+    /// layout the boundary stress tests use.
+    Strided,
+}
+
+/// Configuration for a sharded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOptions {
+    /// Worker threads (shards). `<= 1` runs the sequential kernel.
+    pub threads: usize,
+    /// Node-to-shard assignment.
+    pub partition: Partition,
+}
+
+impl ParallelOptions {
+    /// `threads` workers with the default contiguous partition.
+    pub fn threads(threads: usize) -> Self {
+        ParallelOptions { threads, partition: Partition::Contiguous }
+    }
+}
+
+/// A cross-shard message captured at its send site: arrival time and tie
+/// key are computed from sender-local state, so the receiving shard can
+/// insert it exactly where the sequential kernel would have.
+#[derive(Debug, Clone)]
+pub(crate) struct OutMsg {
+    pub at: Cycle,
+    pub key: u64,
+    pub msg: Msg,
+}
+
+/// Per-replica sharding context (present only during sharded runs).
+pub(crate) struct ShardCtx {
+    /// This replica's shard id.
+    pub id: u32,
+    /// Node → shard map, shared by all replicas.
+    pub of_node: Arc<Vec<u32>>,
+    /// Cross-shard sends accumulated during the current window.
+    pub outbox: Vec<OutMsg>,
+}
+
+impl Machine {
+    /// Install `workload` and the sharding context, seeding `ProcStep`s for
+    /// the shard's own nodes only. The per-node key counters make the seed
+    /// keys identical to the sequential kernel's.
+    fn prepare_shard(&mut self, workload: Box<dyn Workload>, ctx: Box<ShardCtx>) {
+        assert_eq!(
+            workload.num_procs(),
+            self.cfg.num_procs,
+            "workload built for a different processor count"
+        );
+        self.workload = workload;
+        for p in 0..self.cfg.num_procs {
+            if ctx.of_node[p] == ctx.id {
+                self.nodes[p].step_scheduled = true;
+                self.push_ev(0, p, Event::ProcStep(p));
+            }
+        }
+        self.shard = Some(ctx);
+    }
+
+    /// Pop and dispatch every pending event strictly before `limit`,
+    /// counting handled events into `handled`.
+    fn run_window(&mut self, limit: Cycle, handled: &mut u64) {
+        while self.queue.peek_time().is_some_and(|t| t < limit) {
+            let (t, ev) = self.queue.pop().expect("peeked above");
+            self.dispatch(t, ev);
+            *handled += 1;
+        }
+    }
+
+    /// Insert a batch of cross-shard arrivals. Order within the batch is
+    /// irrelevant: the queue's (time, key) order is insertion-independent.
+    fn ingest(&mut self, batch: &mut Vec<OutMsg>) {
+        for m in batch.drain(..) {
+            self.queue.push(m.at, m.key, Event::Msg(m.msg));
+        }
+    }
+
+    /// This shard's next relevant time: the earlier of the local event
+    /// queue and any cross-shard send still waiting in the outbox.
+    fn local_bound(&self) -> Cycle {
+        let q = self.queue.peek_time().unwrap_or(Cycle::MAX);
+        let ob = self
+            .shard
+            .as_deref()
+            .and_then(|s| s.outbox.iter().map(|o| o.at).min())
+            .unwrap_or(Cycle::MAX);
+        q.min(ob)
+    }
+
+    /// Can this configuration run sharded and still promise bit-identical
+    /// results? Everything that inspects global order mid-run (tracing,
+    /// sampling, value/race tracking), mutates cross-node timing state
+    /// (link layer, finite NI queues), or assigns homes dynamically
+    /// (first-touch) falls back to the sequential kernel — which is always
+    /// correct, just single-threaded.
+    fn parallel_eligible(&self) -> bool {
+        self.xmit.is_none()
+            && !self.ni_limited
+            && self.cfg.placement != lrc_sim::Placement::FirstTouch
+            && self.classifier.is_none()
+            && self.values.is_none()
+            && self.race.is_none()
+            && self.obs.is_none()
+            && self.trace_line.is_none()
+            && self.nack_nth.is_none()
+            && self.check_every == 0
+            && self.min_window() >= 1
+    }
+
+    /// Conservative lookahead: the minimum cycles between a cross-node send
+    /// and its delivery, from the mesh's single-hop latency and the
+    /// smallest message's wire occupancy.
+    fn min_window(&self) -> Cycle {
+        self.net.min_cross_latency(self.cfg.ctrl_msg_bytes)
+    }
+}
+
+/// A sense-reversing spin barrier for the window lockstep. `wait` returns
+/// only after all `n` participants arrive; the release of generation `g`
+/// happens-before every participant's return from `wait(g)`, which is what
+/// makes the unlocked publish/read of shard bounds sound.
+struct SpinBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    gen: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier { n, arrived: AtomicUsize::new(0), gen: AtomicUsize::new(0) }
+    }
+
+    fn wait(&self) {
+        let gen = self.gen.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.gen.store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            // Spin briefly for the common multi-core case, then yield: on an
+            // oversubscribed (or single-core) host a pure spin would burn the
+            // whole scheduler timeslice that the *laggard* shard needs.
+            let mut spins = 0u32;
+            while self.gen.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one worker: its final replica, events handled, and the
+/// diagnosis it raised (if it was the one to detect a stall).
+type WorkerOut = (Machine, u64, Option<StallDiagnosis>);
+
+/// Run one workload under a sharded parallel engine, falling back to the
+/// sequential kernel when `opts.threads <= 1` or the configuration is not
+/// shard-eligible (see `Machine::parallel_eligible`). `build` must produce
+/// identically-configured machines and `workload` identically-behaving
+/// workloads — each worker gets its own instance of both.
+///
+/// The returned [`RunResult`] is bit-identical to what the sequential
+/// kernel produces for the same configuration, except for wall-clock
+/// throughput fields (`sim_wall_secs`) and the per-shard queue-depth
+/// vector.
+pub fn try_run_sharded(
+    build: &(dyn Fn() -> Machine + Sync),
+    workload: &(dyn Fn() -> Box<dyn Workload> + Sync),
+    opts: &ParallelOptions,
+) -> Result<RunResult, Box<StallDiagnosis>> {
+    let probe = build();
+    let shards = opts.threads.min(probe.cfg.num_procs);
+    if shards <= 1 || !probe.parallel_eligible() {
+        return probe.try_run(workload());
+    }
+    let window = probe.min_window();
+    let num_procs = probe.cfg.num_procs;
+    let max_cycles = probe.max_cycles;
+    let of_node = Arc::new(partition_map(num_procs, shards, opts.partition));
+    drop(probe);
+
+    let mut replicas: Vec<Machine> = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let mut m = build();
+        m.prepare_shard(
+            workload(),
+            Box::new(ShardCtx { id: s as u32, of_node: of_node.clone(), outbox: Vec::new() }),
+        );
+        replicas.push(m);
+    }
+
+    let barrier = SpinBarrier::new(shards);
+    let bounds: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+    let finished: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+    let stop = AtomicBool::new(false);
+    // inboxes[dst][src][parity]: double-buffered by window parity so a
+    // shard writing window j+1's batch never touches the slot its peer is
+    // still draining for window j.
+    let inboxes: Vec<Vec<[Mutex<Vec<OutMsg>>; 2]>> = (0..shards)
+        .map(|_| {
+            (0..shards)
+                .map(|_| [Mutex::new(Vec::new()), Mutex::new(Vec::new())])
+                .collect()
+        })
+        .collect();
+
+    let run_started = std::time::Instant::now();
+    let outs: Vec<WorkerOut> = std::thread::scope(|sc| {
+        let handles: Vec<_> = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(me, mut m)| {
+                let (barrier, bounds, finished, stop, inboxes, of_node) =
+                    (&barrier, &bounds, &finished, &stop, &inboxes, &of_node);
+                sc.spawn(move || -> WorkerOut {
+                    let mut handled = 0u64;
+                    let mut diag: Option<StallDiagnosis> = None;
+                    let mut parity = 0usize;
+                    loop {
+                        // Publish this shard's bound and flush the outbox.
+                        bounds[me].store(m.local_bound(), Ordering::Relaxed);
+                        finished[me].store(m.finished as u64, Ordering::Relaxed);
+                        let mut outbox =
+                            std::mem::take(&mut m.shard.as_deref_mut().expect("sharded").outbox);
+                        for o in outbox.drain(..) {
+                            let d = of_node[o.msg.dst] as usize;
+                            inboxes[d][me][parity].lock().expect("poisoned inbox").push(o);
+                        }
+                        m.shard.as_deref_mut().expect("sharded").outbox = outbox;
+                        barrier.wait();
+                        // Consensus read: every shard computes the same
+                        // global lower bound from the same published values.
+                        let lb = bounds.iter().map(|b| b.load(Ordering::Relaxed)).min();
+                        let lb = lb.expect("at least one shard");
+                        let done: u64 = finished.iter().map(|f| f.load(Ordering::Relaxed)).sum();
+                        let stopping = stop.load(Ordering::Relaxed);
+                        // Second barrier: all reads complete before any
+                        // shard loops around and republishes.
+                        barrier.wait();
+                        if stopping {
+                            break;
+                        }
+                        if lb == Cycle::MAX {
+                            if done != num_procs as u64 {
+                                diag =
+                                    Some(m.diagnose(StallReason::Deadlock, m.queue.now()));
+                            }
+                            break;
+                        }
+                        if lb > max_cycles {
+                            // Deterministic: every shard sees the same lb
+                            // and breaks in the same window.
+                            if me == 0 {
+                                diag = Some(
+                                    m.diagnose(StallReason::CycleHorizon(max_cycles), lb),
+                                );
+                            }
+                            break;
+                        }
+                        if m.watchdog.is_some() {
+                            if let Some(d) = m.scan_stalls(lb) {
+                                // Only the shard owning the wedged node
+                                // trips; the flag stops the rest at the
+                                // next window edge.
+                                diag = Some(d);
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                        // Ingest this window's cross-shard arrivals and run.
+                        for from_src in inboxes[me].iter().take(shards) {
+                            let mut batch = std::mem::take(
+                                &mut *from_src[parity].lock().expect("poisoned inbox"),
+                            );
+                            m.ingest(&mut batch);
+                        }
+                        m.run_window(lb + window, &mut handled);
+                        parity ^= 1;
+                    }
+                    (m, handled, diag)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    });
+    let sim_wall_secs = run_started.elapsed().as_secs_f64();
+
+    let diags: Vec<&StallDiagnosis> = outs.iter().filter_map(|(_, _, d)| d.as_ref()).collect();
+    if !diags.is_empty() {
+        return Err(Box::new(merge_diagnoses(&outs, &bounds)));
+    }
+    Ok(merge_results(outs, &of_node, sim_wall_secs, window))
+}
+
+/// Node → shard assignment for `n` nodes over `shards` shards.
+fn partition_map(n: usize, shards: usize, p: Partition) -> Vec<u32> {
+    match p {
+        Partition::Contiguous => {
+            let chunk = n.div_ceil(shards);
+            (0..n).map(|i| (i / chunk) as u32).collect()
+        }
+        Partition::Strided => (0..n).map(|i| (i % shards) as u32).collect(),
+    }
+}
+
+/// Fold per-shard replicas into the single result the sequential kernel
+/// would have produced.
+fn merge_results(
+    outs: Vec<WorkerOut>,
+    of_node: &[u32],
+    sim_wall_secs: f64,
+    _window: Cycle,
+) -> RunResult {
+    let mut outs = outs;
+    let shard_peaks: Vec<usize> = outs.iter().map(|(m, _, _)| m.queue.peak_len()).collect();
+    let events: u64 = outs.iter().map(|(_, h, _)| *h).sum();
+    let (mut base, _, _) = outs.remove(0);
+    base.finalize_own_stats(of_node);
+    let mut stats = base.stats.clone();
+    for (mut m, _, _) in outs {
+        m.finalize_own_stats(of_node);
+        stats.merge_shard(&m.stats);
+    }
+    stats.total_cycles = stats.procs.iter().map(|p| p.finish_time).max().unwrap_or(0);
+    RunResult {
+        protocol: base.protocol,
+        workload: base.workload.name().to_string(),
+        stats,
+        events,
+        peak_queue_depth: shard_peaks.iter().copied().max().unwrap_or(0),
+        peak_queue_depths: shard_peaks,
+        sim_wall_secs,
+        ni_peak_ingress: 0,
+        ni_peak_egress: 0,
+    }
+}
+
+/// Combine per-shard stall diagnoses into one report: the triggering
+/// shard's reason, the union of stalled (owned) processors, summed gauges,
+/// and every shard's local clock so a wedged shard is visible at a glance.
+fn merge_diagnoses(outs: &[WorkerOut], bounds: &[AtomicU64]) -> StallDiagnosis {
+    let primary = outs
+        .iter()
+        .filter_map(|(_, _, d)| d.as_ref())
+        .next()
+        .expect("caller checked a diagnosis exists");
+    let mut merged = primary.clone();
+    merged.stalled.clear();
+    merged.finished = 0;
+    merged.pending_fences = 0;
+    merged.pending_events = 0;
+    for (m, _, d) in outs {
+        if let Some(d) = d {
+            merged.stalled.extend(d.stalled.iter().cloned());
+        } else {
+            // Shards that stopped on the flag still contribute their own
+            // stalled owned nodes (status of non-owned replicas never
+            // leaves Running, so there is no double count).
+            let d = m.diagnose(StallReason::Deadlock, m.queue.now());
+            merged.stalled.extend(d.stalled.iter().cloned());
+        }
+        merged.finished += m.finished;
+        merged.pending_events += m.queue.len();
+        merged.pending_fences += m
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.status, crate::node::ProcStatus::Releasing(_)))
+            .count();
+    }
+    merged.stalled.sort_by_key(|s| s.proc);
+    merged.stalled.dedup_by_key(|s| s.proc);
+    merged.shard_clocks = bounds.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+    merged
+}
+
+impl Machine {
+    /// Per-shard end-of-run bookkeeping mirroring the sequential kernel's:
+    /// busy-cycle and finish-time attribution for *owned* nodes only, so
+    /// the cross-shard additive merge never double counts.
+    fn finalize_own_stats(&mut self, of_node: &[u32]) {
+        let me = self.shard.as_deref().expect("sharded").id;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if of_node[i] == me {
+                self.stats.procs[i].pp_busy = n.pp.busy_cycles();
+                self.stats.procs[i].mem_busy = n.mem.busy_cycles();
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@ impl Machine {
             }
             MsgKind::OwnerData { line, for_write } => self.on_owner_data(t, m, line, for_write),
             MsgKind::BusyNack { .. } => self.on_busy_nack(t, m),
+            MsgKind::ForwardCancel { line, ep } => self.on_forward_cancel(t, m, line, ep),
             _ => unreachable!("not a cache-side message: {:?}", m.kind),
         }
     }
@@ -236,29 +237,42 @@ impl Machine {
     fn on_forward(&mut self, t: Cycle, m: Msg, line: LineAddr, requester: usize, for_write: bool, ep: u64) {
         let p = m.dst;
         let home = m.src;
-        // A forward whose episode is gone was cancelled (resolved from
-        // memory because we ourselves were blocked on the entry): drop it.
-        if self.busy_info.get(line.0).is_none_or(|e| e.id != ep) {
+        // A delivery-reordering mode (fault-plan retransmission, checker
+        // exploration) can deliver a cancelled episode's Forward after its
+        // ForwardCancel; only then must we peek at the home's episode table
+        // to drop it on sight. Production runs never need the cross-node
+        // peek: a stale Forward always finds our own transaction outstanding
+        // (below) and parks until the cancel lands.
+        if self.delivery_reordering_possible() && self.busy_info.get(line.0).is_none_or(|e| e.id != ep) {
             return;
         }
         let done = self.nodes[p].pp.occupy(t, self.cfg.dir_cost(self.protocol));
+        if self.nodes[p].outstanding.contains_key(&line.0) {
+            // Our own transaction on this line is still settling — a fill
+            // for a copy the directory already registered ("phantom owner"),
+            // or a request racing with this episode at the home. Park the
+            // forward: it is re-examined when the transaction settles, and a
+            // ForwardCancel removes it first if the home resolved the
+            // episode from memory in the meantime.
+            self.nodes[p].parked_forwards.insert(line.0, m);
+            return;
+        }
         if !self.nodes[p].cache.contains(line) {
-            if self.nodes[p].outstanding.contains_key(&line.0) {
-                // Our own fill for this line is still in flight ("phantom
-                // owner"): defer the forward until the data lands, so we
-                // never end up holding a copy the directory forgot.
-                self.nodes[p].parked_forwards.insert(line.0, m);
-                return;
-            }
             // Genuinely lost the line (eviction/write-back race): tell the
             // home to serve the requester from memory.
             self.send(done, p, home, MsgKind::ForwardNack { line, requester, for_write, ep });
             return;
         }
-        // We are supplying the data: mark the episode served so the home
-        // knows a copy-back is coming and must simply be awaited.
-        if let Some(e) = self.busy_info.get_mut(line.0) {
-            e.served = true;
+        // We are supplying the data: under a delivery-reordering mode, mark
+        // the episode served so the home knows a copy-back is coming and
+        // must simply be awaited. In a production run the flag is never
+        // consulted — our copy-back reaches the home ahead of any later
+        // request of ours on the same channel — and skipping the write
+        // keeps shards independent.
+        if self.delivery_reordering_possible() {
+            if let Some(e) = self.busy_info.get_mut(line.0) {
+                e.served = true;
+            }
         }
         // The copy-back carries the full line: the owner's unflushed dirty
         // words reach home memory (capture them before the copy is
@@ -281,6 +295,22 @@ impl Machine {
         }
         self.send(done, p, requester, MsgKind::OwnerData { line, for_write });
         self.send(done, p, home, MsgKind::CopyBack { line, demoted_to_shared: !for_write, ep });
+    }
+
+    /// The home cancelled forward episode `ep` (our own request for the line
+    /// reached it first and it served the forward's requester from memory):
+    /// drop the matching parked forward. A parked forward from a *newer*
+    /// episode is left alone — the episode id must match.
+    fn on_forward_cancel(&mut self, t: Cycle, m: Msg, line: LineAddr, ep: u64) {
+        let p = m.dst;
+        let _ = self.nodes[p].pp.occupy(t, self.cfg.write_notice_cost);
+        let matches = self.nodes[p]
+            .parked_forwards
+            .get(&line.0)
+            .is_some_and(|f| matches!(f.kind, MsgKind::Forward { ep: fep, .. } if fep == ep));
+        if matches {
+            self.nodes[p].parked_forwards.remove(&line.0);
+        }
     }
 
     /// Second leg of a 3-hop: the owner's data arrives at the requester.

@@ -297,13 +297,11 @@ impl Machine {
                 match self.nodes[p].cb.push_words(line, words) {
                     CbPush::Merged => {}
                     CbPush::Allocated => {
-                        self.queue
-                            .push(now + self.cfg.cb_flush_delay, Event::CbFlush(p, line));
+                        self.push_ev(now + self.cfg.cb_flush_delay, p, Event::CbFlush(p, line));
                     }
                     CbPush::Displaced(v) => {
                         self.send_write_through(p, now, v.line, v.words);
-                        self.queue
-                            .push(now + self.cfg.cb_flush_delay, Event::CbFlush(p, line));
+                        self.push_ev(now + self.cfg.cb_flush_delay, p, Event::CbFlush(p, line));
                     }
                 }
             }

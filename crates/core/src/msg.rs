@@ -98,6 +98,13 @@ pub enum MsgKind {
     /// reconstruct it verbatim (`for_write` picks `WriteReq` vs `ReadReq`;
     /// `attempt` scales the retry backoff).
     BusyNack { line: LineAddr, for_write: bool, had_copy: bool, words: u64, attempt: u32 },
+
+    /// Home → owner: the forward episode `ep` was cancelled (the home
+    /// resolved it from memory because the owner's own request for the same
+    /// line arrived first). The owner drops the matching parked forward.
+    /// Ordering makes this race-free: on a given home→owner channel the
+    /// `Forward` always arrives before its `ForwardCancel`.
+    ForwardCancel { line: LineAddr, ep: u64 },
 }
 
 /// A routed message.
@@ -161,7 +168,8 @@ impl MsgKind {
             | MsgKind::OwnerData { line, .. }
             | MsgKind::CopyBack { line, .. }
             | MsgKind::ForwardNack { line, .. }
-            | MsgKind::BusyNack { line, .. } => Some(line),
+            | MsgKind::BusyNack { line, .. }
+            | MsgKind::ForwardCancel { line, .. } => Some(line),
             _ => None,
         }
     }
@@ -193,6 +201,7 @@ impl MsgKind {
             MsgKind::BarrierArrive { .. } => "BarrierArrive",
             MsgKind::BarrierRelease { .. } => "BarrierRelease",
             MsgKind::BusyNack { .. } => "BusyNack",
+            MsgKind::ForwardCancel { .. } => "ForwardCancel",
         }
     }
 }

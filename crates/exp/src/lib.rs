@@ -12,4 +12,4 @@ pub mod runner;
 
 pub use experiments::{run_by_id, Params, ALL_IDS};
 pub use report::{Report, Table};
-pub use runner::{execute, RunSpec, Runner};
+pub use runner::{execute, execute_sharded, RunSpec, Runner};

@@ -136,6 +136,21 @@ impl Value {
         matches!(self, Value::Object(_))
     }
 
+    /// Insert or replace a member. A non-object silently becomes an object
+    /// first, so optional report sections can be appended without matching
+    /// on the variant at every call site.
+    pub fn set(&mut self, key: &str, value: impl Into<Value>) {
+        if !self.is_object() {
+            *self = Value::Object(Vec::new());
+        }
+        let Value::Object(fields) = self else { unreachable!() };
+        let value = value.into();
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => fields.push((key.to_string(), value)),
+        }
+    }
+
     /// Compact rendering (no whitespace).
     pub fn dump(&self) -> String {
         to_string(self)
@@ -551,6 +566,18 @@ mod tests {
         let v = p.to_json();
         assert_eq!(P::from_json(&v), Some(p));
         assert_eq!(P::from_json(&json!({ "x": 7 })), None);
+    }
+
+    #[test]
+    fn set_inserts_replaces_and_upgrades() {
+        let mut v = json!({ "a": 1 });
+        v.set("b", "two");
+        v.set("a", 3u64);
+        assert_eq!(v["a"].as_u64(), Some(3));
+        assert_eq!(v["b"].as_str(), Some("two"));
+        let mut n = Value::Null;
+        n.set("k", vec![1u64, 2]);
+        assert_eq!(n["k"].get_index(1).and_then(Value::as_u64), Some(2));
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Deterministic discrete-event queue.
 //!
 //! Events fire in nondecreasing time order; events scheduled for the same
-//! cycle fire in insertion order, which makes whole-machine simulations
-//! bit-reproducible.
+//! cycle fire in ascending **tie-key** order. The key is supplied by the
+//! caller at push time and makes the queue's total order independent of
+//! insertion order — the property the parallel engine needs: a sequential
+//! run that pushes an event mid-window and a sharded run that ingests the
+//! same event at a window boundary land it at the same position, so
+//! whole-machine simulations are bit-reproducible across engines.
 //!
 //! # Two-tier calendar-queue implementation
 //!
@@ -13,15 +17,16 @@
 //! calendar of [`HORIZON`] one-cycle-wide buckets covering the window
 //! `[window_lo, window_lo + HORIZON)`; an event at time `t` in the window
 //! lives in bucket `t % HORIZON`. Because the bucket width is one cycle,
-//! every bucket holds events of exactly one time value, so a plain
-//! `push_back` preserves same-cycle insertion order with no sequence
-//! numbers. An occupancy bitmap (one bit per bucket) finds the next
-//! non-empty bucket in a handful of word scans, and `pop` slides the window
-//! up to each fired time so the full horizon always extends ahead of `now`.
+//! every bucket holds events of exactly one time value, so each bucket is
+//! simply kept sorted by key (a backward scan from the tail — same-cycle
+//! runs are short and near-sorted). An occupancy bitmap (one bit per
+//! bucket) finds the next non-empty bucket in a handful of word scans, and
+//! `pop` slides the window up to each fired time so the full horizon always
+//! extends ahead of `now`.
 //!
 //! The rare far-future event (beyond the window) goes to a sorted overflow
-//! rung — a `BTreeMap` keyed by time, holding a FIFO per time value. Window
-//! invariants: every bucketed event's time is in
+//! rung — a `BTreeMap` keyed by time, holding a key-sorted run per time
+//! value. Window invariants: every bucketed event's time is in
 //! `[window_lo, window_lo + HORIZON)` and every overflow time is
 //! `>= window_lo + HORIZON`, so all bucketed events fire before all
 //! overflow events; sliding the window migrates newly-in-window overflow
@@ -29,11 +34,11 @@
 //!
 //! Queues that never grow past [`TINY_MAX`] pending events — the model
 //! checker's scenario machines, unit-test scripts — instead stay on a flat
-//! bottom tier: one time-sorted, insertion-stable `Vec`. That keeps
-//! `Machine::clone` (which the checker performs at every explored state)
-//! a single small memcpy instead of a 512-bucket traversal. The first push
-//! that would exceed [`TINY_MAX`] promotes the queue to the calendar for
-//! the rest of its life.
+//! bottom tier: one (time, key)-sorted `Vec`. That keeps `Machine::clone`
+//! (which the checker performs at every explored state) a single small
+//! memcpy instead of a 512-bucket traversal. The first push that would
+//! exceed [`TINY_MAX`] promotes the queue to the calendar for the rest of
+//! its life.
 
 use crate::types::Cycle;
 use std::collections::{BTreeMap, VecDeque};
@@ -49,17 +54,30 @@ const WORDS: usize = HORIZON / 64;
 /// Queues at or below this many pending events use the flat bottom tier.
 const TINY_MAX: usize = 64;
 
+/// Insert `(key, event)` into a key-sorted same-cycle run. Keys are
+/// near-monotone in practice, so a backward scan from the tail beats
+/// binary search. Strict `>` keeps insertion order for equal keys.
+#[inline]
+fn insert_by_key<E>(run: &mut VecDeque<(u64, E)>, key: u64, event: E) {
+    let mut at = run.len();
+    while at > 0 && run[at - 1].0 > key {
+        at -= 1;
+    }
+    run.insert(at, (key, event));
+}
+
 /// Calendar tier: the bucketed window plus the far-future overflow rung.
 #[derive(Debug, Clone)]
 struct Calendar<E> {
-    /// `buckets[t % HORIZON]` holds the FIFO of events at window time `t`.
-    buckets: Vec<VecDeque<E>>,
+    /// `buckets[t % HORIZON]` holds the key-sorted run of events at window
+    /// time `t`.
+    buckets: Vec<VecDeque<(u64, E)>>,
     /// One bit per bucket: set iff the bucket is non-empty.
     occupied: [u64; WORDS],
     /// Low edge of the calendar window; never decreases.
     window_lo: Cycle,
-    /// Far-future rung: time -> FIFO of events at that time.
-    overflow: BTreeMap<Cycle, VecDeque<E>>,
+    /// Far-future rung: time -> key-sorted run of events at that time.
+    overflow: BTreeMap<Cycle, VecDeque<(u64, E)>>,
 }
 
 impl<E> Calendar<E> {
@@ -152,23 +170,23 @@ impl<E> Calendar<E> {
             if *entry.key() >= horizon_end {
                 break;
             }
-            let (time, mut fifo) = entry.remove_entry();
+            let (time, mut run) = entry.remove_entry();
             let idx = (time & MASK) as usize;
             debug_assert!(self.buckets[idx].is_empty(), "bucket collision at t={time}");
-            self.buckets[idx].append(&mut fifo);
+            self.buckets[idx].append(&mut run);
             self.mark(idx);
         }
     }
 
-    /// Append `event` at `time` (`time >= window_lo` — the queue clamps to
-    /// `now` first, and `now` never trails the window).
-    fn insert(&mut self, time: Cycle, event: E) {
+    /// Insert `event` at `(time, key)` (`time >= window_lo` — the queue
+    /// clamps to `now` first, and `now` never trails the window).
+    fn insert(&mut self, time: Cycle, key: u64, event: E) {
         if time < self.window_lo + HORIZON as Cycle {
             let idx = (time & MASK) as usize;
-            self.buckets[idx].push_back(event);
+            insert_by_key(&mut self.buckets[idx], key, event);
             self.mark(idx);
         } else {
-            self.overflow.entry(time).or_default().push_back(event);
+            insert_by_key(self.overflow.entry(time).or_default(), key, event);
         }
     }
 
@@ -177,19 +195,19 @@ impl<E> Calendar<E> {
         let t = self.min_time()?;
         self.advance_window(t);
         let idx = (t & MASK) as usize;
-        let ev = self.buckets[idx].pop_front().expect("earliest bucket non-empty");
+        let (_, ev) = self.buckets[idx].pop_front().expect("earliest bucket non-empty");
         if self.buckets[idx].is_empty() {
             self.unmark(idx);
         }
         Some((t, ev))
     }
 
-    /// Remove the `n`-th event in (time, insertion) order (`n` in range).
+    /// Remove the `n`-th event in (time, key) order (`n` in range).
     fn remove_nth(&mut self, mut n: usize) -> (Cycle, E) {
         for idx in self.occupied_buckets() {
             if n < self.buckets[idx].len() {
                 let t = self.bucket_time(idx);
-                let ev = self.buckets[idx].remove(n).expect("index checked");
+                let (_, ev) = self.buckets[idx].remove(n).expect("index checked");
                 if self.buckets[idx].is_empty() {
                     self.unmark(idx);
                 }
@@ -198,17 +216,17 @@ impl<E> Calendar<E> {
             n -= self.buckets[idx].len();
         }
         let mut hit: Option<Cycle> = None;
-        for (&t, fifo) in &self.overflow {
-            if n < fifo.len() {
+        for (&t, run) in &self.overflow {
+            if n < run.len() {
                 hit = Some(t);
                 break;
             }
-            n -= fifo.len();
+            n -= run.len();
         }
         let t = hit.expect("pop_nth index within overflow");
-        let fifo = self.overflow.get_mut(&t).expect("overflow rung exists");
-        let ev = fifo.remove(n).expect("index checked");
-        if fifo.is_empty() {
+        let run = self.overflow.get_mut(&t).expect("overflow rung exists");
+        let (_, ev) = run.remove(n).expect("index checked");
+        if run.is_empty() {
             self.overflow.remove(&t);
         }
         (t, ev)
@@ -218,15 +236,14 @@ impl<E> Calendar<E> {
 /// Storage tier: flat sorted vec for small queues, calendar for large ones.
 #[derive(Debug, Clone)]
 enum Tier<E> {
-    /// Time-sorted, insertion-stable flat storage (same-time runs keep
-    /// push order). A deque so the hot `pop` is O(1) at the front while
-    /// pushes (almost always near the back, times being near-monotone)
-    /// shift only the short side.
-    Tiny(VecDeque<(Cycle, E)>),
+    /// (time, key)-sorted flat storage. A deque so the hot `pop` is O(1)
+    /// at the front while pushes (almost always near the back, times being
+    /// near-monotone) shift only the short side.
+    Tiny(VecDeque<(Cycle, u64, E)>),
     Calendar(Calendar<E>),
 }
 
-/// A time-ordered, insertion-stable event queue.
+/// A (time, tie-key)-ordered event queue.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     tier: Tier<E>,
@@ -255,28 +272,32 @@ impl<E> EventQueue<E> {
     }
 
     /// Move a queue that outgrew the bottom tier onto the calendar,
-    /// preserving (time, insertion) order: the tiny vec is already sorted
-    /// stably, so appending front-to-back lands each same-time run in its
-    /// bucket in FIFO order.
+    /// preserving (time, key) order: the tiny vec is already sorted, so
+    /// appending front-to-back lands each same-time run in its bucket in
+    /// key order.
     fn promote(&mut self) {
         let Tier::Tiny(flat) = &mut self.tier else { return };
         let flat = std::mem::take(flat);
         // Pending events may sit before `now` (fired "late" after an
         // out-of-order pop_nth); the window must start at the earliest.
-        let window_lo = flat.front().map_or(self.now, |&(t, _)| t.min(self.now));
+        let window_lo = flat.front().map_or(self.now, |&(t, ..)| t.min(self.now));
         let mut cal = Calendar::new(window_lo);
-        for (t, ev) in flat {
-            cal.insert(t, ev);
+        for (t, k, ev) in flat {
+            cal.insert(t, k, ev);
         }
         self.tier = Tier::Calendar(cal);
     }
 
-    /// Schedule `event` to fire at absolute time `time`.
+    /// Schedule `event` to fire at absolute time `time`, ordered among
+    /// same-cycle events by ascending `key`. The caller owns key
+    /// assignment; keys must be deterministic for reproducible runs (the
+    /// machine derives them from the scheduling node and a per-node
+    /// counter, which makes the total order insertion-order independent).
     ///
     /// Scheduling in the past is a logic error and panics in debug builds;
     /// release builds clamp to `now` so a small modelling slip degrades
     /// accuracy rather than ordering.
-    pub fn push(&mut self, time: Cycle, event: E) {
+    pub fn push(&mut self, time: Cycle, key: u64, event: E) {
         debug_assert!(time >= self.now, "event scheduled in the past: {} < {}", time, self.now);
         let time = time.max(self.now);
         if matches!(&self.tier, Tier::Tiny(_)) && self.len >= TINY_MAX {
@@ -286,15 +307,15 @@ impl<E> EventQueue<E> {
             Tier::Tiny(flat) => {
                 // Times are near-monotone, so the insertion point is almost
                 // always at (or a step from) the back — a backward linear
-                // scan beats binary search here. Strict `>` keeps same-time
-                // FIFO order.
+                // scan beats binary search here. Strict `>` keeps insertion
+                // order for equal (time, key) pairs.
                 let mut at = flat.len();
-                while at > 0 && flat[at - 1].0 > time {
+                while at > 0 && (flat[at - 1].0, flat[at - 1].1) > (time, key) {
                     at -= 1;
                 }
-                flat.insert(at, (time, event));
+                flat.insert(at, (time, key, event));
             }
-            Tier::Calendar(cal) => cal.insert(time, event),
+            Tier::Calendar(cal) => cal.insert(time, key, event),
         }
         self.len += 1;
         if self.len > self.peak_len {
@@ -303,8 +324,8 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `event` to fire `delay` cycles from now.
-    pub fn push_after(&mut self, delay: Cycle, event: E) {
-        self.push(self.now + delay, event);
+    pub fn push_after(&mut self, delay: Cycle, key: u64, event: E) {
+        self.push(self.now + delay, key, event);
     }
 
     /// Remove and return the earliest event, advancing `now`.
@@ -315,7 +336,8 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
         let (t, ev) = match &mut self.tier {
             Tier::Tiny(flat) => {
-                flat.pop_front()?
+                let (t, _, ev) = flat.pop_front()?;
+                (t, ev)
             }
             Tier::Calendar(cal) => cal.pop_earliest()?,
         };
@@ -324,8 +346,8 @@ impl<E> EventQueue<E> {
         Some((self.now, ev))
     }
 
-    /// Remove and return the `n`-th pending event in (time, insertion)
-    /// order — the model checker's choice-point hook. `pop_nth(0)` is
+    /// Remove and return the `n`-th pending event in (time, key) order —
+    /// the model checker's choice-point hook. `pop_nth(0)` is
     /// [`EventQueue::pop`]; larger `n` fires a later-scheduled event first,
     /// exploring an alternative interleaving of in-flight activity.
     ///
@@ -335,9 +357,7 @@ impl<E> EventQueue<E> {
     ///
     /// Cost: O(n) on the flat tier; on the calendar, O(HORIZON/64) to scan
     /// the occupancy bitmap plus O(k) to splice the event out of its rung
-    /// FIFO (k = its position there). The old binary-heap implementation's
-    /// O(n log n) drain-and-reinsert churn is gone — events beyond the
-    /// chosen one are never touched.
+    /// (k = its position there).
     pub fn pop_nth(&mut self, n: usize) -> Option<(Cycle, E)> {
         if n >= self.len {
             return None;
@@ -346,7 +366,10 @@ impl<E> EventQueue<E> {
             return self.pop();
         }
         let (t, ev) = match &mut self.tier {
-            Tier::Tiny(flat) => flat.remove(n).expect("index checked"),
+            Tier::Tiny(flat) => {
+                let (t, _, ev) = flat.remove(n).expect("index checked");
+                (t, ev)
+            }
             Tier::Calendar(cal) => {
                 // Keep the window hugging the earliest pending event so
                 // overflow migration stays amortized even when firing
@@ -361,41 +384,41 @@ impl<E> EventQueue<E> {
         Some((self.now, ev))
     }
 
-    /// Scheduled firing times of every pending event, in (time, insertion)
+    /// Scheduled firing times of every pending event, in (time, key)
     /// order — index `i` here is the `n` accepted by
     /// [`EventQueue::pop_nth`]. Cost is O(len) (plus an O(HORIZON/64)
     /// bitmap scan on the calendar tier).
     pub fn pending_times(&self) -> Vec<Cycle> {
         match &self.tier {
-            Tier::Tiny(flat) => flat.iter().map(|&(t, _)| t).collect(),
+            Tier::Tiny(flat) => flat.iter().map(|&(t, ..)| t).collect(),
             Tier::Calendar(cal) => {
                 let mut out = Vec::with_capacity(self.len);
                 for idx in cal.occupied_buckets() {
                     let t = cal.bucket_time(idx);
                     out.extend(std::iter::repeat_n(t, cal.buckets[idx].len()));
                 }
-                for (&t, fifo) in &cal.overflow {
-                    out.extend(std::iter::repeat_n(t, fifo.len()));
+                for (&t, run) in &cal.overflow {
+                    out.extend(std::iter::repeat_n(t, run.len()));
                 }
                 out
             }
         }
     }
 
-    /// References to every pending event payload, in (time, insertion)
-    /// order — index `i` here is the `n` accepted by
-    /// [`EventQueue::pop_nth`]. The model checker hashes these into its
-    /// state fingerprint. Cost matches [`EventQueue::pending_times`].
+    /// References to every pending event payload, in (time, key) order —
+    /// index `i` here is the `n` accepted by [`EventQueue::pop_nth`]. The
+    /// model checker hashes these into its state fingerprint. Cost matches
+    /// [`EventQueue::pending_times`].
     pub fn pending_events(&self) -> Vec<&E> {
         match &self.tier {
-            Tier::Tiny(flat) => flat.iter().map(|(_, ev)| ev).collect(),
+            Tier::Tiny(flat) => flat.iter().map(|(_, _, ev)| ev).collect(),
             Tier::Calendar(cal) => {
                 let mut out = Vec::with_capacity(self.len);
                 for idx in cal.occupied_buckets() {
-                    out.extend(cal.buckets[idx].iter());
+                    out.extend(cal.buckets[idx].iter().map(|(_, ev)| ev));
                 }
-                for fifo in cal.overflow.values() {
-                    out.extend(fifo.iter());
+                for run in cal.overflow.values() {
+                    out.extend(run.iter().map(|(_, ev)| ev));
                 }
                 out
             }
@@ -405,7 +428,7 @@ impl<E> EventQueue<E> {
     /// Firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
         match &self.tier {
-            Tier::Tiny(flat) => flat.front().map(|&(t, _)| t),
+            Tier::Tiny(flat) => flat.front().map(|&(t, ..)| t),
             Tier::Calendar(cal) => cal.min_time(),
         }
     }
@@ -441,9 +464,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(30, "c");
-        q.push(10, "a");
-        q.push(20, "b");
+        q.push(30, 0, "c");
+        q.push(10, 1, "a");
+        q.push(20, 2, "b");
         for q in [&mut promoted(q.clone()), &mut q] {
             assert_eq!(q.pop(), Some((10, "a")));
             assert_eq!(q.pop(), Some((20, "b")));
@@ -453,27 +476,35 @@ mod tests {
     }
 
     #[test]
-    fn same_time_fifo() {
-        // 100 same-cycle events also crosses TINY_MAX, so this covers the
-        // mid-stream promotion path splitting one FIFO run across tiers.
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(5, i);
+    fn same_time_key_order_is_insertion_independent() {
+        // The same set of (time, key) pairs pushed in two different orders
+        // pops identically — the property the parallel engine relies on.
+        // 100 same-cycle events also crosses TINY_MAX, covering the
+        // mid-stream promotion path splitting one run across tiers.
+        let mut fwd = EventQueue::new();
+        for i in 0..100u64 {
+            fwd.push(5, i, i);
         }
-        assert!(matches!(q.tier, Tier::Calendar(_)));
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((5, i)));
+        let mut rev = EventQueue::new();
+        for i in (0..100u64).rev() {
+            rev.push(5, i, i);
+        }
+        assert!(matches!(fwd.tier, Tier::Calendar(_)));
+        for q in [&mut fwd, &mut rev] {
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((5, i)));
+            }
         }
     }
 
     #[test]
     fn now_advances_with_pops() {
         let mut q = EventQueue::new();
-        q.push(7, ());
+        q.push(7, 0, ());
         assert_eq!(q.now(), 0);
         q.pop();
         assert_eq!(q.now(), 7);
-        q.push_after(3, ());
+        q.push_after(3, 0, ());
         assert_eq!(q.pop(), Some((10, ())));
     }
 
@@ -481,12 +512,12 @@ mod tests {
     fn far_future_events_take_the_overflow_rung() {
         let mut q = promoted(EventQueue::new());
         // Straddle the horizon in both directions, including exact-boundary
-        // times and same-cycle FIFO within the overflow rung.
-        q.push(HORIZON as Cycle * 10, "far-b");
-        q.push(3, "near");
-        q.push(HORIZON as Cycle * 10, "far-c");
-        q.push(HORIZON as Cycle - 1, "edge-in");
-        q.push(HORIZON as Cycle, "edge-out");
+        // times and key ordering within the overflow rung.
+        q.push(HORIZON as Cycle * 10, 7, "far-c");
+        q.push(3, 0, "near");
+        q.push(HORIZON as Cycle * 10, 2, "far-b");
+        q.push(HORIZON as Cycle - 1, 0, "edge-in");
+        q.push(HORIZON as Cycle, 0, "edge-out");
         assert_eq!(q.len(), 5);
         assert_eq!(q.pop(), Some((3, "near")));
         assert_eq!(q.pop(), Some((HORIZON as Cycle - 1, "edge-in")));
@@ -502,13 +533,13 @@ mod tests {
         // wraps; interleave short and long hops to stress migration.
         let mut q = promoted(EventQueue::new());
         let mut t = 0;
-        q.push(0, 0u64);
+        q.push(0, 0, 0u64);
         for i in 1..200u64 {
             let (fired, _) = q.pop().expect("timer pending");
             assert_eq!(fired, t);
             let hop = if i % 3 == 0 { HORIZON as Cycle + 37 } else { 17 };
             t = fired + hop;
-            q.push(t, i);
+            q.push(t, i, i);
         }
         assert_eq!(q.len(), 1);
     }
@@ -516,12 +547,12 @@ mod tests {
     #[test]
     fn pop_nth_orders_and_is_monotone() {
         let mut q = EventQueue::new();
-        q.push(10, "a");
-        q.push(10, "b");
-        q.push(2000, "z"); // overflow rung once promoted
-        q.push(20, "c");
+        q.push(10, 0, "a");
+        q.push(10, 1, "b");
+        q.push(2000, 0, "z"); // overflow rung once promoted
+        q.push(20, 0, "c");
         for q in [&mut promoted(q.clone()), &mut q] {
-            // Pending order: a(10), b(10), c(20), z(2000).
+            // Pending order: a(10,0), b(10,1), c(20), z(2000).
             assert_eq!(q.pending_times(), vec![10, 10, 20, 2000]);
             assert_eq!(q.pop_nth(3), Some((2000, "z")));
             // Remaining events fire "late" at the advanced time.
@@ -537,7 +568,7 @@ mod tests {
         let mut q = EventQueue::new();
         for round in 0..10u64 {
             for i in 0..8 {
-                q.push(round * 100 + i, i);
+                q.push(round * 100 + i, i, i);
             }
             for _ in 0..8 {
                 q.pop();
@@ -554,7 +585,7 @@ mod tests {
     fn promotion_preserves_order_and_recycles_buckets() {
         let mut q = EventQueue::new();
         for i in 0..(TINY_MAX as u64 + 40) {
-            q.push(i / 3, i); // runs of 3 same-time events
+            q.push(i / 3, i, i); // runs of 3 same-time events
         }
         assert!(matches!(q.tier, Tier::Calendar(_)));
         let mut expect = 0;
@@ -571,8 +602,8 @@ mod tests {
     #[test]
     fn peek_time_matches_next_pop() {
         let mut q = EventQueue::new();
-        q.push(42, 1);
-        q.push(41, 2);
+        q.push(42, 0, 1);
+        q.push(41, 0, 2);
         for q in [&mut promoted(q.clone()), &mut q] {
             assert_eq!(q.peek_time(), Some(41));
             assert_eq!(q.pop(), Some((41, 2)));
@@ -583,17 +614,18 @@ mod tests {
     #[test]
     fn pending_listings_agree_with_pop_order() {
         let mut q = EventQueue::new();
-        for (t, v) in [(600, 0), (5, 1), (5, 2), (90, 3), (600, 4), (1300, 5)] {
-            q.push(t, v);
+        for (t, k, v) in [(600, 1, 0), (5, 9, 1), (5, 10, 2), (90, 0, 3), (600, 0, 4), (1300, 0, 5)]
+        {
+            q.push(t, k, v);
         }
         for q in [&mut promoted(q.clone()), &mut q] {
             assert_eq!(q.pending_times(), vec![5, 5, 90, 600, 600, 1300]);
-            assert_eq!(q.pending_events(), vec![&1, &2, &3, &0, &4, &5]);
+            assert_eq!(q.pending_events(), vec![&1, &2, &3, &4, &0, &5]);
             let mut popped = Vec::new();
             while let Some((_, v)) = q.pop() {
                 popped.push(v);
             }
-            assert_eq!(popped, vec![1, 2, 3, 0, 4, 5]);
+            assert_eq!(popped, vec![1, 2, 3, 4, 0, 5]);
         }
     }
 
@@ -602,8 +634,8 @@ mod tests {
     #[cfg(debug_assertions)]
     fn past_scheduling_panics_in_debug() {
         let mut q = EventQueue::new();
-        q.push(10, ());
+        q.push(10, 0, ());
         q.pop();
-        q.push(5, ());
+        q.push(5, 0, ());
     }
 }

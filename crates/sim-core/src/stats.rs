@@ -251,6 +251,20 @@ impl FaultStats {
         *self == FaultStats::default()
     }
 
+    /// Accumulate another counter set into this one (shard merge).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.corrupted += other.corrupted;
+        self.link_nacks += other.link_nacks;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.retries_exhausted += other.retries_exhausted;
+        self.dup_suppressed += other.dup_suppressed;
+        self.link_msgs += other.link_msgs;
+    }
+
     /// Faults the fabric injected (drop + duplicate + delay + corrupt).
     pub fn injected(&self) -> u64 {
         self.dropped + self.duplicated + self.delayed + self.corrupted
@@ -339,6 +353,24 @@ impl ResourceStats {
             && overflow_fallbacks == 0
             && overflow_invalidations == 0
     }
+
+    /// Accumulate another counter set into this one (shard merge):
+    /// pressure counters add, the peak gauges take the maximum — each
+    /// pending-inval set and parked queue lives on exactly one shard, so
+    /// the global peak is the max of the per-shard peaks.
+    pub fn merge(&mut self, other: &ResourceStats) {
+        self.busy_nacks += other.busy_nacks;
+        self.nack_retries += other.nack_retries;
+        self.nack_park_fallbacks += other.nack_park_fallbacks;
+        self.ni_rejects += other.ni_rejects;
+        self.ni_retries += other.ni_retries;
+        self.backpressure_stall_cycles += other.backpressure_stall_cycles;
+        self.wn_overflows += other.wn_overflows;
+        self.overflow_fallbacks += other.overflow_fallbacks;
+        self.overflow_invalidations += other.overflow_invalidations;
+        self.peak_pending_invals = self.peak_pending_invals.max(other.peak_pending_invals);
+        self.peak_parked = self.peak_parked.max(other.peak_parked);
+    }
 }
 
 /// Everything recorded about one simulated processor.
@@ -383,6 +415,34 @@ pub struct ProcStats {
 }
 
 impl ProcStats {
+    /// Accumulate another row for the *same* processor into this one
+    /// (shard merge). Every shard replica carries rows for all processors;
+    /// a non-owner's row is zero except for the few counters the protocol
+    /// attributes at a third party (e.g. `three_hop`, charged to the
+    /// requester by the *home's* handler), so straight addition reproduces
+    /// the sequential row. `finish_time` is a timestamp, not a count: only
+    /// the owner ever sets it, and `max` selects it.
+    pub fn merge(&mut self, other: &ProcStats) {
+        self.breakdown.merge(&other.breakdown);
+        self.refs += other.refs;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_misses += other.read_misses;
+        self.write_misses += other.write_misses;
+        self.upgrades += other.upgrades;
+        self.miss_classes.merge(&other.miss_classes);
+        self.notices_received += other.notices_received;
+        self.acquire_invalidations += other.acquire_invalidations;
+        self.eager_invalidations += other.eager_invalidations;
+        self.lock_acquires += other.lock_acquires;
+        self.barriers += other.barriers;
+        self.traffic.merge(&other.traffic);
+        self.three_hop += other.three_hop;
+        self.finish_time = self.finish_time.max(other.finish_time);
+        self.pp_busy += other.pp_busy;
+        self.mem_busy += other.mem_busy;
+    }
+
     /// All misses involving the coherence protocol (upgrades included, since
     /// the paper's Table 2 counts "write misses" as a miss category).
     pub fn total_misses(&self) -> u64 {
@@ -710,6 +770,23 @@ impl MachineStats {
             latencies: LatencyStats::default(),
             races: RaceStats::default(),
         }
+    }
+
+    /// Fold another shard's statistics into this one: per-processor rows
+    /// merge row-wise (see [`ProcStats::merge`]), machine-level counters
+    /// add, peaks take the max. `total_cycles` is *not* recomputed here —
+    /// the caller derives it from the merged finish times.
+    pub fn merge_shard(&mut self, other: &MachineStats) {
+        assert_eq!(self.procs.len(), other.procs.len(), "shard stats for different machines");
+        for (mine, theirs) in self.procs.iter_mut().zip(other.procs.iter()) {
+            mine.merge(theirs);
+        }
+        self.faults.merge(&other.faults);
+        self.resources.merge(&other.resources);
+        self.latencies.merge(&other.latencies);
+        // Race detection is sequential-only; a shard merge never sees a
+        // non-zero `races` on either side.
+        debug_assert!(other.races.is_zero());
     }
 
     /// Aggregate cycle breakdown over all processors (the figure-5 metric).

@@ -11,7 +11,7 @@ fn event_queue_is_time_ordered() {
         let n = 1 + rng.below(300) as usize;
         let mut q = EventQueue::new();
         for i in 0..n {
-            q.push(rng.below(1000), i);
+            q.push(rng.below(1000), i as u64, i);
         }
         let mut last_t = 0;
         let mut seen_at_t: Vec<usize> = Vec::new();
@@ -21,7 +21,7 @@ fn event_queue_is_time_ordered() {
                 seen_at_t.clear();
                 last_t = t;
             }
-            // FIFO within a timestamp: indices increase.
+            // Key order within a timestamp: indices (= keys) increase.
             if let Some(&prev) = seen_at_t.last() {
                 assert!(i > prev);
             }
@@ -37,7 +37,7 @@ fn pop_nth_fires_any_pending_event_and_keeps_time_monotone() {
         let n = 1 + rng.below(40) as usize;
         let mut q = EventQueue::new();
         for i in 0..n {
-            q.push(rng.below(100), i);
+            q.push(rng.below(100), i as u64, i);
         }
         let mut remaining = n;
         let mut last_now = 0;
@@ -96,12 +96,13 @@ fn rng_below_is_bounded() {
     }
 }
 
-/// Reference event queue: a plain binary heap over `(time, seq)` with a
-/// global insertion counter for same-cycle FIFO, plus the same `now`
-/// clamp/advance rules as the real queue. Obviously correct, O(log n)
-/// everywhere — the oracle the calendar implementation must match.
+/// Reference event queue: a plain binary heap over `(time, key, seq)` —
+/// the caller's tie key first, a global insertion counter to keep equal
+/// keys stable — plus the same `now` clamp/advance rules as the real
+/// queue. Obviously correct, O(log n) everywhere — the oracle the
+/// calendar implementation must match.
 struct RefQueue {
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u32)>>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u64, u32)>>,
     seq: u64,
     now: u64,
 }
@@ -111,20 +112,20 @@ impl RefQueue {
         RefQueue { heap: std::collections::BinaryHeap::new(), seq: 0, now: 0 }
     }
 
-    fn push(&mut self, time: u64, payload: u32) {
+    fn push(&mut self, time: u64, key: u64, payload: u32) {
         let time = time.max(self.now);
-        self.heap.push(std::cmp::Reverse((time, self.seq, payload)));
+        self.heap.push(std::cmp::Reverse((time, key, self.seq, payload)));
         self.seq += 1;
     }
 
     fn pop(&mut self) -> Option<(u64, u32)> {
-        let std::cmp::Reverse((t, _, v)) = self.heap.pop()?;
+        let std::cmp::Reverse((t, _, _, v)) = self.heap.pop()?;
         self.now = self.now.max(t);
         Some((self.now, v))
     }
 
-    /// The `n`-th event in (time, insertion) order: pop `n + 1`, reinsert
-    /// the first `n`.
+    /// The `n`-th event in (time, key) order: pop `n + 1`, reinsert the
+    /// first `n`.
     fn pop_nth(&mut self, n: usize) -> Option<(u64, u32)> {
         if n >= self.heap.len() {
             return None;
@@ -133,7 +134,7 @@ impl RefQueue {
         for _ in 0..n {
             skipped.push(self.heap.pop().expect("length checked"));
         }
-        let std::cmp::Reverse((t, _, v)) = self.heap.pop().expect("length checked");
+        let std::cmp::Reverse((t, _, _, v)) = self.heap.pop().expect("length checked");
         for e in skipped {
             self.heap.push(e);
         }
@@ -142,10 +143,10 @@ impl RefQueue {
     }
 
     fn pending_times(&self) -> Vec<u64> {
-        let mut all: Vec<(u64, u64)> =
-            self.heap.iter().map(|&std::cmp::Reverse((t, s, _))| (t, s)).collect();
+        let mut all: Vec<(u64, u64, u64)> =
+            self.heap.iter().map(|&std::cmp::Reverse((t, k, s, _))| (t, k, s)).collect();
         all.sort_unstable();
-        all.into_iter().map(|(t, _)| t).collect()
+        all.into_iter().map(|(t, ..)| t).collect()
     }
 
     fn peek_time(&self) -> Option<u64> {
@@ -177,8 +178,11 @@ fn event_queue_matches_binary_heap_reference() {
                         1 => q.now() + 2_000 + rng.below(3_000), // overflow
                         _ => q.now() + rng.below(400),
                     };
-                    q.push(t, next_payload);
-                    r.push(t, next_payload);
+                    // Random keys: same-cycle order must follow the key,
+                    // not insertion order (equal keys stay stable).
+                    let k = rng.below(8);
+                    q.push(t, k, next_payload);
+                    r.push(t, k, next_payload);
                     next_payload += 1;
                 }
                 60..=84 => {

@@ -9,7 +9,7 @@ use crate::ring::Ring;
 ///
 /// `box_clone` exists because the machine is `Clone` (the model checker
 /// snapshots it wholesale), so its sink must be too.
-pub trait TraceSink: std::fmt::Debug {
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Consume one record.
     fn record(&mut self, rec: &TraceRecord);
     /// Current contents in insertion order (may be truncated for bounded

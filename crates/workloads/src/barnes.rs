@@ -27,7 +27,7 @@ const TRAVERSAL_BODIES: usize = 12;
 
 /// `(bodies, steps)` for `scale`.
 pub fn size(scale: Scale) -> (usize, usize) {
-    scale.pick((4096, 4), (1024, 4), (256, 2), (64, 2))
+    scale.pick((4096, 4), (2048, 4), (1024, 4), (256, 2), (64, 2))
 }
 
 /// Build the workload for `p` processors.

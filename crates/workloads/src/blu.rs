@@ -16,7 +16,7 @@ const B: usize = 16; // block edge
 
 /// Matrix dimension for `scale`.
 pub fn size(scale: Scale) -> usize {
-    scale.pick(448, 224, 112, 48)
+    scale.pick(448, 320, 224, 112, 48)
 }
 
 /// Build the workload for `p` processors.

@@ -20,7 +20,7 @@ use lrc_sim::{AddressAllocator, Op, Rng};
 
 /// Number of columns for `scale`.
 pub fn size(scale: Scale) -> usize {
-    scale.pick(3948, 1024, 256, 64)
+    scale.pick(3948, 2048, 1024, 256, 64)
 }
 
 const QUEUE_LOCK: u32 = 0;

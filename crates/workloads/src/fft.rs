@@ -13,7 +13,7 @@ use lrc_sim::{AddressAllocator, Op};
 
 /// Number of complex points for `scale`.
 pub fn size(scale: Scale) -> usize {
-    scale.pick(65536, 16384, 4096, 1024)
+    scale.pick(65536, 32768, 16384, 4096, 1024)
 }
 
 const COMPLEX_BYTES: u64 = 16;

@@ -14,7 +14,7 @@ use lrc_sim::{AddressAllocator, Op};
 
 /// Matrix dimension for `scale`.
 pub fn size(scale: Scale) -> usize {
-    scale.pick(448, 224, 112, 48)
+    scale.pick(448, 320, 224, 112, 48)
 }
 
 /// Build the workload for `p` processors.

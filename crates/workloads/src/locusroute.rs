@@ -26,7 +26,7 @@ const QUEUE_LOCK: u32 = 0;
 
 /// Number of wires for `scale`.
 pub fn size(scale: Scale) -> usize {
-    scale.pick(3029, 1024, 256, 64)
+    scale.pick(3029, 2048, 1024, 256, 64)
 }
 
 /// Build the workload for `p` processors.

@@ -17,7 +17,7 @@ const CELL_BYTES: u64 = 64;
 
 /// `(particles, steps)` for `scale`.
 pub fn size(scale: Scale) -> (usize, usize) {
-    scale.pick((40000, 10), (10000, 5), (4000, 3), (1000, 2))
+    scale.pick((40000, 10), (20000, 8), (10000, 5), (4000, 3), (1000, 2))
 }
 
 /// Build the workload for `p` processors.

@@ -11,6 +11,9 @@ pub enum Scale {
     /// The paper's input sizes (448×448 matrices, 64K-point FFT, 4K bodies,
     /// 40K particles, ~3K wires/columns).
     Paper,
+    /// Sized for big machines (the 256-node mesh scaling runs): roughly
+    /// half the paper's work so a 16×16 mesh still has work per node.
+    Large,
     /// Roughly 1/4 the paper's work: minutes become seconds.
     Medium,
     /// Small inputs for fast benchmark iterations.
@@ -21,9 +24,10 @@ pub enum Scale {
 
 impl Scale {
     /// Pick among per-scale values.
-    pub fn pick<T: Copy>(self, paper: T, medium: T, small: T, tiny: T) -> T {
+    pub fn pick<T: Copy>(self, paper: T, large: T, medium: T, small: T, tiny: T) -> T {
         match self {
             Scale::Paper => paper,
+            Scale::Large => large,
             Scale::Medium => medium,
             Scale::Small => small,
             Scale::Tiny => tiny,
@@ -34,6 +38,7 @@ impl Scale {
     pub fn name(self) -> &'static str {
         match self {
             Scale::Paper => "paper",
+            Scale::Large => "large",
             Scale::Medium => "medium",
             Scale::Small => "small",
             Scale::Tiny => "tiny",
@@ -44,6 +49,7 @@ impl Scale {
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {
             "paper" | "full" => Some(Scale::Paper),
+            "large" => Some(Scale::Large),
             "medium" => Some(Scale::Medium),
             "small" => Some(Scale::Small),
             "tiny" => Some(Scale::Tiny),
@@ -58,15 +64,16 @@ mod tests {
 
     #[test]
     fn pick_selects_by_scale() {
-        assert_eq!(Scale::Paper.pick(1, 2, 3, 4), 1);
-        assert_eq!(Scale::Medium.pick(1, 2, 3, 4), 2);
-        assert_eq!(Scale::Small.pick(1, 2, 3, 4), 3);
-        assert_eq!(Scale::Tiny.pick(1, 2, 3, 4), 4);
+        assert_eq!(Scale::Paper.pick(1, 2, 3, 4, 5), 1);
+        assert_eq!(Scale::Large.pick(1, 2, 3, 4, 5), 2);
+        assert_eq!(Scale::Medium.pick(1, 2, 3, 4, 5), 3);
+        assert_eq!(Scale::Small.pick(1, 2, 3, 4, 5), 4);
+        assert_eq!(Scale::Tiny.pick(1, 2, 3, 4, 5), 5);
     }
 
     #[test]
     fn names_roundtrip() {
-        for s in [Scale::Paper, Scale::Medium, Scale::Small, Scale::Tiny] {
+        for s in [Scale::Paper, Scale::Large, Scale::Medium, Scale::Small, Scale::Tiny] {
             assert_eq!(Scale::parse(s.name()), Some(s));
         }
         assert_eq!(Scale::parse("nope"), None);

@@ -47,6 +47,20 @@ smoke=$(mktemp /tmp/bench_smoke.XXXXXX.json)
 grep -q '"schema": "lrc-bench-v1"' "$smoke"
 rm -f "$smoke"
 
+echo "==> parallel smoke: sharded engine vs sequential at tiny scale"
+# The sharded engine's contract is bit-identity, so the smoke check IS a
+# fingerprint cross-check: a threaded tiny-scale sweep (threads=1,2) whose
+# per-combo simulated cycle counts the harness asserts identical across
+# thread counts, plus the cross-protocol equivalence suite (full-statistics
+# fingerprints at 2/4/8 threads, adversarial strided partition, fault-plan
+# fallback, wedged-shard stall diagnosis).
+psmoke=$(mktemp /tmp/parallel_smoke.XXXXXX.json)
+./target/release/lrc-bench run --scale tiny --procs 16 --reps 1 \
+  --threads 1,2 --quiet --out "$psmoke"
+grep -q '"thread_sweep"' "$psmoke"
+rm -f "$psmoke"
+cargo test -q --test parallel_equiv
+
 echo "==> soak smoke: lrc-soak --smoke (fault injection + value verification)"
 # Tiny seeded chaos sweep: rates {0, 1e-3} x all four protocols, every run
 # checked against the reference SC execution and reproduced bit-identically,

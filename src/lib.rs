@@ -55,8 +55,8 @@ pub use lrc_workloads as workloads;
 /// Everything you need to configure and run a simulation.
 pub mod prelude {
     pub use lrc_core::{
-        Fault, FaultPlan, FaultRates, Machine, MsgClass, RunResult, StallDiagnosis, StallReason,
-        TraceFilter, TraceRecord,
+        try_run_sharded, Fault, FaultPlan, FaultRates, Machine, MsgClass, ParallelOptions,
+        Partition, RunResult, StallDiagnosis, StallReason, TraceFilter, TraceRecord,
     };
     pub use lrc_sim::{
         Breakdown, FaultStats, MachineConfig, MachineStats, MissClass, Op, Placement, ProcStats,

@@ -1,0 +1,204 @@
+//! Parallel-engine equivalence suite: the sharded conservative-PDES engine
+//! must produce **bit-identical** results to the sequential kernel — same
+//! cycle counts, same per-processor finish times, same traffic and miss
+//! totals — for every protocol, at every thread count, under any partition.
+//!
+//! This is the hard determinism requirement of the parallel engine: a
+//! parallel run is a different *schedule* of the same simulated history, not
+//! a different simulation. Anything observable diverging means the
+//! cross-shard channel layer or the canonical tie-break keying is broken.
+
+use lazy_rc::prelude::*;
+use lazy_rc::workloads::Scale;
+
+const PROCS: usize = 16;
+
+/// Condensed result fingerprint: totals plus per-processor detail, so a
+/// divergence anywhere in the machine shows up even when aggregate counters
+/// happen to collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fp {
+    total_cycles: u64,
+    events: u64,
+    finish_times: Vec<u64>,
+    refs: u64,
+    read_misses: u64,
+    write_misses: u64,
+    upgrades: u64,
+    lock_acquires: u64,
+    barriers: u64,
+    three_hop: u64,
+    control_msgs: u64,
+    data_msgs: u64,
+    write_data_msgs: u64,
+    bytes: u64,
+    pp_busy: Vec<u64>,
+    mem_busy: Vec<u64>,
+    breakdown_totals: Vec<u64>,
+}
+
+fn fp(r: &RunResult) -> Fp {
+    let s = &r.stats;
+    let traffic = s.aggregate_traffic();
+    Fp {
+        total_cycles: s.total_cycles,
+        events: r.events,
+        finish_times: s.procs.iter().map(|p| p.finish_time).collect(),
+        refs: s.total_refs(),
+        read_misses: s.procs.iter().map(|p| p.read_misses).sum(),
+        write_misses: s.procs.iter().map(|p| p.write_misses).sum(),
+        upgrades: s.procs.iter().map(|p| p.upgrades).sum(),
+        lock_acquires: s.procs.iter().map(|p| p.lock_acquires).sum(),
+        barriers: s.procs.iter().map(|p| p.barriers).sum(),
+        three_hop: s.procs.iter().map(|p| p.three_hop).sum(),
+        control_msgs: traffic.control_msgs,
+        data_msgs: traffic.data_msgs,
+        write_data_msgs: traffic.write_data_msgs,
+        bytes: traffic.bytes,
+        pp_busy: s.procs.iter().map(|p| p.pp_busy).collect(),
+        mem_busy: s.procs.iter().map(|p| p.mem_busy).collect(),
+        breakdown_totals: s.procs.iter().map(|p| p.breakdown.total()).collect(),
+    }
+}
+
+fn build(proto: Protocol) -> Machine {
+    Machine::new(MachineConfig::paper_default(PROCS), proto).with_max_cycles(50_000_000_000)
+}
+
+fn run_seq(proto: Protocol, kind: WorkloadKind, scale: Scale) -> Fp {
+    let r = build(proto).run(kind.build(PROCS, scale));
+    fp(&r)
+}
+
+fn run_par(proto: Protocol, kind: WorkloadKind, scale: Scale, opts: ParallelOptions) -> Fp {
+    let r = try_run_sharded(
+        &move || build(proto),
+        &move || kind.build(PROCS, scale),
+        &opts,
+    )
+    .expect("sharded run completed");
+    fp(&r)
+}
+
+fn assert_all_thread_counts_match(scale: Scale) {
+    for kind in [WorkloadKind::Mp3d, WorkloadKind::Gauss] {
+        for proto in Protocol::ALL {
+            let seq = run_seq(proto, kind, scale);
+            for threads in [2, 4, 8] {
+                let par = run_par(proto, kind, scale, ParallelOptions::threads(threads));
+                assert_eq!(
+                    par, seq,
+                    "{proto}/{kind:?} @ {threads} threads diverged from sequential"
+                );
+            }
+        }
+    }
+}
+
+/// The tentpole guarantee: all four protocols, at 2/4/8 threads, produce
+/// results bit-identical to the sequential kernel.
+#[test]
+fn sharded_matches_sequential_all_protocols_all_thread_counts() {
+    assert_all_thread_counts_match(Scale::Tiny);
+}
+
+/// The same matrix at `small` scale — minutes of single-core wall clock, so
+/// opt-in: `cargo test --release --test parallel_equiv -- --ignored`.
+#[test]
+#[ignore = "minutes-long: run with --release -- --ignored"]
+fn sharded_matches_sequential_small_scale() {
+    assert_all_thread_counts_match(Scale::Small);
+}
+
+/// Shard-boundary stress: the strided partition places neighboring node ids
+/// on different shards, so essentially every coherence interaction crosses
+/// a shard boundary. Results must still be bit-identical.
+#[test]
+fn adversarial_strided_partition_matches_sequential() {
+    for proto in Protocol::ALL {
+        let seq = run_seq(proto, WorkloadKind::Mp3d, Scale::Tiny);
+        for threads in [2, 4, 8] {
+            let opts = ParallelOptions { threads, partition: Partition::Strided };
+            let par = run_par(proto, WorkloadKind::Mp3d, Scale::Tiny, opts);
+            assert_eq!(
+                par, seq,
+                "{proto} strided @ {threads} threads diverged from sequential"
+            );
+        }
+    }
+}
+
+/// An active fault plan makes a configuration shard-ineligible (link-layer
+/// retransmission state is cross-node): `try_run_sharded` must fall back to
+/// the sequential kernel and still return its exact results.
+#[test]
+fn fault_plans_fall_back_to_sequential_and_match() {
+    let plan = || FaultPlan::uniform(0.005, 0xFEED);
+    for proto in Protocol::ALL {
+        let seq = {
+            let r = build(proto)
+                .with_fault_plan(plan())
+                .run(WorkloadKind::Mp3d.build(PROCS, Scale::Tiny));
+            fp(&r)
+        };
+        for threads in [2, 4, 8] {
+            let r = try_run_sharded(
+                &move || build(proto).with_fault_plan(plan()),
+                &move || WorkloadKind::Mp3d.build(PROCS, Scale::Tiny),
+                &ParallelOptions::threads(threads),
+            )
+            .expect("fault-plan run completed");
+            assert_eq!(
+                fp(&r),
+                seq,
+                "{proto} fault-plan fallback @ {threads} threads diverged"
+            );
+        }
+    }
+}
+
+/// A wedged shard must be diagnosed, not spun on forever: one processor
+/// blocks on a lock that is never released while the rest keep computing.
+/// The watchdog trips on the shard that owns the wedged node; the merged
+/// diagnosis names the processor and carries every shard's clock.
+#[test]
+fn wedged_shard_is_diagnosed_with_shard_clocks() {
+    let procs = 8;
+    let make_script = move || {
+        let mut streams = vec![
+            // P0 wedges: the lock is acquired by P1 and never released.
+            vec![Op::Compute(200), Op::Acquire(0)],
+            vec![Op::Acquire(0), Op::Compute(50)],
+        ];
+        for _ in 2..procs {
+            // The rest keep simulated time advancing well past the horizon.
+            streams.push(vec![Op::Compute(2000); 64]);
+        }
+        Box::new(Script::new("wedge", streams)) as _
+    };
+    let threads = 4;
+    let err = try_run_sharded(
+        &move || {
+            Machine::new(MachineConfig::paper_default(procs), Protocol::Sc)
+                .with_watchdog(5_000)
+                .with_max_cycles(50_000_000_000)
+        },
+        &make_script,
+        &ParallelOptions::threads(threads),
+    )
+    .expect_err("the wedged processor must trip the watchdog");
+    assert!(
+        matches!(err.reason, StallReason::ProcStallHorizon(_)),
+        "expected a stall-horizon diagnosis, got: {}",
+        err.reason
+    );
+    assert!(
+        err.stalled.iter().any(|s| s.proc == 0),
+        "diagnosis must name the wedged processor: {err}"
+    );
+    assert_eq!(
+        err.shard_clocks.len(),
+        threads,
+        "sharded diagnosis carries one clock per shard: {err}"
+    );
+}
