@@ -241,6 +241,26 @@ impl DirEntry {
         DirEntry::default()
     }
 
+    /// Rebuild an entry from checkpointed parts. Fails when the structural
+    /// invariants (writers ⊆ sharers, notified ⊆ sharers) do not hold —
+    /// corrupt checkpoints surface as typed errors, not debug panics.
+    pub fn from_parts(
+        sharers: NodeSet,
+        writers: NodeSet,
+        notified: NodeSet,
+        pending: Option<AckCollection>,
+        busy: bool,
+        overflow: bool,
+    ) -> Result<Self, String> {
+        if !(writers & !sharers).is_empty() {
+            return Err("directory entry: writers must be a subset of sharers".into());
+        }
+        if !(notified & !sharers).is_empty() {
+            return Err("directory entry: notified must be a subset of sharers".into());
+        }
+        Ok(DirEntry { sharers, writers, notified, pending, busy, overflow })
+    }
+
     /// Current derived state.
     pub fn state(&self) -> DirState {
         if self.sharers.is_empty() {

@@ -40,8 +40,9 @@ pub mod sync;
 pub use directory::{nodes_in, AckCollection, DirEntry, DirState, NodeSet};
 pub use machine::checker::StuckState;
 pub use machine::{
-    try_run_sharded, Fault, Machine, ParallelOptions, Partition, RunResult, SymbolicMemory,
-    Violation,
+    resume_sharded, try_run_sharded, try_run_sharded_until, Fault, Machine, MachineSnapshot,
+    ParallelOptions, Partition, RunResult, ShardedCheckpoint, ShardedRunOutcome, SnapshotError,
+    SnapshotRunError, SymbolicMemory, Violation, SNAPSHOT_VERSION,
 };
 pub use msg::{Msg, MsgKind, WriteGrant};
 // Fault-injection vocabulary, re-exported so harnesses need only lrc-core.

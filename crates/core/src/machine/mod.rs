@@ -20,13 +20,18 @@ pub(crate) mod obs;
 pub(crate) mod parallel;
 pub(crate) mod race;
 mod remote;
+pub(crate) mod snapshot;
 mod step;
 mod sync_ops;
 pub(crate) mod values;
 pub(crate) mod xmit;
 
 pub use invariants::Violation;
-pub use parallel::{try_run_sharded, ParallelOptions, Partition};
+pub use parallel::{
+    resume_sharded, try_run_sharded, try_run_sharded_until, ParallelOptions, Partition,
+    ShardedCheckpoint, ShardedRunOutcome, SnapshotRunError,
+};
+pub use snapshot::{MachineSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use values::SymbolicMemory;
 
 use crate::directory::DirEntry;
@@ -249,6 +254,16 @@ pub struct Machine {
     /// arbitrary order, so channel-FIFO delivery assumptions no longer hold
     /// (see [`Machine::delivery_reordering_possible`]).
     pub(crate) choice_driven: bool,
+    /// Events handled so far by [`Machine::run_until`] (drives the
+    /// watchdog/invariant cadence and `RunResult::events`). A field, not a
+    /// loop local, so a restored machine continues the count — and with it
+    /// the scan cadence — exactly where the checkpoint left off.
+    pub(crate) handled: u64,
+    /// Ops consumed from the workload per processor (`next_op` calls).
+    /// Checkpoints store these counts instead of workload internals: a
+    /// restore replays them against a fresh workload instance, which the
+    /// determinism contract of [`Workload::next_op`] makes exact.
+    pub(crate) ops_consumed: Vec<u64>,
 }
 
 impl Clone for Machine {
@@ -296,6 +311,8 @@ impl Clone for Machine {
             // Snapshots are checker state — always sequential.
             shard: None,
             choice_driven: self.choice_driven,
+            handled: self.handled,
+            ops_consumed: self.ops_consumed.clone(),
         }
     }
 }
@@ -363,6 +380,8 @@ impl Machine {
             ev_seq: vec![0; cfg.num_procs],
             shard: None,
             choice_driven: false,
+            handled: 0,
+            ops_consumed: vec![0; cfg.num_procs],
             cfg,
         }
     }
@@ -626,15 +645,44 @@ impl Machine {
     /// Like [`Machine::try_run`], but returns the machine alongside the
     /// result on success.
     pub fn try_run_keep(
-        mut self,
+        self,
         workload: Box<dyn Workload>,
     ) -> Result<(RunResult, Machine), Box<StallDiagnosis>> {
+        self.try_run_wedge(workload).map_err(|(diag, _)| diag)
+    }
+
+    /// Like [`Machine::try_run_keep`], but a stall also hands back the
+    /// wedged machine itself, so harnesses can checkpoint the exact state
+    /// the watchdog fired in (the chaos soak dumps it next to the wedge
+    /// report for offline replay).
+    pub fn try_run_wedge(
+        mut self,
+        workload: Box<dyn Workload>,
+    ) -> Result<(RunResult, Machine), (Box<StallDiagnosis>, Box<Machine>)> {
+        self.start_run(workload);
+        let run_started = std::time::Instant::now();
+        match self.run_until(Cycle::MAX) {
+            // The queue drained (or an event landed at `Cycle::MAX`, which
+            // `max_cycles` — capped well below — would have rejected first).
+            Ok(_) => {}
+            Err(diag) => return Err((diag, Box::new(self))),
+        }
+        self.finish_run(run_started)
+    }
+
+    /// Install `workload` and seed the event queue for a fresh run: one
+    /// `ProcStep` per processor at t=0, the flight recorder auto-armed for
+    /// at-risk runs, and the metrics sampler's first tick. Drive the run
+    /// with [`Machine::run_until`] and close it with
+    /// [`Machine::finish_run`]; [`Machine::try_run`] composes the three.
+    /// Restored checkpoints skip this — their queue already holds the
+    /// mid-run events.
+    pub fn start_run(&mut self, workload: Box<dyn Workload>) {
         assert_eq!(
             workload.num_procs(),
             self.cfg.num_procs,
             "workload built for a different processor count"
         );
-        let name = workload.name().to_string();
         self.workload = workload;
 
         for p in 0..self.cfg.num_procs {
@@ -642,17 +690,7 @@ impl Machine {
             self.push_ev(0, p, Event::ProcStep(p));
         }
 
-        // At-risk runs (watchdog, fault plan, finite resources) arm a
-        // default-depth flight recorder so any StallDiagnosis carries the
-        // events leading up to the stall. The recorder only observes —
-        // statistics and event order are untouched.
-        if self.watchdog.is_some() || self.xmit.is_some() || !self.cfg.resources.is_unbounded() {
-            let n = self.cfg.num_procs;
-            let o = self.obs_mut();
-            if o.recorder.is_none() {
-                o.recorder = Some(FlightRecorder::new(n, obs::DEFAULT_FLIGHT_CAP));
-            }
-        }
+        self.arm_default_recorder();
         // Seed the sampler's first tick only when one is configured, so an
         // unsampled run's event stream is bit-identical to builds without
         // the sampler.
@@ -660,38 +698,79 @@ impl Machine {
         {
             self.push_ev(iv, 0, Event::Sample);
         }
+    }
 
+    /// At-risk runs (watchdog, fault plan, finite resources) arm a
+    /// default-depth flight recorder so any StallDiagnosis carries the
+    /// events leading up to the stall. The recorder only observes —
+    /// statistics and event order are untouched. (Also used when restoring
+    /// a checkpoint, which stores no ring contents: the re-armed recorder
+    /// refills within `DEFAULT_FLIGHT_CAP` records.)
+    pub(crate) fn arm_default_recorder(&mut self) {
+        if self.watchdog.is_some() || self.xmit.is_some() || !self.cfg.resources.is_unbounded() {
+            let n = self.cfg.num_procs;
+            let o = self.obs_mut();
+            if o.recorder.is_none() {
+                o.recorder = Some(FlightRecorder::new(n, obs::DEFAULT_FLIGHT_CAP));
+            }
+        }
+    }
+
+    /// Drive the event loop until the queue drains or the next pending
+    /// event is at or past `limit` (which is left unpopped). Returns
+    /// `Ok(true)` when paused with events still pending, `Ok(false)` when
+    /// the queue drained — the pause point is a quiescent kernel state a
+    /// checkpoint can capture. Pausing does not disturb the run: resuming
+    /// with a higher limit replays the uninterrupted event order exactly.
+    pub fn run_until(&mut self, limit: Cycle) -> Result<bool, Box<StallDiagnosis>> {
         // How often (in handled events) the stall watchdog rescans the
         // processors: rare enough to stay off the hot path, frequent enough
         // that a livelock is caught within a sliver of its horizon.
         const WATCHDOG_SCAN_EVERY: u64 = 4096;
 
-        let run_started = std::time::Instant::now();
-        let mut handled: u64 = 0;
-        while let Some((t, ev)) = self.queue.pop() {
+        loop {
+            match self.queue.peek_time() {
+                None => return Ok(false),
+                Some(t) if t >= limit => return Ok(true),
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked non-empty");
             if t > self.max_cycles {
                 return Err(Box::new(
                     self.diagnose(StallReason::CycleHorizon(self.max_cycles), t),
                 ));
             }
             self.dispatch(t, ev);
-            handled += 1;
-            if self.watchdog.is_some() && handled.is_multiple_of(WATCHDOG_SCAN_EVERY) {
+            self.handled += 1;
+            if self.watchdog.is_some() && self.handled.is_multiple_of(WATCHDOG_SCAN_EVERY) {
                 if let Some(diag) = self.scan_stalls(t) {
                     return Err(Box::new(diag));
                 }
             }
-            if self.check_every != 0 && handled.is_multiple_of(self.check_every) {
+            if self.check_every != 0 && self.handled.is_multiple_of(self.check_every) {
+                let handled = self.handled;
                 self.check_invariants(&format!("event {handled} at t={t}"));
             }
         }
+    }
+
+    /// Close out a run whose queue has drained: end-of-run invariants, the
+    /// deadlock check, statistics finalization, and the [`RunResult`].
+    /// `run_started` anchors `sim_wall_secs`; a resumed run passes its own
+    /// resume instant, so the wall clock covers only the post-restore
+    /// segment (simulated results are unaffected).
+    pub fn finish_run(
+        mut self,
+        run_started: std::time::Instant,
+    ) -> Result<(RunResult, Machine), (Box<StallDiagnosis>, Box<Machine>)> {
         if self.check_every != 0 {
             self.check_invariants("end of run");
         }
 
         if self.finished != self.cfg.num_procs {
             let at = self.queue.now();
-            return Err(Box::new(self.diagnose(StallReason::Deadlock, at)));
+            let diag = self.diagnose(StallReason::Deadlock, at);
+            return Err((Box::new(diag), Box::new(self)));
         }
 
         self.collect_fault_stats();
@@ -716,9 +795,9 @@ impl Machine {
         let (ni_peak_ingress, ni_peak_egress) = self.net.ni_peaks();
         let result = RunResult {
             protocol: self.protocol,
-            workload: name,
+            workload: self.workload.name().to_string(),
             stats: self.stats.clone(),
-            events: handled,
+            events: self.handled,
             peak_queue_depth: self.queue.peak_len(),
             peak_queue_depths: vec![self.queue.peak_len()],
             sim_wall_secs: run_started.elapsed().as_secs_f64(),

@@ -98,6 +98,25 @@ impl ValueTracker {
         (mem, conflicts)
     }
 
+    /// Borrow the tracker's three components for checkpointing:
+    /// `(seq, home, unflushed)`. All `BTreeMap`s, so iteration is sorted
+    /// and two captures of equal trackers serialize identically.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn save_parts(
+        &self,
+    ) -> (&[u64], &SymbolicMemory, &BTreeMap<(ProcId, u64), BTreeMap<usize, WriteId>>) {
+        (&self.seq, &self.home, &self.unflushed)
+    }
+
+    /// Rebuild a tracker from checkpointed parts.
+    pub(crate) fn from_parts(
+        seq: Vec<u64>,
+        home: SymbolicMemory,
+        unflushed: BTreeMap<(ProcId, u64), BTreeMap<usize, WriteId>>,
+    ) -> Self {
+        ValueTracker { seq, home, unflushed }
+    }
+
     /// Fold the tracker state into a hasher (state fingerprinting).
     pub(crate) fn hash_into<H: std::hash::Hasher>(&self, h: &mut H) {
         use std::hash::Hash;

@@ -92,6 +92,26 @@ impl LockManager {
         out.sort_unstable_by_key(|&(l, ..)| l);
         out
     }
+
+    /// Exact checkpoint: like [`LockManager::snapshot`] (sorted by id,
+    /// idle locks omitted — an idle entry is behaviorally identical to an
+    /// absent one) but the waiter lists preserve FIFO order, which decides
+    /// future grants. Restorable via [`LockManager::restore`].
+    pub fn save_exact(&self) -> Vec<(LockId, Option<NodeId>, Vec<NodeId>)> {
+        self.snapshot()
+    }
+
+    /// Replace all lock state with a checkpoint from
+    /// [`LockManager::save_exact`].
+    pub fn restore(&mut self, locks: &[(LockId, Option<NodeId>, Vec<NodeId>)]) {
+        self.locks.clear();
+        for (l, holder, queue) in locks {
+            self.locks.insert(
+                *l,
+                LockState { holder: *holder, queue: queue.iter().copied().collect() },
+            );
+        }
+    }
 }
 
 /// State of all barriers homed at one node.
@@ -147,6 +167,31 @@ impl BarrierManager {
             .collect();
         out.sort_unstable_by_key(|&(b, _)| b);
         out
+    }
+
+    /// Exact checkpoint: sorted by barrier id, empty episodes omitted, but
+    /// each arrival list in **arrival order** (which fixes the release
+    /// broadcast order), unlike the fingerprint-oriented
+    /// [`BarrierManager::snapshot`]. Restorable via
+    /// [`BarrierManager::restore`].
+    pub fn save_exact(&self) -> Vec<(BarrierId, Vec<NodeId>)> {
+        let mut out: Vec<_> = self
+            .barriers
+            .iter()
+            .filter(|(_, s)| !s.arrived.is_empty())
+            .map(|(&b, s)| (b, s.arrived.clone()))
+            .collect();
+        out.sort_unstable_by_key(|&(b, _)| b);
+        out
+    }
+
+    /// Replace all barrier state with a checkpoint from
+    /// [`BarrierManager::save_exact`].
+    pub fn restore(&mut self, barriers: &[(BarrierId, Vec<NodeId>)]) {
+        self.barriers.clear();
+        for (b, arrived) in barriers {
+            self.barriers.insert(*b, BarrierState { arrived: arrived.clone() });
+        }
     }
 }
 

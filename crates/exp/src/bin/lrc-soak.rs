@@ -24,13 +24,23 @@
 //!
 //! ```text
 //! lrc-soak [--smoke] [--capacity-sweep] [--races] [--procs N] [--seeds N]
-//!          [--phases N] [--rates R1,R2,...] [--watchdog CYCLES] [--quiet]
+//!          [--phases N] [--rates R1,R2,...] [--watchdog CYCLES]
+//!          [--checkpoint-dir DIR] [--resume DIR] [--replay FILE] [--quiet]
 //! ```
 //!
 //! `--smoke` is the CI profile: tiny programs, rates {0, 1e-3}, one seed,
 //! all four protocols. The default profile sweeps rates {0, 1e-4, 1e-3}
 //! across three seeds. Exit status is non-zero on any verification failure
 //! or on a wedge at a recoverable rate.
+//!
+//! The fault-grid sweep is **crash-resumable**: `--checkpoint-dir DIR`
+//! journals each completed cell (atomically, after its verdict), and
+//! `--resume DIR` replays journaled cells without rerunning them — a
+//! sweep killed at any instant and resumed produces output and exit
+//! status identical to an uninterrupted one. A wedged cell auto-dumps the
+//! stalled machine's snapshot next to the journal with ready-to-paste
+//! `--replay` / `--resume` commands in the report; `--replay FILE`
+//! restores such a dump and reproduces the stall in isolation.
 //!
 //! `--capacity-sweep` replaces the fault grid with a *finite-resource* grid:
 //! NI queue depth × write-notice budget × protocol, fault-free. Every cell
@@ -49,9 +59,12 @@
 
 #![forbid(unsafe_code)]
 
-use lrc_core::{FaultPlan, FaultRates, Machine, MsgClass, StallDiagnosis};
+use lrc_core::{FaultPlan, FaultRates, Machine, MachineSnapshot, MsgClass, StallDiagnosis};
+use lrc_json::Value;
 use lrc_sim::refint;
 use lrc_sim::{MachineConfig, MachineStats, Op, Protocol, ResourceLimits, Rng, Script};
+use std::fs;
+use std::path::{Path, PathBuf};
 
 /// Locks protecting the shared region; shared line `l` belongs to lock
 /// `l % N_LOCKS`, and is only touched inside that lock's critical sections,
@@ -156,8 +169,10 @@ enum CellOutcome {
     Ok(Box<MachineStats>),
     /// Completed but failed value verification or reproduction.
     Failed(String),
-    /// Wedged with a structured diagnosis (a failure at recoverable rates).
-    Wedged(Box<StallDiagnosis>),
+    /// Wedged with a structured diagnosis (a failure at recoverable rates),
+    /// carrying the wedged machine itself so the caller can dump its
+    /// snapshot next to the report for offline replay.
+    Wedged(Box<StallDiagnosis>, Box<Machine>),
 }
 
 fn run_cell(
@@ -172,9 +187,9 @@ fn run_cell(
     let script = soak_script(seed, cfg.num_procs, phases, csecs, cfg);
     let plan = FaultPlan::uniform(rate, seed);
     let (first, m) =
-        match build(cfg, proto, plan.clone(), watchdog).try_run_keep(Box::new(script.clone())) {
+        match build(cfg, proto, plan.clone(), watchdog).try_run_wedge(Box::new(script.clone())) {
             Ok(pair) => pair,
-            Err(diag) => return CellOutcome::Wedged(diag),
+            Err((diag, wedged)) => return CellOutcome::Wedged(diag, wedged),
         };
     if let Err(e) = verify_values(&m, &script) {
         return CellOutcome::Failed(e);
@@ -206,9 +221,9 @@ fn capacity_cell(
             .with_watchdog(watchdog)
             .with_max_cycles(50_000_000_000)
     };
-    let (first, m) = match build().try_run_keep(Box::new(script.clone())) {
+    let (first, m) = match build().try_run_wedge(Box::new(script.clone())) {
         Ok(pair) => pair,
-        Err(diag) => return CellOutcome::Wedged(diag),
+        Err((diag, wedged)) => return CellOutcome::Wedged(diag, wedged),
     };
     if let Err(e) = verify_values(&m, &script) {
         return CellOutcome::Failed(e);
@@ -280,7 +295,7 @@ fn capacity_sweep(
                             failures += 1;
                             eprintln!("FAIL {tag}: {e}");
                         }
-                        CellOutcome::Wedged(diag) => {
+                        CellOutcome::Wedged(diag, _) => {
                             failures += 1;
                             eprintln!("FAIL {tag}: wedged under finite capacities: {diag}");
                         }
@@ -403,40 +418,244 @@ fn races_sweep(base: &MachineConfig, smoke: bool, watchdog: u64, quiet: bool) ->
 /// The unrecoverable stage: drop messages with retries disabled, and
 /// require the failure mode to be a structured diagnosis that names the
 /// abandoned deliveries — never a hang, never silent completion with wrong
-/// values. Returns an error description if no seed produced a wedge or a
-/// wedge was malformed.
-fn unrecoverable_stage(cfg: &MachineConfig, phases: usize, csecs: usize, quiet: bool) -> Result<(), String> {
+/// values. The wedged machine's snapshot is dumped into `dump_dir` with a
+/// ready-to-paste replay command, demonstrating the stall artifact chain
+/// end to end. Returns the stage's report block on success, an error
+/// description if no seed produced a wedge or a wedge was malformed.
+fn unrecoverable_stage(
+    cfg: &MachineConfig,
+    phases: usize,
+    csecs: usize,
+    dump_dir: &Path,
+) -> Result<String, String> {
     let mut lossy = FaultPlan::off(0);
     lossy.rates = [FaultRates { drop: 0.25, ..FaultRates::default() }; MsgClass::COUNT];
     lossy.max_retries = 0;
     for seed in 1..=5u64 {
         let script = soak_script(seed, cfg.num_procs, phases, csecs, cfg);
         let plan = FaultPlan { seed, ..lossy.clone() };
-        match build(cfg, Protocol::Lrc, plan, 2_000_000).try_run(Box::new(script)) {
+        match build(cfg, Protocol::Lrc, plan, 2_000_000).try_run_wedge(Box::new(script)) {
             Ok(_) => continue, // this seed got lucky; try the next
-            Err(diag) => {
+            Err((diag, wedged)) => {
                 if diag.abandoned_msgs.is_empty() {
                     return Err(format!(
                         "wedge without abandoned deliveries in the diagnosis: {diag}"
                     ));
                 }
-                if !quiet {
-                    eprintln!(
-                        "  unrecoverable stage (seed {seed}): {} — {} abandoned deliveries, \
-                         e.g. {}",
-                        match diag.reason {
-                            lrc_core::StallReason::Deadlock => "deadlock".to_string(),
-                            ref r => format!("{r:?}"),
-                        },
-                        diag.abandoned_msgs.len(),
-                        diag.abandoned_msgs[0]
-                    );
+                let mut line = format!(
+                    "  unrecoverable stage (seed {seed}): {} — {} abandoned deliveries, \
+                     e.g. {}\n",
+                    match diag.reason {
+                        lrc_core::StallReason::Deadlock => "deadlock".to_string(),
+                        ref r => format!("{r:?}"),
+                    },
+                    diag.abandoned_msgs.len(),
+                    diag.abandoned_msgs[0]
+                );
+                let key = format!("unrecoverable-seed{seed}");
+                match dump_wedge(dump_dir, &key, &wedged, seed, phases, csecs) {
+                    Ok(p) => line.push_str(&format!(
+                        "      stall snapshot: {}\n      replay: lrc-soak --replay {}\n",
+                        p.display(),
+                        p.display()
+                    )),
+                    Err(e) => line.push_str(&format!("      (stall snapshot not written: {e})\n")),
                 }
-                return Ok(());
+                return Ok(line);
             }
         }
     }
     Err("25% loss with retries disabled never wedged in 5 seeds".into())
+}
+
+/// One finished cell as the sweep journal records it: the verdict, the
+/// exact stderr block the cell emitted, and the counter deltas it
+/// contributed — everything a `--resume` needs to reconstitute the cell
+/// without rerunning it, byte-identically.
+struct CellRecord {
+    ok: bool,
+    line: String,
+    injected: u64,
+    retries: u64,
+}
+
+impl CellRecord {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("outcome".to_string(), Value::Str(if self.ok { "ok" } else { "fail" }.to_string())),
+            ("injected".to_string(), Value::Str(self.injected.to_string())),
+            ("retries".to_string(), Value::Str(self.retries.to_string())),
+            ("line".to_string(), Value::Str(self.line.clone())),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<CellRecord> {
+        Some(CellRecord {
+            ok: match v["outcome"].as_str()? {
+                "ok" => true,
+                "fail" => false,
+                _ => return None,
+            },
+            injected: v["injected"].as_str()?.parse().ok()?,
+            retries: v["retries"].as_str()?.parse().ok()?,
+            line: v["line"].as_str()?.to_string(),
+        })
+    }
+}
+
+/// The crash-resumable sweep journal: one marker file per completed cell,
+/// written atomically (tmp + rename) *after* the cell's verdict, so a kill
+/// at any instant leaves either a complete marker or none. A torn or
+/// unparseable marker is treated as absent — the cell simply reruns.
+struct Journal {
+    dir: PathBuf,
+}
+
+impl Journal {
+    fn open(dir: &str) -> Journal {
+        fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("cannot create checkpoint dir {dir}: {e}")));
+        Journal { dir: PathBuf::from(dir) }
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("cell-{key}.json"))
+    }
+
+    fn load(&self, key: &str) -> Option<CellRecord> {
+        let text = fs::read_to_string(self.path(key)).ok()?;
+        CellRecord::from_json(&lrc_json::parse(&text).ok()?)
+    }
+
+    fn store(&self, key: &str, rec: &CellRecord) {
+        let tmp = self.dir.join(format!(".cell-{key}.json.tmp"));
+        let write = fs::write(&tmp, rec.to_json().pretty())
+            .and_then(|()| fs::rename(&tmp, self.path(key)));
+        if let Err(e) = write {
+            eprintln!("lrc-soak: warning: checkpoint marker for {key} not written: {e}");
+        }
+    }
+
+    /// Pin the sweep shape the journal was created for. A `--resume` under
+    /// different parameters would silently skip cells that mean something
+    /// else, so a mismatch is fatal.
+    fn check_manifest(&self, manifest: &Value) {
+        let path = self.dir.join("sweep.json");
+        let want = manifest.pretty();
+        match fs::read_to_string(&path) {
+            Ok(have) if have == want => {}
+            Ok(_) => die(&format!(
+                "checkpoint dir {} was written by a sweep with different \
+                 parameters; pass the original flags or use a fresh dir",
+                self.dir.display()
+            )),
+            Err(_) => {
+                let tmp = self.dir.join(".sweep.json.tmp");
+                let write =
+                    fs::write(&tmp, &want).and_then(|()| fs::rename(&tmp, &path));
+                if let Err(e) = write {
+                    eprintln!("lrc-soak: warning: sweep manifest not written: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Dump a wedged machine's snapshot, wrapped in an envelope carrying the
+/// generator parameters needed to rebuild its workload, so
+/// `lrc-soak --replay FILE` can restore the exact pre-stall state.
+fn dump_wedge(
+    dir: &Path,
+    key: &str,
+    m: &Machine,
+    seed: u64,
+    phases: usize,
+    csecs: usize,
+) -> Result<PathBuf, String> {
+    let snap = m.snapshot().map_err(|e| format!("snapshot refused: {e}"))?;
+    let snap_v =
+        lrc_json::parse(&snap.to_json_string()).map_err(|e| format!("snapshot reparse: {e}"))?;
+    let env = Value::Object(vec![
+        ("kind".to_string(), Value::Str("lrc-soak-wedge".to_string())),
+        (
+            "script".to_string(),
+            Value::Object(vec![
+                ("seed".to_string(), Value::Str(seed.to_string())),
+                ("phases".to_string(), Value::Num(phases as f64)),
+                ("csecs".to_string(), Value::Num(csecs as f64)),
+            ]),
+        ),
+        ("snapshot".to_string(), snap_v),
+    ]);
+    fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let path = dir.join(format!("wedge-{key}.json"));
+    let tmp = dir.join(format!(".wedge-{key}.json.tmp"));
+    fs::write(&tmp, env.pretty()).map_err(|e| e.to_string())?;
+    fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
+    Ok(path)
+}
+
+/// `--replay FILE`: restore a wedge dump and drive it forward. Exit 0 when
+/// the stall reproduces (the dump captured a genuinely wedged state), 1
+/// when the run completes instead.
+fn replay(file: &str, quiet: bool) -> ! {
+    let fail = |msg: String| -> ! {
+        eprintln!("lrc-soak --replay: {msg}");
+        std::process::exit(2)
+    };
+    let text = fs::read_to_string(file).unwrap_or_else(|e| fail(format!("read {file}: {e}")));
+    let env = lrc_json::parse(&text).unwrap_or_else(|e| fail(format!("parse {file}: {e}")));
+    if env["kind"].as_str() != Some("lrc-soak-wedge") {
+        fail(format!("{file} is not an lrc-soak wedge dump"));
+    }
+    let seed: u64 = env["script"]["seed"]
+        .as_str()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fail("wedge dump has no script seed".to_string()));
+    let phases = env["script"]["phases"]
+        .as_u64()
+        .unwrap_or_else(|| fail("wedge dump has no phase count".to_string()))
+        as usize;
+    let csecs = env["script"]["csecs"]
+        .as_u64()
+        .unwrap_or_else(|| fail("wedge dump has no csec count".to_string()))
+        as usize;
+    let snap = MachineSnapshot::parse(&env["snapshot"].pretty())
+        .unwrap_or_else(|e| fail(format!("embedded snapshot: {e}")));
+    let cfg = snap
+        .config()
+        .unwrap_or_else(|| fail("embedded snapshot carries no machine config".to_string()));
+    let script = soak_script(seed, cfg.num_procs, phases, csecs, &cfg);
+    let mut m = snap
+        .restore(Box::new(script))
+        .unwrap_or_else(|e| fail(format!("restore: {e}")));
+    if !quiet {
+        eprintln!(
+            "lrc-soak --replay: restored {file} at cycle {} ({} procs, seed {seed})",
+            snap.cycle(),
+            cfg.num_procs
+        );
+    }
+    let started = std::time::Instant::now();
+    match m.run_until(u64::MAX) {
+        Err(diag) => {
+            eprintln!("lrc-soak --replay: wedge reproduced: {diag}");
+            std::process::exit(0)
+        }
+        Ok(_) => match m.finish_run(started) {
+            Err((diag, _)) => {
+                eprintln!("lrc-soak --replay: wedge reproduced: {diag}");
+                std::process::exit(0)
+            }
+            Ok((r, _)) => {
+                eprintln!(
+                    "lrc-soak --replay: run completed without wedging ({} cycles)",
+                    r.stats.total_cycles
+                );
+                std::process::exit(1)
+            }
+        },
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -455,6 +674,9 @@ fn main() {
     let mut phases: Option<usize> = None;
     let mut rates: Option<Vec<f64>> = None;
     let mut watchdog = 10_000_000u64;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
+    let mut replay_file: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -495,13 +717,34 @@ fn main() {
                 watchdog =
                     v.parse().unwrap_or_else(|_| die(&format!("--watchdog: invalid cycles '{v}'")));
             }
+            "--checkpoint-dir" => {
+                let v = value(&mut i, "--checkpoint-dir");
+                if checkpoint_dir.as_ref().is_some_and(|d| *d != v) {
+                    die("--checkpoint-dir conflicts with an earlier --resume/--checkpoint-dir");
+                }
+                checkpoint_dir = Some(v);
+            }
+            "--resume" => {
+                let v = value(&mut i, "--resume");
+                if checkpoint_dir.as_ref().is_some_and(|d| *d != v) {
+                    die("--resume conflicts with an earlier --resume/--checkpoint-dir");
+                }
+                checkpoint_dir = Some(v);
+                resume = true;
+            }
+            "--replay" => replay_file = Some(value(&mut i, "--replay")),
             other => die(&format!(
                 "unknown argument '{other}' \
                  (usage: lrc-soak [--smoke] [--capacity-sweep] [--races] [--procs N] \
-                 [--seeds N] [--phases N] [--rates R1,R2,...] [--watchdog CYCLES] [--quiet])"
+                 [--seeds N] [--phases N] [--rates R1,R2,...] [--watchdog CYCLES] \
+                 [--checkpoint-dir DIR] [--resume DIR] [--replay FILE] [--quiet])"
             )),
         }
         i += 1;
+    }
+
+    if let Some(file) = replay_file {
+        replay(&file, quiet);
     }
 
     let procs = procs.unwrap_or(if smoke { 4 } else { 8 });
@@ -510,6 +753,22 @@ fn main() {
     let csecs = if smoke { 4 } else { 8 };
     let rates = rates.unwrap_or(if smoke { vec![0.0, 1e-3] } else { vec![0.0, 1e-4, 1e-3] });
     let cfg = MachineConfig::paper_default(procs);
+
+    let journal = checkpoint_dir.as_deref().map(Journal::open);
+    if let Some(j) = &journal {
+        j.check_manifest(&Value::Object(vec![
+            ("procs".to_string(), Value::Num(procs as f64)),
+            ("seeds".to_string(), Value::Num(seeds as f64)),
+            ("phases".to_string(), Value::Num(phases as f64)),
+            ("csecs".to_string(), Value::Num(csecs as f64)),
+            ("watchdog".to_string(), Value::Str(watchdog.to_string())),
+            ("rates".to_string(), Value::Array(rates.iter().map(|&r| Value::Num(r)).collect())),
+        ]));
+    }
+    // Wedge snapshots land next to the journal when one exists, else in
+    // the working directory — the stall artifact is always written.
+    let dump_dir: PathBuf =
+        journal.as_ref().map(|j| j.dir.clone()).unwrap_or_else(|| PathBuf::from("."));
 
     if races {
         if !quiet {
@@ -553,57 +812,133 @@ fn main() {
     let mut failures = 0usize;
     let mut total_injected = 0u64;
     let mut total_retries = 0u64;
+    // Emit one journaled record per cell: resumed cells replay their
+    // recorded verdict (and exact output) without rerunning, fresh cells
+    // run and then persist theirs — so a killed-midway sweep resumed with
+    // `--resume DIR` produces output and exit status identical to an
+    // uninterrupted sweep.
+    let settle = |rec: CellRecord,
+                      key: &str,
+                      fresh: bool,
+                      failures: &mut usize,
+                      total_injected: &mut u64,
+                      total_retries: &mut u64| {
+        if rec.ok {
+            *total_injected += rec.injected;
+            *total_retries += rec.retries;
+            if !quiet {
+                eprint!("{}", rec.line);
+            }
+        } else {
+            *failures += 1;
+            eprint!("{}", rec.line);
+        }
+        if fresh {
+            if let Some(j) = &journal {
+                j.store(key, &rec);
+            }
+        }
+    };
     for &rate in &rates {
         for &proto in &Protocol::ALL {
             for seed in 1..=seeds {
                 cells += 1;
-                match run_cell(&cfg, proto, rate, seed, phases, csecs, watchdog) {
-                    CellOutcome::Ok(stats) => {
-                        if rate == 0.0 && !stats.faults.is_zero() {
-                            failures += 1;
-                            eprintln!(
-                                "FAIL {proto:<8} rate={rate:<7} seed={seed}: \
-                                 faults injected at rate 0: {:?}",
-                                stats.faults
-                            );
-                            continue;
-                        }
-                        total_injected += stats.faults.injected();
-                        total_retries += stats.faults.retries;
-                        if !quiet {
-                            eprintln!(
-                                "  ok {proto:<8} rate={rate:<7} seed={seed}  \
-                                 {:>10} cycles  {:>7} refs  {:>4} faults  {:>4} retries",
-                                stats.total_cycles,
-                                stats.total_refs(),
-                                stats.faults.injected(),
-                                stats.faults.retries,
-                            );
-                        }
-                    }
-                    CellOutcome::Failed(e) => {
-                        failures += 1;
-                        eprintln!("FAIL {proto:<8} rate={rate:<7} seed={seed}: {e}");
-                    }
-                    CellOutcome::Wedged(diag) => {
-                        failures += 1;
-                        eprintln!(
-                            "FAIL {proto:<8} rate={rate:<7} seed={seed}: wedged at a \
-                             recoverable rate: {diag}"
-                        );
+                let key = format!("rate{rate}-{}-seed{seed}", proto.name());
+                if resume {
+                    if let Some(rec) = journal.as_ref().and_then(|j| j.load(&key)) {
+                        settle(rec, &key, false, &mut failures, &mut total_injected, &mut total_retries);
+                        continue;
                     }
                 }
+                let rec = match run_cell(&cfg, proto, rate, seed, phases, csecs, watchdog) {
+                    CellOutcome::Ok(stats) => {
+                        if rate == 0.0 && !stats.faults.is_zero() {
+                            CellRecord {
+                                ok: false,
+                                line: format!(
+                                    "FAIL {proto:<8} rate={rate:<7} seed={seed}: \
+                                     faults injected at rate 0: {:?}\n",
+                                    stats.faults
+                                ),
+                                injected: 0,
+                                retries: 0,
+                            }
+                        } else {
+                            CellRecord {
+                                ok: true,
+                                line: format!(
+                                    "  ok {proto:<8} rate={rate:<7} seed={seed}  \
+                                     {:>10} cycles  {:>7} refs  {:>4} faults  {:>4} retries\n",
+                                    stats.total_cycles,
+                                    stats.total_refs(),
+                                    stats.faults.injected(),
+                                    stats.faults.retries,
+                                ),
+                                injected: stats.faults.injected(),
+                                retries: stats.faults.retries,
+                            }
+                        }
+                    }
+                    CellOutcome::Failed(e) => CellRecord {
+                        ok: false,
+                        line: format!("FAIL {proto:<8} rate={rate:<7} seed={seed}: {e}\n"),
+                        injected: 0,
+                        retries: 0,
+                    },
+                    CellOutcome::Wedged(diag, wedged) => {
+                        let mut line = format!(
+                            "FAIL {proto:<8} rate={rate:<7} seed={seed}: wedged at a \
+                             recoverable rate: {diag}\n"
+                        );
+                        // The stall artifact chain, right next to the
+                        // flight-recorder tail the diagnosis carries:
+                        // the dumped snapshot and the commands that
+                        // restore it (replay) or finish the sweep
+                        // around it (resume).
+                        match dump_wedge(&dump_dir, &key, &wedged, seed, phases, csecs) {
+                            Ok(p) => {
+                                line.push_str(&format!(
+                                    "      stall snapshot: {}\n      replay: lrc-soak --replay {}\n",
+                                    p.display(),
+                                    p.display()
+                                ));
+                                if journal.is_some() {
+                                    line.push_str(&format!(
+                                        "      resume sweep: lrc-soak --resume {}\n",
+                                        dump_dir.display()
+                                    ));
+                                }
+                            }
+                            Err(e) => line.push_str(&format!(
+                                "      (stall snapshot not written: {e})\n"
+                            )),
+                        }
+                        CellRecord { ok: false, line, injected: 0, retries: 0 }
+                    }
+                };
+                settle(rec, &key, true, &mut failures, &mut total_injected, &mut total_retries);
             }
         }
     }
 
-    match unrecoverable_stage(&cfg, phases, csecs, quiet) {
-        Ok(()) => {}
-        Err(e) => {
-            failures += 1;
-            eprintln!("FAIL unrecoverable stage: {e}");
-        }
-    }
+    let ukey = "unrecoverable";
+    let resumed = if resume { journal.as_ref().and_then(|j| j.load(ukey)) } else { None };
+    let (urec, fresh) = match resumed {
+        Some(rec) => (rec, false),
+        None => (
+            match unrecoverable_stage(&cfg, phases, csecs, &dump_dir) {
+                Ok(line) => CellRecord { ok: true, line, injected: 0, retries: 0 },
+                Err(e) => CellRecord {
+                    ok: false,
+                    line: format!("FAIL unrecoverable stage: {e}\n"),
+                    injected: 0,
+                    retries: 0,
+                },
+            },
+            true,
+        ),
+    };
+    settle(urec, ukey, fresh, &mut failures, &mut total_injected, &mut total_retries);
 
     if failures > 0 {
         eprintln!("lrc-soak: {failures}/{cells} cells FAILED");

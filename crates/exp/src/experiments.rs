@@ -8,11 +8,11 @@
 use crate::paper_ref;
 use crate::report::{bar, miss_pct, ratio, Report, Table};
 use crate::runner::{Runner, RunSpec};
-use lrc_core::{Machine, RunResult, TraceFilter};
+use lrc_core::{FaultPlan, Machine, MsgClass, RunResult, TraceFilter};
 use lrc_sim::{table1_rows, MachineConfig, MissClass, Protocol};
 use lrc_trace::export;
 use lrc_workloads::{quality_experiment, Scale, WorkloadKind};
-use lrc_json::{json, ToJson};
+use lrc_json::{json, ToJson, Value};
 
 /// Shared experiment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -637,10 +637,130 @@ pub fn observe(_r: &Runner, p: Params) -> Report {
     }
 }
 
+/// Snapshot-forked divergence hunt. One machine per protocol is warmed to
+/// a fixed cycle and frozen into a [`lrc_core::MachineSnapshot`]; that one
+/// frozen state is then forked into a baseline continuation (link layer
+/// armed, faults never fire) and several fault-plan continuations.
+/// Architectural-state fingerprints are compared at aligned cycles to
+/// locate the first point a faulted history separates from the baseline.
+/// The warmup is simulated exactly once per protocol — every fork
+/// fast-forwards into the warm state through the snapshot's workload
+/// replay instead of re-simulating it.
+pub fn diverge(_r: &Runner, p: Params) -> Report {
+    let workload = WorkloadKind::Mp3d;
+    let (warmup, stride) = if p.scale == Scale::Tiny { (4_000u64, 1_000u64) } else {
+        (50_000u64, 10_000u64)
+    };
+    let steps = 8u64;
+    let rates = [1e-4, 1e-3, 1e-2];
+    let seed = 0xD1CE;
+
+    let mut t = Table::new(vec!["Protocol", "Fork", "First divergence", "Cycles after fork"]);
+    let mut rows = Vec::new();
+    for proto in Protocol::ALL {
+        // Warm up once, then freeze.
+        let mut m = Machine::new(MachineConfig::paper_default(p.procs), proto)
+            .with_max_cycles(200_000_000_000);
+        m.start_run(workload.build(p.procs, p.scale));
+        let running = m.run_until(warmup).expect("warmup must not stall");
+        assert!(running, "workload finished before the warmup cycle; shrink the warmup");
+        let snap = m.snapshot().expect("warmup snapshot");
+        drop(m);
+
+        let fork = || snap.restore(workload.build(p.procs, p.scale)).expect("fork restores");
+        // The baseline fork carries a plan that arms the link layer
+        // (framing, ACKs, retry timers) but can never fire: any active
+        // plan reshapes timing through that machinery alone, so comparing
+        // a faulted fork against a *bare* baseline would measure the cost
+        // of fault tolerance, not the faults. Against this null plan, the
+        // first fingerprint divergence isolates the injected faults.
+        let null_plan = FaultPlan {
+            drop_nth: Some((MsgClass::Request, u64::MAX)),
+            ..FaultPlan::off(seed)
+        };
+        let base =
+            fingerprint_stream(fork().with_fault_plan(null_plan), warmup, stride, steps);
+        for &rate in &rates {
+            let faulted = fork().with_fault_plan(FaultPlan::uniform(rate, seed));
+            let stream = fingerprint_stream(faulted, warmup, stride, steps);
+            let first = (0..steps as usize).find(|&i| stream[i] != base[i]);
+            let (at_cell, after_cell) = match first {
+                Some(i) => {
+                    let lag = (i as u64 + 1) * stride;
+                    (format!("<= cycle {}", warmup + lag), format!("<= {lag}"))
+                }
+                None => ("none within horizon".into(), "-".into()),
+            };
+            t.row(vec![proto.name().into(), format!("faults {rate}"), at_cell, after_cell]);
+            rows.push(json!({
+                "protocol": proto.name(),
+                "rate": rate,
+                "first_divergence": match first {
+                    Some(i) => Value::from(warmup + (i as u64 + 1) * stride),
+                    None => Value::Null,
+                },
+            }));
+        }
+    }
+    let text = format!(
+        "{}\nEach protocol simulated its warmup once, frozen at cycle {warmup}; {} forks \
+         (1 baseline + {} fault plans) fast-forwarded from the same snapshot.\n\
+         Fingerprints cover processors, caches, buffers, and the directory — fault\n\
+         machinery is excluded, so only genuine simulated-state divergence registers.\n",
+        t.render(),
+        rates.len() + 1,
+        rates.len(),
+    );
+    Report {
+        id: "diverge".into(),
+        title: "Snapshot-forked divergence: first cycle a faulted fork departs its baseline"
+            .into(),
+        text,
+        json: json!({
+            "workload": workload.name(),
+            "scale": p.scale.name(),
+            "procs": p.procs,
+            "warmup": warmup,
+            "stride": stride,
+            "steps": steps,
+            "fault_seed": seed,
+            "rows": rows,
+        }),
+    }
+}
+
+/// Architectural-state fingerprints at `steps` aligned cycles past
+/// `warmup`: an FNV-1a hash over the snapshot serialization of the
+/// machine's simulated state (workload progress, nodes, directory, parked
+/// set, page homes, busy slots). Fault counters, the injector, and
+/// link-layer retry state are deliberately left out of the hash so a
+/// faulted fork only "diverges" once the simulated history itself departs,
+/// not merely because a fault plan is attached.
+fn fingerprint_stream(mut m: Machine, warmup: u64, stride: u64, steps: u64) -> Vec<u64> {
+    (1..=steps)
+        .map(|i| {
+            let target = warmup + i * stride;
+            if let Err(diag) = m.run_until(target) {
+                panic!("fork stalled before cycle {target}: {diag}");
+            }
+            let snap = m.snapshot().expect("fork fingerprint snapshot");
+            let doc = lrc_json::parse(&snap.to_json_string()).expect("snapshot reparses");
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for key in ["workload", "nodes", "dir", "parked", "page_home", "busy_info"] {
+                for b in doc[key].dump().bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            h
+        })
+        .collect()
+}
+
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 16] = [
+pub const ALL_IDS: [&str; 17] = [
     "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "sweep",
-    "quality", "traffic", "scaling", "ablate", "fences", "observe",
+    "quality", "traffic", "scaling", "ablate", "fences", "observe", "diverge",
 ];
 
 /// Run an experiment by id.
@@ -662,6 +782,7 @@ pub fn run_by_id(id: &str, r: &Runner, p: Params) -> Option<Report> {
         "ablate" => crate::ablate::ablate(p),
         "fences" => crate::ablate::fences(p),
         "observe" => observe(r, p),
+        "diverge" => diverge(r, p),
         _ => return None,
     })
 }
@@ -708,5 +829,23 @@ mod tests {
         let r = Runner::new(0, false);
         assert!(run_by_id("table1", &r, tiny()).is_some());
         assert!(run_by_id("nope", &r, tiny()).is_none());
+    }
+
+    /// The divergence hunt forks one snapshot per protocol: every
+    /// (protocol, rate) pair reports a row, and a faulted fork never
+    /// diverges *before* the fork point.
+    #[test]
+    fn diverge_reports_every_fork() {
+        let r = Runner::new(1, false);
+        let rep = diverge(&r, tiny());
+        let rows = rep.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), Protocol::ALL.len() * 3);
+        let warmup = rep.json["warmup"].as_u64().unwrap();
+        for row in rows {
+            let d = &row["first_divergence"];
+            if let Some(c) = d.as_u64() {
+                assert!(c > warmup, "divergence at {c} not after fork point {warmup}");
+            }
+        }
     }
 }

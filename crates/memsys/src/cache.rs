@@ -300,6 +300,28 @@ impl Cache {
         })
     }
 
+    /// Checkpoint the full slot array in storage order, vacant slots
+    /// included, as `(line, state, dirty_words, stamp)` tuples, plus the
+    /// LRU tick. Slot *positions* matter (victim choice scans the set in
+    /// storage order), so unlike [`Cache::iter`] this listing is exact.
+    pub fn save_slots(&self) -> (Vec<(LineAddr, LineState, u64, u64)>, u64) {
+        (self.slots.iter().map(|s| (s.line, s.state, s.dirty_words, s.stamp)).collect(), self.tick)
+    }
+
+    /// Restore a checkpoint taken by [`Cache::save_slots`] into a cache of
+    /// identical geometry. Returns false (cache unchanged) on a slot-count
+    /// mismatch.
+    pub fn restore_slots(&mut self, slots: &[(LineAddr, LineState, u64, u64)], tick: u64) -> bool {
+        if slots.len() != self.slots.len() {
+            return false;
+        }
+        for (dst, &(line, state, dirty_words, stamp)) in self.slots.iter_mut().zip(slots) {
+            *dst = Slot { line, state, dirty_words, stamp };
+        }
+        self.tick = tick;
+        true
+    }
+
     /// Geometry accessor: number of sets.
     pub fn num_sets(&self) -> usize {
         self.num_sets

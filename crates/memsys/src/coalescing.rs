@@ -123,6 +123,18 @@ impl CoalescingBuffer {
     pub fn iter(&self) -> impl Iterator<Item = &CbEntry> {
         self.entries.iter()
     }
+
+    /// Replace the buffered entries with a checkpointed FIFO listing
+    /// (oldest first). Returns false (buffer unchanged) if the listing
+    /// exceeds capacity.
+    pub fn restore_entries(&mut self, entries: &[CbEntry]) -> bool {
+        if entries.len() > self.capacity {
+            return false;
+        }
+        self.entries.clear();
+        self.entries.extend(entries.iter().copied());
+        true
+    }
 }
 
 #[cfg(test)]

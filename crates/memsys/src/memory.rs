@@ -39,6 +39,12 @@ impl TimedResource {
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
     }
+
+    /// Restore checkpointed occupancy state.
+    pub fn restore(&mut self, free_at: Cycle, busy_cycles: u64) {
+        self.free_at = free_at;
+        self.busy_cycles = busy_cycles;
+    }
 }
 
 impl Default for TimedResource {
@@ -95,6 +101,17 @@ impl MemoryModule {
     pub fn busy_cycles(&self) -> u64 {
         self.resource.busy_cycles()
     }
+
+    /// Earliest time a new access could start (checkpointing).
+    pub fn free_at(&self) -> Cycle {
+        self.resource.free_at()
+    }
+
+    /// Restore checkpointed occupancy state and access count.
+    pub fn restore(&mut self, free_at: Cycle, busy_cycles: u64, accesses: u64) {
+        self.resource.restore(free_at, busy_cycles);
+        self.accesses = accesses;
+    }
 }
 
 /// One node's local bus (cache-fill path).
@@ -119,6 +136,21 @@ impl Bus {
     /// Contention-free duration of transferring `bytes`.
     pub fn latency(&self, bytes: u64) -> u64 {
         MachineConfig::transfer_cycles(bytes, self.bytes_per_cycle)
+    }
+
+    /// Earliest time a new transfer could start (checkpointing).
+    pub fn free_at(&self) -> Cycle {
+        self.resource.free_at()
+    }
+
+    /// Total busy cycles (checkpointing).
+    pub fn busy_cycles(&self) -> u64 {
+        self.resource.busy_cycles()
+    }
+
+    /// Restore checkpointed occupancy state.
+    pub fn restore(&mut self, free_at: Cycle, busy_cycles: u64) {
+        self.resource.restore(free_at, busy_cycles);
     }
 }
 

@@ -203,6 +203,20 @@ impl FaultCounters {
     }
 }
 
+/// Checkpointed injector state: raw decision-stream positions, per-class
+/// transmission counts, and the fault counters. The plan itself is not
+/// included — the restoring caller reinstalls it and must supply the same
+/// one for the resumed fault pattern to match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectorState {
+    /// Raw [`Rng::state`] of each per-class decision stream.
+    pub streams: [u64; MsgClass::COUNT],
+    /// Transmissions seen per class (drives `drop_nth`).
+    pub sent: [u64; MsgClass::COUNT],
+    /// Faults injected so far.
+    pub counters: FaultCounters,
+}
+
 /// The injector: the plan plus its live decision streams and counters.
 #[derive(Debug, Clone)]
 pub(crate) struct Injector {
@@ -242,6 +256,23 @@ impl Injector {
 
     pub(crate) fn counters(&self) -> FaultCounters {
         self.counters
+    }
+
+    /// Checkpoint the live decision state.
+    pub(crate) fn save_state(&self) -> InjectorState {
+        InjectorState {
+            streams: std::array::from_fn(|i| self.streams[i].state()),
+            sent: self.sent,
+            counters: self.counters,
+        }
+    }
+
+    /// Restore a checkpoint taken by [`Injector::save_state`]; the plan is
+    /// left untouched.
+    pub(crate) fn restore_state(&mut self, st: &InjectorState) {
+        self.streams = std::array::from_fn(|i| Rng::from_state(st.streams[i]));
+        self.sent = st.sent;
+        self.counters = st.counters;
     }
 
     /// Decide the fate of one transmission of `class`. Always draws the

@@ -10,6 +10,6 @@ pub mod fault;
 pub mod network;
 pub mod topology;
 
-pub use fault::{Arrival, Delivery, FaultCounters, FaultPlan, FaultRates, MsgClass};
-pub use network::{NetError, Network, NiBusy};
+pub use fault::{Arrival, Delivery, FaultCounters, FaultPlan, FaultRates, InjectorState, MsgClass};
+pub use network::{NetError, Network, NetworkState, NiBusy, NiSnapshot};
 pub use topology::Mesh;

@@ -120,6 +120,68 @@ impl WordMeta {
     }
 }
 
+/// Checkpointed read metadata for one word (plain-data mirror of the
+/// detector's internal adaptive representation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadState {
+    /// No read since the last write.
+    None,
+    /// All reads so far ordered: `(proc, clock, site)` of the latest.
+    Epoch(u32, u64, RaceSite),
+    /// Concurrent readers: per-processor last-read clocks and sites.
+    Vector(Vec<u64>, Vec<RaceSite>),
+}
+
+/// Checkpointed per-word metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordState {
+    /// Word-aligned byte address.
+    pub addr: u64,
+    /// Last write as `(proc, clock, site)`, if any.
+    pub write: Option<(u32, u64, RaceSite)>,
+    /// Read metadata.
+    pub read: ReadState,
+    /// A race was already reported on this word.
+    pub racy: bool,
+}
+
+/// Checkpointed per-barrier episode state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierState {
+    /// Barrier id.
+    pub id: u32,
+    /// Gather clock of the in-progress episode.
+    pub gather: Vec<u64>,
+    /// Arrivals gathered so far.
+    pub arrivals: usize,
+    /// Clock of the most recently completed episode.
+    pub completed: Vec<u64>,
+}
+
+/// Complete checkpointed detector state, produced by
+/// [`RaceDetector::save_state`] and consumed by
+/// [`RaceDetector::from_state`]. Pure data — serialization lives with the
+/// machine-level snapshot code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceDetectorState {
+    /// Number of processors.
+    pub num_procs: usize,
+    /// Word granularity in bytes.
+    pub word_size: u64,
+    /// Per-processor vector clocks (each `num_procs` components).
+    pub clocks: Vec<Vec<u64>>,
+    /// Per-processor program-order reference ordinals.
+    pub refs: Vec<u64>,
+    /// Per-lock clocks, sorted by lock id.
+    pub locks: Vec<(u32, Vec<u64>)>,
+    /// Per-barrier episode state, sorted by barrier id.
+    pub barriers: Vec<BarrierState>,
+    /// Per-word metadata, sorted by address.
+    pub words: Vec<WordState>,
+    /// Counters and reports accumulated so far.
+    pub stats: RaceStats,
+}
+
 /// The online happens-before race detector.
 ///
 /// The machine drives it through six hooks: [`on_read`](Self::on_read) /
@@ -388,6 +450,120 @@ impl RaceDetector {
         }
     }
 
+    /// Checkpoint the complete detector state as plain data (see
+    /// [`RaceDetectorState`]). Maps flatten to sorted listings, so two
+    /// captures of equal detectors are equal.
+    pub fn save_state(&self) -> RaceDetectorState {
+        RaceDetectorState {
+            num_procs: self.num_procs,
+            word_size: self.word_size,
+            clocks: self.clocks.iter().map(|c| c.components().to_vec()).collect(),
+            refs: self.refs.clone(),
+            locks: self
+                .locks
+                .iter()
+                .map(|(&l, c)| (l, c.components().to_vec()))
+                .collect(),
+            barriers: self
+                .barriers
+                .iter()
+                .map(|(&b, bar)| BarrierState {
+                    id: b,
+                    gather: bar.gather.components().to_vec(),
+                    arrivals: bar.arrivals,
+                    completed: bar.completed.components().to_vec(),
+                })
+                .collect(),
+            words: self
+                .words
+                .iter()
+                .map(|(&addr, w)| WordState {
+                    addr,
+                    write: w.write.map(|(e, s)| (e.proc, e.clock, s)),
+                    read: match &w.read {
+                        ReadMeta::None => ReadState::None,
+                        ReadMeta::Epoch(e, s) => ReadState::Epoch(e.proc, e.clock, *s),
+                        ReadMeta::Vector(c, s) => ReadState::Vector(c.clone(), s.clone()),
+                    },
+                    racy: w.racy,
+                })
+                .collect(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuild a detector from a checkpoint taken by
+    /// [`RaceDetector::save_state`]. Fails with a description when any
+    /// vector length disagrees with `num_procs`.
+    pub fn from_state(st: RaceDetectorState) -> Result<RaceDetector, String> {
+        let n = st.num_procs;
+        let vc = |c: Vec<u64>, what: &str| -> Result<VectorClock, String> {
+            if c.len() != n {
+                return Err(format!("{what}: clock has {} components, expected {n}", c.len()));
+            }
+            Ok(VectorClock { c })
+        };
+        if st.clocks.len() != n || st.refs.len() != n {
+            return Err(format!(
+                "detector checkpoint shape mismatch: {} clocks / {} refs for {n} procs",
+                st.clocks.len(),
+                st.refs.len()
+            ));
+        }
+        let mut d = RaceDetector::new(n, st.word_size);
+        d.clocks = st
+            .clocks
+            .into_iter()
+            .map(|c| vc(c, "processor clock"))
+            .collect::<Result<_, _>>()?;
+        d.refs = st.refs;
+        d.locks = st
+            .locks
+            .into_iter()
+            .map(|(l, c)| Ok((l, vc(c, "lock clock")?)))
+            .collect::<Result<_, String>>()?;
+        d.barriers = st
+            .barriers
+            .into_iter()
+            .map(|b| {
+                Ok((
+                    b.id,
+                    BarrierClock {
+                        gather: vc(b.gather, "barrier gather clock")?,
+                        arrivals: b.arrivals,
+                        completed: vc(b.completed, "barrier episode clock")?,
+                    },
+                ))
+            })
+            .collect::<Result<_, String>>()?;
+        d.words = st
+            .words
+            .into_iter()
+            .map(|w| {
+                let read = match w.read {
+                    ReadState::None => ReadMeta::None,
+                    ReadState::Epoch(proc, clock, s) => {
+                        ReadMeta::Epoch(Epoch { proc, clock }, s)
+                    }
+                    ReadState::Vector(c, s) => {
+                        if c.len() != n || s.len() != n {
+                            return Err(format!(
+                                "word {:#x}: read vector has {} entries, expected {n}",
+                                w.addr,
+                                c.len()
+                            ));
+                        }
+                        ReadMeta::Vector(c, s)
+                    }
+                };
+                let write = w.write.map(|(proc, clock, s)| (Epoch { proc, clock }, s));
+                Ok((w.addr, WordMeta { write, read, racy: w.racy }))
+            })
+            .collect::<Result<_, String>>()?;
+        d.stats = st.stats;
+        Ok(d)
+    }
+
     /// Fold the detector's state into a hasher (model-checker fingerprint
     /// support). Two machine states that differ only in detector state must
     /// not be merged by pruning, or races could go unreported on some
@@ -598,6 +774,32 @@ mod tests {
         assert_eq!(d.stats().races_found, 1);
         assert_eq!(d.stats().words_monitored, 1);
         assert_eq!(d.stats().reports[0].addr, 0x40);
+    }
+
+    #[test]
+    fn save_restore_round_trips_exactly() {
+        let mut d = det(3);
+        d.on_write(0, 0x40);
+        d.on_release(0, 0);
+        d.on_acquire(1, 0);
+        d.on_read(1, 0x40);
+        d.on_read(2, 0x40); // concurrent reader: promotes + races
+        d.on_barrier_arrive(0, 1, 3);
+        let st = d.save_state();
+        let d2 = RaceDetector::from_state(st.clone()).expect("restore");
+        assert_eq!(d, d2);
+        assert_eq!(d2.save_state(), st);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_shapes() {
+        let d = det(2);
+        let mut st = d.save_state();
+        st.clocks[0].push(9); // wrong component count
+        assert!(RaceDetector::from_state(st).is_err());
+        let mut st = d.save_state();
+        st.refs.pop();
+        assert!(RaceDetector::from_state(st).is_err());
     }
 
     #[test]

@@ -425,6 +425,43 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Every pending entry as `(time, key, event)`, in (time, key) order —
+    /// the full pending state, tie keys included, for checkpointing. A
+    /// queue rebuilt from this listing via [`EventQueue::from_entries`]
+    /// pops identically to this one.
+    pub fn pending_entries(&self) -> Vec<(Cycle, u64, &E)> {
+        match &self.tier {
+            Tier::Tiny(flat) => flat.iter().map(|(t, k, ev)| (*t, *k, ev)).collect(),
+            Tier::Calendar(cal) => {
+                let mut out = Vec::with_capacity(self.len);
+                for idx in cal.occupied_buckets() {
+                    let t = cal.bucket_time(idx);
+                    out.extend(cal.buckets[idx].iter().map(|(k, ev)| (t, *k, ev)));
+                }
+                for (&t, run) in &cal.overflow {
+                    out.extend(run.iter().map(|(k, ev)| (t, *k, ev)));
+                }
+                out
+            }
+        }
+    }
+
+    /// Rebuild a queue from a checkpoint: the pending entries (any order),
+    /// the simulated time, and the lifetime high-water mark. The restored
+    /// queue pops the same (time, key, event) sequence the checkpointed
+    /// queue would have.
+    pub fn from_entries(entries: Vec<(Cycle, u64, E)>, now: Cycle, peak_len: usize) -> Self {
+        let mut q = EventQueue::new();
+        // Push against now = 0 so no entry is clamped, then pin the clock
+        // and the high-water mark to their checkpointed values.
+        for (t, k, ev) in entries {
+            q.push(t, k, ev);
+        }
+        q.now = now;
+        q.peak_len = peak_len;
+        q
+    }
+
     /// Firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
         match &self.tier {

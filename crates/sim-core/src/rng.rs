@@ -62,6 +62,17 @@ impl Rng {
         Rng::new(self.next_u64() ^ tag.wrapping_mul(0xA24B_AED4_963E_E407))
     }
 
+    /// Raw generator state, for checkpointing. A generator rebuilt with
+    /// [`Rng::from_state`] continues the exact same stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator from a previously captured [`Rng::state`].
+    pub fn from_state(state: u64) -> Rng {
+        Rng { state }
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {

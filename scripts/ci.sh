@@ -2,7 +2,10 @@
 # The repo's CI gate, runnable locally and in any runner. Fully offline:
 # every dependency is an in-workspace path crate.
 #
-#   tier 1  — release build + root-package tests (the seed gate)
+#   tier 1  — workspace release build + root-package tests (the seed
+#             gate; --workspace so the crates/exp binaries lrc-bench,
+#             lrc-soak, and lrc-check are built here too, not silently
+#             skipped until a later stage needs them)
 #   lint    — clippy with warnings denied, across every target
 #   unsafe  — every crate root must carry #![forbid(unsafe_code)]
 #   tier 2  — full workspace test suites, including the model checker's
@@ -13,8 +16,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> tier 1: release build + root tests"
-cargo build --release
+echo "==> tier 1: workspace release build + root tests"
+cargo build --workspace --release
 cargo test -q
 
 echo "==> lint: clippy -D warnings (workspace, all targets)"
@@ -67,6 +70,32 @@ echo "==> soak smoke: lrc-soak --smoke (fault injection + value verification)"
 # plus the unrecoverable stage proving wedges die with a structured
 # diagnosis. Exits non-zero on any verification failure.
 ./target/release/lrc-soak --smoke --quiet
+
+echo "==> snapshot smoke: restore bit-identity + kill-and-resume soak"
+# First the hard contract: checkpoint mid-run, restore, run to completion,
+# fingerprint equals the uninterrupted golden run — all four protocols,
+# sequential and sharded (2/4 threads), with and without a fault plan —
+# plus the serialization pins (byte-identical round trips, typed errors
+# for unknown versions / truncation / corruption).
+cargo test -q --test snapshot_restore
+# Then the crash-resumable sweep. Cell markers are written atomically and
+# in sweep order after each verdict, so a journal prefix is byte-for-byte
+# the directory a SIGKILL would leave behind; truncating the journal and
+# resuming IS the kill test, and is deterministic where actually killing
+# a subsecond smoke run mid-flight is not.
+snapdir=$(mktemp -d /tmp/soak_resume.XXXXXX)
+./target/release/lrc-soak --smoke --checkpoint-dir "$snapdir/ref" > "$snapdir/ref.out"
+cp -r "$snapdir/ref" "$snapdir/killed"
+rm "$snapdir/killed"/cell-rate0.001-* "$snapdir/killed/cell-unrecoverable.json"
+./target/release/lrc-soak --smoke --resume "$snapdir/killed" > "$snapdir/resumed.out"
+# Auto-dumped wedge-snapshot paths embed the checkpoint dir; every other
+# byte of the resumed sweep's output must match the unkilled reference.
+diff <(grep -v 'snapshot\|replay\|resume' "$snapdir/ref.out") \
+     <(grep -v 'snapshot\|replay\|resume' "$snapdir/resumed.out")
+# The stall snapshot the wedged stage auto-dumped must restore into a
+# state that still reproduces the wedge (replay exits 0 = reproduced).
+./target/release/lrc-soak --replay "$snapdir/ref/wedge-unrecoverable-seed1.json" --quiet
+rm -rf "$snapdir"
 
 echo "==> capacity smoke: lrc-soak --capacity-sweep --smoke (finite resources)"
 # NI queue depth x write-notice budget x protocol, fault-free: every cell

@@ -1,0 +1,227 @@
+//! Checkpoint/restore suite: a run paused at a snapshot and resumed must be
+//! **bit-identical** to the uninterrupted run — same cycle counts, same
+//! per-processor finish times, same traffic totals, same event count — for
+//! every protocol, on the sequential kernel and the sharded engine, with
+//! and without an active fault plan.
+//!
+//! This is the hard robustness requirement of the snapshot subsystem: a
+//! checkpoint is a pause in the same simulated history, not a perturbation
+//! of it. The suite also pins the serialization contract itself:
+//! serialize → parse → re-serialize is byte-identical, unknown snapshot
+//! versions surface as typed errors (never panics), and truncated files
+//! are reported as corruption.
+
+use lazy_rc::prelude::*;
+use lazy_rc::workloads::Scale;
+
+const PROCS: usize = 8;
+
+/// Condensed result fingerprint (the parallel-equivalence suite's, minus
+/// nothing): totals plus per-processor detail, so divergence anywhere in
+/// the machine shows up even when aggregate counters collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fp {
+    total_cycles: u64,
+    events: u64,
+    finish_times: Vec<u64>,
+    refs: u64,
+    read_misses: u64,
+    write_misses: u64,
+    upgrades: u64,
+    lock_acquires: u64,
+    barriers: u64,
+    three_hop: u64,
+    control_msgs: u64,
+    data_msgs: u64,
+    write_data_msgs: u64,
+    bytes: u64,
+    pp_busy: Vec<u64>,
+    mem_busy: Vec<u64>,
+    breakdown_totals: Vec<u64>,
+    fault_dropped: u64,
+    fault_retries: u64,
+}
+
+fn fp(r: &RunResult) -> Fp {
+    let s = &r.stats;
+    let traffic = s.aggregate_traffic();
+    Fp {
+        total_cycles: s.total_cycles,
+        events: r.events,
+        finish_times: s.procs.iter().map(|p| p.finish_time).collect(),
+        refs: s.total_refs(),
+        read_misses: s.procs.iter().map(|p| p.read_misses).sum(),
+        write_misses: s.procs.iter().map(|p| p.write_misses).sum(),
+        upgrades: s.procs.iter().map(|p| p.upgrades).sum(),
+        lock_acquires: s.procs.iter().map(|p| p.lock_acquires).sum(),
+        barriers: s.procs.iter().map(|p| p.barriers).sum(),
+        three_hop: s.procs.iter().map(|p| p.three_hop).sum(),
+        control_msgs: traffic.control_msgs,
+        data_msgs: traffic.data_msgs,
+        write_data_msgs: traffic.write_data_msgs,
+        bytes: traffic.bytes,
+        pp_busy: s.procs.iter().map(|p| p.pp_busy).collect(),
+        mem_busy: s.procs.iter().map(|p| p.mem_busy).collect(),
+        breakdown_totals: s.procs.iter().map(|p| p.breakdown.total()).collect(),
+        fault_dropped: s.faults.dropped,
+        fault_retries: s.faults.retries,
+    }
+}
+
+type PlanCtor = Option<fn() -> FaultPlan>;
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::uniform(0.005, 0xFEED)
+}
+
+fn build(proto: Protocol, plan: PlanCtor) -> Machine {
+    let m = Machine::new(MachineConfig::paper_default(PROCS), proto)
+        .with_max_cycles(50_000_000_000);
+    match plan {
+        Some(f) => m.with_fault_plan(f()),
+        None => m,
+    }
+}
+
+fn workload() -> Box<dyn Workload> {
+    WorkloadKind::Mp3d.build(PROCS, Scale::Tiny)
+}
+
+/// Uninterrupted fingerprint plus total cycles (to pick a mid-run
+/// checkpoint cycle from).
+fn uninterrupted(proto: Protocol, plan: PlanCtor) -> (Fp, u64) {
+    let r = build(proto, plan).try_run(workload()).expect("uninterrupted run completed");
+    let total = r.stats.total_cycles;
+    (fp(&r), total)
+}
+
+/// The tentpole bar: checkpoint mid-run, resume, and demand the resumed
+/// result be bit-identical to the uninterrupted run — across engines.
+/// `threads = 1` exercises the sequential kernel's pause-exact cut;
+/// `threads = 2, 4` the sharded engine's window-edge consistent cut (which
+/// under a fault plan deterministically falls back to the sequential
+/// kernel, checkpointing there instead).
+fn assert_checkpoint_resume_matches(proto: Protocol, plan: PlanCtor) {
+    let (want, total) = uninterrupted(proto, plan);
+    let at = total / 2;
+    for threads in [1usize, 2, 4] {
+        let opts = ParallelOptions::threads(threads);
+        let outcome =
+            try_run_sharded_until(&move || build(proto, plan), &workload, &opts, at)
+                .expect("checkpointing run neither stalled nor refused");
+        let ckpt = match outcome {
+            ShardedRunOutcome::Checkpointed(c) => c,
+            ShardedRunOutcome::Completed(_) => {
+                panic!("{proto} @ {threads} threads finished before cycle {at}")
+            }
+        };
+        assert_eq!(ckpt.shards.len(), ckpt.threads.max(1));
+        let resumed = resume_sharded(&workload, &ckpt).expect("resumed run completed");
+        assert_eq!(
+            fp(&resumed),
+            want,
+            "{proto} @ {threads} threads: resume diverged from the uninterrupted run \
+             (fault plan: {})",
+            plan.is_some()
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_matches_uninterrupted_all_protocols() {
+    for proto in Protocol::ALL {
+        assert_checkpoint_resume_matches(proto, None);
+    }
+}
+
+#[test]
+fn checkpoint_resume_matches_uninterrupted_under_fault_plan() {
+    for proto in Protocol::ALL {
+        assert_checkpoint_resume_matches(proto, Some(chaos_plan));
+    }
+}
+
+/// Pause a sequential LRC run mid-flight and capture it.
+fn mid_run_snapshot() -> (MachineSnapshot, String) {
+    let mut m = build(Protocol::Lrc, None);
+    m.start_run(workload());
+    let paused = m.run_until(5_000).expect("no stall before cycle 5000");
+    assert!(paused, "mp3d/tiny must still be running at cycle 5000");
+    let snap = m.snapshot().expect("mid-run capture");
+    let text = snap.to_json_string();
+    (snap, text)
+}
+
+/// Serialize → parse → re-serialize must be byte-identical, and capturing
+/// the restored machine must reproduce the original document byte for
+/// byte — the round trip loses nothing.
+#[test]
+fn snapshot_round_trip_is_byte_identical() {
+    let (_, text) = mid_run_snapshot();
+    let reparsed = MachineSnapshot::parse(&text).expect("parse back");
+    assert_eq!(reparsed.to_json_string(), text, "re-serialization changed bytes");
+    let restored = reparsed.restore(workload()).expect("restore");
+    let recaptured = restored.snapshot().expect("recapture restored machine");
+    assert_eq!(recaptured.to_json_string(), text, "restored state drifted from snapshot");
+}
+
+/// A snapshot from a future (or garbage) format version must surface as a
+/// typed `UnknownVersion` error, never a panic or a silent misparse.
+#[test]
+fn unknown_snapshot_version_is_a_typed_error() {
+    let (_, text) = mid_run_snapshot();
+    assert!(text.contains("\"version\": 1"), "version field not where expected");
+    let bumped = text.replacen("\"version\": 1", "\"version\": 999", 1);
+    match MachineSnapshot::parse(&bumped) {
+        Err(SnapshotError::UnknownVersion { found }) => assert_eq!(found, 999),
+        other => panic!("expected UnknownVersion, got {other:?}"),
+    }
+}
+
+/// A truncated snapshot file (torn write, partial copy) must parse to a
+/// typed corruption error, never a panic.
+#[test]
+fn truncated_snapshot_is_a_typed_corruption_error() {
+    let (_, text) = mid_run_snapshot();
+    for frac in [2, 3, 10] {
+        let cut = &text[..text.len() / frac];
+        match MachineSnapshot::parse(cut) {
+            Err(SnapshotError::Corrupt(_)) => {}
+            other => panic!("truncated/{frac} parse should be Corrupt, got {other:?}"),
+        }
+    }
+    match MachineSnapshot::parse("") {
+        Err(SnapshotError::Corrupt(_)) => {}
+        other => panic!("empty parse should be Corrupt, got {other:?}"),
+    }
+}
+
+/// Field-level corruption (a node id out of range) must also surface as a
+/// typed error at restore time, not a panic deep in the kernel.
+#[test]
+fn out_of_range_node_id_is_a_typed_corruption_error() {
+    let (_, text) = mid_run_snapshot();
+    let snap = MachineSnapshot::parse(&text).expect("parse back");
+    assert!(text.contains("\"finished\": 0"), "finished field not where expected");
+    let evil = text.replacen("\"finished\": 0", "\"finished\": 64", 1);
+    match MachineSnapshot::parse(&evil).expect("still well-formed JSON").restore(workload()) {
+        Err(SnapshotError::Corrupt(_)) => {}
+        other => panic!("expected Corrupt on restore, got {:?}", other.map(|_| ())),
+    }
+    drop(snap);
+}
+
+/// Configurations outside the v1 capture set (here: the miss classifier,
+/// whose per-line history is deliberately not serialized) must refuse with
+/// a typed `Unsupported` error rather than writing a snapshot that could
+/// not restore faithfully.
+#[test]
+fn unsupported_configuration_refuses_capture() {
+    let mut m = build(Protocol::Sc, None).with_classification();
+    m.start_run(workload());
+    assert!(m.run_until(5_000).expect("no stall"), "still running");
+    match m.snapshot() {
+        Err(SnapshotError::Unsupported(_)) => {}
+        other => panic!("expected Unsupported, got {:?}", other.map(|_| ())),
+    }
+}
