@@ -17,10 +17,32 @@
 //! final-memory comparison against `lrc_sim::refint` run.
 
 use crate::scenario::Scenario;
-use lrc_core::{Fault, FaultPlan, Machine, StuckState, Violation};
+use lrc_core::{CrashPlan, Fault, FaultPlan, Machine, StuckState, Violation};
 use lrc_sim::refint::{self, RefError};
 use lrc_sim::{Protocol, RaceReport, Script};
 use std::collections::HashSet;
+
+/// Machine-construction options shared by exploration, minimization
+/// replays, and report rendering. A counterexample only reproduces on a
+/// machine built with the same options it was found under.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildOpts {
+    /// Arm the happens-before race detector.
+    pub races: bool,
+    /// Crash-timing choice point: kill node `.0` after exactly `.1`
+    /// handled events, with instantaneous failure detection (see
+    /// [`lrc_core::CrashPlan::kill_nth`]). Makes crash placement part of
+    /// the explored schedule, so counterexamples pin the exact
+    /// crash-vs-protocol interleaving.
+    pub crash_nth: Option<(usize, u64)>,
+}
+
+impl BuildOpts {
+    /// Options with only the race detector toggled.
+    pub fn raced(races: bool) -> Self {
+        BuildOpts { races, ..BuildOpts::default() }
+    }
+}
 
 /// Exploration bounds.
 #[derive(Debug, Clone, Copy)]
@@ -154,10 +176,29 @@ pub fn build_machine(scenario: &Scenario, protocol: Protocol, fault: Fault) -> M
 /// state space (vector clocks depend on lock-grant order, so converging
 /// protocol states may carry diverging clocks).
 pub fn build_machine_raced(scenario: &Scenario, protocol: Protocol, fault: Fault) -> Machine {
+    build_machine_opts(scenario, protocol, fault, BuildOpts::raced(true))
+}
+
+/// [`build_machine`] honoring every [`BuildOpts`] knob. A `crash_nth`
+/// option installs a crash-only fault plan (no link faults): the victim
+/// dies after exactly that many handled events, every survivor detects it
+/// instantly, and recovery runs inside the explored interleaving.
+pub fn build_machine_opts(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    opts: BuildOpts,
+) -> Machine {
     let mut m = Machine::new(scenario.config(), protocol)
         .with_fault(fault)
-        .with_value_tracking()
-        .with_race_detection();
+        .with_value_tracking();
+    if opts.races {
+        m = m.with_race_detection();
+    }
+    if let Some((node, n)) = opts.crash_nth {
+        assert!(node < scenario.procs, "crash victim out of range");
+        m = m.with_fault_plan(FaultPlan::off(0).with_crash(CrashPlan::kill_nth(node, n)));
+    }
     m.prepare(Box::new(scenario.script()));
     m
 }
@@ -211,6 +252,13 @@ pub fn terminal_failure(m: &Machine, script: &Script) -> Option<Failure> {
     let stuck = m.stuck_states();
     if !stuck.is_empty() {
         return Some(Failure::Liveness(stuck));
+    }
+    // A crash-stop death loses the victim's remaining script and possibly
+    // its dirty lines (typed data loss, by design), so the final memory
+    // cannot be expected to match a full reference execution. Liveness
+    // above is the crash run's oracle: survivors must still complete.
+    if m.crash_occurred() {
+        return None;
     }
     // The detector's verdict gates everything downstream: DRF ⇒ SC is an
     // implication, and a racy program voids its premise — write-overlay
@@ -301,6 +349,21 @@ pub fn check_nacked(
     check_root(build_machine_nacked(scenario, protocol, fault, nth), scenario, limits)
 }
 
+/// [`check`] honoring every [`BuildOpts`] knob (see
+/// [`build_machine_opts`]). With `crash_nth` set, the explored tree
+/// contains the crash, detection, and recovery; surviving processors must
+/// still drain to a clean (crash-degraded) quiescent state on every
+/// interleaving.
+pub fn check_opts(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    opts: BuildOpts,
+    limits: Limits,
+) -> CheckReport {
+    check_root(build_machine_opts(scenario, protocol, fault, opts), scenario, limits)
+}
+
 fn check_root(root: Machine, scenario: &Scenario, limits: Limits) -> CheckReport {
     let script = scenario.script();
     let mut visited: HashSet<u64> = HashSet::new();
@@ -386,6 +449,19 @@ pub fn replay_schedule_raced(
     max_steps: usize,
 ) -> (Option<Failure>, Machine) {
     replay_on(build_machine_raced(scenario, protocol, fault), scenario, schedule, max_steps)
+}
+
+/// [`replay_schedule`] on a machine built with the given [`BuildOpts`] —
+/// required to reproduce counterexamples found under those options.
+pub fn replay_schedule_opts(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    opts: BuildOpts,
+    schedule: &[usize],
+    max_steps: usize,
+) -> (Option<Failure>, Machine) {
+    replay_on(build_machine_opts(scenario, protocol, fault, opts), scenario, schedule, max_steps)
 }
 
 fn replay_on(

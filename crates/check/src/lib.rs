@@ -38,7 +38,7 @@ pub mod minimize;
 pub mod report;
 pub mod scenario;
 
-use explore::{check, CheckReport, Limits};
+use explore::{BuildOpts, CheckReport, Limits};
 use lrc_core::Fault;
 use lrc_sim::Protocol;
 use minimize::FailureClass;
@@ -53,13 +53,17 @@ pub fn parse_protocol(s: &str) -> Result<Protocol, String> {
         .ok_or_else(|| format!("unknown protocol {s:?} (sc, eager, lazy, lazy-ext)"))
 }
 
-/// Parse a CLI fault name ("none", "skip-invalidate", "skip-write-notice").
+/// Parse a CLI fault name ("none", "skip-invalidate", "skip-write-notice",
+/// "skip-lock-reclaim").
 pub fn parse_fault(s: &str) -> Result<Fault, String> {
     match s {
         "none" => Ok(Fault::None),
         "skip-invalidate" => Ok(Fault::SkipInvalidate),
         "skip-write-notice" => Ok(Fault::SkipWriteNotice),
-        _ => Err(format!("unknown fault {s:?} (none, skip-invalidate, skip-write-notice)")),
+        "skip-lock-reclaim" => Ok(Fault::SkipLockReclaim),
+        _ => Err(format!(
+            "unknown fault {s:?} (none, skip-invalidate, skip-write-notice, skip-lock-reclaim)"
+        )),
     }
 }
 
@@ -90,7 +94,7 @@ pub fn check_and_minimize(
     fault: Fault,
     limits: Limits,
 ) -> CheckOutcome {
-    process(scenario, protocol, fault, limits, false)
+    process(scenario, protocol, fault, limits, BuildOpts::default())
 }
 
 /// [`check_and_minimize`] with the happens-before race detector armed on
@@ -104,7 +108,20 @@ pub fn check_and_minimize_raced(
     fault: Fault,
     limits: Limits,
 ) -> CheckOutcome {
-    process(scenario, protocol, fault, limits, true)
+    process(scenario, protocol, fault, limits, BuildOpts::raced(true))
+}
+
+/// [`check_and_minimize`] under arbitrary [`BuildOpts`] — exploration,
+/// minimization replays, and the rendering replay all run with the same
+/// options, so crash-timing counterexamples shrink and reproduce exactly.
+pub fn check_and_minimize_opts(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    limits: Limits,
+    opts: BuildOpts,
+) -> CheckOutcome {
+    process(scenario, protocol, fault, limits, opts)
 }
 
 fn process(
@@ -112,21 +129,17 @@ fn process(
     protocol: Protocol,
     fault: Fault,
     limits: Limits,
-    races: bool,
+    opts: BuildOpts,
 ) -> CheckOutcome {
-    let report = if races {
-        explore::check_raced(scenario, protocol, fault, limits)
-    } else {
-        check(scenario, protocol, fault, limits)
-    };
+    let report = explore::check_opts(scenario, protocol, fault, opts, limits);
     let (minimized, rendered) = match &report.counterexample {
         None => (None, None),
         Some(cex) => {
             let class = FailureClass::of(&cex.failure);
             let (schedule, failure) =
-                minimize::minimize_with(scenario, protocol, fault, &cex.schedule, class, races);
+                minimize::minimize_opts(scenario, protocol, fault, &cex.schedule, class, opts);
             let min_cex = explore::Counterexample { schedule: schedule.clone(), failure };
-            let rendered = report::render_with(scenario, protocol, fault, &min_cex, races);
+            let rendered = report::render_opts(scenario, protocol, fault, &min_cex, opts);
             (Some(schedule), Some(rendered))
         }
     };

@@ -4,7 +4,7 @@
 #![forbid(unsafe_code)]
 
 use lrc_check::explore::Limits;
-use lrc_check::{check_and_minimize, parse_fault, parse_protocol, report, scenario};
+use lrc_check::{parse_fault, parse_protocol, report, scenario};
 use lrc_core::Fault;
 use lrc_sim::Protocol;
 use std::process::ExitCode;
@@ -18,10 +18,16 @@ USAGE:
 OPTIONS:
     --scenario NAME     scenario to check, or 'all' (default: all; see --list)
     --protocol NAME     sc | eager | lazy | lazy-ext | all (default: all)
-    --fault NAME        none | skip-invalidate | skip-write-notice (default: none)
+    --fault NAME        none | skip-invalidate | skip-write-notice |
+                        skip-lock-reclaim (default: none)
     --nack-nth N        answer the N-th busy-directory encounter with a
                         BUSY-NACK instead of parking, and explore the retry
                         interleavings (eager protocols; no-op under lazy)
+    --crash-nth N       crash-stop a node after exactly N handled events
+                        (instantaneous detection) and explore the recovery
+                        interleavings; counterexamples are minimized and
+                        replayable. Survivors must still drain cleanly.
+    --crash-node V      which node --crash-nth kills (default: 0)
     --races             arm the happens-before race detector: a detected
                         data race is a first-class counterexample with a
                         minimized replayable witness, and the DRF => SC
@@ -44,10 +50,21 @@ struct Args {
     protocol: String,
     fault: Fault,
     nack_nth: Option<u64>,
+    crash_nth: Option<u64>,
+    crash_node: usize,
     races: bool,
     limits: Limits,
     replay: Option<Vec<usize>>,
     list: bool,
+}
+
+impl Args {
+    fn build_opts(&self) -> lrc_check::explore::BuildOpts {
+        lrc_check::explore::BuildOpts {
+            races: self.races,
+            crash_nth: self.crash_nth.map(|n| (self.crash_node, n)),
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         protocol: "all".to_string(),
         fault: Fault::None,
         nack_nth: None,
+        crash_nth: None,
+        crash_node: 0,
         races: false,
         limits: Limits::default(),
         replay: None,
@@ -71,6 +90,14 @@ fn parse_args() -> Result<Args, String> {
             "--nack-nth" => {
                 args.nack_nth =
                     Some(val("--nack-nth")?.parse().map_err(|e| format!("--nack-nth: {e}"))?)
+            }
+            "--crash-nth" => {
+                args.crash_nth =
+                    Some(val("--crash-nth")?.parse().map_err(|e| format!("--crash-nth: {e}"))?)
+            }
+            "--crash-node" => {
+                args.crash_node =
+                    val("--crash-node")?.parse().map_err(|e| format!("--crash-node: {e}"))?
             }
             "--max-states" => {
                 args.limits.max_states =
@@ -137,22 +164,19 @@ fn main() -> ExitCode {
         }
     };
 
-    if let Some(schedule) = args.replay {
+    if let Some(schedule) = args.replay.clone() {
         if scenarios.len() != 1 || protocols.len() != 1 {
             eprintln!("lrc-check: --replay needs a single --scenario and --protocol");
             return ExitCode::from(2);
         }
         let (s, p) = (&scenarios[0], protocols[0]);
-        let replay = if args.races {
-            lrc_check::explore::replay_schedule_raced
-        } else {
-            lrc_check::explore::replay_schedule
-        };
-        let (failure, m) = replay(s, p, args.fault, &schedule, 50_000);
+        let opts = args.build_opts();
+        let (failure, m) =
+            lrc_check::explore::replay_schedule_opts(s, p, args.fault, opts, &schedule, 50_000);
         match failure {
             Some(f) => {
                 let cex = lrc_check::explore::Counterexample { schedule, failure: f };
-                print!("{}", report::render_with(s, p, args.fault, &cex, args.races));
+                print!("{}", report::render_opts(s, p, args.fault, &cex, opts));
                 return ExitCode::FAILURE;
             }
             None => {
@@ -179,13 +203,14 @@ fn main() -> ExitCode {
                         r.counterexample.as_ref().map(|cex| format!("  {}\n", cex.failure));
                     (r, rendered)
                 }
-                None if args.races => {
-                    let outcome =
-                        lrc_check::check_and_minimize_raced(s, p, args.fault, args.limits);
-                    (outcome.report, outcome.rendered)
-                }
                 None => {
-                    let outcome = check_and_minimize(s, p, args.fault, args.limits);
+                    let outcome = lrc_check::check_and_minimize_opts(
+                        s,
+                        p,
+                        args.fault,
+                        args.limits,
+                        args.build_opts(),
+                    );
                     (outcome.report, outcome.rendered)
                 }
             };

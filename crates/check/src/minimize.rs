@@ -9,7 +9,7 @@
 //! the *same class* of failure. The result is the short suffix-free core
 //! of scheduling decisions that actually provoke the bug.
 
-use crate::explore::{replay_schedule, replay_schedule_raced, Failure};
+use crate::explore::{replay_schedule_opts, BuildOpts, Failure};
 use crate::scenario::Scenario;
 use lrc_core::Fault;
 use lrc_sim::Protocol;
@@ -61,7 +61,7 @@ pub fn minimize(
     schedule: &[usize],
     class: FailureClass,
 ) -> (Vec<usize>, Failure) {
-    minimize_with(scenario, protocol, fault, schedule, class, false)
+    minimize_opts(scenario, protocol, fault, schedule, class, BuildOpts::default())
 }
 
 /// [`minimize`] with control over race detection in the replay machines.
@@ -75,9 +75,22 @@ pub fn minimize_with(
     class: FailureClass,
     races: bool,
 ) -> (Vec<usize>, Failure) {
-    let replay = if races { replay_schedule_raced } else { replay_schedule };
+    minimize_opts(scenario, protocol, fault, schedule, class, BuildOpts::raced(races))
+}
+
+/// [`minimize`] replaying under the full [`BuildOpts`] the counterexample
+/// was found with — a crash-timing choice point, like the race detector,
+/// must stay armed for the failure to exist at all.
+pub fn minimize_opts(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    schedule: &[usize],
+    class: FailureClass,
+    opts: BuildOpts,
+) -> (Vec<usize>, Failure) {
     let still_fails = |s: &[usize]| -> Option<Failure> {
-        let (f, _) = replay(scenario, protocol, fault, s, REPLAY_STEPS);
+        let (f, _) = replay_schedule_opts(scenario, protocol, fault, opts, s, REPLAY_STEPS);
         f.filter(|f| FailureClass::of(f) == class)
     };
 

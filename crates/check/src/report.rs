@@ -3,9 +3,9 @@
 //! timeline, followed by the violated property and everything needed to
 //! reproduce the run.
 
-use crate::explore::{Counterexample, Failure};
+use crate::explore::{BuildOpts, Counterexample, Failure};
 use crate::scenario::Scenario;
-use lrc_core::{Fault, Machine, TraceFilter};
+use lrc_core::{CrashPlan, Fault, FaultPlan, Machine, TraceFilter};
 use lrc_sim::Protocol;
 use std::fmt::Write as _;
 
@@ -25,6 +25,7 @@ pub fn fault_name(fault: Fault) -> &'static str {
         Fault::None => "none",
         Fault::SkipInvalidate => "skip-invalidate",
         Fault::SkipWriteNotice => "skip-write-notice",
+        Fault::SkipLockReclaim => "skip-lock-reclaim",
     }
 }
 
@@ -36,15 +37,18 @@ fn replay_traced(
     protocol: Protocol,
     fault: Fault,
     schedule: &[usize],
-    races: bool,
+    opts: BuildOpts,
 ) -> Machine {
     let mut m = Machine::new(scenario.config(), protocol)
         .with_fault(fault)
         .with_value_tracking()
         .with_trace_filter(TraceFilter::all().sends_only(), TRACE_CAP)
         .with_flight_recorder(FLIGHT_CAP);
-    if races {
+    if opts.races {
         m = m.with_race_detection();
+    }
+    if let Some((node, n)) = opts.crash_nth {
+        m = m.with_fault_plan(FaultPlan::off(0).with_crash(CrashPlan::kill_nth(node, n)));
     }
     m.prepare(Box::new(scenario.script()));
     let mut step = 0usize;
@@ -68,7 +72,7 @@ pub fn render(
     fault: Fault,
     cex: &Counterexample,
 ) -> String {
-    render_with(scenario, protocol, fault, cex, false)
+    render_opts(scenario, protocol, fault, cex, BuildOpts::default())
 }
 
 /// [`render`] with control over race detection in the replay machine
@@ -81,24 +85,44 @@ pub fn render_with(
     cex: &Counterexample,
     races: bool,
 ) -> String {
+    render_opts(scenario, protocol, fault, cex, BuildOpts::raced(races))
+}
+
+/// [`render`] replaying under the full [`BuildOpts`] the counterexample
+/// was found with; the reproduce line carries every armed option.
+pub fn render_opts(
+    scenario: &Scenario,
+    protocol: Protocol,
+    fault: Fault,
+    cex: &Counterexample,
+    opts: BuildOpts,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "counterexample: {} under {}", scenario.name, protocol.name());
     if fault != Fault::None {
         let _ = writeln!(out, "  injected fault: {}", fault_name(fault));
     }
+    if let Some((node, n)) = opts.crash_nth {
+        let _ = writeln!(out, "  crash choice point: node {node} dies after {n} handled events");
+    }
     let _ = writeln!(out, "  schedule ({} forced choices): {:?}", cex.schedule.len(), cex.schedule);
+    let crash_args = match opts.crash_nth {
+        None => String::new(),
+        Some((node, n)) => format!(" --crash-nth {n} --crash-node {node}"),
+    };
     let _ = writeln!(
         out,
-        "  reproduce: lrc-check --scenario {} --protocol {} --fault {}{} --replay {}",
+        "  reproduce: lrc-check --scenario {} --protocol {} --fault {}{}{} --replay {}",
         scenario.name,
         protocol.name(),
         fault_name(fault),
-        if races { " --races" } else { "" },
+        if opts.races { " --races" } else { "" },
+        crash_args,
         schedule_arg(&cex.schedule),
     );
     let _ = writeln!(out);
 
-    let m = replay_traced(scenario, protocol, fault, &cex.schedule, races);
+    let m = replay_traced(scenario, protocol, fault, &cex.schedule, opts);
     let trace = m.trace_records();
     let _ = writeln!(out, "  message timeline ({} messages):", trace.len());
     for rec in &trace {

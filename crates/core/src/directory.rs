@@ -214,6 +214,25 @@ pub struct AckCollection {
     pub awaiting: u32,
     /// Requesters to notify when the collection completes.
     pub waiters: Vec<NodeId>,
+    /// The nodes the outstanding acks are owed by, as a multiset (overflow
+    /// broadcasts can owe one node two acks across joined rounds), with
+    /// `from.len() == awaiting` at all times. Crash recovery uses this to
+    /// forge exactly the acks a dead node can never send.
+    pub from: Vec<NodeId>,
+}
+
+impl AckCollection {
+    /// Remove one owed ack from `node`. Returns false when none was owed
+    /// (a stray or already-forged ack).
+    pub fn take_owed(&mut self, node: NodeId) -> bool {
+        match self.from.iter().position(|&n| n == node) {
+            Some(i) => {
+                self.from.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Directory entry for one block.

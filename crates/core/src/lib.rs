@@ -42,11 +42,11 @@ pub use machine::checker::StuckState;
 pub use machine::{
     resume_sharded, try_run_sharded, try_run_sharded_until, Fault, Machine, MachineSnapshot,
     ParallelOptions, Partition, RunResult, ShardedCheckpoint, ShardedRunOutcome, SnapshotError,
-    SnapshotRunError, SymbolicMemory, Violation, SNAPSHOT_VERSION,
+    SnapshotRunError, SymbolicMemory, Violation, MIN_SNAPSHOT_VERSION, SNAPSHOT_VERSION,
 };
 pub use msg::{Msg, MsgKind, WriteGrant};
 // Fault-injection vocabulary, re-exported so harnesses need only lrc-core.
-pub use lrc_mesh::{FaultCounters, FaultPlan, FaultRates, MsgClass};
+pub use lrc_mesh::{CrashPlan, FaultCounters, FaultPlan, FaultRates, MsgClass};
 // Observability vocabulary, likewise.
 pub use lrc_trace::{
     FlightRecorder, MsgMeta, RecData, ResourceEv, RingSink, StateChange, SyncOp, TimeSeries,

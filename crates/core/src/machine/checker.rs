@@ -139,12 +139,17 @@ impl Machine {
             return false;
         };
         self.dispatch(t, ev);
+        self.handled += 1;
+        if self.crash.is_some() {
+            self.crash_nth_poll(t);
+        }
         true
     }
 
-    /// True when every processor has executed `Done`.
+    /// True when every processor that can still finish has executed `Done`
+    /// (crashed processors never will; they shrink the target).
     pub fn all_finished(&self) -> bool {
-        self.finished == self.cfg.num_procs
+        self.finished == self.live_finish_target()
     }
 
     /// The lock-grant order observed so far, as `(lock, grantee)` pairs —
@@ -167,6 +172,11 @@ impl Machine {
     pub fn stuck_states(&self) -> Vec<StuckState> {
         let mut out = Vec::new();
         for (p, node) in self.nodes.iter().enumerate() {
+            // A crashed processor is expected never to finish; its fresh
+            // (empty) node state contributes nothing below either.
+            if node.status == ProcStatus::Crashed {
+                continue;
+            }
             if node.status != ProcStatus::Finished {
                 out.push(StuckState::ProcessorStuck {
                     proc: p,
@@ -189,14 +199,29 @@ impl Machine {
                 out.push(StuckState::CoalescingResidue { proc: p, line: e.line.0 });
             }
         }
+        // A line homed at a crashed node keeps whatever directory state it
+        // died with — there is no home left to drain it, and survivors got
+        // degraded fills instead. That residue is the cost of the crash,
+        // not a liveness bug.
+        let home_crashed = |line: u64| {
+            self.crash
+                .as_deref()
+                .is_some_and(|c| c.crashed.contains(self.home_of(lrc_sim::LineAddr(line))))
+        };
         // LineMap iteration is already in ascending line order.
         for (line, e) in self.dir.iter().filter(|(_, e)| e.pending.is_some() || e.busy) {
+            if home_crashed(line) {
+                continue;
+            }
             out.push(StuckState::DirectoryBusy {
                 line,
                 awaiting: e.pending.as_ref().map_or(0, |pc| pc.awaiting),
             });
         }
         for (line, q) in self.parked.iter() {
+            if home_crashed(line) {
+                continue;
+            }
             out.push(StuckState::ParkedForever { line, requests: q.len() });
         }
         if let Some(xm) = self.xmit.as_deref() {
@@ -306,6 +331,23 @@ impl Machine {
             seen.sort_unstable();
             seen.hash(&mut h);
             xm.gave_up.hash(&mut h);
+        }
+
+        // Crash-subsystem state (armed runs only): deaths, per-observer
+        // suspicions, and the unacked-credit matrices all steer future
+        // behavior. Lease times (`last_heard`) are wall-clock and excluded,
+        // like every other time. With `crash_nth` armed, states additionally
+        // differ by how close the handled-event counter is to the trigger
+        // (clamped past it, mirroring `nack_nth`).
+        if let Some(c) = self.crash.as_deref() {
+            c.crashed.hash(&mut h);
+            c.crashed_unfinished.hash(&mut h);
+            c.suspected.hash(&mut h);
+            c.wt_to.hash(&mut h);
+            c.wbk_to.hash(&mut h);
+            if let Some((_, n)) = c.plan.crash_nth {
+                self.handled.min(n + 1).hash(&mut h);
+            }
         }
 
         if let Some(v) = self.values.as_ref() {

@@ -88,10 +88,16 @@ impl Machine {
                 }
                 let e = self.dir.get_mut(line.0).expect("entry exists");
                 match e.pending.as_mut() {
-                    Some(pc) => pc.awaiting += n_notices,
+                    Some(pc) => {
+                        pc.awaiting += n_notices;
+                        pc.from.extend(nodes_in(notice_targets));
+                    }
                     None => {
-                        e.pending =
-                            Some(AckCollection { awaiting: n_notices, waiters: Vec::new() })
+                        e.pending = Some(AckCollection {
+                            awaiting: n_notices,
+                            waiters: Vec::new(),
+                            from: nodes_in(notice_targets).collect(),
+                        })
                     }
                 }
             }
@@ -229,7 +235,11 @@ impl Machine {
                     let mut waiters = self.take_waiters();
                     waiters.push(r);
                     let e = self.dir.get_mut(line.0).expect("entry exists");
-                    e.pending = Some(AckCollection { awaiting: n, waiters });
+                    e.pending = Some(AckCollection {
+                        awaiting: n,
+                        waiters,
+                        from: nodes_in(invalidate).collect(),
+                    });
                     let mut send_t = pp_done;
                     for o in nodes_in(invalidate) {
                         send_t = self.nodes[h].pp.occupy(send_t, self.cfg.write_notice_cost);
@@ -316,12 +326,17 @@ impl Machine {
                 let e = self.dir.get_mut(line.0).expect("entry exists");
                 let pc = e.pending.as_mut().expect("pending collection");
                 pc.awaiting += n_notices;
+                pc.from.extend(nodes_in(notice_targets));
                 pc.waiters.push(r);
             } else {
                 let mut waiters = self.take_waiters();
                 waiters.push(r);
                 let e = self.dir.get_mut(line.0).expect("entry exists");
-                e.pending = Some(AckCollection { awaiting: n_notices, waiters });
+                e.pending = Some(AckCollection {
+                    awaiting: n_notices,
+                    waiters,
+                    from: nodes_in(notice_targets).collect(),
+                });
             }
             WriteGrant::Pending
         } else if join_pending {
@@ -402,10 +417,33 @@ impl Machine {
     /// collection; when it completes, release every waiting writer at once.
     fn home_ack(&mut self, t: Cycle, m: Msg, line: LineAddr) {
         let h = m.dst;
+        let crash_armed = self.crash.is_some();
         let pp_done = self.nodes[h].pp.occupy(t, self.cfg.write_notice_cost);
         let finished = {
             let e = self.dir.entry_or_default(line.0);
-            let pc = e.pending.as_mut().expect("ack without pending collection");
+            if crash_armed {
+                // Recovery may already have forged this node's acks (it was
+                // suspected dead but a straggling real ack got through
+                // first, or the suspicion was false): anything not owed is
+                // dropped rather than double-counted.
+                match e.pending.as_mut() {
+                    Some(pc) => {
+                        if !pc.take_owed(m.src) {
+                            return;
+                        }
+                    }
+                    None => return,
+                }
+            } else {
+                let pc = e.pending.as_mut().expect("ack without pending collection");
+                // A v1-restored snapshot carries an empty debtor multiset
+                // (the field postdates the format); only a consistent
+                // multiset can vouch that this ack was owed.
+                let tracked = pc.from.len() == pc.awaiting as usize;
+                let owed = pc.take_owed(m.src);
+                debug_assert!(owed || !tracked, "ack from a node that owed none");
+            }
+            let pc = e.pending.as_mut().expect("pending collection");
             debug_assert!(pc.awaiting > 0);
             pc.awaiting -= 1;
             if pc.awaiting == 0 {

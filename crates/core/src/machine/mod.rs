@@ -14,6 +14,7 @@
 //!   barrier services.
 
 pub(crate) mod checker;
+pub(crate) mod crash;
 mod home;
 pub(crate) mod invariants;
 pub(crate) mod obs;
@@ -31,7 +32,7 @@ pub use parallel::{
     resume_sharded, try_run_sharded, try_run_sharded_until, ParallelOptions, Partition,
     ShardedCheckpoint, ShardedRunOutcome, SnapshotRunError,
 };
-pub use snapshot::{MachineSnapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{MachineSnapshot, SnapshotError, MIN_SNAPSHOT_VERSION, SNAPSHOT_VERSION};
 pub use values::SymbolicMemory;
 
 use crate::directory::DirEntry;
@@ -64,6 +65,10 @@ pub enum Fault {
     /// ack collection but never send them. The acks can never arrive, so
     /// the writer's release fence never clears — a liveness violation.
     SkipWriteNotice,
+    /// Crash recovery: when a home declares a node dead, skip reclaiming
+    /// the locks it held. Survivors queued on those locks wedge — the
+    /// recovery liveness violation `lrc-check --crash-nth` must find.
+    SkipLockReclaim,
 }
 
 /// Events driving the simulation.
@@ -119,6 +124,15 @@ pub(crate) enum Event {
     /// Metrics sampler tick: snapshot machine gauges into the time series
     /// and re-arm one interval later (only while the run is live).
     Sample,
+    /// Crash plans only: periodic heartbeat/lease scan (armed only for
+    /// lease-driven detection; re-arms itself while survivors run).
+    LeaseTick,
+    /// Crash plans only: kill `victim` now (scheduled at `start_run` from
+    /// the plan's victim list).
+    CrashNode {
+        /// The node to kill.
+        victim: NodeId,
+    },
 }
 
 /// Outcome of a completed simulation.
@@ -264,6 +278,10 @@ pub struct Machine {
     /// restore replays them against a fresh workload instance, which the
     /// determinism contract of [`Workload::next_op`] makes exact.
     pub(crate) ops_consumed: Vec<u64>,
+    /// Crash-stop failure subsystem (leases, suspicion, reclamation).
+    /// `Some` exactly when the fault plan carries a [`lrc_mesh::CrashPlan`];
+    /// `None` keeps every crash hook to one never-taken branch.
+    pub(crate) crash: Option<Box<crash::CrashCtx>>,
 }
 
 impl Clone for Machine {
@@ -313,6 +331,7 @@ impl Clone for Machine {
             choice_driven: self.choice_driven,
             handled: self.handled,
             ops_consumed: self.ops_consumed.clone(),
+            crash: self.crash.clone(),
         }
     }
 }
@@ -382,6 +401,7 @@ impl Machine {
             choice_driven: false,
             handled: 0,
             ops_consumed: vec![0; cfg.num_procs],
+            crash: None,
             cfg,
         }
     }
@@ -411,8 +431,12 @@ impl Machine {
     /// An inactive plan (all rates zero, no `drop_nth`) installs nothing:
     /// the run stays bit-identical to a machine built without a plan.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        // The crash plan rides the fault plan but is not a link fault: it
+        // arms its own subsystem and must not activate the link layer.
+        let crash = plan.crash.clone();
         self.net = self.net.with_faults(plan);
         self.xmit = self.net.faults_active().then(|| Box::new(XmitState::default()));
+        self.crash = crash.map(|p| Box::new(crash::CrashCtx::new(p, self.cfg.num_procs)));
         self
     }
 
@@ -698,6 +722,9 @@ impl Machine {
         {
             self.push_ev(iv, 0, Event::Sample);
         }
+        if self.crash.is_some() {
+            self.schedule_crash_events();
+        }
     }
 
     /// At-risk runs (watchdog, fault plan, finite resources) arm a
@@ -707,7 +734,11 @@ impl Machine {
     /// a checkpoint, which stores no ring contents: the re-armed recorder
     /// refills within `DEFAULT_FLIGHT_CAP` records.)
     pub(crate) fn arm_default_recorder(&mut self) {
-        if self.watchdog.is_some() || self.xmit.is_some() || !self.cfg.resources.is_unbounded() {
+        if self.watchdog.is_some()
+            || self.xmit.is_some()
+            || self.crash.is_some()
+            || !self.cfg.resources.is_unbounded()
+        {
             let n = self.cfg.num_procs;
             let o = self.obs_mut();
             if o.recorder.is_none() {
@@ -742,6 +773,9 @@ impl Machine {
             }
             self.dispatch(t, ev);
             self.handled += 1;
+            if self.crash.is_some() {
+                self.crash_nth_poll(t);
+            }
             if self.watchdog.is_some() && self.handled.is_multiple_of(WATCHDOG_SCAN_EVERY) {
                 if let Some(diag) = self.scan_stalls(t) {
                     return Err(Box::new(diag));
@@ -767,7 +801,7 @@ impl Machine {
             self.check_invariants("end of run");
         }
 
-        if self.finished != self.cfg.num_procs {
+        if self.finished != self.live_finish_target() {
             let at = self.queue.now();
             let diag = self.diagnose(StallReason::Deadlock, at);
             return Err((Box::new(diag), Box::new(self)));
@@ -810,6 +844,12 @@ impl Machine {
     /// Route one popped event to its handler (shared by the normal run
     /// loop and the checker's [`Machine::step_choice`]).
     pub(crate) fn dispatch(&mut self, t: Cycle, ev: Event) {
+        // Crash-stop: events from or to a dead node vanished with it.
+        if let Some(c) = self.crash.as_deref() {
+            if !c.crashed.is_empty() && self.crash_filter(&ev) {
+                return;
+            }
+        }
         match ev {
             Event::ProcStep(p) => self.proc_step(p, t),
             Event::Msg(m) => self.handle_msg(t, m),
@@ -836,6 +876,8 @@ impl Machine {
                 self.take_sample(t);
                 self.rearm_sampler(t);
             }
+            Event::LeaseTick => self.lease_tick(t),
+            Event::CrashNode { victim } => self.crash_now(t, victim),
         }
     }
 
@@ -865,6 +907,7 @@ impl Machine {
         let tripped = self.nodes.iter().any(|n| {
             n.status != ProcStatus::Running
                 && n.status != ProcStatus::Finished
+                && n.status != ProcStatus::Crashed
                 && t.saturating_sub(n.stall_start) > horizon
         });
         tripped.then(|| self.diagnose(StallReason::ProcStallHorizon(horizon), t))
@@ -903,9 +946,10 @@ impl Machine {
         let reason = match reason {
             StallReason::Deadlock
             | StallReason::CycleHorizon(_)
-            | StallReason::ProcStallHorizon(_) => {
-                self.classify_resource_pressure().unwrap_or(reason)
-            }
+            | StallReason::ProcStallHorizon(_) => self
+                .classify_crash()
+                .or_else(|| self.classify_resource_pressure())
+                .unwrap_or(reason),
             r => r,
         };
         let stalled: Vec<StalledProc> = self
@@ -1051,6 +1095,22 @@ impl Machine {
 
     /// Send a protocol message, recording traffic and scheduling delivery.
     pub(crate) fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, kind: MsgKind) {
+        if self.crash.is_some() && src != dst {
+            // Degraded mode: the sender knows `dst` is dead — requests
+            // forge their own replies, the rest is suppressed.
+            if self.crash_suspects(src, dst) {
+                self.degrade_send(now, src, kind);
+                return;
+            }
+            // Track which peer owes each unacked write-through/write-back,
+            // so a death writes off exactly the acks it can never send.
+            let c = self.crash.as_deref_mut().expect("checked above");
+            match kind {
+                MsgKind::WriteThrough { .. } => c.wt_to[src][dst] += 1,
+                MsgKind::WriteBack { .. } => c.wbk_to[src][dst] += 1,
+                _ => {}
+            }
+        }
         let bytes = kind.bytes(
             self.cfg.ctrl_msg_bytes,
             self.cfg.line_size as u64,
@@ -1395,6 +1455,23 @@ impl Machine {
         if self.cfg.resources.dir_request_slots.is_some() {
             self.nacks_given.remove(line.0);
         }
+        // A dead node's parked requests are dead weight: re-dispatching one
+        // would evaporate in the crash filter and strand every live request
+        // queued behind it (the release chain advances one message per
+        // episode). Drop them here, where the queue is about to drive the
+        // next episode — suspicion-time reclamation only covers requests
+        // parked before the observer suspected.
+        if let Some(c) = self.crash.as_deref() {
+            let crashed = c.crashed;
+            if let Some(q) = self.parked.get_mut(line.0) {
+                let before = q.len();
+                q.retain(|(m, _)| !crashed.contains(m.src));
+                self.stats.crashes.parked_dropped += (before - q.len()) as u64;
+                if q.is_empty() {
+                    self.parked.remove(line.0);
+                }
+            }
+        }
         let Some(q) = self.parked.get_mut(line.0) else {
             return;
         };
@@ -1464,6 +1541,27 @@ impl Machine {
         if self.obs.is_some() {
             self.obs_msg_recv(t, m);
         }
+        if let Some(c) = self.crash.as_deref_mut() {
+            if m.src != m.dst {
+                // Any delivery refreshes the receiver's lease on the
+                // sender; acks settle the sender's per-peer write credit
+                // (saturating: recovery may have written it off already).
+                if c.last_heard[m.dst][m.src] < t {
+                    c.last_heard[m.dst][m.src] = t;
+                }
+                match m.kind {
+                    WriteThroughAck { .. } => {
+                        let owed = &mut c.wt_to[m.dst][m.src];
+                        *owed = owed.saturating_sub(1);
+                    }
+                    WriteBackAck { .. } => {
+                        let owed = &mut c.wbk_to[m.dst][m.src];
+                        *owed = owed.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+        }
         match m.kind {
             // Directory side (home node).
             ReadReq { .. } | WriteReq { .. } | WriteThrough { .. } | WriteBack { .. }
@@ -1476,6 +1574,8 @@ impl Machine {
             // Synchronization.
             LockAcq { .. } | LockGrant { .. } | LockRel { .. } | BarrierArrive { .. }
             | BarrierRelease { .. } => self.handle_sync_msg(t, m),
+            // Heartbeats exist only to refresh the lease updated above.
+            Heartbeat => {}
         }
     }
 
@@ -1484,6 +1584,7 @@ impl Machine {
         use std::fmt::Write;
         let mut s = String::new();
         let _ = writeln!(s, "protocol={} t={}", self.protocol, self.queue.now());
+        self.dump_crash(&mut s);
         if !self.stats.resources.is_zero() {
             let _ = writeln!(s, "  resources: {:?}", self.stats.resources);
             let _ = writeln!(

@@ -256,6 +256,14 @@ impl Machine {
         Self::emit(obs, TraceRecord { at: now, seq, node, data: RecData::Resource { ev } });
     }
 
+    /// A crash/recovery event happened at (or was observed by) `node`.
+    pub(crate) fn obs_crash(&mut self, now: Cycle, node: NodeId, ev: lrc_trace::CrashEv) {
+        let Some(obs) = self.obs.as_deref_mut() else { return };
+        let seq = obs.seq;
+        obs.seq += 1;
+        Self::emit(obs, TraceRecord { at: now, seq, node, data: RecData::Crash { ev } });
+    }
+
     /// Snapshot the sampler's gauges at `t` (the [`Event::Sample`] handler).
     pub(crate) fn take_sample(&mut self, t: Cycle) {
         // Swap the block out so gauge reads can borrow the machine freely.

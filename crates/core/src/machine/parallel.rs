@@ -129,6 +129,7 @@ impl Machine {
     /// correct, just single-threaded.
     fn parallel_eligible(&self) -> bool {
         self.xmit.is_none()
+            && self.crash.is_none()
             && !self.ni_limited
             && self.cfg.placement != lrc_sim::Placement::FirstTouch
             && self.classifier.is_none()

@@ -18,11 +18,17 @@ impl Machine {
             }
             MsgKind::WriteAck { line } => self.on_write_ack(t, m, line),
             MsgKind::WriteThroughAck { .. } => {
-                self.nodes[m.dst].wt_unacked -= 1;
+                // Saturating under a crash plan: recovery may have written
+                // this ack off already (false suspicion, late real ack).
+                let armed = self.crash.is_some();
+                let n = &mut self.nodes[m.dst].wt_unacked;
+                *n = if armed { n.saturating_sub(1) } else { *n - 1 };
                 self.try_complete_release(m.dst, t);
             }
             MsgKind::WriteBackAck { .. } => {
-                self.nodes[m.dst].wbk_unacked -= 1;
+                let armed = self.crash.is_some();
+                let n = &mut self.nodes[m.dst].wbk_unacked;
+                *n = if armed { n.saturating_sub(1) } else { *n - 1 };
                 self.try_complete_release(m.dst, t);
             }
             MsgKind::Invalidate { line } => self.on_invalidate(t, m, line),

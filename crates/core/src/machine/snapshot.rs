@@ -46,7 +46,8 @@ use crate::node::{Outstanding, PendingSync, ProcStatus};
 use lrc_json::{FromJson, ToJson, Value};
 use lrc_mem::{CbEntry, LineState, WbEntry};
 use lrc_mesh::{
-    FaultCounters, FaultPlan, FaultRates, InjectorState, MsgClass, NetworkState, NiSnapshot,
+    CrashPlan, FaultCounters, FaultPlan, FaultRates, InjectorState, MsgClass, NetworkState,
+    NiSnapshot,
 };
 use lrc_race::{
     BarrierState as RaceBarrierState, RaceDetector, RaceDetectorState, ReadState as RaceReadState,
@@ -62,7 +63,21 @@ use std::collections::{BTreeMap, VecDeque};
 
 /// Version stamp written into every snapshot. Bump on any schema change;
 /// [`MachineSnapshot::parse`] rejects unknown versions with a typed error.
-pub const SNAPSHOT_VERSION: u64 = 1;
+///
+/// History:
+/// * **v1** — initial format.
+/// * **v2** — adds the crash-stop fault subsystem: a `crash` section in the
+///   fault plan and at the document root, the `from` multiset on pending
+///   ack collections, the `Crashed` processor status, the `Heartbeat`
+///   message kind, and the `LeaseTick`/`CrashNode` events. Strictly
+///   additive: v1 documents still load, with every new field defaulted to
+///   its crashes-off value.
+pub const SNAPSHOT_VERSION: u64 = 2;
+
+/// Oldest version this build still reads. Documents older than this (or
+/// newer than [`SNAPSHOT_VERSION`]) fail with
+/// [`SnapshotError::UnknownVersion`].
+pub const MIN_SNAPSHOT_VERSION: u64 = 1;
 
 /// Why a capture, parse, or restore failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +106,8 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::UnknownVersion { found } => write!(
                 f,
-                "unknown snapshot version {found} (this build reads version {SNAPSHOT_VERSION})"
+                "unknown snapshot version {found} (this build reads versions \
+                 {MIN_SNAPSHOT_VERSION} through {SNAPSHOT_VERSION})"
             ),
             SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
         }
@@ -215,6 +231,7 @@ fn enc_kind(k: &MsgKind) -> Value {
             f.push(("line", su(line.0)));
             f.push(("ep", su(ep)));
         }
+        Heartbeat => {}
     }
     obj(f)
 }
@@ -245,6 +262,10 @@ fn enc_event(ev: &Event) -> R<Value> {
         // Sample events exist only while a sampler is armed, which capture
         // refuses before it walks the queue.
         Event::Sample => return Err(unsupported("pending metrics-sampler tick")),
+        Event::LeaseTick => obj(vec![tag("lease")]),
+        Event::CrashNode { victim } => {
+            obj(vec![tag("crashnode"), ("victim", nu(*victim as u64))])
+        }
     })
 }
 
@@ -278,6 +299,7 @@ fn enc_status(s: &ProcStatus) -> Value {
         ProcStatus::WaitingLock(l) => obj(vec![tag("wlock"), ("lock", nu(l as u64))]),
         ProcStatus::InBarrier(b) => obj(vec![tag("inbar"), ("bar", nu(b as u64))]),
         ProcStatus::Finished => obj(vec![tag("finished")]),
+        ProcStatus::Crashed => obj(vec![tag("crashed")]),
     }
 }
 
@@ -319,6 +341,26 @@ fn enc_fault_plan(plan: &FaultPlan) -> Value {
         None => Value::Null,
         Some((class, n)) => Value::Array(vec![nu(class.index() as u64), su(n)]),
     };
+    let crash = match &plan.crash {
+        None => Value::Null,
+        Some(cp) => {
+            let victims = cp
+                .victims
+                .iter()
+                .map(|&(n, at)| Value::Array(vec![nu(n as u64), su(at)]))
+                .collect();
+            let crash_nth = match cp.crash_nth {
+                None => Value::Null,
+                Some((n, k)) => Value::Array(vec![nu(n as u64), su(k)]),
+            };
+            obj(vec![
+                ("victims", Value::Array(victims)),
+                ("crash_nth", crash_nth),
+                ("heartbeat_every", su(cp.heartbeat_every)),
+                ("lease_timeout", su(cp.lease_timeout)),
+            ])
+        }
+    };
     obj(vec![
         ("seed", su(plan.seed)),
         ("rates", Value::Array(rates)),
@@ -326,6 +368,7 @@ fn enc_fault_plan(plan: &FaultPlan) -> Value {
         ("drop_nth", drop_nth),
         ("retry_timeout", su(plan.retry_timeout)),
         ("max_retries", nu(plan.max_retries as u64)),
+        ("crash", crash),
     ])
 }
 
@@ -457,6 +500,90 @@ fn enc_values(vt: &ValueTracker) -> Value {
     ])
 }
 
+fn enc_crash_ctx(c: &super::crash::CrashCtx) -> Value {
+    let matrix_su = |m: &[Vec<Cycle>]| {
+        Value::Array(
+            m.iter()
+                .map(|row| Value::Array(row.iter().map(|&t| su(t)).collect()))
+                .collect(),
+        )
+    };
+    let matrix_nu = |m: &[Vec<u32>]| {
+        Value::Array(
+            m.iter()
+                .map(|row| Value::Array(row.iter().map(|&x| nu(x as u64)).collect()))
+                .collect(),
+        )
+    };
+    obj(vec![
+        ("crashed", enc_node_list(c.crashed)),
+        ("crashed_unfinished", nu(c.crashed_unfinished as u64)),
+        (
+            "suspected",
+            Value::Array(c.suspected.iter().map(|&s| enc_node_list(s)).collect()),
+        ),
+        ("last_heard", matrix_su(&c.last_heard)),
+        ("wt_to", matrix_nu(&c.wt_to)),
+        ("wbk_to", matrix_nu(&c.wbk_to)),
+    ])
+}
+
+fn dec_crash_ctx(v: &Value, c: &mut super::crash::CrashCtx, np: usize) -> R<()> {
+    let rows = |k: &str| -> R<&Vec<Value>> {
+        let rows = d_arr(v, k)?;
+        if rows.len() != np {
+            return Err(corrupt(format!("crash.{k}: expected {np} rows, got {}", rows.len())));
+        }
+        Ok(rows)
+    };
+    let row = |rv: &Value, k: &str| -> R<Vec<Value>> {
+        let r = rv
+            .as_array()
+            .ok_or_else(|| corrupt(format!("crash.{k}: expected row array")))?;
+        if r.len() != np {
+            return Err(corrupt(format!("crash.{k}: expected {np} columns, got {}", r.len())));
+        }
+        Ok(r.clone())
+    };
+    c.crashed = d_node_set(v, "crashed", np)?;
+    c.crashed_unfinished = d_usize(v, "crashed_unfinished")?;
+    c.suspected = rows("suspected")?
+        .iter()
+        .map(|rv| {
+            rv.as_array()
+                .ok_or_else(|| corrupt("crash.suspected: expected array"))?
+                .iter()
+                .map(|e| node_val(e, np, "crash.suspected"))
+                .collect::<R<Vec<usize>>>()
+                .map(|nodes| nodes.into_iter().collect())
+        })
+        .collect::<R<Vec<NodeSet>>>()?;
+    c.last_heard = rows("last_heard")?
+        .iter()
+        .map(|rv| row(rv, "last_heard")?.iter().map(|e| as_su(e, "crash.last_heard")).collect())
+        .collect::<R<Vec<Vec<Cycle>>>>()?;
+    let credit = |k: &'static str| -> R<Vec<Vec<u32>>> {
+        rows(k)?
+            .iter()
+            .map(|rv| {
+                row(rv, k)?
+                    .iter()
+                    .map(|e| {
+                        let x = e
+                            .as_u64()
+                            .ok_or_else(|| corrupt(format!("crash.{k}: expected integer")))?;
+                        u32::try_from(x)
+                            .map_err(|_| corrupt(format!("crash.{k}: {x} exceeds u32")))
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    c.wt_to = credit("wt_to")?;
+    c.wbk_to = credit("wbk_to")?;
+    Ok(())
+}
+
 fn enc_race(st: &RaceDetectorState) -> Value {
     let clocks_a = |cs: &[u64]| Value::Array(cs.iter().map(|&c| su(c)).collect());
     let words = st
@@ -571,9 +698,15 @@ impl MachineSnapshot {
         }
 
         let np = m.cfg.num_procs;
-        let fault_plan = match m.net.fault_plan() {
-            None => Value::Null,
-            Some(plan) => enc_fault_plan(plan),
+        // A crash-only plan never activates the link-layer injector, so the
+        // network holds no plan; synthesize one around the crash plan the
+        // machine kept, or restore could not re-arm the subsystem.
+        let fault_plan = match (m.net.fault_plan(), m.crash.as_deref()) {
+            (Some(plan), _) => enc_fault_plan(plan),
+            (None, Some(c)) => {
+                enc_fault_plan(&FaultPlan::off(0).with_crash(c.plan.clone()))
+            }
+            (None, None) => Value::Null,
         };
 
         let mut events = Vec::with_capacity(m.queue.len());
@@ -598,6 +731,10 @@ impl MachineSnapshot {
                         (
                             "waiters",
                             Value::Array(ac.waiters.iter().map(|&w| nu(w as u64)).collect()),
+                        ),
+                        (
+                            "from",
+                            Value::Array(ac.from.iter().map(|&w| nu(w as u64)).collect()),
                         ),
                     ]),
                 };
@@ -683,6 +820,10 @@ impl MachineSnapshot {
 
         let recorder_armed =
             m.obs.as_deref().map(|o| o.recorder.is_some()).unwrap_or(false);
+        let crash = match m.crash.as_deref() {
+            None => Value::Null,
+            Some(c) => enc_crash_ctx(c),
+        };
 
         let root = obj(vec![
             ("version", nu(SNAPSHOT_VERSION)),
@@ -729,6 +870,7 @@ impl MachineSnapshot {
             ("grant_log", Value::Array(grant_log)),
             ("values", values),
             ("race", race),
+            ("crash", crash),
             ("stats", m.stats.to_json()),
         ]);
         Ok(MachineSnapshot { root })
@@ -1036,6 +1178,7 @@ fn dec_kind(v: &Value, np: usize) -> R<MsgKind> {
             attempt: d_u32(v, "attempt")?,
         },
         "ForwardCancel" => ForwardCancel { line: line()?, ep: d_u64(v, "ep")? },
+        "Heartbeat" => Heartbeat,
         k => return Err(corrupt(format!("unknown message kind `{k}`"))),
     })
 }
@@ -1057,6 +1200,8 @@ fn dec_event(v: &Value, np: usize) -> R<Event> {
             attempts: d_u32(v, "attempts")?,
         },
         "nack" => Event::NackRetry { msg: dec_msg(field(v, "msg")?, np)? },
+        "lease" => Event::LeaseTick,
+        "crashnode" => Event::CrashNode { victim: d_node(v, "victim", np)? },
         t => return Err(corrupt(format!("unknown event tag `{t}`"))),
     })
 }
@@ -1093,6 +1238,7 @@ fn dec_status(v: &Value) -> R<ProcStatus> {
         "wlock" => ProcStatus::WaitingLock(d_u32(v, "lock")?),
         "inbar" => ProcStatus::InBarrier(d_u32(v, "bar")?),
         "finished" => ProcStatus::Finished,
+        "crashed" => ProcStatus::Crashed,
         t => return Err(corrupt(format!("unknown proc status tag `{t}`"))),
     })
 }
@@ -1152,6 +1298,36 @@ fn dec_fault_plan(v: &Value) -> R<FaultPlan> {
             Some((class, as_su(n, "drop_nth.n")?))
         }
     };
+    // v1 documents predate crash plans; absent (or null) means none.
+    let crash = match v.get("crash") {
+        None | Some(Value::Null) => None,
+        Some(cv) => {
+            let mut victims = Vec::new();
+            for e in d_arr(cv, "victims")? {
+                let [n, at] = tuple::<2>(e, "crash victim")?;
+                victims.push((
+                    n.as_u64().ok_or_else(|| corrupt("crash victim node"))? as usize,
+                    as_su(at, "crash victim cycle")?,
+                ));
+            }
+            let crash_nth = match field(cv, "crash_nth")? {
+                Value::Null => None,
+                nv => {
+                    let [n, k] = tuple::<2>(nv, "crash_nth")?;
+                    Some((
+                        n.as_u64().ok_or_else(|| corrupt("crash_nth node"))? as usize,
+                        as_su(k, "crash_nth.n")?,
+                    ))
+                }
+            };
+            Some(CrashPlan {
+                victims,
+                crash_nth,
+                heartbeat_every: d_u64(cv, "heartbeat_every")?,
+                lease_timeout: d_u64(cv, "lease_timeout")?,
+            })
+        }
+    };
     Ok(FaultPlan {
         seed: d_u64(v, "seed")?,
         rates,
@@ -1159,6 +1335,7 @@ fn dec_fault_plan(v: &Value) -> R<FaultPlan> {
         drop_nth,
         retry_timeout: d_u64(v, "retry_timeout")?,
         max_retries: d_u32(v, "max_retries")?,
+        crash,
     })
 }
 
@@ -1385,7 +1562,7 @@ impl MachineSnapshot {
             .get("version")
             .and_then(|v| v.as_u64())
             .ok_or_else(|| corrupt("missing snapshot version stamp"))?;
-        if found != SNAPSHOT_VERSION {
+        if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&found) {
             return Err(SnapshotError::UnknownVersion { found });
         }
         Ok(MachineSnapshot { root })
@@ -1438,7 +1615,7 @@ impl MachineSnapshot {
     pub fn restore(&self, workload: Box<dyn Workload>) -> R<Machine> {
         let v = &self.root;
         let found = d_num(v, "version")?;
-        if found != SNAPSHOT_VERSION {
+        if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&found) {
             return Err(SnapshotError::UnknownVersion { found });
         }
         let protocol = Protocol::from_json(field(v, "protocol")?)
@@ -1457,6 +1634,12 @@ impl MachineSnapshot {
         let xmit_v = field(v, "xmit")?;
         if xmit_v.is_null() != m.xmit.is_none() {
             return Err(corrupt("xmit state inconsistent with fault plan"));
+        }
+        // Likewise the crash subsystem exists exactly when the plan carries
+        // a crash section (v1 documents have neither).
+        let crash_v = v.get("crash").unwrap_or(&Value::Null);
+        if crash_v.is_null() != m.crash.is_none() {
+            return Err(corrupt("crash state inconsistent with fault plan"));
         }
 
         // Workload: match, then fast-forward by the consumed-op counts.
@@ -1537,6 +1720,16 @@ impl MachineSnapshot {
                         .iter()
                         .map(|w| node_val(w, np, "dir waiter"))
                         .collect::<R<Vec<_>>>()?,
+                    // v1 documents predate the debtor multiset; an empty
+                    // one only disables the crash-time write-off, which
+                    // v1 snapshots cannot need.
+                    from: match pv.get("from") {
+                        None => Vec::new(),
+                        Some(_) => d_arr(pv, "from")?
+                            .iter()
+                            .map(|w| node_val(w, np, "dir ack debtor"))
+                            .collect::<R<Vec<_>>>()?,
+                    },
                 }),
             };
             let entry = DirEntry::from_parts(
@@ -1615,6 +1808,12 @@ impl MachineSnapshot {
             )));
         }
         m.stats = stats;
+        if !crash_v.is_null() {
+            // with_fault_plan armed a fresh context; overlay the captured
+            // runtime state (deaths, suspicions, leases, unacked credit).
+            let c = m.crash.as_deref_mut().expect("consistency checked above");
+            dec_crash_ctx(crash_v, c, np)?;
+        }
 
         // Event queue: tie keys, the clock, and the high-water mark.
         let ev_seq = d_su_vec(v, "ev_seq")?;

@@ -296,6 +296,13 @@ impl Machine {
             }
             MsgKind::LockGrant { lock } => {
                 let p = m.dst;
+                if self.crash.is_some() && self.nodes[p].status != ProcStatus::WaitingLock(lock)
+                {
+                    // Crash recovery can self-grant a wait (degraded mode)
+                    // or re-grant a reclaimed lock; a straggling real grant
+                    // arriving afterwards must not double-resume.
+                    return;
+                }
                 debug_assert_eq!(self.nodes[p].status, ProcStatus::WaitingLock(lock));
                 self.stats.procs[p].lock_acquires += 1;
                 self.note_race_acquire(p, lock);
@@ -308,7 +315,7 @@ impl Machine {
             MsgKind::BarrierArrive { bar } => {
                 let h = m.dst;
                 let done = self.nodes[h].pp.occupy(t, self.cfg.sync_service_cost);
-                let expected = self.cfg.num_procs;
+                let expected = self.barrier_expected(h);
                 if let Some(all) = self.nodes[h].barriers.arrive(bar, m.src, expected) {
                     let mut send_t = done;
                     for n in all {
@@ -319,6 +326,11 @@ impl Machine {
             }
             MsgKind::BarrierRelease { bar } => {
                 let p = m.dst;
+                if self.crash.is_some() && self.nodes[p].status != ProcStatus::InBarrier(bar) {
+                    // Same drop guard as grants: recovery may already have
+                    // released this waiter.
+                    return;
+                }
                 debug_assert_eq!(self.nodes[p].status, ProcStatus::InBarrier(bar));
                 self.stats.procs[p].barriers += 1;
                 self.note_race_barrier_depart(p, bar);

@@ -105,6 +105,12 @@ pub enum MsgKind {
     /// Ordering makes this race-free: on a given home→owner channel the
     /// `Forward` always arrives before its `ForwardCancel`.
     ForwardCancel { line: LineAddr, ep: u64 },
+
+    // ---- failure detection ---------------------------------------------------
+    /// "I am alive": periodic lease renewal sent to every peer while a
+    /// crash plan is armed. Carries no line and needs no reply — silence
+    /// past the lease bound is itself the signal.
+    Heartbeat,
 }
 
 /// A routed message.
@@ -202,6 +208,7 @@ impl MsgKind {
             MsgKind::BarrierRelease { .. } => "BarrierRelease",
             MsgKind::BusyNack { .. } => "BusyNack",
             MsgKind::ForwardCancel { .. } => "ForwardCancel",
+            MsgKind::Heartbeat => "Heartbeat",
         }
     }
 }
@@ -293,5 +300,8 @@ mod tests {
         assert_eq!(nack.line(), Some(l(9)));
         assert_eq!(nack.bytes(H, L, W), 8, "a NACK is a bare header");
         assert_eq!(nack.traffic_class(), TrafficClass::Control);
+        assert_eq!(MsgKind::Heartbeat.line(), None);
+        assert_eq!(MsgKind::Heartbeat.bytes(H, L, W), 8, "a heartbeat is a bare header");
+        assert_eq!(MsgKind::Heartbeat.traffic_class(), TrafficClass::Control);
     }
 }

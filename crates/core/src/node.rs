@@ -30,6 +30,11 @@ pub enum ProcStatus {
     InBarrier(BarrierId),
     /// Executed `Done`.
     Finished,
+    // (Appended last: the derived `Hash` folds the variant index, and the
+    // checker fingerprints depend on the indices above staying put.)
+    /// Crash-stop victim: the node's state vanished and it will never
+    /// issue, send, or receive again.
+    Crashed,
 }
 
 /// What to do once the release fence completes.

@@ -112,6 +112,31 @@ impl LockManager {
             );
         }
     }
+
+    /// Crash-stop reclamation: expunge `dead` from every lock it holds or
+    /// waits on. A lock held by the dead node passes to its next live
+    /// waiter; dead waiters are simply dropped. Returns the grants to send
+    /// (`(lock, next_holder)`), sorted by lock id for determinism, plus
+    /// the number of locks whose dead holder was evicted.
+    pub fn purge(&mut self, dead: NodeId) -> (Vec<(LockId, NodeId)>, u64) {
+        let mut grants = Vec::new();
+        let mut reclaimed = 0u64;
+        for (&lock, st) in self.locks.iter_mut() {
+            st.queue.retain(|&n| n != dead);
+            if st.holder == Some(dead) {
+                reclaimed += 1;
+                match st.queue.pop_front() {
+                    Some(next) => {
+                        st.holder = Some(next);
+                        grants.push((lock, next));
+                    }
+                    None => st.holder = None,
+                }
+            }
+        }
+        grants.sort_unstable_by_key(|&(l, _)| l);
+        (grants, reclaimed)
+    }
 }
 
 /// State of all barriers homed at one node.
@@ -193,6 +218,31 @@ impl BarrierManager {
             self.barriers.insert(*b, BarrierState { arrived: arrived.clone() });
         }
     }
+
+    /// Crash-stop reclamation: remove `dead` from every in-progress
+    /// episode, then re-check completion against the post-crash
+    /// `expected` count — with one fewer participant, an episode the dead
+    /// node never reached may now be full. Returns the completed barriers
+    /// with their (live) arrival lists to release, sorted by barrier id,
+    /// plus the number of dead arrival slots dropped.
+    pub fn purge(
+        &mut self,
+        dead: NodeId,
+        expected: usize,
+    ) -> (Vec<(BarrierId, Vec<NodeId>)>, u64) {
+        let mut released = Vec::new();
+        let mut slots = 0u64;
+        for (&bar, st) in self.barriers.iter_mut() {
+            let before = st.arrived.len();
+            st.arrived.retain(|&n| n != dead);
+            slots += (before - st.arrived.len()) as u64;
+            if !st.arrived.is_empty() && st.arrived.len() >= expected {
+                released.push((bar, std::mem::take(&mut st.arrived)));
+            }
+        }
+        released.sort_unstable_by_key(|&(b, _)| b);
+        (released, slots)
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +303,51 @@ mod tests {
     fn single_proc_barrier_releases_instantly() {
         let mut b = BarrierManager::new();
         assert_eq!(b.arrive(0, 0, 1), Some(vec![0]));
+    }
+
+    #[test]
+    fn lock_purge_passes_grant_over_dead_holder_and_waiters() {
+        let mut m = LockManager::new();
+        m.acquire(0, 1); // 1 holds lock 0
+        m.acquire(0, 2); // 2 queued
+        m.acquire(0, 3); // 3 queued
+        m.acquire(1, 2); // 2 holds lock 1, nobody queued
+        m.acquire(2, 4); // 4 holds lock 2
+        m.acquire(2, 1); // dead node also waits on a live lock
+
+        // Node 1 dies: lock 0 passes to 2; its slot in lock 2's queue goes.
+        let (grants, reclaimed) = m.purge(1);
+        assert_eq!(grants, vec![(0, 2)]);
+        assert_eq!(reclaimed, 1);
+        assert_eq!(m.holder(0), Some(2));
+        assert_eq!(m.queue_len(2), 0);
+
+        // Node 2 dies holding both: lock 0 passes to 3, lock 1 frees.
+        let (grants, reclaimed) = m.purge(2);
+        assert_eq!(grants, vec![(0, 3)]);
+        assert_eq!(reclaimed, 2);
+        assert_eq!(m.holder(1), None);
+    }
+
+    #[test]
+    fn barrier_purge_completes_short_handed_episodes() {
+        let mut b = BarrierManager::new();
+        // 3 of 4 arrived; the missing node dies, expected drops to 3.
+        assert_eq!(b.arrive(0, 0, 4), None);
+        assert_eq!(b.arrive(0, 1, 4), None);
+        assert_eq!(b.arrive(0, 2, 4), None);
+        let (released, slots) = b.purge(3, 3);
+        assert_eq!(slots, 0, "the dead node had not arrived");
+        assert_eq!(released, vec![(0, vec![0, 1, 2])]);
+        assert_eq!(b.waiting(0), 0);
+
+        // The dead node *had* arrived: its slot is dropped, the episode
+        // waits for the remaining live arrivals.
+        assert_eq!(b.arrive(1, 3, 4), None);
+        assert_eq!(b.arrive(1, 0, 4), None);
+        let (released, slots) = b.purge(3, 3);
+        assert_eq!(slots, 1);
+        assert!(released.is_empty());
+        assert_eq!(b.waiting(1), 1);
     }
 }

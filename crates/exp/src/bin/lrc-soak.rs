@@ -23,9 +23,10 @@
 //! diagnosis naming the abandoned deliveries, not silent corruption.
 //!
 //! ```text
-//! lrc-soak [--smoke] [--capacity-sweep] [--races] [--procs N] [--seeds N]
-//!          [--phases N] [--rates R1,R2,...] [--watchdog CYCLES]
-//!          [--checkpoint-dir DIR] [--resume DIR] [--replay FILE] [--quiet]
+//! lrc-soak [--smoke] [--capacity-sweep] [--races] [--availability]
+//!          [--procs N] [--seeds N] [--phases N] [--rates R1,R2,...]
+//!          [--watchdog CYCLES] [--checkpoint-dir DIR] [--resume DIR]
+//!          [--replay FILE] [--quiet]
 //! ```
 //!
 //! `--smoke` is the CI profile: tiny programs, rates {0, 1e-3}, one seed,
@@ -49,6 +50,17 @@
 //! bit-identically; the sweep as a whole must exercise real pressure
 //! (nonzero NACK / reject / overflow counters in at least one cell).
 //!
+//! `--availability` replaces the fault grid with a *crash-stop* grid:
+//! crash rate (the fraction of nodes killed, at seeded early-run cycles)
+//! × protocol × seed, fault-free links, lease-based detection armed in
+//! every cell. Surviving nodes must complete their programs, the typed
+//! crash counters must match the plan, and every cell must rerun with
+//! bit-identical statistics. The rate-0 cells are the control: the armed
+//! detector must stay silent and the full value verification applies.
+//! Availability sweeps are crash-resumable like the fault grid, and the
+//! sweep manifest records the crash-plan shape so a `--resume` under a
+//! different plan is a fatal mismatch instead of silently mixed cells.
+//!
 //! `--races` replaces the fault grid with a race-detection sweep over the
 //! application suite: the five data-race-free SPLASH-style generators
 //! (barnes, blu, cholesky, fft, gauss) must come back clean under every
@@ -59,7 +71,7 @@
 
 #![forbid(unsafe_code)]
 
-use lrc_core::{FaultPlan, FaultRates, Machine, MachineSnapshot, MsgClass, StallDiagnosis};
+use lrc_core::{CrashPlan, FaultPlan, FaultRates, Machine, MachineSnapshot, MsgClass, StallDiagnosis};
 use lrc_json::Value;
 use lrc_sim::refint;
 use lrc_sim::{MachineConfig, MachineStats, Op, Protocol, ResourceLimits, Rng, Script};
@@ -415,6 +427,237 @@ fn races_sweep(base: &MachineConfig, smoke: bool, watchdog: u64, quiet: bool) ->
     failures
 }
 
+/// Heartbeat period for every availability cell. Recorded in the sweep
+/// manifest: resuming under a different period is a fatal mismatch.
+const AVAIL_HEARTBEAT: u64 = 500;
+/// Lease bound for every availability cell. Comfortably dominates the
+/// heartbeat period plus the worst-case NI queueing delay, so no
+/// slow-but-alive node is ever falsely declared dead.
+const AVAIL_LEASE: u64 = 4_000;
+
+/// The availability sweep's crash plan for one cell: `ceil(rate × procs)`
+/// distinct seeded victims, each killed at a seeded early-run cycle (the
+/// generated programs barrier every phase, so survivors provably depend
+/// on reclamation to finish). At most `procs - 1` nodes die; rate 0 keeps
+/// detection armed with nobody on the kill list.
+fn avail_plan(rate: f64, procs: usize, seed: u64) -> FaultPlan {
+    let n = ((rate * procs as f64).ceil() as usize).min(procs.saturating_sub(1));
+    let mut cp = CrashPlan::detection_only();
+    cp.heartbeat_every = AVAIL_HEARTBEAT;
+    cp.lease_timeout = AVAIL_LEASE;
+    let mut rng = Rng::new(seed.wrapping_mul(0x6b43_a9b5).wrapping_add(0xD1ED));
+    while cp.victims.len() < n {
+        let v = rng.below(procs as u64) as usize;
+        if cp.victims.iter().all(|&(w, _)| w != v) {
+            cp.victims.push((v, 1_000 + 250 * rng.below(6)));
+        }
+    }
+    FaultPlan::off(seed).with_crash(cp)
+}
+
+/// One availability cell. Rate-0 control cells get the full soak
+/// verification (values against the reference SC execution, detector
+/// provably silent); crashed cells assert surviving-node completion,
+/// plan-matching typed crash counters, and a bit-identical rerun.
+fn availability_cell(
+    cfg: &MachineConfig,
+    proto: Protocol,
+    rate: f64,
+    seed: u64,
+    phases: usize,
+    csecs: usize,
+    watchdog: u64,
+) -> CellOutcome {
+    let script = soak_script(seed, cfg.num_procs, phases, csecs, cfg);
+    let plan = avail_plan(rate, cfg.num_procs, seed);
+    let victims: Vec<usize> =
+        plan.crash.as_ref().map_or(Vec::new(), |c| c.victims.iter().map(|&(v, _)| v).collect());
+
+    if victims.is_empty() {
+        let (first, m) =
+            match build(cfg, proto, plan.clone(), watchdog).try_run_wedge(Box::new(script.clone())) {
+                Ok(pair) => pair,
+                Err((diag, wedged)) => return CellOutcome::Wedged(diag, wedged),
+            };
+        let c = &first.stats.crashes;
+        if c.heartbeats_sent == 0 {
+            return CellOutcome::Failed(format!("detection was never armed: {c:?}"));
+        }
+        if c.crashes != 0 || c.suspicions != 0 {
+            return CellOutcome::Failed(format!(
+                "the armed detector perturbed a healthy run: {c:?}"
+            ));
+        }
+        if let Err(e) = verify_values(&m, &script) {
+            return CellOutcome::Failed(e);
+        }
+        return match build(cfg, proto, plan, watchdog).try_run(Box::new(script)) {
+            Ok(second) if second.stats == first.stats => CellOutcome::Ok(Box::new(first.stats)),
+            Ok(_) => CellOutcome::Failed("rerun with the same (seed, plan) diverged".into()),
+            Err(diag) => {
+                CellOutcome::Failed(format!("rerun wedged where the first run completed: {diag}"))
+            }
+        };
+    }
+
+    // Crashed cells: dirty lines can die with their owners, so the value
+    // comparison against the reference SC execution no longer applies;
+    // the cell's contract is completion, typed accounting, determinism.
+    let run = || {
+        Machine::new(cfg.clone(), proto)
+            .with_fault_plan(plan.clone())
+            .with_watchdog(watchdog)
+            .with_max_cycles(50_000_000_000)
+    };
+    let (first, _m) = match run().try_run_wedge(Box::new(script.clone())) {
+        Ok(pair) => pair,
+        Err((diag, wedged)) => return CellOutcome::Wedged(diag, wedged),
+    };
+    let c = &first.stats.crashes;
+    if c.crashes != victims.len() as u64 {
+        return CellOutcome::Failed(format!(
+            "{} node(s) on the kill list but {} died: {c:?}",
+            victims.len(),
+            c.crashes
+        ));
+    }
+    if c.suspicions == 0 {
+        return CellOutcome::Failed(format!("nobody ever suspected the dead node(s): {c:?}"));
+    }
+    for (p, ps) in first.stats.procs.iter().enumerate() {
+        if victims.contains(&p) {
+            if ps.finish_time != 0 {
+                return CellOutcome::Failed(format!("dead node {p} finished its program"));
+            }
+        } else if ps.finish_time == 0 {
+            return CellOutcome::Failed(format!("surviving node {p} never finished"));
+        }
+    }
+    match run().try_run(Box::new(script)) {
+        Ok(second) if second.stats == first.stats => CellOutcome::Ok(Box::new(first.stats)),
+        Ok(_) => CellOutcome::Failed("rerun with the same (seed, plan) diverged".into()),
+        Err(diag) => {
+            CellOutcome::Failed(format!("rerun wedged where the first run completed: {diag}"))
+        }
+    }
+}
+
+/// The `--availability` sweep: crash rate × protocol × seed. Journaled
+/// and resumable exactly like the fault grid (the caller has already
+/// pinned the manifest, crash-plan shape included). Returns the number of
+/// failed cells.
+#[allow(clippy::too_many_arguments)]
+fn availability_sweep(
+    cfg: &MachineConfig,
+    rates: &[f64],
+    seeds: u64,
+    phases: usize,
+    csecs: usize,
+    watchdog: u64,
+    quiet: bool,
+    journal: &Option<Journal>,
+    resume: bool,
+    dump_dir: &Path,
+) -> usize {
+    let mut cells = 0usize;
+    let mut failures = 0usize;
+    let mut total_killed = 0u64;
+    let mut total_lost = 0u64;
+    for &rate in rates {
+        for &proto in &Protocol::ALL {
+            for seed in 1..=seeds {
+                cells += 1;
+                let key = format!("avail{rate}-{}-seed{seed}", proto.name());
+                let (rec, fresh) = match resume
+                    .then(|| journal.as_ref().and_then(|j| j.load(&key)))
+                    .flatten()
+                {
+                    Some(rec) => (rec, false),
+                    None => {
+                        let rec = match availability_cell(
+                            cfg, proto, rate, seed, phases, csecs, watchdog,
+                        ) {
+                            CellOutcome::Ok(stats) => {
+                                let c = &stats.crashes;
+                                let survivors = stats
+                                    .procs
+                                    .iter()
+                                    .filter(|ps| ps.finish_time > 0)
+                                    .count();
+                                CellRecord {
+                                    ok: true,
+                                    line: format!(
+                                        "  ok {proto:<8} crash={rate:<5} seed={seed}  \
+                                         {:>10} cycles  {survivors}/{} finished  \
+                                         {:>2} killed  {:>3} dirty lost  {:>3} reclaimed\n",
+                                        stats.total_cycles,
+                                        stats.procs.len(),
+                                        c.crashes,
+                                        c.dirty_lines_lost,
+                                        c.clean_lines_reclaimed,
+                                    ),
+                                    // Journal fields double as the sweep's
+                                    // availability totals: nodes killed and
+                                    // dirty lines lost.
+                                    injected: c.crashes,
+                                    retries: c.dirty_lines_lost,
+                                }
+                            }
+                            CellOutcome::Failed(e) => CellRecord {
+                                ok: false,
+                                line: format!("FAIL {proto:<8} crash={rate:<5} seed={seed}: {e}\n"),
+                                injected: 0,
+                                retries: 0,
+                            },
+                            CellOutcome::Wedged(diag, wedged) => {
+                                let mut line = format!(
+                                    "FAIL {proto:<8} crash={rate:<5} seed={seed}: \
+                                     survivors wedged: {diag}\n"
+                                );
+                                match dump_wedge(dump_dir, &key, &wedged, seed, phases, csecs) {
+                                    Ok(p) => line.push_str(&format!(
+                                        "      stall snapshot: {}\n      \
+                                         replay: lrc-soak --replay {}\n",
+                                        p.display(),
+                                        p.display()
+                                    )),
+                                    Err(e) => line
+                                        .push_str(&format!("      (stall snapshot not written: {e})\n")),
+                                }
+                                CellRecord { ok: false, line, injected: 0, retries: 0 }
+                            }
+                        };
+                        (rec, true)
+                    }
+                };
+                if rec.ok {
+                    total_killed += rec.injected;
+                    total_lost += rec.retries;
+                    if !quiet {
+                        eprint!("{}", rec.line);
+                    }
+                } else {
+                    failures += 1;
+                    eprint!("{}", rec.line);
+                }
+                if fresh {
+                    if let Some(j) = journal {
+                        j.store(&key, &rec);
+                    }
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        eprintln!(
+            "lrc-soak --availability: all {cells} cells verified ({total_killed} nodes killed, \
+             {total_lost} dirty lines lost as typed events, every surviving node completed, \
+             every run reproducible)"
+        );
+    }
+    failures
+}
+
 /// The unrecoverable stage: drop messages with retries disabled, and
 /// require the failure mode to be a structured diagnosis that names the
 /// abandoned deliveries — never a hang, never silent completion with wrong
@@ -668,6 +911,7 @@ fn main() {
     let mut smoke = false;
     let mut capacity = false;
     let mut races = false;
+    let mut availability = false;
     let mut quiet = false;
     let mut procs: Option<usize> = None;
     let mut seeds: Option<u64> = None;
@@ -688,6 +932,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--capacity-sweep" => capacity = true,
             "--races" => races = true,
+            "--availability" => availability = true,
             "--quiet" => quiet = true,
             "--procs" => {
                 let v = value(&mut i, "--procs");
@@ -735,8 +980,8 @@ fn main() {
             "--replay" => replay_file = Some(value(&mut i, "--replay")),
             other => die(&format!(
                 "unknown argument '{other}' \
-                 (usage: lrc-soak [--smoke] [--capacity-sweep] [--races] [--procs N] \
-                 [--seeds N] [--phases N] [--rates R1,R2,...] [--watchdog CYCLES] \
+                 (usage: lrc-soak [--smoke] [--capacity-sweep] [--races] [--availability] \
+                 [--procs N] [--seeds N] [--phases N] [--rates R1,R2,...] [--watchdog CYCLES] \
                  [--checkpoint-dir DIR] [--resume DIR] [--replay FILE] [--quiet])"
             )),
         }
@@ -751,24 +996,65 @@ fn main() {
     let seeds = seeds.unwrap_or(if smoke { 1 } else { 3 });
     let phases = phases.unwrap_or(if smoke { 3 } else { 6 });
     let csecs = if smoke { 4 } else { 8 };
-    let rates = rates.unwrap_or(if smoke { vec![0.0, 1e-3] } else { vec![0.0, 1e-4, 1e-3] });
+    // `--rates` is the grid's variable axis: link-fault rates by default,
+    // crash rates (fraction of nodes killed) under `--availability`.
+    let rates = rates.unwrap_or(match (availability, smoke) {
+        (true, true) => vec![0.0, 0.25],
+        (true, false) => vec![0.0, 0.125, 0.25],
+        (false, true) => vec![0.0, 1e-3],
+        (false, false) => vec![0.0, 1e-4, 1e-3],
+    });
     let cfg = MachineConfig::paper_default(procs);
 
     let journal = checkpoint_dir.as_deref().map(Journal::open);
     if let Some(j) = &journal {
+        // The crash-plan shape is part of the manifest: a `--resume` of an
+        // availability sweep under a different plan (or of a fault sweep
+        // as an availability sweep) is a fatal mismatch, never a silent
+        // mix of cells that mean different things.
+        let crash = if availability {
+            Value::Object(vec![
+                ("heartbeat_every".to_string(), Value::Str(AVAIL_HEARTBEAT.to_string())),
+                ("lease_timeout".to_string(), Value::Str(AVAIL_LEASE.to_string())),
+            ])
+        } else {
+            Value::Null
+        };
         j.check_manifest(&Value::Object(vec![
+            (
+                "mode".to_string(),
+                Value::Str(if availability { "availability" } else { "faults" }.to_string()),
+            ),
             ("procs".to_string(), Value::Num(procs as f64)),
             ("seeds".to_string(), Value::Num(seeds as f64)),
             ("phases".to_string(), Value::Num(phases as f64)),
             ("csecs".to_string(), Value::Num(csecs as f64)),
             ("watchdog".to_string(), Value::Str(watchdog.to_string())),
             ("rates".to_string(), Value::Array(rates.iter().map(|&r| Value::Num(r)).collect())),
+            ("crash".to_string(), crash),
         ]));
     }
-    // Wedge snapshots land next to the journal when one exists, else in
-    // the working directory — the stall artifact is always written.
+    // Wedge snapshots land next to the journal when one exists, else
+    // under results/wedges/ — never loose in the working directory.
     let dump_dir: PathBuf =
-        journal.as_ref().map(|j| j.dir.clone()).unwrap_or_else(|| PathBuf::from("."));
+        journal.as_ref().map(|j| j.dir.clone()).unwrap_or_else(|| PathBuf::from("results/wedges"));
+
+    if availability {
+        if !quiet {
+            eprintln!(
+                "lrc-soak --availability{}: {} procs, {} seed(s), crash rates {:?}, {} protocols",
+                if smoke { " --smoke" } else { "" },
+                procs,
+                seeds,
+                rates,
+                Protocol::ALL.len()
+            );
+        }
+        let failures = availability_sweep(
+            &cfg, &rates, seeds, phases, csecs, watchdog, quiet, &journal, resume, &dump_dir,
+        );
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
 
     if races {
         if !quiet {

@@ -12,7 +12,7 @@
 //! deterministic `drop_nth` mode so the model checker can kill exactly one
 //! chosen message without any randomness at all.
 
-use lrc_sim::{Cycle, Rng};
+use lrc_sim::{Cycle, NodeId, Rng};
 
 /// Coarse class of a message for per-class fault rates. The mesh does not
 /// know protocol payloads; `lrc-core` maps its `MsgKind` onto these.
@@ -95,6 +95,62 @@ impl FaultRates {
     }
 }
 
+/// Crash-stop failure schedule: deterministic node deaths plus the
+/// lease/heartbeat parameters survivors use to detect them.
+///
+/// A crashed node's NI queues, in-flight messages, and all local state
+/// vanish at the crash cycle; peers see permanent silence and declare the
+/// node dead once its lease expires. A plan with no victims still arms the
+/// heartbeat/lease machinery — useful for asserting that slow-but-alive
+/// nodes are *not* declared dead under message delay faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashPlan {
+    /// Nodes to kill, as `(node, at_cycle)` pairs. Deterministic: the same
+    /// plan produces the same deaths on every run.
+    pub victims: Vec<(NodeId, Cycle)>,
+    /// Checker mode: kill `node` after exactly `n` handled events instead
+    /// of at a wall-clock cycle, with instantaneous failure detection.
+    /// This makes crash timing a deterministic choice point the model
+    /// checker can place anywhere in an interleaving (the crash-stop
+    /// analogue of [`FaultPlan::drop_nth`]).
+    pub crash_nth: Option<(NodeId, u64)>,
+    /// Heartbeat period: every live node pings every peer this often.
+    pub heartbeat_every: Cycle,
+    /// Lease bound: a peer silent for longer than this is declared dead.
+    /// Must comfortably exceed the heartbeat period plus the worst-case
+    /// fabric delay (including injected delay faults), or slow-but-alive
+    /// nodes are falsely declared dead.
+    pub lease_timeout: Cycle,
+}
+
+impl CrashPlan {
+    /// A plan that kills `node` at `at_cycle`, with default lease timing.
+    pub fn kill(node: NodeId, at_cycle: Cycle) -> Self {
+        CrashPlan { victims: vec![(node, at_cycle)], ..CrashPlan::detection_only() }
+    }
+
+    /// Checker mode: kill `node` after exactly `n` handled events.
+    pub fn kill_nth(node: NodeId, n: u64) -> Self {
+        CrashPlan { crash_nth: Some((node, n)), ..CrashPlan::detection_only() }
+    }
+
+    /// Heartbeats and leases armed, nobody dies. The detector must stay
+    /// quiet for the whole run.
+    pub fn detection_only() -> Self {
+        CrashPlan {
+            victims: Vec::new(),
+            crash_nth: None,
+            heartbeat_every: 5_000,
+            lease_timeout: 60_000,
+        }
+    }
+
+    /// True when some node actually dies under this plan.
+    pub fn has_victims(&self) -> bool {
+        !self.victims.is_empty() || self.crash_nth.is_some()
+    }
+}
+
 /// A complete, seeded description of the faults to inject during one run,
 /// plus the link-layer recovery parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +170,10 @@ pub struct FaultPlan {
     /// Retransmissions attempted before the link layer gives a message up
     /// for lost (the protocol then wedges and the watchdog diagnoses it).
     pub max_retries: u32,
+    /// Crash-stop failure schedule (`None` = nobody dies, no heartbeats).
+    /// Orthogonal to the message faults: a crash-only plan does **not**
+    /// activate the injector or link layer — see [`FaultPlan::is_active`].
+    pub crash: Option<CrashPlan>,
 }
 
 impl FaultPlan {
@@ -130,6 +190,7 @@ impl FaultPlan {
             drop_nth: None,
             retry_timeout: 10_000,
             max_retries: 12,
+            crash: None,
         }
     }
 
@@ -143,10 +204,18 @@ impl FaultPlan {
         FaultPlan { drop_nth: Some((class, n)), ..FaultPlan::off(0) }
     }
 
-    /// True when the plan can affect any message. Inactive plans cost the
-    /// hot path exactly one branch.
+    /// True when the plan can affect any message — deliberately *excluding*
+    /// the crash schedule, which arms its own machinery in the machine layer
+    /// instead of the injector/link layer. Inactive plans cost the hot path
+    /// exactly one branch.
     pub fn is_active(&self) -> bool {
         self.drop_nth.is_some() || self.rates.iter().any(|r| !r.is_zero())
+    }
+
+    /// Attach a crash schedule to this plan.
+    pub fn with_crash(mut self, crash: CrashPlan) -> Self {
+        self.crash = Some(crash);
+        self
     }
 
     /// Retransmit timeout for the `attempt`-th retry (exponential backoff,
@@ -325,6 +394,17 @@ mod tests {
         let mut p = FaultPlan::off(7);
         p.rates[MsgClass::Sync.index()].corrupt = 0.5;
         assert!(p.is_active());
+    }
+
+    #[test]
+    fn crash_plans_do_not_activate_the_injector() {
+        // A crash-only plan must leave the message-fault machinery off:
+        // crashes arm their own subsystem in the machine layer.
+        let p = FaultPlan::off(3).with_crash(CrashPlan::kill(2, 10_000));
+        assert!(!p.is_active());
+        assert!(p.crash.as_ref().is_some_and(CrashPlan::has_victims));
+        assert!(!CrashPlan::detection_only().has_victims());
+        assert!(CrashPlan::kill_nth(1, 500).has_victims());
     }
 
     #[test]

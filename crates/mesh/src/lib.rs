@@ -10,6 +10,8 @@ pub mod fault;
 pub mod network;
 pub mod topology;
 
-pub use fault::{Arrival, Delivery, FaultCounters, FaultPlan, FaultRates, InjectorState, MsgClass};
+pub use fault::{
+    Arrival, CrashPlan, Delivery, FaultCounters, FaultPlan, FaultRates, InjectorState, MsgClass,
+};
 pub use network::{NetError, Network, NetworkState, NiBusy, NiSnapshot};
 pub use topology::Mesh;

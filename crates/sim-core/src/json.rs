@@ -4,8 +4,9 @@
 
 use crate::config::{MachineConfig, Placement, ResourceLimits};
 use crate::stats::{
-    Breakdown, FaultStats, Histogram, LatencyStats, MachineStats, MissClass, MissCounts,
-    ProcStats, RaceReport, RaceSite, RaceStats, ResourceStats, Traffic, HIST_BUCKETS,
+    Breakdown, CrashStats, DataLossEvent, FaultStats, Histogram, LatencyStats, MachineStats,
+    MissClass, MissCounts, ProcStats, RaceReport, RaceSite, RaceStats, ResourceStats, Traffic,
+    HIST_BUCKETS,
 };
 use crate::types::Protocol;
 use lrc_json::{json_struct, FromJson, ToJson, Value};
@@ -219,7 +220,61 @@ json_struct!(RaceStats {
     races_found,
     reports,
 });
-json_struct!(MachineStats { procs, total_cycles, faults, resources, latencies, races });
+json_struct!(DataLossEvent { line, owner, home, detected_at });
+json_struct!(CrashStats {
+    crashes,
+    suspicions,
+    heartbeats_sent,
+    dirty_lines_lost,
+    clean_lines_reclaimed,
+    forged_acks,
+    forwards_cancelled,
+    parked_dropped,
+    degraded_fills,
+    degraded_lock_grants,
+    degraded_barrier_releases,
+    locks_reclaimed,
+    barrier_slots_reclaimed,
+    wt_acks_written_off,
+    wbk_acks_written_off,
+    suppressed_sends,
+    data_loss,
+});
+
+// MachineStats is hand-written (not `json_struct!`) for one reason: stats
+// files written before the crash subsystem existed have no "crashes" key,
+// and they must keep loading — a missing key defaults to the all-zero
+// crashes-off signature.
+impl ToJson for MachineStats {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("procs".into(), self.procs.to_json()),
+            ("total_cycles".into(), self.total_cycles.to_json()),
+            ("faults".into(), self.faults.to_json()),
+            ("resources".into(), self.resources.to_json()),
+            ("latencies".into(), self.latencies.to_json()),
+            ("races".into(), self.races.to_json()),
+            ("crashes".into(), self.crashes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MachineStats {
+    fn from_json(v: &Value) -> Option<MachineStats> {
+        Some(MachineStats {
+            procs: FromJson::from_json(v.get("procs")?)?,
+            total_cycles: FromJson::from_json(v.get("total_cycles")?)?,
+            faults: FromJson::from_json(v.get("faults")?)?,
+            resources: FromJson::from_json(v.get("resources")?)?,
+            latencies: FromJson::from_json(v.get("latencies")?)?,
+            races: FromJson::from_json(v.get("races")?)?,
+            crashes: match v.get("crashes") {
+                Some(cv) => FromJson::from_json(cv)?,
+                None => CrashStats::default(),
+            },
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -297,6 +352,32 @@ mod tests {
         // Detection-off stats keep round-tripping (the default is all-zero).
         let off = MachineStats::new(1);
         assert_eq!(MachineStats::from_json(&off.to_json()), Some(off));
+    }
+
+    #[test]
+    fn machine_stats_json_carries_crashes_and_tolerates_absence() {
+        let mut s = MachineStats::new(4);
+        s.crashes.crashes = 1;
+        s.crashes.suspicions = 3;
+        s.crashes.record_data_loss(DataLossEvent {
+            line: 0x1c0,
+            owner: 2,
+            home: 0,
+            detected_at: 77_000,
+        });
+        let v = s.to_json();
+        assert_eq!(v["crashes"]["crashes"].as_u64(), Some(1));
+        assert_eq!(v["crashes"]["data_loss"][0]["owner"].as_u64(), Some(2));
+        assert_eq!(MachineStats::from_json(&v), Some(s));
+
+        // A pre-crash-era stats object (no "crashes" key) still loads, with
+        // the crashes-off all-zero signature.
+        let mut old = MachineStats::new(1).to_json();
+        if let Value::Object(fields) = &mut old {
+            fields.retain(|(k, _)| k != "crashes");
+        }
+        let loaded = MachineStats::from_json(&old).expect("v0 stats load");
+        assert!(loaded.crashes.is_zero());
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub use config::{table1_rows, ConfigError, MachineConfig, Placement, ResourceLim
 pub use event::EventQueue;
 pub use rng::Rng;
 pub use stats::{
-    Breakdown, FaultStats, Histogram, LatencyStats, MachineStats, MissClass, MissCounts,
-    ProcStats, RaceReport, RaceSite, RaceStats, ResourceStats, StallKind, Traffic, TrafficClass,
+    Breakdown, CrashStats, DataLossEvent, FaultStats, Histogram, LatencyStats, MachineStats,
+    MissClass, MissCounts, ProcStats, RaceReport, RaceSite, RaceStats, ResourceStats, StallKind,
+    Traffic, TrafficClass,
 };
 pub use watchdog::{StallDiagnosis, StallReason, StalledProc};
 pub use table::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, LineMap};

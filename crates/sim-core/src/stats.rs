@@ -738,6 +738,133 @@ impl RaceStats {
     }
 }
 
+/// One dirty line whose only up-to-date copy died with a crashed node: the
+/// typed `DataLoss` outcome the recovery protocol surfaces instead of
+/// silently serving stale memory. `detected_at` is the cycle the home
+/// declared the owner dead and reclaimed the line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataLossEvent {
+    /// Line address of the lost update.
+    pub line: u64,
+    /// Node that held the line dirty when it crashed.
+    pub owner: u64,
+    /// Home node that reclaimed the line.
+    pub home: u64,
+    /// Cycle at which the loss was detected.
+    pub detected_at: u64,
+}
+
+impl DataLossEvent {
+    /// One-line rendering used by reports.
+    pub fn render(&self) -> String {
+        format!(
+            "data loss on line {:#x}: dirty owner n{} crashed, home n{} reclaimed stale memory at cycle {}",
+            self.line, self.owner, self.home, self.detected_at
+        )
+    }
+
+    /// Fields as words, in a stable order (fingerprinting support).
+    pub fn as_words(&self) -> [u64; 4] {
+        [self.line, self.owner, self.home, self.detected_at]
+    }
+}
+
+/// Crash-stop failure and recovery counters: nodes killed, lease-based
+/// suspicions, what the directory reclaimed, and how the survivors made
+/// degraded-mode progress. All zero/empty when no crash plan is armed
+/// (the default), so a default run's stats are bit-identical to a build
+/// without the crash subsystem.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashStats {
+    /// Nodes that crashed.
+    pub crashes: u64,
+    /// (observer, dead-peer) pairs where a lease expired — each survivor
+    /// independently suspects each dead node exactly once.
+    pub suspicions: u64,
+    /// Heartbeat messages sent while detection was armed.
+    pub heartbeats_sent: u64,
+    /// Dirty-owned lines reclaimed from a dead node: lost updates.
+    pub dirty_lines_lost: u64,
+    /// Clean lines (shared or notified copies) reclaimed silently.
+    pub clean_lines_reclaimed: u64,
+    /// Invalidation/write-notice acks the home forged on behalf of a dead
+    /// node so a pending collection could complete.
+    pub forged_acks: u64,
+    /// Busy forwarding episodes cancelled because the dead node was the
+    /// owner or the requester; survivors were served from (possibly stale)
+    /// memory.
+    pub forwards_cancelled: u64,
+    /// Requests parked at a home that were dropped because their sender
+    /// died.
+    pub parked_dropped: u64,
+    /// Outstanding miss transactions a survivor aborted and completed
+    /// locally because the home or owner died (degraded fill).
+    pub degraded_fills: u64,
+    /// Lock acquires self-granted because the lock's home died (mutual
+    /// exclusion is lost for those locks — counted, never silent).
+    pub degraded_lock_grants: u64,
+    /// Barrier waits self-released because the barrier's home died.
+    pub degraded_barrier_releases: u64,
+    /// Locks whose dead holder was evicted and the grant passed on (or the
+    /// lock freed) by the home.
+    pub locks_reclaimed: u64,
+    /// Barrier slots of dead arrivers released by the home.
+    pub barrier_slots_reclaimed: u64,
+    /// Write-through acks a survivor stopped waiting for because they were
+    /// owed by a dead home.
+    pub wt_acks_written_off: u64,
+    /// Write-back acks a survivor stopped waiting for because they were
+    /// owed by a dead home.
+    pub wbk_acks_written_off: u64,
+    /// Messages suppressed at the send boundary because their destination
+    /// (or source) was known dead.
+    pub suppressed_sends: u64,
+    /// The first [`CrashStats::REPORT_CAP`] data-loss events, in detection
+    /// order; `dirty_lines_lost` keeps counting past the cap.
+    pub data_loss: Vec<DataLossEvent>,
+}
+
+impl CrashStats {
+    /// Cap on stored data-loss reports.
+    pub const REPORT_CAP: usize = 64;
+
+    /// True when no crash plan ever armed (the crashes-off signature).
+    pub fn is_zero(&self) -> bool {
+        *self == CrashStats::default()
+    }
+
+    /// Record a data-loss event, capping stored reports.
+    pub fn record_data_loss(&mut self, ev: DataLossEvent) {
+        self.dirty_lines_lost += 1;
+        if self.data_loss.len() < Self::REPORT_CAP {
+            self.data_loss.push(ev);
+        }
+    }
+
+    /// Counters as words, in field order (fingerprinting support; the
+    /// data-loss reports are folded separately via their own `as_words`).
+    pub fn as_words(&self) -> [u64; 16] {
+        [
+            self.crashes,
+            self.suspicions,
+            self.heartbeats_sent,
+            self.dirty_lines_lost,
+            self.clean_lines_reclaimed,
+            self.forged_acks,
+            self.forwards_cancelled,
+            self.parked_dropped,
+            self.degraded_fills,
+            self.degraded_lock_grants,
+            self.degraded_barrier_releases,
+            self.locks_reclaimed,
+            self.barrier_slots_reclaimed,
+            self.wt_acks_written_off,
+            self.wbk_acks_written_off,
+            self.suppressed_sends,
+        ]
+    }
+}
+
 /// Machine-level view: per-processor stats plus the run's wall-clock.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MachineStats {
@@ -757,6 +884,9 @@ pub struct MachineStats {
     /// Happens-before race-detection results. Zero/empty unless the machine
     /// ran with race detection enabled.
     pub races: RaceStats,
+    /// Crash-stop failure and recovery counters. Zero/empty unless the
+    /// machine ran with a crash plan armed.
+    pub crashes: CrashStats,
 }
 
 impl MachineStats {
@@ -769,6 +899,7 @@ impl MachineStats {
             resources: ResourceStats::default(),
             latencies: LatencyStats::default(),
             races: RaceStats::default(),
+            crashes: CrashStats::default(),
         }
     }
 
@@ -784,9 +915,10 @@ impl MachineStats {
         self.faults.merge(&other.faults);
         self.resources.merge(&other.resources);
         self.latencies.merge(&other.latencies);
-        // Race detection is sequential-only; a shard merge never sees a
-        // non-zero `races` on either side.
+        // Race detection and crash plans are sequential-only; a shard merge
+        // never sees either non-zero on any side.
         debug_assert!(other.races.is_zero());
+        debug_assert!(other.crashes.is_zero());
     }
 
     /// Aggregate cycle breakdown over all processors (the figure-5 metric).
@@ -1017,6 +1149,25 @@ mod tests {
         let mut words = Vec::new();
         report.as_words(&mut words);
         assert_eq!(words, vec![0x40, 2, 17, 1, 0, 3, 0, 5, 0, 1, 0]);
+    }
+
+    #[test]
+    fn crash_stats_zero_cap_and_render() {
+        let mut c = CrashStats::default();
+        assert!(c.is_zero());
+        let ev = DataLossEvent { line: 0x80, owner: 3, home: 1, detected_at: 42_000 };
+        assert_eq!(
+            ev.render(),
+            "data loss on line 0x80: dirty owner n3 crashed, home n1 reclaimed stale memory at cycle 42000"
+        );
+        assert_eq!(ev.as_words(), [0x80, 3, 1, 42_000]);
+        for _ in 0..(CrashStats::REPORT_CAP + 10) {
+            c.record_data_loss(ev);
+        }
+        assert!(!c.is_zero());
+        assert_eq!(c.dirty_lines_lost, CrashStats::REPORT_CAP as u64 + 10, "count passes the cap");
+        assert_eq!(c.data_loss.len(), CrashStats::REPORT_CAP, "reports stop at the cap");
+        assert_eq!(c.as_words()[3], c.dirty_lines_lost, "field order is stable");
     }
 
     #[test]

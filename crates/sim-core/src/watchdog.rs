@@ -44,6 +44,23 @@ pub enum StallReason {
         /// BUSY-NACKs sent during the episode.
         nacks: u32,
     },
+    /// A lease expired on a node that never actually crashed: either the
+    /// lease bound is mis-set relative to the injected message delays, or
+    /// detection itself is buggy. A *correct* suspicion of a crashed node
+    /// is not a stall and never produces this.
+    DeadNodeSuspected {
+        /// The node whose lease expired.
+        node: ProcId,
+        /// The survivor that declared it dead.
+        by: ProcId,
+    },
+    /// A node crashed, recovery ran, and the survivors still wedged: the
+    /// reclamation left a dangling wait (the recovery-bug signature the
+    /// checker minimizes).
+    RecoveryStalled {
+        /// The crashed node whose reclamation did not restore progress.
+        node: ProcId,
+    },
 }
 
 impl std::fmt::Display for StallReason {
@@ -61,6 +78,14 @@ impl std::fmt::Display for StallReason {
             StallReason::NackStorm { line, nacks } => write!(
                 f,
                 "watchdog: BUSY-NACK storm on line {line} ({nacks} NACK(s), retry budget spent) — busy episode never resolved"
+            ),
+            StallReason::DeadNodeSuspected { node, by } => write!(
+                f,
+                "watchdog: node {node} declared dead by node {by} but never crashed — false-positive failure detection (lease bound vs message delay)"
+            ),
+            StallReason::RecoveryStalled { node } => write!(
+                f,
+                "watchdog: survivors wedged after node {node} crashed — recovery/reclamation left a dangling wait"
             ),
         }
     }
@@ -207,5 +232,18 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("line 17"), "{text}");
         assert!(text.contains("8 NACK"), "{text}");
+    }
+
+    #[test]
+    fn crash_reasons_name_the_nodes() {
+        let d = StallReason::DeadNodeSuspected { node: 5, by: 2 };
+        let text = d.to_string();
+        assert!(text.contains("node 5"), "{text}");
+        assert!(text.contains("node 2"), "{text}");
+        assert!(text.contains("false-positive"), "{text}");
+        let r = StallReason::RecoveryStalled { node: 1 };
+        let text = r.to_string();
+        assert!(text.contains("node 1 crashed"), "{text}");
+        assert!(text.contains("recovery"), "{text}");
     }
 }

@@ -8,7 +8,7 @@
 //! pairs drawing the message-flight arrow between them, and `"i"`
 //! instants for sync, state, and resource records.
 
-use crate::record::{RecData, TraceRecord};
+use crate::record::{CrashEv, RecData, TraceRecord};
 use lrc_json::Value;
 use lrc_sim::table::FxHashMap;
 use std::collections::VecDeque;
@@ -37,6 +37,17 @@ fn record_args(rec: &TraceRecord) -> Value {
         RecData::Sync { id, .. } => fields.push(("id".into(), num(id))),
         RecData::State { line, .. } => fields.push(("line".into(), num(line))),
         RecData::Resource { .. } => {}
+        RecData::Crash { ev } => match ev {
+            CrashEv::NodeCrashed => {}
+            CrashEv::SuspectedDead { dead } => fields.push(("dead".into(), num(dead as u64))),
+            CrashEv::DataLoss { line, owner } => {
+                fields.push(("line".into(), num(line)));
+                fields.push(("owner".into(), num(owner as u64)));
+            }
+            CrashEv::LockReclaimed { lock } => fields.push(("id".into(), num(lock))),
+            CrashEv::BarrierReclaimed { barrier } => fields.push(("id".into(), num(barrier))),
+            CrashEv::DegradedFill { line } => fields.push(("line".into(), num(line))),
+        },
     }
     Value::Object(fields)
 }
@@ -107,7 +118,10 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Value {
                     events.push(obj(flow));
                 }
             }
-            RecData::Sync { .. } | RecData::State { .. } | RecData::Resource { .. } => {
+            RecData::Sync { .. }
+            | RecData::State { .. }
+            | RecData::Resource { .. }
+            | RecData::Crash { .. } => {
                 let mut inst = common("i");
                 inst.push(("s", Value::Str("t".into())));
                 inst.push(("args", record_args(rec)));

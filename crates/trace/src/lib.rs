@@ -37,7 +37,7 @@ pub mod series;
 pub mod sink;
 
 pub use filter::TraceFilter;
-pub use record::{MsgMeta, RecData, ResourceEv, StateChange, SyncOp, TraceRecord};
+pub use record::{CrashEv, MsgMeta, RecData, ResourceEv, StateChange, SyncOp, TraceRecord};
 pub use recorder::FlightRecorder;
 pub use ring::Ring;
 pub use series::TimeSeries;

@@ -89,6 +89,44 @@ pub enum ResourceEv {
     },
 }
 
+/// A crash-stop failure or recovery event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashEv {
+    /// The recording node crashed (its state vanished this cycle).
+    NodeCrashed,
+    /// The recording node's lease on `dead` expired: it now treats that
+    /// peer as dead.
+    SuspectedDead {
+        /// The peer declared dead.
+        dead: NodeId,
+    },
+    /// The recording home reclaimed a line whose dirty owner died — the
+    /// update is lost.
+    DataLoss {
+        /// The reclaimed line.
+        line: u64,
+        /// The dead dirty owner.
+        owner: NodeId,
+    },
+    /// The recording home reclaimed a lock held by (or queued for) a dead
+    /// node.
+    LockReclaimed {
+        /// The lock.
+        lock: u64,
+    },
+    /// The recording home released a dead node's barrier slot.
+    BarrierReclaimed {
+        /// The barrier.
+        barrier: u64,
+    },
+    /// The recording survivor completed a miss locally because the line's
+    /// home or owner died (degraded fill).
+    DegradedFill {
+        /// The line filled without the home's help.
+        line: u64,
+    },
+}
+
 /// What one record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecData {
@@ -129,6 +167,11 @@ pub enum RecData {
         /// The event.
         ev: ResourceEv,
     },
+    /// A crash-stop failure or recovery event at the recording node.
+    Crash {
+        /// The event.
+        ev: CrashEv,
+    },
 }
 
 /// One trace record. `seq` is a global emission counter: sorting by
@@ -155,6 +198,8 @@ impl TraceRecord {
         match self.data {
             RecData::Send { msg, .. } | RecData::Recv { msg, .. } => msg.line,
             RecData::State { line, .. } => Some(line),
+            RecData::Crash { ev: CrashEv::DataLoss { line, .. } }
+            | RecData::Crash { ev: CrashEv::DegradedFill { line } } => Some(line),
             _ => None,
         }
     }
@@ -176,12 +221,13 @@ impl TraceRecord {
             RecData::Sync { .. } => 2,
             RecData::State { .. } => 3,
             RecData::Resource { .. } => 4,
+            RecData::Crash { .. } => 5,
         }
     }
 
     /// Stable category name in `category_index` order.
     pub fn category(&self) -> &'static str {
-        ["send", "recv", "sync", "state", "resource"][self.category_index()]
+        ["send", "recv", "sync", "state", "resource", "crash"][self.category_index()]
     }
 
     /// Short event name: the message variant, sync op, or resource event.
@@ -197,6 +243,14 @@ impl TraceRecord {
                 ResourceEv::BusyNack { .. } => "busy-nack",
                 ResourceEv::NackRetry => "nack-retry",
                 ResourceEv::WnOverflow { .. } => "wn-overflow",
+            },
+            RecData::Crash { ev } => match ev {
+                CrashEv::NodeCrashed => "node-crashed",
+                CrashEv::SuspectedDead { .. } => "suspected-dead",
+                CrashEv::DataLoss { .. } => "data-loss",
+                CrashEv::LockReclaimed { .. } => "lock-reclaimed",
+                CrashEv::BarrierReclaimed { .. } => "barrier-reclaimed",
+                CrashEv::DegradedFill { .. } => "degraded-fill",
             },
         }
     }
@@ -245,6 +299,26 @@ impl std::fmt::Display for TraceRecord {
                     write!(f, "P{} write-notice buffer overflow (cap {cap})", self.node)
                 }
             },
+            RecData::Crash { ev } => match ev {
+                CrashEv::NodeCrashed => write!(f, "P{} CRASHED", self.node),
+                CrashEv::SuspectedDead { dead } => {
+                    write!(f, "P{} declares P{dead} dead (lease expired)", self.node)
+                }
+                CrashEv::DataLoss { line, owner } => write!(
+                    f,
+                    "P{} reclaims line {line}: dirty owner P{owner} dead — DATA LOSS",
+                    self.node
+                ),
+                CrashEv::LockReclaimed { lock } => {
+                    write!(f, "P{} reclaims lock {lock} from dead holder", self.node)
+                }
+                CrashEv::BarrierReclaimed { barrier } => {
+                    write!(f, "P{} releases dead arrivals at barrier {barrier}", self.node)
+                }
+                CrashEv::DegradedFill { line } => {
+                    write!(f, "P{} degraded fill of line {line} (home/owner dead)", self.node)
+                }
+            },
         }
     }
 }
@@ -279,6 +353,15 @@ mod tests {
         let r = rec(RecData::Resource { ev: ResourceEv::WnOverflow { cap: 4 } });
         assert_eq!(r.category(), "resource");
         assert_eq!(r.name(), "wn-overflow");
+
+        let c = rec(RecData::Crash { ev: CrashEv::DataLoss { line: 11, owner: 3 } });
+        assert_eq!(c.category(), "crash");
+        assert_eq!(c.name(), "data-loss");
+        assert_eq!(c.line(), Some(11));
+        let c = rec(RecData::Crash { ev: CrashEv::NodeCrashed });
+        assert_eq!(c.name(), "node-crashed");
+        assert_eq!(c.line(), None);
+        assert_eq!(rec(RecData::Crash { ev: CrashEv::DegradedFill { line: 8 } }).line(), Some(8));
     }
 
     #[test]
@@ -292,5 +375,9 @@ mod tests {
         let text = rec(RecData::Resource { ev: ResourceEv::NiReject { occupancy: 1, cap: 1 } })
             .to_string();
         assert!(text.contains("NI reject (1/1"), "{text}");
+        let text = rec(RecData::Crash { ev: CrashEv::SuspectedDead { dead: 7 } }).to_string();
+        assert!(text.contains("P2 declares P7 dead"), "{text}");
+        let text = rec(RecData::Crash { ev: CrashEv::DataLoss { line: 5, owner: 1 } }).to_string();
+        assert!(text.contains("DATA LOSS"), "{text}");
     }
 }

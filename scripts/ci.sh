@@ -95,6 +95,10 @@ diff <(grep -v 'snapshot\|replay\|resume' "$snapdir/ref.out") \
 # The stall snapshot the wedged stage auto-dumped must restore into a
 # state that still reproduces the wedge (replay exits 0 = reproduced).
 ./target/release/lrc-soak --replay "$snapdir/ref/wedge-unrecoverable-seed1.json" --quiet
+# And the checked-in v1 wedge dump from the release that introduced the
+# snapshot format: today's decoder must still restore it and reproduce
+# the wedge (the format-compat contract, end to end).
+./target/release/lrc-soak --replay tests/fixtures/wedge-unrecoverable-seed1.json --quiet
 rm -rf "$snapdir"
 
 echo "==> capacity smoke: lrc-soak --capacity-sweep --smoke (finite resources)"
@@ -125,6 +129,42 @@ grep -q 'data race' /tmp/race_check.out
   --max-states 20000 > /dev/null
 rm -f /tmp/race_check.out
 
+echo "==> crash smoke: availability sweep + lrc-check --crash-nth counterexample"
+# Availability sweep at smoke scale: crash rates {0, 0.25} x all four
+# protocols. Rate-0 control cells verify values against the reference SC
+# execution with the lease machinery armed; crashed cells prove the
+# survivors complete (victim finish time 0, every survivor nonzero) and
+# rerun bit-identically. Exits non-zero on any violation.
+./target/release/lrc-soak --availability --smoke --quiet
+# The checker's crash choice point, negative control first: with the
+# injected recovery bug (the home skips reclaiming a dead node's locks),
+# some crash timing in 1..80 must wedge the survivors, and the minimized
+# counterexample's printed reproduce line must replay to the same failure
+# (exit 1 = reproduced).
+crashout=$(mktemp /tmp/crash_check.XXXXXX.out)
+foundn=""
+for n in $(seq 1 80); do
+  if ! ./target/release/lrc-check --scenario counter --protocol lazy \
+      --fault skip-lock-reclaim --crash-nth "$n" --crash-node 1 \
+      --max-states 20000 > "$crashout" 2>&1; then
+    foundn="$n"
+    break
+  fi
+done
+[ -n "$foundn" ]
+grep -q 'crash choice point' "$crashout"
+repro=$(grep -o 'lrc-check --scenario .*' "$crashout" | head -1)
+read -r -a repro_cmd <<< "$repro"
+if "./target/release/${repro_cmd[0]}" "${repro_cmd[@]:1}" > /dev/null 2>&1; then
+  echo "minimized crash counterexample failed to reproduce" >&2
+  cat "$crashout" >&2
+  exit 1
+fi
+# Positive control: recovery intact, the same crash timing must pass.
+./target/release/lrc-check --scenario counter --protocol lazy \
+  --crash-nth "$foundn" --crash-node 1 --max-states 20000 > /dev/null
+rm -f "$crashout"
+
 echo "==> observability smoke: traced observe run + artifact validation"
 # A tiny fully instrumented run: structured trace -> Perfetto JSON (checked
 # by the experiment itself via a serialize/parse round-trip), latency
@@ -145,9 +185,9 @@ rm -rf "$obsdir"
 
 echo "==> opt-in machinery costs nothing when off: golden fingerprints unchanged"
 # The golden determinism fingerprints pin the default behavior; re-running
-# them here asserts that the bounded-resource machinery AND the tracing/
-# sampling/histogram layer (both off by default) leave the simulation
-# bit-identical until explicitly configured.
+# them here asserts that the bounded-resource machinery, the tracing/
+# sampling/histogram layer, AND the crash/lease subsystem (all off by
+# default) leave the simulation bit-identical until explicitly configured.
 cargo test -q --test determinism_golden
 
 echo "CI green."

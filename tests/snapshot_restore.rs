@@ -166,16 +166,142 @@ fn snapshot_round_trip_is_byte_identical() {
 }
 
 /// A snapshot from a future (or garbage) format version must surface as a
-/// typed `UnknownVersion` error, never a panic or a silent misparse.
+/// typed `UnknownVersion` error, never a panic or a silent misparse —
+/// and so must anything below the compatibility floor.
 #[test]
 fn unknown_snapshot_version_is_a_typed_error() {
     let (_, text) = mid_run_snapshot();
-    assert!(text.contains("\"version\": 1"), "version field not where expected");
-    let bumped = text.replacen("\"version\": 1", "\"version\": 999", 1);
-    match MachineSnapshot::parse(&bumped) {
-        Err(SnapshotError::UnknownVersion { found }) => assert_eq!(found, 999),
-        other => panic!("expected UnknownVersion, got {other:?}"),
+    let probe = format!("\"version\": {SNAPSHOT_VERSION}");
+    assert!(text.contains(&probe), "version field not where expected");
+    for (stamp, found) in [("999", 999u64), ("0", 0)] {
+        let forged = text.replacen(&probe, &format!("\"version\": {stamp}"), 1);
+        match MachineSnapshot::parse(&forged) {
+            Err(SnapshotError::UnknownVersion { found: f }) => assert_eq!(f, found),
+            other => panic!("version {stamp}: expected UnknownVersion, got {other:?}"),
+        }
     }
+}
+
+/// Rewrite a parsed v2 snapshot document into the exact shape a v1 writer
+/// emitted: stamp version 1 and drop every v2-only key — the root crash
+/// section, the fault plan's crash sub-plan, and the ack collections'
+/// debtor lists (`"from"`, which occurs nowhere else in the format).
+fn downgrade_to_v1(v: &mut lrc_json::Value) {
+    use lrc_json::Value;
+    if let Value::Object(fields) = v {
+        fields.retain(|(k, _)| k != "crash" && k != "from");
+        for (k, fv) in fields.iter_mut() {
+            if k == "version" {
+                *fv = Value::Num(1.0);
+            } else {
+                downgrade_to_v1(fv);
+            }
+        }
+    } else if let Value::Array(items) = v {
+        for item in items.iter_mut() {
+            downgrade_to_v1(item);
+        }
+    }
+}
+
+/// Drive a restored machine to completion.
+fn finish(mut m: Machine) -> RunResult {
+    let running = m.run_until(u64::MAX).expect("restored run stalled");
+    assert!(!running, "restored run hit the cycle ceiling");
+    match m.finish_run(std::time::Instant::now()) {
+        Ok((r, _)) => r,
+        Err((diag, _)) => panic!("restored run wedged at the finish line: {diag}"),
+    }
+}
+
+/// Backward compatibility: a version-1 document (no crash state, no ack
+/// debtor lists) must still parse and restore with the missing state
+/// defaulted, and the resumed run must be bit-identical to the
+/// uninterrupted one — with and without an active fault plan.
+#[test]
+fn v1_snapshot_still_restores_and_resumes() {
+    for plan in [None, Some(chaos_plan as fn() -> FaultPlan)] {
+        let (want, _) = uninterrupted(Protocol::Lrc, plan);
+        let mut m = build(Protocol::Lrc, plan);
+        m.start_run(workload());
+        assert!(m.run_until(5_000).expect("no stall"), "still running at 5000");
+        let text = m.snapshot().expect("mid-run capture").to_json_string();
+        let mut doc = lrc_json::parse(&text).expect("snapshot is valid JSON");
+        downgrade_to_v1(&mut doc);
+        let v1_text = doc.pretty();
+        assert!(v1_text.contains("\"version\": 1"), "downgrade failed to stamp v1");
+        assert!(!v1_text.contains("\"crash\""), "downgrade left a crash key behind");
+        let restored = MachineSnapshot::parse(&v1_text)
+            .expect("v1 document parses")
+            .restore(workload())
+            .expect("v1 document restores");
+        let r = finish(restored);
+        assert_eq!(
+            fp(&r),
+            want,
+            "v1-restored run diverged from uninterrupted (fault plan: {})",
+            plan.is_some()
+        );
+    }
+}
+
+/// Backward compatibility against a *real* v1 artifact, not a synthetic
+/// downgrade: the checked-in wedge dump (`lrc-soak`'s unrecoverable-stage
+/// snapshot from the release that introduced the v1 format) must still
+/// parse under today's decoder. CI goes further and replays it end to end
+/// (`lrc-soak --replay` must reproduce the wedge).
+#[test]
+fn checked_in_v1_wedge_dump_still_parses() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/wedge-unrecoverable-seed1.json"
+    ))
+    .expect("fixture present");
+    let env = lrc_json::parse(&text).expect("fixture is valid JSON");
+    assert_eq!(env["kind"].as_str(), Some("lrc-soak-wedge"));
+    let snap_text = env["snapshot"].pretty();
+    assert!(snap_text.contains("\"version\": 1"), "fixture is no longer a v1 document");
+    let snap = MachineSnapshot::parse(&snap_text).expect("v1 fixture parses");
+    let cfg = snap.config().expect("fixture carries a machine config");
+    assert_eq!(cfg.num_procs, 4);
+    assert!(snap.cycle() > 0, "fixture froze a mid-run machine");
+}
+
+/// A crash plan whose victim dies early enough that both the death and
+/// its detection (by ~6.5k cycles: crash + lease + one heartbeat tick)
+/// land well inside the run. The lease comfortably dominates the
+/// heartbeat period plus worst-case NI queueing delay, so no live node
+/// is ever falsely suspected.
+fn early_crash_plan() -> FaultPlan {
+    let mut cp = CrashPlan::kill(2, 2_000);
+    cp.heartbeat_every = 500;
+    cp.lease_timeout = 4_000;
+    FaultPlan::off(0xC0FFEE).with_crash(cp)
+}
+
+/// Crash state is part of the v2 capture set: a machine snapshotted
+/// *after* a node has crashed (and been detected) round-trips byte for
+/// byte, and the resumed degraded run matches the uninterrupted degraded
+/// run bit for bit.
+#[test]
+fn crash_state_snapshot_round_trips_and_resumes() {
+    let (want, _) = uninterrupted(Protocol::Lrc, Some(early_crash_plan));
+
+    let mut m = build(Protocol::Lrc, Some(early_crash_plan));
+    m.start_run(workload());
+    assert!(m.run_until(8_000).expect("no stall"), "still running at 8000");
+    let snap = m.snapshot().expect("post-crash capture");
+    let text = snap.to_json_string();
+    assert!(text.contains("\"crashed\""), "snapshot carries no crash state");
+
+    let reparsed = MachineSnapshot::parse(&text).expect("parse back");
+    assert_eq!(reparsed.to_json_string(), text, "re-serialization changed bytes");
+    let restored = reparsed.restore(workload()).expect("restore");
+    let recaptured = restored.snapshot().expect("recapture restored machine");
+    assert_eq!(recaptured.to_json_string(), text, "restored crash state drifted");
+
+    let r = finish(restored);
+    assert_eq!(fp(&r), want, "crash-state resume diverged from the uninterrupted run");
 }
 
 /// A truncated snapshot file (torn write, partial copy) must parse to a
