@@ -31,7 +31,7 @@ pub fn ablate(p: Params) -> Report {
         let mut t = Table::new(vec!["WB entries", "fft cycles", "vs 4-entry"]);
         let base = {
             let cfg = MachineConfig::paper_default(p.procs);
-            run_custom(cfg, Protocol::Erc, WorkloadKind::Fft.build(p.procs, p.scale))
+            run_custom(cfg, Protocol::Erc, WorkloadKind::Fft.build_seeded(p.procs, p.scale, p.seed))
                 .stats
                 .total_cycles
         };
@@ -39,7 +39,7 @@ pub fn ablate(p: Params) -> Report {
         for depth in [1usize, 2, 4, 8, 16] {
             let mut cfg = MachineConfig::paper_default(p.procs);
             cfg.write_buffer_entries = depth;
-            let c = run_custom(cfg, Protocol::Erc, WorkloadKind::Fft.build(p.procs, p.scale))
+            let c = run_custom(cfg, Protocol::Erc, WorkloadKind::Fft.build_seeded(p.procs, p.scale, p.seed))
                 .stats
                 .total_cycles;
             t.row(vec![depth.to_string(), c.to_string(), ratio(c as f64 / base as f64)]);
@@ -58,7 +58,7 @@ pub fn ablate(p: Params) -> Report {
         for entries in [4usize, 16, 64] {
             let mut cfg = MachineConfig::paper_default(p.procs);
             cfg.coalescing_buffer_entries = entries;
-            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Gauss.build(p.procs, p.scale));
+            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Gauss.build_seeded(p.procs, p.scale, p.seed));
             t.row(vec![
                 entries.to_string(),
                 r.stats.total_cycles.to_string(),
@@ -83,7 +83,7 @@ pub fn ablate(p: Params) -> Report {
         for delay in [25u64, 100, 400] {
             let mut cfg = MachineConfig::paper_default(p.procs);
             cfg.cb_flush_delay = delay;
-            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Mp3d.build(p.procs, p.scale));
+            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Mp3d.build_seeded(p.procs, p.scale, p.seed));
             t.row(vec![
                 delay.to_string(),
                 r.stats.total_cycles.to_string(),
@@ -109,7 +109,7 @@ pub fn ablate(p: Params) -> Report {
         for cost in [15u64, 25, 50, 100] {
             let mut cfg = MachineConfig::paper_default(p.procs);
             cfg.dir_cost_lazy = cost;
-            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Mp3d.build(p.procs, p.scale));
+            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Mp3d.build_seeded(p.procs, p.scale, p.seed));
             t.row(vec![cost.to_string(), r.stats.total_cycles.to_string()]);
             rows.push(json!({ "cost": cost, "cycles": r.stats.total_cycles }));
         }
@@ -128,7 +128,7 @@ pub fn ablate(p: Params) -> Report {
         for (label, ptrs) in [("full-map", None), ("8 pointers", Some(8usize)), ("2 pointers", Some(2)), ("1 pointer", Some(1))] {
             let mut cfg = MachineConfig::paper_default(p.procs);
             cfg.dir_pointers = ptrs;
-            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Mp3d.build(p.procs, p.scale));
+            let r = run_custom(cfg, Protocol::Lrc, WorkloadKind::Mp3d.build_seeded(p.procs, p.scale, p.seed));
             t.row(vec![
                 label.to_string(),
                 r.stats.total_cycles.to_string(),
@@ -154,9 +154,9 @@ pub fn ablate(p: Params) -> Report {
         for (label, padded) in [("packed (4/line)", false), ("padded (1/line)", true)] {
             let build = |_: ()| -> Box<dyn Workload> {
                 if padded {
-                    Box::new(mp3d::build_padded(p.procs, p.scale))
+                    Box::new(mp3d::build_padded_seeded(p.procs, p.scale, p.seed))
                 } else {
-                    Box::new(mp3d::build(p.procs, p.scale))
+                    Box::new(mp3d::build_seeded(p.procs, p.scale, p.seed))
                 }
             };
             let e = run_custom(MachineConfig::paper_default(p.procs), Protocol::Erc, build(()))
@@ -203,13 +203,13 @@ pub fn fences(p: Params) -> Report {
     for kind in apps {
         let cfg = || MachineConfig::paper_default(p.procs);
         let eager =
-            run_custom(cfg(), Protocol::Erc, kind.build(p.procs, p.scale)).stats.total_cycles;
+            run_custom(cfg(), Protocol::Erc, kind.build_seeded(p.procs, p.scale, p.seed)).stats.total_cycles;
         let lazy =
-            run_custom(cfg(), Protocol::Lrc, kind.build(p.procs, p.scale)).stats.total_cycles;
+            run_custom(cfg(), Protocol::Lrc, kind.build_seeded(p.procs, p.scale, p.seed)).stats.total_cycles;
         let mut cells = vec![kind.name().to_string(), eager.to_string(), lazy.to_string()];
         let mut fr = vec![];
         for interval in [1000u64, 200, 50] {
-            let w = Fenced::new(kind.build(p.procs, p.scale), interval);
+            let w = Fenced::new(kind.build_seeded(p.procs, p.scale, p.seed), interval);
             let c = run_custom(cfg(), Protocol::Lrc, Box::new(w)).stats.total_cycles;
             cells.push(c.to_string());
             fr.push(json!({ "interval": interval, "cycles": c }));

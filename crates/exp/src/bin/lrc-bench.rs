@@ -40,7 +40,7 @@
 #![forbid(unsafe_code)]
 
 use lrc_exp::{execute_sharded, RunSpec};
-use lrc_json::{json, Value};
+use lrc_json::{json, ToJson, Value};
 use lrc_sim::Protocol;
 use lrc_workloads::{Scale, WorkloadKind};
 
@@ -210,6 +210,8 @@ fn report_json(
             })
         })
         .collect();
+    let params = json!({ "scale": scale.name(), "procs": procs, "reps": reps });
+    let machine = lrc_sim::MachineConfig::paper_default(procs).to_json();
     let mut report = json!({
         "schema": "lrc-bench-v1",
         "commit": git_commit(),
@@ -218,6 +220,15 @@ fn report_json(
         "procs": procs,
         "reps": reps,
         "host_cpus": host_cpus(),
+        // Provenance of this measurement: enough to decide whether a
+        // committed baseline is still comparable to HEAD (same machine
+        // configuration, which host, when the harness passed).
+        "provenance": json!({
+            "git_commit": git_commit(),
+            "config_hash": lrc_exp::config_hash("bench", &params, &machine),
+            "host_cpus": host_cpus(),
+            "harness_passed_unix": lrc_exp::resolve_timestamp(None),
+        }),
         "combos": rows,
         "geomean_cycles_per_sec": geomean(combos),
     });
@@ -234,6 +245,24 @@ fn report_json(
 /// oversubscribed machine (threads > cores) can be read honestly.
 fn host_cpus() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// One-line provenance summary of a bench report (current or baseline).
+/// Pre-provenance baselines render their fields as `unknown`.
+fn provenance_line(report: &Value) -> String {
+    let p = &report["provenance"];
+    let s = |v: &Value| v.as_str().unwrap_or("unknown").to_string();
+    let short = |h: String| h.chars().take(12).collect::<String>();
+    format!(
+        "provenance: commit {} · config {} · host_cpus {} · harness passed {}",
+        s(&p["git_commit"]),
+        short(s(&p["config_hash"])),
+        p["host_cpus"].as_u64().map_or_else(|| "unknown".to_string(), |n| n.to_string()),
+        match p["harness_passed_unix"].as_u64() {
+            Some(ts) if ts > 0 => lrc_exp::report::iso_utc(ts),
+            _ => "unknown".to_string(),
+        }
+    )
 }
 
 /// Outcome of gating a fresh measurement against a baseline file.
@@ -451,6 +480,12 @@ fn main() {
                 eprintln!("wrote {path}");
             } else {
                 println!("{}", report.pretty());
+            }
+            eprintln!("current  {}", provenance_line(&report));
+            if let Ok(contents) = std::fs::read_to_string(&baseline) {
+                if let Ok(base) = lrc_json::parse(&contents) {
+                    eprintln!("baseline {}", provenance_line(&base));
+                }
             }
             match gate_against_baseline(&baseline, scale, procs, geo) {
                 Gate::Skipped(why) => {

@@ -11,7 +11,7 @@ use crate::runner::{Runner, RunSpec};
 use lrc_core::{CrashPlan, FaultPlan, Machine, MsgClass, RunResult, TraceFilter};
 use lrc_sim::{table1_rows, MachineConfig, MissClass, Protocol};
 use lrc_trace::export;
-use lrc_workloads::{quality_experiment, Scale, WorkloadKind};
+use lrc_workloads::{quality_experiment_seeded, Scale, WorkloadKind};
 use lrc_json::{json, ToJson, Value};
 
 /// Shared experiment parameters.
@@ -21,20 +21,31 @@ pub struct Params {
     pub scale: Scale,
     /// Processor count (the paper: 64).
     pub procs: usize,
+    /// Workload input seed (0 = the canonical, golden-fingerprint input;
+    /// other seeds give statistically equivalent inputs for the
+    /// cross-seed statistics layer).
+    pub seed: u64,
 }
 
 impl Default for Params {
     fn default() -> Self {
-        Params { scale: Scale::Small, procs: 64 }
+        Params { scale: Scale::Small, procs: 64, seed: 0 }
+    }
+}
+
+impl Params {
+    /// The manifest `params` record for a run of these parameters.
+    pub fn to_json(&self) -> Value {
+        json!({ "scale": self.scale.name(), "procs": self.procs, "seed": self.seed })
     }
 }
 
 fn spec(p: Params, proto: Protocol, w: WorkloadKind) -> RunSpec {
-    RunSpec::new(proto, w, p.scale, p.procs)
+    RunSpec::new(proto, w, p.scale, p.procs).with_seed(p.seed)
 }
 
 fn future_spec(p: Params, proto: Protocol, w: WorkloadKind) -> RunSpec {
-    let mut s = RunSpec::new(proto, w, p.scale, p.procs);
+    let mut s = spec(p, proto, w);
     s.config = Some(MachineConfig::future_machine(p.procs));
     s
 }
@@ -386,7 +397,7 @@ pub fn sweep(r: &Runner, p: Params) -> Report {
                 cfg.bus_bytes_per_cycle = bw;
                 cfg.net_bytes_per_cycle = bw;
                 cfg.line_size = line;
-                let mut s = RunSpec::new(proto, w, p.scale, p.procs);
+                let mut s = RunSpec::new(proto, w, p.scale, p.procs).with_seed(p.seed);
                 s.config = Some(cfg);
                 specs.push(s);
             }
@@ -482,7 +493,7 @@ pub fn scaling(r: &Runner, p: Params) -> Report {
     for &procs in &sizes {
         for &w in &apps {
             for proto in [Protocol::Sc, Protocol::Erc, Protocol::Lrc] {
-                let mut s = RunSpec::new(proto, w, p.scale, procs);
+                let mut s = RunSpec::new(proto, w, p.scale, procs).with_seed(p.seed);
                 s.config = Some(MachineConfig::paper_default(procs));
                 specs.push(s);
             }
@@ -529,7 +540,7 @@ pub fn quality(_r: &Runner, p: Params) -> Report {
     // The paper's check runs 10 time steps regardless of input size.
     let (particles, _) = lrc_workloads::mp3d::size(p.scale);
     let steps = 10;
-    let q = quality_experiment(particles, steps, p.procs);
+    let q = quality_experiment_seeded(particles, steps, p.procs, p.seed);
     let mut t = Table::new(vec!["Axis", "SC total", "Lazy total", "divergence", "paper"]);
     for (k, axis) in ["X", "Y", "Z"].iter().enumerate() {
         t.row(vec![
@@ -563,7 +574,7 @@ pub fn observe(_r: &Runner, p: Params) -> Report {
     // with the input so tiny CI runs still produce a multi-row series.
     let trace_cap = 1 << 16;
     let interval = if p.scale == Scale::Tiny { 2_000 } else { 10_000 };
-    let w = workload.build(p.procs, p.scale);
+    let w = workload.build_seeded(p.procs, p.scale, p.seed);
     let m = Machine::new(MachineConfig::paper_default(p.procs), proto)
         .with_max_cycles(200_000_000_000)
         .with_trace_filter(TraceFilter::all(), trace_cap)
@@ -661,13 +672,15 @@ pub fn diverge(_r: &Runner, p: Params) -> Report {
         // Warm up once, then freeze.
         let mut m = Machine::new(MachineConfig::paper_default(p.procs), proto)
             .with_max_cycles(200_000_000_000);
-        m.start_run(workload.build(p.procs, p.scale));
+        m.start_run(workload.build_seeded(p.procs, p.scale, p.seed));
         let running = m.run_until(warmup).expect("warmup must not stall");
         assert!(running, "workload finished before the warmup cycle; shrink the warmup");
         let snap = m.snapshot().expect("warmup snapshot");
         drop(m);
 
-        let fork = || snap.restore(workload.build(p.procs, p.scale)).expect("fork restores");
+        let fork = || {
+            snap.restore(workload.build_seeded(p.procs, p.scale, p.seed)).expect("fork restores")
+        };
         // The baseline fork carries a plan that arms the link layer
         // (framing, ACKs, retry timers) but can never fire: any active
         // plan reshapes timing through that machinery alone, so comparing
@@ -800,7 +813,7 @@ pub fn avail(_r: &Runner, p: Params) -> Report {
                 .with_max_cycles(200_000_000_000)
                 .with_watchdog(10_000_000)
                 .with_fault_plan(plan(kill))
-                .try_run(workload.build(p.procs, p.scale))
+                .try_run(workload.build_seeded(p.procs, p.scale, p.seed))
                 .unwrap_or_else(|d| {
                     panic!("{} {label}: survivors wedged after the crash: {d}", proto.name())
                 });
@@ -903,7 +916,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> Params {
-        Params { scale: Scale::Tiny, procs: 8 }
+        Params { scale: Scale::Tiny, procs: 8, seed: 0 }
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Output-path validation for the CLI binaries.
+//!
+//! Historically `lrc-exp --json <dir>` only discovered an unusable output
+//! directory *after* running minutes of simulation, then panicked in the
+//! write path. Every output flag now goes through [`prepare_out_dir`]
+//! before any experiment starts: the directory is created (parents
+//! included) or the tool exits immediately with a typed error that names
+//! the offending flag.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// An output flag whose value cannot be used as a directory.
+#[derive(Debug)]
+pub struct FlagPathError {
+    /// The CLI flag the bad value came from (`--json`, `--trace-dir`,
+    /// `--store`, `--out`).
+    pub flag: &'static str,
+    /// The value the user passed.
+    pub path: PathBuf,
+    /// What went wrong (create failure, or exists-but-not-a-directory).
+    pub message: String,
+}
+
+impl fmt::Display for FlagPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.flag,
+            self.path.display(),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for FlagPathError {}
+
+/// Validate an output directory for `flag` up front: create it (and any
+/// missing parents) if absent, and reject paths that exist but are not
+/// directories. Returns the path unchanged on success so call sites can
+/// thread it through.
+pub fn prepare_out_dir(flag: &'static str, path: &Path) -> Result<PathBuf, FlagPathError> {
+    if path.as_os_str().is_empty() {
+        return Err(FlagPathError {
+            flag,
+            path: path.to_path_buf(),
+            message: "empty path".to_string(),
+        });
+    }
+    if path.exists() {
+        if !path.is_dir() {
+            return Err(FlagPathError {
+                flag,
+                path: path.to_path_buf(),
+                message: "exists but is not a directory".to_string(),
+            });
+        }
+        return Ok(path.to_path_buf());
+    }
+    std::fs::create_dir_all(path).map_err(|e| FlagPathError {
+        flag,
+        path: path.to_path_buf(),
+        message: format!("cannot create directory: {e}"),
+    })?;
+    Ok(path.to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lrc-paths-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn creates_missing_directories_recursively() {
+        let root = tmpdir("create");
+        let nested = root.join("a/b/c");
+        let got = prepare_out_dir("--json", &nested).expect("create nested");
+        assert_eq!(got, nested);
+        assert!(nested.is_dir());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn accepts_existing_directory() {
+        let root = tmpdir("exists");
+        std::fs::create_dir_all(&root).unwrap();
+        assert!(prepare_out_dir("--store", &root).is_ok());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rejects_file_in_the_way_and_names_the_flag() {
+        let root = tmpdir("file");
+        std::fs::create_dir_all(&root).unwrap();
+        let file = root.join("blocker");
+        std::fs::write(&file, b"x").unwrap();
+        let err = prepare_out_dir("--trace-dir", &file).expect_err("file is not a dir");
+        assert_eq!(err.flag, "--trace-dir");
+        let msg = err.to_string();
+        assert!(msg.contains("--trace-dir"), "{msg}");
+        assert!(msg.contains("not a directory"), "{msg}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rejects_unwritable_parent() {
+        // A path under an existing *file* can never be created.
+        let root = tmpdir("parent");
+        std::fs::create_dir_all(&root).unwrap();
+        let file = root.join("f");
+        std::fs::write(&file, b"x").unwrap();
+        let err = prepare_out_dir("--out", &file.join("sub")).expect_err("parent is a file");
+        assert_eq!(err.flag, "--out");
+        assert!(err.to_string().contains("cannot create"), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

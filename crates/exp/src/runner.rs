@@ -21,14 +21,22 @@ pub struct RunSpec {
     pub procs: usize,
     /// Enable the miss classifier (Table 2 runs).
     pub classify: bool,
+    /// Workload input seed (0 = canonical, the golden-fingerprint input).
+    pub seed: u64,
     /// Machine configuration override (None = Table-1 defaults).
     pub config: Option<MachineConfig>,
 }
 
 impl RunSpec {
-    /// Table-1 machine, no classification.
+    /// Table-1 machine, no classification, canonical seed.
     pub fn new(protocol: Protocol, workload: WorkloadKind, scale: Scale, procs: usize) -> Self {
-        RunSpec { protocol, workload, scale, procs, classify: false, config: None }
+        RunSpec { protocol, workload, scale, procs, classify: false, seed: 0, config: None }
+    }
+
+    /// The same spec with a different workload input seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// The effective machine configuration.
@@ -38,12 +46,13 @@ impl RunSpec {
 
     fn key(&self) -> String {
         format!(
-            "{}|{}|{}|{}|{}|{:?}",
+            "{}|{}|{}|{}|{}|{}|{:?}",
             self.protocol,
             self.workload,
             self.scale.name(),
             self.procs,
             self.classify,
+            self.seed,
             self.config
         )
     }
@@ -51,7 +60,7 @@ impl RunSpec {
 
 /// Execute one run synchronously.
 pub fn execute(spec: &RunSpec) -> RunResult {
-    let w = spec.workload.build(spec.procs, spec.scale);
+    let w = spec.workload.build_seeded(spec.procs, spec.scale, spec.seed);
     let mut m = Machine::new(spec.machine_config(), spec.protocol)
         .with_max_cycles(200_000_000_000);
     if spec.classify {
@@ -88,7 +97,7 @@ pub fn execute_sharded(spec: &RunSpec, threads: usize) -> RunResult {
     };
     let workload = {
         let spec = spec.clone();
-        move || spec.workload.build(spec.procs, spec.scale)
+        move || spec.workload.build_seeded(spec.procs, spec.scale, spec.seed)
     };
     lrc_core::try_run_sharded(&build, &workload, &lrc_core::ParallelOptions::threads(threads))
         .unwrap_or_else(|diag| {

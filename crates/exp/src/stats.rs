@@ -1,0 +1,330 @@
+//! Cross-seed statistics: deterministic bootstrap summaries, effect sizes
+//! against a named baseline, and multiple-comparison correction.
+//!
+//! The source paper argues from execution-time tables; with several seeds
+//! per cell we can say which differences survive noise. Everything here is
+//! deterministic (seeded SplitMix64, fixed resample counts) so the paper
+//! report is byte-reproducible, and everything is in-repo — no external
+//! statistics dependency.
+//!
+//! Choices, and why:
+//!
+//! * **Percentile bootstrap** for the mean's 95% CI: makes no normality
+//!   assumption, behaves sanely at the n = 2–10 seed counts we actually
+//!   run, and degenerates honestly (n = 1 ⇒ zero-width interval at the
+//!   point estimate).
+//! * **Cohen's d** (pooled-SD standardized difference) as the effect size
+//!   vs the named baseline, alongside the relative difference — one
+//!   scale-free, one in the units reviewers quote.
+//! * **Sign-flip permutation test** on paired per-seed differences for
+//!   p-values: exact enumeration up to 2^n ≤ 4096 flips, seeded sampling
+//!   beyond; again assumption-free at tiny n.
+//! * **Holm–Bonferroni** step-down across a family of protocol-pair
+//!   comparisons: uniformly more powerful than plain Bonferroni at the
+//!   same family-wise error rate, and needs no independence assumption.
+
+/// Deterministic SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n` (n > 0).
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Per-cell summary across seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations (seeds).
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample median.
+    pub median: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub sd: f64,
+    /// Bootstrap 95% CI lower bound on the mean.
+    pub ci_lo: f64,
+    /// Bootstrap 95% CI upper bound on the mean.
+    pub ci_hi: f64,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+fn sample_sd(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Number of bootstrap resamples (fixed so output is stable).
+pub const BOOTSTRAP_RESAMPLES: usize = 2000;
+
+/// Summarize one cell's per-seed observations. Deterministic for a given
+/// `(xs, seed)`.
+pub fn summarize(xs: &[f64], seed: u64) -> Summary {
+    let n = xs.len();
+    let m = mean(xs);
+    if n < 2 {
+        return Summary { n, mean: m, median: m, sd: 0.0, ci_lo: m, ci_hi: m };
+    }
+    let mut rng = SplitMix64(seed ^ 0x5EED_B007_57A9_0000);
+    let mut means = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+    for _ in 0..BOOTSTRAP_RESAMPLES {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += xs[rng.index(n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let lo_idx = ((BOOTSTRAP_RESAMPLES as f64) * 0.025) as usize;
+    let hi_idx = (((BOOTSTRAP_RESAMPLES as f64) * 0.975) as usize).min(BOOTSTRAP_RESAMPLES - 1);
+    Summary {
+        n,
+        mean: m,
+        median: median(xs),
+        sd: sample_sd(xs),
+        ci_lo: means[lo_idx],
+        ci_hi: means[hi_idx],
+    }
+}
+
+/// Cohen's d between `a` and `b` (positive = `a` larger), pooled SD. With
+/// zero pooled variance: 0 when the means agree, ±∞-avoiding ±1e9
+/// sentinel otherwise (two degenerate but different constants).
+pub fn cohen_d(a: &[f64], b: &[f64]) -> f64 {
+    let (na, nb) = (a.len(), b.len());
+    if na < 1 || nb < 1 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (sa, sb) = (sample_sd(a), sample_sd(b));
+    let dof = (na + nb).saturating_sub(2);
+    let pooled = if dof == 0 {
+        0.0
+    } else {
+        (((na.saturating_sub(1)) as f64 * sa * sa + (nb.saturating_sub(1)) as f64 * sb * sb)
+            / dof as f64)
+            .sqrt()
+    };
+    if pooled == 0.0 {
+        if ma == mb {
+            0.0
+        } else {
+            1e9f64.copysign(ma - mb)
+        }
+    } else {
+        (ma - mb) / pooled
+    }
+}
+
+/// Exhaustive-enumeration cutoff: with n paired differences there are 2^n
+/// sign assignments; enumerate all of them up to this many pairs.
+const EXACT_FLIP_LIMIT: usize = 12;
+
+/// Sampled permutations when beyond the exact limit.
+const SAMPLED_FLIPS: usize = 4096;
+
+/// Two-sided sign-flip permutation p-value for paired observations
+/// (`a[i]` vs `b[i]`, same seed i). Deterministic. Returns 1.0 when there
+/// is nothing to test (n = 0, or all differences zero).
+pub fn paired_permutation_p(a: &[f64], b: &[f64], seed: u64) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 1.0;
+    }
+    let diffs: Vec<f64> = (0..n).map(|i| a[i] - b[i]).collect();
+    if diffs.iter().all(|d| *d == 0.0) {
+        return 1.0;
+    }
+    let observed = diffs.iter().sum::<f64>().abs();
+    let tol = observed * 1e-12; // float-noise guard for the >= comparison
+    if n <= EXACT_FLIP_LIMIT {
+        let total = 1u64 << n;
+        let mut extreme = 0u64;
+        for mask in 0..total {
+            let mut s = 0.0;
+            for (i, d) in diffs.iter().enumerate() {
+                s += if mask >> i & 1 == 1 { -*d } else { *d };
+            }
+            if s.abs() >= observed - tol {
+                extreme += 1;
+            }
+        }
+        extreme as f64 / total as f64
+    } else {
+        let mut rng = SplitMix64(seed ^ 0x9E9E_F11F_0000_0001);
+        let mut extreme = 1u64; // add-one: the identity assignment
+        for _ in 0..SAMPLED_FLIPS {
+            let mask = rng.next_u64();
+            let mut s = 0.0;
+            for (i, d) in diffs.iter().enumerate() {
+                s += if mask >> (i % 64) & 1 == 1 { -*d } else { *d };
+            }
+            if s.abs() >= observed - tol {
+                extreme += 1;
+            }
+        }
+        extreme as f64 / (SAMPLED_FLIPS + 1) as f64
+    }
+}
+
+/// Holm–Bonferroni step-down adjustment. Input: raw p-values; output:
+/// adjusted p-values in the same positions, clamped to [0, 1], with the
+/// step-down monotonicity constraint enforced.
+pub fn holm_adjust(ps: &[f64]) -> Vec<f64> {
+    let m = ps.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&i, &j| ps[i].partial_cmp(&ps[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut adjusted = vec![0.0f64; m];
+    let mut running_max = 0.0f64;
+    for (rank, &idx) in order.iter().enumerate() {
+        let scaled = (ps[idx] * (m - rank) as f64).min(1.0);
+        running_max = running_max.max(scaled);
+        adjusted[idx] = running_max;
+    }
+    adjusted
+}
+
+/// One comparison of a cell against the baseline protocol's cell.
+#[derive(Debug, Clone)]
+pub struct Effect {
+    /// Mean difference (subject − baseline).
+    pub delta: f64,
+    /// Relative difference vs the baseline mean (NaN-free: 0 when the
+    /// baseline mean is 0).
+    pub rel: f64,
+    /// Cohen's d.
+    pub d: f64,
+    /// Raw permutation p-value.
+    pub p: f64,
+    /// Holm-adjusted p-value (filled by the caller after collecting the
+    /// family; initialized to `p`).
+    pub p_adjusted: f64,
+}
+
+/// Compute one effect (subject vs baseline, paired by seed).
+pub fn effect(subject: &[f64], baseline: &[f64], seed: u64) -> Effect {
+    let delta = mean(subject) - mean(baseline);
+    let bm = mean(baseline);
+    let rel = if bm == 0.0 { 0.0 } else { delta / bm };
+    let p = paired_permutation_p(subject, baseline, seed);
+    Effect { delta, rel, d: cohen_d(subject, baseline), p, p_adjusted: p }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_degenerates_honestly() {
+        let s = summarize(&[], 1);
+        assert_eq!((s.n, s.mean, s.ci_lo, s.ci_hi), (0, 0.0, 0.0, 0.0));
+        let s = summarize(&[7.0], 1);
+        assert_eq!((s.n, s.mean, s.median, s.ci_lo, s.ci_hi), (1, 7.0, 7.0, 7.0, 7.0));
+        assert_eq!(s.sd, 0.0);
+    }
+
+    #[test]
+    fn summary_is_deterministic_and_brackets_the_mean() {
+        let xs = [10.0, 12.0, 11.0, 13.0, 9.5];
+        let a = summarize(&xs, 42);
+        let b = summarize(&xs, 42);
+        assert_eq!(a, b);
+        assert!(a.ci_lo <= a.mean && a.mean <= a.ci_hi);
+        assert!(a.ci_lo < a.ci_hi, "n=5 spread data must have a nonzero-width CI");
+        let c = summarize(&xs, 43);
+        assert!(c.ci_lo <= c.mean && c.mean <= c.ci_hi, "any seed brackets the mean");
+    }
+
+    #[test]
+    fn cohen_d_signs_and_degenerates() {
+        let d = cohen_d(&[2.0, 2.1, 1.9], &[1.0, 1.1, 0.9]);
+        assert!(d > 2.0, "well-separated samples have a large d: {d}");
+        assert!(cohen_d(&[1.0, 1.0], &[1.0, 1.0]).abs() < 1e-12);
+        assert!(cohen_d(&[2.0, 2.0], &[1.0, 1.0]) > 1e8, "degenerate separated → sentinel");
+        assert!(cohen_d(&[1.0, 1.0], &[2.0, 2.0]) < -1e8);
+    }
+
+    #[test]
+    fn permutation_p_exact_small_n() {
+        // n=3, all differences the same sign: the only assignments at least
+        // as extreme as observed are all-keep and all-flip → p = 2/8.
+        let p = paired_permutation_p(&[2.0, 2.0, 2.0], &[1.0, 1.0, 1.0], 0);
+        assert!((p - 0.25).abs() < 1e-12, "{p}");
+        // Identical pairs: nothing to test.
+        assert_eq!(paired_permutation_p(&[1.0, 1.0], &[1.0, 1.0], 0), 1.0);
+        assert_eq!(paired_permutation_p(&[], &[], 0), 1.0);
+    }
+
+    #[test]
+    fn permutation_p_sampled_large_n_is_deterministic() {
+        let a: Vec<f64> = (0..20).map(|i| 10.0 + (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..20).map(|i| 9.0 + (i % 5) as f64 * 0.1).collect();
+        let p1 = paired_permutation_p(&a, &b, 7);
+        let p2 = paired_permutation_p(&a, &b, 7);
+        assert_eq!(p1, p2);
+        assert!(p1 > 0.0 && p1 < 0.05, "clearly separated: {p1}");
+    }
+
+    #[test]
+    fn holm_adjusts_stepwise() {
+        // Classic example: m=3, sorted p .01, .02, .03 → adjusted .03, .04, .03→max .04? No:
+        // .01*3=.03, .02*2=.04, .03*1=.03 → monotone max: .03, .04, .04.
+        let adj = holm_adjust(&[0.02, 0.01, 0.03]);
+        assert!((adj[1] - 0.03).abs() < 1e-12);
+        assert!((adj[0] - 0.04).abs() < 1e-12);
+        assert!((adj[2] - 0.04).abs() < 1e-12);
+        // Clamped at 1, never smaller than raw.
+        let adj = holm_adjust(&[0.9, 0.8]);
+        assert!(adj.iter().all(|&p| p <= 1.0));
+        assert!(adj[0] >= 0.9 && adj[1] >= 0.8);
+        assert!(holm_adjust(&[]).is_empty());
+    }
+
+    #[test]
+    fn effect_combines_the_pieces() {
+        let e = effect(&[0.8, 0.82, 0.78], &[1.0, 1.0, 1.0], 3);
+        assert!(e.delta < 0.0);
+        assert!((e.rel - e.delta / 1.0).abs() < 1e-12);
+        assert!(e.p <= 0.25 + 1e-12, "consistent sign at n=3: {}", e.p);
+        assert_eq!(e.p, e.p_adjusted, "adjustment is the caller's job");
+    }
+}

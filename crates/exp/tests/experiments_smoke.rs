@@ -5,7 +5,7 @@ use lrc_exp::{experiments, Params, Runner};
 use lrc_workloads::Scale;
 
 fn tiny() -> Params {
-    Params { scale: Scale::Tiny, procs: 8 }
+    Params { scale: Scale::Tiny, procs: 8, seed: 0 }
 }
 
 #[test]

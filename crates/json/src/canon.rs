@@ -1,0 +1,89 @@
+//! Canonical JSON: a deterministic byte rendering independent of object
+//! insertion order.
+//!
+//! The experiment lab content-addresses artifacts by hashing their JSON
+//! serialization, and run manifests carry a hash of the configuration that
+//! produced a result. Both are only sound if serialization is a pure
+//! function of the *value*, not of the order code happened to insert
+//! fields. [`Value::Object`] preserves insertion order by design (reports
+//! read better that way), so canonicalization is a separate, explicit
+//! step:
+//!
+//! * object members are sorted by key (byte order), recursively;
+//! * duplicate keys keep the **last** occurrence (matching what a
+//!   sequential [`Value::set`] loop would leave behind);
+//! * arrays keep their order (position is meaning);
+//! * rendering is the compact printer — no whitespace, integers without a
+//!   decimal point, shortest-round-trip floats — so equal values produce
+//!   equal bytes.
+
+use crate::{to_string, Value};
+
+/// A copy of `v` with every object's members sorted by key, recursively.
+/// Arrays keep their element order. Duplicate keys (possible via the
+/// parser, never via [`Value::set`]) collapse to the last occurrence.
+pub fn canonicalize(v: &Value) -> Value {
+    match v {
+        Value::Array(items) => Value::Array(items.iter().map(canonicalize).collect()),
+        Value::Object(fields) => {
+            let mut out: Vec<(String, Value)> = Vec::with_capacity(fields.len());
+            for (k, val) in fields {
+                let cv = canonicalize(val);
+                match out.iter_mut().find(|(ok, _)| ok == k) {
+                    Some((_, slot)) => *slot = cv,
+                    None => out.push((k.clone(), cv)),
+                }
+            }
+            out.sort_by(|(a, _), (b, _)| a.as_bytes().cmp(b.as_bytes()));
+            Value::Object(out)
+        }
+        other => other.clone(),
+    }
+}
+
+/// The canonical byte rendering of `v`: [`canonicalize`] + compact print.
+/// Two structurally equal values render identically regardless of the
+/// order their objects were built in — this is the string the experiment
+/// lab hashes.
+pub fn canonical_dump(v: &Value) -> String {
+    to_string(&canonicalize(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn objects_sort_recursively() {
+        let a = json!({ "b": { "y": 1, "x": 2 }, "a": [ { "k": 1, "j": 2 } ] });
+        assert_eq!(canonical_dump(&a), r#"{"a":[{"j":2,"k":1}],"b":{"x":2,"y":1}}"#);
+    }
+
+    #[test]
+    fn insertion_order_is_erased() {
+        let mut a = Value::Object(Vec::new());
+        a.set("z", 1u64);
+        a.set("a", "s");
+        let mut b = Value::Object(Vec::new());
+        b.set("a", "s");
+        b.set("z", 1u64);
+        assert_ne!(a.dump(), b.dump(), "plain dump preserves insertion order");
+        assert_eq!(canonical_dump(&a), canonical_dump(&b));
+    }
+
+    #[test]
+    fn arrays_keep_order() {
+        let v = json!([3, 1, 2]);
+        assert_eq!(canonical_dump(&v), "[3,1,2]");
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last() {
+        let v = Value::Object(vec![
+            ("k".to_string(), json!(1)),
+            ("k".to_string(), json!(2)),
+        ]);
+        assert_eq!(canonical_dump(&v), r#"{"k":2}"#);
+    }
+}

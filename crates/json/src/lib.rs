@@ -15,9 +15,11 @@
 // (downstream crates are exempt automatically).
 #![allow(clippy::vec_init_then_push)]
 
+mod canon;
 mod parse;
 mod print;
 
+pub use canon::{canonical_dump, canonicalize};
 pub use parse::{parse, ParseError};
 pub use print::{to_string, to_string_pretty};
 

@@ -1,0 +1,94 @@
+//! Property tests for canonical serialization: the canonical dump of an
+//! object must be byte-stable under any permutation of key insertion
+//! order, at every nesting depth. Randomized with a seeded SplitMix64 so
+//! failures reproduce.
+
+use lrc_json::{canonical_dump, json, parse, Value};
+
+/// SplitMix64 — the same tiny deterministic generator the stats layer
+/// uses, re-implemented here because lrc-json must stay dependency-free.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Fisher–Yates over a vector of object fields.
+fn shuffle<T>(items: &mut [T], rng: &mut Mix) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.below(i + 1));
+    }
+}
+
+/// Recursively permute the insertion order of every object in `v`.
+fn permute(v: &Value, rng: &mut Mix) -> Value {
+    match v {
+        Value::Object(fields) => {
+            let mut fields: Vec<(String, Value)> =
+                fields.iter().map(|(k, x)| (k.clone(), permute(x, rng))).collect();
+            shuffle(&mut fields, rng);
+            Value::Object(fields)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(|x| permute(x, rng)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// A random JSON document with nested objects/arrays, depth-bounded.
+fn random_doc(rng: &mut Mix, depth: usize) -> Value {
+    match if depth == 0 { rng.below(4) } else { rng.below(6) } {
+        0 => Value::Null,
+        1 => Value::Bool(rng.below(2) == 0),
+        2 => Value::Num(rng.below(100_000) as f64 / 7.0),
+        3 => Value::Str(format!("s{}", rng.below(1000))),
+        4 => Value::Array((0..rng.below(5)).map(|_| random_doc(rng, depth - 1)).collect()),
+        _ => Value::Object(
+            (0..rng.below(6)).map(|i| (format!("k{}_{i}", rng.below(20)), random_doc(rng, depth - 1))).collect(),
+        ),
+    }
+}
+
+#[test]
+fn canonical_dump_is_byte_stable_across_insertion_orders() {
+    let mut rng = Mix(0xC0DE);
+    for case in 0..200 {
+        let doc = random_doc(&mut rng, 4);
+        let reference = canonical_dump(&doc);
+        for round in 0..8 {
+            let shuffled = permute(&doc, &mut rng);
+            assert_eq!(
+                canonical_dump(&shuffled),
+                reference,
+                "case {case} round {round}: canonical dump depends on insertion order\ndoc: {}",
+                doc.dump()
+            );
+        }
+    }
+}
+
+#[test]
+fn canonical_dump_survives_a_parse_round_trip() {
+    let mut rng = Mix(0x5EED);
+    for _ in 0..100 {
+        let doc = random_doc(&mut rng, 3);
+        let dumped = canonical_dump(&doc);
+        let reparsed = parse(&dumped).expect("canonical output parses");
+        assert_eq!(canonical_dump(&reparsed), dumped, "round trip changed bytes");
+    }
+}
+
+#[test]
+fn canonical_dump_sorts_keys_and_keeps_array_order() {
+    let a = json!({ "b": 1, "a": [3, 1, 2], "c": { "z": 0, "y": 1 } });
+    assert_eq!(canonical_dump(&a), r#"{"a":[3,1,2],"b":1,"c":{"y":1,"z":0}}"#);
+}

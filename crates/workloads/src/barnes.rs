@@ -30,8 +30,17 @@ pub fn size(scale: Scale) -> (usize, usize) {
     scale.pick((4096, 4), (2048, 4), (1024, 4), (256, 2), (64, 2))
 }
 
-/// Build the workload for `p` processors.
+/// Build the workload for `p` processors (canonical seed 0).
 pub fn build(p: usize, scale: Scale) -> Streams {
+    build_seeded(p, scale, 0)
+}
+
+/// Build with an explicit input seed: perturbs the synthesized tree
+/// topology (a different random instance of the same distribution), the
+/// cross-seed variation axis for the statistics layer. Seed 0 is
+/// bit-identical to [`build`].
+pub fn build_seeded(p: usize, scale: Scale, seed: u64) -> Streams {
+    let seed_mix = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let (nbodies, steps) = size(scale);
     let ncells = nbodies; // tree cells ≈ bodies for BH octrees
     let nlocks = 16u32;
@@ -66,7 +75,7 @@ pub fn build(p: usize, scale: Scale) -> Streams {
             let mut scratch = scratches.remove(0);
             let mut step = 0usize;
             let mut phase = 0u32;
-            let mut rng = Rng::new(0x00BA_12E5 ^ (proc as u64).wrapping_mul(0x9E37_79B9));
+            let mut rng = Rng::new(0x00BA_12E5 ^ seed_mix ^ (proc as u64).wrapping_mul(0x9E37_79B9));
             let f: ChunkFn = Box::new(move |out| {
                 if step >= steps {
                     return false;

@@ -19,6 +19,15 @@ pub fn size(scale: Scale) -> usize {
     scale.pick(448, 320, 224, 112, 48)
 }
 
+/// Build with an explicit input seed. LU's access pattern is fully
+/// deterministic — there is no randomness to reseed — so the seed rotates
+/// the processor→stream placement instead (see [`Streams::rotate`]),
+/// moving each block set onto a different mesh node. Seed 0 is
+/// bit-identical to [`build`].
+pub fn build_seeded(p: usize, scale: Scale, seed: u64) -> Streams {
+    build(p, scale).rotate((seed % p.max(1) as u64) as usize)
+}
+
 /// Build the workload for `p` processors.
 pub fn build(p: usize, scale: Scale) -> Streams {
     let n = size(scale);

@@ -26,11 +26,18 @@ pub fn size(scale: Scale) -> usize {
 const QUEUE_LOCK: u32 = 0;
 const COL_LOCKS: u32 = 63;
 
-/// Build the workload for `p` processors.
+/// Build the workload for `p` processors (canonical seed 0).
 pub fn build(p: usize, scale: Scale) -> Streams {
+    build_seeded(p, scale, 0)
+}
+
+/// Build with an explicit input seed: synthesizes a different sparse
+/// structure from the same distribution (column lengths, update lists).
+/// Seed 0 is bit-identical to [`build`].
+pub fn build_seeded(p: usize, scale: Scale, seed: u64) -> Streams {
     let ncols = size(scale);
     // Synthesize the sparse structure once (shared by all generators).
-    let mut rng = Rng::new(0xC0_1E5C);
+    let mut rng = Rng::new(0xC0_1E5C ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut col_len = Vec::with_capacity(ncols);
     let mut col_base = Vec::with_capacity(ncols);
     let mut alloc = AddressAllocator::new(ARRAY_ALIGN);

@@ -18,6 +18,14 @@ pub fn size(scale: Scale) -> usize {
 
 const COMPLEX_BYTES: u64 = 16;
 
+/// Build with an explicit input seed. The FFT is fully deterministic, so
+/// the seed rotates the processor→stream placement (see
+/// [`Streams::rotate`]), perturbing home-node distances in the transpose.
+/// Seed 0 is bit-identical to [`build`].
+pub fn build_seeded(p: usize, scale: Scale, seed: u64) -> Streams {
+    build(p, scale).rotate((seed % p.max(1) as u64) as usize)
+}
+
 /// Build the workload for `p` processors.
 pub fn build(p: usize, scale: Scale) -> Streams {
     let n = size(scale);

@@ -45,6 +45,25 @@ impl Streams {
             done: vec![false; n],
         }
     }
+
+    /// Rotate the processor→stream assignment: processor `p` executes the
+    /// stream originally built for processor `(p + by) % P`.
+    ///
+    /// This is the seed knob for the *dense* deterministic workloads (LU,
+    /// FFT, Gauss) whose access patterns contain no randomness to reseed:
+    /// rotating the placement moves each slice of the data onto a
+    /// different mesh node, perturbing home-node distances and contention
+    /// timing without changing the computation. SPMD phase structure makes
+    /// this safe — every stream participates in the same barrier episodes.
+    /// `by % P == 0` is the identity, so seed 0 stays bit-identical to the
+    /// unrotated build.
+    pub fn rotate(mut self, by: usize) -> Self {
+        let n = self.fills.len();
+        if n > 0 {
+            self.fills.rotate_left(by % n);
+        }
+        self
+    }
 }
 
 impl Workload for Streams {

@@ -29,8 +29,15 @@ pub fn size(scale: Scale) -> usize {
     scale.pick(3029, 2048, 1024, 256, 64)
 }
 
-/// Build the workload for `p` processors.
+/// Build the workload for `p` processors (canonical seed 0).
 pub fn build(p: usize, scale: Scale) -> Streams {
+    build_seeded(p, scale, 0)
+}
+
+/// Build with an explicit input seed: different random wire endpoints
+/// from the same span distribution. Seed 0 is bit-identical to [`build`].
+pub fn build_seeded(p: usize, scale: Scale, seed: u64) -> Streams {
+    let seed_mix = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let nwires = size(scale);
     let mut alloc = AddressAllocator::new(ARRAY_ALIGN);
     let queue = alloc.alloc(64);
@@ -42,7 +49,7 @@ pub fn build(p: usize, scale: Scale) -> Streams {
     let fills: Vec<ChunkFn> = (0..p)
         .map(|proc| {
             let mut scratch = scratches.remove(0);
-            let mut rng = Rng::new(0x10C05 ^ (proc as u64).wrapping_mul(0x517C_C1B7));
+            let mut rng = Rng::new(0x10C05 ^ seed_mix ^ (proc as u64).wrapping_mul(0x517C_C1B7));
             let mut next_wire = proc;
             let f: ChunkFn = Box::new(move |out| {
                 if next_wire >= nwires {

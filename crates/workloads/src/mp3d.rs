@@ -20,9 +20,16 @@ pub fn size(scale: Scale) -> (usize, usize) {
     scale.pick((40000, 10), (20000, 8), (10000, 5), (4000, 3), (1000, 2))
 }
 
-/// Build the workload for `p` processors.
+/// Build the workload for `p` processors (canonical seed 0).
 pub fn build(p: usize, scale: Scale) -> Streams {
-    build_with(p, scale, PARTICLE_BYTES)
+    build_with(p, scale, PARTICLE_BYTES, 0)
+}
+
+/// Build with an explicit input seed: different particle trajectories and
+/// collision partners from the same distributions. Seed 0 is bit-identical
+/// to [`build`].
+pub fn build_seeded(p: usize, scale: Scale, seed: u64) -> Streams {
+    build_with(p, scale, PARTICLE_BYTES, seed)
 }
 
 /// Build a *padded* variant: each particle record occupies a full cache
@@ -32,10 +39,16 @@ pub fn build(p: usize, scale: Scale) -> Streams {
 /// `ablate` experiment: with padding, the lazy protocol's advantage over
 /// eager RC should largely disappear.
 pub fn build_padded(p: usize, scale: Scale) -> Streams {
-    build_with(p, scale, 128)
+    build_with(p, scale, 128, 0)
 }
 
-fn build_with(p: usize, scale: Scale, particle_bytes: u64) -> Streams {
+/// [`build_padded`] with an explicit input seed (see [`build_seeded`]).
+pub fn build_padded_seeded(p: usize, scale: Scale, seed: u64) -> Streams {
+    build_with(p, scale, 128, seed)
+}
+
+fn build_with(p: usize, scale: Scale, particle_bytes: u64, seed: u64) -> Streams {
+    let seed_mix = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let (nparticles, steps) = size(scale);
     // The wind tunnel's space-cell array is comparable in size to the
     // particle population (the original uses ~14K cells for 40K particles);
@@ -54,7 +67,7 @@ fn build_with(p: usize, scale: Scale, particle_bytes: u64) -> Streams {
         .map(|proc| {
             let mut scratch = scratches.remove(0);
             let mut step = 0usize;
-            let mut rng = Rng::new(0x3D ^ (proc as u64).wrapping_mul(0xD6E8_FEB8));
+            let mut rng = Rng::new(0x3D ^ seed_mix ^ (proc as u64).wrapping_mul(0xD6E8_FEB8));
             let f: ChunkFn = Box::new(move |out| {
                 if step >= steps {
                     return false;

@@ -183,6 +183,39 @@ grep -q '"name":"rt.read"' "$obsdir/observe.latency.json"
 [ -s "$obsdir/observe.jsonl" ]
 rm -rf "$obsdir"
 
+echo "==> report smoke: store round-trip, HTML report, staleness gate"
+# The experiment lab end to end at tiny scale: a two-seed run into a fresh
+# store (fixed --timestamp so the store is byte-reproducible), the HTML
+# paper report with provenance links and cross-seed CI columns, and the
+# staleness checker both ways — clean store passes, a content-mutated blob
+# must fail. Finally the committed store must be current against HEAD.
+labdir=$(mktemp -d /tmp/report_smoke.XXXXXX)
+./target/release/lrc-exp table3 quality --scale tiny --procs 8 --seeds 2 \
+  --store "$labdir/store" --timestamp 1754700000 --quiet > /dev/null
+./target/release/lrc-exp report --store "$labdir/store" \
+  --out "$labdir/report.html" > /dev/null 2>&1
+grep -q 'objects/' "$labdir/report.html"            # provenance links
+grep -q 'p (Holm)' "$labdir/report.html"            # adjusted significance
+grep -qE '\[[^]]+, [^]]+\]</td>' "$labdir/report.html"  # CI interval columns
+grep -q '"schema": "lrc-exp-report-v1"' "$labdir/report.json"
+./target/release/lrc-exp report --store "$labdir/store" --check > /dev/null
+# Byte-reproducibility: the same runs must land on the same blob set.
+lsbefore=$(ls "$labdir/store/objects" | sort)
+./target/release/lrc-exp table3 quality --scale tiny --procs 8 --seeds 2 \
+  --store "$labdir/store" --timestamp 1754700000 --quiet > /dev/null
+[ "$(ls "$labdir/store/objects" | sort)" = "$lsbefore" ]
+# Mutate one blob's content (valid JSON, wrong hash): --check must fail.
+blob=$(ls "$labdir/store/objects/"*.json | head -1)
+printf '{"tampered":true}' > "$blob"
+if ./target/release/lrc-exp report --store "$labdir/store" --check \
+    > /dev/null 2>&1; then
+  echo "staleness checker passed a mutated artifact" >&2
+  exit 1
+fi
+rm -rf "$labdir"
+# The committed store must be current against the code being tested.
+./target/release/lrc-exp report --store results/store --check > /dev/null
+
 echo "==> opt-in machinery costs nothing when off: golden fingerprints unchanged"
 # The golden determinism fingerprints pin the default behavior; re-running
 # them here asserts that the bounded-resource machinery, the tracing/
